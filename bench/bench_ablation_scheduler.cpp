@@ -1,0 +1,147 @@
+// Ablation (ours, not in the paper): the destination-choice strategy.
+//
+// The paper's registry/scheduler uses FIRST FIT — "chooses the first host,
+// which is ready and owns all the resources required".  This bench pits it
+// against best-fit (least loaded) and random-fit on a scenario where the
+// first eligible host is mediocre: ws2 passes the destination conditions
+// (load just below 1) but an idle ws4 exists further down the list.
+// First-fit parks the application on the mediocre host and finishes later;
+// best-fit finds the idle one.  The evacuation path is also ablated: with
+// two processes to place, first-fit stacks both on one host, best-fit
+// spreads them.
+
+#include "common.hpp"
+
+#include "ars/apps/test_tree.hpp"
+#include "ars/core/runtime.hpp"
+#include "ars/host/hog.hpp"
+
+using namespace ars;
+
+namespace {
+
+struct StrategyOutcome {
+  std::string name;
+  double total = 0.0;
+  std::string destination = "-";
+  bool correct = false;
+};
+
+StrategyOutcome run_overload(registry::DestinationStrategy strategy,
+                             const std::string& name) {
+  core::ClusterConfig config = core::make_cluster(4, rules::paper_policy2());
+  config.strategy = strategy;
+  core::ReschedulerRuntime runtime{config};
+  runtime.start_rescheduler();
+
+  // ws2: mediocre destination (duty ~0.6 -> load ~0.86, still "free").
+  host::DutyCycleHog ws2_load{runtime.host("ws2"), {.duty = 0.6}};
+  ws2_load.start();
+  // ws3: also mediocre.
+  host::DutyCycleHog ws3_load{runtime.host("ws3"), {.duty = 0.5}};
+  ws3_load.start();
+  // ws4: idle.
+
+  apps::TestTree::Params params;
+  params.levels = 17;  // ~98 s of work
+  apps::TestTree::Result app;
+  runtime.launch_app("ws1", apps::TestTree::make(params, &app), "test_tree",
+                     apps::TestTree::schema(params));
+  host::CpuHog additional{runtime.host("ws1"), {.threads = 3}};
+  runtime.engine().schedule_at(15.0, [&] { additional.start(); });
+  runtime.run_until(3000.0);
+
+  StrategyOutcome outcome;
+  outcome.name = name;
+  outcome.total = app.finished_at;
+  outcome.correct =
+      app.finished && app.sum == apps::TestTree::expected_sum(params);
+  for (const auto& t : runtime.middleware().history()) {
+    if (t.succeeded) {
+      outcome.destination = t.destination;
+    }
+  }
+  return outcome;
+}
+
+struct EvacuationOutcome {
+  std::string name;
+  std::set<std::string> destinations;
+  double slowest_finish = 0.0;
+};
+
+EvacuationOutcome run_evacuation(registry::DestinationStrategy strategy,
+                                 const std::string& name) {
+  core::ClusterConfig config = core::make_cluster(4, rules::paper_policy2());
+  config.strategy = strategy;
+  core::ReschedulerRuntime runtime{config};
+  runtime.start_rescheduler();
+
+  apps::TestTree::Params params;
+  params.levels = 17;
+  apps::TestTree::Result a;
+  apps::TestTree::Result b;
+  runtime.launch_app("ws1", apps::TestTree::make(params, &a), "tree_a",
+                     apps::TestTree::schema(params, "tree_a"));
+  runtime.launch_app("ws1", apps::TestTree::make(params, &b), "tree_b",
+                     apps::TestTree::schema(params, "tree_b"));
+  // Give the second placement fresh load data: heartbeats every 2 s.
+  runtime.engine().schedule_at(30.0,
+                               [&] { runtime.evacuate_host("ws1", "drain"); });
+  runtime.run_until(3000.0);
+
+  EvacuationOutcome outcome;
+  outcome.name = name;
+  for (const auto& r : {&a, &b}) {
+    if (r->finished) {
+      outcome.destinations.insert(r->finished_on);
+      outcome.slowest_finish = std::max(outcome.slowest_finish,
+                                        r->finished_at);
+    }
+  }
+  return outcome;
+}
+
+}  // namespace
+
+int main() {
+  bench::heading("Ablation: destination-choice strategy (paper: first fit)");
+
+  bench::subheading(
+      "overloaded source, mediocre-but-eligible early hosts, idle late host");
+  bench::Table table({"strategy", "migrated to", "total exec (s)", "result"});
+  const StrategyOutcome first =
+      run_overload(registry::DestinationStrategy::kFirstFit, "first-fit");
+  const StrategyOutcome best =
+      run_overload(registry::DestinationStrategy::kBestFit, "best-fit");
+  const StrategyOutcome random =
+      run_overload(registry::DestinationStrategy::kRandomFit, "random-fit");
+  for (const StrategyOutcome* o : {&first, &best, &random}) {
+    table.add_row({o->name, o->destination, bench::fmt(o->total, 2),
+                   o->correct ? "correct" : "WRONG"});
+  }
+  table.print();
+
+  bench::subheading("evacuating two processes at once");
+  bench::Table evac_table(
+      {"strategy", "distinct destinations", "slowest finish (s)"});
+  const EvacuationOutcome evac_first =
+      run_evacuation(registry::DestinationStrategy::kFirstFit, "first-fit");
+  const EvacuationOutcome evac_best =
+      run_evacuation(registry::DestinationStrategy::kBestFit, "best-fit");
+  for (const EvacuationOutcome* o : {&evac_first, &evac_best}) {
+    evac_table.add_row({o->name, std::to_string(o->destinations.size()),
+                        bench::fmt(o->slowest_finish, 2)});
+  }
+  evac_table.print();
+
+  std::printf(
+      "\n  first-fit is what the paper ships: simple, O(hosts), and good\n"
+      "  enough when a free host really is free.  best-fit buys %.1f%%\n"
+      "  on the skewed scenario at the cost of needing fresh load data.\n",
+      100.0 * (first.total - best.total) / first.total);
+
+  const bool ok = first.correct && best.correct && random.correct &&
+                  best.total <= first.total + 1.0;
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,126 @@
+// Table 1 + Figures 3/4: the system-state semantics and the paper's rule
+// files, parsed verbatim and evaluated against live sensor values.
+
+#include "common.hpp"
+
+#include "ars/rules/engine.hpp"
+#include "ars/rules/rulefile.hpp"
+
+using namespace ars;
+
+namespace {
+
+std::string yes_no(bool value) { return value ? "Yes" : "No"; }
+
+void print_table1() {
+  bench::heading("Table 1. System State Description");
+  bench::Table table({"System state", "Loaded", "Migrate in", "Migrate out"});
+  for (const rules::SystemState state :
+       {rules::SystemState::kFree, rules::SystemState::kBusy,
+        rules::SystemState::kOverloaded}) {
+    const rules::StateActions actions = rules::actions_for(state);
+    table.add_row({std::string(rules::to_string(state)),
+                   yes_no(actions.loaded), yes_no(actions.migrate_in),
+                   yes_no(actions.migrate_out)});
+  }
+  table.print();
+  std::printf(
+      "\n  Paper row check: Free={No,Yes,No} Busy={Yes,No,No} "
+      "Overloaded={Yes,No,Yes}\n");
+}
+
+void print_figure3() {
+  bench::heading("Figure 3. Simple Rules (verbatim parse + evaluation)");
+  const auto specs = rules::parse_rule_file(rules::paper_figure3_text());
+  if (!specs.has_value()) {
+    std::printf("PARSE FAILED: %s\n", specs.error().to_string().c_str());
+    return;
+  }
+  bench::Table table({"rl_number", "rl_name", "rl_script", "op", "rl_param",
+                      "rl_busy", "rl_overLd"});
+  for (const auto& spec : *specs) {
+    table.add_row({std::to_string(spec.number), spec.name, spec.script,
+                   std::string(rules::to_string(spec.op)), spec.param,
+                   bench::fmt(spec.busy, 0), bench::fmt(spec.overld, 0)});
+  }
+  table.print();
+
+  auto engine = rules::RuleEngine::create(*specs);
+  rules::MapSensorSource sensors;
+  bench::subheading("Rule 1 (processorStatus) evaluation sweep");
+  bench::Table sweep({"idle %", "state"});
+  for (const double idle : {95.0, 60.0, 50.0, 49.0, 45.0, 44.0, 10.0}) {
+    sensors.set("processorStatus.sh", idle);
+    sweep.add_row({bench::fmt(idle, 0),
+                   std::string(rules::to_string(*engine->evaluate(1, sensors)))});
+  }
+  sweep.print();
+
+  bench::subheading("Rule 2 (ntStatIpv4 ESTABLISHED) evaluation sweep");
+  bench::Table sweep2({"sockets", "state"});
+  for (const double sockets : {100.0, 700.0, 701.0, 900.0, 901.0, 1500.0}) {
+    sensors.set("ntStatIpv4.sh", "ESTABLISHED", sockets);
+    sweep2.add_row({bench::fmt(sockets, 0),
+                    std::string(rules::to_string(*engine->evaluate(2, sensors)))});
+  }
+  sweep2.print();
+}
+
+void print_figure4() {
+  bench::heading("Figure 4. A Complex Rule (verbatim parse + evaluation)");
+  const std::string text =
+      "rl_number: 1\nrl_name: a\nrl_type: simple\nrl_script: s1\n"
+      "rl_operator: >\nrl_busy: 1\nrl_overLd: 2\n"
+      "rl_number: 2\nrl_name: b\nrl_type: simple\nrl_script: s2\n"
+      "rl_operator: >\nrl_busy: 1\nrl_overLd: 2\n"
+      "rl_number: 3\nrl_name: c\nrl_type: simple\nrl_script: s3\n"
+      "rl_operator: >\nrl_busy: 1\nrl_overLd: 2\n"
+      "rl_number: 4\nrl_name: d\nrl_type: simple\nrl_script: s4\n"
+      "rl_operator: >\nrl_busy: 1\nrl_overLd: 2\n" +
+      rules::paper_figure4_text();
+  auto engine = rules::RuleEngine::from_text(text);
+  if (!engine.has_value()) {
+    std::printf("ENGINE FAILED: %s\n", engine.error().to_string().c_str());
+    return;
+  }
+  std::printf("  rl_script: ( 40%% * r_4 + 30%% * r1 + 30%% * r3 ) & r2\n\n");
+  bench::Table table({"r4", "r1", "r3", "r2", "cmp_rule state"});
+  struct Case {
+    const char* r4;
+    const char* r1;
+    const char* r3;
+    const char* r2;
+    double v4, v1, v3, v2;  // sensor values: 1.5=busy, 3=overloaded, 0=free
+  };
+  const Case cases[] = {
+      {"busy", "busy", "busy", "busy", 1.5, 1.5, 1.5, 1.5},
+      {"overld", "overld", "overld", "busy", 3, 3, 3, 1.5},
+      {"busy", "busy", "busy", "overld", 1.5, 1.5, 1.5, 3},
+      {"overld", "overld", "overld", "overld", 3, 3, 3, 3},
+      {"overld", "overld", "overld", "free", 3, 3, 3, 0},
+      {"free", "free", "free", "overld", 0, 0, 0, 3},
+  };
+  rules::MapSensorSource sensors;
+  for (const Case& c : cases) {
+    sensors.set("s4", c.v4);
+    sensors.set("s1", c.v1);
+    sensors.set("s3", c.v3);
+    sensors.set("s2", c.v2);
+    table.add_row({c.r4, c.r1, c.r3, c.r2,
+                   std::string(rules::to_string(*engine->evaluate(5, sensors)))});
+  }
+  table.print();
+  std::printf(
+      "\n  Paper semantics check: busy&busy=busy, one busy other overloaded"
+      " = busy, both overloaded = overloaded.\n");
+}
+
+}  // namespace
+
+int main() {
+  print_table1();
+  print_figure3();
+  print_figure4();
+  std::printf("\n");
+  return 0;
+}

@@ -1,0 +1,72 @@
+#pragma once
+// Shared helpers for the experiment harnesses: table printing and the
+// paper-vs-measured report format used by every bench binary.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace ars::bench {
+
+inline void heading(const std::string& title) {
+  std::printf("\n==============================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("==============================================================\n");
+}
+
+inline void subheading(const std::string& title) {
+  std::printf("\n--- %s ---\n", title.c_str());
+}
+
+/// Fixed-width table printer: first row is the header.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header)
+      : widths_(header.size()) {
+    rows_.push_back(std::move(header));
+  }
+
+  void add_row(std::vector<std::string> row) { rows_.push_back(std::move(row)); }
+
+  void print() {
+    for (const auto& row : rows_) {
+      for (std::size_t i = 0; i < row.size() && i < widths_.size(); ++i) {
+        widths_[i] = std::max(widths_[i], row[i].size());
+      }
+    }
+    for (std::size_t r = 0; r < rows_.size(); ++r) {
+      std::printf("  ");
+      for (std::size_t i = 0; i < rows_[r].size(); ++i) {
+        std::printf("%-*s  ", static_cast<int>(widths_[i]),
+                    rows_[r][i].c_str());
+      }
+      std::printf("\n");
+      if (r == 0) {
+        std::printf("  ");
+        for (std::size_t i = 0; i < widths_.size(); ++i) {
+          std::printf("%s  ", std::string(widths_[i], '-').c_str());
+        }
+        std::printf("\n");
+      }
+    }
+  }
+
+ private:
+  std::vector<std::vector<std::string>> rows_;
+  std::vector<std::size_t> widths_;
+};
+
+inline std::string fmt(double value, int decimals = 2) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof buffer, "%.*f", decimals, value);
+  return buffer;
+}
+
+/// "paper X / measured Y" comparison line.
+inline void compare(const std::string& what, double paper, double measured,
+                    const std::string& unit) {
+  std::printf("  %-44s paper %10.3f %-6s measured %10.3f %s\n", what.c_str(),
+              paper, unit.c_str(), measured, unit.c_str());
+}
+
+}  // namespace ars::bench

@@ -1,0 +1,136 @@
+// hierarchical_grid: the paper's §3.2 hierarchy — "each local system has
+// its own registry/scheduler and each registry/scheduler has its own upper
+// level registry/scheduler", e.g. one per cluster plus one per Virtual
+// Organization.
+//
+// Two clusters (A: ws_a1..ws_a2, B: ws_b1..ws_b2) each run a local
+// registry; both report health to an organization-level registry on the
+// head node.  Cluster A is fully loaded, so its registry cannot place the
+// overloaded application locally and escalates the consult to the parent,
+// which knows cluster B's free hosts.
+//
+//   $ ./hierarchical_grid
+
+#include <cstdio>
+
+#include "ars/apps/test_tree.hpp"
+#include "ars/commander/commander.hpp"
+#include "ars/host/hog.hpp"
+#include "ars/monitor/monitor.hpp"
+#include "ars/registry/registry.hpp"
+
+using namespace ars;
+
+int main() {
+  sim::Engine engine;
+  net::Network network{engine};
+
+  std::vector<std::unique_ptr<host::Host>> hosts;
+  for (const char* name : {"head", "ws_a1", "ws_a2", "ws_b1", "ws_b2"}) {
+    host::HostSpec spec;
+    spec.name = name;
+    hosts.push_back(std::make_unique<host::Host>(engine, spec));
+    hosts.back()->set_ambient_process_count(60);
+    network.attach(*hosts.back());
+  }
+  const auto host_of = [&](const std::string& name) -> host::Host& {
+    for (auto& h : hosts) {
+      if (h->name() == name) {
+        return *h;
+      }
+    }
+    throw std::out_of_range(name);
+  };
+
+  mpi::MpiSystem mpi{engine, network};
+  hpcm::MigrationEngine middleware{mpi};
+  const rules::MigrationPolicy policy = rules::paper_policy2();
+
+  // Organization-level registry on the head node.
+  registry::Registry::Config org_config;
+  org_config.policy = policy;
+  registry::Registry org{host_of("head"), network, org_config};
+  org.start();
+
+  // Per-cluster registries, children of the organization registry.
+  const auto make_cluster_registry = [&](const std::string& on) {
+    registry::Registry::Config config;
+    config.policy = policy;
+    config.parent_host = "head";
+    config.parent_port = org.port();
+    auto reg = std::make_unique<registry::Registry>(host_of(on), network,
+                                                    config);
+    reg->start();
+    return reg;
+  };
+  auto registry_a = make_cluster_registry("ws_a1");
+  auto registry_b = make_cluster_registry("ws_b1");
+
+  // Monitors and commanders: cluster A hosts report to registry A, cluster
+  // B hosts to registry B — and additionally to the organization registry,
+  // which needs global knowledge to serve escalations.
+  std::vector<std::unique_ptr<commander::Commander>> commanders;
+  std::vector<std::unique_ptr<monitor::Monitor>> monitors;
+  const auto deploy = [&](const std::string& on, registry::Registry& local) {
+    commander::Commander::Config commander_config;
+    auto cmd = std::make_unique<commander::Commander>(host_of(on), network,
+                                                      middleware,
+                                                      commander_config);
+    cmd->start();
+    for (registry::Registry* target : {&local, &org}) {
+      monitor::Monitor::Config mc;
+      mc.registry_host = target->host_name();
+      mc.registry_port = target->port();
+      mc.commander_port = cmd->port();
+      mc.policy = policy;
+      monitors.push_back(std::make_unique<monitor::Monitor>(host_of(on),
+                                                            network, mc));
+      monitors.back()->start();
+    }
+    commanders.push_back(std::move(cmd));
+  };
+  deploy("ws_a1", *registry_a);
+  deploy("ws_a2", *registry_a);
+  deploy("ws_b1", *registry_b);
+  deploy("ws_b2", *registry_b);
+
+  // Application on ws_a1; the whole of cluster A then becomes busy.
+  apps::TestTree::Params params;
+  params.levels = 16;
+  apps::TestTree::Result result;
+  const hpcm::ApplicationSchema schema = apps::TestTree::schema(params);
+  org.register_schema(schema);
+  registry_a->register_schema(schema);
+  middleware.launch("ws_a1", apps::TestTree::make(params, &result),
+                    "test_tree", schema);
+  host::CpuHog load_a1{host_of("ws_a1"), {.threads = 3}};
+  host::CpuHog load_a2{host_of("ws_a2"), {.threads = 2}};
+  engine.schedule_at(20.0, [&] {
+    load_a1.start();
+    load_a2.start();
+  });
+
+  engine.run_until(1500.0);
+
+  bool escalated = false;
+  for (const auto& d : registry_a->decisions()) {
+    escalated = escalated || d.escalated;
+  }
+  std::printf("cluster A registry decisions: %zu (escalated: %s)\n",
+              registry_a->decisions().size(), escalated ? "yes" : "no");
+  std::printf("test_tree finished on %s at %.1f s, sum %s, migrations %d\n",
+              result.finished_on.c_str(), result.finished_at,
+              result.sum == apps::TestTree::expected_sum(params) ? "correct"
+                                                                 : "WRONG",
+              result.migrations);
+
+  const bool crossed_domain =
+      result.finished_on == "ws_b1" || result.finished_on == "ws_b2";
+  const bool ok = result.finished && escalated && crossed_domain &&
+                  result.sum == apps::TestTree::expected_sum(params);
+  std::printf("\n%s\n",
+              ok ? "OK - consult escalated to the organization registry and "
+                   "the process crossed control domains"
+                 : "FAILED - see above");
+  return ok ? 0 : 1;
+}

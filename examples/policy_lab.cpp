@@ -1,0 +1,109 @@
+// policy_lab: author your own migration policy in the text format, load it,
+// and compare it against the paper's built-in policies on a contended
+// cluster.  Demonstrates the rule/policy machinery as a user would drive
+// it: parse_policy(), custom thresholds, per-state monitoring frequencies.
+//
+//   $ ./policy_lab
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "ars/apps/test_tree.hpp"
+#include "ars/core/runtime.hpp"
+#include "ars/host/hog.hpp"
+#include "ars/net/commhog.hpp"
+
+using namespace ars;
+
+namespace {
+
+struct Outcome {
+  std::string policy;
+  bool finished = false;
+  double total = 0.0;
+  std::string destination = "-";
+};
+
+Outcome evaluate(rules::MigrationPolicy policy) {
+  Outcome outcome;
+  outcome.policy = policy.name();
+
+  core::ReschedulerRuntime runtime{core::make_cluster(4, std::move(policy))};
+  runtime.start_rescheduler();
+
+  // ws2 is communication-busy; ws3 moderately loaded; ws4 free.
+  net::CommHog comm{runtime.network(),
+                    {.src = "ws2", .dst = "ws3", .rate_bps = 6.0e6}};
+  comm.start();
+  host::CpuHog ws3_load{runtime.host("ws3"), {.threads = 1}};
+  ws3_load.start();
+
+  apps::TestTree::Params params;
+  params.levels = 17;
+  apps::TestTree::Result app;
+  runtime.launch_app("ws1", apps::TestTree::make(params, &app), "test_tree",
+                     apps::TestTree::schema(params));
+  host::CpuHog additional{runtime.host("ws1"), {.threads = 3}};
+  runtime.engine().schedule_at(15.0, [&] { additional.start(); });
+
+  runtime.run_until(3000.0);
+  outcome.finished = app.finished;
+  outcome.total = app.finished_at;
+  for (const auto& t : runtime.middleware().history()) {
+    if (t.succeeded) {
+      outcome.destination = t.destination;
+      break;
+    }
+  }
+  return outcome;
+}
+
+}  // namespace
+
+int main() {
+  // A user-authored policy: trigger earlier than the paper's (load > 1.5),
+  // demand an almost-idle destination, and monitor overloaded hosts twice
+  // a second... I mean every 4 seconds.
+  const char* custom_text =
+      "policy: eager-and-picky\n"
+      "trigger: load1 > 1.5\n"
+      "trigger: processes > 120\n"
+      "gate: net_flow <= 4000000\n"
+      "dest: load1 < 0.5\n"
+      "dest: net_flow <= 1000000\n"
+      "freq_free: 10\n"
+      "freq_busy: 8\n"
+      "freq_overloaded: 4\n"
+      "warmup: 30\n";
+  auto custom = rules::parse_policy(custom_text);
+  if (!custom.has_value()) {
+    std::printf("policy parse error: %s\n",
+                custom.error().to_string().c_str());
+    return 1;
+  }
+  std::printf("loaded custom policy:\n%s\n", custom->to_text().c_str());
+
+  const std::vector<Outcome> outcomes = {
+      evaluate(rules::paper_policy1()),
+      evaluate(rules::paper_policy2()),
+      evaluate(rules::paper_policy3()),
+      evaluate(*custom),
+  };
+
+  std::printf("%-16s %-10s %-14s %s\n", "policy", "finished",
+              "total time (s)", "migrated to");
+  for (const Outcome& o : outcomes) {
+    std::printf("%-16s %-10s %-14.2f %s\n", o.policy.c_str(),
+                o.finished ? "yes" : "NO", o.total, o.destination.c_str());
+  }
+
+  // The eager policy should migrate sooner and therefore finish no later
+  // than the paper's Policy 3 here.
+  const bool ok = outcomes[3].finished &&
+                  outcomes[3].total <= outcomes[0].total &&
+                  outcomes[3].destination == "ws4";
+  std::printf("\n%s\n", ok ? "OK - custom policy beats staying put"
+                           : "unexpected outcome - inspect the table");
+  return ok ? 0 : 1;
+}

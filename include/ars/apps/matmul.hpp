@@ -1,0 +1,47 @@
+#pragma once
+// Blocked matrix multiplication — a second migration-enabled workload with
+// a different state profile: large dense matrices (bulk state dominates)
+// and row-block progress that maps naturally onto poll-points.
+
+#include <cstdint>
+#include <string>
+
+#include "ars/hpcm/migration.hpp"
+
+namespace ars::apps {
+
+class MatMul {
+ public:
+  struct Params {
+    int n = 128;               // square matrix dimension
+    int block_rows = 8;        // rows multiplied between poll-points
+    std::uint64_t seed = 7;
+    /// Reference-CPU seconds per multiply-accumulate (scaled so a 128^3
+    /// multiply lasts minutes on the reference workstation).
+    double work_per_flop = 2.0e-5;
+  };
+
+  struct Result {
+    bool finished = false;
+    double checksum = 0.0;  // sum of C's entries
+    std::string finished_on;
+    double finished_at = 0.0;
+    int migrations = 0;
+  };
+
+  [[nodiscard]] static hpcm::MigrationEngine::MigratableApp make(
+      Params params, Result* out);
+
+  /// Checksum the run must produce (migration invariant).
+  [[nodiscard]] static double expected_checksum(const Params& params);
+
+  [[nodiscard]] static double total_work(const Params& params) {
+    const double n = params.n;
+    return 2.0 * n * n * n * params.work_per_flop;
+  }
+
+  [[nodiscard]] static hpcm::ApplicationSchema schema(
+      const Params& params, const std::string& name = "matmul");
+};
+
+}  // namespace ars::apps

@@ -1,0 +1,54 @@
+#pragma once
+// 1-D Jacobi stencil over an MPI world — the workload class the paper's
+// system actually targets: a *parallel MPI program* whose individual ranks
+// can be rescheduled while the others keep exchanging halos with them.
+// Communication state transfer is exercised for real: messages sent toward
+// a migrating rank are forwarded to its new host.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ars/hpcm/migration.hpp"
+
+namespace ars::apps {
+
+class Stencil1D {
+ public:
+  struct Params {
+    std::int64_t cells_per_rank = 4096;
+    int iterations = 50;
+    /// Reference-CPU seconds per cell update.
+    double work_per_cell = 1.0e-4;
+    /// Bytes exchanged per halo message.
+    double halo_bytes = 8.0;
+  };
+
+  struct RankResult {
+    bool finished = false;
+    double local_sum = 0.0;
+    std::string finished_on;
+    int migrations = 0;
+  };
+
+  /// App run by every rank of the world.  `results` must have one slot per
+  /// rank and outlive the run.
+  [[nodiscard]] static hpcm::MigrationEngine::MigratableApp make(
+      Params params, std::vector<RankResult>* results);
+
+  /// The value every interior cell converges toward is irrelevant here;
+  /// what matters is determinism: the per-rank sums of a run with
+  /// migrations must equal those of an undisturbed run.
+  [[nodiscard]] static std::vector<double> reference_sums(
+      const Params& params, int ranks);
+
+  [[nodiscard]] static double total_work_per_rank(const Params& params) {
+    return static_cast<double>(params.cells_per_rank) *
+           params.iterations * params.work_per_cell;
+  }
+
+  [[nodiscard]] static hpcm::ApplicationSchema schema(
+      const Params& params, const std::string& name = "stencil1d");
+};
+
+}  // namespace ars::apps

@@ -1,0 +1,67 @@
+#pragma once
+// The paper's evaluation workload: "a computational intensive
+// migration-enabled application named 'test_tree', which creates binary
+// trees with specified number of levels, assigns a random number to each
+// node of the trees, sorts the trees and computes the sum of all the tree
+// nodes."
+//
+// The tree is held as an implicit complete binary tree (value array).  The
+// data operations are executed for real — the final sum is a migration
+// invariant checked by the tests — while the CPU cost of each phase is
+// charged to the simulated processor in poll-point-sized chunks.
+
+#include <cstdint>
+#include <string>
+
+#include "ars/hpcm/migration.hpp"
+#include "ars/support/rng.hpp"
+
+namespace ars::apps {
+
+class TestTree {
+ public:
+  struct Params {
+    int levels = 18;          // nodes = 2^levels - 1
+    std::uint64_t seed = 42;  // value assignment stream
+    /// Reference-CPU seconds of work per 1000 nodes, per phase.
+    double build_work_per_knode = 0.10;
+    double fill_work_per_knode = 0.05;
+    double sort_work_per_knode = 0.55;  // dominates, ~n log n flavor
+    double sum_work_per_knode = 0.05;
+    /// Compute chunk between poll-points (the paper observes ~1.4 s to
+    /// reach the nearest poll-point).
+    double chunk_work = 1.4;
+    /// Bytes per tree node beyond the 8-byte value (pointers, padding) —
+    /// migrated as opaque bulk state.
+    std::uint64_t node_overhead_bytes = 24;
+  };
+
+  struct Result {
+    bool finished = false;
+    double sum = 0.0;
+    bool sorted = false;      // values non-decreasing after SORT
+    std::string finished_on;
+    double finished_at = 0.0;
+    int migrations = 0;
+  };
+
+  /// Build the migratable app coroutine.  `out` must outlive the run.
+  [[nodiscard]] static hpcm::MigrationEngine::MigratableApp make(
+      Params params, Result* out);
+
+  /// The sum the run must produce (deterministic in seed and levels).
+  [[nodiscard]] static double expected_sum(const Params& params);
+
+  [[nodiscard]] static std::int64_t node_count(const Params& params) {
+    return (std::int64_t{1} << params.levels) - 1;
+  }
+
+  /// Total reference-CPU work of a full run (for schema estimates).
+  [[nodiscard]] static double total_work(const Params& params);
+
+  /// A ready-made application schema for these parameters.
+  [[nodiscard]] static hpcm::ApplicationSchema schema(
+      const Params& params, const std::string& name = "test_tree");
+};
+
+}  // namespace ars::apps

@@ -1,0 +1,56 @@
+#pragma once
+// Commander entity (paper §3.3): one per host.  Receives MIGRATE commands
+// from the registry/scheduler, writes the destination address to a temp
+// file, and raises the user-defined signal at the migrating process — the
+// HPCM middleware's poll-point picks it up from there.
+
+#include <string>
+#include <vector>
+
+#include "ars/hpcm/migration.hpp"
+#include "ars/net/network.hpp"
+#include "ars/sim/task.hpp"
+
+namespace ars::commander {
+
+class Commander {
+ public:
+  struct Config {
+    int port = 0;  // allocated if 0
+    // Where acknowledgements go (the registry); acks are dropped if unset.
+    std::string registry_host;
+    int registry_port = 0;
+  };
+
+  Commander(host::Host& h, net::Network& network,
+            hpcm::MigrationEngine& middleware, Config config);
+  ~Commander();
+  Commander(const Commander&) = delete;
+  Commander& operator=(const Commander&) = delete;
+
+  void start();
+  void stop();
+
+  [[nodiscard]] int port() const noexcept { return config_.port; }
+  [[nodiscard]] int commands_received() const noexcept {
+    return commands_received_;
+  }
+  [[nodiscard]] int commands_failed() const noexcept {
+    return commands_failed_;
+  }
+
+ private:
+  [[nodiscard]] sim::Task<> serve();
+
+  host::Host* host_;
+  net::Network* network_;
+  hpcm::MigrationEngine* middleware_;
+  Config config_;
+  net::Endpoint* endpoint_ = nullptr;
+  sim::Fiber fiber_;
+  int commands_received_ = 0;
+  int commands_failed_ = 0;
+  bool running_ = false;
+};
+
+}  // namespace ars::commander

@@ -1,0 +1,123 @@
+#pragma once
+// ReschedulerRuntime: the paper's full deployment in one object.
+//
+// Owns the simulation engine, the cluster (hosts + network), the MPI-2
+// runtime, the HPCM middleware, the registry/scheduler, and one monitor and
+// commander per host.  Experiments construct a runtime from a ClusterConfig,
+// launch migration-enabled applications, inject load, and read the traces.
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ars/commander/commander.hpp"
+#include "ars/core/trace.hpp"
+#include "ars/host/host.hpp"
+#include "ars/hpcm/migration.hpp"
+#include "ars/monitor/monitor.hpp"
+#include "ars/mpi/mpi.hpp"
+#include "ars/net/network.hpp"
+#include "ars/registry/registry.hpp"
+#include "ars/rules/policy.hpp"
+#include "ars/sim/engine.hpp"
+
+namespace ars::core {
+
+struct ClusterConfig {
+  std::vector<host::HostSpec> hosts;
+  net::Network::Options network{};
+  mpi::MpiSystem::Options mpi{};
+  hpcm::MigrationEngine::Options hpcm{};
+  /// Host carrying the registry/scheduler (defaults to the first host).
+  std::string registry_host;
+  rules::MigrationPolicy policy;
+  double lease_ttl = 35.0;
+  double decision_delay = 0.002;
+  double per_process_cooldown = 30.0;
+  /// Baseline load-average contribution of each workstation's daemons
+  /// (~0.26 on the paper's otherwise-idle Sun Blades).
+  double ambient_runnable = 0.0;
+  /// `ps` process count of a freshly booted workstation.
+  int ambient_processes = 60;
+  /// CPU cost of one monitoring cycle on each host (sensor scripts).
+  double monitor_cycle_cpu_cost = 0.08;
+  /// Destination-choice strategy (the paper uses first-fit).
+  registry::DestinationStrategy strategy =
+      registry::DestinationStrategy::kFirstFit;
+  /// Relaunch the processes of crashed hosts from their checkpoints.
+  bool auto_restart = false;
+};
+
+/// Convenience builder for uniform Sun-Blade-100-like clusters.
+[[nodiscard]] ClusterConfig make_cluster(int host_count,
+                                         rules::MigrationPolicy policy);
+
+class ReschedulerRuntime {
+ public:
+  explicit ReschedulerRuntime(ClusterConfig config);
+  ~ReschedulerRuntime();
+  ReschedulerRuntime(const ReschedulerRuntime&) = delete;
+  ReschedulerRuntime& operator=(const ReschedulerRuntime&) = delete;
+
+  // -- plumbing -------------------------------------------------------------
+  [[nodiscard]] sim::Engine& engine() noexcept { return engine_; }
+  [[nodiscard]] net::Network& network() noexcept { return *network_; }
+  [[nodiscard]] mpi::MpiSystem& mpi() noexcept { return *mpi_; }
+  [[nodiscard]] hpcm::MigrationEngine& middleware() noexcept {
+    return *hpcm_;
+  }
+  [[nodiscard]] registry::Registry& scheduler() noexcept {
+    return *registry_;
+  }
+  [[nodiscard]] host::Host& host(const std::string& name);
+  [[nodiscard]] monitor::Monitor& monitor_on(const std::string& name);
+  [[nodiscard]] commander::Commander& commander_on(const std::string& name);
+  [[nodiscard]] std::vector<std::string> host_names() const;
+  [[nodiscard]] TraceRecorder& trace() noexcept { return *trace_; }
+
+  /// Start the rescheduler entities (registry, monitors, commanders).
+  /// Without this call the cluster runs "without the rescheduler" — the
+  /// Figure 5/6 baseline.
+  void start_rescheduler();
+  [[nodiscard]] bool rescheduler_running() const noexcept {
+    return rescheduler_running_;
+  }
+
+  /// Launch a migration-enabled application and register its schema with
+  /// the registry/scheduler.
+  mpi::RankId launch_app(const std::string& host_name,
+                         hpcm::MigrationEngine::MigratableApp app,
+                         const std::string& name,
+                         hpcm::ApplicationSchema schema);
+
+  /// Fault-tolerance path: migrate everything off `host_name` (planned
+  /// shutdown / detected intrusion) and never place work there again.
+  void evacuate_host(const std::string& host_name,
+                     const std::string& reason = "administrative");
+
+  /// Failure injection: the host dies without warning — its processes and
+  /// rescheduler entities vanish.  With `auto_restart` configured, the
+  /// registry notices the lease lapse and relaunches the lost processes
+  /// from their checkpoints.  Returns how many processes were lost.
+  int fail_host(const std::string& host_name);
+
+  /// Advance virtual time.
+  void run_until(double t) { engine_.run_until(t); }
+
+ private:
+  ClusterConfig config_;
+  sim::Engine engine_;
+  std::vector<std::unique_ptr<host::Host>> hosts_;
+  std::map<std::string, host::Host*> hosts_by_name_;
+  std::unique_ptr<net::Network> network_;
+  std::unique_ptr<mpi::MpiSystem> mpi_;
+  std::unique_ptr<hpcm::MigrationEngine> hpcm_;
+  std::unique_ptr<registry::Registry> registry_;
+  std::map<std::string, std::unique_ptr<monitor::Monitor>> monitors_;
+  std::map<std::string, std::unique_ptr<commander::Commander>> commanders_;
+  std::unique_ptr<TraceRecorder> trace_;
+  bool rescheduler_running_ = false;
+};
+
+}  // namespace ars::core

@@ -1,0 +1,67 @@
+#pragma once
+// Experiment trace recorder: samples per-host metrics on a fixed interval
+// (the paper gathers performance data every 10 s) and collects the series
+// behind Figures 5-8.
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "ars/host/host.hpp"
+#include "ars/net/network.hpp"
+#include "ars/sim/task.hpp"
+
+namespace ars::core {
+
+struct TraceSample {
+  double t = 0.0;
+  std::string host;
+  double load1 = 0.0;
+  double load5 = 0.0;
+  double cpu_util = 0.0;   // [0,1] over the sampling interval
+  double tx_bps = 0.0;
+  double rx_bps = 0.0;
+  int processes = 0;
+};
+
+class TraceRecorder {
+ public:
+  TraceRecorder(sim::Engine& engine, net::Network& network)
+      : engine_(&engine), network_(&network) {}
+  ~TraceRecorder() { stop(); }
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
+
+  /// Begin sampling every `interval` seconds (paper: 10 s).
+  void start(double interval = 10.0);
+  void stop();
+
+  [[nodiscard]] const std::vector<TraceSample>& samples() const noexcept {
+    return samples_;
+  }
+
+  /// Samples of one host, in time order.
+  [[nodiscard]] std::vector<TraceSample> series(
+      const std::string& host) const;
+
+  /// Mean of a field over one host's series within [t0, t1].
+  [[nodiscard]] double mean(const std::string& host, double t0, double t1,
+                            double TraceSample::* field) const;
+
+  void clear() { samples_.clear(); }
+
+  /// The whole trace as CSV (header + one row per sample), for plotting.
+  [[nodiscard]] std::string to_csv() const;
+
+ private:
+  void sample_all();
+
+  sim::Engine* engine_;
+  net::Network* network_;
+  double interval_ = 10.0;
+  std::vector<TraceSample> samples_;
+  sim::Engine::EventHandle timer_;
+  bool running_ = false;
+};
+
+}  // namespace ars::core

@@ -1,0 +1,114 @@
+#pragma once
+// Memory and disk accounting used by monitor sensors and by the registry's
+// resource-requirement checks (application schema).
+
+#include <cstdint>
+#include <map>
+#include <stdexcept>
+#include <string>
+
+namespace ars::host {
+
+/// Simple reserve/release account (physical or virtual memory).
+class MemoryAccount {
+ public:
+  explicit MemoryAccount(std::uint64_t total_bytes) : total_(total_bytes) {}
+
+  [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
+  [[nodiscard]] std::uint64_t used() const noexcept { return used_; }
+  [[nodiscard]] std::uint64_t available() const noexcept {
+    return total_ - used_;
+  }
+  [[nodiscard]] double percent_available() const noexcept {
+    return total_ == 0 ? 0.0
+                       : 100.0 * static_cast<double>(available()) /
+                             static_cast<double>(total_);
+  }
+
+  /// Reserve bytes; returns false (no change) if not enough is available.
+  bool reserve(std::uint64_t bytes) noexcept {
+    if (bytes > available()) {
+      return false;
+    }
+    used_ += bytes;
+    return true;
+  }
+
+  void release(std::uint64_t bytes) noexcept {
+    used_ = bytes > used_ ? 0 : used_ - bytes;
+  }
+
+ private:
+  std::uint64_t total_;
+  std::uint64_t used_ = 0;
+};
+
+/// Disk usage per mount point (the monitor "gathers the disk usage
+/// parameters of the various mount points", §3.1).
+class DiskAccount {
+ public:
+  void add_mount(const std::string& mount_point, std::uint64_t total_bytes) {
+    mounts_.emplace(mount_point, MemoryAccount{total_bytes});
+  }
+
+  [[nodiscard]] MemoryAccount& mount(const std::string& mount_point) {
+    const auto it = mounts_.find(mount_point);
+    if (it == mounts_.end()) {
+      throw std::out_of_range("unknown mount point: " + mount_point);
+    }
+    return it->second;
+  }
+  [[nodiscard]] const MemoryAccount& mount(
+      const std::string& mount_point) const {
+    const auto it = mounts_.find(mount_point);
+    if (it == mounts_.end()) {
+      throw std::out_of_range("unknown mount point: " + mount_point);
+    }
+    return it->second;
+  }
+
+  [[nodiscard]] bool has_mount(const std::string& mount_point) const {
+    return mounts_.contains(mount_point);
+  }
+
+  [[nodiscard]] std::uint64_t total_available() const noexcept {
+    std::uint64_t sum = 0;
+    for (const auto& [name, account] : mounts_) {
+      sum += account.available();
+    }
+    return sum;
+  }
+
+  [[nodiscard]] const std::map<std::string, MemoryAccount>& mounts() const {
+    return mounts_;
+  }
+
+ private:
+  std::map<std::string, MemoryAccount> mounts_;
+};
+
+/// Small host-local key/value store standing in for the filesystem temp
+/// files the commander and migrating process exchange (paper §3.3).
+class KvStore {
+ public:
+  void write(const std::string& key, std::string value) {
+    data_[key] = std::move(value);
+  }
+  [[nodiscard]] bool contains(const std::string& key) const {
+    return data_.contains(key);
+  }
+  [[nodiscard]] std::string read(const std::string& key) const {
+    const auto it = data_.find(key);
+    if (it == data_.end()) {
+      throw std::out_of_range("no temp file: " + key);
+    }
+    return it->second;
+  }
+  void erase(const std::string& key) { data_.erase(key); }
+  [[nodiscard]] std::size_t size() const noexcept { return data_.size(); }
+
+ private:
+  std::map<std::string, std::string> data_;
+};
+
+}  // namespace ars::host

@@ -1,0 +1,64 @@
+#pragma once
+// Per-host process table: pid allocation, registration of migration-enabled
+// processes, and user-defined-signal delivery — the mechanism the paper's
+// commander uses to tell a process to migrate.
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "ars/sim/task.hpp"
+
+namespace ars::host {
+
+using Pid = int;
+
+/// The "user-defined signal" (paper §3.3); value mirrors POSIX SIGUSR1.
+inline constexpr int kSigMigrate = 10;
+
+struct ProcessInfo {
+  Pid pid = 0;
+  std::string name;
+  double start_time = 0.0;
+  bool migration_enabled = false;
+  std::string schema_name;  // application-schema key; empty if none
+  std::function<void(int)> signal_handler;
+  std::set<int> pending_signals;
+};
+
+class ProcessTable {
+ public:
+  /// Register a process and return its pid.  `start_time` plays the role of
+  /// the pid-file timestamp the paper's selector reads.
+  Pid register_process(std::string name, double start_time,
+                       bool migration_enabled = false,
+                       std::string schema_name = {});
+
+  void deregister(Pid pid);
+
+  [[nodiscard]] ProcessInfo* find(Pid pid);
+  [[nodiscard]] const ProcessInfo* find(Pid pid) const;
+
+  /// Deliver a signal: runs the handler if installed, otherwise marks it
+  /// pending for `consume_signal`.  Returns false for unknown pids.
+  bool raise(Pid pid, int signo);
+
+  /// Poll-point style consumption: returns true (and clears) if pending.
+  bool consume_signal(Pid pid, int signo);
+
+  void set_signal_handler(Pid pid, std::function<void(int)> handler);
+
+  [[nodiscard]] std::size_t count() const noexcept { return table_.size(); }
+
+  /// Snapshot of all registered processes (for the registry's selector).
+  [[nodiscard]] std::vector<ProcessInfo> snapshot() const;
+
+ private:
+  Pid next_pid_ = 1000;
+  std::map<Pid, ProcessInfo> table_;
+};
+
+}  // namespace ars::host

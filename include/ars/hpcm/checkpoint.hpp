@@ -1,0 +1,52 @@
+#pragma once
+// Checkpoint/restart support.
+//
+// The paper contrasts its live-migration approach with checkpointing-based
+// systems (Condor, Zap): "the design of the system is general and can be
+// extended for checkpointing-based ... systems".  This module provides that
+// extension: applications may checkpoint their state registry to a stable
+// store at poll-points; after a crash, the process is relaunched from its
+// latest checkpoint — losing only the work since it.  Restarting from
+// scratch (the "static allocation" strawman of §1: "a reassignment means
+// the loss of all partial results") falls out as the no-checkpoint case.
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ars/hpcm/stateregistry.hpp"
+
+namespace ars::hpcm {
+
+struct Checkpoint {
+  std::string process;     // application name (stable across hosts)
+  double taken_at = 0.0;
+  std::vector<std::byte> state;  // encoded registry
+  std::uint64_t bytes = 0;       // stable-storage footprint (incl. opaque)
+};
+
+/// Stable checkpoint storage (an NFS server in the paper's world: writes
+/// cost disk/network time, survive host crashes).
+class CheckpointStore {
+ public:
+  /// Record a checkpoint, replacing any previous one for the process.
+  void put(Checkpoint checkpoint);
+
+  [[nodiscard]] const Checkpoint* latest(const std::string& process) const;
+
+  void erase(const std::string& process) { checkpoints_.erase(process); }
+  [[nodiscard]] std::size_t size() const noexcept {
+    return checkpoints_.size();
+  }
+
+  /// Total checkpoints ever written (for overhead accounting).
+  [[nodiscard]] int writes() const noexcept { return writes_; }
+
+ private:
+  std::map<std::string, Checkpoint> checkpoints_;
+  int writes_ = 0;
+};
+
+}  // namespace ars::hpcm

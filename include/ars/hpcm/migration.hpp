@@ -1,0 +1,247 @@
+#pragma once
+// HPCM migration engine: poll-points, state collection/restoration, and the
+// MPI-2 DPM-based migration protocol (paper §3, §5.2).
+//
+// A migration-enabled application is a coroutine over (Proc&,
+// MigrationContext&).  It keeps its live data registered (via an on_save
+// callback filling the StateRegistry) and calls `co_await ctx.poll_point()`
+// at the pre-defined points where a migration may occur.  When the
+// commander's user-defined signal is pending, the poll-point executes the
+// protocol:
+//
+//   1. read the destination from the temp file the commander wrote;
+//   2. create the *initialized process* on the destination through MPI-2
+//      dynamic process management (Comm_spawn — or Comm_connect to a
+//      pre-initialized daemon when that optimization is enabled) and join
+//      the communicators (Intercomm_merge);
+//   3. send the execution state + eager data over the merged communicator;
+//   4. keep collecting/sending the bulk of the memory state from the source
+//      while the destination restores and RESUMES the application in
+//      parallel (the paper's §5.2 overlap);
+//   5. unwind the source fiber (ProcMoved) — the logical MPI process has
+//      been relocated, so in-flight messages are forwarded.
+//
+// Every phase is timestamped in a MigrationTimeline so the §5.2 breakdown
+// and Figures 7/8 can be regenerated.
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ars/hpcm/checkpoint.hpp"
+#include "ars/hpcm/schema.hpp"
+#include "ars/hpcm/stateregistry.hpp"
+#include "ars/mpi/mpi.hpp"
+
+namespace ars::hpcm {
+
+class MigrationEngine;
+
+struct MigrationTimeline {
+  std::string process;
+  std::string source;
+  std::string destination;
+  double requested_at = -1.0;    // commander signal delivered
+  double poll_point_at = -1.0;   // migrating process reached its poll-point
+  double init_done_at = -1.0;    // initialized process ready (DPM done)
+  double eager_done_at = -1.0;   // execution state + eager data landed
+  double resumed_at = -1.0;      // application resumed on the destination
+  double completed_at = -1.0;    // background restoration finished
+  double state_bytes = 0.0;      // total state moved
+  bool succeeded = false;
+
+  [[nodiscard]] double reach_poll_point() const {
+    return poll_point_at - requested_at;
+  }
+  [[nodiscard]] double initialization() const {
+    return init_done_at - poll_point_at;
+  }
+  [[nodiscard]] double resume_latency() const {
+    return resumed_at - init_done_at;
+  }
+  [[nodiscard]] double total() const { return completed_at - requested_at; }
+};
+
+/// Persistent per-process migration state; survives fiber swaps across
+/// hosts.  Handed to the application as `MigrationContext&`.
+class MigrationContext {
+ public:
+  [[nodiscard]] StateRegistry& state() noexcept { return state_; }
+  [[nodiscard]] const StateRegistry& state() const noexcept { return state_; }
+
+  /// True when the current fiber resumed from migrated state (the app must
+  /// restore its variables from state() instead of initializing).
+  [[nodiscard]] bool restored() const noexcept { return restored_; }
+
+  /// Number of completed migrations of this process.
+  [[nodiscard]] int migrations() const noexcept { return migration_count_; }
+
+  /// Register the collection callback: invoked at a migrating poll-point to
+  /// snapshot live variables into state().  (This is the code HPCM's
+  /// precompiler would have generated.)
+  void on_save(std::function<void()> save) { save_ = std::move(save); }
+
+  /// The poll-point: cheap when no migration is pending; otherwise runs the
+  /// migration protocol and never returns on the source (throws ProcMoved).
+  [[nodiscard]] sim::Task<> poll_point();
+
+  /// Write a checkpoint of the registered state to the stable store
+  /// (checkpointing-based fault tolerance; blocks for the write time).
+  [[nodiscard]] sim::Task<> checkpoint();
+
+  /// True when the current fiber was relaunched from a checkpoint (subset
+  /// of restored(): restored() is also true after a live migration).
+  [[nodiscard]] bool restarted_from_checkpoint() const noexcept {
+    return restarted_from_checkpoint_;
+  }
+
+  [[nodiscard]] mpi::Proc& proc() const noexcept { return *proc_; }
+  [[nodiscard]] MigrationEngine& engine() const noexcept { return *engine_; }
+
+ private:
+  friend class MigrationEngine;
+
+  MigrationEngine* engine_ = nullptr;
+  mpi::Proc* proc_ = nullptr;
+  StateRegistry state_;
+  std::function<void()> save_;
+  bool restored_ = false;
+  bool restarted_from_checkpoint_ = false;
+  int migration_count_ = 0;
+  double requested_at = -1.0;
+  double launched_at = 0.0;
+  std::string schema_name_;
+};
+
+class MigrationEngine {
+ public:
+  struct Options {
+    /// Bytes of bulk data shipped with the execution state before resume.
+    double eager_bytes = 64.0 * 1024;
+    /// Background transfer chunk size.
+    double chunk_bytes = 256.0 * 1024;
+    /// Destination-side decode/restore latency before the app resumes.
+    double restore_delay = 1.0;
+    /// Stable-store bandwidth for checkpoint writes/reads (2004-era
+    /// NFS-backed disk).
+    double checkpoint_store_bps = 20.0e6;
+  };
+
+  explicit MigrationEngine(mpi::MpiSystem& mpi);
+  MigrationEngine(mpi::MpiSystem& mpi, Options options);
+  MigrationEngine(const MigrationEngine&) = delete;
+  MigrationEngine& operator=(const MigrationEngine&) = delete;
+  ~MigrationEngine();
+
+  using MigratableApp =
+      std::function<sim::Task<>(mpi::Proc&, MigrationContext&)>;
+
+  /// Launch a migration-enabled application; registers it (and its schema)
+  /// with the host process table.
+  mpi::RankId launch(const std::string& host_name, MigratableApp app,
+                     const std::string& name, ApplicationSchema schema);
+
+  /// Launch an n-rank migration-enabled MPI world (one rank per entry of
+  /// `hosts`); every rank gets its own MigrationContext and can migrate
+  /// independently while the others keep communicating with it.
+  std::vector<mpi::RankId> launch_world(const std::vector<std::string>& hosts,
+                                        MigratableApp app,
+                                        const std::string& name,
+                                        ApplicationSchema schema);
+
+  /// Commander entry point: write the destination temp file and raise the
+  /// user-defined signal at (host, pid).  Returns false for unknown pids.
+  bool request_migration(const std::string& host_name, host::Pid pid,
+                         const std::string& dest_host);
+
+  /// Test/bench convenience: request by rank id.
+  bool request_migration(mpi::RankId id, const std::string& dest_host);
+
+  /// Pre-initialize a receiver daemon on `host_name` (paper §5.2's proposed
+  /// optimization): later migrations to that host skip the DPM spawn cost.
+  void pre_initialize_on(const std::string& host_name);
+  [[nodiscard]] bool has_pre_initialized(const std::string& host_name) const;
+
+  // -- checkpoint/restart (the paper's checkpointing-based alternative) ----
+
+  [[nodiscard]] CheckpointStore& checkpoints() noexcept {
+    return checkpoint_store_;
+  }
+
+  /// Simulate a process crash (host failure, kill -9): the fiber dies on
+  /// the spot, the logical process disappears, nothing is collected.  The
+  /// application (and its context shell) is parked for relaunch.
+  /// Returns false for unknown ids.
+  bool crash(mpi::RankId id);
+
+  /// Relaunch a crashed application on `host_name`.  Restores from its
+  /// latest checkpoint if one exists (paying the store read time),
+  /// otherwise restarts from scratch — the paper's "loss of all partial
+  /// results".  Returns the new rank id, or 0 if the name is unknown.
+  mpi::RankId relaunch(const std::string& process_name,
+                       const std::string& host_name);
+
+  /// Crash every launched application currently on `host_name` (host
+  /// failure).  Returns how many were crashed (and parked for relaunch).
+  int crash_host(const std::string& host_name);
+
+  [[nodiscard]] const std::vector<MigrationTimeline>& history() const {
+    return history_;
+  }
+  [[nodiscard]] ApplicationSchema* schema(const std::string& name);
+  [[nodiscard]] const std::map<std::string, ApplicationSchema>& schemas()
+      const {
+    return schemas_;
+  }
+
+  [[nodiscard]] mpi::MpiSystem& mpi() const noexcept { return *mpi_; }
+  [[nodiscard]] const Options& options() const noexcept { return options_; }
+
+ private:
+  friend class MigrationContext;
+
+  struct ProcState {
+    MigrationContext context;
+    MigrationEngine::MigratableApp app;
+  };
+
+  /// The source-side protocol; runs inside the migrating fiber.
+  [[nodiscard]] sim::Task<> migrate(MigrationContext& ctx,
+                                    std::string dest_host);
+
+  /// Destination-side protocol shared by spawned initialized processes and
+  /// pre-initialized daemons.
+  [[nodiscard]] sim::Task<> receiver_main(mpi::Proc& helper, mpi::Comm merged);
+
+  /// Source-side background bulk transfer ("the process resumes execution
+  /// at the destination before the migration ends").  Parameters are taken
+  /// by value: this coroutine outlives the migrating fiber.
+  [[nodiscard]] sim::Task<> run_collector(std::string source_host,
+                                          std::string dest_host,
+                                          double remaining,
+                                          mpi::RankId helper_id,
+                                          mpi::Comm merged);
+
+  /// Destination-side takeover: relocate the proc and start the restored
+  /// fiber.
+  void takeover(mpi::RankId id, host::Host& destination,
+                StateRegistry restored_state, std::size_t timeline_index);
+
+  void finish_normal_exit(mpi::RankId id);
+
+  mpi::MpiSystem* mpi_;
+  Options options_;
+  std::map<mpi::RankId, std::unique_ptr<ProcState>> procs_;
+  std::map<std::string, ApplicationSchema> schemas_;
+  std::map<std::string, std::string> pre_initialized_;  // host -> port
+  std::vector<sim::Fiber> collector_fibers_;  // background bulk transfers
+  std::vector<MigrationTimeline> history_;
+  CheckpointStore checkpoint_store_;
+  /// Crashed applications parked for relaunch, keyed by process name.
+  std::map<std::string, std::unique_ptr<ProcState>> crashed_;
+};
+
+}  // namespace ars::hpcm

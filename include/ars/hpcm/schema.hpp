@@ -1,0 +1,98 @@
+#pragma once
+// Application schema (paper §3.3): the XML document describing an
+// application to the rescheduler — its characteristics (data, communication
+// or computing intensive), estimated communication data size, resource
+// requirements, and estimated execution time on a workstation of given
+// computing power.  "Initially provided by the users and updated according
+// to the statistics of actual executions."
+
+#include <cstdint>
+#include <string>
+
+#include "ars/support/expected.hpp"
+
+namespace ars::hpcm {
+
+enum class AppCharacteristic {
+  kComputeIntensive,
+  kCommunicationIntensive,
+  kDataIntensive,
+};
+
+[[nodiscard]] std::string_view to_string(AppCharacteristic c) noexcept;
+[[nodiscard]] support::Expected<AppCharacteristic> characteristic_from_string(
+    std::string_view name);
+
+struct ResourceRequirements {
+  std::uint64_t min_memory_bytes = 0;
+  std::uint64_t min_disk_bytes = 0;
+  double min_cpu_speed = 0.0;  // relative to the reference workstation
+};
+
+class ApplicationSchema {
+ public:
+  ApplicationSchema() = default;
+  explicit ApplicationSchema(std::string name) : name_(std::move(name)) {}
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+
+  [[nodiscard]] AppCharacteristic characteristic() const noexcept {
+    return characteristic_;
+  }
+  void set_characteristic(AppCharacteristic c) noexcept {
+    characteristic_ = c;
+  }
+
+  /// Estimated process-state size a migration must move.
+  [[nodiscard]] std::uint64_t est_comm_bytes() const noexcept {
+    return est_comm_bytes_;
+  }
+  void set_est_comm_bytes(std::uint64_t bytes) noexcept {
+    est_comm_bytes_ = bytes;
+  }
+
+  [[nodiscard]] const ResourceRequirements& requirements() const noexcept {
+    return requirements_;
+  }
+  void set_requirements(ResourceRequirements r) noexcept {
+    requirements_ = r;
+  }
+
+  /// Estimated total execution time on the reference workstation.
+  [[nodiscard]] double est_exec_time() const noexcept {
+    return est_exec_time_;
+  }
+  void set_est_exec_time(double seconds) noexcept {
+    est_exec_time_ = seconds;
+  }
+
+  /// Data-locality weight in [0,1]: how strongly the process depends on
+  /// host-local data (§5.3: "if a process involves a lot in a local data
+  /// access, the process is not to be migrated for slight performance
+  /// degradation").
+  [[nodiscard]] double data_locality() const noexcept {
+    return data_locality_;
+  }
+  void set_data_locality(double weight) noexcept { data_locality_ = weight; }
+
+  [[nodiscard]] int observed_runs() const noexcept { return observed_runs_; }
+
+  /// Fold an actual execution (normalized to the reference CPU) into the
+  /// estimate — exponential smoothing over observed runs.
+  void record_execution(double actual_seconds);
+
+  [[nodiscard]] std::string to_xml() const;
+  [[nodiscard]] static support::Expected<ApplicationSchema> from_xml(
+      std::string_view xml);
+
+ private:
+  std::string name_ = "unnamed";
+  AppCharacteristic characteristic_ = AppCharacteristic::kComputeIntensive;
+  std::uint64_t est_comm_bytes_ = 0;
+  ResourceRequirements requirements_;
+  double est_exec_time_ = 0.0;
+  double data_locality_ = 0.0;
+  int observed_runs_ = 0;
+};
+
+}  // namespace ars::hpcm

@@ -1,0 +1,104 @@
+#pragma once
+// HPCM memory-state registry.
+//
+// HPCM is "a precompiler aided middleware": the precompiler identifies the
+// live data of a process and emits collection/restoration code around
+// poll-points.  Here, applications register their live variables by name in
+// a StateRegistry; encode() produces the machine-independent representation
+// (fixed-width, big-endian, type-tagged) that crosses heterogeneous hosts,
+// and decode() rebuilds it on any architecture.
+//
+// "Opaque" entries model bulk memory regions (the tree nodes, matrices...)
+// whose *transfer cost* matters but whose bytes need not be materialized in
+// the simulation: they carry a logical size that the migration engine
+// charges to the network.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "ars/support/byteorder.hpp"
+#include "ars/support/expected.hpp"
+
+namespace ars::hpcm {
+
+enum class EntryType : std::uint8_t {
+  kInt = 1,
+  kDouble = 2,
+  kString = 3,
+  kDoubleVector = 4,
+  kIntVector = 5,
+  kOpaque = 6,
+};
+
+class StateRegistry {
+ public:
+  void set_int(const std::string& name, std::int64_t value);
+  void set_double(const std::string& name, double value);
+  void set_string(const std::string& name, std::string value);
+  void set_doubles(const std::string& name, std::vector<double> values);
+  void set_ints(const std::string& name, std::vector<std::int64_t> values);
+  /// Register a bulk region of `logical_bytes` (content not materialized).
+  void set_opaque(const std::string& name, std::uint64_t logical_bytes);
+
+  [[nodiscard]] support::Expected<std::int64_t> get_int(
+      const std::string& name) const;
+  [[nodiscard]] support::Expected<double> get_double(
+      const std::string& name) const;
+  [[nodiscard]] support::Expected<std::string> get_string(
+      const std::string& name) const;
+  [[nodiscard]] support::Expected<std::vector<double>> get_doubles(
+      const std::string& name) const;
+  [[nodiscard]] support::Expected<std::vector<std::int64_t>> get_ints(
+      const std::string& name) const;
+  [[nodiscard]] support::Expected<std::uint64_t> get_opaque_size(
+      const std::string& name) const;
+
+  [[nodiscard]] bool contains(const std::string& name) const {
+    return entries_.contains(name);
+  }
+  void erase(const std::string& name) { entries_.erase(name); }
+  void clear() { entries_.clear(); }
+  [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
+
+  /// Encoded (wire) size of the typed entries, in bytes.
+  [[nodiscard]] std::uint64_t encoded_bytes() const;
+  /// Total logical size of opaque bulk regions.
+  [[nodiscard]] std::uint64_t opaque_bytes() const;
+  /// Everything a migration must move: encoded + opaque.
+  [[nodiscard]] std::uint64_t total_transfer_bytes() const {
+    return encoded_bytes() + opaque_bytes();
+  }
+
+  /// Canonical machine-independent serialization.  `origin` is recorded in
+  /// the header for diagnostics; the representation itself is always
+  /// big-endian fixed-width.
+  [[nodiscard]] std::vector<std::byte> encode(
+      support::ByteOrder origin = support::ByteOrder::kBigEndian) const;
+
+  [[nodiscard]] static support::Expected<StateRegistry> decode(
+      std::span<const std::byte> wire);
+
+  /// Byte order recorded by the encoding host (after decode()).
+  [[nodiscard]] support::ByteOrder origin() const noexcept { return origin_; }
+
+ private:
+  struct Entry {
+    EntryType type = EntryType::kInt;
+    std::int64_t int_value = 0;
+    double double_value = 0.0;
+    std::string string_value;
+    std::vector<double> doubles;
+    std::vector<std::int64_t> ints;
+    std::uint64_t opaque_size = 0;
+  };
+
+  [[nodiscard]] support::Expected<const Entry*> find_typed(
+      const std::string& name, EntryType type) const;
+
+  std::map<std::string, Entry> entries_;
+  support::ByteOrder origin_ = support::ByteOrder::kBigEndian;
+};
+
+}  // namespace ars::hpcm

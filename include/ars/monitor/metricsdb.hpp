@@ -1,0 +1,58 @@
+#pragma once
+// Monitoring information database (paper Figure 2): a bounded ring of
+// status snapshots used for trend queries and the experiment plots.
+
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "ars/xmlproto/messages.hpp"
+
+namespace ars::monitor {
+
+class MetricsDb {
+ public:
+  explicit MetricsDb(std::size_t capacity = 1024) : capacity_(capacity) {}
+
+  void record(xmlproto::DynamicStatus status);
+
+  [[nodiscard]] std::size_t size() const noexcept { return samples_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return samples_.empty(); }
+
+  [[nodiscard]] std::optional<xmlproto::DynamicStatus> latest() const;
+
+  /// Samples with timestamp in [t0, t1], oldest first.
+  [[nodiscard]] std::vector<xmlproto::DynamicStatus> between(
+      double t0, double t1) const;
+
+  /// Mean 1-minute load average over the trailing `window` seconds
+  /// (ending at the newest sample); 0 when empty.
+  [[nodiscard]] double mean_load1(double window) const;
+
+  /// True if every sample in the trailing `window` satisfies `pred`
+  /// (and at least one sample is present) — used for warm-up gating.
+  template <typename Pred>
+  [[nodiscard]] bool sustained(double window, Pred&& pred) const {
+    if (samples_.empty()) {
+      return false;
+    }
+    const double horizon = samples_.back().timestamp - window;
+    bool any = false;
+    for (auto it = samples_.rbegin(); it != samples_.rend(); ++it) {
+      if (it->timestamp < horizon) {
+        break;
+      }
+      if (!pred(*it)) {
+        return false;
+      }
+      any = true;
+    }
+    return any;
+  }
+
+ private:
+  std::size_t capacity_;
+  std::deque<xmlproto::DynamicStatus> samples_;
+};
+
+}  // namespace ars::monitor

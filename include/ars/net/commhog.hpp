@@ -1,0 +1,45 @@
+#pragma once
+// Communication load generator: sustained traffic between two hosts, like
+// the paper's 2nd workstation "busy in communication with the 5th machine"
+// at 6.71-7.78 MB/s, and the low-rate ambient traffic under Figure 6.
+
+#include <string>
+#include <vector>
+
+#include "ars/net/network.hpp"
+#include "ars/sim/task.hpp"
+
+namespace ars::net {
+
+class CommHog {
+ public:
+  struct Options {
+    std::string src;
+    std::string dst;
+    double rate_bps = 7.0e6;    // target offered load per direction
+    double period = 1.0;        // seconds per chunk
+    bool bidirectional = true;  // also generate dst -> src
+    int sockets = 2;            // ESTABLISHED sockets shown by netstat
+    std::string name = "comm_hog";
+  };
+
+  CommHog(Network& network, Options options);
+  ~CommHog() { stop(); }
+  CommHog(const CommHog&) = delete;
+  CommHog& operator=(const CommHog&) = delete;
+
+  void start();
+  void stop();
+
+  [[nodiscard]] bool running() const noexcept { return running_; }
+
+ private:
+  [[nodiscard]] sim::Task<> pump(std::string from, std::string to);
+
+  Network* network_;
+  Options options_;
+  std::vector<sim::Fiber> fibers_;
+  bool running_ = false;
+};
+
+}  // namespace ars::net

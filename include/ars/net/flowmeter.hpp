@@ -1,0 +1,41 @@
+#pragma once
+// Per-host, per-direction traffic meter.  Transfers accrue byte segments
+// with uniform rate over their active intervals; sensors then ask for the
+// bytes (or average rate) inside an arbitrary trailing window — exactly what
+// the paper's communication-flow rules (Policy 3) and Figures 6/8 plot.
+
+#include <deque>
+
+namespace ars::net {
+
+class FlowMeter {
+ public:
+  /// Accrue `bytes` spread uniformly over [t0, t1] (t1 > t0), or as an
+  /// instantaneous burst when t1 == t0.
+  void add(double t0, double t1, double bytes);
+
+  /// Bytes that fell inside [t0, t1], counting proportional overlap.
+  [[nodiscard]] double bytes_between(double t0, double t1) const noexcept;
+
+  /// Average rate in bytes/second over the trailing `window` ending at `now`.
+  [[nodiscard]] double rate_bps(double window, double now) const noexcept;
+
+  [[nodiscard]] double total_bytes() const noexcept { return total_; }
+
+  void set_retention(double seconds) noexcept { retention_ = seconds; }
+
+ private:
+  struct Segment {
+    double begin;
+    double end;
+    double bytes;
+  };
+
+  void prune(double now);
+
+  std::deque<Segment> segments_;
+  double total_ = 0.0;
+  double retention_ = 3600.0;
+};
+
+}  // namespace ars::net

@@ -1,0 +1,142 @@
+#pragma once
+// Simulated workstation network.
+//
+// Model: full-duplex NICs of fixed capacity (default 100 Mb/s, the paper's
+// switched Ethernet), fixed propagation latency, and fluid bandwidth
+// sharing — an active transfer's rate is min(src TX capacity / src TX count,
+// dst RX capacity / dst RX count), recomputed whenever the set of active
+// transfers changes.  This captures the effect the paper's Table 2 hinges
+// on: migrating toward a communication-busy workstation is slower.
+//
+// Two interfaces sit on top:
+//   * transfer(src, dst, bytes)  — awaitable bulk move (MPI payloads, HPCM
+//     state chunks); completes when the last byte lands.
+//   * post(message)              — fire-and-forget datagram delivered into a
+//     bound Endpoint's inbox (the rescheduler's XML/TCP control plane).
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ars/host/host.hpp"
+#include "ars/net/flowmeter.hpp"
+#include "ars/sim/channel.hpp"
+#include "ars/sim/task.hpp"
+#include "ars/sim/wait.hpp"
+
+namespace ars::net {
+
+struct Message {
+  std::string src_host;
+  std::string dst_host;
+  int dst_port = 0;
+  std::string payload;           // wire content (XML for the control plane)
+  std::uint64_t size_bytes = 0;  // defaults to payload size at post()
+  double sent_at = 0.0;
+  double delivered_at = 0.0;
+};
+
+/// A bound (host, port): messages posted to it appear in `inbox`.
+struct Endpoint {
+  explicit Endpoint(sim::Engine& engine) : inbox(engine) {}
+  sim::Channel<Message> inbox;
+};
+
+class Network {
+ public:
+  struct Options {
+    double latency = 0.0001;          // one-way propagation, seconds
+    double bandwidth_bps = 12.5e6;    // per-NIC, bytes/second (100 Mb/s)
+    std::uint64_t message_overhead = 64;  // headers added to each post()
+  };
+
+  explicit Network(sim::Engine& engine);  // default options
+  Network(sim::Engine& engine, Options options);
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+  ~Network();
+
+  /// Register a host; assigns it an IP address.  The host object must
+  /// outlive the network.
+  void attach(host::Host& h);
+
+  [[nodiscard]] host::Host* find_host(const std::string& name) const;
+  [[nodiscard]] std::vector<std::string> host_names() const;
+
+  /// Bind a port on a host; returns the endpoint whose inbox receives
+  /// posted messages.  Throws if already bound or the host is unknown.
+  Endpoint& bind(const std::string& hostname, int port);
+  void unbind(const std::string& hostname, int port);
+  [[nodiscard]] int allocate_port(const std::string& hostname);
+
+  /// Fire-and-forget control message.  Unknown destinations or unbound
+  /// ports drop the message with a warning (soft-state tolerates loss).
+  void post(Message message);
+
+  /// Awaitable bulk transfer; returns elapsed seconds.  Loopback (src==dst)
+  /// costs only latency and is not metered.
+  [[nodiscard]] sim::Task<double> transfer(std::string src, std::string dst,
+                                           double bytes);
+
+  [[nodiscard]] const FlowMeter& tx_meter(const std::string& hostname) const;
+  [[nodiscard]] const FlowMeter& rx_meter(const std::string& hostname) const;
+  [[nodiscard]] double tx_rate_bps(const std::string& hostname,
+                                   double window) const;
+  [[nodiscard]] double rx_rate_bps(const std::string& hostname,
+                                   double window) const;
+
+  [[nodiscard]] sim::Engine& engine() const noexcept { return *engine_; }
+  [[nodiscard]] const Options& options() const noexcept { return options_; }
+
+  /// Number of in-flight bulk transfers (excluding loopback).
+  [[nodiscard]] std::size_t active_transfers() const noexcept {
+    return jobs_.size();
+  }
+
+ private:
+  struct HostRecord {
+    host::Host* host = nullptr;
+    std::string ip;
+    int tx_active = 0;
+    int rx_active = 0;
+    FlowMeter tx_meter;
+    FlowMeter rx_meter;
+    int next_port = 40000;
+  };
+
+  struct TransferJob {
+    TransferJob(sim::Engine& engine, HostRecord* src_rec, HostRecord* dst_rec,
+                double total_bytes)
+        : src(src_rec), dst(dst_rec), remaining(total_bytes), done(engine) {}
+    HostRecord* src;
+    HostRecord* dst;
+    double remaining;
+    double rate = 0.0;
+    bool completed = false;
+    sim::Trigger done;
+  };
+
+  HostRecord& record(const std::string& hostname);
+  [[nodiscard]] const HostRecord& record(const std::string& hostname) const;
+
+  void advance();
+  void recompute_rates();
+  void reschedule_completion();
+  void on_completion_event();
+  void register_job(TransferJob* job);
+  void withdraw_job(TransferJob* job);
+
+  sim::Engine* engine_;
+  Options options_;
+  std::map<std::string, HostRecord> hosts_;
+  std::map<std::pair<std::string, int>, std::unique_ptr<Endpoint>> endpoints_;
+  std::vector<sim::Fiber> delivery_fibers_;  // in-flight post() deliveries
+  std::vector<TransferJob*> jobs_;
+  double last_update_ = 0.0;
+  sim::Engine::EventHandle completion_event_;
+  int next_ip_suffix_ = 1;
+};
+
+}  // namespace ars::net

@@ -1,0 +1,189 @@
+#pragma once
+// Registry/scheduler entity (paper §3.2): global system-state manager and
+// decision maker.
+//
+//   * Soft-state host table: monitors push REGISTER once and UPDATE
+//     heartbeats; a lease sweeper marks silent hosts `unavailable`.
+//   * Process registry: migration-enabled processes with start times and
+//     application-schema keys.
+//   * Decision making: on CONSULT from an overloaded host, select the
+//     process with the *latest completion time* (start time + schema
+//     estimate) and the *first-fit* destination — the first registered host
+//     that is in the `free` state, passes the policy's destination
+//     conditions, and satisfies the schema's resource requirements — then
+//     command the source host's commander to migrate.
+//   * Hierarchy: a registry may have a parent; when no local candidate
+//     exists the consult escalates ("the migration destination is chosen
+//     inside one's control domain" when possible).
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ars/hpcm/schema.hpp"
+#include "ars/net/network.hpp"
+#include "ars/rules/policy.hpp"
+#include "ars/rules/state.hpp"
+#include "ars/sim/task.hpp"
+#include "ars/support/rng.hpp"
+#include "ars/xmlproto/messages.hpp"
+
+namespace ars::registry {
+
+struct HostEntry {
+  xmlproto::StaticInfo info;
+  xmlproto::DynamicStatus status;
+  rules::SystemState state = rules::SystemState::kUnavailable;
+  double last_update = -1.0;
+  int monitor_port = 0;
+  int commander_port = 0;
+  int registration_order = 0;  // first-fit scans in this order
+  bool draining = false;       // evacuated: never a destination again
+};
+
+/// Destination-choice strategy.  The paper uses first-fit ("the
+/// registry/scheduler chooses the first host, which is ready and owns all
+/// the resources required"); best-fit and random-fit are provided for the
+/// ablation benches.
+enum class DestinationStrategy { kFirstFit, kBestFit, kRandomFit };
+
+struct ProcessEntry {
+  std::string host;
+  int pid = 0;
+  std::string name;
+  double start_time = 0.0;
+  std::string schema_name;
+  double last_migrated_at = -1.0e9;
+};
+
+/// One scheduling decision, for the experiment logs.
+struct Decision {
+  double at = 0.0;
+  std::string source;
+  std::string destination;  // empty if none found
+  int pid = 0;
+  std::string process_name;
+  double decision_latency = 0.0;
+  bool escalated = false;
+  bool restart = false;  // failure recovery rather than live migration
+};
+
+class Registry {
+ public:
+  struct Config {
+    int port = 0;  // allocated if 0
+    rules::MigrationPolicy policy;  // destination conditions
+    double lease_ttl = 35.0;        // ~3 missed 10 s heartbeats
+    double sweep_period = 5.0;
+    /// The paper measures ~0.002 s to make a migration decision.
+    double decision_delay = 0.002;
+    /// Minimum spacing between migrations of the same process.
+    double per_process_cooldown = 30.0;
+    /// Parent registry for hierarchical escalation (empty: none).
+    std::string parent_host;
+    int parent_port = 0;
+    double health_report_period = 30.0;
+    /// How the destination is chosen among eligible hosts.
+    DestinationStrategy strategy = DestinationStrategy::kFirstFit;
+    std::uint64_t random_seed = 1;  // for kRandomFit (deterministic runs)
+    /// Processes with schema data-locality at or above this are not
+    /// selected for migration (paper §5.3: "if a process involves a lot in
+    /// a local data access, the process is not to be migrated").
+    double locality_threshold = 0.5;
+    /// When a host's soft-state lease expires (crash), command the
+    /// relaunch of its registered processes on other hosts (from their
+    /// checkpoints, via the destination commanders).
+    bool auto_restart = false;
+  };
+
+  Registry(host::Host& h, net::Network& network, Config config);
+  ~Registry();
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  void start();
+  void stop();
+
+  [[nodiscard]] int port() const noexcept { return config_.port; }
+  [[nodiscard]] const std::string& host_name() const {
+    return host_->name();
+  }
+
+  /// Make an application schema known to the scheduler (resource
+  /// requirements + execution-time estimates used by the selector).
+  void register_schema(const hpcm::ApplicationSchema& schema);
+
+  [[nodiscard]] const std::map<std::string, HostEntry>& hosts() const {
+    return hosts_;
+  }
+  [[nodiscard]] const std::vector<Decision>& decisions() const {
+    return decisions_;
+  }
+  [[nodiscard]] std::optional<rules::SystemState> host_state(
+      const std::string& name) const;
+  [[nodiscard]] std::size_t process_count() const {
+    return processes_.size();
+  }
+
+  /// Scheduling core, also callable directly by tests: pick a destination
+  /// for a migration off `source_host` using the configured strategy
+  /// (nullopt if no eligible host).
+  [[nodiscard]] std::optional<std::string> choose_destination(
+      const std::string& source_host, const std::string& schema_name);
+
+  /// The paper's default strategy, regardless of configuration.
+  [[nodiscard]] std::optional<std::string> first_fit_destination(
+      const std::string& source_host, const std::string& schema_name);
+
+  /// Hosts eligible as destination, in registration order.
+  [[nodiscard]] std::vector<const HostEntry*> eligible_destinations(
+      const std::string& source_host, const std::string& schema_name) const;
+
+  /// Selector: the migration-enabled process on `source_host` with the
+  /// latest estimated completion time.
+  [[nodiscard]] const ProcessEntry* select_process(
+      const std::string& source_host);
+
+  /// Fault-tolerance path (paper §6: "reschedule when the machine will
+  /// shut down, intrusion is detected"): command every migration-enabled
+  /// process off `host` and stop treating it as a destination.  Also
+  /// reachable over the wire via an EvacuateMsg.
+  void request_evacuation(const std::string& host, const std::string& reason);
+
+  /// Number of evacuation commands issued so far.
+  [[nodiscard]] int evacuations_commanded() const noexcept {
+    return evacuations_commanded_;
+  }
+
+ private:
+  [[nodiscard]] sim::Task<> serve();
+  [[nodiscard]] sim::Task<> sweep();
+  [[nodiscard]] sim::Task<> report_health();
+  void handle(const xmlproto::ProtocolMessage& message,
+              const std::string& from_host);
+  [[nodiscard]] sim::Task<> decide(std::string overloaded_host,
+                                   std::string reason);
+  [[nodiscard]] sim::Task<> evacuate(std::string drained_host,
+                                     std::string reason);
+  void restart_processes_of(const std::string& lost_host);
+  void send_to(const std::string& dst_host, int dst_port,
+               const xmlproto::ProtocolMessage& message);
+
+  host::Host* host_;
+  net::Network* network_;
+  Config config_;
+  net::Endpoint* endpoint_ = nullptr;
+  std::map<std::string, HostEntry> hosts_;
+  std::map<std::string, ProcessEntry> processes_;  // key host:pid
+  std::map<std::string, hpcm::ApplicationSchema> schemas_;
+  std::vector<Decision> decisions_;
+  int evacuations_commanded_ = 0;
+  int next_registration_order_ = 0;
+  support::Rng rng_{1};
+  std::vector<sim::Fiber> fibers_;
+  bool running_ = false;
+};
+
+}  // namespace ars::registry

@@ -1,0 +1,96 @@
+#pragma once
+// Rule evaluation engine (paper Figure 2: gathering engines -> monitoring
+// database -> rule evaluator).  Simple rules pull one value from a sensor
+// (keyed by the rl_script command name plus its rl_param) and threshold it;
+// complex rules combine other rules' severities through an expression.
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "ars/rules/expr.hpp"
+#include "ars/rules/rulefile.hpp"
+#include "ars/rules/state.hpp"
+#include "ars/support/expected.hpp"
+
+namespace ars::rules {
+
+/// Supplies sensor readings to simple rules.  The monitor module implements
+/// this over a simulated host; tests use MapSensorSource.
+class SensorSource {
+ public:
+  virtual ~SensorSource() = default;
+
+  /// `script` is the rl_script command (e.g. "processorStatus.sh"),
+  /// `param` the rl_param (e.g. "ESTABLISHED").
+  [[nodiscard]] virtual support::Expected<double> sample(
+      const std::string& script, const std::string& param) = 0;
+};
+
+/// In-memory SensorSource keyed "script" or "script:param".
+class MapSensorSource final : public SensorSource {
+ public:
+  void set(const std::string& script, double value) { values_[script] = value; }
+  void set(const std::string& script, const std::string& param, double value) {
+    values_[script + ":" + param] = value;
+  }
+
+  [[nodiscard]] support::Expected<double> sample(
+      const std::string& script, const std::string& param) override;
+
+ private:
+  std::map<std::string, double> values_;
+};
+
+/// A loaded, cross-checked rule set ready for evaluation.
+class RuleEngine {
+ public:
+  struct Options {
+    double busy_threshold = 0.5;    // complex-score -> busy boundary
+    double overld_threshold = 1.5;  // complex-score -> overloaded boundary
+  };
+
+  /// Build from parsed specs: parses complex expressions, verifies that
+  /// every referenced rule number exists and that references are acyclic.
+  [[nodiscard]] static support::Expected<RuleEngine> create(
+      std::vector<RuleSpec> specs, Options options);
+  [[nodiscard]] static support::Expected<RuleEngine> create(
+      std::vector<RuleSpec> specs);
+
+  /// Convenience: parse `rule_file_text` then create().
+  [[nodiscard]] static support::Expected<RuleEngine> from_text(
+      std::string_view rule_file_text, Options options);
+  [[nodiscard]] static support::Expected<RuleEngine> from_text(
+      std::string_view rule_file_text);
+
+  /// Evaluate one rule by number.
+  [[nodiscard]] support::Expected<SystemState> evaluate(
+      int rule_number, SensorSource& sensors) const;
+
+  /// Evaluate the whole policy: the state is the worst (max severity) of
+  /// all top-level rules (rules not referenced by any complex rule).
+  [[nodiscard]] support::Expected<SystemState> evaluate_all(
+      SensorSource& sensors) const;
+
+  [[nodiscard]] const std::vector<RuleSpec>& specs() const noexcept {
+    return specs_;
+  }
+  [[nodiscard]] const RuleSpec* find(int rule_number) const;
+  [[nodiscard]] std::vector<int> top_level_rules() const;
+
+ private:
+  RuleEngine() = default;
+
+  [[nodiscard]] support::Expected<double> severity_of(
+      int rule_number, SensorSource& sensors,
+      std::set<int>& in_progress) const;
+
+  std::vector<RuleSpec> specs_;
+  std::map<int, std::size_t> by_number_;
+  std::map<int, ExprPtr> expressions_;  // complex rules only
+  Options options_;
+};
+
+}  // namespace ars::rules

@@ -1,0 +1,56 @@
+#pragma once
+// Complex-rule expression language (paper Figure 4):
+//
+//     ( 40% * r_4 + 30% * r1 + 30% * r3 ) & r2
+//
+// Grammar (lowest to highest precedence):
+//     expr    := and_expr ( '|' and_expr )*
+//     and_expr:= add_expr ( '&' add_expr )*
+//     add_expr:= mul_expr ( '+' mul_expr )*
+//     mul_expr:= factor ( '*' factor )*
+//     factor  := RULE_REF | NUMBER [ '%' ] | '(' expr ')'
+//     RULE_REF:= 'r' [ '_' ] DIGITS
+//
+// Semantics over the severity scale (free=0, busy=1, overloaded=2):
+//     '&' = min (a host is only as bad as its *least* loaded criterion —
+//           this reproduces the paper's worked example: busy&busy = busy,
+//           busy&overloaded = busy),
+//     '|' = max (any criterion can escalate),
+//     '+'/'*' = arithmetic (weighted sums), NUMBER% = NUMBER/100.
+// The resulting score is mapped back to a state with the engine's busy /
+// overloaded thresholds (defaults 0.5 / 1.5).
+
+#include <functional>
+#include <memory>
+#include <set>
+#include <string>
+
+#include "ars/support/expected.hpp"
+
+namespace ars::rules {
+
+class Expr {
+ public:
+  enum class Kind { kRuleRef, kNumber, kAdd, kMul, kAnd, kOr };
+
+  virtual ~Expr() = default;
+  [[nodiscard]] virtual Kind kind() const noexcept = 0;
+
+  /// Evaluate with `lookup` supplying severity scores for rule references.
+  /// Lookup failures propagate.
+  [[nodiscard]] virtual support::Expected<double> evaluate(
+      const std::function<support::Expected<double>(int)>& lookup) const = 0;
+
+  /// Rule numbers referenced anywhere in the expression.
+  virtual void collect_refs(std::set<int>& refs) const = 0;
+
+  /// Canonical textual form (for diagnostics and round-trip tests).
+  [[nodiscard]] virtual std::string to_string() const = 0;
+};
+
+using ExprPtr = std::unique_ptr<Expr>;
+
+/// Parse an expression; returns a detailed error on malformed input.
+[[nodiscard]] support::Expected<ExprPtr> parse_expr(std::string_view text);
+
+}  // namespace ars::rules

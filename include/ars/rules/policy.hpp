@@ -1,0 +1,142 @@
+#pragma once
+// Migration policies (paper §5.3).  A policy has
+//   * trigger conditions  — "migrate when ANY of these holds" on the source,
+//   * destination conditions — "the destination must meet ALL of these",
+//   * per-state monitoring frequencies (§4: "Monitoring Frequency for each
+//     state").
+// Conditions threshold named metrics of a host's DynamicStatus heartbeat.
+//
+// The three policies of Table 2 are provided as factories; arbitrary
+// policies can be written in a small text format:
+//
+//     policy: policy3
+//     trigger: load1 > 2
+//     trigger: processes > 150
+//     trigger: net_flow > 5000000
+//     dest: load1 < 1
+//     dest: processes < 100
+//     dest: net_flow < 3000000
+//     freq_free: 10
+//     freq_busy: 10
+//     freq_overloaded: 5
+//     warmup: 60
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ars/rules/rulefile.hpp"
+#include "ars/support/expected.hpp"
+#include "ars/xmlproto/messages.hpp"
+
+namespace ars::rules {
+
+/// Metrics addressable by policy conditions.
+enum class Metric {
+  kLoad1,
+  kLoad5,
+  kCpuUtil,
+  kProcesses,
+  kMemAvailablePct,
+  kDiskAvailable,
+  kNetIn,
+  kNetOut,
+  kNetFlow,  // max(in, out): "incoming/outgoing communication flow"
+  kSockets,
+};
+
+[[nodiscard]] support::Expected<Metric> metric_from_string(
+    std::string_view name);
+[[nodiscard]] std::string_view to_string(Metric metric) noexcept;
+
+/// Read a metric out of a status heartbeat.
+[[nodiscard]] double metric_value(const xmlproto::DynamicStatus& status,
+                                  Metric metric) noexcept;
+
+struct MetricCondition {
+  Metric metric = Metric::kLoad1;
+  CompareOp op = CompareOp::kGreater;
+  double threshold = 0.0;
+
+  [[nodiscard]] bool holds(const xmlproto::DynamicStatus& status) const {
+    return apply(op, metric_value(status, metric), threshold);
+  }
+  [[nodiscard]] std::string to_string() const;
+};
+
+class MigrationPolicy {
+ public:
+  struct Frequencies {
+    double free = 10.0;
+    double busy = 10.0;
+    double overloaded = 5.0;
+  };
+
+  MigrationPolicy() = default;
+  explicit MigrationPolicy(std::string name) : name_(std::move(name)) {}
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+
+  void add_trigger(MetricCondition condition) {
+    triggers_.push_back(condition);
+  }
+  /// Source gate: ALL gates must hold for a triggered migration to proceed
+  /// (Policy 3's "communication flow is no more than 5 MB/s" — migrating out
+  /// of a saturated NIC would be counter-productive).
+  void add_source_gate(MetricCondition condition) {
+    source_gates_.push_back(condition);
+  }
+  void add_dest_condition(MetricCondition condition) {
+    dest_conditions_.push_back(condition);
+  }
+  void set_frequencies(Frequencies f) noexcept { frequencies_ = f; }
+  void set_warmup(double seconds) noexcept { warmup_ = seconds; }
+
+  /// Migration is triggered when ANY trigger condition holds (and the
+  /// policy has at least one trigger — Policy 1 has none, so it never
+  /// migrates).
+  [[nodiscard]] bool should_offload(
+      const xmlproto::DynamicStatus& status) const;
+
+  /// A destination is acceptable when ALL destination conditions hold.
+  [[nodiscard]] bool accepts_destination(
+      const xmlproto::DynamicStatus& status) const;
+
+  [[nodiscard]] const std::vector<MetricCondition>& triggers() const {
+    return triggers_;
+  }
+  [[nodiscard]] const std::vector<MetricCondition>& source_gates() const {
+    return source_gates_;
+  }
+  [[nodiscard]] const std::vector<MetricCondition>& dest_conditions() const {
+    return dest_conditions_;
+  }
+  [[nodiscard]] const Frequencies& frequencies() const noexcept {
+    return frequencies_;
+  }
+
+  /// Sustained-overload requirement before triggering (the paper's ~72 s
+  /// "warm up" that avoids fault migrations on short tasks).
+  [[nodiscard]] double warmup() const noexcept { return warmup_; }
+
+  [[nodiscard]] std::string to_text() const;
+
+ private:
+  std::string name_ = "unnamed";
+  std::vector<MetricCondition> triggers_;
+  std::vector<MetricCondition> source_gates_;
+  std::vector<MetricCondition> dest_conditions_;
+  Frequencies frequencies_;
+  double warmup_ = 60.0;
+};
+
+/// Parse the policy text format shown above.
+[[nodiscard]] support::Expected<MigrationPolicy> parse_policy(
+    std::string_view text);
+
+/// Table 2's policies, verbatim thresholds.
+[[nodiscard]] MigrationPolicy paper_policy1();  // no migration
+[[nodiscard]] MigrationPolicy paper_policy2();  // load / process count only
+[[nodiscard]] MigrationPolicy paper_policy3();  // + communication flow
+
+}  // namespace ars::rules

@@ -1,0 +1,63 @@
+#pragma once
+// Rule-file parsing, in the exact `rl_*:` key/value format of the paper's
+// Figures 3 and 4.  A file holds one or more rules; a new `rl_number:` line
+// starts the next rule.
+//
+//   rl_number: 1                      rl_number: 5
+//   rl_name: processorStatus         rl_name: cmp_rule
+//   rl_type: simple                  rl_type: complex
+//   rl_script: processorStatus.sh    rl_desc: A Complex Rule.
+//   rl_desc: ...                     rl_ruleNo: 4 1 3 2
+//   rl_operator: <                   rl_script: ( 40% * r_4 + 30% * r1 + 30% * r3 ) & r2
+//   rl_param:
+//   rl_busy: 50
+//   rl_overLd: 45
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ars/support/expected.hpp"
+
+namespace ars::rules {
+
+enum class RuleKind { kSimple, kComplex };
+
+enum class CompareOp { kLess, kGreater, kLessEqual, kGreaterEqual };
+
+[[nodiscard]] support::Expected<CompareOp> compare_op_from_string(
+    std::string_view token);
+[[nodiscard]] std::string_view to_string(CompareOp op) noexcept;
+[[nodiscard]] bool apply(CompareOp op, double lhs, double rhs) noexcept;
+
+/// One parsed rule record.  For a simple rule, `script` names the sensor
+/// command and `busy`/`overld` hold thresholds; for a complex rule, `script`
+/// holds the combining expression and `rule_numbers` the firing order.
+struct RuleSpec {
+  int number = 0;
+  std::string name;
+  RuleKind kind = RuleKind::kSimple;
+  std::string script;
+  std::string description;
+  CompareOp op = CompareOp::kLess;
+  std::string param;               // passed to the sensor script
+  double busy = 0.0;               // rl_busy threshold
+  double overld = 0.0;             // rl_overLd threshold
+  std::vector<int> rule_numbers;   // rl_ruleNo (complex rules)
+};
+
+/// Parse a rule file's full text.  Unknown `rl_` keys are rejected;
+/// missing mandatory keys (per kind) are rejected with the rule number in
+/// the message.
+[[nodiscard]] support::Expected<std::vector<RuleSpec>> parse_rule_file(
+    std::string_view text);
+
+/// Render a RuleSpec back to the paper's file format (round-trip aid).
+[[nodiscard]] std::string to_rule_file(const std::vector<RuleSpec>& rules);
+
+/// The two example rules of Figure 3 and the complex rule of Figure 4,
+/// verbatim — used by tests and the Table 1 bench.
+[[nodiscard]] std::string paper_figure3_text();
+[[nodiscard]] std::string paper_figure4_text();
+
+}  // namespace ars::rules

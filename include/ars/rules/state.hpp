@@ -1,0 +1,66 @@
+#pragma once
+// The paper's three-state host classification (Table 1) plus the registry's
+// soft-state "unavailable".  States map onto a numeric severity scale so
+// complex rules can combine them arithmetically (§4): free=0, busy=1,
+// overloaded=2.  The scale is deliberately open-ended — the paper notes the
+// representation "can be easily reconfigured to a finer granularity".
+
+#include <string>
+#include <string_view>
+
+#include "ars/support/expected.hpp"
+
+namespace ars::rules {
+
+enum class SystemState {
+  kFree,
+  kBusy,
+  kOverloaded,
+  kUnavailable,  // registry-side only: soft-state lease expired
+};
+
+/// Table 1 of the paper: what each state implies.
+struct StateActions {
+  bool loaded;
+  bool migrate_in;
+  bool migrate_out;
+};
+
+[[nodiscard]] constexpr StateActions actions_for(SystemState state) noexcept {
+  switch (state) {
+    case SystemState::kFree:
+      return {.loaded = false, .migrate_in = true, .migrate_out = false};
+    case SystemState::kBusy:
+      return {.loaded = true, .migrate_in = false, .migrate_out = false};
+    case SystemState::kOverloaded:
+      return {.loaded = true, .migrate_in = false, .migrate_out = true};
+    case SystemState::kUnavailable:
+      return {.loaded = false, .migrate_in = false, .migrate_out = false};
+  }
+  return {false, false, false};
+}
+
+/// Severity score used by complex-rule arithmetic.
+[[nodiscard]] constexpr double severity(SystemState state) noexcept {
+  switch (state) {
+    case SystemState::kFree:
+      return 0.0;
+    case SystemState::kBusy:
+      return 1.0;
+    case SystemState::kOverloaded:
+    case SystemState::kUnavailable:
+      return 2.0;
+  }
+  return 2.0;
+}
+
+/// Inverse mapping with the default thresholds (busy >= 0.5, overld >= 1.5).
+[[nodiscard]] SystemState state_from_severity(double score,
+                                              double busy_threshold = 0.5,
+                                              double overld_threshold = 1.5);
+
+[[nodiscard]] std::string_view to_string(SystemState state) noexcept;
+[[nodiscard]] support::Expected<SystemState> state_from_string(
+    std::string_view name);
+
+}  // namespace ars::rules

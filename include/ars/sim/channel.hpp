@@ -1,0 +1,90 @@
+#pragma once
+// Unbounded MPSC/MPMC channel connecting fibers.  `send` never blocks;
+// `recv` suspends until an item or close arrives.  Channels back the
+// simulated sockets, MPI matching queues, and entity mailboxes.
+
+#include <deque>
+#include <optional>
+#include <stdexcept>
+#include <utility>
+
+#include "ars/sim/wait.hpp"
+
+namespace ars::sim {
+
+class ChannelClosed : public std::runtime_error {
+ public:
+  ChannelClosed() : std::runtime_error("channel closed") {}
+};
+
+template <typename T>
+class Channel {
+ public:
+  explicit Channel(Engine& engine) : waiters_(engine) {}
+  Channel(const Channel&) = delete;
+  Channel& operator=(const Channel&) = delete;
+
+  /// Enqueue an item.  Throws if the channel is closed.
+  void send(T item) {
+    if (closed_) {
+      throw ChannelClosed{};
+    }
+    items_.push_back(std::move(item));
+    waiters_.notify_one();
+  }
+
+  /// Receive the next item; throws ChannelClosed once closed and drained.
+  [[nodiscard]] Task<T> recv() {
+    while (items_.empty()) {
+      if (closed_) {
+        throw ChannelClosed{};
+      }
+      co_await waiters_.wait();
+    }
+    T item = std::move(items_.front());
+    items_.pop_front();
+    co_return item;
+  }
+
+  /// Receive variant that reports close as nullopt instead of throwing.
+  [[nodiscard]] Task<std::optional<T>> recv_opt() {
+    while (items_.empty()) {
+      if (closed_) {
+        co_return std::nullopt;
+      }
+      co_await waiters_.wait();
+    }
+    T item = std::move(items_.front());
+    items_.pop_front();
+    co_return std::optional<T>{std::move(item)};
+  }
+
+  /// Non-blocking poll.
+  [[nodiscard]] std::optional<T> try_recv() {
+    if (items_.empty()) {
+      return std::nullopt;
+    }
+    T item = std::move(items_.front());
+    items_.pop_front();
+    return item;
+  }
+
+  /// Close: queued items remain receivable; later receives observe close.
+  void close() {
+    if (!closed_) {
+      closed_ = true;
+      waiters_.notify_all();
+    }
+  }
+
+  [[nodiscard]] bool closed() const noexcept { return closed_; }
+  [[nodiscard]] std::size_t size() const noexcept { return items_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return items_.empty(); }
+
+ private:
+  std::deque<T> items_;
+  WaitQueue waiters_;
+  bool closed_ = false;
+};
+
+}  // namespace ars::sim

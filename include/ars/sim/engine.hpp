@@ -1,0 +1,101 @@
+#pragma once
+// Discrete-event simulation engine.
+//
+// The engine owns the virtual clock and a time-ordered event queue.  All
+// simulated activity — coroutine resumptions, CPU-model completions, network
+// deliveries, monitor timers — is expressed as events.  Two events at the
+// same timestamp run in scheduling (FIFO) order, which keeps every run
+// deterministic.
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+namespace ars::sim {
+
+/// Virtual time in seconds since the start of the experiment.
+using SimTime = double;
+
+class Engine {
+ public:
+  Engine() = default;
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// A cancellable reference to a scheduled event.  Default-constructed
+  /// handles are empty; cancelling an empty or already-fired handle is a
+  /// harmless no-op (awaitable destructors rely on that).
+  class EventHandle {
+   public:
+    EventHandle() = default;
+
+    /// Prevent the event from running.  Safe to call at any point.
+    void cancel() noexcept;
+
+    [[nodiscard]] bool pending() const noexcept;
+
+    struct Record;  // implementation detail, defined below
+
+   private:
+    friend class Engine;
+    explicit EventHandle(std::shared_ptr<Record> record)
+        : record_(std::move(record)) {}
+    std::shared_ptr<Record> record_;
+  };
+
+  [[nodiscard]] SimTime now() const noexcept { return now_; }
+
+  /// Schedule `fn` at absolute time `at` (>= now, clamped otherwise).
+  EventHandle schedule_at(SimTime at, std::function<void()> fn);
+
+  /// Schedule `fn` after a relative delay (>= 0, clamped otherwise).
+  EventHandle schedule_after(SimTime delay, std::function<void()> fn);
+
+  /// Run the next pending event.  Returns false when the queue is empty or a
+  /// stop was requested.
+  bool step();
+
+  /// Run until the queue drains or a stop is requested.  Returns the number
+  /// of events executed.
+  std::size_t run();
+
+  /// Run every event with timestamp <= `until`, then advance the clock to
+  /// `until`.  Returns the number of events executed.
+  std::size_t run_until(SimTime until);
+
+  /// Make run()/run_until() return after the current event finishes.
+  void request_stop() noexcept { stop_requested_ = true; }
+  void clear_stop() noexcept { stop_requested_ = false; }
+
+  [[nodiscard]] std::size_t pending_events() const noexcept;
+  [[nodiscard]] std::uint64_t events_executed() const noexcept {
+    return executed_;
+  }
+
+ private:
+  struct QueueEntry;
+  bool pop_and_run(SimTime limit, bool bounded);
+  void prune_cancelled_head();
+
+  SimTime now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t executed_ = 0;
+  bool stop_requested_ = false;
+
+  // The heap stores shared records so EventHandle cancellation works without
+  // a queue scan; cancelled entries are skipped when they reach the head.
+  std::vector<std::shared_ptr<EventHandle::Record>> heap_;
+  std::size_t live_events_ = 0;
+};
+
+struct Engine::EventHandle::Record {
+  SimTime at = 0.0;
+  std::uint64_t seq = 0;
+  std::function<void()> fn;
+  bool cancelled = false;
+  bool fired = false;
+};
+
+}  // namespace ars::sim

@@ -1,0 +1,69 @@
+#pragma once
+// Higher-level synchronization utilities on top of WaitQueue: counting
+// semaphore and timed waits.
+
+#include <optional>
+
+#include "ars/sim/wait.hpp"
+
+namespace ars::sim {
+
+/// Counting semaphore for fibers (resource pools, bounded concurrency).
+class Semaphore {
+ public:
+  Semaphore(Engine& engine, std::size_t initial)
+      : count_(initial), waiters_(engine) {}
+
+  /// Acquire one unit, suspending while none are available.
+  [[nodiscard]] Task<> acquire() {
+    while (count_ == 0) {
+      co_await waiters_.wait();
+    }
+    --count_;
+  }
+
+  /// Try to acquire without suspending.
+  [[nodiscard]] bool try_acquire() noexcept {
+    if (count_ == 0) {
+      return false;
+    }
+    --count_;
+    return true;
+  }
+
+  void release(std::size_t units = 1) {
+    count_ += units;
+    for (std::size_t i = 0; i < units; ++i) {
+      waiters_.notify_one();
+    }
+  }
+
+  [[nodiscard]] std::size_t available() const noexcept { return count_; }
+  [[nodiscard]] std::size_t waiting() const noexcept {
+    return waiters_.waiter_count();
+  }
+
+ private:
+  std::size_t count_;
+  WaitQueue waiters_;
+};
+
+/// Wait for a trigger with a deadline.  Returns true if the trigger fired,
+/// false on timeout.
+[[nodiscard]] inline Task<bool> wait_with_timeout(Engine& engine,
+                                                  Trigger& trigger,
+                                                  SimTime timeout) {
+  const SimTime deadline = engine.now() + timeout;
+  while (!trigger.fired()) {
+    if (engine.now() >= deadline) {
+      co_return false;
+    }
+    // Poll-free would need a multiplexed wait; a deadline-bounded re-check
+    // at modest granularity keeps the primitive simple and deterministic.
+    const SimTime step = std::min(deadline - engine.now(), timeout / 16.0);
+    co_await delay(engine, std::max(step, 1e-6));
+  }
+  co_return true;
+}
+
+}  // namespace ars::sim

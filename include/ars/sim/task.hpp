@@ -1,0 +1,294 @@
+#pragma once
+// Coroutine task types for simulated processes.
+//
+// `Task<T>` is a lazy coroutine: it starts when awaited and hands its result
+// (or exception) back to the awaiter via symmetric transfer.  `Fiber` is a
+// handle to a *top-level* spawned task — a simulated process or daemon — that
+// the engine resumes via events and that can be killed externally while
+// suspended.
+//
+// Cancellation discipline: every awaitable that registers external state
+// (an engine event, a wait-queue node, a CPU job) deregisters it in its
+// destructor.  Destroying a suspended fiber therefore unwinds all nested
+// coroutine frames and removes every pending registration, so no dangling
+// resumption can fire.
+
+#include <cassert>
+#include <coroutine>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "ars/sim/engine.hpp"
+#include "ars/support/log.hpp"
+
+namespace ars::sim {
+
+/// Thrown (or derived from) to terminate the current fiber from arbitrary
+/// call depth; the fiber driver treats it as a clean exit.
+class FiberExit : public std::exception {
+ public:
+  explicit FiberExit(std::string reason = "fiber exit")
+      : reason_(std::move(reason)) {}
+  [[nodiscard]] const char* what() const noexcept override {
+    return reason_.c_str();
+  }
+
+ private:
+  std::string reason_;
+};
+
+template <typename T>
+class Task;
+
+namespace detail {
+
+struct PromiseBase {
+  std::coroutine_handle<> continuation;
+  std::exception_ptr exception;
+
+  struct FinalAwaiter {
+    [[nodiscard]] bool await_ready() const noexcept { return false; }
+    std::coroutine_handle<> await_suspend(
+        std::coroutine_handle<> h) const noexcept;
+    void await_resume() const noexcept {}
+  };
+
+  [[nodiscard]] std::suspend_always initial_suspend() const noexcept {
+    return {};
+  }
+  [[nodiscard]] FinalAwaiter final_suspend() const noexcept { return {}; }
+  void unhandled_exception() noexcept { exception = std::current_exception(); }
+};
+
+template <typename Promise>
+std::coroutine_handle<> final_transfer(std::coroutine_handle<Promise> h) {
+  auto& promise = h.promise();
+  if (promise.continuation) {
+    return promise.continuation;
+  }
+  return std::noop_coroutine();
+}
+
+}  // namespace detail
+
+/// Lazy coroutine returning T (default void).  Movable, not copyable; owns
+/// its frame and destroys it on destruction, recursively destroying any
+/// nested awaited tasks held in the frame.
+template <typename T = void>
+class [[nodiscard]] Task {
+ public:
+  struct promise_type : detail::PromiseBase {
+    std::optional<T> value;
+
+    Task get_return_object() {
+      return Task{std::coroutine_handle<promise_type>::from_promise(*this)};
+    }
+    void return_value(T v) { value.emplace(std::move(v)); }
+
+    struct FinalAwaiter : detail::PromiseBase::FinalAwaiter {
+      std::coroutine_handle<> await_suspend(
+          std::coroutine_handle<promise_type> h) const noexcept {
+        return detail::final_transfer(h);
+      }
+    };
+    [[nodiscard]] FinalAwaiter final_suspend() const noexcept { return {}; }
+  };
+
+  Task(Task&& other) noexcept : handle_(std::exchange(other.handle_, {})) {}
+  Task& operator=(Task&& other) noexcept {
+    if (this != &other) {
+      destroy();
+      handle_ = std::exchange(other.handle_, {});
+    }
+    return *this;
+  }
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  ~Task() { destroy(); }
+
+  /// Awaiter: starts the task and resumes the awaiter when it completes.
+  auto operator co_await() && noexcept {
+    struct Awaiter {
+      std::coroutine_handle<promise_type> handle;
+      [[nodiscard]] bool await_ready() const noexcept { return false; }
+      std::coroutine_handle<> await_suspend(
+          std::coroutine_handle<> awaiting) noexcept {
+        handle.promise().continuation = awaiting;
+        return handle;
+      }
+      T await_resume() {
+        auto& promise = handle.promise();
+        if (promise.exception) {
+          std::rethrow_exception(promise.exception);
+        }
+        return std::move(*promise.value);
+      }
+    };
+    return Awaiter{handle_};
+  }
+
+ private:
+  template <typename>
+  friend class Task;
+  friend class Fiber;
+
+  explicit Task(std::coroutine_handle<promise_type> handle)
+      : handle_(handle) {}
+
+  void destroy() {
+    if (handle_) {
+      handle_.destroy();
+      handle_ = {};
+    }
+  }
+
+  std::coroutine_handle<promise_type> handle_;
+};
+
+template <>
+class [[nodiscard]] Task<void> {
+ public:
+  struct promise_type : detail::PromiseBase {
+    Task get_return_object() {
+      return Task{std::coroutine_handle<promise_type>::from_promise(*this)};
+    }
+    void return_void() noexcept {}
+
+    struct FinalAwaiter : detail::PromiseBase::FinalAwaiter {
+      std::coroutine_handle<> await_suspend(
+          std::coroutine_handle<promise_type> h) const noexcept {
+        return detail::final_transfer(h);
+      }
+    };
+    [[nodiscard]] FinalAwaiter final_suspend() const noexcept { return {}; }
+  };
+
+  Task(Task&& other) noexcept : handle_(std::exchange(other.handle_, {})) {}
+  Task& operator=(Task&& other) noexcept {
+    if (this != &other) {
+      destroy();
+      handle_ = std::exchange(other.handle_, {});
+    }
+    return *this;
+  }
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  ~Task() { destroy(); }
+
+  auto operator co_await() && noexcept {
+    struct Awaiter {
+      std::coroutine_handle<promise_type> handle;
+      [[nodiscard]] bool await_ready() const noexcept { return false; }
+      std::coroutine_handle<> await_suspend(
+          std::coroutine_handle<> awaiting) noexcept {
+        handle.promise().continuation = awaiting;
+        return handle;
+      }
+      void await_resume() {
+        auto& promise = handle.promise();
+        if (promise.exception) {
+          std::rethrow_exception(promise.exception);
+        }
+      }
+    };
+    return Awaiter{handle_};
+  }
+
+ private:
+  friend class Fiber;
+
+  explicit Task(std::coroutine_handle<promise_type> handle)
+      : handle_(handle) {}
+
+  void destroy() {
+    if (handle_) {
+      handle_.destroy();
+      handle_ = {};
+    }
+  }
+
+  std::coroutine_handle<promise_type> handle_;
+};
+
+/// Shared bookkeeping for a spawned fiber; outlives the coroutine frame so
+/// handles stay valid after the fiber finishes.
+struct FiberState {
+  std::string name;
+  std::coroutine_handle<> handle;  // null once finished or killed
+  bool done = false;
+  bool failed = false;
+  std::string failure;
+  std::vector<std::function<void()>> exit_listeners;
+
+  void finish(bool with_failure, std::string reason);
+};
+
+/// Handle to a spawned top-level coroutine.  Copyable (shared state).
+class Fiber {
+ public:
+  Fiber() = default;
+
+  [[nodiscard]] bool valid() const noexcept { return state_ != nullptr; }
+  [[nodiscard]] bool done() const noexcept { return !state_ || state_->done; }
+  [[nodiscard]] bool failed() const noexcept {
+    return state_ && state_->failed;
+  }
+  [[nodiscard]] const std::string& name() const;
+
+  /// Destroy the fiber's coroutine frames if still suspended.  All pending
+  /// registrations (events, waits, CPU jobs) are released via destructors.
+  void kill();
+
+  /// Invoke `fn` when the fiber finishes (immediately if already done).
+  void on_exit(std::function<void()> fn);
+
+  /// Spawn `task` as a top-level fiber; it starts at the engine's current
+  /// time via a scheduled event, so creation order gives deterministic
+  /// start order.
+  static Fiber spawn(Engine& engine, Task<> task, std::string name = "fiber");
+
+ private:
+  explicit Fiber(std::shared_ptr<FiberState> state)
+      : state_(std::move(state)) {}
+
+  std::shared_ptr<FiberState> state_;
+};
+
+/// Awaitable created by `delay(engine, dt)`: suspends the caller for `dt`
+/// simulated seconds.  `dt == 0` still yields through the event queue.
+class DelayAwaiter {
+ public:
+  DelayAwaiter(Engine& engine, SimTime dt) noexcept
+      : engine_(&engine), dt_(dt) {}
+  DelayAwaiter(const DelayAwaiter&) = delete;
+  DelayAwaiter& operator=(const DelayAwaiter&) = delete;
+  ~DelayAwaiter() { event_.cancel(); }
+
+  [[nodiscard]] bool await_ready() const noexcept { return false; }
+  void await_suspend(std::coroutine_handle<> h) {
+    event_ = engine_->schedule_after(dt_, [h] { h.resume(); });
+  }
+  void await_resume() const noexcept {}
+
+ private:
+  Engine* engine_;
+  SimTime dt_;
+  Engine::EventHandle event_;
+};
+
+[[nodiscard]] inline DelayAwaiter delay(Engine& engine, SimTime dt) {
+  return DelayAwaiter{engine, dt};
+}
+
+/// Yield control, resuming at the same virtual time after queued events.
+[[nodiscard]] inline DelayAwaiter yield(Engine& engine) {
+  return DelayAwaiter{engine, 0.0};
+}
+
+}  // namespace ars::sim

@@ -1,0 +1,114 @@
+#pragma once
+// Suspension primitives: WaitQueue (condition-variable analogue) and Trigger
+// (one-shot latch).  Notified coroutines are resumed through engine events at
+// the current timestamp, never inline, which keeps interleavings FIFO and
+// avoids reentrancy surprises; waiters must therefore re-check their
+// predicate after waking (use a while-loop around `co_await wq.wait()`).
+
+#include <cassert>
+#include <coroutine>
+#include <list>
+
+#include "ars/sim/engine.hpp"
+#include "ars/sim/task.hpp"
+
+namespace ars::sim {
+
+class WaitQueue {
+ public:
+  explicit WaitQueue(Engine& engine) noexcept : engine_(&engine) {}
+  WaitQueue(const WaitQueue&) = delete;
+  WaitQueue& operator=(const WaitQueue&) = delete;
+  ~WaitQueue() { assert(waiters_.empty() && "WaitQueue destroyed with waiters"); }
+
+  class Awaiter {
+   public:
+    explicit Awaiter(WaitQueue& queue) noexcept : queue_(&queue) {}
+    Awaiter(const Awaiter&) = delete;
+    Awaiter& operator=(const Awaiter&) = delete;
+    ~Awaiter() {
+      if (queued_) {
+        queue_->waiters_.erase(position_);
+      }
+      wake_event_.cancel();
+    }
+
+    [[nodiscard]] bool await_ready() const noexcept { return false; }
+    void await_suspend(std::coroutine_handle<> h) {
+      handle_ = h;
+      queue_->waiters_.push_back(this);
+      position_ = std::prev(queue_->waiters_.end());
+      queued_ = true;
+    }
+    void await_resume() const noexcept {}
+
+   private:
+    friend class WaitQueue;
+    WaitQueue* queue_;
+    std::coroutine_handle<> handle_;
+    std::list<Awaiter*>::iterator position_;
+    bool queued_ = false;
+    Engine::EventHandle wake_event_;
+  };
+
+  /// Suspend until notified.  Always pair with a predicate re-check.
+  [[nodiscard]] Awaiter wait() noexcept { return Awaiter{*this}; }
+
+  /// Wake the longest-waiting coroutine, if any.
+  void notify_one() {
+    if (waiters_.empty()) {
+      return;
+    }
+    wake(waiters_.front());
+  }
+
+  /// Wake every currently queued coroutine.
+  void notify_all() {
+    while (!waiters_.empty()) {
+      wake(waiters_.front());
+    }
+  }
+
+  [[nodiscard]] std::size_t waiter_count() const noexcept {
+    return waiters_.size();
+  }
+  [[nodiscard]] Engine& engine() const noexcept { return *engine_; }
+
+ private:
+  void wake(Awaiter* awaiter) {
+    waiters_.erase(awaiter->position_);
+    awaiter->queued_ = false;
+    const std::coroutine_handle<> h = awaiter->handle_;
+    awaiter->wake_event_ = engine_->schedule_after(0.0, [h] { h.resume(); });
+  }
+
+  Engine* engine_;
+  std::list<Awaiter*> waiters_;
+};
+
+/// One-shot latch: `fire()` releases all current and future waiters.
+class Trigger {
+ public:
+  explicit Trigger(Engine& engine) noexcept : queue_(engine) {}
+
+  [[nodiscard]] bool fired() const noexcept { return fired_; }
+
+  void fire() {
+    if (!fired_) {
+      fired_ = true;
+      queue_.notify_all();
+    }
+  }
+
+  [[nodiscard]] Task<> wait() {
+    while (!fired_) {
+      co_await queue_.wait();
+    }
+  }
+
+ private:
+  bool fired_ = false;
+  WaitQueue queue_;
+};
+
+}  // namespace ars::sim

@@ -1,0 +1,56 @@
+#pragma once
+// Byte-order utilities backing HPCM's machine-independent state encoding.
+//
+// HPCM migrates processes across heterogeneous hosts, so captured state is
+// encoded in a canonical (big-endian, fixed-width) form.  The simulated
+// hosts carry a declared byte order; encode/decode go through these helpers
+// regardless of the byte order of the machine running the simulation.
+
+#include <bit>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <vector>
+
+namespace ars::support {
+
+enum class ByteOrder {
+  kBigEndian,     // e.g. the paper's UltraSPARC workstations
+  kLittleEndian,  // e.g. x86 hosts
+};
+
+[[nodiscard]] constexpr ByteOrder native_byte_order() noexcept {
+  return std::endian::native == std::endian::big ? ByteOrder::kBigEndian
+                                                 : ByteOrder::kLittleEndian;
+}
+
+[[nodiscard]] constexpr std::uint16_t byteswap16(std::uint16_t v) noexcept {
+  return static_cast<std::uint16_t>((v << 8) | (v >> 8));
+}
+[[nodiscard]] constexpr std::uint32_t byteswap32(std::uint32_t v) noexcept {
+  return (v << 24) | ((v & 0xff00U) << 8) | ((v >> 8) & 0xff00U) | (v >> 24);
+}
+[[nodiscard]] constexpr std::uint64_t byteswap64(std::uint64_t v) noexcept {
+  return (static_cast<std::uint64_t>(byteswap32(static_cast<std::uint32_t>(v)))
+          << 32) |
+         byteswap32(static_cast<std::uint32_t>(v >> 32));
+}
+
+/// Append `value` to `out` in big-endian (canonical network) order.
+void put_be16(std::vector<std::byte>& out, std::uint16_t value);
+void put_be32(std::vector<std::byte>& out, std::uint32_t value);
+void put_be64(std::vector<std::byte>& out, std::uint64_t value);
+void put_be_double(std::vector<std::byte>& out, double value);
+
+/// Read big-endian values; the span must hold at least the needed bytes
+/// starting at `offset`.  Advances `offset`.
+[[nodiscard]] std::uint16_t get_be16(std::span<const std::byte> in,
+                                     std::size_t& offset);
+[[nodiscard]] std::uint32_t get_be32(std::span<const std::byte> in,
+                                     std::size_t& offset);
+[[nodiscard]] std::uint64_t get_be64(std::span<const std::byte> in,
+                                     std::size_t& offset);
+[[nodiscard]] double get_be_double(std::span<const std::byte> in,
+                                   std::size_t& offset);
+
+}  // namespace ars::support

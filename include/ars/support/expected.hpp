@@ -1,0 +1,99 @@
+#pragma once
+// A small Result/Expected type used across module boundaries where failure is
+// a normal outcome (parsing, lookups, protocol decoding).  We avoid
+// exceptions on those paths; exceptions remain for programming errors.
+
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace ars::support {
+
+/// Error payload: a machine-checkable code plus human-readable detail.
+struct Error {
+  std::string code;
+  std::string message;
+
+  [[nodiscard]] std::string to_string() const { return code + ": " + message; }
+};
+
+inline Error make_error(std::string code, std::string message) {
+  return Error{std::move(code), std::move(message)};
+}
+
+/// Minimal expected<T, Error>.  `T` must be movable; `void` is supported via
+/// the `Status` alias below.
+template <typename T>
+class Expected {
+ public:
+  Expected(T value) : data_(std::in_place_index<0>, std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Expected(Error error) : data_(std::in_place_index<1>, std::move(error)) {}  // NOLINT(google-explicit-constructor)
+
+  [[nodiscard]] bool has_value() const noexcept { return data_.index() == 0; }
+  explicit operator bool() const noexcept { return has_value(); }
+
+  [[nodiscard]] T& value() & {
+    require_value();
+    return std::get<0>(data_);
+  }
+  [[nodiscard]] const T& value() const& {
+    require_value();
+    return std::get<0>(data_);
+  }
+  [[nodiscard]] T&& value() && {
+    require_value();
+    return std::get<0>(std::move(data_));
+  }
+
+  [[nodiscard]] const Error& error() const {
+    if (has_value()) {
+      throw std::logic_error("Expected::error() on a value");
+    }
+    return std::get<1>(data_);
+  }
+
+  [[nodiscard]] T value_or(T fallback) const& {
+    return has_value() ? std::get<0>(data_) : std::move(fallback);
+  }
+
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+
+ private:
+  void require_value() const {
+    if (!has_value()) {
+      throw std::logic_error("Expected::value() on error: " +
+                             std::get<1>(data_).to_string());
+    }
+  }
+
+  std::variant<T, Error> data_;
+};
+
+/// Success-or-error with no payload.
+class Status {
+ public:
+  Status() = default;
+  Status(Error error) : error_(std::move(error)) {}  // NOLINT(google-explicit-constructor)
+
+  static Status ok() { return Status{}; }
+
+  [[nodiscard]] bool is_ok() const noexcept { return !error_.has_value(); }
+  explicit operator bool() const noexcept { return is_ok(); }
+
+  [[nodiscard]] const Error& error() const {
+    if (is_ok()) {
+      throw std::logic_error("Status::error() on OK status");
+    }
+    return *error_;
+  }
+
+ private:
+  std::optional<Error> error_;
+};
+
+}  // namespace ars::support

@@ -1,0 +1,82 @@
+#pragma once
+// Levelled logging with simulation-time stamps.
+//
+// The logger is deliberately tiny: a global sink with a level filter and an
+// optional "simulation clock" hook so every record is stamped with virtual
+// time instead of wall time.  Experiments set the hook once when the engine
+// is created; modules log through ARS_LOG_* macros which compile down to a
+// level check before any formatting happens.
+
+#include <functional>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace ars::support {
+
+enum class LogLevel : int {
+  kTrace = 0,
+  kDebug = 1,
+  kInfo = 2,
+  kWarn = 3,
+  kError = 4,
+  kOff = 5,
+};
+
+/// Human-readable name of a level ("TRACE", "DEBUG", ...).
+std::string_view to_string(LogLevel level) noexcept;
+
+class Logger {
+ public:
+  using ClockFn = std::function<double()>;
+  using SinkFn = std::function<void(LogLevel, std::string_view component,
+                                    std::string_view message, double sim_time)>;
+
+  /// The process-wide logger used by the ARS_LOG_* macros.
+  static Logger& global();
+
+  void set_level(LogLevel level) noexcept { level_ = level; }
+  [[nodiscard]] LogLevel level() const noexcept { return level_; }
+  [[nodiscard]] bool enabled(LogLevel level) const noexcept {
+    return static_cast<int>(level) >= static_cast<int>(level_);
+  }
+
+  /// Install a virtual-time source; pass nullptr to revert to "no time".
+  void set_clock(ClockFn clock) { clock_ = std::move(clock); }
+
+  /// Replace the output sink (default: stderr).  Used by tests to capture.
+  void set_sink(SinkFn sink) { sink_ = std::move(sink); }
+
+  void write(LogLevel level, std::string_view component,
+             std::string_view message);
+
+ private:
+  Logger();
+
+  LogLevel level_ = LogLevel::kWarn;
+  ClockFn clock_;
+  SinkFn sink_;
+};
+
+}  // namespace ars::support
+
+#define ARS_LOG_IMPL(level, component, expr)                              \
+  do {                                                                    \
+    if (::ars::support::Logger::global().enabled(level)) {                \
+      std::ostringstream ars_log_oss_;                                    \
+      ars_log_oss_ << expr;                                               \
+      ::ars::support::Logger::global().write(level, component,            \
+                                             ars_log_oss_.str());         \
+    }                                                                     \
+  } while (false)
+
+#define ARS_LOG_TRACE(component, expr) \
+  ARS_LOG_IMPL(::ars::support::LogLevel::kTrace, component, expr)
+#define ARS_LOG_DEBUG(component, expr) \
+  ARS_LOG_IMPL(::ars::support::LogLevel::kDebug, component, expr)
+#define ARS_LOG_INFO(component, expr) \
+  ARS_LOG_IMPL(::ars::support::LogLevel::kInfo, component, expr)
+#define ARS_LOG_WARN(component, expr) \
+  ARS_LOG_IMPL(::ars::support::LogLevel::kWarn, component, expr)
+#define ARS_LOG_ERROR(component, expr) \
+  ARS_LOG_IMPL(::ars::support::LogLevel::kError, component, expr)

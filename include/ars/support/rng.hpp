@@ -1,0 +1,83 @@
+#pragma once
+// Deterministic pseudo-random number generation.
+//
+// Every stochastic element of the simulation (workload arrivals, random tree
+// values, jitter) draws from an explicitly seeded generator so experiment
+// runs are exactly reproducible.  xoshiro256** is small, fast, and has
+// well-studied statistical quality; SplitMix64 expands a single seed into
+// the four-word state.
+
+#include <array>
+#include <cstdint>
+
+namespace ars::support {
+
+/// SplitMix64 step: used for seeding and as a cheap standalone generator.
+constexpr std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** generator.  Satisfies UniformRandomBitGenerator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit constexpr Rng(std::uint64_t seed = 0x3243f6a8885a308dULL) noexcept {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) {
+      word = splitmix64(sm);
+    }
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~0ULL; }
+
+  constexpr result_type operator()() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  constexpr double uniform() noexcept {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  constexpr double uniform(double lo, double hi) noexcept {
+    return lo + (hi - lo) * uniform();
+  }
+
+  /// Uniform integer in [lo, hi] (inclusive).  Requires lo <= hi.
+  constexpr std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) noexcept {
+    const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+    return lo + static_cast<std::int64_t>((*this)() % span);
+  }
+
+  /// Exponentially distributed value with the given mean (> 0).
+  double exponential(double mean) noexcept;
+
+  /// Derive an independent child generator (stream splitting).
+  constexpr Rng split() noexcept {
+    return Rng{(*this)() ^ 0x9e3779b97f4a7c15ULL};
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+};
+
+}  // namespace ars::support

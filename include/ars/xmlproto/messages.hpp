@@ -1,0 +1,146 @@
+#pragma once
+// The rescheduler's wire protocol: typed messages encoded as XML documents,
+// exchanged between monitor, registry/scheduler and commander entities over
+// the simulated TCP transport (paper §3.3, "Entities of rescheduler").
+//
+// Each message is one XML element <ars type="..."> with typed children.
+// decode() gives back a std::variant so entity loops can dispatch with
+// std::visit and malformed input surfaces as an Expected error instead of a
+// crash — the control plane must survive garbage.
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+#include "ars/support/expected.hpp"
+
+namespace ars::xmlproto {
+
+/// One-time static registration payload (host birth certificate).
+struct StaticInfo {
+  std::string host;
+  std::string ip;
+  std::string os;
+  std::uint64_t memory_bytes = 0;
+  std::uint64_t disk_bytes = 0;
+  double cpu_speed = 1.0;
+  std::string byte_order;  // "big" | "little"
+};
+
+/// Periodic soft-state heartbeat from a monitor.
+struct DynamicStatus {
+  std::string host;
+  std::string state;  // "free" | "busy" | "overloaded" (or finer grained)
+  double load1 = 0.0;
+  double load5 = 0.0;
+  double cpu_util = 0.0;  // [0,1]
+  int processes = 0;
+  double mem_available_pct = 0.0;
+  std::uint64_t disk_available = 0;
+  double net_in_bps = 0.0;
+  double net_out_bps = 0.0;
+  int sockets_established = 0;
+  double timestamp = 0.0;
+};
+
+/// Monitor -> registry: initial registration.
+struct RegisterMsg {
+  StaticInfo info;
+  int monitor_port = 0;
+  int commander_port = 0;
+};
+
+/// Monitor -> registry: heartbeat / state change.
+struct UpdateMsg {
+  DynamicStatus status;
+};
+
+/// Monitor -> registry: host is overloaded, request a migration decision.
+struct ConsultMsg {
+  std::string host;
+  std::string reason;
+};
+
+/// Registry -> commander (of the overloaded host): migrate `pid` to dest.
+struct MigrateCmd {
+  int pid = 0;
+  std::string process_name;
+  std::string dest_host;
+  std::string dest_ip;
+  int dest_port = 0;
+  std::string schema_name;
+};
+
+/// Commander/monitor -> registry: generic acknowledgement.
+struct AckMsg {
+  std::string of;  // message type being acknowledged
+  bool ok = true;
+  std::string detail;
+};
+
+/// Monitor -> registry: register a (migratable) process and its schema key.
+struct ProcessRegisterMsg {
+  std::string host;
+  int pid = 0;
+  std::string name;
+  double start_time = 0.0;
+  bool migration_enabled = false;
+  std::string schema_name;
+};
+
+/// Monitor -> registry: a process finished or was migrated away.
+struct ProcessDeregisterMsg {
+  std::string host;
+  int pid = 0;
+};
+
+/// Child registry -> parent registry: aggregated health (hierarchy, §3.2).
+struct HealthReportMsg {
+  std::string registry_host;
+  int free_hosts = 0;
+  int busy_hosts = 0;
+  int overloaded_hosts = 0;
+  double timestamp = 0.0;
+};
+
+/// Parent registry -> child (or monitor): recommended destination, possibly
+/// escalated from another domain.  `found == false` means no candidate.
+struct RecommendMsg {
+  bool found = false;
+  std::string dest_host;
+  std::string dest_ip;
+  int dest_port = 0;  // commander port of the destination host
+};
+
+/// Administrator/monitor -> registry: migrate EVERY migration-enabled
+/// process off `host` (planned shutdown, detected intrusion — the fault
+/// tolerance use cases of the paper's §6) and stop assigning work to it.
+struct EvacuateMsg {
+  std::string host;
+  std::string reason;
+};
+
+/// Registry -> commander of the *destination* host: bring a process that
+/// was lost with its host back to life from its latest checkpoint.
+struct RelaunchCmd {
+  std::string process_name;  // name in the checkpoint store / middleware
+  std::string lost_host;     // where it was running
+  std::string schema_name;
+};
+
+using ProtocolMessage =
+    std::variant<RegisterMsg, UpdateMsg, ConsultMsg, MigrateCmd, AckMsg,
+                 ProcessRegisterMsg, ProcessDeregisterMsg, HealthReportMsg,
+                 RecommendMsg, EvacuateMsg, RelaunchCmd>;
+
+/// Serialize any protocol message to its XML wire form.
+[[nodiscard]] std::string encode(const ProtocolMessage& message);
+
+/// Parse a wire document back into a typed message.
+[[nodiscard]] support::Expected<ProtocolMessage> decode(
+    std::string_view wire);
+
+/// Wire type tag of a message ("register", "update", ...).
+[[nodiscard]] std::string message_type(const ProtocolMessage& message);
+
+}  // namespace ars::xmlproto

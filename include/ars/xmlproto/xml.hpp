@@ -1,0 +1,92 @@
+#pragma once
+// Minimal XML document model, writer and parser.
+//
+// The paper's rescheduler entities talk "a custom XML based protocol with
+// TCP/IP sockets", and the application schema is "in a XML format".  This is
+// a deliberately small XML subset — elements, attributes, text, escaping —
+// enough to express those documents while staying easy to debug (one of the
+// paper's stated reasons for choosing XML).
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "ars/support/expected.hpp"
+
+namespace ars::xmlproto {
+
+class XmlNode {
+ public:
+  explicit XmlNode(std::string name) : name_(std::move(name)) {}
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] const std::string& text() const noexcept { return text_; }
+  void set_text(std::string text) { text_ = std::move(text); }
+
+  void set_attr(const std::string& key, std::string value) {
+    attrs_[key] = std::move(value);
+  }
+  [[nodiscard]] std::optional<std::string> attr(const std::string& key) const {
+    const auto it = attrs_.find(key);
+    return it == attrs_.end() ? std::nullopt
+                              : std::optional<std::string>{it->second};
+  }
+  /// Attribute with a fallback value.
+  [[nodiscard]] std::string attr_or(const std::string& key,
+                                    std::string fallback) const {
+    return attr(key).value_or(std::move(fallback));
+  }
+  [[nodiscard]] const std::map<std::string, std::string>& attrs() const {
+    return attrs_;
+  }
+
+  /// Append and return a child element.
+  XmlNode& add_child(std::string child_name);
+
+  /// Append an already-built subtree.
+  void adopt_child(std::unique_ptr<XmlNode> child) {
+    children_.push_back(std::move(child));
+  }
+
+  [[nodiscard]] const std::vector<std::unique_ptr<XmlNode>>& children() const {
+    return children_;
+  }
+
+  /// First child with the given name, or nullptr.
+  [[nodiscard]] const XmlNode* child(std::string_view child_name) const;
+  [[nodiscard]] XmlNode* child(std::string_view child_name);
+
+  /// All children with the given name.
+  [[nodiscard]] std::vector<const XmlNode*> children_named(
+      std::string_view child_name) const;
+
+  /// Text content of a named child, or fallback.
+  [[nodiscard]] std::string child_text_or(std::string_view child_name,
+                                          std::string fallback) const;
+
+  /// Serialize (compact, deterministic: attributes in key order).
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  void write(std::string& out) const;
+
+  std::string name_;
+  std::string text_;
+  std::map<std::string, std::string> attrs_;
+  std::vector<std::unique_ptr<XmlNode>> children_;
+};
+
+/// Escape &<>"' for use in text or attribute values.
+[[nodiscard]] std::string xml_escape(std::string_view raw);
+
+/// Parse a single-root XML document.  Returns a detailed error on malformed
+/// input (unterminated tags, mismatched close tags, bad entities, trailing
+/// garbage).  Comments and XML declarations are skipped; CDATA, processing
+/// instructions and DTDs are not supported.
+[[nodiscard]] support::Expected<std::unique_ptr<XmlNode>> parse_xml(
+    std::string_view input);
+
+}  // namespace ars::xmlproto

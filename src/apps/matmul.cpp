@@ -1,0 +1,118 @@
+#include "ars/apps/matmul.hpp"
+
+#include <vector>
+
+#include "ars/support/rng.hpp"
+
+namespace ars::apps {
+
+namespace {
+
+void fill_inputs(const MatMul::Params& params, std::vector<double>& a,
+                 std::vector<double>& b) {
+  support::Rng rng{params.seed};
+  const auto n = static_cast<std::size_t>(params.n);
+  a.resize(n * n);
+  b.resize(n * n);
+  for (double& v : a) {
+    v = rng.uniform(-1.0, 1.0);
+  }
+  for (double& v : b) {
+    v = rng.uniform(-1.0, 1.0);
+  }
+}
+
+void multiply_rows(const MatMul::Params& params, const std::vector<double>& a,
+                   const std::vector<double>& b, std::vector<double>& c,
+                   int row_begin, int row_end) {
+  const int n = params.n;
+  for (int i = row_begin; i < row_end; ++i) {
+    for (int k = 0; k < n; ++k) {
+      const double aik = a[static_cast<std::size_t>(i) * n + k];
+      for (int j = 0; j < n; ++j) {
+        c[static_cast<std::size_t>(i) * n + j] +=
+            aik * b[static_cast<std::size_t>(k) * n + j];
+      }
+    }
+  }
+}
+
+}  // namespace
+
+double MatMul::expected_checksum(const Params& params) {
+  std::vector<double> a;
+  std::vector<double> b;
+  fill_inputs(params, a, b);
+  std::vector<double> c(a.size(), 0.0);
+  multiply_rows(params, a, b, c, 0, params.n);
+  double sum = 0.0;
+  for (const double v : c) {
+    sum += v;
+  }
+  return sum;
+}
+
+hpcm::ApplicationSchema MatMul::schema(const Params& params,
+                                       const std::string& name) {
+  hpcm::ApplicationSchema schema{name};
+  schema.set_characteristic(hpcm::AppCharacteristic::kDataIntensive);
+  schema.set_est_exec_time(total_work(params));
+  const auto matrix_bytes =
+      static_cast<std::uint64_t>(params.n) * params.n * 8;
+  schema.set_est_comm_bytes(3 * matrix_bytes);
+  hpcm::ResourceRequirements req;
+  req.min_memory_bytes = 3 * matrix_bytes;
+  schema.set_requirements(req);
+  return schema;
+}
+
+hpcm::MigrationEngine::MigratableApp MatMul::make(Params params,
+                                                  Result* out) {
+  return [params, out](mpi::Proc& proc,
+                       hpcm::MigrationContext& ctx) -> sim::Task<> {
+    std::vector<double> a;
+    std::vector<double> b;
+    std::vector<double> c;
+    std::int64_t next_row = 0;
+
+    if (ctx.restored()) {
+      a = *ctx.state().get_doubles("a");
+      b = *ctx.state().get_doubles("b");
+      c = *ctx.state().get_doubles("c");
+      next_row = *ctx.state().get_int("next_row");
+    } else {
+      fill_inputs(params, a, b);
+      c.assign(a.size(), 0.0);
+    }
+    ctx.on_save([&ctx, &a, &b, &c, &next_row] {
+      ctx.state().set_doubles("a", a);
+      ctx.state().set_doubles("b", b);
+      ctx.state().set_doubles("c", c);
+      ctx.state().set_int("next_row", next_row);
+    });
+
+    const double row_work =
+        total_work(params) / static_cast<double>(params.n);
+    while (next_row < params.n) {
+      co_await ctx.poll_point();
+      const int row_end = static_cast<int>(
+          std::min<std::int64_t>(next_row + params.block_rows, params.n));
+      co_await proc.compute(row_work *
+                            static_cast<double>(row_end - next_row));
+      multiply_rows(params, a, b, c, static_cast<int>(next_row), row_end);
+      next_row = row_end;
+    }
+
+    double sum = 0.0;
+    for (const double v : c) {
+      sum += v;
+    }
+    out->checksum = sum;
+    out->finished = true;
+    out->finished_on = proc.host().name();
+    out->finished_at = proc.system().engine().now();
+    out->migrations = ctx.migrations();
+  };
+}
+
+}  // namespace ars::apps

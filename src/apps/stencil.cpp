@@ -1,0 +1,141 @@
+#include "ars/apps/stencil.hpp"
+
+#include <numeric>
+
+namespace ars::apps {
+
+namespace {
+
+constexpr int kTagLeft = 11;   // message travelling left (to rank-1)
+constexpr int kTagRight = 12;  // message travelling right (to rank+1)
+
+std::vector<double> initial_cells(const Stencil1D::Params& params,
+                                  int rank) {
+  std::vector<double> cells(static_cast<std::size_t>(params.cells_per_rank));
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    // Deterministic, rank-dependent ramp with a discontinuity to smooth.
+    cells[i] = static_cast<double>(rank) * 100.0 +
+               static_cast<double>(i % 17);
+  }
+  return cells;
+}
+
+void jacobi_step(std::vector<double>& cells, double left_halo,
+                 double right_halo) {
+  std::vector<double> next(cells.size());
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const double left = i == 0 ? left_halo : cells[i - 1];
+    const double right = i + 1 == cells.size() ? right_halo : cells[i + 1];
+    next[i] = 0.5 * cells[i] + 0.25 * (left + right);
+  }
+  cells = std::move(next);
+}
+
+}  // namespace
+
+std::vector<double> Stencil1D::reference_sums(const Params& params,
+                                              int ranks) {
+  // Serial re-enactment of the distributed computation.
+  std::vector<std::vector<double>> domains;
+  domains.reserve(static_cast<std::size_t>(ranks));
+  for (int r = 0; r < ranks; ++r) {
+    domains.push_back(initial_cells(params, r));
+  }
+  for (int it = 0; it < params.iterations; ++it) {
+    std::vector<std::vector<double>> next = domains;
+    for (int r = 0; r < ranks; ++r) {
+      const double left_halo = r == 0 ? 0.0 : domains[r - 1].back();
+      const double right_halo =
+          r + 1 == ranks ? 0.0 : domains[r + 1].front();
+      jacobi_step(next[static_cast<std::size_t>(r)], left_halo, right_halo);
+    }
+    domains = std::move(next);
+  }
+  std::vector<double> sums;
+  sums.reserve(domains.size());
+  for (const auto& d : domains) {
+    sums.push_back(std::accumulate(d.begin(), d.end(), 0.0));
+  }
+  return sums;
+}
+
+hpcm::ApplicationSchema Stencil1D::schema(const Params& params,
+                                          const std::string& name) {
+  hpcm::ApplicationSchema schema{name};
+  schema.set_characteristic(
+      hpcm::AppCharacteristic::kCommunicationIntensive);
+  schema.set_est_exec_time(total_work_per_rank(params));
+  schema.set_est_comm_bytes(
+      static_cast<std::uint64_t>(params.cells_per_rank) * 8);
+  return schema;
+}
+
+hpcm::MigrationEngine::MigratableApp Stencil1D::make(
+    Params params, std::vector<RankResult>* results) {
+  return [params, results](mpi::Proc& proc,
+                           hpcm::MigrationContext& ctx) -> sim::Task<> {
+    const mpi::Comm world = proc.world();
+    const int rank = proc.world_rank();
+    const int size = world.size();
+
+    std::vector<double> cells;
+    std::int64_t iteration = 0;
+    if (ctx.restored()) {
+      cells = *ctx.state().get_doubles("cells");
+      iteration = *ctx.state().get_int("iteration");
+    } else {
+      cells = initial_cells(params, rank);
+    }
+    ctx.on_save([&ctx, &cells, &iteration] {
+      ctx.state().set_doubles("cells", cells);
+      ctx.state().set_int("iteration", iteration);
+    });
+
+    const double step_work = total_work_per_rank(params) /
+                             static_cast<double>(params.iterations);
+    for (; iteration < params.iterations; ++iteration) {
+      co_await ctx.poll_point();
+      // Halo exchange: boundary values to the neighbours, non-blocking
+      // sends so adjacent ranks cannot deadlock.
+      mpi::Request send_left;
+      mpi::Request send_right;
+      if (rank > 0) {
+        mpi::MpiMessage m;
+        m.values = {cells.front()};
+        send_left =
+            proc.isend(world, rank - 1, kTagLeft, params.halo_bytes, m);
+      }
+      if (rank + 1 < size) {
+        mpi::MpiMessage m;
+        m.values = {cells.back()};
+        send_right =
+            proc.isend(world, rank + 1, kTagRight, params.halo_bytes, m);
+      }
+      double left_halo = 0.0;
+      double right_halo = 0.0;
+      if (rank > 0) {
+        const mpi::MpiMessage m = co_await proc.recv(world, rank - 1,
+                                                     kTagRight);
+        left_halo = m.values.at(0);
+      }
+      if (rank + 1 < size) {
+        const mpi::MpiMessage m = co_await proc.recv(world, rank + 1,
+                                                     kTagLeft);
+        right_halo = m.values.at(0);
+      }
+      co_await send_left.wait();
+      co_await send_right.wait();
+
+      co_await proc.compute(step_work);
+      jacobi_step(cells, left_halo, right_halo);
+    }
+
+    RankResult& out = (*results)[static_cast<std::size_t>(rank)];
+    out.finished = true;
+    out.local_sum = std::accumulate(cells.begin(), cells.end(), 0.0);
+    out.finished_on = proc.host().name();
+    out.migrations = ctx.migrations();
+  };
+}
+
+}  // namespace ars::apps

@@ -1,0 +1,138 @@
+#include "ars/apps/test_tree.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace ars::apps {
+
+namespace {
+
+enum Phase : std::int64_t {
+  kBuild = 0,
+  kFill = 1,
+  kSort = 2,
+  kSum = 3,
+  kDone = 4,
+};
+
+std::vector<double> make_values(const TestTree::Params& params) {
+  support::Rng rng{params.seed};
+  std::vector<double> values(
+      static_cast<std::size_t>(TestTree::node_count(params)));
+  for (double& v : values) {
+    v = static_cast<double>(rng.uniform_int(0, 1'000'000));
+  }
+  return values;
+}
+
+double phase_work(const TestTree::Params& params, std::int64_t phase) {
+  const double knodes =
+      static_cast<double>(TestTree::node_count(params)) / 1000.0;
+  switch (phase) {
+    case kBuild:
+      return knodes * params.build_work_per_knode;
+    case kFill:
+      return knodes * params.fill_work_per_knode;
+    case kSort:
+      return knodes * params.sort_work_per_knode;
+    case kSum:
+      return knodes * params.sum_work_per_knode;
+    default:
+      return 0.0;
+  }
+}
+
+}  // namespace
+
+double TestTree::expected_sum(const Params& params) {
+  const auto values = make_values(params);
+  return std::accumulate(values.begin(), values.end(), 0.0);
+}
+
+double TestTree::total_work(const Params& params) {
+  return phase_work(params, kBuild) + phase_work(params, kFill) +
+         phase_work(params, kSort) + phase_work(params, kSum);
+}
+
+hpcm::ApplicationSchema TestTree::schema(const Params& params,
+                                         const std::string& name) {
+  hpcm::ApplicationSchema schema{name};
+  schema.set_characteristic(hpcm::AppCharacteristic::kComputeIntensive);
+  schema.set_est_exec_time(total_work(params));
+  const auto nodes = static_cast<std::uint64_t>(node_count(params));
+  schema.set_est_comm_bytes(nodes * (8 + params.node_overhead_bytes));
+  hpcm::ResourceRequirements req;
+  req.min_memory_bytes = nodes * (8 + params.node_overhead_bytes);
+  req.min_cpu_speed = 0.1;
+  schema.set_requirements(req);
+  return schema;
+}
+
+hpcm::MigrationEngine::MigratableApp TestTree::make(Params params,
+                                                    Result* out) {
+  return [params, out](mpi::Proc& proc,
+                       hpcm::MigrationContext& ctx) -> sim::Task<> {
+    // ---- live state (collected/restored around migrations) ---------------
+    std::int64_t phase = kBuild;
+    double done_in_phase = 0.0;  // reference-seconds completed in this phase
+    std::vector<double> values;
+
+    if (ctx.restored()) {
+      phase = *ctx.state().get_int("phase");
+      done_in_phase = *ctx.state().get_double("done_in_phase");
+      values = *ctx.state().get_doubles("values");
+    }
+    ctx.on_save([&ctx, &phase, &done_in_phase, &values, &params] {
+      ctx.state().set_int("phase", phase);
+      ctx.state().set_double("done_in_phase", done_in_phase);
+      ctx.state().set_doubles("values", values);
+      // The node structures themselves (pointers, headers) move as bulk.
+      ctx.state().set_opaque(
+          "tree_nodes", static_cast<std::uint64_t>(node_count(params)) *
+                            params.node_overhead_bytes);
+    });
+
+    // ---- phase executor: burn the phase's work in poll-point chunks ------
+    const auto run_phase = [&](std::int64_t target) -> sim::Task<> {
+      const double total = phase_work(params, target);
+      while (done_in_phase < total) {
+        co_await ctx.poll_point();
+        const double chunk =
+            std::min(params.chunk_work, total - done_in_phase);
+        co_await proc.compute(chunk);
+        done_in_phase += chunk;
+      }
+    };
+
+    while (phase != kDone) {
+      co_await run_phase(phase);
+      // Phase complete: apply the real data operation, advance.
+      switch (phase) {
+        case kBuild:
+          values.assign(static_cast<std::size_t>(node_count(params)), 0.0);
+          break;
+        case kFill:
+          values = make_values(params);
+          break;
+        case kSort:
+          std::sort(values.begin(), values.end());
+          break;
+        case kSum:
+          out->sum = std::accumulate(values.begin(), values.end(), 0.0);
+          break;
+        default:
+          break;
+      }
+      ++phase;
+      done_in_phase = 0.0;
+    }
+
+    out->finished = true;
+    out->sorted = std::is_sorted(values.begin(), values.end());
+    out->finished_on = proc.host().name();
+    out->finished_at = proc.system().engine().now();
+    out->migrations = ctx.migrations();
+  };
+}
+
+}  // namespace ars::apps

@@ -1,0 +1,104 @@
+#include "ars/commander/commander.hpp"
+
+#include "ars/support/log.hpp"
+#include "ars/xmlproto/messages.hpp"
+
+namespace ars::commander {
+
+Commander::Commander(host::Host& h, net::Network& network,
+                     hpcm::MigrationEngine& middleware, Config config)
+    : host_(&h),
+      network_(&network),
+      middleware_(&middleware),
+      config_(config) {
+  if (config_.port == 0) {
+    config_.port = network_->allocate_port(host_->name());
+  }
+}
+
+Commander::~Commander() { stop(); }
+
+void Commander::start() {
+  if (running_) {
+    return;
+  }
+  running_ = true;
+  endpoint_ = &network_->bind(host_->name(), config_.port);
+  fiber_ = sim::Fiber::spawn(host_->engine(), serve(),
+                             "commander." + host_->name());
+}
+
+void Commander::stop() {
+  if (!running_) {
+    return;
+  }
+  running_ = false;
+  fiber_.kill();
+  network_->unbind(host_->name(), config_.port);
+  endpoint_ = nullptr;
+}
+
+sim::Task<> Commander::serve() {
+  while (true) {
+    const net::Message wire = co_await endpoint_->inbox.recv();
+    auto message = xmlproto::decode(wire.payload);
+    if (!message.has_value()) {
+      ARS_LOG_WARN("commander", "undecodable message from " << wire.src_host);
+      continue;
+    }
+    if (const auto* relaunch =
+            std::get_if<xmlproto::RelaunchCmd>(&*message)) {
+      // Failure recovery: bring a process lost with its host back to life
+      // here, from its latest checkpoint if one exists.
+      const mpi::RankId id =
+          middleware_->relaunch(relaunch->process_name, host_->name());
+      if (id == 0) {
+        ARS_LOG_WARN("commander", "relaunch of unknown process "
+                                      << relaunch->process_name << " on "
+                                      << host_->name());
+      } else {
+        ARS_LOG_INFO("commander", host_->name() << " relaunched "
+                                                << relaunch->process_name
+                                                << " (lost with "
+                                                << relaunch->lost_host << ")");
+      }
+      continue;
+    }
+    const auto* command = std::get_if<xmlproto::MigrateCmd>(&*message);
+    if (command == nullptr) {
+      ARS_LOG_WARN("commander", "unexpected "
+                                    << xmlproto::message_type(*message)
+                                    << " from " << wire.src_host);
+      continue;
+    }
+    ++commands_received_;
+    // Temp file + user-defined signal; the poll-point does the rest.
+    const bool ok = middleware_->request_migration(
+        host_->name(), command->pid, command->dest_host);
+    if (!ok) {
+      ++commands_failed_;
+      ARS_LOG_WARN("commander", "migrate command for unknown pid "
+                                    << command->pid << " on "
+                                    << host_->name());
+    } else {
+      ARS_LOG_INFO("commander", host_->name() << " signalled pid "
+                                              << command->pid
+                                              << " to migrate to "
+                                              << command->dest_host);
+    }
+    if (!config_.registry_host.empty()) {
+      xmlproto::AckMsg ack;
+      ack.of = "migrate";
+      ack.ok = ok;
+      ack.detail = ok ? "" : "unknown pid";
+      net::Message reply;
+      reply.src_host = host_->name();
+      reply.dst_host = config_.registry_host;
+      reply.dst_port = config_.registry_port;
+      reply.payload = xmlproto::encode(xmlproto::ProtocolMessage{ack});
+      network_->post(std::move(reply));
+    }
+  }
+}
+
+}  // namespace ars::commander

@@ -1,0 +1,149 @@
+#include "ars/core/runtime.hpp"
+
+#include <stdexcept>
+
+#include "ars/support/log.hpp"
+
+namespace ars::core {
+
+ClusterConfig make_cluster(int host_count, rules::MigrationPolicy policy) {
+  ClusterConfig config;
+  config.policy = std::move(policy);
+  for (int i = 1; i <= host_count; ++i) {
+    host::HostSpec spec;
+    spec.name = "ws" + std::to_string(i);
+    config.hosts.push_back(std::move(spec));
+  }
+  config.ambient_runnable = 0.26;  // the paper's idle-host load average
+  return config;
+}
+
+ReschedulerRuntime::ReschedulerRuntime(ClusterConfig config)
+    : config_(std::move(config)) {
+  if (config_.hosts.empty()) {
+    throw std::invalid_argument("cluster needs at least one host");
+  }
+  if (config_.registry_host.empty()) {
+    config_.registry_host = config_.hosts.front().name;
+  }
+  network_ = std::make_unique<net::Network>(engine_, config_.network);
+  for (const host::HostSpec& spec : config_.hosts) {
+    hosts_.push_back(std::make_unique<host::Host>(engine_, spec));
+    host::Host& h = *hosts_.back();
+    h.loadavg().set_ambient_runnable(config_.ambient_runnable);
+    h.set_ambient_process_count(config_.ambient_processes);
+    network_->attach(h);
+    hosts_by_name_.emplace(h.name(), &h);
+  }
+  mpi_ = std::make_unique<mpi::MpiSystem>(engine_, *network_, config_.mpi);
+  hpcm_ = std::make_unique<hpcm::MigrationEngine>(*mpi_, config_.hpcm);
+
+  registry::Registry::Config registry_config;
+  registry_config.policy = config_.policy;
+  registry_config.lease_ttl = config_.lease_ttl;
+  registry_config.decision_delay = config_.decision_delay;
+  registry_config.per_process_cooldown = config_.per_process_cooldown;
+  registry_config.strategy = config_.strategy;
+  registry_config.auto_restart = config_.auto_restart;
+  registry_ = std::make_unique<registry::Registry>(
+      host(config_.registry_host), *network_, registry_config);
+
+  for (const auto& h : hosts_) {
+    commander::Commander::Config commander_config;
+    commander_config.registry_host = config_.registry_host;
+    commander_config.registry_port = registry_->port();
+    commanders_.emplace(h->name(), std::make_unique<commander::Commander>(
+                                       *h, *network_, *hpcm_,
+                                       commander_config));
+    monitor::Monitor::Config monitor_config;
+    monitor_config.registry_host = config_.registry_host;
+    monitor_config.registry_port = registry_->port();
+    monitor_config.commander_port = commanders_.at(h->name())->port();
+    monitor_config.policy = config_.policy;
+    monitor_config.cycle_cpu_cost = config_.monitor_cycle_cpu_cost;
+    monitors_.emplace(h->name(), std::make_unique<monitor::Monitor>(
+                                     *h, *network_, monitor_config));
+  }
+  trace_ = std::make_unique<TraceRecorder>(engine_, *network_);
+  // Stamp log records with virtual time while this runtime is alive.
+  support::Logger::global().set_clock([this] { return engine_.now(); });
+}
+
+ReschedulerRuntime::~ReschedulerRuntime() {
+  support::Logger::global().set_clock(nullptr);
+  // Entities hold fibers suspended on network endpoints; stop them before
+  // members are torn down.
+  for (auto& [name, m] : monitors_) {
+    m->stop();
+  }
+  for (auto& [name, c] : commanders_) {
+    c->stop();
+  }
+  if (registry_) {
+    registry_->stop();
+  }
+}
+
+host::Host& ReschedulerRuntime::host(const std::string& name) {
+  const auto it = hosts_by_name_.find(name);
+  if (it == hosts_by_name_.end()) {
+    throw std::out_of_range("no such host: " + name);
+  }
+  return *it->second;
+}
+
+monitor::Monitor& ReschedulerRuntime::monitor_on(const std::string& name) {
+  return *monitors_.at(name);
+}
+
+commander::Commander& ReschedulerRuntime::commander_on(
+    const std::string& name) {
+  return *commanders_.at(name);
+}
+
+std::vector<std::string> ReschedulerRuntime::host_names() const {
+  std::vector<std::string> names;
+  names.reserve(hosts_.size());
+  for (const auto& h : hosts_) {
+    names.push_back(h->name());
+  }
+  return names;
+}
+
+void ReschedulerRuntime::start_rescheduler() {
+  if (rescheduler_running_) {
+    return;
+  }
+  rescheduler_running_ = true;
+  registry_->start();
+  for (auto& [name, c] : commanders_) {
+    c->start();
+  }
+  for (auto& [name, m] : monitors_) {
+    m->start();
+  }
+}
+
+void ReschedulerRuntime::evacuate_host(const std::string& host_name,
+                                       const std::string& reason) {
+  (void)host(host_name);  // validate
+  registry_->request_evacuation(host_name, reason);
+}
+
+int ReschedulerRuntime::fail_host(const std::string& host_name) {
+  (void)host(host_name);  // validate
+  // The rescheduler entities on the host die with it: their heartbeats
+  // stop, so the registry's soft-state lease lapses.
+  monitors_.at(host_name)->stop();
+  commanders_.at(host_name)->stop();
+  return hpcm_->crash_host(host_name);
+}
+
+mpi::RankId ReschedulerRuntime::launch_app(
+    const std::string& host_name, hpcm::MigrationEngine::MigratableApp app,
+    const std::string& name, hpcm::ApplicationSchema schema) {
+  registry_->register_schema(schema);
+  return hpcm_->launch(host_name, std::move(app), name, std::move(schema));
+}
+
+}  // namespace ars::core

@@ -1,0 +1,31 @@
+#include "ars/host/host.hpp"
+
+#include <algorithm>
+
+namespace ars::host {
+
+Host::Host(sim::Engine& engine, HostSpec spec)
+    : engine_(&engine),
+      spec_(std::move(spec)),
+      cpu_(engine, spec_.cpu_speed),
+      loadavg_(engine, cpu_),
+      memory_(spec_.memory_bytes),
+      disk_() {
+  disk_.add_mount("/", spec_.disk_bytes);
+  loadavg_.start();
+}
+
+double Host::cpu_utilization(double window) noexcept {
+  if (window <= 0.0) {
+    return 0.0;
+  }
+  const double now = engine_->now();
+  const double begin = std::max(0.0, now - window);
+  const double span = now - begin;
+  if (span <= 0.0) {
+    return 0.0;
+  }
+  return std::clamp(cpu_.busy_between(begin, now) / span, 0.0, 1.0);
+}
+
+}  // namespace ars::host

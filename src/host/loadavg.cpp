@@ -1,0 +1,42 @@
+#include "ars/host/loadavg.hpp"
+
+namespace ars::host {
+
+LoadAverage::LoadAverage(sim::Engine& engine, const CpuModel& cpu,
+                         double sample_period)
+    : engine_(&engine), cpu_(&cpu), sample_period_(sample_period) {
+  constexpr double kWindows[3] = {60.0, 300.0, 900.0};
+  for (std::size_t i = 0; i < 3; ++i) {
+    decay_[i] = std::exp(-sample_period_ / kWindows[i]);
+  }
+}
+
+void LoadAverage::start() {
+  if (running_) {
+    return;
+  }
+  running_ = true;
+  timer_ = engine_->schedule_after(sample_period_, [this] { sample(); });
+}
+
+void LoadAverage::stop() {
+  running_ = false;
+  timer_.cancel();
+}
+
+void LoadAverage::sample() {
+  // Mean run-queue length over the elapsed period (alias-free for
+  // periodic duty-cycle workloads), plus the ambient baseline.
+  const double job_seconds = cpu_->cumulative_job_seconds();
+  const double n =
+      (job_seconds - last_job_seconds_) / sample_period_ + ambient_;
+  last_job_seconds_ = job_seconds;
+  for (std::size_t i = 0; i < 3; ++i) {
+    loads_[i] = loads_[i] * decay_[i] + n * (1.0 - decay_[i]);
+  }
+  if (running_) {
+    timer_ = engine_->schedule_after(sample_period_, [this] { sample(); });
+  }
+}
+
+}  // namespace ars::host

@@ -1,0 +1,68 @@
+#include "ars/host/process.hpp"
+
+namespace ars::host {
+
+Pid ProcessTable::register_process(std::string name, double start_time,
+                                   bool migration_enabled,
+                                   std::string schema_name) {
+  const Pid pid = next_pid_++;
+  ProcessInfo info;
+  info.pid = pid;
+  info.name = std::move(name);
+  info.start_time = start_time;
+  info.migration_enabled = migration_enabled;
+  info.schema_name = std::move(schema_name);
+  table_.emplace(pid, std::move(info));
+  return pid;
+}
+
+void ProcessTable::deregister(Pid pid) { table_.erase(pid); }
+
+ProcessInfo* ProcessTable::find(Pid pid) {
+  const auto it = table_.find(pid);
+  return it == table_.end() ? nullptr : &it->second;
+}
+
+const ProcessInfo* ProcessTable::find(Pid pid) const {
+  const auto it = table_.find(pid);
+  return it == table_.end() ? nullptr : &it->second;
+}
+
+bool ProcessTable::raise(Pid pid, int signo) {
+  ProcessInfo* info = find(pid);
+  if (info == nullptr) {
+    return false;
+  }
+  if (info->signal_handler) {
+    info->signal_handler(signo);
+  } else {
+    info->pending_signals.insert(signo);
+  }
+  return true;
+}
+
+bool ProcessTable::consume_signal(Pid pid, int signo) {
+  ProcessInfo* info = find(pid);
+  if (info == nullptr) {
+    return false;
+  }
+  return info->pending_signals.erase(signo) > 0;
+}
+
+void ProcessTable::set_signal_handler(Pid pid,
+                                      std::function<void(int)> handler) {
+  if (ProcessInfo* info = find(pid)) {
+    info->signal_handler = std::move(handler);
+  }
+}
+
+std::vector<ProcessInfo> ProcessTable::snapshot() const {
+  std::vector<ProcessInfo> out;
+  out.reserve(table_.size());
+  for (const auto& [pid, info] : table_) {
+    out.push_back(info);
+  }
+  return out;
+}
+
+}  // namespace ars::host

@@ -1,0 +1,15 @@
+#include "ars/hpcm/checkpoint.hpp"
+
+namespace ars::hpcm {
+
+void CheckpointStore::put(Checkpoint checkpoint) {
+  ++writes_;
+  checkpoints_.insert_or_assign(checkpoint.process, std::move(checkpoint));
+}
+
+const Checkpoint* CheckpointStore::latest(const std::string& process) const {
+  const auto it = checkpoints_.find(process);
+  return it == checkpoints_.end() ? nullptr : &it->second;
+}
+
+}  // namespace ars::hpcm

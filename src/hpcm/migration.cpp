@@ -1,0 +1,412 @@
+#include "ars/hpcm/migration.hpp"
+
+#include <algorithm>
+
+#include "ars/support/log.hpp"
+
+namespace ars::hpcm {
+
+namespace {
+
+/// Tags on the merged communicator used by the migration protocol.
+constexpr int kTagEagerState = 100;
+constexpr int kTagReady = 101;
+
+std::string migrate_key(host::Pid pid) {
+  return "hpcm.migrate." + std::to_string(pid);
+}
+
+}  // namespace
+
+MigrationEngine::MigrationEngine(mpi::MpiSystem& mpi)
+    : MigrationEngine(mpi, Options{}) {}
+
+MigrationEngine::MigrationEngine(mpi::MpiSystem& mpi, Options options)
+    : mpi_(&mpi), options_(options) {}
+
+MigrationEngine::~MigrationEngine() {
+  for (auto& fiber : collector_fibers_) {
+    fiber.kill();
+  }
+}
+
+ApplicationSchema* MigrationEngine::schema(const std::string& name) {
+  const auto it = schemas_.find(name);
+  return it == schemas_.end() ? nullptr : &it->second;
+}
+
+mpi::RankId MigrationEngine::launch(const std::string& host_name,
+                                    MigratableApp app,
+                                    const std::string& name,
+                                    ApplicationSchema schema) {
+  return launch_world({host_name}, std::move(app), name, std::move(schema))
+      .front();
+}
+
+std::vector<mpi::RankId> MigrationEngine::launch_world(
+    const std::vector<std::string>& hosts, MigratableApp app,
+    const std::string& name, ApplicationSchema schema) {
+  schemas_.emplace(schema.name(), schema);
+  const std::string schema_name = schema.name();
+  // The wrapper resolves its ProcState lazily: fibers start through a
+  // scheduled event, strictly after the map below is populated.
+  auto wrapper = [this](mpi::Proc& proc) -> sim::Task<> {
+    ProcState* state_ptr = procs_.at(proc.id()).get();
+    co_await state_ptr->app(proc, state_ptr->context);
+    finish_normal_exit(proc.id());
+  };
+  const std::vector<mpi::RankId> ids = mpi_->launch_world(
+      hosts, wrapper, name, /*migration_enabled=*/true, schema_name);
+  for (const mpi::RankId id : ids) {
+    auto state = std::make_unique<ProcState>();
+    state->app = app;
+    state->context.engine_ = this;
+    state->context.proc_ = mpi_->find(id);
+    state->context.schema_name_ = schema_name;
+    state->context.launched_at = mpi_->engine().now();
+    procs_.emplace(id, std::move(state));
+  }
+  return ids;
+}
+
+void MigrationEngine::finish_normal_exit(mpi::RankId id) {
+  const auto it = procs_.find(id);
+  if (it == procs_.end()) {
+    return;
+  }
+  MigrationContext& ctx = it->second->context;
+  if (ApplicationSchema* s = schema(ctx.schema_name_)) {
+    s->record_execution(mpi_->engine().now() - ctx.launched_at);
+  }
+  procs_.erase(it);
+}
+
+bool MigrationEngine::request_migration(const std::string& host_name,
+                                        host::Pid pid,
+                                        const std::string& dest_host) {
+  mpi::Proc* proc = mpi_->find_by_pid(host_name, pid);
+  if (proc == nullptr) {
+    return false;
+  }
+  return request_migration(proc->id(), dest_host);
+}
+
+bool MigrationEngine::request_migration(mpi::RankId id,
+                                        const std::string& dest_host) {
+  const auto it = procs_.find(id);
+  if (it == procs_.end()) {
+    return false;
+  }
+  mpi::Proc* proc = mpi_->find(id);
+  if (proc == nullptr) {
+    return false;
+  }
+  // The commander's mechanism (§3.3): destination to a temp file, then the
+  // user-defined signal.
+  proc->host().tmpfiles().write(migrate_key(proc->pid()), dest_host);
+  it->second->context.requested_at = mpi_->engine().now();
+  return proc->host().processes().raise(proc->pid(), host::kSigMigrate);
+}
+
+sim::Task<> MigrationContext::poll_point() {
+  mpi::Proc& p = *proc_;
+  if (!p.host().processes().consume_signal(p.pid(), host::kSigMigrate)) {
+    co_return;
+  }
+  const std::string key = migrate_key(p.pid());
+  if (!p.host().tmpfiles().contains(key)) {
+    ARS_LOG_WARN("hpcm", "migration signal without destination file for "
+                             << p.name());
+    co_return;
+  }
+  const std::string dest = p.host().tmpfiles().read(key);
+  p.host().tmpfiles().erase(key);
+  try {
+    co_await engine_->migrate(*this, dest);
+  } catch (const mpi::ProcMoved&) {
+    throw;  // normal migration unwind
+  } catch (const std::exception& e) {
+    // A failed migration must not kill the application; log and keep
+    // computing on the source.
+    ARS_LOG_ERROR("hpcm", "migration of " << p.name() << " to " << dest
+                                          << " failed: " << e.what());
+  }
+}
+
+sim::Task<> MigrationContext::checkpoint() {
+  if (save_) {
+    save_();
+  }
+  Checkpoint cp;
+  cp.process = proc_->name();
+  const auto encoded = state_.encode(proc_->host().spec().byte_order);
+  cp.bytes = encoded.size() + state_.opaque_bytes();
+  cp.state = encoded;
+  auto& sim_engine = engine_->mpi().engine();
+  const double write_time =
+      static_cast<double>(cp.bytes) / engine_->options().checkpoint_store_bps;
+  co_await sim::delay(sim_engine, write_time);
+  cp.taken_at = sim_engine.now();
+  engine_->checkpoints().put(std::move(cp));
+}
+
+bool MigrationEngine::crash(mpi::RankId id) {
+  const auto it = procs_.find(id);
+  mpi::Proc* proc = mpi_->find(id);
+  if (it == procs_.end() || proc == nullptr) {
+    return false;
+  }
+  const std::string name = proc->name();
+  ARS_LOG_WARN("hpcm", "crash injected: " << name << " on "
+                                          << proc->host().name());
+  auto state = std::move(it->second);
+  procs_.erase(it);
+  state->context.proc_ = nullptr;
+  crashed_[name] = std::move(state);
+  return mpi_->kill(id);
+}
+
+int MigrationEngine::crash_host(const std::string& host_name) {
+  std::vector<mpi::RankId> victims;
+  for (const auto& [id, state] : procs_) {
+    const mpi::Proc* proc = mpi_->find(id);
+    if (proc != nullptr && proc->host().name() == host_name) {
+      victims.push_back(id);
+    }
+  }
+  int crashed = 0;
+  for (const mpi::RankId id : victims) {
+    crashed += crash(id) ? 1 : 0;
+  }
+  return crashed;
+}
+
+mpi::RankId MigrationEngine::relaunch(const std::string& process_name,
+                                      const std::string& host_name) {
+  const auto it = crashed_.find(process_name);
+  if (it == crashed_.end()) {
+    return 0;
+  }
+  auto state = std::move(it->second);
+  crashed_.erase(it);
+  MigrationContext& ctx = state->context;
+
+  double read_time = 0.0;
+  if (const Checkpoint* cp = checkpoint_store_.latest(process_name)) {
+    auto decoded = StateRegistry::decode(cp->state);
+    if (decoded.has_value()) {
+      ctx.state_ = std::move(*decoded);
+      ctx.restored_ = true;
+      ctx.restarted_from_checkpoint_ = true;
+      read_time =
+          static_cast<double>(cp->bytes) / options_.checkpoint_store_bps;
+      ARS_LOG_INFO("hpcm", "relaunching " << process_name << " on "
+                                          << host_name
+                                          << " from checkpoint at t="
+                                          << cp->taken_at);
+    }
+  } else {
+    // No checkpoint: restart from scratch — "the loss of all partial
+    // results" the paper's introduction warns about.
+    ctx.state_.clear();
+    ctx.restored_ = false;
+    ctx.restarted_from_checkpoint_ = false;
+    ARS_LOG_WARN("hpcm", "relaunching " << process_name << " on "
+                                        << host_name << " from scratch");
+  }
+
+  auto wrapper = [this, read_time](mpi::Proc& proc) -> sim::Task<> {
+    if (read_time > 0.0) {
+      co_await sim::delay(mpi_->engine(), read_time);
+    }
+    ProcState* state_ptr = procs_.at(proc.id()).get();
+    co_await state_ptr->app(proc, state_ptr->context);
+    finish_normal_exit(proc.id());
+  };
+  const mpi::RankId id =
+      mpi_->launch_exact(host_name, wrapper, process_name,
+                         /*migration_enabled=*/true, ctx.schema_name_);
+  state->context.proc_ = mpi_->find(id);
+  procs_.emplace(id, std::move(state));
+  return id;
+}
+
+/// Shared destination-side protocol, used by both spawned initialized
+/// processes and pre-initialized daemons.  The eager message's `values`
+/// carry [migrating rank id, timeline index].
+sim::Task<> MigrationEngine::receiver_main(mpi::Proc& helper,
+                                           mpi::Comm merged) {
+  const mpi::MpiMessage eager =
+      co_await helper.recv(merged, mpi::kAnySource, kTagEagerState);
+  if (eager.values.size() != 2 || !eager.data) {
+    throw std::runtime_error("hpcm: malformed eager state message");
+  }
+  const auto id = static_cast<mpi::RankId>(eager.values[0]);
+  const auto timeline_index = static_cast<std::size_t>(eager.values[1]);
+  auto decoded = StateRegistry::decode(*eager.data);
+  if (!decoded.has_value()) {
+    throw std::runtime_error("hpcm: state decode failed: " +
+                             decoded.error().to_string());
+  }
+  // Data restoration cost before the application can resume.
+  co_await sim::delay(helper.system().engine(), options_.restore_delay);
+  takeover(id, helper.host(), std::move(*decoded), timeline_index);
+  // Background restoration completes in parallel with the resumed app.
+  (void)co_await helper.recv(merged, mpi::kAnySource, kTagReady);
+  history_[timeline_index].completed_at = helper.system().engine().now();
+}
+
+sim::Task<> MigrationEngine::migrate(MigrationContext& ctx,
+                                     std::string dest_host) {
+  mpi::Proc& proc = *ctx.proc_;
+  auto& engine = mpi_->engine();
+  net::Network& network = mpi_->network();
+  const std::string source_host = proc.host().name();
+  if (dest_host == source_host) {
+    ARS_LOG_WARN("hpcm", "ignoring self-migration of " << proc.name());
+    co_return;
+  }
+  if (network.find_host(dest_host) == nullptr) {
+    throw std::out_of_range("hpcm: unknown destination host " + dest_host);
+  }
+
+  const std::size_t timeline_index = history_.size();
+  history_.emplace_back();
+  {
+    MigrationTimeline& t = history_.back();
+    t.process = proc.name();
+    t.source = source_host;
+    t.destination = dest_host;
+    t.requested_at = ctx.requested_at;
+    t.poll_point_at = engine.now();
+  }
+  ARS_LOG_INFO("hpcm", "migrating " << proc.name() << ": " << source_host
+                                    << " -> " << dest_host);
+
+  // ---- 1. initialized process (MPI-2 DPM) ---------------------------------
+  MigrationEngine* self = this;
+  mpi::Comm merged;
+  mpi::RankId helper_id = 0;
+  const auto port_it = pre_initialized_.find(dest_host);
+  if (port_it != pre_initialized_.end() && !port_it->second.empty()) {
+    // Pre-initialized daemon: connect/accept instead of the slow spawn.
+    const mpi::Comm conn = co_await proc.connect(port_it->second);
+    helper_id = conn.remote_member(0);
+    merged = co_await proc.merge(conn, false);
+  } else {
+    auto receiver = [self](mpi::Proc& helper) -> sim::Task<> {
+      const mpi::Comm m = co_await helper.merge(helper.parent_comm(), true);
+      co_await self->receiver_main(helper, m);
+    };
+    const mpi::SpawnResult spawned =
+        co_await proc.spawn(dest_host, receiver, proc.name() + ".init");
+    helper_id = spawned.children.front();
+    merged = co_await proc.merge(spawned.intercomm, false);
+  }
+  history_[timeline_index].init_done_at = engine.now();
+
+  // ---- 2. data collection: snapshot live variables -------------------------
+  if (ctx.save_) {
+    ctx.save_();
+  }
+  const std::vector<std::byte> encoded =
+      ctx.state_.encode(proc.host().spec().byte_order);
+  const double opaque = static_cast<double>(ctx.state_.opaque_bytes());
+  const double eager_opaque = std::min(opaque, options_.eager_bytes);
+  const double eager_wire = static_cast<double>(encoded.size()) + eager_opaque;
+  history_[timeline_index].state_bytes =
+      static_cast<double>(encoded.size()) + opaque;
+
+  // ---- 3. execution state + eager data over the merged communicator -------
+  mpi::MpiMessage eager_payload;
+  eager_payload.data = std::make_shared<const mpi::Bytes>(encoded);
+  eager_payload.values = {static_cast<double>(proc.id()),
+                          static_cast<double>(timeline_index)};
+  co_await proc.send(merged, merged.rank_of(helper_id), kTagEagerState,
+                     eager_wire, std::move(eager_payload));
+  history_[timeline_index].eager_done_at = engine.now();
+
+  // ---- 4. background bulk transfer (source keeps collecting) --------------
+  const double remaining = opaque - eager_opaque;
+  std::erase_if(collector_fibers_,
+                [](const sim::Fiber& f) { return f.done(); });
+  collector_fibers_.push_back(
+      sim::Fiber::spawn(engine,
+                        run_collector(source_host, dest_host, remaining,
+                                      helper_id, merged),
+                        proc.name() + ".collector"));
+
+  // ---- 5. the source-side fiber is done ------------------------------------
+  throw mpi::ProcMoved{};
+}
+
+sim::Task<> MigrationEngine::run_collector(std::string source_host,
+                                           std::string dest_host,
+                                           double remaining,
+                                           mpi::RankId helper_id,
+                                           mpi::Comm merged) {
+  net::Network& net = mpi_->network();
+  while (remaining > 0.0) {
+    const double this_chunk = std::min(options_.chunk_bytes, remaining);
+    (void)co_await net.transfer(source_host, dest_host, this_chunk);
+    remaining -= this_chunk;
+  }
+  (void)co_await net.transfer(source_host, dest_host, 16.0);
+  mpi::MpiMessage done;
+  done.context = merged.context();
+  done.src_rank = 0;
+  done.tag = kTagReady;
+  done.size_bytes = 16.0;
+  mpi_->inject(helper_id, std::move(done));
+}
+
+void MigrationEngine::takeover(mpi::RankId id, host::Host& destination,
+                               StateRegistry restored_state,
+                               std::size_t timeline_index) {
+  const auto it = procs_.find(id);
+  mpi::Proc* proc = mpi_->find(id);
+  if (it == procs_.end() || proc == nullptr) {
+    ARS_LOG_ERROR("hpcm", "takeover for unknown proc " << id);
+    return;
+  }
+  MigrationContext& ctx = it->second->context;
+  mpi_->relocate(*proc, destination);
+  ctx.state_ = std::move(restored_state);
+  ctx.restored_ = true;
+  ++ctx.migration_count_;
+  ctx.requested_at = -1.0;
+  history_[timeline_index].resumed_at = mpi_->engine().now();
+  history_[timeline_index].succeeded = true;
+
+  ProcState* state_ptr = it->second.get();
+  auto wrapper = [this, state_ptr](mpi::Proc& p) -> sim::Task<> {
+    co_await state_ptr->app(p, state_ptr->context);
+    finish_normal_exit(p.id());
+  };
+  mpi_->start_app(*proc, wrapper);
+}
+
+void MigrationEngine::pre_initialize_on(const std::string& host_name) {
+  if (pre_initialized_.contains(host_name)) {
+    return;
+  }
+  pre_initialized_[host_name] = "";  // reserved; filled when the daemon runs
+  MigrationEngine* self = this;
+  auto daemon = [self, host_name](mpi::Proc& helper) -> sim::Task<> {
+    const std::string port = helper.open_port();
+    self->pre_initialized_[host_name] = port;
+    while (true) {
+      const mpi::Comm conn = co_await helper.accept(port);
+      const mpi::Comm merged = co_await helper.merge(conn, true);
+      co_await self->receiver_main(helper, merged);
+    }
+  };
+  mpi_->launch(host_name, daemon, "hpcm.daemon." + host_name);
+}
+
+bool MigrationEngine::has_pre_initialized(const std::string& host_name) const {
+  const auto it = pre_initialized_.find(host_name);
+  return it != pre_initialized_.end() && !it->second.empty();
+}
+
+}  // namespace ars::hpcm

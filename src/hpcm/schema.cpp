@@ -1,0 +1,131 @@
+#include "ars/hpcm/schema.hpp"
+
+#include "ars/support/strings.hpp"
+#include "ars/xmlproto/xml.hpp"
+
+namespace ars::hpcm {
+
+using support::Expected;
+using support::make_error;
+
+std::string_view to_string(AppCharacteristic c) noexcept {
+  switch (c) {
+    case AppCharacteristic::kComputeIntensive:
+      return "computing-intensive";
+    case AppCharacteristic::kCommunicationIntensive:
+      return "communication-intensive";
+    case AppCharacteristic::kDataIntensive:
+      return "data-intensive";
+  }
+  return "?";
+}
+
+Expected<AppCharacteristic> characteristic_from_string(
+    std::string_view name) {
+  if (support::iequals(name, "computing-intensive")) {
+    return AppCharacteristic::kComputeIntensive;
+  }
+  if (support::iequals(name, "communication-intensive")) {
+    return AppCharacteristic::kCommunicationIntensive;
+  }
+  if (support::iequals(name, "data-intensive")) {
+    return AppCharacteristic::kDataIntensive;
+  }
+  return make_error("schema_parse",
+                    "unknown characteristic '" + std::string(name) + "'");
+}
+
+void ApplicationSchema::record_execution(double actual_seconds) {
+  ++observed_runs_;
+  if (observed_runs_ == 1 && est_exec_time_ <= 0.0) {
+    est_exec_time_ = actual_seconds;
+    return;
+  }
+  // Exponential smoothing: history-weighted, as the paper's "updated
+  // according to the statistics of actual executions".
+  constexpr double kAlpha = 0.3;
+  est_exec_time_ = (1.0 - kAlpha) * est_exec_time_ + kAlpha * actual_seconds;
+}
+
+std::string ApplicationSchema::to_xml() const {
+  xmlproto::XmlNode root{"application_schema"};
+  root.set_attr("name", name_);
+  root.add_child("characteristic").set_text(std::string(to_string(characteristic_)));
+  root.add_child("est_comm_bytes").set_text(std::to_string(est_comm_bytes_));
+  root.add_child("est_exec_time")
+      .set_text(support::format_fixed(est_exec_time_, 3));
+  root.add_child("data_locality")
+      .set_text(support::format_fixed(data_locality_, 3));
+  root.add_child("observed_runs").set_text(std::to_string(observed_runs_));
+  auto& req = root.add_child("requirements");
+  req.add_child("min_memory").set_text(std::to_string(requirements_.min_memory_bytes));
+  req.add_child("min_disk").set_text(std::to_string(requirements_.min_disk_bytes));
+  req.add_child("min_cpu_speed")
+      .set_text(support::format_fixed(requirements_.min_cpu_speed, 3));
+  return root.to_string();
+}
+
+Expected<ApplicationSchema> ApplicationSchema::from_xml(
+    std::string_view xml) {
+  auto doc = xmlproto::parse_xml(xml);
+  if (!doc.has_value()) {
+    return doc.error();
+  }
+  const xmlproto::XmlNode& root = **doc;
+  if (root.name() != "application_schema") {
+    return make_error("schema_parse",
+                      "unexpected root <" + root.name() + ">");
+  }
+  const auto name = root.attr("name");
+  if (!name.has_value() || name->empty()) {
+    return make_error("schema_parse", "missing name attribute");
+  }
+  ApplicationSchema schema{*name};
+  auto characteristic = characteristic_from_string(
+      root.child_text_or("characteristic", "computing-intensive"));
+  if (!characteristic.has_value()) {
+    return characteristic.error();
+  }
+  schema.set_characteristic(*characteristic);
+  const auto comm =
+      support::parse_int(root.child_text_or("est_comm_bytes", "0"));
+  if (!comm.has_value() || *comm < 0) {
+    return make_error("schema_parse", "bad est_comm_bytes");
+  }
+  schema.set_est_comm_bytes(static_cast<std::uint64_t>(*comm));
+  const auto exec =
+      support::parse_double(root.child_text_or("est_exec_time", "0"));
+  if (!exec.has_value()) {
+    return make_error("schema_parse", "bad est_exec_time");
+  }
+  schema.set_est_exec_time(*exec);
+  const auto locality =
+      support::parse_double(root.child_text_or("data_locality", "0"));
+  if (!locality.has_value()) {
+    return make_error("schema_parse", "bad data_locality");
+  }
+  schema.set_data_locality(*locality);
+  const auto runs =
+      support::parse_int(root.child_text_or("observed_runs", "0"));
+  if (runs.has_value()) {
+    schema.observed_runs_ = static_cast<int>(*runs);
+  }
+  if (const xmlproto::XmlNode* req = root.child("requirements")) {
+    ResourceRequirements requirements;
+    const auto memory =
+        support::parse_int(req->child_text_or("min_memory", "0"));
+    const auto disk = support::parse_int(req->child_text_or("min_disk", "0"));
+    const auto speed =
+        support::parse_double(req->child_text_or("min_cpu_speed", "0"));
+    if (!memory.has_value() || !disk.has_value() || !speed.has_value()) {
+      return make_error("schema_parse", "bad requirements block");
+    }
+    requirements.min_memory_bytes = static_cast<std::uint64_t>(*memory);
+    requirements.min_disk_bytes = static_cast<std::uint64_t>(*disk);
+    requirements.min_cpu_speed = *speed;
+    schema.set_requirements(requirements);
+  }
+  return schema;
+}
+
+}  // namespace ars::hpcm

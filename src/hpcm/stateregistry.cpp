@@ -1,0 +1,266 @@
+#include "ars/hpcm/stateregistry.hpp"
+
+#include <stdexcept>
+
+namespace ars::hpcm {
+
+using support::Expected;
+using support::make_error;
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x48504d53;  // "HPMS"
+
+void put_string(std::vector<std::byte>& out, const std::string& text) {
+  support::put_be32(out, static_cast<std::uint32_t>(text.size()));
+  for (const char c : text) {
+    out.push_back(static_cast<std::byte>(c));
+  }
+}
+
+Expected<std::string> get_string_field(std::span<const std::byte> in,
+                                       std::size_t& offset) {
+  const std::uint32_t length = support::get_be32(in, offset);
+  if (offset + length > in.size()) {
+    return make_error("state_decode", "string field overruns buffer");
+  }
+  std::string text;
+  text.reserve(length);
+  for (std::uint32_t i = 0; i < length; ++i) {
+    text.push_back(static_cast<char>(in[offset + i]));
+  }
+  offset += length;
+  return text;
+}
+
+}  // namespace
+
+void StateRegistry::set_int(const std::string& name, std::int64_t value) {
+  Entry entry;
+  entry.type = EntryType::kInt;
+  entry.int_value = value;
+  entries_[name] = std::move(entry);
+}
+
+void StateRegistry::set_double(const std::string& name, double value) {
+  Entry entry;
+  entry.type = EntryType::kDouble;
+  entry.double_value = value;
+  entries_[name] = std::move(entry);
+}
+
+void StateRegistry::set_string(const std::string& name, std::string value) {
+  Entry entry;
+  entry.type = EntryType::kString;
+  entry.string_value = std::move(value);
+  entries_[name] = std::move(entry);
+}
+
+void StateRegistry::set_doubles(const std::string& name,
+                                std::vector<double> values) {
+  Entry entry;
+  entry.type = EntryType::kDoubleVector;
+  entry.doubles = std::move(values);
+  entries_[name] = std::move(entry);
+}
+
+void StateRegistry::set_ints(const std::string& name,
+                             std::vector<std::int64_t> values) {
+  Entry entry;
+  entry.type = EntryType::kIntVector;
+  entry.ints = std::move(values);
+  entries_[name] = std::move(entry);
+}
+
+void StateRegistry::set_opaque(const std::string& name,
+                               std::uint64_t logical_bytes) {
+  Entry entry;
+  entry.type = EntryType::kOpaque;
+  entry.opaque_size = logical_bytes;
+  entries_[name] = std::move(entry);
+}
+
+Expected<const StateRegistry::Entry*> StateRegistry::find_typed(
+    const std::string& name, EntryType type) const {
+  const auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    return make_error("state_lookup", "no entry '" + name + "'");
+  }
+  if (it->second.type != type) {
+    return make_error("state_lookup", "entry '" + name + "' has wrong type");
+  }
+  return &it->second;
+}
+
+Expected<std::int64_t> StateRegistry::get_int(const std::string& name) const {
+  auto entry = find_typed(name, EntryType::kInt);
+  if (!entry.has_value()) return entry.error();
+  return (*entry)->int_value;
+}
+
+Expected<double> StateRegistry::get_double(const std::string& name) const {
+  auto entry = find_typed(name, EntryType::kDouble);
+  if (!entry.has_value()) return entry.error();
+  return (*entry)->double_value;
+}
+
+Expected<std::string> StateRegistry::get_string(
+    const std::string& name) const {
+  auto entry = find_typed(name, EntryType::kString);
+  if (!entry.has_value()) return entry.error();
+  return (*entry)->string_value;
+}
+
+Expected<std::vector<double>> StateRegistry::get_doubles(
+    const std::string& name) const {
+  auto entry = find_typed(name, EntryType::kDoubleVector);
+  if (!entry.has_value()) return entry.error();
+  return (*entry)->doubles;
+}
+
+Expected<std::vector<std::int64_t>> StateRegistry::get_ints(
+    const std::string& name) const {
+  auto entry = find_typed(name, EntryType::kIntVector);
+  if (!entry.has_value()) return entry.error();
+  return (*entry)->ints;
+}
+
+Expected<std::uint64_t> StateRegistry::get_opaque_size(
+    const std::string& name) const {
+  auto entry = find_typed(name, EntryType::kOpaque);
+  if (!entry.has_value()) return entry.error();
+  return (*entry)->opaque_size;
+}
+
+std::uint64_t StateRegistry::encoded_bytes() const {
+  return encode().size();
+}
+
+std::uint64_t StateRegistry::opaque_bytes() const {
+  std::uint64_t total = 0;
+  for (const auto& [name, entry] : entries_) {
+    if (entry.type == EntryType::kOpaque) {
+      total += entry.opaque_size;
+    }
+  }
+  return total;
+}
+
+std::vector<std::byte> StateRegistry::encode(support::ByteOrder origin) const {
+  std::vector<std::byte> out;
+  support::put_be32(out, kMagic);
+  out.push_back(static_cast<std::byte>(
+      origin == support::ByteOrder::kBigEndian ? 0 : 1));
+  support::put_be32(out, static_cast<std::uint32_t>(entries_.size()));
+  for (const auto& [name, entry] : entries_) {
+    put_string(out, name);
+    out.push_back(static_cast<std::byte>(entry.type));
+    switch (entry.type) {
+      case EntryType::kInt:
+        support::put_be64(out, static_cast<std::uint64_t>(entry.int_value));
+        break;
+      case EntryType::kDouble:
+        support::put_be_double(out, entry.double_value);
+        break;
+      case EntryType::kString:
+        put_string(out, entry.string_value);
+        break;
+      case EntryType::kDoubleVector:
+        support::put_be32(out, static_cast<std::uint32_t>(entry.doubles.size()));
+        for (const double v : entry.doubles) {
+          support::put_be_double(out, v);
+        }
+        break;
+      case EntryType::kIntVector:
+        support::put_be32(out, static_cast<std::uint32_t>(entry.ints.size()));
+        for (const std::int64_t v : entry.ints) {
+          support::put_be64(out, static_cast<std::uint64_t>(v));
+        }
+        break;
+      case EntryType::kOpaque:
+        support::put_be64(out, entry.opaque_size);
+        break;
+    }
+  }
+  return out;
+}
+
+Expected<StateRegistry> StateRegistry::decode(
+    std::span<const std::byte> wire) {
+  StateRegistry registry;
+  std::size_t offset = 0;
+  try {
+    if (support::get_be32(wire, offset) != kMagic) {
+      return make_error("state_decode", "bad magic");
+    }
+    if (offset >= wire.size()) {
+      return make_error("state_decode", "truncated header");
+    }
+    registry.origin_ = wire[offset] == std::byte{0}
+                           ? support::ByteOrder::kBigEndian
+                           : support::ByteOrder::kLittleEndian;
+    ++offset;
+    const std::uint32_t count = support::get_be32(wire, offset);
+    for (std::uint32_t i = 0; i < count; ++i) {
+      auto name = get_string_field(wire, offset);
+      if (!name.has_value()) {
+        return name.error();
+      }
+      if (offset >= wire.size()) {
+        return make_error("state_decode", "truncated entry type");
+      }
+      const auto type = static_cast<EntryType>(wire[offset]);
+      ++offset;
+      Entry entry;
+      entry.type = type;
+      switch (type) {
+        case EntryType::kInt:
+          entry.int_value =
+              static_cast<std::int64_t>(support::get_be64(wire, offset));
+          break;
+        case EntryType::kDouble:
+          entry.double_value = support::get_be_double(wire, offset);
+          break;
+        case EntryType::kString: {
+          auto text = get_string_field(wire, offset);
+          if (!text.has_value()) {
+            return text.error();
+          }
+          entry.string_value = std::move(*text);
+          break;
+        }
+        case EntryType::kDoubleVector: {
+          const std::uint32_t n = support::get_be32(wire, offset);
+          entry.doubles.reserve(n);
+          for (std::uint32_t k = 0; k < n; ++k) {
+            entry.doubles.push_back(support::get_be_double(wire, offset));
+          }
+          break;
+        }
+        case EntryType::kIntVector: {
+          const std::uint32_t n = support::get_be32(wire, offset);
+          entry.ints.reserve(n);
+          for (std::uint32_t k = 0; k < n; ++k) {
+            entry.ints.push_back(
+                static_cast<std::int64_t>(support::get_be64(wire, offset)));
+          }
+          break;
+        }
+        case EntryType::kOpaque:
+          entry.opaque_size = support::get_be64(wire, offset);
+          break;
+        default:
+          return make_error("state_decode", "unknown entry type");
+      }
+      registry.entries_.emplace(std::move(*name), std::move(entry));
+    }
+  } catch (const std::out_of_range&) {
+    return make_error("state_decode", "truncated buffer");
+  }
+  if (offset != wire.size()) {
+    return make_error("state_decode", "trailing bytes after entries");
+  }
+  return registry;
+}
+
+}  // namespace ars::hpcm

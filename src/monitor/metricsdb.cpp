@@ -1,0 +1,47 @@
+#include "ars/monitor/metricsdb.hpp"
+
+namespace ars::monitor {
+
+void MetricsDb::record(xmlproto::DynamicStatus status) {
+  samples_.push_back(std::move(status));
+  while (samples_.size() > capacity_) {
+    samples_.pop_front();
+  }
+}
+
+std::optional<xmlproto::DynamicStatus> MetricsDb::latest() const {
+  if (samples_.empty()) {
+    return std::nullopt;
+  }
+  return samples_.back();
+}
+
+std::vector<xmlproto::DynamicStatus> MetricsDb::between(double t0,
+                                                        double t1) const {
+  std::vector<xmlproto::DynamicStatus> out;
+  for (const auto& sample : samples_) {
+    if (sample.timestamp >= t0 && sample.timestamp <= t1) {
+      out.push_back(sample);
+    }
+  }
+  return out;
+}
+
+double MetricsDb::mean_load1(double window) const {
+  if (samples_.empty()) {
+    return 0.0;
+  }
+  const double horizon = samples_.back().timestamp - window;
+  double sum = 0.0;
+  int count = 0;
+  for (auto it = samples_.rbegin(); it != samples_.rend(); ++it) {
+    if (it->timestamp < horizon) {
+      break;
+    }
+    sum += it->load1;
+    ++count;
+  }
+  return count == 0 ? 0.0 : sum / count;
+}
+
+}  // namespace ars::monitor

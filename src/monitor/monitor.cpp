@@ -1,0 +1,216 @@
+#include "ars/monitor/monitor.hpp"
+
+#include <utility>
+
+#include "ars/support/log.hpp"
+#include "ars/support/strings.hpp"
+#include "ars/xmlproto/messages.hpp"
+
+namespace ars::monitor {
+
+using rules::SystemState;
+using xmlproto::DynamicStatus;
+
+Classifier classifier_from_policy(rules::MigrationPolicy policy,
+                                  double busy_load) {
+  return [policy = std::move(policy),
+          busy_load](const DynamicStatus& status) -> SystemState {
+    if (policy.should_offload(status)) {
+      return SystemState::kOverloaded;
+    }
+    // `free` means "willing and able to accept incoming HPCM-enabled
+    // applications" (Table 1) — which is exactly the policy's destination
+    // conditions.  A host that fails them is `busy` ("as is").  This is why
+    // the paper's Policy 2, blind to communication, classifies the
+    // comm-busy workstation as free while Policy 3 does not.
+    if (!policy.accepts_destination(status)) {
+      return SystemState::kBusy;
+    }
+    if (policy.dest_conditions().empty() &&
+        (status.load1 >= busy_load || status.cpu_util >= 0.9)) {
+      return SystemState::kBusy;  // fallback bands for conditionless policies
+    }
+    return SystemState::kFree;
+  };
+}
+
+Classifier classifier_from_rules(
+    std::shared_ptr<rules::RuleEngine> engine,
+    std::shared_ptr<rules::SensorSource> sensors) {
+  return [engine = std::move(engine),
+          sensors = std::move(sensors)](const DynamicStatus&) -> SystemState {
+    auto state = engine->evaluate_all(*sensors);
+    if (!state.has_value()) {
+      ARS_LOG_WARN("monitor",
+                   "rule evaluation failed: " << state.error().to_string());
+      return SystemState::kBusy;  // fail safe: neither give nor take work
+    }
+    return *state;
+  };
+}
+
+Monitor::Monitor(host::Host& h, net::Network& network, Config config)
+    : host_(&h),
+      network_(&network),
+      config_(std::move(config)),
+      sensors_(h, network, config_.sensor_window) {
+  if (config_.monitor_port == 0) {
+    config_.monitor_port = network_->allocate_port(host_->name());
+  }
+  if (!config_.classifier) {
+    config_.classifier = classifier_from_policy(config_.policy);
+  }
+  effective_warmup_ = config_.policy.warmup();
+}
+
+Monitor::~Monitor() { stop(); }
+
+void Monitor::start() {
+  if (running_) {
+    return;
+  }
+  running_ = true;
+  fiber_ = sim::Fiber::spawn(host_->engine(), run(),
+                             "monitor." + host_->name());
+}
+
+void Monitor::stop() {
+  if (!running_) {
+    return;
+  }
+  running_ = false;
+  fiber_.kill();
+}
+
+double Monitor::frequency_for(SystemState state) const {
+  const auto& freq = config_.policy.frequencies();
+  switch (state) {
+    case SystemState::kOverloaded:
+      return freq.overloaded;
+    case SystemState::kBusy:
+      return freq.busy;
+    default:
+      return freq.free;
+  }
+}
+
+void Monitor::push(xmlproto::ProtocolMessage message) {
+  net::Message wire;
+  wire.src_host = host_->name();
+  wire.dst_host = config_.registry_host;
+  wire.dst_port = config_.registry_port;
+  wire.payload = xmlproto::encode(message);
+  network_->post(std::move(wire));
+}
+
+void Monitor::sync_process_registrations() {
+  // Registers new migration-enabled processes with the registry and
+  // deregisters those that are gone — the "process registration" service.
+  std::map<host::Pid, bool> current;
+  for (const auto& info : host_->processes().snapshot()) {
+    if (!info.migration_enabled) {
+      continue;
+    }
+    current.emplace(info.pid, true);
+    if (!known_pids_.contains(info.pid)) {
+      xmlproto::ProcessRegisterMsg msg;
+      msg.host = host_->name();
+      msg.pid = info.pid;
+      msg.name = info.name;
+      msg.start_time = info.start_time;
+      msg.migration_enabled = true;
+      msg.schema_name = info.schema_name;
+      push(msg);
+    }
+  }
+  for (const auto& [pid, seen] : known_pids_) {
+    if (!current.contains(pid)) {
+      xmlproto::ProcessDeregisterMsg msg;
+      msg.host = host_->name();
+      msg.pid = pid;
+      push(msg);
+    }
+  }
+  known_pids_ = std::move(current);
+}
+
+sim::Task<> Monitor::run() {
+  auto& engine = host_->engine();
+  // One-time registration of static information.
+  xmlproto::RegisterMsg reg;
+  reg.info = static_info_of(*host_, *network_);
+  reg.monitor_port = config_.monitor_port;
+  reg.commander_port = config_.commander_port;
+  push(reg);
+
+  while (true) {
+    if (config_.cycle_cpu_cost > 0.0) {
+      // Running the gathering scripts costs CPU on the monitored host.
+      co_await host_->cpu().compute(config_.cycle_cpu_cost);
+    }
+    DynamicStatus status = sensors_.snapshot();
+    const SystemState state = config_.classifier(status);
+    status.state = std::string(rules::to_string(state));
+    db_.record(status);
+    state_ = state;
+
+    sync_process_registrations();
+
+    xmlproto::UpdateMsg update;
+    update.status = status;
+    push(update);
+    ++updates_sent_;
+
+    if (state == SystemState::kOverloaded) {
+      if (overloaded_since_ < 0.0) {
+        overloaded_since_ = engine.now();
+        episode_consulted_ = false;
+      }
+      const double overloaded_for = engine.now() - overloaded_since_;
+      const bool warm = overloaded_for >= effective_warmup_;
+      // Back off between consults: a migration takes time to take effect.
+      const bool cooled =
+          engine.now() - last_consult_at_ >= 2.0 * effective_warmup_;
+      if (warm && cooled) {
+        xmlproto::ConsultMsg consult;
+        consult.host = host_->name();
+        consult.reason = "overloaded for " +
+                         support::format_fixed(overloaded_for, 1) + "s";
+        push(consult);
+        ++consults_sent_;
+        episode_consulted_ = true;
+        last_consult_at_ = engine.now();
+        ARS_LOG_INFO("monitor",
+                     host_->name() << " consults registry: " << consult.reason);
+      }
+    } else {
+      if (overloaded_since_ >= 0.0) {
+        // An overload episode just ended: feed the history back.
+        const double episode = engine.now() - overloaded_since_;
+        if (!episode_consulted_) {
+          ++absorbed_spikes_;
+        }
+        if (config_.adaptive_warmup) {
+          const double base = config_.policy.warmup();
+          if (!episode_consulted_ && episode < effective_warmup_) {
+            // Short spike correctly absorbed: be even more patient so
+            // near-misses do not trigger fault migrations.
+            effective_warmup_ = std::min(
+                effective_warmup_ * (1.0 + config_.warmup_gain),
+                base * config_.warmup_max_factor);
+          } else if (episode_consulted_) {
+            // A real, persistent overload: react faster next time.
+            effective_warmup_ = std::max(
+                effective_warmup_ * (1.0 - config_.warmup_gain),
+                base * config_.warmup_min_factor);
+          }
+        }
+      }
+      overloaded_since_ = -1.0;
+    }
+
+    co_await sim::delay(engine, frequency_for(state));
+  }
+}
+
+}  // namespace ars::monitor

@@ -1,0 +1,223 @@
+// Collective operations, implemented over point-to-point with binomial
+// trees (bcast/reduce) and a root-gather barrier — the textbook approach
+// small MPI implementations (including LAM) use at these scales.
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+#include "ars/mpi/mpi.hpp"
+
+namespace ars::mpi {
+
+namespace {
+
+/// Relative rank helper: rotate so `root` is 0.
+int rel(int rank, int root, int size) { return (rank - root + size) % size; }
+int abs_rank(int relative, int root, int size) {
+  return (relative + root) % size;
+}
+
+}  // namespace
+
+sim::Task<> Proc::barrier(Comm comm) {
+  assert(comm.valid() && !comm.is_inter());
+  const int size = comm.size();
+  const int rank = comm.rank_of(id_);
+  if (size <= 1) {
+    co_return;
+  }
+  if (rank == 0) {
+    for (int i = 1; i < size; ++i) {
+      (void)co_await recv(comm, kAnySource, kTagBarrier);
+    }
+    for (int i = 1; i < size; ++i) {
+      co_await send(comm, i, kTagBarrier, 0.0);
+    }
+  } else {
+    co_await send(comm, 0, kTagBarrier, 0.0);
+    (void)co_await recv(comm, 0, kTagBarrier);
+  }
+}
+
+sim::Task<std::vector<double>> Proc::bcast(Comm comm, int root,
+                                           double size_bytes,
+                                           std::vector<double> values) {
+  assert(comm.valid() && !comm.is_inter());
+  const int size = comm.size();
+  const int rank = comm.rank_of(id_);
+  if (size <= 1) {
+    co_return values;
+  }
+  const int me = rel(rank, root, size);
+  // Binomial tree (MPICH-style): climb to the bit where we receive, then
+  // fan out to lower-bit children.
+  int mask = 1;
+  while (mask < size) {
+    if ((me & mask) != 0) {
+      MpiMessage message =
+          co_await recv(comm, abs_rank(me - mask, root, size), kTagBcast);
+      values = std::move(message.values);
+      break;
+    }
+    mask <<= 1;
+  }
+  mask >>= 1;
+  while (mask > 0) {
+    const int child = me + mask;
+    if (child < size) {
+      MpiMessage payload;
+      payload.values = values;
+      co_await send(comm, abs_rank(child, root, size), kTagBcast, size_bytes,
+                    std::move(payload));
+    }
+    mask >>= 1;
+  }
+  co_return values;
+}
+
+namespace {
+
+double combine(double lhs, double rhs, ReduceOp op) {
+  switch (op) {
+    case ReduceOp::kSum:
+      return lhs + rhs;
+    case ReduceOp::kMin:
+      return std::min(lhs, rhs);
+    case ReduceOp::kMax:
+      return std::max(lhs, rhs);
+    case ReduceOp::kProd:
+      return lhs * rhs;
+  }
+  return lhs;
+}
+
+}  // namespace
+
+sim::Task<std::vector<double>> Proc::reduce(Comm comm, int root,
+                                            std::vector<double> values,
+                                            ReduceOp op, double size_bytes) {
+  assert(comm.valid() && !comm.is_inter());
+  const int size = comm.size();
+  const int rank = comm.rank_of(id_);
+  if (size <= 1) {
+    co_return values;
+  }
+  const int me = rel(rank, root, size);
+  // Reverse binomial tree: absorb children, then send to parent.
+  for (int mask = 1; mask < size; mask <<= 1) {
+    if ((me & mask) == 0) {
+      const int child = me | mask;
+      if (child < size) {
+        MpiMessage message =
+            co_await recv(comm, abs_rank(child, root, size), kTagReduce);
+        if (message.values.size() != values.size()) {
+          throw std::invalid_argument(
+              "mpi reduce: mismatched contribution lengths");
+        }
+        for (std::size_t i = 0; i < message.values.size(); ++i) {
+          values[i] = combine(values[i], message.values[i], op);
+        }
+      }
+    } else {
+      const int parent = me & ~mask;
+      MpiMessage payload;
+      payload.values = std::move(values);
+      co_await send(comm, abs_rank(parent, root, size), kTagReduce,
+                    size_bytes, std::move(payload));
+      co_return std::vector<double>{};
+    }
+  }
+  co_return values;
+}
+
+sim::Task<std::vector<double>> Proc::reduce_sum(Comm comm, int root,
+                                                std::vector<double> values,
+                                                double size_bytes) {
+  co_return co_await reduce(comm, root, std::move(values), ReduceOp::kSum,
+                            size_bytes);
+}
+
+sim::Task<std::vector<double>> Proc::allreduce(Comm comm,
+                                               std::vector<double> values,
+                                               ReduceOp op,
+                                               double size_bytes) {
+  auto reduced = co_await reduce(comm, 0, std::move(values), op, size_bytes);
+  co_return co_await bcast(comm, 0, size_bytes, std::move(reduced));
+}
+
+sim::Task<std::vector<double>> Proc::allreduce_sum(Comm comm,
+                                                   std::vector<double> values,
+                                                   double size_bytes) {
+  co_return co_await allreduce(comm, std::move(values), ReduceOp::kSum,
+                               size_bytes);
+}
+
+sim::Task<std::vector<double>> Proc::gather(Comm comm, int root,
+                                            std::vector<double> values,
+                                            double size_bytes) {
+  assert(comm.valid() && !comm.is_inter());
+  const int size = comm.size();
+  const int rank = comm.rank_of(id_);
+  if (rank != root) {
+    MpiMessage payload;
+    payload.values = std::move(values);
+    co_await send(comm, root, kTagGather, size_bytes, std::move(payload));
+    co_return std::vector<double>{};
+  }
+  const std::size_t chunk = values.size();
+  std::vector<std::vector<double>> parts(static_cast<std::size_t>(size));
+  parts[static_cast<std::size_t>(root)] = std::move(values);
+  for (int i = 0; i < size - 1; ++i) {
+    MpiMessage message = co_await recv(comm, kAnySource, kTagGather);
+    parts[static_cast<std::size_t>(message.src_rank)] =
+        std::move(message.values);
+  }
+  std::vector<double> out;
+  out.reserve(chunk * static_cast<std::size_t>(size));
+  for (auto& part : parts) {
+    out.insert(out.end(), part.begin(), part.end());
+  }
+  co_return out;
+}
+
+sim::Task<std::vector<double>> Proc::allgather(Comm comm,
+                                               std::vector<double> values,
+                                               double size_bytes) {
+  // Gather to rank 0, then broadcast the concatenation.  The wire cost of
+  // the broadcast scales with the gathered size.
+  const int size = comm.size();
+  auto gathered = co_await gather(comm, 0, std::move(values), size_bytes);
+  co_return co_await bcast(comm, 0, size_bytes * size, std::move(gathered));
+}
+
+sim::Task<std::vector<double>> Proc::scatter(Comm comm, int root,
+                                             std::vector<double> values,
+                                             int chunk, double size_bytes) {
+  assert(comm.valid() && !comm.is_inter());
+  const int size = comm.size();
+  const int rank = comm.rank_of(id_);
+  if (rank == root) {
+    if (values.size() < static_cast<std::size_t>(size) *
+                            static_cast<std::size_t>(chunk)) {
+      throw std::invalid_argument("mpi scatter: source vector too small");
+    }
+    for (int i = 0; i < size; ++i) {
+      if (i == root) {
+        continue;
+      }
+      MpiMessage payload;
+      payload.values.assign(
+          values.begin() + static_cast<std::ptrdiff_t>(i) * chunk,
+          values.begin() + static_cast<std::ptrdiff_t>(i + 1) * chunk);
+      co_await send(comm, i, kTagScatter, size_bytes, std::move(payload));
+    }
+    co_return std::vector<double>(
+        values.begin() + static_cast<std::ptrdiff_t>(root) * chunk,
+        values.begin() + static_cast<std::ptrdiff_t>(root + 1) * chunk);
+  }
+  MpiMessage message = co_await recv(comm, root, kTagScatter);
+  co_return std::move(message.values);
+}
+
+}  // namespace ars::mpi

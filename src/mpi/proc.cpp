@@ -1,0 +1,120 @@
+#include <cassert>
+#include <stdexcept>
+
+#include "ars/mpi/mpi.hpp"
+
+namespace ars::mpi {
+
+Proc::Proc(MpiSystem& system, RankId id, host::Host& h, std::string name)
+    : system_(&system), id_(id), host_(&h), name_(std::move(name)) {}
+
+Proc::~Proc() {
+  // Posted receives are owned by suspended recv() frames; those frames are
+  // killed (or completed) before the system destroys the Proc.  In-flight
+  // non-blocking sends of an exiting process are abandoned (MPI erroneous
+  // program behaviour; harmless at simulation teardown).
+  for (auto& fiber : isend_fibers_) {
+    fiber.kill();
+  }
+}
+
+void Proc::deliver(MpiMessage message) {
+  Mailbox& box = mailboxes_[message.context];
+  for (auto it = box.posted.begin(); it != box.posted.end(); ++it) {
+    PostedRecv* posted = *it;
+    if (!posted->matched && matches(*posted, message)) {
+      posted->matched = true;
+      posted->message = std::move(message);
+      box.posted.erase(it);
+      posted->arrived->fire();
+      return;
+    }
+  }
+  box.unexpected.push_back(std::move(message));
+}
+
+sim::Task<> Proc::send(Comm comm, int dest, int tag, double size_bytes,
+                       MpiMessage payload) {
+  assert(comm.valid());
+  const RankId dst =
+      comm.is_inter() ? comm.remote_member(dest) : comm.member(dest);
+  payload.context = comm.context();
+  payload.src_rank = comm.is_inter() ? comm.rank_of(id_) : comm.rank_of(id_);
+  payload.tag = tag;
+  payload.size_bytes = size_bytes;
+  co_await system_->route(id_, dst, size_bytes);
+  Proc* receiver = system_->find(dst);
+  if (receiver == nullptr) {
+    throw std::runtime_error("mpi: receiver exited before delivery");
+  }
+  receiver->deliver(std::move(payload));
+}
+
+Request Proc::isend(Comm comm, int dest, int tag, double size_bytes,
+                    MpiMessage payload) {
+  auto trigger = std::make_shared<sim::Trigger>(system_->engine());
+  auto sender = [](Proc* self, Comm c, int d, int t, double bytes,
+                   MpiMessage p,
+                   std::shared_ptr<sim::Trigger> done) -> sim::Task<> {
+    co_await self->send(std::move(c), d, t, bytes, std::move(p));
+    done->fire();
+  };
+  std::erase_if(isend_fibers_,
+                [](const sim::Fiber& f) { return f.done(); });
+  isend_fibers_.push_back(
+      sim::Fiber::spawn(system_->engine(),
+                        sender(this, std::move(comm), dest, tag, size_bytes,
+                               std::move(payload), trigger),
+                        name_ + ".isend"));
+  return Request{std::move(trigger)};
+}
+
+sim::Task<MpiMessage> Proc::recv(Comm comm, int src, int tag) {
+  assert(comm.valid());
+  Mailbox& box = mailboxes_[comm.context()];
+  PostedRecv probe;
+  probe.src = src;
+  probe.tag = tag;
+  for (auto it = box.unexpected.begin(); it != box.unexpected.end(); ++it) {
+    if (matches(probe, *it)) {
+      MpiMessage message = std::move(*it);
+      box.unexpected.erase(it);
+      co_return message;
+    }
+  }
+  PostedRecv posted;
+  posted.src = src;
+  posted.tag = tag;
+  posted.arrived = std::make_unique<sim::Trigger>(system_->engine());
+  box.posted.push_back(&posted);
+  // RAII guard: a killed/migrated fiber must unlink its posting.
+  struct Unpost {
+    Mailbox* box;
+    PostedRecv* posted;
+    ~Unpost() {
+      if (!posted->matched) {
+        box->posted.remove(posted);
+      }
+    }
+  } guard{&box, &posted};
+  co_await posted.arrived->wait();
+  co_return std::move(posted.message);
+}
+
+bool Proc::iprobe(const Comm& comm, int src, int tag) const {
+  const auto it = mailboxes_.find(comm.context());
+  if (it == mailboxes_.end()) {
+    return false;
+  }
+  PostedRecv probe;
+  probe.src = src;
+  probe.tag = tag;
+  for (const MpiMessage& message : it->second.unexpected) {
+    if (matches(probe, message)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace ars::mpi

@@ -1,0 +1,52 @@
+#include "ars/net/flowmeter.hpp"
+
+#include <algorithm>
+
+namespace ars::net {
+
+void FlowMeter::add(double t0, double t1, double bytes) {
+  if (bytes <= 0.0) {
+    return;
+  }
+  if (t1 < t0) {
+    std::swap(t0, t1);
+  }
+  segments_.push_back(Segment{t0, t1, bytes});
+  total_ += bytes;
+  prune(t1);
+}
+
+void FlowMeter::prune(double now) {
+  const double horizon = now - retention_;
+  while (!segments_.empty() && segments_.front().end < horizon) {
+    segments_.pop_front();
+  }
+}
+
+double FlowMeter::bytes_between(double t0, double t1) const noexcept {
+  double bytes = 0.0;
+  for (const auto& segment : segments_) {
+    if (segment.end <= segment.begin) {
+      // Instantaneous burst: counted if inside the window.
+      if (segment.begin >= t0 && segment.begin <= t1) {
+        bytes += segment.bytes;
+      }
+      continue;
+    }
+    const double overlap = std::min(segment.end, t1) -
+                           std::max(segment.begin, t0);
+    if (overlap > 0.0) {
+      bytes += segment.bytes * overlap / (segment.end - segment.begin);
+    }
+  }
+  return bytes;
+}
+
+double FlowMeter::rate_bps(double window, double now) const noexcept {
+  if (window <= 0.0) {
+    return 0.0;
+  }
+  return bytes_between(now - window, now) / window;
+}
+
+}  // namespace ars::net

@@ -1,0 +1,492 @@
+#include "ars/registry/registry.hpp"
+
+#include <algorithm>
+
+#include "ars/support/log.hpp"
+
+namespace ars::registry {
+
+using rules::SystemState;
+using xmlproto::ProtocolMessage;
+
+namespace {
+
+std::string process_key(const std::string& host, int pid) {
+  return host + ":" + std::to_string(pid);
+}
+
+}  // namespace
+
+Registry::Registry(host::Host& h, net::Network& network, Config config)
+    : host_(&h), network_(&network), config_(std::move(config)),
+      rng_(config_.random_seed) {
+  if (config_.port == 0) {
+    config_.port = network_->allocate_port(host_->name());
+  }
+}
+
+Registry::~Registry() { stop(); }
+
+void Registry::start() {
+  if (running_) {
+    return;
+  }
+  running_ = true;
+  endpoint_ = &network_->bind(host_->name(), config_.port);
+  fibers_.push_back(sim::Fiber::spawn(host_->engine(), serve(),
+                                      "registry.serve"));
+  fibers_.push_back(sim::Fiber::spawn(host_->engine(), sweep(),
+                                      "registry.sweep"));
+  if (!config_.parent_host.empty()) {
+    fibers_.push_back(sim::Fiber::spawn(host_->engine(), report_health(),
+                                        "registry.health"));
+  }
+}
+
+void Registry::stop() {
+  if (!running_) {
+    return;
+  }
+  running_ = false;
+  for (auto& fiber : fibers_) {
+    fiber.kill();
+  }
+  fibers_.clear();
+  network_->unbind(host_->name(), config_.port);
+  endpoint_ = nullptr;
+}
+
+void Registry::register_schema(const hpcm::ApplicationSchema& schema) {
+  schemas_.insert_or_assign(schema.name(), schema);
+}
+
+std::optional<SystemState> Registry::host_state(
+    const std::string& name) const {
+  const auto it = hosts_.find(name);
+  if (it == hosts_.end()) {
+    return std::nullopt;
+  }
+  return it->second.state;
+}
+
+void Registry::send_to(const std::string& dst_host, int dst_port,
+                       const ProtocolMessage& message) {
+  net::Message wire;
+  wire.src_host = host_->name();
+  wire.dst_host = dst_host;
+  wire.dst_port = dst_port;
+  wire.payload = xmlproto::encode(message);
+  network_->post(std::move(wire));
+}
+
+sim::Task<> Registry::serve() {
+  while (true) {
+    const net::Message wire = co_await endpoint_->inbox.recv();
+    auto message = xmlproto::decode(wire.payload);
+    if (!message.has_value()) {
+      ARS_LOG_WARN("registry", "undecodable message from "
+                                   << wire.src_host << ": "
+                                   << message.error().to_string());
+      continue;
+    }
+    handle(*message, wire.src_host);
+  }
+}
+
+void Registry::handle(const ProtocolMessage& message,
+                      const std::string& from_host) {
+  const double now = host_->engine().now();
+  if (const auto* reg = std::get_if<xmlproto::RegisterMsg>(&message)) {
+    HostEntry& entry = hosts_[reg->info.host];
+    entry.info = reg->info;
+    entry.monitor_port = reg->monitor_port;
+    entry.commander_port = reg->commander_port;
+    entry.last_update = now;
+    if (entry.state == SystemState::kUnavailable) {
+      entry.state = SystemState::kFree;
+    }
+    if (entry.registration_order == 0) {
+      entry.registration_order = ++next_registration_order_;
+    }
+    ARS_LOG_INFO("registry", "registered host " << reg->info.host);
+    return;
+  }
+  if (const auto* update = std::get_if<xmlproto::UpdateMsg>(&message)) {
+    HostEntry& entry = hosts_[update->status.host];
+    entry.status = update->status;
+    entry.last_update = now;
+    if (entry.registration_order == 0) {
+      entry.registration_order = ++next_registration_order_;
+    }
+    const auto state = rules::state_from_string(update->status.state);
+    entry.state = state.has_value() ? *state : SystemState::kBusy;
+    return;
+  }
+  if (const auto* consult = std::get_if<xmlproto::ConsultMsg>(&message)) {
+    std::erase_if(fibers_, [](const sim::Fiber& f) { return f.done(); });
+    fibers_.push_back(sim::Fiber::spawn(
+        host_->engine(), decide(consult->host, consult->reason),
+        "registry.decide"));
+    return;
+  }
+  if (const auto* preg = std::get_if<xmlproto::ProcessRegisterMsg>(&message)) {
+    if (preg->migration_enabled) {
+      ProcessEntry entry;
+      entry.host = preg->host;
+      entry.pid = preg->pid;
+      entry.name = preg->name;
+      entry.start_time = preg->start_time;
+      entry.schema_name = preg->schema_name;
+      processes_.insert_or_assign(process_key(preg->host, preg->pid),
+                                  std::move(entry));
+    }
+    return;
+  }
+  if (const auto* dereg =
+          std::get_if<xmlproto::ProcessDeregisterMsg>(&message)) {
+    processes_.erase(process_key(dereg->host, dereg->pid));
+    return;
+  }
+  if (const auto* evac = std::get_if<xmlproto::EvacuateMsg>(&message)) {
+    request_evacuation(evac->host, evac->reason);
+    return;
+  }
+  if (std::get_if<xmlproto::AckMsg>(&message) != nullptr) {
+    return;  // commander acknowledgements: informational
+  }
+  if (std::get_if<xmlproto::HealthReportMsg>(&message) != nullptr) {
+    return;  // child registry health: recorded implicitly by liveness
+  }
+  ARS_LOG_WARN("registry", "unhandled " << xmlproto::message_type(message)
+                                        << " from " << from_host);
+}
+
+sim::Task<> Registry::sweep() {
+  while (true) {
+    co_await sim::delay(host_->engine(), config_.sweep_period);
+    const double now = host_->engine().now();
+    for (auto& [name, entry] : hosts_) {
+      if (entry.state != SystemState::kUnavailable &&
+          now - entry.last_update > config_.lease_ttl) {
+        ARS_LOG_WARN("registry", "lease expired for host " << name);
+        entry.state = SystemState::kUnavailable;
+        if (config_.auto_restart) {
+          restart_processes_of(name);
+        }
+      }
+    }
+  }
+}
+
+void Registry::restart_processes_of(const std::string& lost_host) {
+  // Failure recovery: every process registered on the silent host is
+  // relaunched elsewhere from its latest checkpoint.  The destination's
+  // commander performs the relaunch; the lost host's entries are dropped.
+  std::vector<ProcessEntry> lost;
+  for (const auto& [key, entry] : processes_) {
+    if (entry.host == lost_host) {
+      lost.push_back(entry);
+    }
+  }
+  for (const ProcessEntry& process : lost) {
+    processes_.erase(process_key(process.host, process.pid));
+    auto destination = choose_destination(lost_host, process.schema_name);
+    Decision decision;
+    decision.at = host_->engine().now();
+    decision.source = lost_host;
+    decision.pid = process.pid;
+    decision.process_name = process.name;
+    decision.restart = true;
+    if (!destination.has_value()) {
+      ARS_LOG_ERROR("registry", "no host to restart " << process.name
+                                                      << " (lost with "
+                                                      << lost_host << ")");
+      decisions_.push_back(decision);
+      continue;
+    }
+    decision.destination = *destination;
+    decisions_.push_back(decision);
+    const auto dest_it = hosts_.find(*destination);
+    if (dest_it == hosts_.end()) {
+      continue;
+    }
+    xmlproto::RelaunchCmd command;
+    command.process_name = process.name;
+    command.lost_host = lost_host;
+    command.schema_name = process.schema_name;
+    ARS_LOG_WARN("registry", "restarting " << process.name << " on "
+                                           << *destination);
+    send_to(*destination, dest_it->second.commander_port, command);
+  }
+}
+
+sim::Task<> Registry::report_health() {
+  while (true) {
+    co_await sim::delay(host_->engine(), config_.health_report_period);
+    xmlproto::HealthReportMsg report;
+    report.registry_host = host_->name();
+    report.timestamp = host_->engine().now();
+    for (const auto& [name, entry] : hosts_) {
+      switch (entry.state) {
+        case SystemState::kFree:
+          ++report.free_hosts;
+          break;
+        case SystemState::kBusy:
+          ++report.busy_hosts;
+          break;
+        case SystemState::kOverloaded:
+          ++report.overloaded_hosts;
+          break;
+        case SystemState::kUnavailable:
+          break;
+      }
+    }
+    send_to(config_.parent_host, config_.parent_port, report);
+  }
+}
+
+const ProcessEntry* Registry::select_process(const std::string& source_host) {
+  // "The registry/scheduler tends to migrate a process that has the latest
+  // completing time to reduce the possibility of migrating multiple
+  // processes."  Estimated completion = start time + schema estimate.
+  const double now = host_->engine().now();
+  const ProcessEntry* best = nullptr;
+  double best_completion = -1.0;
+  for (auto& [key, entry] : processes_) {
+    if (entry.host != source_host) {
+      continue;
+    }
+    if (now - entry.last_migrated_at < config_.per_process_cooldown) {
+      continue;
+    }
+    double est_exec = 0.0;
+    const auto schema_it = schemas_.find(entry.schema_name);
+    if (schema_it != schemas_.end()) {
+      // Data-locality consideration (paper 5.3): a process that depends
+      // heavily on host-local data is not migrated.
+      if (schema_it->second.data_locality() >= config_.locality_threshold) {
+        continue;
+      }
+      est_exec = schema_it->second.est_exec_time();
+    }
+    const double completion = entry.start_time + est_exec;
+    if (best == nullptr || completion > best_completion) {
+      best = &entry;
+      best_completion = completion;
+    }
+  }
+  return best;
+}
+
+std::vector<const HostEntry*> Registry::eligible_destinations(
+    const std::string& source_host, const std::string& schema_name) const {
+  const hpcm::ApplicationSchema* schema = nullptr;
+  const auto schema_it = schemas_.find(schema_name);
+  if (schema_it != schemas_.end()) {
+    schema = &schema_it->second;
+  }
+  std::vector<const HostEntry*> ordered;
+  ordered.reserve(hosts_.size());
+  for (const auto& [name, entry] : hosts_) {
+    ordered.push_back(&entry);
+  }
+  std::sort(ordered.begin(), ordered.end(),
+            [](const HostEntry* a, const HostEntry* b) {
+              return a->registration_order < b->registration_order;
+            });
+  std::vector<const HostEntry*> eligible;
+  for (const HostEntry* entry : ordered) {
+    if (entry->info.host == source_host || entry->draining) {
+      continue;
+    }
+    if (!rules::actions_for(entry->state).migrate_in) {
+      continue;  // only `free` hosts accept incoming applications
+    }
+    if (!config_.policy.accepts_destination(entry->status)) {
+      continue;
+    }
+    if (schema != nullptr) {
+      const auto& req = schema->requirements();
+      if (entry->info.memory_bytes < req.min_memory_bytes ||
+          entry->info.disk_bytes < req.min_disk_bytes ||
+          entry->info.cpu_speed < req.min_cpu_speed) {
+        continue;
+      }
+    }
+    eligible.push_back(entry);
+  }
+  return eligible;
+}
+
+std::optional<std::string> Registry::first_fit_destination(
+    const std::string& source_host, const std::string& schema_name) {
+  const auto eligible = eligible_destinations(source_host, schema_name);
+  if (eligible.empty()) {
+    return std::nullopt;
+  }
+  return eligible.front()->info.host;
+}
+
+std::optional<std::string> Registry::choose_destination(
+    const std::string& source_host, const std::string& schema_name) {
+  const auto eligible = eligible_destinations(source_host, schema_name);
+  if (eligible.empty()) {
+    return std::nullopt;
+  }
+  switch (config_.strategy) {
+    case DestinationStrategy::kFirstFit:
+      return eligible.front()->info.host;
+    case DestinationStrategy::kBestFit: {
+      // Least loaded (then least 5-min load as a tiebreak).
+      const HostEntry* best = eligible.front();
+      for (const HostEntry* entry : eligible) {
+        if (entry->status.load1 < best->status.load1 ||
+            (entry->status.load1 == best->status.load1 &&
+             entry->status.load5 < best->status.load5)) {
+          best = entry;
+        }
+      }
+      return best->info.host;
+    }
+    case DestinationStrategy::kRandomFit: {
+      const auto index = static_cast<std::size_t>(rng_.uniform_int(
+          0, static_cast<std::int64_t>(eligible.size()) - 1));
+      return eligible[index]->info.host;
+    }
+  }
+  return std::nullopt;
+}
+
+void Registry::request_evacuation(const std::string& host,
+                                  const std::string& reason) {
+  std::erase_if(fibers_, [](const sim::Fiber& f) { return f.done(); });
+  fibers_.push_back(sim::Fiber::spawn(host_->engine(),
+                                      evacuate(host, reason),
+                                      "registry.evacuate"));
+}
+
+sim::Task<> Registry::evacuate(std::string drained_host, std::string reason) {
+  co_await sim::delay(host_->engine(), config_.decision_delay);
+  ARS_LOG_WARN("registry",
+               "evacuating " << drained_host << " (" << reason << ")");
+  // The host stops being a destination immediately and permanently
+  // (heartbeats keep refreshing its state but not its draining mark).
+  const auto host_it = hosts_.find(drained_host);
+  if (host_it != hosts_.end()) {
+    host_it->second.draining = true;
+  }
+  // Command every migration-enabled process off, each to its own first-fit
+  // destination; placements interleave with the transfers, so re-evaluate
+  // the candidate list per process.
+  std::vector<ProcessEntry> targets;
+  for (const auto& [key, entry] : processes_) {
+    if (entry.host == drained_host) {
+      targets.push_back(entry);
+    }
+  }
+  for (const ProcessEntry& process : targets) {
+    auto destination =
+        choose_destination(drained_host, process.schema_name);
+    Decision decision;
+    decision.at = host_->engine().now();
+    decision.source = drained_host;
+    decision.pid = process.pid;
+    decision.process_name = process.name;
+    decision.decision_latency = config_.decision_delay;
+    if (!destination.has_value()) {
+      ARS_LOG_ERROR("registry", "evacuation: no destination for "
+                                    << process.name << " - process stays");
+      decisions_.push_back(decision);
+      continue;
+    }
+    decision.destination = *destination;
+    decisions_.push_back(decision);
+    const auto source_it = hosts_.find(drained_host);
+    const auto dest_it = hosts_.find(*destination);
+    if (source_it == hosts_.end() || dest_it == hosts_.end()) {
+      continue;
+    }
+    xmlproto::MigrateCmd command;
+    command.pid = process.pid;
+    command.process_name = process.name;
+    command.dest_host = *destination;
+    command.dest_ip = dest_it->second.info.ip;
+    command.dest_port = dest_it->second.commander_port;
+    command.schema_name = process.schema_name;
+    send_to(drained_host, source_it->second.commander_port, command);
+    ++evacuations_commanded_;
+    // Give each migration a beat so the destinations' heartbeats can
+    // reflect the newly placed work before the next placement.
+    co_await sim::delay(host_->engine(), 1.0);
+  }
+}
+
+sim::Task<> Registry::decide(std::string overloaded_host, std::string reason) {
+  // The measured decision latency (~0.002 s in §5.2).
+  co_await sim::delay(host_->engine(), config_.decision_delay);
+  const double now = host_->engine().now();
+
+  Decision decision;
+  decision.at = now;
+  decision.source = overloaded_host;
+  decision.decision_latency = config_.decision_delay;
+
+  const ProcessEntry* process = select_process(overloaded_host);
+  if (process == nullptr) {
+    ARS_LOG_INFO("registry", "consult from " << overloaded_host << " ("
+                                             << reason
+                                             << "): no migratable process");
+    decisions_.push_back(decision);
+    co_return;
+  }
+  decision.pid = process->pid;
+  decision.process_name = process->name;
+
+  auto destination =
+      choose_destination(overloaded_host, process->schema_name);
+  if (!destination.has_value() && !config_.parent_host.empty()) {
+    // Hierarchical escalation: ask the parent registry.
+    decision.escalated = true;
+    xmlproto::ConsultMsg escalate;
+    escalate.host = overloaded_host;
+    escalate.reason = reason + " (escalated by " + host_->name() + ")";
+    send_to(config_.parent_host, config_.parent_port, escalate);
+    decisions_.push_back(decision);
+    co_return;
+  }
+  if (!destination.has_value()) {
+    ARS_LOG_INFO("registry", "no destination for " << process->name
+                                                   << " off "
+                                                   << overloaded_host);
+    decisions_.push_back(decision);
+    co_return;
+  }
+  decision.destination = *destination;
+  decisions_.push_back(decision);
+
+  const auto source_it = hosts_.find(overloaded_host);
+  const auto dest_it = hosts_.find(*destination);
+  if (source_it == hosts_.end() || dest_it == hosts_.end()) {
+    co_return;
+  }
+  // Note the migration so the selector does not immediately re-choose it.
+  const auto process_it =
+      processes_.find(process_key(process->host, process->pid));
+  if (process_it != processes_.end()) {
+    process_it->second.last_migrated_at = now;
+  }
+
+  xmlproto::MigrateCmd command;
+  command.pid = process->pid;
+  command.process_name = process->name;
+  command.dest_host = *destination;
+  command.dest_ip = dest_it->second.info.ip;
+  command.dest_port = dest_it->second.commander_port;
+  command.schema_name = process->schema_name;
+  ARS_LOG_INFO("registry", "decision: migrate " << process->name << " from "
+                                                << overloaded_host << " to "
+                                                << *destination);
+  send_to(overloaded_host, source_it->second.commander_port, command);
+}
+
+}  // namespace ars::registry

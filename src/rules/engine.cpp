@@ -1,0 +1,197 @@
+#include "ars/rules/engine.hpp"
+
+#include <algorithm>
+
+namespace ars::rules {
+
+using support::Expected;
+using support::make_error;
+
+Expected<double> MapSensorSource::sample(const std::string& script,
+                                         const std::string& param) {
+  const std::string keyed = param.empty() ? script : script + ":" + param;
+  auto it = values_.find(keyed);
+  if (it == values_.end()) {
+    it = values_.find(script);  // fall back to the bare script name
+  }
+  if (it == values_.end()) {
+    return make_error("sensor", "no reading for '" + keyed + "'");
+  }
+  return it->second;
+}
+
+Expected<RuleEngine> RuleEngine::create(std::vector<RuleSpec> specs,
+                                        Options options) {
+  RuleEngine engine;
+  engine.options_ = options;
+  engine.specs_ = std::move(specs);
+  for (std::size_t i = 0; i < engine.specs_.size(); ++i) {
+    const RuleSpec& spec = engine.specs_[i];
+    if (engine.by_number_.contains(spec.number)) {
+      return make_error("rule_engine", "duplicate rule number " +
+                                           std::to_string(spec.number));
+    }
+    engine.by_number_.emplace(spec.number, i);
+  }
+  // Parse complex expressions and verify references.
+  for (const RuleSpec& spec : engine.specs_) {
+    if (spec.kind != RuleKind::kComplex) {
+      continue;
+    }
+    auto expr = parse_expr(spec.script);
+    if (!expr.has_value()) {
+      return make_error("rule_engine",
+                        "rule " + std::to_string(spec.number) + " (" +
+                            spec.name + "): " + expr.error().message);
+    }
+    std::set<int> refs;
+    (*expr)->collect_refs(refs);
+    for (const int ref : refs) {
+      if (!engine.by_number_.contains(ref)) {
+        return make_error("rule_engine",
+                          "rule " + std::to_string(spec.number) +
+                              " references missing rule r" +
+                              std::to_string(ref));
+      }
+    }
+    engine.expressions_.emplace(spec.number, std::move(*expr));
+  }
+  // Cycle check: evaluate the reference graph with a DFS.
+  std::set<int> visiting;
+  std::set<int> done;
+  std::function<Expected<bool>(int)> dfs = [&](int number) -> Expected<bool> {
+    if (done.contains(number)) {
+      return true;
+    }
+    if (!visiting.insert(number).second) {
+      return make_error("rule_engine", "cyclic rule reference through r" +
+                                           std::to_string(number));
+    }
+    const auto expr_it = engine.expressions_.find(number);
+    if (expr_it != engine.expressions_.end()) {
+      std::set<int> refs;
+      expr_it->second->collect_refs(refs);
+      for (const int ref : refs) {
+        auto ok = dfs(ref);
+        if (!ok.has_value()) {
+          return ok;
+        }
+      }
+    }
+    visiting.erase(number);
+    done.insert(number);
+    return true;
+  };
+  for (const RuleSpec& spec : engine.specs_) {
+    auto ok = dfs(spec.number);
+    if (!ok.has_value()) {
+      return ok.error();
+    }
+  }
+  return engine;
+}
+
+Expected<RuleEngine> RuleEngine::create(std::vector<RuleSpec> specs) {
+  return create(std::move(specs), Options{});
+}
+
+Expected<RuleEngine> RuleEngine::from_text(std::string_view rule_file_text,
+                                           Options options) {
+  auto specs = parse_rule_file(rule_file_text);
+  if (!specs.has_value()) {
+    return specs.error();
+  }
+  return create(std::move(*specs), options);
+}
+
+Expected<RuleEngine> RuleEngine::from_text(std::string_view rule_file_text) {
+  return from_text(rule_file_text, Options{});
+}
+
+const RuleSpec* RuleEngine::find(int rule_number) const {
+  const auto it = by_number_.find(rule_number);
+  return it == by_number_.end() ? nullptr : &specs_[it->second];
+}
+
+Expected<double> RuleEngine::severity_of(int rule_number,
+                                         SensorSource& sensors,
+                                         std::set<int>& in_progress) const {
+  const RuleSpec* spec = find(rule_number);
+  if (spec == nullptr) {
+    return make_error("rule_engine",
+                      "no such rule r" + std::to_string(rule_number));
+  }
+  if (!in_progress.insert(rule_number).second) {
+    return make_error("rule_engine", "cyclic evaluation through r" +
+                                         std::to_string(rule_number));
+  }
+  Expected<double> result = [&]() -> Expected<double> {
+    if (spec->kind == RuleKind::kSimple) {
+      auto value = sensors.sample(spec->script, spec->param);
+      if (!value.has_value()) {
+        return value;
+      }
+      // Threshold semantics generalized from the paper's Rule 1 and Rule 2:
+      // the overloaded comparison is checked first, then busy, else free.
+      if (apply(spec->op, *value, spec->overld)) {
+        return severity(SystemState::kOverloaded);
+      }
+      if (apply(spec->op, *value, spec->busy)) {
+        return severity(SystemState::kBusy);
+      }
+      return severity(SystemState::kFree);
+    }
+    const auto expr_it = expressions_.find(rule_number);
+    if (expr_it == expressions_.end()) {
+      return make_error("rule_engine", "complex rule r" +
+                                           std::to_string(rule_number) +
+                                           " has no expression");
+    }
+    return expr_it->second->evaluate([&](int ref) -> Expected<double> {
+      return severity_of(ref, sensors, in_progress);
+    });
+  }();
+  in_progress.erase(rule_number);
+  return result;
+}
+
+Expected<SystemState> RuleEngine::evaluate(int rule_number,
+                                           SensorSource& sensors) const {
+  std::set<int> in_progress;
+  auto score = severity_of(rule_number, sensors, in_progress);
+  if (!score.has_value()) {
+    return score.error();
+  }
+  return state_from_severity(*score, options_.busy_threshold,
+                             options_.overld_threshold);
+}
+
+std::vector<int> RuleEngine::top_level_rules() const {
+  std::set<int> referenced;
+  for (const auto& [number, expr] : expressions_) {
+    expr->collect_refs(referenced);
+  }
+  std::vector<int> top;
+  for (const RuleSpec& spec : specs_) {
+    if (!referenced.contains(spec.number)) {
+      top.push_back(spec.number);
+    }
+  }
+  return top;
+}
+
+Expected<SystemState> RuleEngine::evaluate_all(SensorSource& sensors) const {
+  double worst = 0.0;
+  for (const int number : top_level_rules()) {
+    std::set<int> in_progress;
+    auto score = severity_of(number, sensors, in_progress);
+    if (!score.has_value()) {
+      return score.error();
+    }
+    worst = std::max(worst, *score);
+  }
+  return state_from_severity(worst, options_.busy_threshold,
+                             options_.overld_threshold);
+}
+
+}  // namespace ars::rules

@@ -1,0 +1,291 @@
+#include "ars/rules/expr.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <utility>
+#include <vector>
+
+#include "ars/support/strings.hpp"
+
+namespace ars::rules {
+
+using support::Expected;
+using support::make_error;
+
+namespace {
+
+using Lookup = std::function<Expected<double>(int)>;
+
+class RuleRefExpr final : public Expr {
+ public:
+  explicit RuleRefExpr(int number) : number_(number) {}
+  [[nodiscard]] Kind kind() const noexcept override { return Kind::kRuleRef; }
+  [[nodiscard]] Expected<double> evaluate(const Lookup& lookup) const override {
+    return lookup(number_);
+  }
+  void collect_refs(std::set<int>& refs) const override {
+    refs.insert(number_);
+  }
+  [[nodiscard]] std::string to_string() const override {
+    return "r" + std::to_string(number_);
+  }
+
+ private:
+  int number_;
+};
+
+class NumberExpr final : public Expr {
+ public:
+  explicit NumberExpr(double value) : value_(value) {}
+  [[nodiscard]] Kind kind() const noexcept override { return Kind::kNumber; }
+  [[nodiscard]] Expected<double> evaluate(const Lookup&) const override {
+    return value_;
+  }
+  void collect_refs(std::set<int>&) const override {}
+  [[nodiscard]] std::string to_string() const override {
+    return support::format_fixed(value_, 2);
+  }
+
+ private:
+  double value_;
+};
+
+class BinaryExpr final : public Expr {
+ public:
+  BinaryExpr(Kind op, ExprPtr lhs, ExprPtr rhs)
+      : op_(op), lhs_(std::move(lhs)), rhs_(std::move(rhs)) {}
+  [[nodiscard]] Kind kind() const noexcept override { return op_; }
+  [[nodiscard]] Expected<double> evaluate(const Lookup& lookup) const override {
+    auto lhs = lhs_->evaluate(lookup);
+    if (!lhs.has_value()) {
+      return lhs;
+    }
+    auto rhs = rhs_->evaluate(lookup);
+    if (!rhs.has_value()) {
+      return rhs;
+    }
+    switch (op_) {
+      case Kind::kAdd:
+        return *lhs + *rhs;
+      case Kind::kMul:
+        return *lhs * *rhs;
+      case Kind::kAnd:
+        return std::min(*lhs, *rhs);
+      case Kind::kOr:
+        return std::max(*lhs, *rhs);
+      default:
+        return make_error("expr_eval", "invalid binary op");
+    }
+  }
+  void collect_refs(std::set<int>& refs) const override {
+    lhs_->collect_refs(refs);
+    rhs_->collect_refs(refs);
+  }
+  [[nodiscard]] std::string to_string() const override {
+    const char* symbol = "?";
+    switch (op_) {
+      case Kind::kAdd:
+        symbol = " + ";
+        break;
+      case Kind::kMul:
+        symbol = " * ";
+        break;
+      case Kind::kAnd:
+        symbol = " & ";
+        break;
+      case Kind::kOr:
+        symbol = " | ";
+        break;
+      default:
+        break;
+    }
+    std::string out = "(";
+    out += lhs_->to_string();
+    out += symbol;
+    out += rhs_->to_string();
+    out += ")";
+    return out;
+  }
+
+ private:
+  Kind op_;
+  ExprPtr lhs_;
+  ExprPtr rhs_;
+};
+
+class ExprParser {
+ public:
+  explicit ExprParser(std::string_view text) : text_(text) {}
+
+  Expected<ExprPtr> parse() {
+    auto expr = parse_or();
+    if (!expr.has_value()) {
+      return expr;
+    }
+    skip_whitespace();
+    if (pos_ != text_.size()) {
+      return fail("unexpected trailing input");
+    }
+    return expr;
+  }
+
+ private:
+  support::Error fail(const std::string& message) const {
+    return make_error("expr_parse",
+                      message + " (at offset " + std::to_string(pos_) + ")");
+  }
+
+  void skip_whitespace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+
+  [[nodiscard]] bool eof() {
+    skip_whitespace();
+    return pos_ >= text_.size();
+  }
+
+  [[nodiscard]] char peek() { return text_[pos_]; }
+
+  bool consume(char c) {
+    if (eof() || peek() != c) {
+      return false;
+    }
+    ++pos_;
+    return true;
+  }
+
+  Expected<ExprPtr> parse_or() {
+    auto lhs = parse_and();
+    if (!lhs.has_value()) {
+      return lhs;
+    }
+    while (consume('|')) {
+      auto rhs = parse_and();
+      if (!rhs.has_value()) {
+        return rhs;
+      }
+      lhs = ExprPtr{std::make_unique<BinaryExpr>(Expr::Kind::kOr,
+                                                 std::move(*lhs),
+                                                 std::move(*rhs))};
+    }
+    return lhs;
+  }
+
+  Expected<ExprPtr> parse_and() {
+    auto lhs = parse_add();
+    if (!lhs.has_value()) {
+      return lhs;
+    }
+    while (consume('&')) {
+      auto rhs = parse_add();
+      if (!rhs.has_value()) {
+        return rhs;
+      }
+      lhs = ExprPtr{std::make_unique<BinaryExpr>(Expr::Kind::kAnd,
+                                                 std::move(*lhs),
+                                                 std::move(*rhs))};
+    }
+    return lhs;
+  }
+
+  Expected<ExprPtr> parse_add() {
+    auto lhs = parse_mul();
+    if (!lhs.has_value()) {
+      return lhs;
+    }
+    while (consume('+')) {
+      auto rhs = parse_mul();
+      if (!rhs.has_value()) {
+        return rhs;
+      }
+      lhs = ExprPtr{std::make_unique<BinaryExpr>(Expr::Kind::kAdd,
+                                                 std::move(*lhs),
+                                                 std::move(*rhs))};
+    }
+    return lhs;
+  }
+
+  Expected<ExprPtr> parse_mul() {
+    auto lhs = parse_factor();
+    if (!lhs.has_value()) {
+      return lhs;
+    }
+    while (consume('*')) {
+      auto rhs = parse_factor();
+      if (!rhs.has_value()) {
+        return rhs;
+      }
+      lhs = ExprPtr{std::make_unique<BinaryExpr>(Expr::Kind::kMul,
+                                                 std::move(*lhs),
+                                                 std::move(*rhs))};
+    }
+    return lhs;
+  }
+
+  Expected<ExprPtr> parse_factor() {
+    if (eof()) {
+      return fail("expected rule reference, number or '('");
+    }
+    if (consume('(')) {
+      auto inner = parse_or();
+      if (!inner.has_value()) {
+        return inner;
+      }
+      if (!consume(')')) {
+        return fail("expected ')'");
+      }
+      return inner;
+    }
+    if (peek() == 'r' || peek() == 'R') {
+      ++pos_;
+      if (pos_ < text_.size() && text_[pos_] == '_') {
+        ++pos_;
+      }
+      const std::size_t start = pos_;
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0) {
+        ++pos_;
+      }
+      if (pos_ == start) {
+        return fail("rule reference needs a number (rN or r_N)");
+      }
+      const auto number =
+          support::parse_int(text_.substr(start, pos_ - start));
+      return ExprPtr{std::make_unique<RuleRefExpr>(static_cast<int>(*number))};
+    }
+    if (std::isdigit(static_cast<unsigned char>(peek())) != 0 ||
+        peek() == '.') {
+      const std::size_t start = pos_;
+      while (pos_ < text_.size() &&
+             (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+              text_[pos_] == '.')) {
+        ++pos_;
+      }
+      const auto value = support::parse_double(text_.substr(start, pos_ - start));
+      if (!value.has_value()) {
+        return fail("malformed number");
+      }
+      double scaled = *value;
+      if (pos_ < text_.size() && text_[pos_] == '%') {
+        ++pos_;
+        scaled /= 100.0;
+      }
+      return ExprPtr{std::make_unique<NumberExpr>(scaled)};
+    }
+    return fail(std::string("unexpected character '") + peek() + "'");
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Expected<ExprPtr> parse_expr(std::string_view text) {
+  return ExprParser{text}.parse();
+}
+
+}  // namespace ars::rules

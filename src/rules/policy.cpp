@@ -1,0 +1,254 @@
+#include "ars/rules/policy.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "ars/support/strings.hpp"
+
+namespace ars::rules {
+
+using support::Expected;
+using support::make_error;
+using support::parse_double;
+using support::split;
+using support::split_whitespace;
+using support::trim;
+using xmlproto::DynamicStatus;
+
+Expected<Metric> metric_from_string(std::string_view name) {
+  const std::string lowered = support::to_lower(name);
+  if (lowered == "load1") return Metric::kLoad1;
+  if (lowered == "load5") return Metric::kLoad5;
+  if (lowered == "cpu_util") return Metric::kCpuUtil;
+  if (lowered == "processes") return Metric::kProcesses;
+  if (lowered == "mem_avail_pct") return Metric::kMemAvailablePct;
+  if (lowered == "disk_avail") return Metric::kDiskAvailable;
+  if (lowered == "net_in") return Metric::kNetIn;
+  if (lowered == "net_out") return Metric::kNetOut;
+  if (lowered == "net_flow") return Metric::kNetFlow;
+  if (lowered == "sockets") return Metric::kSockets;
+  return make_error("policy_parse",
+                    "unknown metric '" + std::string(name) + "'");
+}
+
+std::string_view to_string(Metric metric) noexcept {
+  switch (metric) {
+    case Metric::kLoad1:
+      return "load1";
+    case Metric::kLoad5:
+      return "load5";
+    case Metric::kCpuUtil:
+      return "cpu_util";
+    case Metric::kProcesses:
+      return "processes";
+    case Metric::kMemAvailablePct:
+      return "mem_avail_pct";
+    case Metric::kDiskAvailable:
+      return "disk_avail";
+    case Metric::kNetIn:
+      return "net_in";
+    case Metric::kNetOut:
+      return "net_out";
+    case Metric::kNetFlow:
+      return "net_flow";
+    case Metric::kSockets:
+      return "sockets";
+  }
+  return "?";
+}
+
+double metric_value(const DynamicStatus& status, Metric metric) noexcept {
+  switch (metric) {
+    case Metric::kLoad1:
+      return status.load1;
+    case Metric::kLoad5:
+      return status.load5;
+    case Metric::kCpuUtil:
+      return status.cpu_util;
+    case Metric::kProcesses:
+      return static_cast<double>(status.processes);
+    case Metric::kMemAvailablePct:
+      return status.mem_available_pct;
+    case Metric::kDiskAvailable:
+      return static_cast<double>(status.disk_available);
+    case Metric::kNetIn:
+      return status.net_in_bps;
+    case Metric::kNetOut:
+      return status.net_out_bps;
+    case Metric::kNetFlow:
+      return std::max(status.net_in_bps, status.net_out_bps);
+    case Metric::kSockets:
+      return static_cast<double>(status.sockets_established);
+  }
+  return 0.0;
+}
+
+std::string MetricCondition::to_string() const {
+  std::ostringstream out;
+  out << rules::to_string(metric) << ' ' << rules::to_string(op) << ' '
+      << threshold;
+  return out.str();
+}
+
+bool MigrationPolicy::should_offload(const DynamicStatus& status) const {
+  if (triggers_.empty()) {
+    return false;  // Policy 1: never migrate
+  }
+  const bool triggered =
+      std::any_of(triggers_.begin(), triggers_.end(),
+                  [&](const MetricCondition& c) { return c.holds(status); });
+  if (!triggered) {
+    return false;
+  }
+  return std::all_of(source_gates_.begin(), source_gates_.end(),
+                     [&](const MetricCondition& c) { return c.holds(status); });
+}
+
+bool MigrationPolicy::accepts_destination(const DynamicStatus& status) const {
+  return std::all_of(dest_conditions_.begin(), dest_conditions_.end(),
+                     [&](const MetricCondition& c) { return c.holds(status); });
+}
+
+std::string MigrationPolicy::to_text() const {
+  std::ostringstream out;
+  out << "policy: " << name_ << '\n';
+  for (const auto& c : triggers_) {
+    out << "trigger: " << c.to_string() << '\n';
+  }
+  for (const auto& c : source_gates_) {
+    out << "gate: " << c.to_string() << '\n';
+  }
+  for (const auto& c : dest_conditions_) {
+    out << "dest: " << c.to_string() << '\n';
+  }
+  out << "freq_free: " << frequencies_.free << '\n';
+  out << "freq_busy: " << frequencies_.busy << '\n';
+  out << "freq_overloaded: " << frequencies_.overloaded << '\n';
+  out << "warmup: " << warmup_ << '\n';
+  return out.str();
+}
+
+namespace {
+
+Expected<MetricCondition> parse_condition(const std::string& text,
+                                          std::size_t line_no) {
+  const auto tokens = split_whitespace(text);
+  if (tokens.size() != 3) {
+    return make_error("policy_parse",
+                      "line " + std::to_string(line_no) +
+                          ": expected '<metric> <op> <threshold>', got '" +
+                          text + "'");
+  }
+  MetricCondition condition;
+  auto metric = metric_from_string(tokens[0]);
+  if (!metric.has_value()) {
+    return metric.error();
+  }
+  condition.metric = *metric;
+  auto op = compare_op_from_string(tokens[1]);
+  if (!op.has_value()) {
+    return op.error();
+  }
+  condition.op = *op;
+  const auto threshold = parse_double(tokens[2]);
+  if (!threshold.has_value()) {
+    return make_error("policy_parse", "line " + std::to_string(line_no) +
+                                          ": threshold is not numeric: " +
+                                          tokens[2]);
+  }
+  condition.threshold = *threshold;
+  return condition;
+}
+
+}  // namespace
+
+Expected<MigrationPolicy> parse_policy(std::string_view text) {
+  MigrationPolicy policy;
+  MigrationPolicy::Frequencies frequencies;
+  bool named = false;
+  std::size_t line_no = 0;
+  for (const std::string& raw_line : split(text, '\n')) {
+    ++line_no;
+    const std::string_view line = trim(raw_line);
+    if (line.empty() || line.front() == '#') {
+      continue;
+    }
+    const auto colon = line.find(':');
+    if (colon == std::string_view::npos) {
+      return make_error("policy_parse", "line " + std::to_string(line_no) +
+                                            ": expected 'key: value'");
+    }
+    const std::string key{trim(line.substr(0, colon))};
+    const std::string value{trim(line.substr(colon + 1))};
+    if (key == "policy") {
+      policy = MigrationPolicy{value};
+      named = true;
+    } else if (key == "trigger" || key == "gate" || key == "dest") {
+      auto condition = parse_condition(value, line_no);
+      if (!condition.has_value()) {
+        return condition.error();
+      }
+      if (key == "trigger") {
+        policy.add_trigger(*condition);
+      } else if (key == "gate") {
+        policy.add_source_gate(*condition);
+      } else {
+        policy.add_dest_condition(*condition);
+      }
+    } else if (key == "freq_free" || key == "freq_busy" ||
+               key == "freq_overloaded" || key == "warmup") {
+      const auto seconds = parse_double(value);
+      if (!seconds.has_value() || *seconds < 0.0) {
+        return make_error("policy_parse", "line " + std::to_string(line_no) +
+                                              ": bad duration: " + value);
+      }
+      if (key == "freq_free") {
+        frequencies.free = *seconds;
+      } else if (key == "freq_busy") {
+        frequencies.busy = *seconds;
+      } else if (key == "freq_overloaded") {
+        frequencies.overloaded = *seconds;
+      } else {
+        policy.set_warmup(*seconds);
+      }
+    } else {
+      return make_error("policy_parse", "line " + std::to_string(line_no) +
+                                            ": unknown key '" + key + "'");
+    }
+  }
+  if (!named) {
+    return make_error("policy_parse", "missing 'policy:' line");
+  }
+  policy.set_frequencies(frequencies);
+  return policy;
+}
+
+MigrationPolicy paper_policy1() {
+  MigrationPolicy policy{"policy1"};
+  // No triggers: the application never migrates.
+  return policy;
+}
+
+MigrationPolicy paper_policy2() {
+  MigrationPolicy policy{"policy2"};
+  policy.add_trigger({Metric::kLoad1, CompareOp::kGreater, 2.0});
+  policy.add_trigger({Metric::kProcesses, CompareOp::kGreater, 150.0});
+  policy.add_dest_condition({Metric::kLoad1, CompareOp::kLess, 1.0});
+  policy.add_dest_condition({Metric::kProcesses, CompareOp::kLess, 100.0});
+  return policy;
+}
+
+MigrationPolicy paper_policy3() {
+  MigrationPolicy policy{"policy3"};
+  policy.add_trigger({Metric::kLoad1, CompareOp::kGreater, 2.0});
+  policy.add_trigger({Metric::kProcesses, CompareOp::kGreater, 150.0});
+  policy.add_source_gate(
+      {Metric::kNetFlow, CompareOp::kLessEqual, 5.0e6});
+  policy.add_dest_condition({Metric::kLoad1, CompareOp::kLess, 1.0});
+  policy.add_dest_condition({Metric::kProcesses, CompareOp::kLess, 100.0});
+  policy.add_dest_condition(
+      {Metric::kNetFlow, CompareOp::kLessEqual, 3.0e6});
+  return policy;
+}
+
+}  // namespace ars::rules

@@ -1,0 +1,277 @@
+#include "ars/rules/rulefile.hpp"
+
+#include <sstream>
+
+#include "ars/support/strings.hpp"
+
+namespace ars::rules {
+
+using support::Error;
+using support::Expected;
+using support::make_error;
+using support::parse_double;
+using support::parse_int;
+using support::split;
+using support::split_whitespace;
+using support::trim;
+
+Expected<CompareOp> compare_op_from_string(std::string_view token) {
+  token = trim(token);
+  if (token == "<") return CompareOp::kLess;
+  if (token == ">") return CompareOp::kGreater;
+  if (token == "<=") return CompareOp::kLessEqual;
+  if (token == ">=") return CompareOp::kGreaterEqual;
+  return make_error("rule_parse",
+                    "unknown operator '" + std::string(token) + "'");
+}
+
+std::string_view to_string(CompareOp op) noexcept {
+  switch (op) {
+    case CompareOp::kLess:
+      return "<";
+    case CompareOp::kGreater:
+      return ">";
+    case CompareOp::kLessEqual:
+      return "<=";
+    case CompareOp::kGreaterEqual:
+      return ">=";
+  }
+  return "?";
+}
+
+bool apply(CompareOp op, double lhs, double rhs) noexcept {
+  switch (op) {
+    case CompareOp::kLess:
+      return lhs < rhs;
+    case CompareOp::kGreater:
+      return lhs > rhs;
+    case CompareOp::kLessEqual:
+      return lhs <= rhs;
+    case CompareOp::kGreaterEqual:
+      return lhs >= rhs;
+  }
+  return false;
+}
+
+namespace {
+
+struct PendingRule {
+  RuleSpec spec;
+  bool has_number = false;
+  bool has_operator = false;
+  bool has_busy = false;
+  bool has_overld = false;
+};
+
+Expected<RuleSpec> finalize(PendingRule pending) {
+  RuleSpec& spec = pending.spec;
+  const std::string where = "rule " + std::to_string(spec.number);
+  if (!pending.has_number) {
+    return make_error("rule_parse", "rule without rl_number");
+  }
+  if (spec.name.empty()) {
+    return make_error("rule_parse", where + ": missing rl_name");
+  }
+  if (spec.script.empty()) {
+    return make_error("rule_parse", where + ": missing rl_script");
+  }
+  if (spec.kind == RuleKind::kSimple) {
+    if (!pending.has_operator) {
+      return make_error("rule_parse", where + ": missing rl_operator");
+    }
+    if (!pending.has_busy || !pending.has_overld) {
+      return make_error("rule_parse",
+                        where + ": missing rl_busy or rl_overLd");
+    }
+  }
+  // Complex rules need no operator/thresholds (paper: "need not be
+  // specified"); rl_ruleNo is optional too, since the expression itself
+  // names its inputs.
+  return spec;
+}
+
+}  // namespace
+
+Expected<std::vector<RuleSpec>> parse_rule_file(std::string_view text) {
+  std::vector<RuleSpec> rules;
+  std::optional<PendingRule> current;
+
+  const auto flush = [&]() -> Expected<bool> {
+    if (!current.has_value()) {
+      return true;
+    }
+    auto spec = finalize(std::move(*current));
+    current.reset();
+    if (!spec.has_value()) {
+      return spec.error();
+    }
+    rules.push_back(std::move(*spec));
+    return true;
+  };
+
+  std::size_t line_no = 0;
+  for (const std::string& raw_line : split(text, '\n')) {
+    ++line_no;
+    const std::string_view line = trim(raw_line);
+    if (line.empty() || line.front() == '#') {
+      continue;
+    }
+    const auto colon = line.find(':');
+    if (colon == std::string_view::npos) {
+      return make_error("rule_parse", "line " + std::to_string(line_no) +
+                                          ": expected 'rl_key: value'");
+    }
+    const std::string key{trim(line.substr(0, colon))};
+    const std::string value{trim(line.substr(colon + 1))};
+
+    if (key == "rl_number") {
+      if (auto flushed = flush(); !flushed.has_value()) {
+        return flushed.error();
+      }
+      const auto number = parse_int(value);
+      if (!number.has_value()) {
+        return make_error("rule_parse",
+                          "line " + std::to_string(line_no) +
+                              ": rl_number is not an integer: " + value);
+      }
+      current.emplace();
+      current->spec.number = static_cast<int>(*number);
+      current->has_number = true;
+      continue;
+    }
+    if (!current.has_value()) {
+      return make_error("rule_parse", "line " + std::to_string(line_no) +
+                                          ": '" + key +
+                                          "' before any rl_number");
+    }
+    RuleSpec& spec = current->spec;
+    if (key == "rl_name") {
+      spec.name = value;
+    } else if (key == "rl_type") {
+      if (support::iequals(value, "simple")) {
+        spec.kind = RuleKind::kSimple;
+      } else if (support::iequals(value, "complex")) {
+        spec.kind = RuleKind::kComplex;
+      } else {
+        return make_error("rule_parse", "line " + std::to_string(line_no) +
+                                            ": unknown rl_type: " + value);
+      }
+    } else if (key == "rl_script") {
+      spec.script = value;
+    } else if (key == "rl_desc") {
+      spec.description = value;
+    } else if (key == "rl_operator") {
+      auto op = compare_op_from_string(value);
+      if (!op.has_value()) {
+        return op.error();
+      }
+      spec.op = *op;
+      current->has_operator = true;
+    } else if (key == "rl_param") {
+      spec.param = value;
+    } else if (key == "rl_busy") {
+      const auto busy = parse_double(value);
+      if (!busy.has_value()) {
+        return make_error("rule_parse", "line " + std::to_string(line_no) +
+                                            ": rl_busy is not numeric: " +
+                                            value);
+      }
+      spec.busy = *busy;
+      current->has_busy = true;
+    } else if (key == "rl_overLd") {
+      const auto overld = parse_double(value);
+      if (!overld.has_value()) {
+        return make_error("rule_parse", "line " + std::to_string(line_no) +
+                                            ": rl_overLd is not numeric: " +
+                                            value);
+      }
+      spec.overld = *overld;
+      current->has_overld = true;
+    } else if (key == "rl_ruleNo") {
+      spec.rule_numbers.clear();
+      for (const std::string& token : split_whitespace(value)) {
+        const auto number = parse_int(token);
+        if (!number.has_value()) {
+          return make_error("rule_parse",
+                            "line " + std::to_string(line_no) +
+                                ": rl_ruleNo entry is not an integer: " +
+                                token);
+        }
+        spec.rule_numbers.push_back(static_cast<int>(*number));
+      }
+    } else {
+      return make_error("rule_parse", "line " + std::to_string(line_no) +
+                                          ": unknown key '" + key + "'");
+    }
+  }
+  if (auto flushed = flush(); !flushed.has_value()) {
+    return flushed.error();
+  }
+  if (rules.empty()) {
+    return make_error("rule_parse", "no rules in file");
+  }
+  return rules;
+}
+
+std::string to_rule_file(const std::vector<RuleSpec>& rules) {
+  std::ostringstream out;
+  for (const RuleSpec& spec : rules) {
+    out << "rl_number: " << spec.number << '\n';
+    out << "rl_name: " << spec.name << '\n';
+    out << "rl_type: "
+        << (spec.kind == RuleKind::kSimple ? "simple" : "complex") << '\n';
+    out << "rl_script: " << spec.script << '\n';
+    if (!spec.description.empty()) {
+      out << "rl_desc: " << spec.description << '\n';
+    }
+    if (spec.kind == RuleKind::kSimple) {
+      out << "rl_operator: " << to_string(spec.op) << '\n';
+      out << "rl_param: " << spec.param << '\n';
+      out << "rl_busy: " << spec.busy << '\n';
+      out << "rl_overLd: " << spec.overld << '\n';
+    } else if (!spec.rule_numbers.empty()) {
+      out << "rl_ruleNo:";
+      for (const int number : spec.rule_numbers) {
+        out << ' ' << number;
+      }
+      out << '\n';
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+std::string paper_figure3_text() {
+  return "rl_number: 1\n"
+         "rl_name: processorStatus\n"
+         "rl_type: simple\n"
+         "rl_script: processorStatus.sh\n"
+         "rl_desc: This rule determines the processor status i.e. the idle "
+         "time.\n"
+         "rl_operator: <\n"
+         "rl_param:\n"
+         "rl_busy: 50\n"
+         "rl_overLd: 45\n"
+         "\n"
+         "rl_number: 2\n"
+         "rl_name: ntStatIpv4\n"
+         "rl_type: simple\n"
+         "rl_script: ntStatIpv4.sh\n"
+         "rl_desc: This rule determines the number of sockets in a give "
+         "state.\n"
+         "rl_operator: >\n"
+         "rl_param: ESTABLISHED\n"
+         "rl_busy: 700\n"
+         "rl_overLd: 900\n";
+}
+
+std::string paper_figure4_text() {
+  return "rl_number: 5\n"
+         "rl_name: cmp_rule\n"
+         "rl_type: complex\n"
+         "rl_desc: A Complex Rule.\n"
+         "rl_ruleNo: 4 1 3 2\n"
+         "rl_script: ( 40% * r_4 + 30% * r1 + 30% * r3 ) & r2\n";
+}
+
+}  // namespace ars::rules

@@ -1,0 +1,41 @@
+#include "ars/rules/state.hpp"
+
+#include "ars/support/strings.hpp"
+
+namespace ars::rules {
+
+SystemState state_from_severity(double score, double busy_threshold,
+                                double overld_threshold) {
+  if (score >= overld_threshold) {
+    return SystemState::kOverloaded;
+  }
+  if (score >= busy_threshold) {
+    return SystemState::kBusy;
+  }
+  return SystemState::kFree;
+}
+
+std::string_view to_string(SystemState state) noexcept {
+  switch (state) {
+    case SystemState::kFree:
+      return "free";
+    case SystemState::kBusy:
+      return "busy";
+    case SystemState::kOverloaded:
+      return "overloaded";
+    case SystemState::kUnavailable:
+      return "unavailable";
+  }
+  return "?";
+}
+
+support::Expected<SystemState> state_from_string(std::string_view name) {
+  if (support::iequals(name, "free")) return SystemState::kFree;
+  if (support::iequals(name, "busy")) return SystemState::kBusy;
+  if (support::iequals(name, "overloaded")) return SystemState::kOverloaded;
+  if (support::iequals(name, "unavailable")) return SystemState::kUnavailable;
+  return support::make_error("state_parse",
+                             "unknown state '" + std::string(name) + "'");
+}
+
+}  // namespace ars::rules

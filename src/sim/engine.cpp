@@ -1,0 +1,115 @@
+#include "ars/sim/engine.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ars::sim {
+
+namespace {
+
+using Record = Engine::EventHandle::Record;
+
+struct RecordLater {
+  // Min-heap comparator: std::push_heap builds a max-heap, so "greater".
+  bool operator()(const std::shared_ptr<Record>& a,
+                  const std::shared_ptr<Record>& b) const noexcept {
+    if (a->at != b->at) {
+      return a->at > b->at;
+    }
+    return a->seq > b->seq;
+  }
+};
+
+}  // namespace
+
+void Engine::EventHandle::cancel() noexcept {
+  if (record_ && !record_->fired) {
+    record_->cancelled = true;
+    record_->fn = nullptr;  // release captured resources eagerly
+  }
+}
+
+bool Engine::EventHandle::pending() const noexcept {
+  return record_ && !record_->fired && !record_->cancelled;
+}
+
+Engine::EventHandle Engine::schedule_at(SimTime at, std::function<void()> fn) {
+  auto record = std::make_shared<Record>();
+  record->at = std::max(at, now_);
+  record->seq = next_seq_++;
+  record->fn = std::move(fn);
+  heap_.push_back(record);
+  std::push_heap(heap_.begin(), heap_.end(), RecordLater{});
+  ++live_events_;
+  return EventHandle{std::move(record)};
+}
+
+Engine::EventHandle Engine::schedule_after(SimTime delay,
+                                           std::function<void()> fn) {
+  return schedule_at(now_ + std::max(delay, 0.0), std::move(fn));
+}
+
+void Engine::prune_cancelled_head() {
+  while (!heap_.empty() && heap_.front()->cancelled) {
+    std::pop_heap(heap_.begin(), heap_.end(), RecordLater{});
+    heap_.pop_back();
+  }
+}
+
+bool Engine::pop_and_run(SimTime limit, bool bounded) {
+  prune_cancelled_head();
+  if (heap_.empty()) {
+    return false;
+  }
+  if (bounded && heap_.front()->at > limit) {
+    return false;
+  }
+  std::pop_heap(heap_.begin(), heap_.end(), RecordLater{});
+  std::shared_ptr<Record> record = std::move(heap_.back());
+  heap_.pop_back();
+
+  assert(record->at >= now_ && "event queue went backwards");
+  now_ = record->at;
+  record->fired = true;
+  std::function<void()> fn = std::move(record->fn);
+  record->fn = nullptr;
+  ++executed_;
+  if (fn) {
+    fn();
+  }
+  return true;
+}
+
+bool Engine::step() {
+  if (stop_requested_) {
+    return false;
+  }
+  return pop_and_run(0.0, /*bounded=*/false);
+}
+
+std::size_t Engine::run() {
+  std::size_t count = 0;
+  while (!stop_requested_ && pop_and_run(0.0, /*bounded=*/false)) {
+    ++count;
+  }
+  return count;
+}
+
+std::size_t Engine::run_until(SimTime until) {
+  std::size_t count = 0;
+  while (!stop_requested_ && pop_and_run(until, /*bounded=*/true)) {
+    ++count;
+  }
+  if (!stop_requested_ && until > now_) {
+    now_ = until;
+  }
+  return count;
+}
+
+std::size_t Engine::pending_events() const noexcept {
+  return static_cast<std::size_t>(
+      std::count_if(heap_.begin(), heap_.end(),
+                    [](const auto& r) { return !r->cancelled; }));
+}
+
+}  // namespace ars::sim

@@ -1,0 +1,111 @@
+#include <coroutine>
+#include <exception>
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "ars/sim/task.hpp"
+
+namespace ars::sim {
+
+namespace {
+
+/// Fire-and-forget driver coroutine.  The frame destroys itself when the
+/// body finishes (final_suspend -> suspend_never); external kill destroys it
+/// through FiberState::handle instead.
+struct Detached {
+  struct promise_type {
+    Detached get_return_object() noexcept {
+      return Detached{std::coroutine_handle<promise_type>::from_promise(*this)};
+    }
+    [[nodiscard]] std::suspend_always initial_suspend() const noexcept {
+      return {};
+    }
+    [[nodiscard]] std::suspend_never final_suspend() const noexcept {
+      return {};
+    }
+    void return_void() const noexcept {}
+    void unhandled_exception() const noexcept {
+      // drive() catches everything; reaching here is a library bug.
+      std::terminate();
+    }
+  };
+
+  std::coroutine_handle<promise_type> handle;
+};
+
+Detached drive(std::shared_ptr<FiberState> state, Task<> task) {
+  bool failed = false;
+  std::string reason;
+  try {
+    co_await std::move(task);
+  } catch (const FiberExit&) {
+    // clean self-termination
+  } catch (const std::exception& e) {
+    failed = true;
+    reason = e.what();
+  } catch (...) {
+    failed = true;
+    reason = "unknown exception";
+  }
+  if (failed) {
+    ARS_LOG_ERROR("sim", "fiber '" << state->name << "' failed: " << reason);
+  }
+  state->finish(failed, std::move(reason));
+}
+
+}  // namespace
+
+void FiberState::finish(bool with_failure, std::string reason) {
+  handle = nullptr;
+  done = true;
+  failed = with_failure;
+  failure = std::move(reason);
+  auto listeners = std::move(exit_listeners);
+  exit_listeners.clear();
+  for (auto& listener : listeners) {
+    listener();
+  }
+}
+
+const std::string& Fiber::name() const {
+  static const std::string empty;
+  return state_ ? state_->name : empty;
+}
+
+void Fiber::kill() {
+  if (!state_ || state_->done) {
+    return;
+  }
+  const auto handle = state_->handle;
+  if (handle) {
+    state_->handle = nullptr;
+    handle.destroy();
+  }
+  state_->finish(false, "killed");
+}
+
+void Fiber::on_exit(std::function<void()> fn) {
+  if (!state_ || state_->done) {
+    fn();
+    return;
+  }
+  state_->exit_listeners.push_back(std::move(fn));
+}
+
+Fiber Fiber::spawn(Engine& engine, Task<> task, std::string name) {
+  auto state = std::make_shared<FiberState>();
+  state->name = std::move(name);
+  Detached driver = drive(state, std::move(task));
+  state->handle = driver.handle;
+  // Start through the event queue so spawn order decides run order and the
+  // caller (often plain setup code) never runs fiber bodies inline.
+  engine.schedule_after(0.0, [state] {
+    if (state->handle && !state->done) {
+      state->handle.resume();
+    }
+  });
+  return Fiber{std::move(state)};
+}
+
+}  // namespace ars::sim

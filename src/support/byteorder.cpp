@@ -1,0 +1,62 @@
+#include "ars/support/byteorder.hpp"
+
+#include <stdexcept>
+
+namespace ars::support {
+
+namespace {
+
+void append_be(std::vector<std::byte>& out, std::uint64_t value, int bytes) {
+  for (int shift = (bytes - 1) * 8; shift >= 0; shift -= 8) {
+    out.push_back(static_cast<std::byte>((value >> shift) & 0xffU));
+  }
+}
+
+std::uint64_t read_be(std::span<const std::byte> in, std::size_t& offset,
+                      int bytes) {
+  if (offset + static_cast<std::size_t>(bytes) > in.size()) {
+    throw std::out_of_range("byteorder: buffer underrun");
+  }
+  std::uint64_t value = 0;
+  for (int i = 0; i < bytes; ++i) {
+    value = (value << 8) | static_cast<std::uint64_t>(in[offset + i]);
+  }
+  offset += static_cast<std::size_t>(bytes);
+  return value;
+}
+
+}  // namespace
+
+void put_be16(std::vector<std::byte>& out, std::uint16_t value) {
+  append_be(out, value, 2);
+}
+void put_be32(std::vector<std::byte>& out, std::uint32_t value) {
+  append_be(out, value, 4);
+}
+void put_be64(std::vector<std::byte>& out, std::uint64_t value) {
+  append_be(out, value, 8);
+}
+void put_be_double(std::vector<std::byte>& out, double value) {
+  std::uint64_t bits = 0;
+  static_assert(sizeof bits == sizeof value);
+  std::memcpy(&bits, &value, sizeof bits);
+  put_be64(out, bits);
+}
+
+std::uint16_t get_be16(std::span<const std::byte> in, std::size_t& offset) {
+  return static_cast<std::uint16_t>(read_be(in, offset, 2));
+}
+std::uint32_t get_be32(std::span<const std::byte> in, std::size_t& offset) {
+  return static_cast<std::uint32_t>(read_be(in, offset, 4));
+}
+std::uint64_t get_be64(std::span<const std::byte> in, std::size_t& offset) {
+  return read_be(in, offset, 8);
+}
+double get_be_double(std::span<const std::byte> in, std::size_t& offset) {
+  const std::uint64_t bits = get_be64(in, offset);
+  double value = 0.0;
+  std::memcpy(&value, &bits, sizeof value);
+  return value;
+}
+
+}  // namespace ars::support

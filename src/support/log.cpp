@@ -1,0 +1,49 @@
+#include "ars/support/log.hpp"
+
+#include <cstdio>
+
+namespace ars::support {
+
+std::string_view to_string(LogLevel level) noexcept {
+  switch (level) {
+    case LogLevel::kTrace:
+      return "TRACE";
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kOff:
+      return "OFF";
+  }
+  return "?";
+}
+
+Logger::Logger() {
+  sink_ = [](LogLevel level, std::string_view component,
+             std::string_view message, double sim_time) {
+    std::fprintf(stderr, "[%10.3f] %-5s %-12.*s %.*s\n", sim_time,
+                 std::string(to_string(level)).c_str(),
+                 static_cast<int>(component.size()), component.data(),
+                 static_cast<int>(message.size()), message.data());
+  };
+}
+
+Logger& Logger::global() {
+  static Logger instance;
+  return instance;
+}
+
+void Logger::write(LogLevel level, std::string_view component,
+                   std::string_view message) {
+  if (!enabled(level) || !sink_) {
+    return;
+  }
+  const double sim_time = clock_ ? clock_() : -1.0;
+  sink_(level, component, message, sim_time);
+}
+
+}  // namespace ars::support

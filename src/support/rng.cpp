@@ -1,0 +1,16 @@
+#include "ars/support/rng.hpp"
+
+#include <cmath>
+
+namespace ars::support {
+
+double Rng::exponential(double mean) noexcept {
+  // Inverse-CDF sampling; clamp the uniform away from 0 to avoid log(0).
+  double u = uniform();
+  if (u <= 0.0) {
+    u = 0x1.0p-53;
+  }
+  return -mean * std::log(u);
+}
+
+}  // namespace ars::support

@@ -1,0 +1,459 @@
+#include "ars/xmlproto/messages.hpp"
+
+#include <functional>
+#include <map>
+
+#include "ars/support/strings.hpp"
+#include "ars/xmlproto/xml.hpp"
+
+namespace ars::xmlproto {
+
+using support::Expected;
+using support::make_error;
+using support::parse_double;
+using support::parse_int;
+
+namespace {
+
+// ---- field helpers --------------------------------------------------------
+
+void put(XmlNode& parent, const std::string& name, const std::string& value) {
+  parent.add_child(name).set_text(value);
+}
+void put(XmlNode& parent, const std::string& name, double value) {
+  put(parent, name, support::format_fixed(value, 6));
+}
+void put(XmlNode& parent, const std::string& name, int value) {
+  put(parent, name, std::to_string(value));
+}
+void put(XmlNode& parent, const std::string& name, std::uint64_t value) {
+  put(parent, name, std::to_string(value));
+}
+void put(XmlNode& parent, const std::string& name, bool value) {
+  put(parent, name, std::string(value ? "true" : "false"));
+}
+
+Expected<std::string> need_text(const XmlNode& node, const std::string& name) {
+  const XmlNode* c = node.child(name);
+  if (c == nullptr) {
+    return make_error("proto_decode", "missing field <" + name + "> in <" +
+                                          node.name() + ">");
+  }
+  return c->text();
+}
+
+Expected<double> need_double(const XmlNode& node, const std::string& name) {
+  auto text = need_text(node, name);
+  if (!text.has_value()) {
+    return text.error();
+  }
+  const auto value = parse_double(*text);
+  if (!value.has_value()) {
+    return make_error("proto_decode",
+                      "field <" + name + "> is not a number: " + *text);
+  }
+  return *value;
+}
+
+Expected<std::int64_t> need_int(const XmlNode& node, const std::string& name) {
+  auto text = need_text(node, name);
+  if (!text.has_value()) {
+    return text.error();
+  }
+  const auto value = parse_int(*text);
+  if (!value.has_value()) {
+    return make_error("proto_decode",
+                      "field <" + name + "> is not an integer: " + *text);
+  }
+  return *value;
+}
+
+Expected<bool> need_bool(const XmlNode& node, const std::string& name) {
+  auto text = need_text(node, name);
+  if (!text.has_value()) {
+    return text.error();
+  }
+  if (*text == "true") return true;
+  if (*text == "false") return false;
+  return make_error("proto_decode",
+                    "field <" + name + "> is not a boolean: " + *text);
+}
+
+// ---- per-type encoders ----------------------------------------------------
+
+void encode_static_info(XmlNode& parent, const StaticInfo& info) {
+  XmlNode& n = parent.add_child("static");
+  put(n, "host", info.host);
+  put(n, "ip", info.ip);
+  put(n, "os", info.os);
+  put(n, "memory", info.memory_bytes);
+  put(n, "disk", info.disk_bytes);
+  put(n, "cpu_speed", info.cpu_speed);
+  put(n, "byte_order", info.byte_order);
+}
+
+Expected<StaticInfo> decode_static_info(const XmlNode& parent) {
+  const XmlNode* n = parent.child("static");
+  if (n == nullptr) {
+    return make_error("proto_decode", "missing <static> block");
+  }
+  StaticInfo info;
+  auto host = need_text(*n, "host");
+  if (!host.has_value()) return host.error();
+  info.host = *host;
+  info.ip = n->child_text_or("ip", "");
+  info.os = n->child_text_or("os", "");
+  auto memory = need_int(*n, "memory");
+  if (!memory.has_value()) return memory.error();
+  info.memory_bytes = static_cast<std::uint64_t>(*memory);
+  auto disk = need_int(*n, "disk");
+  if (!disk.has_value()) return disk.error();
+  info.disk_bytes = static_cast<std::uint64_t>(*disk);
+  auto speed = need_double(*n, "cpu_speed");
+  if (!speed.has_value()) return speed.error();
+  info.cpu_speed = *speed;
+  info.byte_order = n->child_text_or("byte_order", "big");
+  return info;
+}
+
+void encode_status(XmlNode& parent, const DynamicStatus& status) {
+  XmlNode& n = parent.add_child("status");
+  put(n, "host", status.host);
+  put(n, "state", status.state);
+  put(n, "load1", status.load1);
+  put(n, "load5", status.load5);
+  put(n, "cpu_util", status.cpu_util);
+  put(n, "processes", status.processes);
+  put(n, "mem_avail_pct", status.mem_available_pct);
+  put(n, "disk_avail", status.disk_available);
+  put(n, "net_in", status.net_in_bps);
+  put(n, "net_out", status.net_out_bps);
+  put(n, "sockets", status.sockets_established);
+  put(n, "timestamp", status.timestamp);
+}
+
+Expected<DynamicStatus> decode_status(const XmlNode& parent) {
+  const XmlNode* n = parent.child("status");
+  if (n == nullptr) {
+    return make_error("proto_decode", "missing <status> block");
+  }
+  DynamicStatus s;
+  auto host = need_text(*n, "host");
+  if (!host.has_value()) return host.error();
+  s.host = *host;
+  auto state = need_text(*n, "state");
+  if (!state.has_value()) return state.error();
+  s.state = *state;
+  auto load1 = need_double(*n, "load1");
+  if (!load1.has_value()) return load1.error();
+  s.load1 = *load1;
+  auto load5 = need_double(*n, "load5");
+  if (!load5.has_value()) return load5.error();
+  s.load5 = *load5;
+  auto util = need_double(*n, "cpu_util");
+  if (!util.has_value()) return util.error();
+  s.cpu_util = *util;
+  auto processes = need_int(*n, "processes");
+  if (!processes.has_value()) return processes.error();
+  s.processes = static_cast<int>(*processes);
+  auto mem = need_double(*n, "mem_avail_pct");
+  if (!mem.has_value()) return mem.error();
+  s.mem_available_pct = *mem;
+  auto disk = need_int(*n, "disk_avail");
+  if (!disk.has_value()) return disk.error();
+  s.disk_available = static_cast<std::uint64_t>(*disk);
+  auto in = need_double(*n, "net_in");
+  if (!in.has_value()) return in.error();
+  s.net_in_bps = *in;
+  auto out = need_double(*n, "net_out");
+  if (!out.has_value()) return out.error();
+  s.net_out_bps = *out;
+  auto sockets = need_int(*n, "sockets");
+  if (!sockets.has_value()) return sockets.error();
+  s.sockets_established = static_cast<int>(*sockets);
+  auto ts = need_double(*n, "timestamp");
+  if (!ts.has_value()) return ts.error();
+  s.timestamp = *ts;
+  return s;
+}
+
+struct Encoder {
+  XmlNode& root;
+
+  void operator()(const RegisterMsg& m) const {
+    root.set_attr("type", "register");
+    encode_static_info(root, m.info);
+    put(root, "monitor_port", m.monitor_port);
+    put(root, "commander_port", m.commander_port);
+  }
+  void operator()(const UpdateMsg& m) const {
+    root.set_attr("type", "update");
+    encode_status(root, m.status);
+  }
+  void operator()(const ConsultMsg& m) const {
+    root.set_attr("type", "consult");
+    put(root, "host", m.host);
+    put(root, "reason", m.reason);
+  }
+  void operator()(const MigrateCmd& m) const {
+    root.set_attr("type", "migrate");
+    put(root, "pid", m.pid);
+    put(root, "process_name", m.process_name);
+    put(root, "dest_host", m.dest_host);
+    put(root, "dest_ip", m.dest_ip);
+    put(root, "dest_port", m.dest_port);
+    put(root, "schema_name", m.schema_name);
+  }
+  void operator()(const AckMsg& m) const {
+    root.set_attr("type", "ack");
+    put(root, "of", m.of);
+    put(root, "ok", m.ok);
+    put(root, "detail", m.detail);
+  }
+  void operator()(const ProcessRegisterMsg& m) const {
+    root.set_attr("type", "process_register");
+    put(root, "host", m.host);
+    put(root, "pid", m.pid);
+    put(root, "name", m.name);
+    put(root, "start_time", m.start_time);
+    put(root, "migration_enabled", m.migration_enabled);
+    put(root, "schema_name", m.schema_name);
+  }
+  void operator()(const ProcessDeregisterMsg& m) const {
+    root.set_attr("type", "process_deregister");
+    put(root, "host", m.host);
+    put(root, "pid", m.pid);
+  }
+  void operator()(const HealthReportMsg& m) const {
+    root.set_attr("type", "health");
+    put(root, "registry_host", m.registry_host);
+    put(root, "free_hosts", m.free_hosts);
+    put(root, "busy_hosts", m.busy_hosts);
+    put(root, "overloaded_hosts", m.overloaded_hosts);
+    put(root, "timestamp", m.timestamp);
+  }
+  void operator()(const RecommendMsg& m) const {
+    root.set_attr("type", "recommend");
+    put(root, "found", m.found);
+    put(root, "dest_host", m.dest_host);
+    put(root, "dest_ip", m.dest_ip);
+    put(root, "dest_port", m.dest_port);
+  }
+  void operator()(const EvacuateMsg& m) const {
+    root.set_attr("type", "evacuate");
+    put(root, "host", m.host);
+    put(root, "reason", m.reason);
+  }
+  void operator()(const RelaunchCmd& m) const {
+    root.set_attr("type", "relaunch");
+    put(root, "process_name", m.process_name);
+    put(root, "lost_host", m.lost_host);
+    put(root, "schema_name", m.schema_name);
+  }
+};
+
+// ---- per-type decoders ----------------------------------------------------
+
+Expected<ProtocolMessage> decode_register(const XmlNode& root) {
+  RegisterMsg m;
+  auto info = decode_static_info(root);
+  if (!info.has_value()) return info.error();
+  m.info = *info;
+  auto monitor_port = need_int(root, "monitor_port");
+  if (!monitor_port.has_value()) return monitor_port.error();
+  m.monitor_port = static_cast<int>(*monitor_port);
+  auto commander_port = need_int(root, "commander_port");
+  if (!commander_port.has_value()) return commander_port.error();
+  m.commander_port = static_cast<int>(*commander_port);
+  return ProtocolMessage{m};
+}
+
+Expected<ProtocolMessage> decode_update(const XmlNode& root) {
+  auto status = decode_status(root);
+  if (!status.has_value()) return status.error();
+  return ProtocolMessage{UpdateMsg{*status}};
+}
+
+Expected<ProtocolMessage> decode_consult(const XmlNode& root) {
+  ConsultMsg m;
+  auto host = need_text(root, "host");
+  if (!host.has_value()) return host.error();
+  m.host = *host;
+  m.reason = root.child_text_or("reason", "");
+  return ProtocolMessage{m};
+}
+
+Expected<ProtocolMessage> decode_migrate(const XmlNode& root) {
+  MigrateCmd m;
+  auto pid = need_int(root, "pid");
+  if (!pid.has_value()) return pid.error();
+  m.pid = static_cast<int>(*pid);
+  m.process_name = root.child_text_or("process_name", "");
+  auto dest = need_text(root, "dest_host");
+  if (!dest.has_value()) return dest.error();
+  m.dest_host = *dest;
+  m.dest_ip = root.child_text_or("dest_ip", "");
+  auto port = need_int(root, "dest_port");
+  if (!port.has_value()) return port.error();
+  m.dest_port = static_cast<int>(*port);
+  m.schema_name = root.child_text_or("schema_name", "");
+  return ProtocolMessage{m};
+}
+
+Expected<ProtocolMessage> decode_ack(const XmlNode& root) {
+  AckMsg m;
+  auto of = need_text(root, "of");
+  if (!of.has_value()) return of.error();
+  m.of = *of;
+  auto ok = need_bool(root, "ok");
+  if (!ok.has_value()) return ok.error();
+  m.ok = *ok;
+  m.detail = root.child_text_or("detail", "");
+  return ProtocolMessage{m};
+}
+
+Expected<ProtocolMessage> decode_process_register(const XmlNode& root) {
+  ProcessRegisterMsg m;
+  auto host = need_text(root, "host");
+  if (!host.has_value()) return host.error();
+  m.host = *host;
+  auto pid = need_int(root, "pid");
+  if (!pid.has_value()) return pid.error();
+  m.pid = static_cast<int>(*pid);
+  m.name = root.child_text_or("name", "");
+  auto start = need_double(root, "start_time");
+  if (!start.has_value()) return start.error();
+  m.start_time = *start;
+  auto enabled = need_bool(root, "migration_enabled");
+  if (!enabled.has_value()) return enabled.error();
+  m.migration_enabled = *enabled;
+  m.schema_name = root.child_text_or("schema_name", "");
+  return ProtocolMessage{m};
+}
+
+Expected<ProtocolMessage> decode_process_deregister(const XmlNode& root) {
+  ProcessDeregisterMsg m;
+  auto host = need_text(root, "host");
+  if (!host.has_value()) return host.error();
+  m.host = *host;
+  auto pid = need_int(root, "pid");
+  if (!pid.has_value()) return pid.error();
+  m.pid = static_cast<int>(*pid);
+  return ProtocolMessage{m};
+}
+
+Expected<ProtocolMessage> decode_health(const XmlNode& root) {
+  HealthReportMsg m;
+  auto host = need_text(root, "registry_host");
+  if (!host.has_value()) return host.error();
+  m.registry_host = *host;
+  auto free_hosts = need_int(root, "free_hosts");
+  if (!free_hosts.has_value()) return free_hosts.error();
+  m.free_hosts = static_cast<int>(*free_hosts);
+  auto busy_hosts = need_int(root, "busy_hosts");
+  if (!busy_hosts.has_value()) return busy_hosts.error();
+  m.busy_hosts = static_cast<int>(*busy_hosts);
+  auto overloaded = need_int(root, "overloaded_hosts");
+  if (!overloaded.has_value()) return overloaded.error();
+  m.overloaded_hosts = static_cast<int>(*overloaded);
+  auto ts = need_double(root, "timestamp");
+  if (!ts.has_value()) return ts.error();
+  m.timestamp = *ts;
+  return ProtocolMessage{m};
+}
+
+Expected<ProtocolMessage> decode_evacuate(const XmlNode& root) {
+  EvacuateMsg m;
+  auto host = need_text(root, "host");
+  if (!host.has_value()) return host.error();
+  m.host = *host;
+  m.reason = root.child_text_or("reason", "");
+  return ProtocolMessage{m};
+}
+
+Expected<ProtocolMessage> decode_relaunch(const XmlNode& root) {
+  RelaunchCmd m;
+  auto name = need_text(root, "process_name");
+  if (!name.has_value()) return name.error();
+  m.process_name = *name;
+  m.lost_host = root.child_text_or("lost_host", "");
+  m.schema_name = root.child_text_or("schema_name", "");
+  return ProtocolMessage{m};
+}
+
+Expected<ProtocolMessage> decode_recommend(const XmlNode& root) {
+  RecommendMsg m;
+  auto found = need_bool(root, "found");
+  if (!found.has_value()) return found.error();
+  m.found = *found;
+  m.dest_host = root.child_text_or("dest_host", "");
+  m.dest_ip = root.child_text_or("dest_ip", "");
+  const auto port = parse_int(root.child_text_or("dest_port", "0"));
+  m.dest_port = port.has_value() ? static_cast<int>(*port) : 0;
+  return ProtocolMessage{m};
+}
+
+}  // namespace
+
+std::string encode(const ProtocolMessage& message) {
+  XmlNode root{"ars"};
+  std::visit(Encoder{root}, message);
+  return root.to_string();
+}
+
+std::string message_type(const ProtocolMessage& message) {
+  struct Namer {
+    std::string operator()(const RegisterMsg&) const { return "register"; }
+    std::string operator()(const UpdateMsg&) const { return "update"; }
+    std::string operator()(const ConsultMsg&) const { return "consult"; }
+    std::string operator()(const MigrateCmd&) const { return "migrate"; }
+    std::string operator()(const AckMsg&) const { return "ack"; }
+    std::string operator()(const ProcessRegisterMsg&) const {
+      return "process_register";
+    }
+    std::string operator()(const ProcessDeregisterMsg&) const {
+      return "process_deregister";
+    }
+    std::string operator()(const HealthReportMsg&) const { return "health"; }
+    std::string operator()(const RecommendMsg&) const { return "recommend"; }
+    std::string operator()(const EvacuateMsg&) const { return "evacuate"; }
+    std::string operator()(const RelaunchCmd&) const { return "relaunch"; }
+  };
+  return std::visit(Namer{}, message);
+}
+
+Expected<ProtocolMessage> decode(std::string_view wire) {
+  auto doc = parse_xml(wire);
+  if (!doc.has_value()) {
+    return doc.error();
+  }
+  const XmlNode& root = **doc;
+  if (root.name() != "ars") {
+    return make_error("proto_decode", "unexpected root <" + root.name() + ">");
+  }
+  const auto type = root.attr("type");
+  if (!type.has_value()) {
+    return make_error("proto_decode", "missing type attribute");
+  }
+  using DecodeFn = Expected<ProtocolMessage> (*)(const XmlNode&);
+  static const std::map<std::string, DecodeFn> kDecoders = {
+      {"register", decode_register},
+      {"update", decode_update},
+      {"consult", decode_consult},
+      {"migrate", decode_migrate},
+      {"ack", decode_ack},
+      {"process_register", decode_process_register},
+      {"process_deregister", decode_process_deregister},
+      {"health", decode_health},
+      {"recommend", decode_recommend},
+      {"evacuate", decode_evacuate},
+      {"relaunch", decode_relaunch},
+  };
+  const auto it = kDecoders.find(*type);
+  if (it == kDecoders.end()) {
+    return make_error("proto_decode", "unknown message type '" + *type + "'");
+  }
+  return it->second(root);
+}
+
+}  // namespace ars::xmlproto

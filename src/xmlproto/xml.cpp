@@ -1,0 +1,329 @@
+#include "ars/xmlproto/xml.hpp"
+
+#include <cctype>
+
+#include "ars/support/strings.hpp"
+
+namespace ars::xmlproto {
+
+using support::Error;
+using support::Expected;
+using support::make_error;
+
+XmlNode& XmlNode::add_child(std::string child_name) {
+  children_.push_back(std::make_unique<XmlNode>(std::move(child_name)));
+  return *children_.back();
+}
+
+const XmlNode* XmlNode::child(std::string_view child_name) const {
+  for (const auto& c : children_) {
+    if (c->name() == child_name) {
+      return c.get();
+    }
+  }
+  return nullptr;
+}
+
+XmlNode* XmlNode::child(std::string_view child_name) {
+  for (const auto& c : children_) {
+    if (c->name() == child_name) {
+      return c.get();
+    }
+  }
+  return nullptr;
+}
+
+std::vector<const XmlNode*> XmlNode::children_named(
+    std::string_view child_name) const {
+  std::vector<const XmlNode*> matches;
+  for (const auto& c : children_) {
+    if (c->name() == child_name) {
+      matches.push_back(c.get());
+    }
+  }
+  return matches;
+}
+
+std::string XmlNode::child_text_or(std::string_view child_name,
+                                   std::string fallback) const {
+  const XmlNode* c = child(child_name);
+  return c == nullptr ? std::move(fallback) : c->text();
+}
+
+std::string xml_escape(std::string_view raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (const char c : raw) {
+    switch (c) {
+      case '&':
+        out += "&amp;";
+        break;
+      case '<':
+        out += "&lt;";
+        break;
+      case '>':
+        out += "&gt;";
+        break;
+      case '"':
+        out += "&quot;";
+        break;
+      case '\'':
+        out += "&apos;";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+void XmlNode::write(std::string& out) const {
+  out += '<';
+  out += name_;
+  for (const auto& [key, value] : attrs_) {
+    out += ' ';
+    out += key;
+    out += "=\"";
+    out += xml_escape(value);
+    out += '"';
+  }
+  if (text_.empty() && children_.empty()) {
+    out += "/>";
+    return;
+  }
+  out += '>';
+  out += xml_escape(text_);
+  for (const auto& c : children_) {
+    c->write(out);
+  }
+  out += "</";
+  out += name_;
+  out += '>';
+}
+
+std::string XmlNode::to_string() const {
+  std::string out;
+  write(out);
+  return out;
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view input) : input_(input) {}
+
+  Expected<std::unique_ptr<XmlNode>> parse() {
+    skip_prolog();
+    auto root = parse_element();
+    if (!root.has_value()) {
+      return root;
+    }
+    skip_whitespace_and_comments();
+    if (pos_ != input_.size()) {
+      return fail("trailing content after root element");
+    }
+    return root;
+  }
+
+ private:
+  Error fail(const std::string& message) const {
+    return make_error("xml_parse",
+                      message + " (at offset " + std::to_string(pos_) + ")");
+  }
+
+  [[nodiscard]] bool eof() const noexcept { return pos_ >= input_.size(); }
+  [[nodiscard]] char peek() const noexcept { return input_[pos_]; }
+  [[nodiscard]] bool match(std::string_view token) const noexcept {
+    return input_.substr(pos_, token.size()) == token;
+  }
+
+  void skip_whitespace() {
+    while (!eof() && std::isspace(static_cast<unsigned char>(peek())) != 0) {
+      ++pos_;
+    }
+  }
+
+  bool skip_comment() {
+    if (!match("<!--")) {
+      return false;
+    }
+    const auto end = input_.find("-->", pos_ + 4);
+    pos_ = end == std::string_view::npos ? input_.size() : end + 3;
+    return true;
+  }
+
+  void skip_whitespace_and_comments() {
+    while (true) {
+      skip_whitespace();
+      if (!skip_comment()) {
+        return;
+      }
+    }
+  }
+
+  void skip_prolog() {
+    skip_whitespace();
+    if (match("<?xml")) {
+      const auto end = input_.find("?>", pos_);
+      pos_ = end == std::string_view::npos ? input_.size() : end + 2;
+    }
+    skip_whitespace_and_comments();
+  }
+
+  static bool is_name_char(char c) noexcept {
+    return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_' ||
+           c == '-' || c == '.' || c == ':';
+  }
+
+  std::string read_name() {
+    const std::size_t start = pos_;
+    while (!eof() && is_name_char(peek())) {
+      ++pos_;
+    }
+    return std::string(input_.substr(start, pos_ - start));
+  }
+
+  Expected<std::string> read_entity() {
+    // pos_ is at '&'.
+    const auto end = input_.find(';', pos_);
+    if (end == std::string_view::npos || end - pos_ > 8) {
+      return fail("unterminated entity");
+    }
+    const std::string_view entity = input_.substr(pos_ + 1, end - pos_ - 1);
+    pos_ = end + 1;
+    if (entity == "amp") return std::string{"&"};
+    if (entity == "lt") return std::string{"<"};
+    if (entity == "gt") return std::string{">"};
+    if (entity == "quot") return std::string{"\""};
+    if (entity == "apos") return std::string{"'"};
+    return fail("unknown entity '&" + std::string(entity) + ";'");
+  }
+
+  Expected<std::string> read_attr_value() {
+    if (eof() || (peek() != '"' && peek() != '\'')) {
+      return fail("expected quoted attribute value");
+    }
+    const char quote = peek();
+    ++pos_;
+    std::string value;
+    while (!eof() && peek() != quote) {
+      if (peek() == '&') {
+        auto entity = read_entity();
+        if (!entity.has_value()) {
+          return entity;
+        }
+        value += *entity;
+      } else {
+        value += peek();
+        ++pos_;
+      }
+    }
+    if (eof()) {
+      return fail("unterminated attribute value");
+    }
+    ++pos_;  // closing quote
+    return value;
+  }
+
+  Expected<std::unique_ptr<XmlNode>> parse_element() {
+    if (eof() || peek() != '<') {
+      return fail("expected element start '<'");
+    }
+    ++pos_;
+    const std::string name = read_name();
+    if (name.empty()) {
+      return fail("empty element name");
+    }
+    auto node = std::make_unique<XmlNode>(name);
+
+    // Attributes.
+    while (true) {
+      skip_whitespace();
+      if (eof()) {
+        return fail("unterminated start tag <" + name);
+      }
+      if (peek() == '/' || peek() == '>') {
+        break;
+      }
+      const std::string key = read_name();
+      if (key.empty()) {
+        return fail("malformed attribute in <" + name + ">");
+      }
+      skip_whitespace();
+      if (eof() || peek() != '=') {
+        return fail("expected '=' after attribute '" + key + "'");
+      }
+      ++pos_;
+      skip_whitespace();
+      auto value = read_attr_value();
+      if (!value.has_value()) {
+        return value.error();
+      }
+      node->set_attr(key, std::move(*value));
+    }
+
+    if (peek() == '/') {
+      ++pos_;
+      if (eof() || peek() != '>') {
+        return fail("malformed self-closing tag <" + name);
+      }
+      ++pos_;
+      return node;
+    }
+    ++pos_;  // '>'
+
+    // Content: interleaved text and child elements.
+    std::string text;
+    while (true) {
+      if (eof()) {
+        return fail("unterminated element <" + name + ">");
+      }
+      if (peek() == '<') {
+        if (skip_comment()) {
+          continue;
+        }
+        if (match("</")) {
+          pos_ += 2;
+          const std::string close = read_name();
+          if (close != name) {
+            return fail("mismatched close tag </" + close + "> for <" + name +
+                        ">");
+          }
+          skip_whitespace();
+          if (eof() || peek() != '>') {
+            return fail("malformed close tag </" + close);
+          }
+          ++pos_;
+          node->set_text(std::string(support::trim(text)));
+          return node;
+        }
+        auto c = parse_element();
+        if (!c.has_value()) {
+          return c;
+        }
+        node->adopt_child(std::move(*c));
+      } else if (peek() == '&') {
+        auto entity = read_entity();
+        if (!entity.has_value()) {
+          return entity.error();
+        }
+        text += *entity;
+      } else {
+        text += peek();
+        ++pos_;
+      }
+    }
+  }
+
+  std::string_view input_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Expected<std::unique_ptr<XmlNode>> parse_xml(std::string_view input) {
+  return Parser{input}.parse();
+}
+
+}  // namespace ars::xmlproto

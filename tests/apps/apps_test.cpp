@@ -1,0 +1,178 @@
+#include <gtest/gtest.h>
+
+#include "ars/apps/matmul.hpp"
+#include "ars/apps/stencil.hpp"
+#include "ars/apps/test_tree.hpp"
+
+namespace ars::apps {
+namespace {
+
+using sim::Engine;
+
+class AppsTest : public ::testing::Test {
+ protected:
+  AppsTest() : net_(engine_), mpi_(engine_, net_), hpcm_(mpi_) {
+    for (const char* name : {"ws1", "ws2", "ws3", "ws4"}) {
+      host::HostSpec spec;
+      spec.name = name;
+      hosts_.push_back(std::make_unique<host::Host>(engine_, spec));
+      net_.attach(*hosts_.back());
+    }
+  }
+
+  Engine engine_;
+  net::Network net_;
+  std::vector<std::unique_ptr<host::Host>> hosts_;
+  mpi::MpiSystem mpi_;
+  hpcm::MigrationEngine hpcm_;
+};
+
+TEST_F(AppsTest, TestTreeProducesExpectedSum) {
+  TestTree::Params params;
+  params.levels = 12;
+  TestTree::Result result;
+  hpcm_.launch("ws1", TestTree::make(params, &result), "tree",
+               TestTree::schema(params));
+  engine_.run_until(100.0);
+  ASSERT_TRUE(result.finished);
+  EXPECT_DOUBLE_EQ(result.sum, TestTree::expected_sum(params));
+  EXPECT_TRUE(result.sorted);
+}
+
+TEST_F(AppsTest, TestTreeSumsDifferBySeed) {
+  TestTree::Params a;
+  a.levels = 10;
+  a.seed = 1;
+  TestTree::Params b = a;
+  b.seed = 2;
+  EXPECT_NE(TestTree::expected_sum(a), TestTree::expected_sum(b));
+}
+
+TEST_F(AppsTest, TestTreeWorkScalesWithLevels) {
+  TestTree::Params small;
+  small.levels = 10;
+  TestTree::Params big;
+  big.levels = 12;
+  EXPECT_NEAR(TestTree::total_work(big) / TestTree::total_work(small), 4.0,
+              0.1);
+  EXPECT_EQ(TestTree::node_count(small), 1023);
+}
+
+TEST_F(AppsTest, TestTreeRuntimeTracksWorkEstimate) {
+  TestTree::Params params;
+  params.levels = 12;
+  TestTree::Result result;
+  hpcm_.launch("ws1", TestTree::make(params, &result), "tree",
+               TestTree::schema(params));
+  engine_.run_until(1000.0);
+  ASSERT_TRUE(result.finished);
+  EXPECT_NEAR(result.finished_at, TestTree::total_work(params),
+              TestTree::total_work(params) * 0.2 + 1.0);
+}
+
+TEST_F(AppsTest, TestTreeSurvivesMigrationMidSort) {
+  TestTree::Params params;
+  params.levels = 14;  // ~12 s of work
+  TestTree::Result result;
+  const auto id = hpcm_.launch("ws1", TestTree::make(params, &result), "tree",
+                               TestTree::schema(params));
+  // The sort phase dominates; interrupt in the middle of it.
+  engine_.schedule_at(6.0, [&] { hpcm_.request_migration(id, "ws2"); });
+  engine_.run_until(1000.0);
+  ASSERT_TRUE(result.finished);
+  EXPECT_DOUBLE_EQ(result.sum, TestTree::expected_sum(params));
+  EXPECT_TRUE(result.sorted);
+  EXPECT_EQ(result.finished_on, "ws2");
+  EXPECT_EQ(result.migrations, 1);
+}
+
+TEST_F(AppsTest, TestTreeSchemaDescribesFootprint) {
+  TestTree::Params params;
+  params.levels = 12;
+  const auto schema = TestTree::schema(params);
+  EXPECT_EQ(schema.name(), "test_tree");
+  EXPECT_EQ(schema.characteristic(),
+            hpcm::AppCharacteristic::kComputeIntensive);
+  EXPECT_GT(schema.est_exec_time(), 0.0);
+  EXPECT_EQ(schema.est_comm_bytes(),
+            static_cast<std::uint64_t>(TestTree::node_count(params)) * 32);
+}
+
+TEST_F(AppsTest, MatMulChecksum) {
+  MatMul::Params params;
+  params.n = 32;
+  MatMul::Result result;
+  hpcm_.launch("ws1", MatMul::make(params, &result), "matmul",
+               MatMul::schema(params));
+  engine_.run_until(100.0);
+  ASSERT_TRUE(result.finished);
+  EXPECT_NEAR(result.checksum, MatMul::expected_checksum(params), 1e-9);
+}
+
+TEST_F(AppsTest, MatMulSurvivesMigration) {
+  MatMul::Params params;
+  params.n = 48;
+  MatMul::Result result;
+  const auto id = hpcm_.launch("ws1", MatMul::make(params, &result), "matmul",
+                               MatMul::schema(params));
+  engine_.schedule_at(2.0, [&] { hpcm_.request_migration(id, "ws3"); });
+  engine_.run_until(1000.0);
+  ASSERT_TRUE(result.finished);
+  EXPECT_NEAR(result.checksum, MatMul::expected_checksum(params), 1e-9);
+  EXPECT_EQ(result.finished_on, "ws3");
+}
+
+TEST_F(AppsTest, StencilMatchesSerialReference) {
+  Stencil1D::Params params;
+  params.iterations = 20;
+  params.cells_per_rank = 256;
+  constexpr int kRanks = 3;
+  std::vector<Stencil1D::RankResult> results(kRanks);
+  hpcm_.launch_world({"ws1", "ws2", "ws3"},
+                     Stencil1D::make(params, &results), "stencil",
+                     Stencil1D::schema(params));
+  engine_.run_until(2000.0);
+  const auto reference = Stencil1D::reference_sums(params, kRanks);
+  for (int r = 0; r < kRanks; ++r) {
+    ASSERT_TRUE(results[r].finished) << "rank " << r;
+    EXPECT_NEAR(results[r].local_sum, reference[r], 1e-6) << "rank " << r;
+  }
+}
+
+TEST_F(AppsTest, StencilRankMigratesWhileOthersCommunicate) {
+  Stencil1D::Params params;
+  params.iterations = 30;
+  params.cells_per_rank = 256;
+  params.work_per_cell = 1.0e-3;  // ~0.26 s per iteration, ~8 s total
+  constexpr int kRanks = 3;
+  std::vector<Stencil1D::RankResult> results(kRanks);
+  const auto ids = hpcm_.launch_world({"ws1", "ws2", "ws3"},
+                                      Stencil1D::make(params, &results),
+                                      "stencil", Stencil1D::schema(params));
+  // Migrate the middle rank (it exchanges halos with both neighbours).
+  engine_.schedule_at(2.0, [&] { hpcm_.request_migration(ids[1], "ws4"); });
+  engine_.run_until(5000.0);
+  const auto reference = Stencil1D::reference_sums(params, kRanks);
+  for (int r = 0; r < kRanks; ++r) {
+    ASSERT_TRUE(results[r].finished) << "rank " << r;
+    EXPECT_NEAR(results[r].local_sum, reference[r], 1e-6) << "rank " << r;
+  }
+  EXPECT_EQ(results[1].finished_on, "ws4");
+  EXPECT_EQ(results[1].migrations, 1);
+}
+
+TEST_F(AppsTest, StencilSingleRankDegenerateCase) {
+  Stencil1D::Params params;
+  params.iterations = 5;
+  params.cells_per_rank = 64;
+  std::vector<Stencil1D::RankResult> results(1);
+  hpcm_.launch_world({"ws1"}, Stencil1D::make(params, &results), "stencil",
+                     Stencil1D::schema(params));
+  engine_.run_until(100.0);
+  ASSERT_TRUE(results[0].finished);
+  EXPECT_NEAR(results[0].local_sum,
+              Stencil1D::reference_sums(params, 1)[0], 1e-9);
+}
+
+}  // namespace
+}  // namespace ars::apps

@@ -1,0 +1,153 @@
+#include "ars/commander/commander.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ars/xmlproto/messages.hpp"
+
+namespace ars::commander {
+namespace {
+
+using sim::Engine;
+using sim::Task;
+
+class CommanderTest : public ::testing::Test {
+ protected:
+  CommanderTest() : net_(engine_), mpi_(engine_, net_), hpcm_(mpi_) {
+    for (const char* name : {"ws1", "ws2", "hub"}) {
+      host::HostSpec spec;
+      spec.name = name;
+      hosts_.push_back(std::make_unique<host::Host>(engine_, spec));
+      net_.attach(*hosts_.back());
+    }
+    registry_inbox_ = &net_.bind("hub", 5000);
+    Commander::Config config;
+    config.registry_host = "hub";
+    config.registry_port = 5000;
+    commander_ = std::make_unique<Commander>(*hosts_[0], net_, hpcm_, config);
+    commander_->start();
+  }
+
+  void post(const xmlproto::ProtocolMessage& message) {
+    net::Message wire;
+    wire.src_host = "hub";
+    wire.dst_host = "ws1";
+    wire.dst_port = commander_->port();
+    wire.payload = xmlproto::encode(message);
+    net_.post(std::move(wire));
+  }
+
+  std::optional<xmlproto::AckMsg> next_ack() {
+    while (auto wire = registry_inbox_->inbox.try_recv()) {
+      auto message = xmlproto::decode(wire->payload);
+      if (message.has_value()) {
+        if (const auto* ack = std::get_if<xmlproto::AckMsg>(&*message)) {
+          return *ack;
+        }
+      }
+    }
+    return std::nullopt;
+  }
+
+  Engine engine_;
+  net::Network net_;
+  std::vector<std::unique_ptr<host::Host>> hosts_;
+  mpi::MpiSystem mpi_;
+  hpcm::MigrationEngine hpcm_;
+  net::Endpoint* registry_inbox_ = nullptr;
+  std::unique_ptr<Commander> commander_;
+};
+
+/// A trivially migratable app for command targets.
+hpcm::MigrationEngine::MigratableApp looper(std::string* finished_on) {
+  return [finished_on](mpi::Proc& proc,
+                       hpcm::MigrationContext& ctx) -> Task<> {
+    std::int64_t i = ctx.restored() ? *ctx.state().get_int("i") : 0;
+    ctx.on_save([&ctx, &i] { ctx.state().set_int("i", i); });
+    for (; i < 15; ++i) {
+      co_await ctx.poll_point();
+      co_await proc.compute(1.0);
+    }
+    *finished_on = proc.host().name();
+  };
+}
+
+TEST_F(CommanderTest, MigrateCommandSignalsTheProcess) {
+  std::string finished_on;
+  const auto id = hpcm_.launch("ws1", looper(&finished_on), "app",
+                               hpcm::ApplicationSchema{"app"});
+  engine_.run_until(2.0);
+  const mpi::Proc* proc = mpi_.find(id);
+  ASSERT_NE(proc, nullptr);
+
+  xmlproto::MigrateCmd command;
+  command.pid = proc->pid();
+  command.process_name = "app.0";
+  command.dest_host = "ws2";
+  post(command);
+  engine_.run_until(100.0);
+
+  EXPECT_EQ(finished_on, "ws2");
+  EXPECT_EQ(commander_->commands_received(), 1);
+  EXPECT_EQ(commander_->commands_failed(), 0);
+  const auto ack = next_ack();
+  ASSERT_TRUE(ack.has_value());
+  EXPECT_TRUE(ack->ok);
+  EXPECT_EQ(ack->of, "migrate");
+}
+
+TEST_F(CommanderTest, UnknownPidIsAckedNegative) {
+  xmlproto::MigrateCmd command;
+  command.pid = 31337;
+  command.dest_host = "ws2";
+  post(command);
+  engine_.run_until(5.0);
+  EXPECT_EQ(commander_->commands_received(), 1);
+  EXPECT_EQ(commander_->commands_failed(), 1);
+  const auto ack = next_ack();
+  ASSERT_TRUE(ack.has_value());
+  EXPECT_FALSE(ack->ok);
+}
+
+TEST_F(CommanderTest, RelaunchCommandRevivesCrashedProcess) {
+  std::string finished_on;
+  const auto id = hpcm_.launch("ws2", looper(&finished_on), "app",
+                               hpcm::ApplicationSchema{"app"});
+  engine_.run_until(3.0);
+  ASSERT_TRUE(hpcm_.crash(id));
+
+  // Command the ws1 commander to relaunch it locally.
+  xmlproto::RelaunchCmd command;
+  command.process_name = "app.0";
+  command.lost_host = "ws2";
+  post(command);
+  engine_.run_until(100.0);
+  EXPECT_EQ(finished_on, "ws1");
+}
+
+TEST_F(CommanderTest, GarbageAndWrongTypesAreIgnored) {
+  net::Message wire;
+  wire.src_host = "hub";
+  wire.dst_host = "ws1";
+  wire.dst_port = commander_->port();
+  wire.payload = "<<<garbage>>>";
+  net_.post(wire);
+  // Wrong message type for a commander.
+  xmlproto::ConsultMsg consult;
+  consult.host = "ws1";
+  post(consult);
+  engine_.run_until(5.0);  // no crash
+  EXPECT_EQ(commander_->commands_received(), 0);
+}
+
+TEST_F(CommanderTest, StopUnbindsThePort) {
+  commander_->stop();
+  xmlproto::MigrateCmd command;
+  command.pid = 1;
+  command.dest_host = "ws2";
+  post(command);
+  engine_.run_until(5.0);  // dropped at the unbound port, no crash
+  EXPECT_EQ(commander_->commands_received(), 0);
+}
+
+}  // namespace
+}  // namespace ars::commander

@@ -1,0 +1,131 @@
+// Autonomic failure recovery, end to end: a host dies without warning; the
+// registry's soft-state lease lapses; with auto_restart the lost processes
+// are relaunched elsewhere from their latest checkpoints.
+
+#include <gtest/gtest.h>
+
+#include "ars/core/runtime.hpp"
+
+namespace ars::core {
+namespace {
+
+/// Checkpointing counter app.
+struct FailoverApp {
+  int iterations = 60;
+  int checkpoint_every = 10;
+  bool finished = false;
+  std::string finished_on;
+  int executed = 0;
+  bool restarted_from_checkpoint = false;
+
+  hpcm::MigrationEngine::MigratableApp make() {
+    return [this](mpi::Proc& proc, hpcm::MigrationContext& ctx)
+               -> sim::Task<> {
+      std::int64_t i = ctx.restored() ? *ctx.state().get_int("i") : 0;
+      if (ctx.restored()) {
+        restarted_from_checkpoint = ctx.restarted_from_checkpoint();
+      }
+      ctx.on_save([&ctx, &i] { ctx.state().set_int("i", i); });
+      for (; i < iterations; ++i) {
+        co_await ctx.poll_point();
+        if (checkpoint_every > 0 && i > 0 && i % checkpoint_every == 0) {
+          co_await ctx.checkpoint();
+        }
+        co_await proc.compute(1.0);
+        ++executed;
+      }
+      finished = true;
+      finished_on = proc.host().name();
+    };
+  }
+};
+
+ClusterConfig failover_cluster() {
+  ClusterConfig config = make_cluster(3, rules::paper_policy2());
+  config.auto_restart = true;
+  config.lease_ttl = 25.0;
+  return config;
+}
+
+TEST(Failover, HostDeathTriggersRelaunchFromCheckpoint) {
+  // Registry must not be on the failing host.
+  ClusterConfig config = failover_cluster();
+  config.registry_host = "ws1";
+  ReschedulerRuntime runtime{config};
+  runtime.start_rescheduler();
+
+  FailoverApp app;
+  runtime.launch_app("ws2", app.make(), "job",
+                     hpcm::ApplicationSchema{"job"});
+  runtime.engine().schedule_at(35.0, [&] {
+    EXPECT_EQ(runtime.fail_host("ws2"), 1);
+  });
+  runtime.run_until(500.0);
+
+  EXPECT_TRUE(app.finished);
+  EXPECT_NE(app.finished_on, "ws2");
+  EXPECT_TRUE(app.restarted_from_checkpoint);
+  // Checkpointed at i=10,20,30; died at ~35; only ~5 steps redone.
+  EXPECT_LE(app.executed, 70);
+  EXPECT_GE(app.executed, 60);
+  // The registry recorded a restart decision.
+  bool saw_restart_decision = false;
+  for (const auto& d : runtime.scheduler().decisions()) {
+    saw_restart_decision = saw_restart_decision || d.restart;
+  }
+  EXPECT_TRUE(saw_restart_decision);
+  EXPECT_EQ(runtime.scheduler().host_state("ws2"),
+            rules::SystemState::kUnavailable);
+}
+
+TEST(Failover, WithoutCheckpointsRestartLosesWork) {
+  ClusterConfig config = failover_cluster();
+  ReschedulerRuntime runtime{config};
+  runtime.start_rescheduler();
+
+  FailoverApp app;
+  app.checkpoint_every = 0;  // never checkpoints
+  runtime.launch_app("ws2", app.make(), "job",
+                     hpcm::ApplicationSchema{"job"});
+  runtime.engine().schedule_at(35.0, [&] { runtime.fail_host("ws2"); });
+  runtime.run_until(500.0);
+
+  EXPECT_TRUE(app.finished);
+  EXPECT_FALSE(app.restarted_from_checkpoint);
+  // All ~35 pre-crash steps redone from scratch.
+  EXPECT_GE(app.executed, 90);
+}
+
+TEST(Failover, NoAutoRestartLeavesProcessDead) {
+  ClusterConfig config = failover_cluster();
+  config.auto_restart = false;
+  ReschedulerRuntime runtime{config};
+  runtime.start_rescheduler();
+
+  FailoverApp app;
+  runtime.launch_app("ws2", app.make(), "job",
+                     hpcm::ApplicationSchema{"job"});
+  runtime.engine().schedule_at(35.0, [&] { runtime.fail_host("ws2"); });
+  runtime.run_until(500.0);
+  EXPECT_FALSE(app.finished);
+  EXPECT_EQ(runtime.scheduler().host_state("ws2"),
+            rules::SystemState::kUnavailable);
+}
+
+TEST(Failover, FailedHostNeverChosenAsDestination) {
+  ClusterConfig config = failover_cluster();
+  ReschedulerRuntime runtime{config};
+  runtime.start_rescheduler();
+  runtime.run_until(40.0);
+  runtime.fail_host("ws3");
+  runtime.run_until(100.0);
+  // Every placement query avoids ws3 now.
+  for (int i = 0; i < 3; ++i) {
+    const auto destination = runtime.scheduler().choose_destination("ws1", "");
+    ASSERT_TRUE(destination.has_value());
+    EXPECT_NE(*destination, "ws3");
+  }
+}
+
+}  // namespace
+}  // namespace ars::core

@@ -1,0 +1,162 @@
+// End-to-end tests of the full autonomic loop: load appears -> monitor
+// detects sustained overload -> registry decides -> commander signals ->
+// HPCM migrates -> application finishes elsewhere, faster.
+
+#include "ars/core/runtime.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ars/apps/test_tree.hpp"
+#include "ars/host/hog.hpp"
+
+namespace ars::core {
+namespace {
+
+TEST(ClusterConfigTest, MakeClusterDefaults) {
+  const ClusterConfig config = make_cluster(5, rules::paper_policy2());
+  EXPECT_EQ(config.hosts.size(), 5U);
+  EXPECT_EQ(config.hosts[0].name, "ws1");
+  EXPECT_EQ(config.hosts[4].name, "ws5");
+  EXPECT_DOUBLE_EQ(config.ambient_runnable, 0.26);
+}
+
+TEST(RuntimeTest, ConstructionWiresEverything) {
+  ReschedulerRuntime runtime{make_cluster(3, rules::paper_policy2())};
+  EXPECT_EQ(runtime.host_names().size(), 3U);
+  EXPECT_NO_THROW((void)runtime.host("ws2"));
+  EXPECT_THROW((void)runtime.host("ws9"), std::out_of_range);
+  EXPECT_FALSE(runtime.rescheduler_running());
+}
+
+TEST(RuntimeTest, EmptyClusterRejected) {
+  ClusterConfig config;
+  EXPECT_THROW(ReschedulerRuntime{config}, std::invalid_argument);
+}
+
+TEST(RuntimeTest, MonitorsRegisterWithRegistry) {
+  ReschedulerRuntime runtime{make_cluster(4, rules::paper_policy2())};
+  runtime.start_rescheduler();
+  runtime.run_until(30.0);
+  EXPECT_EQ(runtime.scheduler().hosts().size(), 4U);
+  for (const auto& name : runtime.host_names()) {
+    const auto state = runtime.scheduler().host_state(name);
+    ASSERT_TRUE(state.has_value());
+    EXPECT_EQ(*state, rules::SystemState::kFree);
+  }
+}
+
+TEST(RuntimeTest, TraceRecorderSamplesAllHosts) {
+  ReschedulerRuntime runtime{make_cluster(2, rules::paper_policy2())};
+  runtime.trace().start(10.0);
+  runtime.run_until(55.0);
+  EXPECT_EQ(runtime.trace().series("ws1").size(), 5U);
+  EXPECT_EQ(runtime.trace().series("ws2").size(), 5U);
+  // Ambient runnable shows up in the sampled load averages.
+  EXPECT_NEAR(runtime.trace().series("ws1").back().load1, 0.26, 0.05);
+}
+
+TEST(RuntimeTest, AppRunsWithoutReschedulerUndisturbed) {
+  ReschedulerRuntime runtime{make_cluster(2, rules::paper_policy2())};
+  apps::TestTree::Params params;
+  params.levels = 12;  // small: ~3 s of work
+  apps::TestTree::Result result;
+  runtime.launch_app("ws1", apps::TestTree::make(params, &result),
+                     "test_tree", apps::TestTree::schema(params));
+  runtime.run_until(100.0);
+  EXPECT_TRUE(result.finished);
+  EXPECT_DOUBLE_EQ(result.sum, apps::TestTree::expected_sum(params));
+  EXPECT_TRUE(result.sorted);
+  EXPECT_EQ(result.finished_on, "ws1");
+  EXPECT_EQ(result.migrations, 0);
+}
+
+TEST(RuntimeTest, AutonomicMigrationEndToEnd) {
+  // The §5.2 scenario: app starts, a heavy additional task arrives, the
+  // rescheduler detects the overload and migrates the app automatically.
+  ReschedulerRuntime runtime{make_cluster(2, rules::paper_policy2())};
+  runtime.start_rescheduler();
+
+  apps::TestTree::Params params;
+  params.levels = 16;  // ~49 s of solo work
+  apps::TestTree::Result result;
+  runtime.launch_app("ws1", apps::TestTree::make(params, &result),
+                     "test_tree", apps::TestTree::schema(params));
+
+  host::CpuHog hog{runtime.host("ws1"),
+                   {.threads = 3, .ambient_process_delta = 0}};
+  runtime.engine().schedule_at(20.0, [&] { hog.start(); });
+
+  runtime.run_until(1000.0);
+  EXPECT_TRUE(result.finished);
+  EXPECT_DOUBLE_EQ(result.sum, apps::TestTree::expected_sum(params));
+  EXPECT_EQ(result.finished_on, "ws2");
+  EXPECT_EQ(result.migrations, 1);
+  ASSERT_EQ(runtime.middleware().history().size(), 1U);
+  const hpcm::MigrationTimeline& t = runtime.middleware().history()[0];
+  EXPECT_TRUE(t.succeeded);
+  EXPECT_EQ(t.source, "ws1");
+  EXPECT_EQ(t.destination, "ws2");
+  // Detection respects the warm-up: the load lands at t=20, the load
+  // average must climb past the trigger, and 60 s of sustained overload
+  // must elapse before the consult.
+  EXPECT_GE(t.requested_at, 80.0);
+  ASSERT_FALSE(runtime.scheduler().decisions().empty());
+  EXPECT_EQ(runtime.scheduler().decisions()[0].destination, "ws2");
+}
+
+TEST(RuntimeTest, NoMigrationUnderPolicy1) {
+  ReschedulerRuntime runtime{make_cluster(2, rules::paper_policy1())};
+  runtime.start_rescheduler();
+  apps::TestTree::Params params;
+  params.levels = 16;
+  apps::TestTree::Result result;
+  runtime.launch_app("ws1", apps::TestTree::make(params, &result),
+                     "test_tree", apps::TestTree::schema(params));
+  host::CpuHog hog{runtime.host("ws1"), {.threads = 3}};
+  runtime.engine().schedule_at(20.0, [&] { hog.start(); });
+  runtime.run_until(1000.0);
+  EXPECT_TRUE(result.finished);
+  EXPECT_EQ(result.finished_on, "ws1");
+  EXPECT_EQ(result.migrations, 0);
+  EXPECT_TRUE(runtime.middleware().history().empty());
+}
+
+TEST(RuntimeTest, MigrationSpeedsUpLoadedRun) {
+  apps::TestTree::Params params;
+  params.levels = 16;
+
+  const auto run_with = [&](rules::MigrationPolicy policy) {
+    ReschedulerRuntime runtime{make_cluster(2, std::move(policy))};
+    runtime.start_rescheduler();
+    apps::TestTree::Result result;
+    runtime.launch_app("ws1", apps::TestTree::make(params, &result),
+                       "test_tree", apps::TestTree::schema(params));
+    host::CpuHog hog{runtime.host("ws1"), {.threads = 3}};
+    runtime.engine().schedule_at(10.0, [&] { hog.start(); });
+    runtime.run_until(2000.0);
+    EXPECT_TRUE(result.finished);
+    return result.finished_at;
+  };
+
+  const double stay_time = run_with(rules::paper_policy1());
+  const double migrate_time = run_with(rules::paper_policy2());
+  EXPECT_LT(migrate_time, stay_time * 0.8);
+}
+
+TEST(RuntimeTest, CommanderStatsCountCommands) {
+  ReschedulerRuntime runtime{make_cluster(2, rules::paper_policy2())};
+  runtime.start_rescheduler();
+  apps::TestTree::Params params;
+  params.levels = 16;
+  apps::TestTree::Result result;
+  runtime.launch_app("ws1", apps::TestTree::make(params, &result),
+                     "test_tree", apps::TestTree::schema(params));
+  host::CpuHog hog{runtime.host("ws1"), {.threads = 3}};
+  runtime.engine().schedule_at(10.0, [&] { hog.start(); });
+  runtime.run_until(1000.0);
+  EXPECT_GE(runtime.commander_on("ws1").commands_received(), 1);
+  EXPECT_EQ(runtime.commander_on("ws1").commands_failed(), 0);
+}
+
+}  // namespace
+}  // namespace ars::core

@@ -1,0 +1,167 @@
+#include "ars/host/cpu.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ars/sim/task.hpp"
+
+namespace ars::host {
+namespace {
+
+using sim::Engine;
+using sim::Fiber;
+using sim::Task;
+
+Task<> run_compute(CpuModel& cpu, double work, double* finished_at) {
+  co_await cpu.compute(work);
+  *finished_at = cpu.engine().now();
+}
+
+TEST(CpuModel, SingleJobRunsAtFullSpeed) {
+  Engine engine;
+  CpuModel cpu{engine, 1.0};
+  double done = -1.0;
+  Fiber::spawn(engine, run_compute(cpu, 10.0, &done));
+  engine.run();
+  EXPECT_DOUBLE_EQ(done, 10.0);
+}
+
+TEST(CpuModel, FasterCpuFinishesSooner) {
+  Engine engine;
+  CpuModel cpu{engine, 2.0};
+  double done = -1.0;
+  Fiber::spawn(engine, run_compute(cpu, 10.0, &done));
+  engine.run();
+  EXPECT_DOUBLE_EQ(done, 5.0);
+}
+
+TEST(CpuModel, TwoEqualJobsShareTheProcessor) {
+  Engine engine;
+  CpuModel cpu{engine, 1.0};
+  double done_a = -1.0;
+  double done_b = -1.0;
+  Fiber::spawn(engine, run_compute(cpu, 5.0, &done_a));
+  Fiber::spawn(engine, run_compute(cpu, 5.0, &done_b));
+  engine.run();
+  // Both share the CPU for the whole run: each takes 10 s of wall time.
+  EXPECT_DOUBLE_EQ(done_a, 10.0);
+  EXPECT_DOUBLE_EQ(done_b, 10.0);
+}
+
+TEST(CpuModel, UnequalJobsFinishAtProcessorSharingTimes) {
+  Engine engine;
+  CpuModel cpu{engine, 1.0};
+  double done_small = -1.0;
+  double done_big = -1.0;
+  Fiber::spawn(engine, run_compute(cpu, 2.0, &done_small));
+  Fiber::spawn(engine, run_compute(cpu, 6.0, &done_big));
+  engine.run();
+  // Shared until the small job ends: it needs 2 units at rate 1/2 -> t=4.
+  EXPECT_DOUBLE_EQ(done_small, 4.0);
+  // Big job: 2 units done by t=4, remaining 4 at full speed -> t=8.
+  EXPECT_DOUBLE_EQ(done_big, 8.0);
+}
+
+TEST(CpuModel, LateArrivalSlowsExistingJob) {
+  Engine engine;
+  CpuModel cpu{engine, 1.0};
+  double done_first = -1.0;
+  double done_second = -1.0;
+  Fiber::spawn(engine, run_compute(cpu, 10.0, &done_first));
+  engine.schedule_at(5.0, [&] {
+    Fiber::spawn(engine, run_compute(cpu, 10.0, &done_second));
+  });
+  engine.run();
+  // First job: 5 done by t=5, then shares; needs 5 more at 1/2 -> t=15.
+  EXPECT_DOUBLE_EQ(done_first, 15.0);
+  // Second: 5 done by t=15 (shared), 5 more at full speed -> t=20.
+  EXPECT_DOUBLE_EQ(done_second, 20.0);
+}
+
+TEST(CpuModel, RunnableCountTracksMembership) {
+  Engine engine;
+  CpuModel cpu{engine, 1.0};
+  double done = -1.0;
+  EXPECT_EQ(cpu.runnable_count(), 0U);
+  Fiber::spawn(engine, run_compute(cpu, 10.0, &done));
+  engine.run_until(1.0);
+  EXPECT_EQ(cpu.runnable_count(), 1U);
+  engine.run();
+  EXPECT_EQ(cpu.runnable_count(), 0U);
+}
+
+TEST(CpuModel, ZeroWorkCompletesImmediately) {
+  Engine engine;
+  CpuModel cpu{engine, 1.0};
+  double done = -1.0;
+  Fiber::spawn(engine, run_compute(cpu, 0.0, &done));
+  engine.run();
+  EXPECT_DOUBLE_EQ(done, 0.0);
+}
+
+TEST(CpuModel, KilledJobReleasesTheProcessor) {
+  Engine engine;
+  CpuModel cpu{engine, 1.0};
+  double done_victim = -1.0;
+  double done_other = -1.0;
+  Fiber victim = Fiber::spawn(engine, run_compute(cpu, 100.0, &done_victim));
+  Fiber::spawn(engine, run_compute(cpu, 10.0, &done_other));
+  engine.schedule_at(4.0, [&] { victim.kill(); });
+  engine.run();
+  EXPECT_DOUBLE_EQ(done_victim, -1.0);
+  // Other job: 2 units done by t=4 (shared), 8 more alone -> t=12.
+  EXPECT_DOUBLE_EQ(done_other, 12.0);
+  EXPECT_EQ(cpu.runnable_count(), 0U);
+}
+
+TEST(CpuModel, CumulativeBusyIntegratesBusyTime) {
+  Engine engine;
+  CpuModel cpu{engine, 1.0};
+  double done = -1.0;
+  engine.schedule_at(5.0, [&] {
+    Fiber::spawn(engine, run_compute(cpu, 3.0, &done));
+  });
+  engine.run();
+  EXPECT_DOUBLE_EQ(cpu.cumulative_busy(), 3.0);
+}
+
+TEST(CpuModel, BusyBetweenWindowsAreExact) {
+  Engine engine;
+  CpuModel cpu{engine, 1.0};
+  double done = -1.0;
+  engine.schedule_at(2.0, [&] {
+    Fiber::spawn(engine, run_compute(cpu, 4.0, &done));
+  });
+  engine.run_until(20.0);
+  // Busy exactly on [2, 6].
+  EXPECT_DOUBLE_EQ(cpu.busy_between(0.0, 20.0), 4.0);
+  EXPECT_DOUBLE_EQ(cpu.busy_between(0.0, 4.0), 2.0);
+  EXPECT_DOUBLE_EQ(cpu.busy_between(5.0, 10.0), 1.0);
+  EXPECT_DOUBLE_EQ(cpu.busy_between(7.0, 10.0), 0.0);
+}
+
+TEST(CpuModel, BusyBetweenSeesOngoingWork) {
+  Engine engine;
+  CpuModel cpu{engine, 1.0};
+  double done = -1.0;
+  Fiber fiber = Fiber::spawn(engine, run_compute(cpu, 100.0, &done));
+  engine.run_until(10.0);
+  EXPECT_NEAR(cpu.busy_between(0.0, 10.0), 10.0, 1e-9);
+  fiber.kill();  // release the CPU job before the model is destroyed
+}
+
+TEST(CpuModel, ManyJobsShareFairly) {
+  Engine engine;
+  CpuModel cpu{engine, 1.0};
+  constexpr int kJobs = 8;
+  std::vector<double> done(kJobs, -1.0);
+  for (int i = 0; i < kJobs; ++i) {
+    Fiber::spawn(engine, run_compute(cpu, 1.0, &done[static_cast<std::size_t>(i)]));
+  }
+  engine.run();
+  for (const double d : done) {
+    EXPECT_DOUBLE_EQ(d, static_cast<double>(kJobs));
+  }
+}
+
+}  // namespace
+}  // namespace ars::host

@@ -1,0 +1,236 @@
+#include "ars/host/host.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ars/host/hog.hpp"
+#include "ars/sim/task.hpp"
+
+namespace ars::host {
+namespace {
+
+using sim::Engine;
+using sim::Fiber;
+using sim::Task;
+
+HostSpec blade(const std::string& name) {
+  HostSpec spec;
+  spec.name = name;
+  return spec;
+}
+
+TEST(LoadAverage, IdleHostStaysAtZero) {
+  Engine engine;
+  Host host{engine, blade("ws1")};
+  engine.run_until(600.0);
+  EXPECT_DOUBLE_EQ(host.loadavg().one_minute(), 0.0);
+  EXPECT_DOUBLE_EQ(host.loadavg().five_minute(), 0.0);
+}
+
+TEST(LoadAverage, SingleBusyJobConvergesToOne) {
+  Engine engine;
+  Host host{engine, blade("ws1")};
+  auto burner = [](Host& h) -> Task<> {
+    while (true) {
+      co_await h.cpu().compute(1.0);
+    }
+  };
+  Fiber fiber = Fiber::spawn(engine, burner(host));
+  engine.run_until(600.0);  // 10 minutes: 1-min EMA fully converged
+  EXPECT_NEAR(host.loadavg().one_minute(), 1.0, 0.02);
+  EXPECT_NEAR(host.loadavg().five_minute(), 1.0, 0.15);
+  fiber.kill();
+}
+
+TEST(LoadAverage, TwoBusyJobsConvergeToTwo) {
+  Engine engine;
+  Host host{engine, blade("ws1")};
+  CpuHog hog{host, {.threads = 2}};
+  hog.start();
+  engine.run_until(600.0);
+  EXPECT_NEAR(host.loadavg().one_minute(), 2.0, 0.05);
+}
+
+TEST(LoadAverage, OneMinuteReactsFasterThanFiveMinute) {
+  Engine engine;
+  Host host{engine, blade("ws1")};
+  CpuHog hog{host, {.threads = 1}};
+  hog.start();
+  engine.run_until(60.0);
+  EXPECT_GT(host.loadavg().one_minute(), host.loadavg().five_minute());
+}
+
+TEST(LoadAverage, AmbientRunnableRaisesBaseline) {
+  Engine engine;
+  Host host{engine, blade("ws1")};
+  host.loadavg().set_ambient_runnable(0.26);
+  engine.run_until(900.0);
+  EXPECT_NEAR(host.loadavg().one_minute(), 0.26, 0.01);
+}
+
+TEST(LoadAverage, DecaysAfterLoadStops) {
+  Engine engine;
+  Host host{engine, blade("ws1")};
+  CpuHog hog{host, {.threads = 1, .duration = 300.0}};
+  hog.start();
+  engine.run_until(300.0);
+  const double at_peak = host.loadavg().one_minute();
+  engine.run_until(600.0);
+  EXPECT_LT(host.loadavg().one_minute(), at_peak / 4.0);
+}
+
+TEST(HostUtilization, IdleIsZeroBusyIsOne) {
+  Engine engine;
+  Host host{engine, blade("ws1")};
+  engine.run_until(100.0);
+  EXPECT_DOUBLE_EQ(host.cpu_utilization(10.0), 0.0);
+  EXPECT_DOUBLE_EQ(host.cpu_idle_percent(10.0), 100.0);
+  CpuHog hog{host, {.threads = 1}};
+  hog.start();
+  engine.run_until(200.0);
+  EXPECT_NEAR(host.cpu_utilization(10.0), 1.0, 1e-9);
+  EXPECT_NEAR(host.cpu_idle_percent(10.0), 0.0, 1e-6);
+}
+
+TEST(HostUtilization, PartialWindow) {
+  Engine engine;
+  Host host{engine, blade("ws1")};
+  auto burner = [](Host& h) -> Task<> { co_await h.cpu().compute(5.0); };
+  engine.schedule_at(10.0, [&] { Fiber::spawn(engine, burner(host)); });
+  engine.run_until(20.0);
+  // Busy on [10, 15] -> 50% of the trailing 10 s window.
+  EXPECT_NEAR(host.cpu_utilization(10.0), 0.5, 1e-9);
+}
+
+TEST(ProcessTable, RegistrationAndLookup) {
+  ProcessTable table;
+  const Pid pid = table.register_process("test_tree", 28.0, true, "tree");
+  const ProcessInfo* info = table.find(pid);
+  ASSERT_NE(info, nullptr);
+  EXPECT_EQ(info->name, "test_tree");
+  EXPECT_DOUBLE_EQ(info->start_time, 28.0);
+  EXPECT_TRUE(info->migration_enabled);
+  EXPECT_EQ(info->schema_name, "tree");
+  EXPECT_EQ(table.count(), 1U);
+  table.deregister(pid);
+  EXPECT_EQ(table.find(pid), nullptr);
+  EXPECT_EQ(table.count(), 0U);
+}
+
+TEST(ProcessTable, PidsAreUnique) {
+  ProcessTable table;
+  const Pid a = table.register_process("a", 0.0);
+  const Pid b = table.register_process("b", 0.0);
+  EXPECT_NE(a, b);
+}
+
+TEST(ProcessTable, SignalPendingAndConsume) {
+  ProcessTable table;
+  const Pid pid = table.register_process("app", 0.0);
+  EXPECT_FALSE(table.consume_signal(pid, kSigMigrate));
+  EXPECT_TRUE(table.raise(pid, kSigMigrate));
+  EXPECT_TRUE(table.consume_signal(pid, kSigMigrate));
+  EXPECT_FALSE(table.consume_signal(pid, kSigMigrate));  // one-shot
+}
+
+TEST(ProcessTable, SignalHandlerIsInvokedDirectly) {
+  ProcessTable table;
+  const Pid pid = table.register_process("app", 0.0);
+  int received = -1;
+  table.set_signal_handler(pid, [&](int signo) { received = signo; });
+  EXPECT_TRUE(table.raise(pid, kSigMigrate));
+  EXPECT_EQ(received, kSigMigrate);
+  // Handled signals do not also become pending.
+  EXPECT_FALSE(table.consume_signal(pid, kSigMigrate));
+}
+
+TEST(ProcessTable, RaiseOnUnknownPidFails) {
+  ProcessTable table;
+  EXPECT_FALSE(table.raise(4711, kSigMigrate));
+}
+
+TEST(MemoryAccount, ReserveAndRelease) {
+  MemoryAccount account{1000};
+  EXPECT_TRUE(account.reserve(600));
+  EXPECT_EQ(account.available(), 400U);
+  EXPECT_FALSE(account.reserve(500));
+  EXPECT_EQ(account.available(), 400U);  // failed reserve leaves no trace
+  account.release(600);
+  EXPECT_EQ(account.available(), 1000U);
+  EXPECT_DOUBLE_EQ(account.percent_available(), 100.0);
+}
+
+TEST(MemoryAccount, ReleaseClampsAtZeroUsed) {
+  MemoryAccount account{100};
+  account.release(50);  // over-release must not underflow
+  EXPECT_EQ(account.used(), 0U);
+}
+
+TEST(DiskAccount, MountPoints) {
+  DiskAccount disk;
+  disk.add_mount("/", 1000);
+  disk.add_mount("/export", 5000);
+  EXPECT_TRUE(disk.has_mount("/"));
+  EXPECT_FALSE(disk.has_mount("/opt"));
+  EXPECT_TRUE(disk.mount("/export").reserve(1500));
+  EXPECT_EQ(disk.total_available(), 4500U);
+  EXPECT_THROW((void)disk.mount("/opt"), std::out_of_range);
+}
+
+TEST(KvStore, TempFileSemantics) {
+  KvStore store;
+  EXPECT_FALSE(store.contains("migrate_dest"));
+  store.write("migrate_dest", "ws4:5000");
+  EXPECT_TRUE(store.contains("migrate_dest"));
+  EXPECT_EQ(store.read("migrate_dest"), "ws4:5000");
+  store.erase("migrate_dest");
+  EXPECT_THROW((void)store.read("migrate_dest"), std::out_of_range);
+}
+
+TEST(Host, SpecDefaultsMatchSunBlade100) {
+  Engine engine;
+  Host host{engine, blade("ws1")};
+  EXPECT_EQ(host.spec().memory_bytes, 128ULL * 1024 * 1024);
+  EXPECT_EQ(host.spec().byte_order, support::ByteOrder::kBigEndian);
+  EXPECT_DOUBLE_EQ(host.spec().cpu_speed, 1.0);
+  EXPECT_TRUE(host.disk().has_mount("/"));
+}
+
+TEST(Host, ProcessAndSocketCounters) {
+  Engine engine;
+  Host host{engine, blade("ws1")};
+  host.set_ambient_process_count(80);
+  host.processes().register_process("a", 0.0);
+  EXPECT_EQ(host.total_process_count(), 81);
+  host.adjust_established_sockets(+3);
+  host.adjust_established_sockets(-1);
+  EXPECT_EQ(host.established_sockets(), 2);
+}
+
+TEST(CpuHog, StopRemovesLoadAndProcesses) {
+  Engine engine;
+  Host host{engine, blade("ws1")};
+  CpuHog hog{host, {.threads = 3, .ambient_process_delta = 100}};
+  hog.start();
+  engine.run_until(10.0);
+  EXPECT_EQ(host.cpu().runnable_count(), 3U);
+  EXPECT_EQ(host.total_process_count(), 103);
+  hog.stop();
+  EXPECT_EQ(host.cpu().runnable_count(), 0U);
+  EXPECT_EQ(host.total_process_count(), 0);
+}
+
+TEST(CpuHog, BoundedDurationEndsByItself) {
+  Engine engine;
+  Host host{engine, blade("ws1")};
+  CpuHog hog{host, {.threads = 1, .duration = 50.0}};
+  hog.start();
+  engine.run_until(49.0);
+  EXPECT_EQ(host.cpu().runnable_count(), 1U);
+  engine.run_until(60.0);
+  EXPECT_EQ(host.cpu().runnable_count(), 0U);
+}
+
+}  // namespace
+}  // namespace ars::host

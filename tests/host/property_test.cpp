@@ -1,0 +1,77 @@
+// Conservation-law property sweeps for the processor-sharing CPU model:
+// whatever random job mix arrives, (a) every job eventually receives exactly
+// its demanded work, (b) the CPU's integrated busy time equals total demand /
+// speed, and (c) completions respect processor-sharing fairness bounds.
+
+#include <gtest/gtest.h>
+
+#include "ars/host/cpu.hpp"
+#include "ars/sim/task.hpp"
+#include "ars/support/rng.hpp"
+
+namespace ars::host {
+namespace {
+
+using sim::Engine;
+using sim::Fiber;
+using sim::Task;
+
+struct JobSpec {
+  double arrival;
+  double work;
+};
+
+class CpuConservation : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CpuConservation, WorkAndBusyTimeAreConserved) {
+  support::Rng rng{GetParam()};
+  const double speed = rng.uniform(0.5, 4.0);
+  Engine engine;
+  CpuModel cpu{engine, speed};
+
+  const int jobs = static_cast<int>(rng.uniform_int(1, 24));
+  std::vector<JobSpec> specs;
+  double total_work = 0.0;
+  for (int i = 0; i < jobs; ++i) {
+    JobSpec spec;
+    spec.arrival = rng.uniform(0.0, 50.0);
+    spec.work = rng.uniform(0.1, 20.0);
+    total_work += spec.work;
+    specs.push_back(spec);
+  }
+
+  std::vector<double> completed_at(specs.size(), -1.0);
+  auto worker = [](CpuModel& model, double work, double* done) -> Task<> {
+    co_await model.compute(work);
+    *done = model.engine().now();
+  };
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    engine.schedule_at(specs[i].arrival, [&, i] {
+      Fiber::spawn(engine, worker(cpu, specs[i].work, &completed_at[i]));
+    });
+  }
+  engine.run();
+
+  // (a) every job completed...
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    ASSERT_GT(completed_at[i], 0.0) << "job " << i << " never completed";
+    // ...no earlier than its solo execution time.
+    EXPECT_GE(completed_at[i] + 1e-6, specs[i].arrival + specs[i].work / speed)
+        << "job " << i << " finished faster than physics allows";
+  }
+  // (b) busy time equals total work / speed.
+  EXPECT_NEAR(cpu.cumulative_busy(), total_work / speed,
+              1e-6 * specs.size() + 1e-6);
+  // (c) the run ends exactly when the last work unit is done; with a single
+  // continuously-backlogged server that is <= max completion time.
+  const double last =
+      *std::max_element(completed_at.begin(), completed_at.end());
+  EXPECT_DOUBLE_EQ(engine.now(), last);
+  EXPECT_EQ(cpu.runnable_count(), 0U);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CpuConservation,
+                         ::testing::Range<std::uint64_t>(1, 17));
+
+}  // namespace
+}  // namespace ars::host

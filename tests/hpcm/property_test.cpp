@@ -1,0 +1,154 @@
+// Property-style parameterized sweeps over the HPCM serialization layer
+// and the migration protocol.
+
+#include <gtest/gtest.h>
+
+#include "ars/hpcm/migration.hpp"
+#include "ars/hpcm/stateregistry.hpp"
+#include "ars/support/rng.hpp"
+
+namespace ars::hpcm {
+namespace {
+
+// ---- StateRegistry round-trip sweep ---------------------------------------
+
+class StateRoundTrip : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(StateRoundTrip, RandomRegistrySurvivesEncodeDecode) {
+  support::Rng rng{GetParam()};
+  StateRegistry reg;
+  const int entries = static_cast<int>(rng.uniform_int(0, 24));
+  for (int i = 0; i < entries; ++i) {
+    const std::string name = "entry_" + std::to_string(i);
+    switch (rng.uniform_int(0, 5)) {
+      case 0:
+        reg.set_int(name, rng.uniform_int(-1'000'000'000, 1'000'000'000));
+        break;
+      case 1:
+        reg.set_double(name, rng.uniform(-1e9, 1e9));
+        break;
+      case 2: {
+        std::string text;
+        const int length = static_cast<int>(rng.uniform_int(0, 64));
+        for (int c = 0; c < length; ++c) {
+          text.push_back(static_cast<char>(rng.uniform_int(32, 126)));
+        }
+        reg.set_string(name, text);
+        break;
+      }
+      case 3: {
+        std::vector<double> values(
+            static_cast<std::size_t>(rng.uniform_int(0, 100)));
+        for (double& v : values) {
+          v = rng.uniform(-1e6, 1e6);
+        }
+        reg.set_doubles(name, std::move(values));
+        break;
+      }
+      case 4: {
+        std::vector<std::int64_t> values(
+            static_cast<std::size_t>(rng.uniform_int(0, 100)));
+        for (auto& v : values) {
+          v = rng.uniform_int(-1'000'000, 1'000'000);
+        }
+        reg.set_ints(name, std::move(values));
+        break;
+      }
+      default:
+        reg.set_opaque(name, static_cast<std::uint64_t>(
+                                 rng.uniform_int(0, 1'000'000'000)));
+        break;
+    }
+  }
+  const auto origin = (GetParam() % 2 == 0) ? support::ByteOrder::kBigEndian
+                                            : support::ByteOrder::kLittleEndian;
+  const auto wire = reg.encode(origin);
+  const auto decoded = StateRegistry::decode(wire);
+  ASSERT_TRUE(decoded.has_value()) << decoded.error().to_string();
+  EXPECT_EQ(decoded->size(), reg.size());
+  EXPECT_EQ(decoded->origin(), origin);
+  EXPECT_EQ(decoded->opaque_bytes(), reg.opaque_bytes());
+  // Re-encoding the decoded registry is byte-identical (canonical form).
+  EXPECT_EQ(decoded->encode(origin), wire);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StateRoundTrip,
+                         ::testing::Range<std::uint64_t>(1, 21));
+
+// ---- migration invariant sweep --------------------------------------------
+
+struct SweepCase {
+  double opaque_mb;
+  double request_at;
+};
+
+class MigrationSweep : public ::testing::TestWithParam<SweepCase> {};
+
+TEST_P(MigrationSweep, ResultIndependentOfStateSizeAndTiming) {
+  const SweepCase c = GetParam();
+  sim::Engine engine;
+  net::Network network{engine};
+  std::vector<std::unique_ptr<host::Host>> hosts;
+  for (const char* name : {"ws1", "ws2"}) {
+    host::HostSpec spec;
+    spec.name = name;
+    hosts.push_back(std::make_unique<host::Host>(engine, spec));
+    network.attach(*hosts.back());
+  }
+  mpi::MpiSystem mpi{engine, network};
+  MigrationEngine middleware{mpi};
+
+  double final_sum = -1.0;
+  std::string finished_on;
+  auto app = [&](mpi::Proc& proc, MigrationContext& ctx) -> sim::Task<> {
+    std::int64_t i = 0;
+    double sum = 0.0;
+    if (ctx.restored()) {
+      i = *ctx.state().get_int("i");
+      sum = *ctx.state().get_double("sum");
+    }
+    ctx.on_save([&ctx, &i, &sum, &c] {
+      ctx.state().set_int("i", i);
+      ctx.state().set_double("sum", sum);
+      ctx.state().set_opaque("bulk",
+                             static_cast<std::uint64_t>(c.opaque_mb * 1e6));
+    });
+    for (; i < 25; ++i) {
+      co_await ctx.poll_point();
+      co_await proc.compute(1.0);
+      sum += static_cast<double>(i);
+    }
+    final_sum = sum;
+    finished_on = proc.host().name();
+  };
+  ApplicationSchema schema{"sweep"};
+  const auto id = middleware.launch("ws1", app, "sweep", schema);
+  engine.schedule_at(c.request_at,
+                     [&] { middleware.request_migration(id, "ws2"); });
+  while (mpi.live_procs() > 0) {
+    engine.run_until(engine.now() + 50.0);
+  }
+  // sum of 0..24 regardless of when/what migrated.
+  EXPECT_DOUBLE_EQ(final_sum, 300.0);
+  EXPECT_EQ(finished_on, "ws2");
+  ASSERT_EQ(middleware.history().size(), 1U);
+  const MigrationTimeline& t = middleware.history()[0];
+  EXPECT_TRUE(t.succeeded);
+  EXPECT_LE(t.resumed_at, t.completed_at);
+  EXPECT_NEAR(t.state_bytes, c.opaque_mb * 1e6, c.opaque_mb * 1e4 + 2048);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, MigrationSweep,
+    ::testing::Values(SweepCase{0.01, 3.0}, SweepCase{0.01, 17.5},
+                      SweepCase{1.0, 3.0}, SweepCase{10.0, 11.0},
+                      SweepCase{50.0, 22.2}, SweepCase{120.0, 7.7}),
+    [](const auto& param_info) {
+      return "mb" +
+             std::to_string(static_cast<int>(param_info.param.opaque_mb)) +
+             "_at" +
+             std::to_string(static_cast<int>(param_info.param.request_at));
+    });
+
+}  // namespace
+}  // namespace ars::hpcm

@@ -1,0 +1,95 @@
+#include "ars/hpcm/schema.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ars::hpcm {
+namespace {
+
+ApplicationSchema tree_schema() {
+  ApplicationSchema schema{"test_tree"};
+  schema.set_characteristic(AppCharacteristic::kComputeIntensive);
+  schema.set_est_comm_bytes(40 * 1024 * 1024);
+  schema.set_est_exec_time(600.0);
+  schema.set_data_locality(0.1);
+  ResourceRequirements req;
+  req.min_memory_bytes = 64 * 1024 * 1024;
+  req.min_disk_bytes = 0;
+  req.min_cpu_speed = 0.5;
+  schema.set_requirements(req);
+  return schema;
+}
+
+TEST(Schema, XmlRoundTrip) {
+  const ApplicationSchema schema = tree_schema();
+  const std::string xml = schema.to_xml();
+  const auto back = ApplicationSchema::from_xml(xml);
+  ASSERT_TRUE(back.has_value()) << back.error().to_string();
+  EXPECT_EQ(back->name(), "test_tree");
+  EXPECT_EQ(back->characteristic(), AppCharacteristic::kComputeIntensive);
+  EXPECT_EQ(back->est_comm_bytes(), 40U * 1024 * 1024);
+  EXPECT_DOUBLE_EQ(back->est_exec_time(), 600.0);
+  EXPECT_NEAR(back->data_locality(), 0.1, 1e-9);
+  EXPECT_EQ(back->requirements().min_memory_bytes, 64U * 1024 * 1024);
+  EXPECT_DOUBLE_EQ(back->requirements().min_cpu_speed, 0.5);
+}
+
+TEST(Schema, CharacteristicNamesRoundTrip) {
+  for (const AppCharacteristic c :
+       {AppCharacteristic::kComputeIntensive,
+        AppCharacteristic::kCommunicationIntensive,
+        AppCharacteristic::kDataIntensive}) {
+    const auto parsed = characteristic_from_string(to_string(c));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, c);
+  }
+  EXPECT_FALSE(characteristic_from_string("io-bound").has_value());
+}
+
+TEST(Schema, FirstObservationSeedsEstimate) {
+  ApplicationSchema schema{"fresh"};
+  EXPECT_DOUBLE_EQ(schema.est_exec_time(), 0.0);
+  schema.record_execution(500.0);
+  EXPECT_DOUBLE_EQ(schema.est_exec_time(), 500.0);
+  EXPECT_EQ(schema.observed_runs(), 1);
+}
+
+TEST(Schema, EstimateSmoothsTowardObservations) {
+  ApplicationSchema schema = tree_schema();  // est 600
+  schema.record_execution(1000.0);
+  EXPECT_GT(schema.est_exec_time(), 600.0);
+  EXPECT_LT(schema.est_exec_time(), 1000.0);
+  // Repeated observations converge.
+  for (int i = 0; i < 50; ++i) {
+    schema.record_execution(1000.0);
+  }
+  EXPECT_NEAR(schema.est_exec_time(), 1000.0, 1.0);
+}
+
+TEST(Schema, FromXmlRejectsMalformedInput) {
+  EXPECT_FALSE(ApplicationSchema::from_xml("").has_value());
+  EXPECT_FALSE(ApplicationSchema::from_xml("<other/>").has_value());
+  EXPECT_FALSE(
+      ApplicationSchema::from_xml("<application_schema/>").has_value());
+  EXPECT_FALSE(ApplicationSchema::from_xml(
+                   "<application_schema name=\"x\">"
+                   "<est_comm_bytes>lots</est_comm_bytes>"
+                   "</application_schema>")
+                   .has_value());
+  EXPECT_FALSE(ApplicationSchema::from_xml(
+                   "<application_schema name=\"x\">"
+                   "<characteristic>psychic</characteristic>"
+                   "</application_schema>")
+                   .has_value());
+}
+
+TEST(Schema, DefaultsAreUsable) {
+  const auto schema = ApplicationSchema::from_xml(
+      "<application_schema name=\"minimal\"/>");
+  ASSERT_TRUE(schema.has_value()) << schema.error().to_string();
+  EXPECT_EQ(schema->name(), "minimal");
+  EXPECT_EQ(schema->characteristic(), AppCharacteristic::kComputeIntensive);
+  EXPECT_EQ(schema->est_comm_bytes(), 0U);
+}
+
+}  // namespace
+}  // namespace ars::hpcm

@@ -1,0 +1,137 @@
+#include "ars/hpcm/stateregistry.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ars::hpcm {
+namespace {
+
+using support::ByteOrder;
+
+TEST(StateRegistry, ScalarRoundTrips) {
+  StateRegistry reg;
+  reg.set_int("phase", 3);
+  reg.set_double("progress", 0.75);
+  reg.set_string("label", "sort");
+  EXPECT_EQ(*reg.get_int("phase"), 3);
+  EXPECT_DOUBLE_EQ(*reg.get_double("progress"), 0.75);
+  EXPECT_EQ(*reg.get_string("label"), "sort");
+}
+
+TEST(StateRegistry, VectorRoundTrips) {
+  StateRegistry reg;
+  reg.set_doubles("values", {1.0, -2.5, 3e100});
+  reg.set_ints("indices", {-1, 0, 42});
+  EXPECT_EQ(*reg.get_doubles("values"),
+            (std::vector<double>{1.0, -2.5, 3e100}));
+  EXPECT_EQ(*reg.get_ints("indices"),
+            (std::vector<std::int64_t>{-1, 0, 42}));
+}
+
+TEST(StateRegistry, MissingAndWrongTypeLookups) {
+  StateRegistry reg;
+  reg.set_int("x", 1);
+  EXPECT_FALSE(reg.get_int("y").has_value());
+  EXPECT_FALSE(reg.get_double("x").has_value());
+  EXPECT_FALSE(reg.get_string("x").has_value());
+}
+
+TEST(StateRegistry, OverwriteReplacesTypeAndValue) {
+  StateRegistry reg;
+  reg.set_int("v", 1);
+  reg.set_double("v", 2.5);
+  EXPECT_FALSE(reg.get_int("v").has_value());
+  EXPECT_DOUBLE_EQ(*reg.get_double("v"), 2.5);
+  EXPECT_EQ(reg.size(), 1U);
+}
+
+TEST(StateRegistry, EncodeDecodeRoundTrip) {
+  StateRegistry reg;
+  reg.set_int("phase", -7);
+  reg.set_double("sum", 123.456);
+  reg.set_string("app", "test_tree");
+  reg.set_doubles("tree", {9.0, 8.0, 7.0});
+  reg.set_ints("levels", {20});
+  reg.set_opaque("heap", 40 * 1024 * 1024);
+
+  const auto wire = reg.encode(ByteOrder::kBigEndian);
+  const auto decoded = StateRegistry::decode(wire);
+  ASSERT_TRUE(decoded.has_value()) << decoded.error().to_string();
+  EXPECT_EQ(*decoded->get_int("phase"), -7);
+  EXPECT_DOUBLE_EQ(*decoded->get_double("sum"), 123.456);
+  EXPECT_EQ(*decoded->get_string("app"), "test_tree");
+  EXPECT_EQ(*decoded->get_doubles("tree"),
+            (std::vector<double>{9.0, 8.0, 7.0}));
+  EXPECT_EQ(*decoded->get_ints("levels"), (std::vector<std::int64_t>{20}));
+  EXPECT_EQ(*decoded->get_opaque_size("heap"), 40U * 1024 * 1024);
+  EXPECT_EQ(decoded->size(), reg.size());
+}
+
+TEST(StateRegistry, HeterogeneousOriginIsRecorded) {
+  // The canonical encoding must decode identically whatever the declared
+  // origin architecture — that is HPCM's heterogeneity contract.
+  StateRegistry reg;
+  reg.set_double("pi", 3.14159);
+  const auto from_sparc = reg.encode(ByteOrder::kBigEndian);
+  const auto from_x86 = reg.encode(ByteOrder::kLittleEndian);
+  // Same payload bytes except the origin marker.
+  ASSERT_EQ(from_sparc.size(), from_x86.size());
+  const auto a = StateRegistry::decode(from_sparc);
+  const auto b = StateRegistry::decode(from_x86);
+  ASSERT_TRUE(a.has_value());
+  ASSERT_TRUE(b.has_value());
+  EXPECT_EQ(a->origin(), ByteOrder::kBigEndian);
+  EXPECT_EQ(b->origin(), ByteOrder::kLittleEndian);
+  EXPECT_DOUBLE_EQ(*a->get_double("pi"), *b->get_double("pi"));
+}
+
+TEST(StateRegistry, TransferAccounting) {
+  StateRegistry reg;
+  reg.set_opaque("a", 1000);
+  reg.set_opaque("b", 500);
+  reg.set_int("phase", 1);
+  EXPECT_EQ(reg.opaque_bytes(), 1500U);
+  EXPECT_GT(reg.encoded_bytes(), 0U);
+  EXPECT_EQ(reg.total_transfer_bytes(),
+            reg.encoded_bytes() + reg.opaque_bytes());
+}
+
+TEST(StateRegistry, DecodeRejectsCorruption) {
+  StateRegistry reg;
+  reg.set_int("x", 1);
+  auto wire = reg.encode();
+  // Truncation.
+  auto truncated = wire;
+  truncated.resize(truncated.size() - 3);
+  EXPECT_FALSE(StateRegistry::decode(truncated).has_value());
+  // Bad magic.
+  auto bad_magic = wire;
+  bad_magic[0] = std::byte{0xff};
+  EXPECT_FALSE(StateRegistry::decode(bad_magic).has_value());
+  // Trailing garbage.
+  auto trailing = wire;
+  trailing.push_back(std::byte{0});
+  EXPECT_FALSE(StateRegistry::decode(trailing).has_value());
+  // Empty.
+  EXPECT_FALSE(StateRegistry::decode({}).has_value());
+}
+
+TEST(StateRegistry, EmptyRegistryRoundTrips) {
+  StateRegistry reg;
+  const auto decoded = StateRegistry::decode(reg.encode());
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->size(), 0U);
+}
+
+TEST(StateRegistry, EraseAndClear) {
+  StateRegistry reg;
+  reg.set_int("a", 1);
+  reg.set_int("b", 2);
+  reg.erase("a");
+  EXPECT_FALSE(reg.contains("a"));
+  EXPECT_TRUE(reg.contains("b"));
+  reg.clear();
+  EXPECT_EQ(reg.size(), 0U);
+}
+
+}  // namespace
+}  // namespace ars::hpcm

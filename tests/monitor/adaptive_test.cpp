@@ -1,0 +1,104 @@
+// Tests for the self-adjusting monitor (paper §6 future work): the
+// effective warm-up adapts to the observed overload history.
+
+#include <gtest/gtest.h>
+
+#include "ars/host/hog.hpp"
+#include "ars/monitor/monitor.hpp"
+
+namespace ars::monitor {
+namespace {
+
+using sim::Engine;
+
+class AdaptiveTest : public ::testing::Test {
+ protected:
+  AdaptiveTest() : net_(engine_) {
+    for (const char* name : {"ws1", "registry"}) {
+      host::HostSpec s;
+      s.name = name;
+      hosts_.push_back(std::make_unique<host::Host>(engine_, s));
+      net_.attach(*hosts_.back());
+    }
+    net_.bind("registry", 5000);
+  }
+
+  Monitor::Config config(bool adaptive) {
+    Monitor::Config c;
+    c.registry_host = "registry";
+    c.registry_port = 5000;
+    c.policy = rules::paper_policy2();  // warmup 60 s
+    c.adaptive_warmup = adaptive;
+    return c;
+  }
+
+  Engine engine_;
+  net::Network net_;
+  std::vector<std::unique_ptr<host::Host>> hosts_;
+};
+
+TEST_F(AdaptiveTest, StaticWarmupStaysPut) {
+  Monitor monitor{*hosts_[0], net_, config(false)};
+  monitor.start();
+  // Two short spikes.
+  host::CpuHog spike1{*hosts_[0], {.threads = 3, .duration = 90.0}};
+  engine_.schedule_at(50.0, [&] { spike1.start(); });
+  host::CpuHog spike2{*hosts_[0], {.threads = 3, .duration = 90.0}};
+  engine_.schedule_at(400.0, [&] { spike2.start(); });
+  engine_.run_until(800.0);
+  EXPECT_DOUBLE_EQ(monitor.effective_warmup(), 60.0);
+}
+
+TEST_F(AdaptiveTest, ShortSpikesLengthenTheWarmup) {
+  Monitor monitor{*hosts_[0], net_, config(true)};
+  monitor.start();
+  // Repeated near-miss spikes: overloaded for a while, but below warm-up.
+  std::vector<std::unique_ptr<host::CpuHog>> spikes;
+  for (int i = 0; i < 4; ++i) {
+    spikes.push_back(std::make_unique<host::CpuHog>(
+        *hosts_[0], host::CpuHog::Options{.threads = 3, .duration = 80.0}));
+    engine_.schedule_at(100.0 + 350.0 * i,
+                        [&, i] { spikes[static_cast<std::size_t>(i)]->start(); });
+  }
+  engine_.run_until(1600.0);
+  EXPECT_EQ(monitor.consults_sent(), 0);
+  EXPECT_GE(monitor.absorbed_spikes(), 2);
+  EXPECT_GT(monitor.effective_warmup(), 60.0);
+  EXPECT_LE(monitor.effective_warmup(), 120.0);  // bounded at 2x
+}
+
+TEST_F(AdaptiveTest, PersistentOverloadsShortenTheWarmup) {
+  Monitor monitor{*hosts_[0], net_, config(true)};
+  monitor.start();
+  // Long overloads that each trigger a consult, then subside.
+  std::vector<std::unique_ptr<host::CpuHog>> loads;
+  for (int i = 0; i < 3; ++i) {
+    loads.push_back(std::make_unique<host::CpuHog>(
+        *hosts_[0], host::CpuHog::Options{.threads = 3, .duration = 300.0}));
+    engine_.schedule_at(100.0 + 600.0 * i,
+                        [&, i] { loads[static_cast<std::size_t>(i)]->start(); });
+  }
+  engine_.run_until(2000.0);
+  EXPECT_GE(monitor.consults_sent(), 2);
+  EXPECT_LT(monitor.effective_warmup(), 60.0);
+  EXPECT_GE(monitor.effective_warmup(), 30.0);  // bounded at 0.5x
+}
+
+TEST_F(AdaptiveTest, BoundsAreRespectedUnderManyEpisodes) {
+  Monitor::Config c = config(true);
+  c.warmup_gain = 0.5;  // aggressive, to hit the bounds fast
+  Monitor monitor{*hosts_[0], net_, c};
+  monitor.start();
+  std::vector<std::unique_ptr<host::CpuHog>> spikes;
+  for (int i = 0; i < 8; ++i) {
+    spikes.push_back(std::make_unique<host::CpuHog>(
+        *hosts_[0], host::CpuHog::Options{.threads = 3, .duration = 70.0}));
+    engine_.schedule_at(100.0 + 300.0 * i,
+                        [&, i] { spikes[static_cast<std::size_t>(i)]->start(); });
+  }
+  engine_.run_until(2800.0);
+  EXPECT_LE(monitor.effective_warmup(), 120.0 + 1e-9);
+}
+
+}  // namespace
+}  // namespace ars::monitor

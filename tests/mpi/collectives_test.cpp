@@ -1,0 +1,185 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "ars/mpi/mpi.hpp"
+
+namespace ars::mpi {
+namespace {
+
+using sim::Engine;
+using sim::Task;
+
+/// Parameterized over world size: collectives must hold for any rank count.
+class CollectiveTest : public ::testing::TestWithParam<int> {
+ protected:
+  CollectiveTest() : net_(engine_, net_options()), mpi_(engine_, net_) {
+    for (int i = 0; i < GetParam(); ++i) {
+      host::HostSpec spec;
+      spec.name = "ws" + std::to_string(i + 1);
+      hosts_.push_back(std::make_unique<host::Host>(engine_, spec));
+      net_.attach(*hosts_.back());
+      host_names_.push_back(spec.name);
+    }
+  }
+
+  static net::Network::Options net_options() {
+    net::Network::Options options;
+    options.latency = 0.0001;
+    options.message_overhead = 0;
+    return options;
+  }
+
+  Engine engine_;
+  std::vector<std::unique_ptr<host::Host>> hosts_;
+  std::vector<std::string> host_names_;
+  net::Network net_;
+  MpiSystem mpi_;
+};
+
+TEST_P(CollectiveTest, BarrierSynchronizesAllRanks) {
+  const int n = GetParam();
+  std::vector<double> release_times;
+  auto app = [&](Proc& self) -> Task<> {
+    auto& engine = self.system().engine();
+    // Stagger arrivals: the barrier must release nobody before the last.
+    co_await sim::delay(engine, 0.1 * self.world_rank());
+    co_await self.barrier(self.world());
+    release_times.push_back(engine.now());
+  };
+  mpi_.launch_world(host_names_, app, "barrier");
+  engine_.run_until(60.0);
+  ASSERT_EQ(release_times.size(), static_cast<std::size_t>(n));
+  const double last_arrival = 0.1 * (n - 1);
+  for (const double t : release_times) {
+    EXPECT_GE(t, last_arrival);
+  }
+}
+
+TEST_P(CollectiveTest, BcastDeliversRootValues) {
+  const int n = GetParam();
+  std::vector<std::vector<double>> results(static_cast<std::size_t>(n));
+  auto app = [&](Proc& self) -> Task<> {
+    std::vector<double> values;
+    if (self.world_rank() == 0) {
+      values = {3.14, 2.71, 1.41};
+    }
+    const auto out = co_await self.bcast(self.world(), 0, 24.0, values);
+    results[static_cast<std::size_t>(self.world_rank())] = out;
+  };
+  mpi_.launch_world(host_names_, app, "bcast");
+  engine_.run_until(60.0);
+  for (const auto& r : results) {
+    EXPECT_EQ(r, (std::vector<double>{3.14, 2.71, 1.41}));
+  }
+}
+
+TEST_P(CollectiveTest, BcastFromNonZeroRoot) {
+  const int n = GetParam();
+  const int root = n - 1;
+  std::vector<std::vector<double>> results(static_cast<std::size_t>(n));
+  auto app = [&](Proc& self) -> Task<> {
+    std::vector<double> values;
+    if (self.world_rank() == root) {
+      values = {7.0};
+    }
+    const auto out = co_await self.bcast(self.world(), root, 8.0, values);
+    results[static_cast<std::size_t>(self.world_rank())] = out;
+  };
+  mpi_.launch_world(host_names_, app, "bcast_root");
+  engine_.run_until(60.0);
+  for (const auto& r : results) {
+    EXPECT_EQ(r, (std::vector<double>{7.0}));
+  }
+}
+
+TEST_P(CollectiveTest, ReduceSumsElementwise) {
+  const int n = GetParam();
+  std::vector<double> root_result;
+  auto app = [&](Proc& self) -> Task<> {
+    const double r = self.world_rank();
+    std::vector<double> mine{r, 2.0 * r};
+    const auto out =
+        co_await self.reduce_sum(self.world(), 0, std::move(mine), 16.0);
+    if (self.world_rank() == 0) {
+      root_result = out;
+    } else {
+      EXPECT_TRUE(out.empty());
+    }
+  };
+  mpi_.launch_world(host_names_, app, "reduce");
+  engine_.run_until(60.0);
+  const double expected = n * (n - 1) / 2.0;
+  ASSERT_EQ(root_result.size(), 2U);
+  EXPECT_DOUBLE_EQ(root_result[0], expected);
+  EXPECT_DOUBLE_EQ(root_result[1], 2.0 * expected);
+}
+
+TEST_P(CollectiveTest, AllreduceGivesEveryoneTheSum) {
+  const int n = GetParam();
+  std::vector<double> results(static_cast<std::size_t>(n), -1.0);
+  auto app = [&](Proc& self) -> Task<> {
+    std::vector<double> mine{static_cast<double>(self.world_rank() + 1)};
+    const auto out =
+        co_await self.allreduce_sum(self.world(), std::move(mine), 8.0);
+    results[static_cast<std::size_t>(self.world_rank())] = out.at(0);
+  };
+  mpi_.launch_world(host_names_, app, "allreduce");
+  engine_.run_until(60.0);
+  const double expected = n * (n + 1) / 2.0;
+  for (const double r : results) {
+    EXPECT_DOUBLE_EQ(r, expected);
+  }
+}
+
+TEST_P(CollectiveTest, GatherConcatenatesInRankOrder) {
+  const int n = GetParam();
+  std::vector<double> gathered;
+  auto app = [&](Proc& self) -> Task<> {
+    const double r = self.world_rank();
+    std::vector<double> mine{10.0 * r, 10.0 * r + 1};
+    const auto out =
+        co_await self.gather(self.world(), 0, std::move(mine), 16.0);
+    if (self.world_rank() == 0) {
+      gathered = out;
+    }
+  };
+  mpi_.launch_world(host_names_, app, "gather");
+  engine_.run_until(60.0);
+  ASSERT_EQ(gathered.size(), static_cast<std::size_t>(2 * n));
+  for (int r = 0; r < n; ++r) {
+    EXPECT_DOUBLE_EQ(gathered[static_cast<std::size_t>(2 * r)], 10.0 * r);
+    EXPECT_DOUBLE_EQ(gathered[static_cast<std::size_t>(2 * r + 1)],
+                     10.0 * r + 1);
+  }
+}
+
+TEST_P(CollectiveTest, ScatterHandsOutChunks) {
+  const int n = GetParam();
+  std::vector<std::vector<double>> results(static_cast<std::size_t>(n));
+  auto app = [&](Proc& self) -> Task<> {
+    std::vector<double> source;
+    if (self.world_rank() == 0) {
+      source.resize(static_cast<std::size_t>(2 * n));
+      std::iota(source.begin(), source.end(), 0.0);
+    }
+    const auto chunk =
+        co_await self.scatter(self.world(), 0, source, 2, 16.0);
+    results[static_cast<std::size_t>(self.world_rank())] = chunk;
+  };
+  mpi_.launch_world(host_names_, app, "scatter");
+  engine_.run_until(60.0);
+  for (int r = 0; r < n; ++r) {
+    EXPECT_EQ(results[static_cast<std::size_t>(r)],
+              (std::vector<double>{2.0 * r, 2.0 * r + 1}));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(WorldSizes, CollectiveTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 7, 8),
+                         [](const auto& param_info) {
+                           return "n" + std::to_string(param_info.param);
+                         });
+
+}  // namespace
+}  // namespace ars::mpi

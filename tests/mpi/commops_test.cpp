@@ -1,0 +1,196 @@
+// Tests for communicator operations: allgather, comm_dup, comm_split.
+
+#include <gtest/gtest.h>
+
+#include "ars/mpi/mpi.hpp"
+
+namespace ars::mpi {
+namespace {
+
+using sim::Engine;
+using sim::Task;
+
+class CommOpsTest : public ::testing::Test {
+ protected:
+  CommOpsTest() : net_(engine_, net_options()), mpi_(engine_, net_) {
+    for (int i = 1; i <= 6; ++i) {
+      host::HostSpec spec;
+      spec.name = "ws" + std::to_string(i);
+      hosts_.push_back(std::make_unique<host::Host>(engine_, spec));
+      net_.attach(*hosts_.back());
+      names_.push_back(spec.name);
+    }
+  }
+
+  static net::Network::Options net_options() {
+    net::Network::Options options;
+    options.latency = 0.0001;
+    options.message_overhead = 0;
+    return options;
+  }
+
+  std::vector<std::string> hosts_for(int n) {
+    return {names_.begin(), names_.begin() + n};
+  }
+
+  Engine engine_;
+  std::vector<std::unique_ptr<host::Host>> hosts_;
+  std::vector<std::string> names_;
+  net::Network net_;
+  MpiSystem mpi_;
+};
+
+TEST_F(CommOpsTest, AllgatherConcatenatesEverywhere) {
+  constexpr int kRanks = 4;
+  std::vector<std::vector<double>> results(kRanks);
+  auto app = [&](Proc& self) -> Task<> {
+    std::vector<double> mine{static_cast<double>(self.world_rank() * 10)};
+    const auto out =
+        co_await self.allgather(self.world(), std::move(mine), 8.0);
+    results[static_cast<std::size_t>(self.world_rank())] = out;
+  };
+  mpi_.launch_world(hosts_for(kRanks), app, "ag");
+  engine_.run_until(60.0);
+  for (const auto& r : results) {
+    EXPECT_EQ(r, (std::vector<double>{0.0, 10.0, 20.0, 30.0}));
+  }
+}
+
+TEST_F(CommOpsTest, ReduceMinMaxProd) {
+  constexpr int kRanks = 5;
+  std::vector<double> mins(kRanks, -1.0);
+  std::vector<double> maxs(kRanks, -1.0);
+  std::vector<double> prods(kRanks, -1.0);
+  auto app = [&](Proc& self) -> Task<> {
+    const double r = self.world_rank() + 1;  // 1..5
+    std::vector<double> a{r};
+    mins[static_cast<std::size_t>(self.world_rank())] =
+        (co_await self.allreduce(self.world(), std::move(a),
+                                 ReduceOp::kMin, 8.0))
+            .at(0);
+    std::vector<double> b{r};
+    maxs[static_cast<std::size_t>(self.world_rank())] =
+        (co_await self.allreduce(self.world(), std::move(b),
+                                 ReduceOp::kMax, 8.0))
+            .at(0);
+    std::vector<double> c{r};
+    prods[static_cast<std::size_t>(self.world_rank())] =
+        (co_await self.allreduce(self.world(), std::move(c),
+                                 ReduceOp::kProd, 8.0))
+            .at(0);
+  };
+  mpi_.launch_world(hosts_for(kRanks), app, "ops");
+  engine_.run_until(60.0);
+  for (int r = 0; r < kRanks; ++r) {
+    EXPECT_DOUBLE_EQ(mins[static_cast<std::size_t>(r)], 1.0);
+    EXPECT_DOUBLE_EQ(maxs[static_cast<std::size_t>(r)], 5.0);
+    EXPECT_DOUBLE_EQ(prods[static_cast<std::size_t>(r)], 120.0);
+  }
+}
+
+TEST_F(CommOpsTest, CommDupIsolatesTraffic) {
+  std::vector<double> got_on_dup;
+  std::vector<double> got_on_world;
+  auto app = [&](Proc& self) -> Task<> {
+    const Comm world = self.world();
+    const Comm dup = co_await self.comm_dup(world);
+    EXPECT_NE(dup.context(), world.context());
+    EXPECT_EQ(dup.size(), world.size());
+    if (self.world_rank() == 0) {
+      MpiMessage a;
+      a.values = {1.0};
+      co_await self.send(dup, 1, 5, 8.0, std::move(a));
+      MpiMessage b;
+      b.values = {2.0};
+      co_await self.send(world, 1, 5, 8.0, std::move(b));
+    } else {
+      // Same tag and source on both comms: contexts keep them apart.
+      const MpiMessage w = co_await self.recv(world, 0, 5);
+      got_on_world = w.values;
+      const MpiMessage d = co_await self.recv(dup, 0, 5);
+      got_on_dup = d.values;
+    }
+  };
+  mpi_.launch_world(hosts_for(2), app, "dup");
+  engine_.run_until(60.0);
+  EXPECT_EQ(got_on_dup, (std::vector<double>{1.0}));
+  EXPECT_EQ(got_on_world, (std::vector<double>{2.0}));
+}
+
+TEST_F(CommOpsTest, CommSplitByParity) {
+  constexpr int kRanks = 6;
+  std::vector<int> split_size(kRanks, -1);
+  std::vector<int> split_rank(kRanks, -1);
+  std::vector<double> group_sums(kRanks, 0.0);
+  auto app = [&](Proc& self) -> Task<> {
+    const int rank = self.world_rank();
+    const Comm half = co_await self.comm_split(self.world(), rank % 2, rank);
+    split_size[static_cast<std::size_t>(rank)] = half.size();
+    split_rank[static_cast<std::size_t>(rank)] = half.rank_of(self.id());
+    // Collectives work on the split communicator.
+    std::vector<double> mine{static_cast<double>(rank)};
+    const auto sum = co_await self.allreduce_sum(half, std::move(mine), 8.0);
+    group_sums[static_cast<std::size_t>(rank)] = sum.at(0);
+  };
+  mpi_.launch_world(hosts_for(kRanks), app, "split");
+  engine_.run_until(60.0);
+  for (int r = 0; r < kRanks; ++r) {
+    EXPECT_EQ(split_size[static_cast<std::size_t>(r)], 3) << r;
+    EXPECT_EQ(split_rank[static_cast<std::size_t>(r)], r / 2) << r;
+    // Evens sum 0+2+4 = 6, odds 1+3+5 = 9.
+    EXPECT_DOUBLE_EQ(group_sums[static_cast<std::size_t>(r)],
+                     r % 2 == 0 ? 6.0 : 9.0)
+        << r;
+  }
+}
+
+TEST_F(CommOpsTest, CommSplitKeyControlsOrdering) {
+  constexpr int kRanks = 3;
+  std::vector<int> new_rank(kRanks, -1);
+  auto app = [&](Proc& self) -> Task<> {
+    const int rank = self.world_rank();
+    // Reverse the order: higher old rank -> lower key.
+    const Comm reversed =
+        co_await self.comm_split(self.world(), 0, kRanks - rank);
+    new_rank[static_cast<std::size_t>(rank)] = reversed.rank_of(self.id());
+  };
+  mpi_.launch_world(hosts_for(kRanks), app, "rev");
+  engine_.run_until(60.0);
+  EXPECT_EQ(new_rank, (std::vector<int>{2, 1, 0}));
+}
+
+TEST_F(CommOpsTest, CommSplitUndefinedYieldsInvalidComm) {
+  constexpr int kRanks = 3;
+  std::vector<bool> valid(kRanks, true);
+  auto app = [&](Proc& self) -> Task<> {
+    const int rank = self.world_rank();
+    const int color = rank == 0 ? kUndefined : 1;
+    const Comm sub = co_await self.comm_split(self.world(), color, rank);
+    valid[static_cast<std::size_t>(rank)] = sub.valid();
+  };
+  mpi_.launch_world(hosts_for(kRanks), app, "undef");
+  engine_.run_until(60.0);
+  EXPECT_FALSE(valid[0]);
+  EXPECT_TRUE(valid[1]);
+  EXPECT_TRUE(valid[2]);
+}
+
+TEST_F(CommOpsTest, RepeatedSplitsGetFreshContexts) {
+  std::set<int> contexts;
+  auto app = [&](Proc& self) -> Task<> {
+    for (int round = 0; round < 3; ++round) {
+      const Comm sub = co_await self.comm_split(self.world(), 0,
+                                                self.world_rank());
+      if (self.world_rank() == 0) {
+        contexts.insert(sub.context());
+      }
+      co_await self.barrier(self.world());
+    }
+  };
+  mpi_.launch_world(hosts_for(2), app, "rounds");
+  engine_.run_until(60.0);
+  EXPECT_EQ(contexts.size(), 3U);
+}
+
+}  // namespace
+}  // namespace ars::mpi

@@ -1,0 +1,220 @@
+// MPI-2 dynamic process management tests: the operations the paper's
+// migration protocol depends on.
+
+#include <gtest/gtest.h>
+
+#include "ars/mpi/mpi.hpp"
+
+namespace ars::mpi {
+namespace {
+
+using sim::Engine;
+using sim::Task;
+
+class DpmTest : public ::testing::Test {
+ protected:
+  DpmTest() : net_(engine_, net_options()), mpi_(engine_, net_) {
+    for (const char* name : {"ws1", "ws2", "ws3"}) {
+      host::HostSpec spec;
+      spec.name = name;
+      hosts_.push_back(std::make_unique<host::Host>(engine_, spec));
+      net_.attach(*hosts_.back());
+    }
+  }
+
+  static net::Network::Options net_options() {
+    net::Network::Options options;
+    options.latency = 0.001;
+    options.message_overhead = 0;
+    return options;
+  }
+
+  Engine engine_;
+  std::vector<std::unique_ptr<host::Host>> hosts_;
+  net::Network net_;
+  MpiSystem mpi_;
+};
+
+TEST_F(DpmTest, SpawnCreatesChildOnTargetHost) {
+  std::string child_host;
+  bool child_ran = false;
+  auto child = [&](Proc& self) -> Task<> {
+    child_host = self.host().name();
+    child_ran = true;
+    co_return;
+  };
+  auto parent = [&](Proc& self) -> Task<> {
+    const SpawnResult result =
+        co_await self.spawn("ws2", child, "child");
+    EXPECT_EQ(result.children.size(), 1U);
+    EXPECT_TRUE(result.intercomm.is_inter());
+    EXPECT_EQ(result.intercomm.size(), 1);
+    EXPECT_EQ(result.intercomm.remote_size(), 1);
+  };
+  mpi_.launch("ws1", parent, "parent");
+  engine_.run_until(10.0);
+  EXPECT_TRUE(child_ran);
+  EXPECT_EQ(child_host, "ws2");
+}
+
+TEST_F(DpmTest, SpawnPaysDpmOverhead) {
+  double spawn_elapsed = -1.0;
+  auto child = [](Proc&) -> Task<> { co_return; };
+  auto parent = [&](Proc& self) -> Task<> {
+    auto& engine = self.system().engine();
+    const double t0 = engine.now();
+    (void)co_await self.spawn("ws2", child, "child");
+    spawn_elapsed = engine.now() - t0;
+  };
+  mpi_.launch("ws1", parent, "parent");
+  engine_.run_until(10.0);
+  // LAM's slow DPM: at least the configured 0.3 s (paper §5.2).
+  EXPECT_GE(spawn_elapsed, mpi_.options().spawn_overhead);
+  EXPECT_LT(spawn_elapsed, mpi_.options().spawn_overhead + 0.1);
+}
+
+TEST_F(DpmTest, ParentChildCommunicateOverIntercomm) {
+  std::vector<double> child_got;
+  std::vector<double> parent_got;
+  auto child = [&](Proc& self) -> Task<> {
+    const Comm parent_comm = self.parent_comm();
+    EXPECT_TRUE(parent_comm.valid());
+    const MpiMessage m = co_await self.recv(parent_comm, 0, 1);
+    child_got = m.values;
+    MpiMessage reply;
+    reply.values = {m.values.at(0) * 2};
+    co_await self.send(parent_comm, 0, 2, 8.0, std::move(reply));
+  };
+  auto parent = [&](Proc& self) -> Task<> {
+    const SpawnResult result = co_await self.spawn("ws2", child, "child");
+    MpiMessage payload;
+    payload.values = {21.0};
+    co_await self.send(result.intercomm, 0, 1, 8.0, std::move(payload));
+    const MpiMessage reply = co_await self.recv(result.intercomm, 0, 2);
+    parent_got = reply.values;
+  };
+  mpi_.launch("ws1", parent, "parent");
+  engine_.run_until(10.0);
+  EXPECT_EQ(child_got, (std::vector<double>{21.0}));
+  EXPECT_EQ(parent_got, (std::vector<double>{42.0}));
+}
+
+TEST_F(DpmTest, SpawnMultipleChildrenShareAWorld) {
+  int world_sizes_seen = 0;
+  auto child = [&](Proc& self) -> Task<> {
+    EXPECT_EQ(self.world().size(), 3);
+    ++world_sizes_seen;
+    co_await self.barrier(self.world());
+  };
+  auto parent = [&](Proc& self) -> Task<> {
+    const SpawnResult result =
+        co_await self.spawn("ws2", child, "flock", 3);
+    EXPECT_EQ(result.children.size(), 3U);
+    EXPECT_EQ(result.intercomm.remote_size(), 3);
+  };
+  mpi_.launch("ws1", parent, "parent");
+  engine_.run_until(10.0);
+  EXPECT_EQ(world_sizes_seen, 3);
+}
+
+TEST_F(DpmTest, ConnectAcceptBuildsIntercomm) {
+  std::string port;
+  std::vector<double> server_got;
+  auto server = [&](Proc& self) -> Task<> {
+    port = self.open_port();
+    const Comm conn = co_await self.accept(port);
+    EXPECT_TRUE(conn.is_inter());
+    const MpiMessage m = co_await self.recv(conn, 0, 0);
+    server_got = m.values;
+    self.close_port(port);
+  };
+  auto client = [&](Proc& self) -> Task<> {
+    // Wait for the server to have published its port.
+    while (port.empty()) {
+      co_await sim::delay(self.system().engine(), 0.01);
+    }
+    const Comm conn = co_await self.connect(port);
+    MpiMessage payload;
+    payload.values = {9.0};
+    co_await self.send(conn, 0, 0, 8.0, std::move(payload));
+  };
+  mpi_.launch("ws1", server, "server");
+  mpi_.launch("ws2", client, "client");
+  engine_.run_until(10.0);
+  EXPECT_EQ(server_got, (std::vector<double>{9.0}));
+}
+
+TEST_F(DpmTest, MergeProducesSharedIntracomm) {
+  // The migration pattern: parent spawns child, both merge, then talk on
+  // the merged intracommunicator.
+  std::vector<double> child_got;
+  auto child = [&](Proc& self) -> Task<> {
+    const Comm merged = co_await self.merge(self.parent_comm(), true);
+    EXPECT_EQ(merged.size(), 2);
+    EXPECT_FALSE(merged.is_inter());
+    // High side: child is rank 1.
+    EXPECT_EQ(merged.rank_of(self.id()), 1);
+    const MpiMessage m = co_await self.recv(merged, 0, 5);
+    child_got = m.values;
+  };
+  auto parent = [&](Proc& self) -> Task<> {
+    const SpawnResult result = co_await self.spawn("ws2", child, "child");
+    const Comm merged = co_await self.merge(result.intercomm, false);
+    EXPECT_EQ(merged.rank_of(self.id()), 0);
+    MpiMessage payload;
+    payload.values = {1.0, 2.0};
+    co_await self.send(merged, 1, 5, 16.0, std::move(payload));
+  };
+  mpi_.launch("ws1", parent, "parent");
+  engine_.run_until(10.0);
+  EXPECT_EQ(child_got, (std::vector<double>{1.0, 2.0}));
+}
+
+TEST_F(DpmTest, MergeContextAgreesAcrossBothSides) {
+  int child_context = -1;
+  int parent_context = -2;
+  auto child = [&](Proc& self) -> Task<> {
+    const Comm merged = co_await self.merge(self.parent_comm(), true);
+    child_context = merged.context();
+  };
+  auto parent = [&](Proc& self) -> Task<> {
+    const SpawnResult result = co_await self.spawn("ws2", child, "child");
+    const Comm merged = co_await self.merge(result.intercomm, false);
+    parent_context = merged.context();
+  };
+  mpi_.launch("ws1", parent, "parent");
+  engine_.run_until(10.0);
+  EXPECT_EQ(child_context, parent_context);
+}
+
+TEST_F(DpmTest, ConnectUnknownPortThrows) {
+  bool failed = false;
+  auto client = [&](Proc& self) -> Task<> {
+    try {
+      (void)co_await self.connect("nowhere:1");
+    } catch (const std::invalid_argument&) {
+      failed = true;
+    }
+  };
+  mpi_.launch("ws1", client, "client");
+  engine_.run_until(5.0);
+  EXPECT_TRUE(failed);
+}
+
+TEST_F(DpmTest, SpawnOnUnknownHostThrows) {
+  bool failed = false;
+  auto child = [](Proc&) -> Task<> { co_return; };
+  auto parent = [&](Proc& self) -> Task<> {
+    try {
+      (void)co_await self.spawn("mars", child, "child");
+    } catch (const std::out_of_range&) {
+      failed = true;
+    }
+  };
+  mpi_.launch("ws1", parent, "parent");
+  engine_.run_until(5.0);
+  EXPECT_TRUE(failed);
+}
+
+}  // namespace
+}  // namespace ars::mpi

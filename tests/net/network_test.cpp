@@ -1,0 +1,243 @@
+#include "ars/net/network.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ars/net/commhog.hpp"
+
+namespace ars::net {
+namespace {
+
+using sim::Engine;
+using sim::Fiber;
+using sim::Task;
+
+class NetworkTest : public ::testing::Test {
+ protected:
+  NetworkTest() : net_(engine_, make_options()) {
+    for (const char* name : {"ws1", "ws2", "ws3"}) {
+      host::HostSpec spec;
+      spec.name = name;
+      hosts_.push_back(std::make_unique<host::Host>(engine_, spec));
+      net_.attach(*hosts_.back());
+    }
+  }
+
+  static Network::Options make_options() {
+    Network::Options options;
+    options.latency = 0.001;
+    options.bandwidth_bps = 1000.0;  // round numbers for exact assertions
+    options.message_overhead = 0;
+    return options;
+  }
+
+  Engine engine_;
+  std::vector<std::unique_ptr<host::Host>> hosts_;
+  Network net_;
+};
+
+Task<> do_transfer(Network& net, std::string src, std::string dst,
+                   double bytes, double* elapsed) {
+  *elapsed = co_await net.transfer(std::move(src), std::move(dst), bytes);
+}
+
+TEST_F(NetworkTest, SingleTransferUsesFullBandwidth) {
+  double elapsed = -1.0;
+  Fiber::spawn(engine_, do_transfer(net_, "ws1", "ws2", 2000.0, &elapsed));
+  engine_.run_until(1000.0);
+  EXPECT_NEAR(elapsed, 0.001 + 2.0, 1e-9);
+}
+
+TEST_F(NetworkTest, LoopbackCostsOnlyLatency) {
+  double elapsed = -1.0;
+  Fiber::spawn(engine_, do_transfer(net_, "ws1", "ws1", 1.0e9, &elapsed));
+  engine_.run_until(1000.0);
+  EXPECT_NEAR(elapsed, 0.001, 1e-9);
+}
+
+TEST_F(NetworkTest, SharedSourceNicHalvesRates) {
+  double elapsed_a = -1.0;
+  double elapsed_b = -1.0;
+  Fiber::spawn(engine_, do_transfer(net_, "ws1", "ws2", 1000.0, &elapsed_a));
+  Fiber::spawn(engine_, do_transfer(net_, "ws1", "ws3", 1000.0, &elapsed_b));
+  engine_.run_until(1000.0);
+  // Both share ws1's TX: each runs at 500 B/s for 2 s.
+  EXPECT_NEAR(elapsed_a, 0.001 + 2.0, 1e-6);
+  EXPECT_NEAR(elapsed_b, 0.001 + 2.0, 1e-6);
+}
+
+TEST_F(NetworkTest, DistinctPathsDoNotInterfere) {
+  double elapsed_a = -1.0;
+  double elapsed_b = -1.0;
+  Fiber::spawn(engine_, do_transfer(net_, "ws1", "ws2", 1000.0, &elapsed_a));
+  Fiber::spawn(engine_, do_transfer(net_, "ws3", "ws1", 1000.0, &elapsed_b));
+  engine_.run_until(1000.0);
+  // ws1 TX and ws1 RX are independent (full duplex).
+  EXPECT_NEAR(elapsed_a, 0.001 + 1.0, 1e-6);
+  EXPECT_NEAR(elapsed_b, 0.001 + 1.0, 1e-6);
+}
+
+TEST_F(NetworkTest, LateArrivalSlowsExistingTransfer) {
+  double elapsed_a = -1.0;
+  double elapsed_b = -1.0;
+  Fiber::spawn(engine_, do_transfer(net_, "ws1", "ws2", 2000.0, &elapsed_a));
+  engine_.schedule_at(1.001, [&] {
+    Fiber::spawn(engine_, do_transfer(net_, "ws1", "ws3", 500.0, &elapsed_b));
+  });
+  engine_.run_until(1000.0);
+  // A: 1000 B by t=1.001, then shares at 500 B/s for the rest.
+  // B finishes 500 B at 500 B/s: elapsed = latency + 1.0.
+  EXPECT_NEAR(elapsed_b, 0.001 + 1.0, 1e-6);
+  // A: remaining 1000 B: 500 B shared (1 s), 500 B alone (0.5 s).
+  EXPECT_NEAR(elapsed_a, 0.001 + 1.0 + 1.0 + 0.5, 1e-3);
+}
+
+TEST_F(NetworkTest, KilledTransferReleasesBandwidth) {
+  double elapsed_a = -1.0;
+  double elapsed_b = -1.0;
+  Fiber victim =
+      Fiber::spawn(engine_, do_transfer(net_, "ws1", "ws2", 1.0e6, &elapsed_a));
+  Fiber::spawn(engine_, do_transfer(net_, "ws1", "ws3", 1000.0, &elapsed_b));
+  engine_.schedule_at(1.001, [&] { victim.kill(); });
+  engine_.run_until(1000.0);
+  EXPECT_DOUBLE_EQ(elapsed_a, -1.0);
+  // B: 500 B shared in the first second, remaining 500 B at full speed.
+  EXPECT_NEAR(elapsed_b, 0.001 + 1.0 + 0.5, 1e-3);
+  EXPECT_EQ(net_.active_transfers(), 0U);
+}
+
+TEST_F(NetworkTest, FlowMetersAccountTransferredBytes) {
+  double elapsed = -1.0;
+  Fiber::spawn(engine_, do_transfer(net_, "ws1", "ws2", 2000.0, &elapsed));
+  engine_.run_until(1000.0);
+  EXPECT_NEAR(net_.tx_meter("ws1").total_bytes(), 2000.0, 1e-6);
+  EXPECT_NEAR(net_.rx_meter("ws2").total_bytes(), 2000.0, 1e-6);
+  EXPECT_NEAR(net_.tx_meter("ws2").total_bytes(), 0.0, 1e-9);
+}
+
+TEST_F(NetworkTest, RateQuerySeesLiveTransfer) {
+  double elapsed = -1.0;
+  Fiber fiber =
+      Fiber::spawn(engine_, do_transfer(net_, "ws1", "ws2", 10000.0, &elapsed));
+  engine_.run_until(5.0);
+  // Mid-transfer at ~1000 B/s.
+  EXPECT_NEAR(net_.tx_rate_bps("ws1", 2.0), 1000.0, 50.0);
+  EXPECT_NEAR(net_.rx_rate_bps("ws2", 2.0), 1000.0, 50.0);
+  fiber.kill();  // withdraw the transfer before the network is destroyed
+}
+
+TEST_F(NetworkTest, PostDeliversToBoundEndpoint) {
+  Endpoint& endpoint = net_.bind("ws2", 5000);
+  Message received;
+  auto reader = [](Endpoint& ep, Message& out) -> Task<> {
+    out = co_await ep.inbox.recv();
+  };
+  Fiber::spawn(engine_, reader(endpoint, received));
+  Message msg;
+  msg.src_host = "ws1";
+  msg.dst_host = "ws2";
+  msg.dst_port = 5000;
+  msg.payload = "<hello/>";
+  net_.post(msg);
+  engine_.run_until(1000.0);
+  EXPECT_EQ(received.payload, "<hello/>");
+  EXPECT_EQ(received.src_host, "ws1");
+  EXPECT_GT(received.delivered_at, 0.0);
+}
+
+TEST_F(NetworkTest, PostToUnboundPortIsDropped) {
+  Message msg;
+  msg.src_host = "ws1";
+  msg.dst_host = "ws2";
+  msg.dst_port = 9999;
+  msg.payload = "x";
+  net_.post(msg);
+  engine_.run_until(1000.0);  // must not crash or leave dangling transfers
+  EXPECT_EQ(net_.active_transfers(), 0U);
+}
+
+TEST_F(NetworkTest, DoubleBindThrows) {
+  net_.bind("ws1", 5000);
+  EXPECT_THROW(net_.bind("ws1", 5000), std::invalid_argument);
+  net_.unbind("ws1", 5000);
+  EXPECT_NO_THROW(net_.bind("ws1", 5000));
+}
+
+TEST_F(NetworkTest, BindUnknownHostThrows) {
+  EXPECT_THROW(net_.bind("nosuch", 1), std::out_of_range);
+}
+
+TEST_F(NetworkTest, AllocatePortYieldsDistinctPorts) {
+  const int a = net_.allocate_port("ws1");
+  const int b = net_.allocate_port("ws1");
+  EXPECT_NE(a, b);
+}
+
+TEST_F(NetworkTest, AttachAssignsDistinctIps) {
+  EXPECT_EQ(net_.host_names().size(), 3U);
+  host::HostSpec spec;
+  spec.name = "ws1";
+  host::Host duplicate{engine_, spec};
+  EXPECT_THROW(net_.attach(duplicate), std::invalid_argument);
+}
+
+TEST(FlowMeter, WindowOverlapIsProportional) {
+  FlowMeter meter;
+  meter.add(0.0, 10.0, 1000.0);
+  EXPECT_DOUBLE_EQ(meter.bytes_between(0.0, 10.0), 1000.0);
+  EXPECT_DOUBLE_EQ(meter.bytes_between(0.0, 5.0), 500.0);
+  EXPECT_DOUBLE_EQ(meter.bytes_between(9.0, 20.0), 100.0);
+  EXPECT_DOUBLE_EQ(meter.bytes_between(10.0, 20.0), 0.0);
+  EXPECT_DOUBLE_EQ(meter.rate_bps(10.0, 10.0), 100.0);
+}
+
+TEST(FlowMeter, InstantBurstCounting) {
+  FlowMeter meter;
+  meter.add(5.0, 5.0, 42.0);
+  EXPECT_DOUBLE_EQ(meter.bytes_between(0.0, 10.0), 42.0);
+  EXPECT_DOUBLE_EQ(meter.bytes_between(6.0, 10.0), 0.0);
+}
+
+TEST(FlowMeter, ZeroOrNegativeBytesIgnored) {
+  FlowMeter meter;
+  meter.add(0.0, 1.0, 0.0);
+  meter.add(0.0, 1.0, -5.0);
+  EXPECT_DOUBLE_EQ(meter.total_bytes(), 0.0);
+}
+
+class CommHogTest : public NetworkTest {};
+
+TEST_F(CommHogTest, SustainsTargetRate) {
+  CommHog::Options options;
+  options.src = "ws1";
+  options.dst = "ws2";
+  options.rate_bps = 200.0;  // well under the 1000 B/s NIC
+  options.period = 1.0;
+  options.bidirectional = false;
+  CommHog hog{net_, options};
+  hog.start();
+  engine_.run_until(100.0);
+  EXPECT_NEAR(net_.tx_meter("ws1").total_bytes() / 100.0, 200.0, 20.0);
+  hog.stop();
+  const double frozen = net_.tx_meter("ws1").total_bytes();
+  engine_.run_until(150.0);
+  EXPECT_DOUBLE_EQ(net_.tx_meter("ws1").total_bytes(), frozen);
+}
+
+TEST_F(CommHogTest, BidirectionalAdjustsSockets) {
+  CommHog::Options options;
+  options.src = "ws1";
+  options.dst = "ws2";
+  options.rate_bps = 100.0;
+  options.sockets = 2;
+  CommHog hog{net_, options};
+  hog.start();
+  EXPECT_EQ(hosts_[0]->established_sockets(), 2);
+  EXPECT_EQ(hosts_[1]->established_sockets(), 2);
+  engine_.run_until(10.0);
+  EXPECT_GT(net_.rx_meter("ws1").total_bytes(), 0.0);  // reverse direction
+  hog.stop();
+  EXPECT_EQ(hosts_[0]->established_sockets(), 0);
+}
+
+}  // namespace
+}  // namespace ars::net

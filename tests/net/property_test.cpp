@@ -1,0 +1,99 @@
+// Conservation-law property sweeps for the fluid network model: random
+// transfer mixes conserve bytes on the flow meters, never beat the physical
+// minimum transfer time, and leave no residual bandwidth state behind.
+
+#include <gtest/gtest.h>
+
+#include "ars/net/network.hpp"
+#include "ars/support/rng.hpp"
+
+namespace ars::net {
+namespace {
+
+using sim::Engine;
+using sim::Fiber;
+using sim::Task;
+
+struct TransferSpec {
+  int src;
+  int dst;
+  double start;
+  double bytes;
+};
+
+class NetConservation : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(NetConservation, BytesAreConservedAndTimingIsPhysical) {
+  support::Rng rng{GetParam()};
+  Engine engine;
+  Network::Options options;
+  options.latency = 0.001;
+  options.bandwidth_bps = 1.0e6;
+  Network network{engine, options};
+  constexpr int kHosts = 4;
+  std::vector<std::unique_ptr<host::Host>> hosts;
+  for (int i = 0; i < kHosts; ++i) {
+    host::HostSpec spec;
+    spec.name = "h" + std::to_string(i);
+    hosts.push_back(std::make_unique<host::Host>(engine, spec));
+    network.attach(*hosts.back());
+  }
+
+  const int transfers = static_cast<int>(rng.uniform_int(1, 20));
+  std::vector<TransferSpec> specs;
+  std::vector<double> tx_expected(kHosts, 0.0);
+  std::vector<double> rx_expected(kHosts, 0.0);
+  for (int i = 0; i < transfers; ++i) {
+    TransferSpec spec;
+    spec.src = static_cast<int>(rng.uniform_int(0, kHosts - 1));
+    spec.dst = static_cast<int>(rng.uniform_int(0, kHosts - 1));
+    while (spec.dst == spec.src) {
+      spec.dst = static_cast<int>(rng.uniform_int(0, kHosts - 1));
+    }
+    spec.start = rng.uniform(0.0, 5.0);
+    spec.bytes = rng.uniform(1.0e3, 2.0e6);
+    tx_expected[spec.src] += spec.bytes;
+    rx_expected[spec.dst] += spec.bytes;
+    specs.push_back(spec);
+  }
+
+  std::vector<double> elapsed(specs.size(), -1.0);
+  auto mover = [](Network& net, std::string src, std::string dst,
+                  double bytes, double* out) -> Task<> {
+    *out = co_await net.transfer(std::move(src), std::move(dst), bytes);
+  };
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    const TransferSpec& spec = specs[i];
+    engine.schedule_at(spec.start, [&, i] {
+      Fiber::spawn(engine,
+                   mover(network, "h" + std::to_string(specs[i].src),
+                         "h" + std::to_string(specs[i].dst), specs[i].bytes,
+                         &elapsed[i]));
+    });
+  }
+  engine.run_until(1.0e5);
+
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    ASSERT_GT(elapsed[i], 0.0) << "transfer " << i << " never completed";
+    // Physical lower bound: latency + bytes at full NIC speed.
+    EXPECT_GE(elapsed[i] + 1e-6,
+              options.latency + specs[i].bytes / options.bandwidth_bps)
+        << "transfer " << i << " beat the NIC";
+  }
+  for (int h = 0; h < kHosts; ++h) {
+    const std::string name = "h" + std::to_string(h);
+    EXPECT_NEAR(network.tx_meter(name).total_bytes(), tx_expected[h],
+                1.0 * transfers + 1.0)
+        << name;
+    EXPECT_NEAR(network.rx_meter(name).total_bytes(), rx_expected[h],
+                1.0 * transfers + 1.0)
+        << name;
+  }
+  EXPECT_EQ(network.active_transfers(), 0U);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, NetConservation,
+                         ::testing::Range<std::uint64_t>(1, 17));
+
+}  // namespace
+}  // namespace ars::net

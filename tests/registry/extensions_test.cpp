@@ -1,0 +1,210 @@
+// Tests for the scheduling extensions: evacuation (fault tolerance),
+// destination strategies, and the data-locality selector rule.
+
+#include <gtest/gtest.h>
+
+#include "ars/registry/registry.hpp"
+
+namespace ars::registry {
+namespace {
+
+using rules::SystemState;
+using sim::Engine;
+
+class ExtensionsTest : public ::testing::Test {
+ protected:
+  void build(Registry::Config config) {
+    for (const char* name : {"hub", "ws1", "ws2", "ws3"}) {
+      host::HostSpec s;
+      s.name = name;
+      hosts_.push_back(std::make_unique<host::Host>(engine_, s));
+      net_->attach(*hosts_.back());
+    }
+    config.policy = rules::paper_policy2();
+    registry_ = std::make_unique<Registry>(*hosts_[0], *net_, config);
+    registry_->start();
+  }
+
+  void post(const std::string& from, const xmlproto::ProtocolMessage& m) {
+    net::Message wire;
+    wire.src_host = from;
+    wire.dst_host = "hub";
+    wire.dst_port = registry_->port();
+    wire.payload = xmlproto::encode(m);
+    net_->post(std::move(wire));
+  }
+
+  void register_host(const std::string& name, double load1 = 0.2) {
+    xmlproto::RegisterMsg reg;
+    reg.info.host = name;
+    reg.info.cpu_speed = 1.0;
+    reg.commander_port = 6000;
+    post(name, reg);
+    xmlproto::UpdateMsg update;
+    update.status.host = name;
+    update.status.state = "free";
+    update.status.load1 = load1;
+    update.status.processes = 60;
+    post(name, update);
+  }
+
+  void register_process(const std::string& host, int pid,
+                        const std::string& name,
+                        const std::string& schema = "") {
+    xmlproto::ProcessRegisterMsg msg;
+    msg.host = host;
+    msg.pid = pid;
+    msg.name = name;
+    msg.migration_enabled = true;
+    msg.schema_name = schema;
+    post(host, msg);
+  }
+
+  Engine engine_;
+  std::unique_ptr<net::Network> net_ = std::make_unique<net::Network>(engine_);
+  std::vector<std::unique_ptr<host::Host>> hosts_;
+  std::unique_ptr<Registry> registry_;
+};
+
+TEST_F(ExtensionsTest, EvacuationMigratesEveryProcess) {
+  build({});
+  net::Endpoint& commander = net_->bind("ws1", 6000);
+  register_host("ws1");
+  register_host("ws2");
+  register_process("ws1", 100, "app_a");
+  register_process("ws1", 101, "app_b");
+  engine_.run_until(1.0);
+
+  registry_->request_evacuation("ws1", "planned shutdown");
+  engine_.run_until(10.0);
+
+  std::set<int> commanded_pids;
+  while (auto wire = commander.inbox.try_recv()) {
+    const auto message = xmlproto::decode(wire->payload);
+    ASSERT_TRUE(message.has_value());
+    const auto* command = std::get_if<xmlproto::MigrateCmd>(&*message);
+    ASSERT_NE(command, nullptr);
+    EXPECT_EQ(command->dest_host, "ws2");
+    commanded_pids.insert(command->pid);
+  }
+  EXPECT_EQ(commanded_pids, (std::set<int>{100, 101}));
+  EXPECT_EQ(registry_->evacuations_commanded(), 2);
+}
+
+TEST_F(ExtensionsTest, EvacuatedHostIsNeverADestinationAgain) {
+  build({});
+  register_host("ws1");
+  register_host("ws2");
+  engine_.run_until(1.0);
+  EXPECT_EQ(registry_->choose_destination("ws3", ""), "ws1");
+  registry_->request_evacuation("ws1", "intrusion detected");
+  engine_.run_until(2.0);
+  EXPECT_EQ(registry_->choose_destination("ws3", ""), "ws2");
+  // Even after fresh, healthy heartbeats.
+  register_host("ws1");
+  engine_.run_until(3.0);
+  EXPECT_EQ(registry_->choose_destination("ws3", ""), "ws2");
+}
+
+TEST_F(ExtensionsTest, EvacuationViaWireMessage) {
+  build({});
+  net::Endpoint& commander = net_->bind("ws1", 6000);
+  register_host("ws1");
+  register_host("ws2");
+  register_process("ws1", 100, "app");
+  engine_.run_until(1.0);
+  xmlproto::EvacuateMsg evac;
+  evac.host = "ws1";
+  evac.reason = "maintenance";
+  post("hub", evac);
+  engine_.run_until(5.0);
+  EXPECT_TRUE(commander.inbox.try_recv().has_value());
+}
+
+TEST_F(ExtensionsTest, EvacuationWithNoDestinationLeavesProcess) {
+  build({});
+  net::Endpoint& commander = net_->bind("ws1", 6000);
+  register_host("ws1");  // the only host
+  register_process("ws1", 100, "app");
+  engine_.run_until(1.0);
+  registry_->request_evacuation("ws1", "shutdown");
+  engine_.run_until(5.0);
+  EXPECT_FALSE(commander.inbox.try_recv().has_value());
+  EXPECT_EQ(registry_->evacuations_commanded(), 0);
+  // The decision log still records the attempt.
+  ASSERT_FALSE(registry_->decisions().empty());
+  EXPECT_TRUE(registry_->decisions()[0].destination.empty());
+}
+
+TEST_F(ExtensionsTest, FirstFitIgnoresLoadDifferences) {
+  Registry::Config config;
+  config.strategy = DestinationStrategy::kFirstFit;
+  build(config);
+  register_host("ws1", 0.9);  // eligible but loaded (still < 1)
+  register_host("ws2", 0.1);  // nearly idle
+  engine_.run_until(1.0);
+  EXPECT_EQ(registry_->choose_destination("src", ""), "ws1");
+}
+
+TEST_F(ExtensionsTest, BestFitPicksLeastLoaded) {
+  Registry::Config config;
+  config.strategy = DestinationStrategy::kBestFit;
+  build(config);
+  register_host("ws1", 0.9);
+  register_host("ws2", 0.1);
+  register_host("ws3", 0.5);
+  engine_.run_until(1.0);
+  EXPECT_EQ(registry_->choose_destination("src", ""), "ws2");
+}
+
+TEST_F(ExtensionsTest, RandomFitIsDeterministicPerSeed) {
+  Registry::Config config;
+  config.strategy = DestinationStrategy::kRandomFit;
+  config.random_seed = 7;
+  build(config);
+  register_host("ws1");
+  register_host("ws2");
+  register_host("ws3");
+  engine_.run_until(1.0);
+  // All picks must be eligible hosts; the sequence is deterministic.
+  std::vector<std::string> picks;
+  for (int i = 0; i < 8; ++i) {
+    const auto pick = registry_->choose_destination("src", "");
+    ASSERT_TRUE(pick.has_value());
+    EXPECT_TRUE(*pick == "ws1" || *pick == "ws2" || *pick == "ws3");
+    picks.push_back(*pick);
+  }
+  // With 8 draws over 3 hosts, at least two distinct destinations show up.
+  EXPECT_GT(std::set<std::string>(picks.begin(), picks.end()).size(), 1U);
+}
+
+TEST_F(ExtensionsTest, HighLocalityProcessIsNotSelected) {
+  build({});
+  hpcm::ApplicationSchema pinned{"pinned"};
+  pinned.set_data_locality(0.9);
+  pinned.set_est_exec_time(10000.0);  // would otherwise win the selector
+  hpcm::ApplicationSchema mobile{"mobile"};
+  mobile.set_data_locality(0.1);
+  mobile.set_est_exec_time(100.0);
+  registry_->register_schema(pinned);
+  registry_->register_schema(mobile);
+  register_process("ws1", 100, "pinned_app", "pinned");
+  register_process("ws1", 101, "mobile_app", "mobile");
+  engine_.run_until(1.0);
+  const ProcessEntry* chosen = registry_->select_process("ws1");
+  ASSERT_NE(chosen, nullptr);
+  EXPECT_EQ(chosen->name, "mobile_app");
+}
+
+TEST_F(ExtensionsTest, AllPinnedMeansNoMigration) {
+  build({});
+  hpcm::ApplicationSchema pinned{"pinned"};
+  pinned.set_data_locality(1.0);
+  registry_->register_schema(pinned);
+  register_process("ws1", 100, "pinned_app", "pinned");
+  engine_.run_until(1.0);
+  EXPECT_EQ(registry_->select_process("ws1"), nullptr);
+}
+
+}  // namespace
+}  // namespace ars::registry

@@ -1,0 +1,369 @@
+#include "ars/registry/registry.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ars::registry {
+namespace {
+
+using rules::SystemState;
+using sim::Engine;
+
+class RegistryTest : public ::testing::Test {
+ protected:
+  RegistryTest() : net_(engine_) {
+    for (const char* name : {"hub", "ws1", "ws2", "ws3", "ws4"}) {
+      host::HostSpec s;
+      s.name = name;
+      hosts_.push_back(std::make_unique<host::Host>(engine_, s));
+      net_.attach(*hosts_.back());
+    }
+    Registry::Config config;
+    config.policy = rules::paper_policy2();
+    config.lease_ttl = 25.0;
+    registry_ = std::make_unique<Registry>(*hosts_[0], net_, config);
+    registry_->start();
+  }
+
+  /// Post a message into the registry as if from `from`.
+  void post(const std::string& from, const xmlproto::ProtocolMessage& m) {
+    net::Message wire;
+    wire.src_host = from;
+    wire.dst_host = "hub";
+    wire.dst_port = registry_->port();
+    wire.payload = xmlproto::encode(m);
+    net_.post(std::move(wire));
+  }
+
+  void register_host(const std::string& name, int commander_port = 6000) {
+    xmlproto::RegisterMsg reg;
+    reg.info.host = name;
+    reg.info.memory_bytes = 128ULL << 20;
+    reg.info.disk_bytes = 20ULL << 30;
+    reg.info.cpu_speed = 1.0;
+    reg.monitor_port = 5999;
+    reg.commander_port = commander_port;
+    post(name, reg);
+  }
+
+  void update_host(const std::string& name, SystemState state,
+                   double load1 = 0.2, int processes = 60,
+                   double net_flow = 0.0) {
+    xmlproto::UpdateMsg update;
+    update.status.host = name;
+    update.status.state = std::string(rules::to_string(state));
+    update.status.load1 = load1;
+    update.status.processes = processes;
+    update.status.net_in_bps = net_flow;
+    update.status.net_out_bps = net_flow;
+    update.status.timestamp = engine_.now();
+    post(name, update);
+  }
+
+  void register_process(const std::string& host, int pid,
+                        const std::string& name, double start,
+                        const std::string& schema = "") {
+    xmlproto::ProcessRegisterMsg msg;
+    msg.host = host;
+    msg.pid = pid;
+    msg.name = name;
+    msg.start_time = start;
+    msg.migration_enabled = true;
+    msg.schema_name = schema;
+    post(host, msg);
+  }
+
+  Engine engine_;
+  net::Network net_;
+  std::vector<std::unique_ptr<host::Host>> hosts_;
+  std::unique_ptr<Registry> registry_;
+};
+
+TEST_F(RegistryTest, RegistrationPopulatesTable) {
+  register_host("ws1");
+  register_host("ws2");
+  engine_.run_until(1.0);
+  EXPECT_EQ(registry_->hosts().size(), 2U);
+  EXPECT_EQ(registry_->host_state("ws1"), SystemState::kFree);
+  EXPECT_FALSE(registry_->host_state("ws9").has_value());
+}
+
+TEST_F(RegistryTest, UpdatesChangeState) {
+  register_host("ws1");
+  update_host("ws1", SystemState::kOverloaded, 2.8, 160);
+  engine_.run_until(1.0);
+  EXPECT_EQ(registry_->host_state("ws1"), SystemState::kOverloaded);
+}
+
+TEST_F(RegistryTest, SoftStateLeaseExpires) {
+  register_host("ws1");
+  update_host("ws1", SystemState::kFree);
+  engine_.run_until(1.0);
+  EXPECT_EQ(registry_->host_state("ws1"), SystemState::kFree);
+  // No more heartbeats: the 25 s lease lapses.
+  engine_.run_until(60.0);
+  EXPECT_EQ(registry_->host_state("ws1"), SystemState::kUnavailable);
+  // A fresh heartbeat revives it.
+  update_host("ws1", SystemState::kFree);
+  engine_.run_until(61.0);
+  EXPECT_EQ(registry_->host_state("ws1"), SystemState::kFree);
+}
+
+TEST_F(RegistryTest, FirstFitPrefersEarlierRegistration) {
+  register_host("ws1");
+  register_host("ws2");
+  register_host("ws3");
+  for (const char* h : {"ws1", "ws2", "ws3"}) {
+    update_host(h, SystemState::kFree);
+  }
+  engine_.run_until(1.0);
+  // First fit from ws3: ws1 registered first.
+  EXPECT_EQ(registry_->first_fit_destination("ws3", ""), "ws1");
+  // Source host itself is excluded.
+  EXPECT_EQ(registry_->first_fit_destination("ws1", ""), "ws2");
+}
+
+TEST_F(RegistryTest, FirstFitSkipsBusyAndUnavailable) {
+  register_host("ws1");
+  register_host("ws2");
+  register_host("ws3");
+  update_host("ws1", SystemState::kBusy, 1.5);
+  update_host("ws2", SystemState::kOverloaded, 3.0);
+  update_host("ws3", SystemState::kFree);
+  engine_.run_until(1.0);
+  EXPECT_EQ(registry_->first_fit_destination("ws4", ""), "ws3");
+}
+
+TEST_F(RegistryTest, FirstFitAppliesPolicyDestinationConditions) {
+  register_host("ws1");
+  register_host("ws2");
+  // ws1 says "free" but its heartbeat load is 1.2 (>= policy threshold 1).
+  update_host("ws1", SystemState::kFree, 1.2);
+  update_host("ws2", SystemState::kFree, 0.3);
+  engine_.run_until(1.0);
+  EXPECT_EQ(registry_->first_fit_destination("src", ""), "ws2");
+}
+
+TEST_F(RegistryTest, FirstFitChecksSchemaRequirements) {
+  hpcm::ApplicationSchema schema{"bigapp"};
+  hpcm::ResourceRequirements req;
+  req.min_memory_bytes = 256ULL << 20;  // more than ws1's 128 MB
+  schema.set_requirements(req);
+  registry_->register_schema(schema);
+
+  register_host("ws1");
+  register_host("ws2");
+  engine_.run_until(0.5);
+  // Make ws2 big enough.
+  xmlproto::RegisterMsg reg;
+  reg.info.host = "ws2";
+  reg.info.memory_bytes = 512ULL << 20;
+  reg.info.cpu_speed = 1.0;
+  post("ws2", reg);
+  update_host("ws1", SystemState::kFree);
+  update_host("ws2", SystemState::kFree);
+  engine_.run_until(1.0);
+  EXPECT_EQ(registry_->first_fit_destination("src", "bigapp"), "ws2");
+  EXPECT_EQ(registry_->first_fit_destination("src", ""), "ws1");
+}
+
+TEST_F(RegistryTest, NoDestinationWhenAllLoaded) {
+  register_host("ws1");
+  update_host("ws1", SystemState::kBusy, 1.5);
+  engine_.run_until(1.0);
+  EXPECT_FALSE(registry_->first_fit_destination("src", "").has_value());
+}
+
+TEST_F(RegistryTest, SelectorPicksLatestCompletingProcess) {
+  hpcm::ApplicationSchema long_schema{"long"};
+  long_schema.set_est_exec_time(1000.0);
+  hpcm::ApplicationSchema short_schema{"short"};
+  short_schema.set_est_exec_time(100.0);
+  registry_->register_schema(long_schema);
+  registry_->register_schema(short_schema);
+  register_process("ws1", 100, "early_long", 0.0, "long");     // ends 1000
+  register_process("ws1", 101, "late_short", 50.0, "short");   // ends 150
+  register_process("ws2", 102, "other_host", 0.0, "long");
+  engine_.run_until(1.0);
+  const ProcessEntry* chosen = registry_->select_process("ws1");
+  ASSERT_NE(chosen, nullptr);
+  EXPECT_EQ(chosen->name, "early_long");
+  EXPECT_EQ(registry_->select_process("ws9"), nullptr);
+}
+
+TEST_F(RegistryTest, ConsultProducesMigrateCommand) {
+  // Commander endpoint on ws1 to capture the command.
+  net::Endpoint& commander = net_.bind("ws1", 6000);
+  register_host("ws1", 6000);
+  register_host("ws4", 6000);
+  update_host("ws1", SystemState::kOverloaded, 2.8, 160);
+  update_host("ws4", SystemState::kFree);
+  register_process("ws1", 100, "test_tree", 0.0);
+  engine_.run_until(1.0);
+
+  xmlproto::ConsultMsg consult;
+  consult.host = "ws1";
+  consult.reason = "test";
+  post("ws1", consult);
+  engine_.run_until(2.0);
+
+  auto wire = commander.inbox.try_recv();
+  ASSERT_TRUE(wire.has_value());
+  const auto message = xmlproto::decode(wire->payload);
+  ASSERT_TRUE(message.has_value());
+  const auto* command = std::get_if<xmlproto::MigrateCmd>(&*message);
+  ASSERT_NE(command, nullptr);
+  EXPECT_EQ(command->pid, 100);
+  EXPECT_EQ(command->dest_host, "ws4");
+  ASSERT_EQ(registry_->decisions().size(), 1U);
+  EXPECT_EQ(registry_->decisions()[0].destination, "ws4");
+  EXPECT_GE(registry_->decisions()[0].at, 0.002);  // decision latency
+}
+
+TEST_F(RegistryTest, ConsultWithoutCandidateRecordsEmptyDecision) {
+  register_host("ws1", 6000);
+  update_host("ws1", SystemState::kOverloaded, 3.0, 200);
+  register_process("ws1", 100, "app", 0.0);
+  engine_.run_until(0.5);
+  xmlproto::ConsultMsg consult;
+  consult.host = "ws1";
+  post("ws1", consult);
+  engine_.run_until(1.5);
+  ASSERT_EQ(registry_->decisions().size(), 1U);
+  EXPECT_TRUE(registry_->decisions()[0].destination.empty());
+}
+
+TEST_F(RegistryTest, ProcessCooldownAvoidsThrashing) {
+  net::Endpoint& commander = net_.bind("ws1", 6000);
+  register_host("ws1", 6000);
+  register_host("ws4", 6000);
+  update_host("ws1", SystemState::kOverloaded, 3.0, 200);
+  update_host("ws4", SystemState::kFree);
+  register_process("ws1", 100, "app", 0.0);
+  engine_.run_until(0.5);
+  for (int i = 0; i < 3; ++i) {
+    xmlproto::ConsultMsg consult;
+    consult.host = "ws1";
+    post("ws1", consult);
+  }
+  engine_.run_until(5.0);
+  int commands = 0;
+  while (commander.inbox.try_recv().has_value()) {
+    ++commands;
+  }
+  EXPECT_EQ(commands, 1);  // cooldown suppressed the repeats
+}
+
+TEST_F(RegistryTest, GarbageMessagesAreIgnored) {
+  net::Message wire;
+  wire.src_host = "ws1";
+  wire.dst_host = "hub";
+  wire.dst_port = registry_->port();
+  wire.payload = "<<<not xml>>>";
+  net_.post(wire);
+  engine_.run_until(1.0);  // no crash
+  EXPECT_TRUE(registry_->hosts().empty());
+}
+
+TEST_F(RegistryTest, HierarchicalEscalationToParent) {
+  // Parent registry on ws4.
+  Registry::Config parent_config;
+  parent_config.policy = rules::paper_policy2();
+  Registry parent{*hosts_[4], net_, parent_config};
+  parent.start();
+
+  // Child registry escalates when it has no local candidate.
+  Registry::Config child_config;
+  child_config.policy = rules::paper_policy2();
+  child_config.parent_host = "ws4";
+  child_config.parent_port = parent.port();
+  Registry child{*hosts_[2], net_, child_config};
+  child.start();
+
+  // Child knows only the overloaded source; parent knows a free host.
+  xmlproto::RegisterMsg reg;
+  reg.info.host = "ws2";
+  reg.commander_port = 6000;
+  reg.info.cpu_speed = 1.0;
+  net::Message to_child;
+  to_child.src_host = "ws2";
+  to_child.dst_host = "ws2";  // child registry host
+  to_child.dst_port = child.port();
+  to_child.payload = xmlproto::encode(xmlproto::ProtocolMessage{reg});
+  net_.post(to_child);
+
+  xmlproto::UpdateMsg update;
+  update.status.host = "ws2";
+  update.status.state = "overloaded";
+  update.status.load1 = 3.0;
+  net::Message update_wire;
+  update_wire.src_host = "ws2";
+  update_wire.dst_host = "ws2";
+  update_wire.dst_port = child.port();
+  update_wire.payload = xmlproto::encode(xmlproto::ProtocolMessage{update});
+  net_.post(update_wire);
+
+  // Parent-side: a free host with a commander endpoint, plus the source's
+  // process registration and commander so the parent can command it.
+  net::Endpoint& src_commander = net_.bind("ws2", 6000);
+  xmlproto::RegisterMsg parent_src = reg;
+  net::Message w1;
+  w1.src_host = "ws2";
+  w1.dst_host = "ws4";
+  w1.dst_port = parent.port();
+  w1.payload = xmlproto::encode(xmlproto::ProtocolMessage{parent_src});
+  net_.post(w1);
+  xmlproto::RegisterMsg free_host;
+  free_host.info.host = "ws3";
+  free_host.info.cpu_speed = 1.0;
+  free_host.commander_port = 6000;
+  net::Message w2;
+  w2.src_host = "ws3";
+  w2.dst_host = "ws4";
+  w2.dst_port = parent.port();
+  w2.payload = xmlproto::encode(xmlproto::ProtocolMessage{free_host});
+  net_.post(w2);
+  xmlproto::ProcessRegisterMsg proc;
+  proc.host = "ws2";
+  proc.pid = 100;
+  proc.name = "app";
+  proc.migration_enabled = true;
+  // The monitor registers the process with its own (child) registry; the
+  // parent learns of it through the escalated consult path, so both get it.
+  for (const auto& [dst, port] :
+       std::vector<std::pair<std::string, int>>{{"ws4", parent.port()},
+                                                {"ws2", child.port()}}) {
+    net::Message w3;
+    w3.src_host = "ws2";
+    w3.dst_host = dst;
+    w3.dst_port = port;
+    w3.payload = xmlproto::encode(xmlproto::ProtocolMessage{proc});
+    net_.post(w3);
+  }
+  engine_.run_until(1.0);
+
+  // Consult the child: it has no destination, so it escalates; the parent
+  // finds ws3 and commands ws2's commander.
+  xmlproto::ConsultMsg consult;
+  consult.host = "ws2";
+  consult.reason = "overloaded";
+  net::Message w4;
+  w4.src_host = "ws2";
+  w4.dst_host = "ws2";
+  w4.dst_port = child.port();
+  w4.payload = xmlproto::encode(xmlproto::ProtocolMessage{consult});
+  net_.post(w4);
+  engine_.run_until(3.0);
+
+  ASSERT_FALSE(child.decisions().empty());
+  EXPECT_TRUE(child.decisions()[0].escalated);
+  auto wire = src_commander.inbox.try_recv();
+  ASSERT_TRUE(wire.has_value());
+  const auto message = xmlproto::decode(wire->payload);
+  ASSERT_TRUE(message.has_value());
+  const auto* command = std::get_if<xmlproto::MigrateCmd>(&*message);
+  ASSERT_NE(command, nullptr);
+  EXPECT_EQ(command->dest_host, "ws3");
+}
+
+}  // namespace
+}  // namespace ars::registry

@@ -1,0 +1,196 @@
+#include "ars/rules/engine.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ars::rules {
+namespace {
+
+TEST(StateTable, Table1Semantics) {
+  // Paper Table 1: System State Description.
+  EXPECT_FALSE(actions_for(SystemState::kFree).loaded);
+  EXPECT_TRUE(actions_for(SystemState::kFree).migrate_in);
+  EXPECT_FALSE(actions_for(SystemState::kFree).migrate_out);
+
+  EXPECT_TRUE(actions_for(SystemState::kBusy).loaded);
+  EXPECT_FALSE(actions_for(SystemState::kBusy).migrate_in);
+  EXPECT_FALSE(actions_for(SystemState::kBusy).migrate_out);
+
+  EXPECT_TRUE(actions_for(SystemState::kOverloaded).loaded);
+  EXPECT_FALSE(actions_for(SystemState::kOverloaded).migrate_in);
+  EXPECT_TRUE(actions_for(SystemState::kOverloaded).migrate_out);
+}
+
+TEST(StateMapping, SeverityRoundTrip) {
+  EXPECT_EQ(state_from_severity(severity(SystemState::kFree)),
+            SystemState::kFree);
+  EXPECT_EQ(state_from_severity(severity(SystemState::kBusy)),
+            SystemState::kBusy);
+  EXPECT_EQ(state_from_severity(severity(SystemState::kOverloaded)),
+            SystemState::kOverloaded);
+}
+
+TEST(StateMapping, Thresholds) {
+  EXPECT_EQ(state_from_severity(0.49), SystemState::kFree);
+  EXPECT_EQ(state_from_severity(0.5), SystemState::kBusy);
+  EXPECT_EQ(state_from_severity(1.49), SystemState::kBusy);
+  EXPECT_EQ(state_from_severity(1.5), SystemState::kOverloaded);
+}
+
+TEST(StateNames, RoundTrip) {
+  for (const SystemState s :
+       {SystemState::kFree, SystemState::kBusy, SystemState::kOverloaded,
+        SystemState::kUnavailable}) {
+    const auto parsed = state_from_string(to_string(s));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, s);
+  }
+  EXPECT_FALSE(state_from_string("loaded").has_value());
+}
+
+class EngineFigure3Test : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto engine = RuleEngine::from_text(paper_figure3_text());
+    ASSERT_TRUE(engine.has_value()) << engine.error().to_string();
+    engine_ = std::make_unique<RuleEngine>(std::move(*engine));
+  }
+
+  std::unique_ptr<RuleEngine> engine_;
+  MapSensorSource sensors_;
+};
+
+TEST_F(EngineFigure3Test, Rule1ProcessorStatusBands) {
+  // Paper: idle < 45 -> overloaded; 45 <= idle < 50 -> busy; else free.
+  sensors_.set("processorStatus.sh", 44.0);
+  EXPECT_EQ(*engine_->evaluate(1, sensors_), SystemState::kOverloaded);
+  sensors_.set("processorStatus.sh", 47.0);
+  EXPECT_EQ(*engine_->evaluate(1, sensors_), SystemState::kBusy);
+  sensors_.set("processorStatus.sh", 50.0);
+  EXPECT_EQ(*engine_->evaluate(1, sensors_), SystemState::kFree);
+  sensors_.set("processorStatus.sh", 95.0);
+  EXPECT_EQ(*engine_->evaluate(1, sensors_), SystemState::kFree);
+}
+
+TEST_F(EngineFigure3Test, Rule2SocketBands) {
+  // Paper: sockets > 900 -> overloaded; > 700 -> busy; else free.
+  sensors_.set("ntStatIpv4.sh", "ESTABLISHED", 901.0);
+  EXPECT_EQ(*engine_->evaluate(2, sensors_), SystemState::kOverloaded);
+  sensors_.set("ntStatIpv4.sh", "ESTABLISHED", 800.0);
+  EXPECT_EQ(*engine_->evaluate(2, sensors_), SystemState::kBusy);
+  sensors_.set("ntStatIpv4.sh", "ESTABLISHED", 700.0);
+  EXPECT_EQ(*engine_->evaluate(2, sensors_), SystemState::kFree);
+}
+
+TEST_F(EngineFigure3Test, EvaluateAllTakesWorstState) {
+  sensors_.set("processorStatus.sh", 95.0);               // free
+  sensors_.set("ntStatIpv4.sh", "ESTABLISHED", 950.0);    // overloaded
+  EXPECT_EQ(*engine_->evaluate_all(sensors_), SystemState::kOverloaded);
+  sensors_.set("ntStatIpv4.sh", "ESTABLISHED", 10.0);     // free
+  EXPECT_EQ(*engine_->evaluate_all(sensors_), SystemState::kFree);
+}
+
+TEST_F(EngineFigure3Test, MissingSensorIsAnError) {
+  const auto result = engine_->evaluate(1, sensors_);
+  EXPECT_FALSE(result.has_value());
+}
+
+TEST(EngineComplex, PaperFigure4EndToEnd) {
+  // Rules 1-4 simple (scripts s1..s4 with > thresholds at 1/2), rule 5 the
+  // verbatim Figure 4 expression.
+  const std::string text =
+      "rl_number: 1\nrl_name: a\nrl_type: simple\nrl_script: s1\n"
+      "rl_operator: >\nrl_busy: 1\nrl_overLd: 2\n"
+      "rl_number: 2\nrl_name: b\nrl_type: simple\nrl_script: s2\n"
+      "rl_operator: >\nrl_busy: 1\nrl_overLd: 2\n"
+      "rl_number: 3\nrl_name: c\nrl_type: simple\nrl_script: s3\n"
+      "rl_operator: >\nrl_busy: 1\nrl_overLd: 2\n"
+      "rl_number: 4\nrl_name: d\nrl_type: simple\nrl_script: s4\n"
+      "rl_operator: >\nrl_busy: 1\nrl_overLd: 2\n"
+      "rl_number: 5\nrl_name: cmp_rule\nrl_type: complex\n"
+      "rl_ruleNo: 4 1 3 2\n"
+      "rl_script: ( 40% * r_4 + 30% * r1 + 30% * r3 ) & r2\n";
+  auto engine = RuleEngine::from_text(text);
+  ASSERT_TRUE(engine.has_value()) << engine.error().to_string();
+
+  MapSensorSource sensors;
+  // Everything busy (value 1.5: > busy threshold 1, not > overld 2).
+  for (const char* s : {"s1", "s2", "s3", "s4"}) {
+    sensors.set(s, 1.5);
+  }
+  EXPECT_EQ(*engine->evaluate(5, sensors), SystemState::kBusy);
+
+  // Combination overloaded but r2 only busy -> busy (paper's wording).
+  for (const char* s : {"s1", "s3", "s4"}) {
+    sensors.set(s, 3.0);
+  }
+  EXPECT_EQ(*engine->evaluate(5, sensors), SystemState::kBusy);
+
+  // r2 overloaded too -> overloaded.
+  sensors.set("s2", 3.0);
+  EXPECT_EQ(*engine->evaluate(5, sensors), SystemState::kOverloaded);
+
+  // r2 free gates everything down to free.
+  sensors.set("s2", 0.5);
+  EXPECT_EQ(*engine->evaluate(5, sensors), SystemState::kFree);
+
+  // Rule 5 is the only top-level rule (1-4 are referenced by it).
+  EXPECT_EQ(engine->top_level_rules(), (std::vector<int>{5}));
+}
+
+TEST(EngineValidation, RejectsDanglingReference) {
+  const std::string text =
+      "rl_number: 5\nrl_name: c\nrl_type: complex\nrl_script: r1 & r2\n";
+  EXPECT_FALSE(RuleEngine::from_text(text).has_value());
+}
+
+TEST(EngineValidation, RejectsDuplicateNumbers) {
+  const std::string text =
+      "rl_number: 1\nrl_name: a\nrl_type: simple\nrl_script: s\n"
+      "rl_operator: >\nrl_busy: 1\nrl_overLd: 2\n"
+      "rl_number: 1\nrl_name: b\nrl_type: simple\nrl_script: s\n"
+      "rl_operator: >\nrl_busy: 1\nrl_overLd: 2\n";
+  EXPECT_FALSE(RuleEngine::from_text(text).has_value());
+}
+
+TEST(EngineValidation, RejectsCyclicRules) {
+  const std::string text =
+      "rl_number: 1\nrl_name: a\nrl_type: complex\nrl_script: r2\n"
+      "rl_number: 2\nrl_name: b\nrl_type: complex\nrl_script: r1\n";
+  EXPECT_FALSE(RuleEngine::from_text(text).has_value());
+}
+
+TEST(EngineValidation, RejectsBadExpression) {
+  const std::string text =
+      "rl_number: 1\nrl_name: a\nrl_type: complex\nrl_script: r1 +\n";
+  EXPECT_FALSE(RuleEngine::from_text(text).has_value());
+}
+
+TEST(EngineOptions, CustomThresholdsChangeMapping) {
+  const std::string text =
+      "rl_number: 1\nrl_name: a\nrl_type: simple\nrl_script: s1\n"
+      "rl_operator: >\nrl_busy: 1\nrl_overLd: 2\n"
+      "rl_number: 5\nrl_name: c\nrl_type: complex\nrl_script: 60% * r1\n";
+  RuleEngine::Options strict;
+  strict.busy_threshold = 0.4;
+  strict.overld_threshold = 1.1;
+  auto engine = RuleEngine::from_text(text, strict);
+  ASSERT_TRUE(engine.has_value());
+  MapSensorSource sensors;
+  sensors.set("s1", 3.0);  // rule 1 overloaded -> 0.6 * 2 = 1.2 >= 1.1
+  EXPECT_EQ(*engine->evaluate(5, sensors), SystemState::kOverloaded);
+}
+
+TEST(MapSensorSourceTest, ParamKeyedLookup) {
+  MapSensorSource sensors;
+  sensors.set("netstat.sh", "ESTABLISHED", 10.0);
+  sensors.set("netstat.sh", "TIME_WAIT", 99.0);
+  EXPECT_DOUBLE_EQ(*sensors.sample("netstat.sh", "ESTABLISHED"), 10.0);
+  EXPECT_DOUBLE_EQ(*sensors.sample("netstat.sh", "TIME_WAIT"), 99.0);
+  // Bare-script fallback.
+  sensors.set("vmstat.sh", 50.0);
+  EXPECT_DOUBLE_EQ(*sensors.sample("vmstat.sh", "ignored"), 50.0);
+  EXPECT_FALSE(sensors.sample("nosuch.sh", "").has_value());
+}
+
+}  // namespace
+}  // namespace ars::rules

@@ -1,0 +1,142 @@
+#include "ars/rules/expr.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace ars::rules {
+namespace {
+
+using support::Expected;
+
+std::function<Expected<double>(int)> table(std::map<int, double> values) {
+  return [values = std::move(values)](int number) -> Expected<double> {
+    const auto it = values.find(number);
+    if (it == values.end()) {
+      return support::make_error("test", "no rule r" + std::to_string(number));
+    }
+    return it->second;
+  };
+}
+
+double eval(const std::string& text, std::map<int, double> values) {
+  const auto expr = parse_expr(text);
+  EXPECT_TRUE(expr.has_value()) << text << ": "
+                                << (expr.has_value()
+                                        ? ""
+                                        : expr.error().to_string());
+  const auto result = (*expr)->evaluate(table(std::move(values)));
+  EXPECT_TRUE(result.has_value());
+  return *result;
+}
+
+TEST(Expr, SingleRuleRef) {
+  EXPECT_DOUBLE_EQ(eval("r1", {{1, 2.0}}), 2.0);
+  EXPECT_DOUBLE_EQ(eval("r_1", {{1, 1.0}}), 1.0);
+  EXPECT_DOUBLE_EQ(eval("R7", {{7, 0.0}}), 0.0);
+}
+
+TEST(Expr, PercentIsDividedBy100) {
+  EXPECT_DOUBLE_EQ(eval("40% * r1", {{1, 2.0}}), 0.8);
+  EXPECT_DOUBLE_EQ(eval("100% * r1", {{1, 1.0}}), 1.0);
+}
+
+TEST(Expr, PlainNumbersWork) {
+  EXPECT_DOUBLE_EQ(eval("0.5 * r1", {{1, 2.0}}), 1.0);
+  EXPECT_DOUBLE_EQ(eval("2 * r1", {{1, 1.0}}), 2.0);
+}
+
+TEST(Expr, WeightedSum) {
+  // All three rules busy -> exactly 1.0 (busy).
+  EXPECT_DOUBLE_EQ(eval("40% * r4 + 30% * r1 + 30% * r3",
+                        {{4, 1.0}, {1, 1.0}, {3, 1.0}}),
+                   1.0);
+  // All overloaded -> 2.0.
+  EXPECT_DOUBLE_EQ(eval("40% * r4 + 30% * r1 + 30% * r3",
+                        {{4, 2.0}, {1, 2.0}, {3, 2.0}}),
+                   2.0);
+}
+
+TEST(Expr, AndIsMinSeverity) {
+  EXPECT_DOUBLE_EQ(eval("r1 & r2", {{1, 1.0}, {2, 1.0}}), 1.0);
+  EXPECT_DOUBLE_EQ(eval("r1 & r2", {{1, 1.0}, {2, 2.0}}), 1.0);
+  EXPECT_DOUBLE_EQ(eval("r1 & r2", {{1, 0.0}, {2, 2.0}}), 0.0);
+}
+
+TEST(Expr, OrIsMaxSeverity) {
+  EXPECT_DOUBLE_EQ(eval("r1 | r2", {{1, 0.0}, {2, 2.0}}), 2.0);
+  EXPECT_DOUBLE_EQ(eval("r1 | r2", {{1, 1.0}, {2, 0.0}}), 1.0);
+}
+
+TEST(Expr, PaperFigure4Expression) {
+  const std::string figure4 = "( 40% * r_4 + 30% * r1 + 30% * r3 ) & r2";
+  // Combination busy and r2 busy -> busy (1.0).
+  EXPECT_DOUBLE_EQ(eval(figure4, {{4, 1.0}, {1, 1.0}, {3, 1.0}, {2, 1.0}}),
+                   1.0);
+  // Combination overloaded, r2 busy -> busy (min).
+  EXPECT_DOUBLE_EQ(eval(figure4, {{4, 2.0}, {1, 2.0}, {3, 2.0}, {2, 1.0}}),
+                   1.0);
+  // Both overloaded -> overloaded.
+  EXPECT_DOUBLE_EQ(eval(figure4, {{4, 2.0}, {1, 2.0}, {3, 2.0}, {2, 2.0}}),
+                   2.0);
+  // r2 free dominates the min -> free.
+  EXPECT_DOUBLE_EQ(eval(figure4, {{4, 2.0}, {1, 2.0}, {3, 2.0}, {2, 0.0}}),
+                   0.0);
+}
+
+TEST(Expr, PrecedenceAndBindsLooserThanPlus) {
+  // r1 + r2 & r3 parses as (r1 + r2) & r3.
+  EXPECT_DOUBLE_EQ(eval("r1 + r2 & r3", {{1, 1.0}, {2, 1.0}, {3, 0.5}}), 0.5);
+}
+
+TEST(Expr, PrecedenceOrBindsLooserThanAnd) {
+  // r1 | r2 & r3 parses as r1 | (r2 & r3).
+  EXPECT_DOUBLE_EQ(eval("r1 | r2 & r3", {{1, 2.0}, {2, 0.0}, {3, 1.0}}), 2.0);
+}
+
+TEST(Expr, ParenthesesOverridePrecedence) {
+  EXPECT_DOUBLE_EQ(eval("(r1 | r2) & r3", {{1, 2.0}, {2, 0.0}, {3, 1.0}}),
+                   1.0);
+}
+
+TEST(Expr, CollectRefs) {
+  const auto expr = parse_expr("( 40% * r_4 + 30% * r1 + 30% * r3 ) & r2");
+  ASSERT_TRUE(expr.has_value());
+  std::set<int> refs;
+  (*expr)->collect_refs(refs);
+  EXPECT_EQ(refs, (std::set<int>{1, 2, 3, 4}));
+}
+
+TEST(Expr, ToStringReparses) {
+  const auto expr = parse_expr("( 40% * r_4 + 30% * r1 ) & r2 | r3");
+  ASSERT_TRUE(expr.has_value());
+  const std::string text = (*expr)->to_string();
+  const auto reparsed = parse_expr(text);
+  ASSERT_TRUE(reparsed.has_value()) << text;
+  const auto values = std::map<int, double>{{4, 2.0}, {1, 1.0}, {2, 1.0},
+                                            {3, 0.0}};
+  EXPECT_DOUBLE_EQ(*(*expr)->evaluate(table(values)),
+                   *(*reparsed)->evaluate(table(values)));
+}
+
+TEST(Expr, LookupFailurePropagates) {
+  const auto expr = parse_expr("r1 & r99");
+  ASSERT_TRUE(expr.has_value());
+  const auto result = (*expr)->evaluate(table({{1, 1.0}}));
+  EXPECT_FALSE(result.has_value());
+}
+
+TEST(Expr, RejectsMalformedInput) {
+  EXPECT_FALSE(parse_expr("").has_value());
+  EXPECT_FALSE(parse_expr("r").has_value());
+  EXPECT_FALSE(parse_expr("r_").has_value());
+  EXPECT_FALSE(parse_expr("(r1").has_value());
+  EXPECT_FALSE(parse_expr("r1 +").has_value());
+  EXPECT_FALSE(parse_expr("r1 r2").has_value());
+  EXPECT_FALSE(parse_expr("* r1").has_value());
+  EXPECT_FALSE(parse_expr("r1 $ r2").has_value());
+  EXPECT_FALSE(parse_expr("40%% * r1").has_value());
+}
+
+}  // namespace
+}  // namespace ars::rules

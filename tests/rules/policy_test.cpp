@@ -1,0 +1,168 @@
+#include "ars/rules/policy.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ars::rules {
+namespace {
+
+using xmlproto::DynamicStatus;
+
+DynamicStatus idle_host() {
+  DynamicStatus s;
+  s.load1 = 0.2;
+  s.processes = 60;
+  s.net_in_bps = 1.0e3;
+  s.net_out_bps = 1.0e3;
+  return s;
+}
+
+TEST(MetricNames, RoundTrip) {
+  for (const Metric m :
+       {Metric::kLoad1, Metric::kLoad5, Metric::kCpuUtil, Metric::kProcesses,
+        Metric::kMemAvailablePct, Metric::kDiskAvailable, Metric::kNetIn,
+        Metric::kNetOut, Metric::kNetFlow, Metric::kSockets}) {
+    const auto parsed = metric_from_string(to_string(m));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, m);
+  }
+  EXPECT_FALSE(metric_from_string("gpu_util").has_value());
+}
+
+TEST(MetricValues, ReadFromStatus) {
+  DynamicStatus s;
+  s.load1 = 2.52;
+  s.load5 = 1.0;
+  s.cpu_util = 0.97;
+  s.processes = 151;
+  s.mem_available_pct = 33.0;
+  s.disk_available = 4096;
+  s.net_in_bps = 6.71e6;
+  s.net_out_bps = 7.78e6;
+  s.sockets_established = 42;
+  EXPECT_DOUBLE_EQ(metric_value(s, Metric::kLoad1), 2.52);
+  EXPECT_DOUBLE_EQ(metric_value(s, Metric::kProcesses), 151.0);
+  EXPECT_DOUBLE_EQ(metric_value(s, Metric::kNetFlow), 7.78e6);
+  EXPECT_DOUBLE_EQ(metric_value(s, Metric::kSockets), 42.0);
+  EXPECT_DOUBLE_EQ(metric_value(s, Metric::kDiskAvailable), 4096.0);
+}
+
+TEST(Policy1, NeverOffloads) {
+  const MigrationPolicy policy = paper_policy1();
+  DynamicStatus s = idle_host();
+  s.load1 = 99.0;
+  s.processes = 9999;
+  EXPECT_FALSE(policy.should_offload(s));
+  // And it accepts any destination trivially (no conditions).
+  EXPECT_TRUE(policy.accepts_destination(idle_host()));
+}
+
+TEST(Policy2, TriggersOnLoadOrProcessCount) {
+  const MigrationPolicy policy = paper_policy2();
+  DynamicStatus s = idle_host();
+  EXPECT_FALSE(policy.should_offload(s));
+  s.load1 = 2.1;
+  EXPECT_TRUE(policy.should_offload(s));
+  s.load1 = 0.2;
+  s.processes = 151;
+  EXPECT_TRUE(policy.should_offload(s));
+}
+
+TEST(Policy2, DestinationRequiresAllConditions) {
+  const MigrationPolicy policy = paper_policy2();
+  DynamicStatus dest = idle_host();
+  dest.load1 = 0.97;  // the paper's 2nd workstation: below the threshold
+  dest.processes = 90;
+  EXPECT_TRUE(policy.accepts_destination(dest));
+  dest.load1 = 1.0;  // not < 1
+  EXPECT_FALSE(policy.accepts_destination(dest));
+  dest.load1 = 0.5;
+  dest.processes = 100;  // not < 100
+  EXPECT_FALSE(policy.accepts_destination(dest));
+}
+
+TEST(Policy2, IgnoresCommunication) {
+  const MigrationPolicy policy = paper_policy2();
+  DynamicStatus dest = idle_host();
+  dest.load1 = 0.97;
+  dest.net_in_bps = 7.0e6;  // busy in communication — policy 2 cannot see it
+  dest.net_out_bps = 7.0e6;
+  EXPECT_TRUE(policy.accepts_destination(dest));
+}
+
+TEST(Policy3, RejectsCommBusyDestination) {
+  const MigrationPolicy policy = paper_policy3();
+  DynamicStatus dest = idle_host();
+  dest.load1 = 0.97;
+  dest.net_in_bps = 7.0e6;  // > 3 MB/s
+  EXPECT_FALSE(policy.accepts_destination(dest));
+  dest.net_in_bps = 2.0e6;
+  dest.net_out_bps = 2.5e6;
+  EXPECT_TRUE(policy.accepts_destination(dest));
+}
+
+TEST(Policy3, SourceGateBlocksWhenNicSaturated) {
+  const MigrationPolicy policy = paper_policy3();
+  DynamicStatus s = idle_host();
+  s.load1 = 3.0;  // triggered
+  s.net_out_bps = 6.0e6;  // > 5 MB/s gate
+  EXPECT_FALSE(policy.should_offload(s));
+  s.net_out_bps = 4.0e6;
+  EXPECT_TRUE(policy.should_offload(s));
+}
+
+TEST(PolicyParse, RoundTripThroughText) {
+  const MigrationPolicy policy = paper_policy3();
+  const auto reparsed = parse_policy(policy.to_text());
+  ASSERT_TRUE(reparsed.has_value()) << reparsed.error().to_string();
+  EXPECT_EQ(reparsed->name(), "policy3");
+  EXPECT_EQ(reparsed->triggers().size(), 2U);
+  EXPECT_EQ(reparsed->source_gates().size(), 1U);
+  EXPECT_EQ(reparsed->dest_conditions().size(), 3U);
+  DynamicStatus s = idle_host();
+  s.processes = 200;
+  EXPECT_EQ(reparsed->should_offload(s), policy.should_offload(s));
+}
+
+TEST(PolicyParse, FullDocument) {
+  const auto policy = parse_policy(
+      "# demo policy\n"
+      "policy: demo\n"
+      "trigger: load1 > 2\n"
+      "gate: net_flow <= 5000000\n"
+      "dest: load1 < 1\n"
+      "freq_free: 12\n"
+      "freq_busy: 8\n"
+      "freq_overloaded: 4\n"
+      "warmup: 72\n");
+  ASSERT_TRUE(policy.has_value()) << policy.error().to_string();
+  EXPECT_EQ(policy->name(), "demo");
+  EXPECT_DOUBLE_EQ(policy->frequencies().free, 12.0);
+  EXPECT_DOUBLE_EQ(policy->frequencies().busy, 8.0);
+  EXPECT_DOUBLE_EQ(policy->frequencies().overloaded, 4.0);
+  EXPECT_DOUBLE_EQ(policy->warmup(), 72.0);
+}
+
+TEST(PolicyParse, RejectsMalformedInput) {
+  EXPECT_FALSE(parse_policy("").has_value());
+  EXPECT_FALSE(parse_policy("trigger: load1 > 2\n").has_value());  // no name
+  EXPECT_FALSE(parse_policy("policy: p\ntrigger: load1 >\n").has_value());
+  EXPECT_FALSE(parse_policy("policy: p\ntrigger: bogus > 2\n").has_value());
+  EXPECT_FALSE(parse_policy("policy: p\ntrigger: load1 ~ 2\n").has_value());
+  EXPECT_FALSE(parse_policy("policy: p\nfreq_free: -1\n").has_value());
+  EXPECT_FALSE(parse_policy("policy: p\nunknown: x\n").has_value());
+  EXPECT_FALSE(parse_policy("policy: p\nno colon\n").has_value());
+}
+
+TEST(PolicyDefaults, FrequenciesMatchPaperSetup) {
+  const MigrationPolicy policy = paper_policy2();
+  // The paper samples performance data every 10 s.
+  EXPECT_DOUBLE_EQ(policy.frequencies().free, 10.0);
+  EXPECT_DOUBLE_EQ(policy.frequencies().busy, 10.0);
+  // Overloaded hosts are watched more closely.
+  EXPECT_LE(policy.frequencies().overloaded, 10.0);
+  // ~72 s of sustained overload before the trigger fires (§5.2).
+  EXPECT_GT(policy.warmup(), 0.0);
+}
+
+}  // namespace
+}  // namespace ars::rules

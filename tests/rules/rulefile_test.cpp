@@ -1,0 +1,114 @@
+#include "ars/rules/rulefile.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ars::rules {
+namespace {
+
+TEST(RuleFile, ParsesPaperFigure3) {
+  const auto rules = parse_rule_file(paper_figure3_text());
+  ASSERT_TRUE(rules.has_value()) << rules.error().to_string();
+  ASSERT_EQ(rules->size(), 2U);
+
+  const RuleSpec& r1 = (*rules)[0];
+  EXPECT_EQ(r1.number, 1);
+  EXPECT_EQ(r1.name, "processorStatus");
+  EXPECT_EQ(r1.kind, RuleKind::kSimple);
+  EXPECT_EQ(r1.script, "processorStatus.sh");
+  EXPECT_EQ(r1.op, CompareOp::kLess);
+  EXPECT_TRUE(r1.param.empty());
+  EXPECT_DOUBLE_EQ(r1.busy, 50.0);
+  EXPECT_DOUBLE_EQ(r1.overld, 45.0);
+
+  const RuleSpec& r2 = (*rules)[1];
+  EXPECT_EQ(r2.number, 2);
+  EXPECT_EQ(r2.name, "ntStatIpv4");
+  EXPECT_EQ(r2.op, CompareOp::kGreater);
+  EXPECT_EQ(r2.param, "ESTABLISHED");
+  EXPECT_DOUBLE_EQ(r2.busy, 700.0);
+  EXPECT_DOUBLE_EQ(r2.overld, 900.0);
+}
+
+TEST(RuleFile, ParsesPaperFigure4ComplexRule) {
+  const auto rules = parse_rule_file(paper_figure4_text());
+  ASSERT_TRUE(rules.has_value()) << rules.error().to_string();
+  ASSERT_EQ(rules->size(), 1U);
+  const RuleSpec& r5 = (*rules)[0];
+  EXPECT_EQ(r5.number, 5);
+  EXPECT_EQ(r5.name, "cmp_rule");
+  EXPECT_EQ(r5.kind, RuleKind::kComplex);
+  EXPECT_EQ(r5.rule_numbers, (std::vector<int>{4, 1, 3, 2}));
+  EXPECT_EQ(r5.script, "( 40% * r_4 + 30% * r1 + 30% * r3 ) & r2");
+}
+
+TEST(RuleFile, RoundTripsThroughWriter) {
+  const auto rules = parse_rule_file(paper_figure3_text());
+  ASSERT_TRUE(rules.has_value());
+  const std::string rendered = to_rule_file(*rules);
+  const auto reparsed = parse_rule_file(rendered);
+  ASSERT_TRUE(reparsed.has_value()) << reparsed.error().to_string();
+  ASSERT_EQ(reparsed->size(), rules->size());
+  for (std::size_t i = 0; i < rules->size(); ++i) {
+    EXPECT_EQ((*reparsed)[i].number, (*rules)[i].number);
+    EXPECT_EQ((*reparsed)[i].name, (*rules)[i].name);
+    EXPECT_EQ((*reparsed)[i].script, (*rules)[i].script);
+    EXPECT_DOUBLE_EQ((*reparsed)[i].busy, (*rules)[i].busy);
+    EXPECT_DOUBLE_EQ((*reparsed)[i].overld, (*rules)[i].overld);
+  }
+}
+
+TEST(RuleFile, CommentsAndBlankLinesIgnored) {
+  const auto rules = parse_rule_file(
+      "# leading comment\n\nrl_number: 7\nrl_name: x\nrl_type: simple\n"
+      "rl_script: x.sh\nrl_operator: >\nrl_busy: 1\nrl_overLd: 2\n# done\n");
+  ASSERT_TRUE(rules.has_value()) << rules.error().to_string();
+  EXPECT_EQ((*rules)[0].number, 7);
+}
+
+TEST(RuleFile, RejectsMissingMandatoryKeys) {
+  // Simple rule without thresholds.
+  EXPECT_FALSE(parse_rule_file("rl_number: 1\nrl_name: x\nrl_type: simple\n"
+                               "rl_script: x.sh\nrl_operator: >\n")
+                   .has_value());
+  // Missing script.
+  EXPECT_FALSE(parse_rule_file("rl_number: 1\nrl_name: x\nrl_type: simple\n"
+                               "rl_operator: >\nrl_busy: 1\nrl_overLd: 2\n")
+                   .has_value());
+  // Missing name.
+  EXPECT_FALSE(parse_rule_file("rl_number: 1\nrl_type: simple\n"
+                               "rl_script: x.sh\nrl_operator: >\n"
+                               "rl_busy: 1\nrl_overLd: 2\n")
+                   .has_value());
+}
+
+TEST(RuleFile, RejectsMalformedInput) {
+  EXPECT_FALSE(parse_rule_file("").has_value());
+  EXPECT_FALSE(parse_rule_file("rl_name: before-number\n").has_value());
+  EXPECT_FALSE(parse_rule_file("rl_number: NaN\n").has_value());
+  EXPECT_FALSE(parse_rule_file("rl_number: 1\nrl_bogus: x\n").has_value());
+  EXPECT_FALSE(parse_rule_file("no colon line\n").has_value());
+  EXPECT_FALSE(
+      parse_rule_file("rl_number: 1\nrl_type: quantum\n").has_value());
+}
+
+TEST(RuleFile, ComplexRuleNeedsNoThresholds) {
+  const auto rules = parse_rule_file(
+      "rl_number: 9\nrl_name: c\nrl_type: complex\nrl_script: r1 & r2\n");
+  ASSERT_TRUE(rules.has_value()) << rules.error().to_string();
+  EXPECT_EQ((*rules)[0].kind, RuleKind::kComplex);
+}
+
+TEST(CompareOps, ParseAndApply) {
+  EXPECT_TRUE(apply(CompareOp::kLess, 1.0, 2.0));
+  EXPECT_FALSE(apply(CompareOp::kLess, 2.0, 2.0));
+  EXPECT_TRUE(apply(CompareOp::kLessEqual, 2.0, 2.0));
+  EXPECT_TRUE(apply(CompareOp::kGreater, 3.0, 2.0));
+  EXPECT_TRUE(apply(CompareOp::kGreaterEqual, 2.0, 2.0));
+  EXPECT_TRUE(compare_op_from_string(" < ").has_value());
+  EXPECT_TRUE(compare_op_from_string(">=").has_value());
+  EXPECT_FALSE(compare_op_from_string("!=").has_value());
+  EXPECT_FALSE(compare_op_from_string("").has_value());
+}
+
+}  // namespace
+}  // namespace ars::rules

@@ -1,0 +1,157 @@
+#include "ars/sim/channel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace ars::sim {
+namespace {
+
+TEST(Channel, SendThenRecv) {
+  Engine engine;
+  Channel<int> channel{engine};
+  channel.send(7);
+  int got = 0;
+  auto reader = [](Channel<int>& ch, int& out) -> Task<> {
+    out = co_await ch.recv();
+  };
+  Fiber::spawn(engine, reader(channel, got));
+  engine.run();
+  EXPECT_EQ(got, 7);
+}
+
+TEST(Channel, RecvBlocksUntilSend) {
+  Engine engine;
+  Channel<int> channel{engine};
+  double recv_time = -1.0;
+  auto reader = [](Channel<int>& ch, Engine& e, double& out) -> Task<> {
+    (void)co_await ch.recv();
+    out = e.now();
+  };
+  Fiber::spawn(engine, reader(channel, engine, recv_time));
+  engine.schedule_at(4.0, [&] { channel.send(1); });
+  engine.run();
+  EXPECT_DOUBLE_EQ(recv_time, 4.0);
+}
+
+TEST(Channel, PreservesFifoOrder) {
+  Engine engine;
+  Channel<int> channel{engine};
+  std::vector<int> got;
+  auto reader = [](Channel<int>& ch, std::vector<int>& out) -> Task<> {
+    for (int i = 0; i < 5; ++i) {
+      out.push_back(co_await ch.recv());
+    }
+  };
+  Fiber::spawn(engine, reader(channel, got));
+  for (int i = 0; i < 5; ++i) {
+    channel.send(i);
+  }
+  engine.run();
+  EXPECT_EQ(got, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Channel, TwoReadersShareItems) {
+  Engine engine;
+  Channel<int> channel{engine};
+  std::vector<int> got;
+  auto reader = [](Channel<int>& ch, std::vector<int>& out) -> Task<> {
+    out.push_back(co_await ch.recv());
+  };
+  Fiber::spawn(engine, reader(channel, got));
+  Fiber::spawn(engine, reader(channel, got));
+  engine.schedule_at(1.0, [&] {
+    channel.send(10);
+    channel.send(20);
+  });
+  engine.run();
+  ASSERT_EQ(got.size(), 2U);
+  EXPECT_EQ(got[0] + got[1], 30);
+}
+
+TEST(Channel, CloseDrainsThenThrows) {
+  Engine engine;
+  Channel<std::string> channel{engine};
+  channel.send("last");
+  channel.close();
+  std::vector<std::string> events;
+  auto reader = [](Channel<std::string>& ch,
+                   std::vector<std::string>& out) -> Task<> {
+    out.push_back(co_await ch.recv());
+    try {
+      (void)co_await ch.recv();
+    } catch (const ChannelClosed&) {
+      out.push_back("<closed>");
+    }
+  };
+  Fiber::spawn(engine, reader(channel, events));
+  engine.run();
+  EXPECT_EQ(events, (std::vector<std::string>{"last", "<closed>"}));
+}
+
+TEST(Channel, CloseWakesBlockedReceiver) {
+  Engine engine;
+  Channel<int> channel{engine};
+  bool saw_close = false;
+  auto reader = [](Channel<int>& ch, bool& flag) -> Task<> {
+    const auto item = co_await ch.recv_opt();
+    flag = !item.has_value();
+  };
+  Fiber::spawn(engine, reader(channel, saw_close));
+  engine.schedule_at(2.0, [&] { channel.close(); });
+  engine.run();
+  EXPECT_TRUE(saw_close);
+}
+
+TEST(Channel, SendAfterCloseThrows) {
+  Engine engine;
+  Channel<int> channel{engine};
+  channel.close();
+  EXPECT_THROW(channel.send(1), ChannelClosed);
+}
+
+TEST(Channel, TryRecvDoesNotBlock) {
+  Engine engine;
+  Channel<int> channel{engine};
+  EXPECT_FALSE(channel.try_recv().has_value());
+  channel.send(5);
+  const auto item = channel.try_recv();
+  ASSERT_TRUE(item.has_value());
+  EXPECT_EQ(*item, 5);
+  EXPECT_TRUE(channel.empty());
+}
+
+TEST(Channel, RecvOptReturnsValues) {
+  Engine engine;
+  Channel<int> channel{engine};
+  channel.send(9);
+  std::optional<int> got;
+  auto reader = [](Channel<int>& ch, std::optional<int>& out) -> Task<> {
+    out = co_await ch.recv_opt();
+  };
+  Fiber::spawn(engine, reader(channel, got));
+  engine.run();
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, 9);
+}
+
+TEST(Channel, KilledReceiverDoesNotConsume) {
+  Engine engine;
+  Channel<int> channel{engine};
+  auto reader = [](Channel<int>& ch) -> Task<> { (void)co_await ch.recv(); };
+  Fiber blocked = Fiber::spawn(engine, reader(channel));
+  engine.run_until(1.0);
+  blocked.kill();
+  channel.send(42);
+  int got = 0;
+  auto reader2 = [](Channel<int>& ch, int& out) -> Task<> {
+    out = co_await ch.recv();
+  };
+  Fiber::spawn(engine, reader2(channel, got));
+  engine.run();
+  EXPECT_EQ(got, 42);
+}
+
+}  // namespace
+}  // namespace ars::sim

@@ -1,0 +1,283 @@
+#include "ars/sim/task.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "ars/sim/wait.hpp"
+
+namespace ars::sim {
+namespace {
+
+TEST(Fiber, RunsToCompletion) {
+  Engine engine;
+  bool ran = false;
+  auto body = [](Engine& e, bool& flag) -> Task<> {
+    co_await delay(e, 1.0);
+    flag = true;
+  };
+  Fiber fiber = Fiber::spawn(engine, body(engine, ran), "t");
+  EXPECT_FALSE(fiber.done());
+  engine.run();
+  EXPECT_TRUE(ran);
+  EXPECT_TRUE(fiber.done());
+  EXPECT_FALSE(fiber.failed());
+}
+
+TEST(Fiber, DelayAdvancesVirtualTime) {
+  Engine engine;
+  std::vector<double> stamps;
+  auto body = [](Engine& e, std::vector<double>& out) -> Task<> {
+    out.push_back(e.now());
+    co_await delay(e, 2.5);
+    out.push_back(e.now());
+    co_await delay(e, 0.5);
+    out.push_back(e.now());
+  };
+  Fiber::spawn(engine, body(engine, stamps));
+  engine.run();
+  ASSERT_EQ(stamps.size(), 3U);
+  EXPECT_DOUBLE_EQ(stamps[0], 0.0);
+  EXPECT_DOUBLE_EQ(stamps[1], 2.5);
+  EXPECT_DOUBLE_EQ(stamps[2], 3.0);
+}
+
+TEST(Fiber, NestedTasksPropagateValues) {
+  Engine engine;
+  int result = 0;
+  auto inner = [](Engine& e) -> Task<int> {
+    co_await delay(e, 1.0);
+    co_return 21;
+  };
+  auto outer = [&inner](Engine& e, int& out) -> Task<> {
+    const int a = co_await inner(e);
+    const int b = co_await inner(e);
+    out = a + b;
+  };
+  Fiber::spawn(engine, outer(engine, result));
+  engine.run();
+  EXPECT_EQ(result, 42);
+  EXPECT_DOUBLE_EQ(engine.now(), 2.0);
+}
+
+TEST(Fiber, ExceptionsPropagateAcrossNesting) {
+  Engine engine;
+  bool reached_after = false;
+  auto thrower = [](Engine& e) -> Task<int> {
+    co_await delay(e, 1.0);
+    throw std::runtime_error("inner failure");
+  };
+  auto outer = [&](Engine& e) -> Task<> {
+    try {
+      (void)co_await thrower(e);
+    } catch (const std::runtime_error& err) {
+      EXPECT_STREQ(err.what(), "inner failure");
+      reached_after = true;
+    }
+  };
+  Fiber fiber = Fiber::spawn(engine, outer(engine));
+  engine.run();
+  EXPECT_TRUE(reached_after);
+  EXPECT_FALSE(fiber.failed());
+}
+
+TEST(Fiber, UncaughtExceptionMarksFiberFailed) {
+  Engine engine;
+  auto body = [](Engine& e) -> Task<> {
+    co_await delay(e, 1.0);
+    throw std::runtime_error("boom");
+  };
+  Fiber fiber = Fiber::spawn(engine, body(engine));
+  engine.run();
+  EXPECT_TRUE(fiber.done());
+  EXPECT_TRUE(fiber.failed());
+}
+
+TEST(Fiber, FiberExitIsCleanTermination) {
+  Engine engine;
+  auto body = [](Engine& e) -> Task<> {
+    co_await delay(e, 1.0);
+    throw FiberExit{"done early"};
+  };
+  Fiber fiber = Fiber::spawn(engine, body(engine));
+  engine.run();
+  EXPECT_TRUE(fiber.done());
+  EXPECT_FALSE(fiber.failed());
+}
+
+TEST(Fiber, KillWhileSuspendedCancelsPendingWork) {
+  Engine engine;
+  bool after_delay = false;
+  auto body = [](Engine& e, bool& flag) -> Task<> {
+    co_await delay(e, 100.0);
+    flag = true;
+  };
+  Fiber fiber = Fiber::spawn(engine, body(engine, after_delay));
+  engine.run_until(1.0);  // fiber started, now suspended in delay
+  EXPECT_FALSE(fiber.done());
+  fiber.kill();
+  EXPECT_TRUE(fiber.done());
+  engine.run();
+  EXPECT_FALSE(after_delay);
+  // The cancelled delay event must not leak a resumption.
+  EXPECT_EQ(engine.pending_events(), 0U);
+}
+
+TEST(Fiber, KillBeforeStartIsSafe) {
+  Engine engine;
+  bool ran = false;
+  auto body = [](bool& flag) -> Task<> {
+    flag = true;
+    co_return;
+  };
+  Fiber fiber = Fiber::spawn(engine, body(ran));
+  fiber.kill();  // before the start event fires
+  engine.run();
+  EXPECT_FALSE(ran);
+  EXPECT_TRUE(fiber.done());
+}
+
+TEST(Fiber, KillTwiceIsIdempotent) {
+  Engine engine;
+  auto body = [](Engine& e) -> Task<> { co_await delay(e, 10.0); };
+  Fiber fiber = Fiber::spawn(engine, body(engine));
+  engine.run_until(1.0);
+  fiber.kill();
+  fiber.kill();
+  EXPECT_TRUE(fiber.done());
+}
+
+TEST(Fiber, KillUnwindsNestedFrames) {
+  Engine engine;
+  // Destructor observers in both frames prove full unwinding.
+  struct Probe {
+    bool* flag;
+    ~Probe() { *flag = true; }
+  };
+  bool inner_destroyed = false;
+  bool outer_destroyed = false;
+  auto inner = [](Engine& e, bool* flag) -> Task<> {
+    Probe probe{flag};
+    co_await delay(e, 100.0);
+  };
+  auto outer = [&inner](Engine& e, bool* in_flag, bool* out_flag) -> Task<> {
+    Probe probe{out_flag};
+    co_await inner(e, in_flag);
+  };
+  Fiber fiber = Fiber::spawn(engine, outer(engine, &inner_destroyed,
+                                           &outer_destroyed));
+  engine.run_until(1.0);
+  fiber.kill();
+  EXPECT_TRUE(inner_destroyed);
+  EXPECT_TRUE(outer_destroyed);
+}
+
+TEST(Fiber, OnExitFiresAtCompletion) {
+  Engine engine;
+  std::vector<std::string> events;
+  auto body = [](Engine& e, std::vector<std::string>& out) -> Task<> {
+    co_await delay(e, 1.0);
+    out.push_back("body");
+  };
+  Fiber fiber = Fiber::spawn(engine, body(engine, events));
+  fiber.on_exit([&] { events.push_back("exit"); });
+  engine.run();
+  EXPECT_EQ(events, (std::vector<std::string>{"body", "exit"}));
+}
+
+TEST(Fiber, OnExitAfterDoneFiresImmediately) {
+  Engine engine;
+  auto body = []() -> Task<> { co_return; };
+  Fiber fiber = Fiber::spawn(engine, body());
+  engine.run();
+  bool fired = false;
+  fiber.on_exit([&] { fired = true; });
+  EXPECT_TRUE(fired);
+}
+
+TEST(Fiber, SpawnOrderDeterminesStartOrder) {
+  Engine engine;
+  std::vector<int> order;
+  auto body = [](std::vector<int>& out, int id) -> Task<> {
+    out.push_back(id);
+    co_return;
+  };
+  for (int i = 0; i < 5; ++i) {
+    Fiber::spawn(engine, body(order, i));
+  }
+  engine.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Trigger, ReleasesWaiters) {
+  Engine engine;
+  Trigger trigger{engine};
+  std::vector<double> wake_times;
+  auto waiter = [](Trigger& t, Engine& e, std::vector<double>& out) -> Task<> {
+    co_await t.wait();
+    out.push_back(e.now());
+  };
+  Fiber::spawn(engine, waiter(trigger, engine, wake_times));
+  Fiber::spawn(engine, waiter(trigger, engine, wake_times));
+  engine.schedule_at(5.0, [&] { trigger.fire(); });
+  engine.run();
+  ASSERT_EQ(wake_times.size(), 2U);
+  EXPECT_DOUBLE_EQ(wake_times[0], 5.0);
+  EXPECT_DOUBLE_EQ(wake_times[1], 5.0);
+}
+
+TEST(Trigger, WaitAfterFireReturnsImmediately) {
+  Engine engine;
+  Trigger trigger{engine};
+  trigger.fire();
+  bool resumed = false;
+  auto waiter = [](Trigger& t, bool& flag) -> Task<> {
+    co_await t.wait();
+    flag = true;
+  };
+  Fiber::spawn(engine, waiter(trigger, resumed));
+  engine.run();
+  EXPECT_TRUE(resumed);
+}
+
+TEST(WaitQueue, NotifyOneWakesInFifoOrder) {
+  Engine engine;
+  WaitQueue queue{engine};
+  std::vector<int> woke;
+  auto waiter = [](WaitQueue& q, std::vector<int>& out, int id) -> Task<> {
+    co_await q.wait();
+    out.push_back(id);
+  };
+  Fiber::spawn(engine, waiter(queue, woke, 0));
+  Fiber::spawn(engine, waiter(queue, woke, 1));
+  Fiber::spawn(engine, waiter(queue, woke, 2));
+  engine.schedule_at(1.0, [&] { queue.notify_one(); });
+  engine.schedule_at(2.0, [&] { queue.notify_one(); });
+  engine.schedule_at(3.0, [&] { queue.notify_one(); });
+  engine.run();
+  EXPECT_EQ(woke, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(WaitQueue, KilledWaiterLeavesQueueConsistent) {
+  Engine engine;
+  WaitQueue queue{engine};
+  std::vector<int> woke;
+  auto waiter = [](WaitQueue& q, std::vector<int>& out, int id) -> Task<> {
+    co_await q.wait();
+    out.push_back(id);
+  };
+  Fiber f0 = Fiber::spawn(engine, waiter(queue, woke, 0));
+  Fiber f1 = Fiber::spawn(engine, waiter(queue, woke, 1));
+  (void)f1;
+  engine.run_until(0.5);
+  EXPECT_EQ(queue.waiter_count(), 2U);
+  f0.kill();
+  EXPECT_EQ(queue.waiter_count(), 1U);
+  queue.notify_one();
+  engine.run();
+  EXPECT_EQ(woke, (std::vector<int>{1}));
+}
+
+}  // namespace
+}  // namespace ars::sim

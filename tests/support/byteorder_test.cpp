@@ -1,0 +1,98 @@
+#include "ars/support/byteorder.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <vector>
+
+namespace ars::support {
+namespace {
+
+TEST(ByteOrder, Swap16) {
+  EXPECT_EQ(byteswap16(0x1234), 0x3412);
+  EXPECT_EQ(byteswap16(0x0000), 0x0000);
+  EXPECT_EQ(byteswap16(0xffff), 0xffff);
+}
+
+TEST(ByteOrder, Swap32) {
+  EXPECT_EQ(byteswap32(0x12345678U), 0x78563412U);
+}
+
+TEST(ByteOrder, Swap64) {
+  EXPECT_EQ(byteswap64(0x0102030405060708ULL), 0x0807060504030201ULL);
+}
+
+TEST(ByteOrder, BigEndianLayoutIsCanonical) {
+  std::vector<std::byte> out;
+  put_be32(out, 0x11223344U);
+  ASSERT_EQ(out.size(), 4U);
+  EXPECT_EQ(out[0], std::byte{0x11});
+  EXPECT_EQ(out[1], std::byte{0x22});
+  EXPECT_EQ(out[2], std::byte{0x33});
+  EXPECT_EQ(out[3], std::byte{0x44});
+}
+
+TEST(ByteOrder, RoundTrip16) {
+  for (std::uint32_t v : {0U, 1U, 0x1234U, 0xffffU}) {
+    std::vector<std::byte> out;
+    put_be16(out, static_cast<std::uint16_t>(v));
+    std::size_t offset = 0;
+    EXPECT_EQ(get_be16(out, offset), v);
+    EXPECT_EQ(offset, 2U);
+  }
+}
+
+TEST(ByteOrder, RoundTrip64) {
+  const std::uint64_t cases[] = {0ULL, 1ULL, 0xdeadbeefcafebabeULL,
+                                 std::numeric_limits<std::uint64_t>::max()};
+  for (std::uint64_t v : cases) {
+    std::vector<std::byte> out;
+    put_be64(out, v);
+    std::size_t offset = 0;
+    EXPECT_EQ(get_be64(out, offset), v);
+  }
+}
+
+TEST(ByteOrder, RoundTripDouble) {
+  for (double v : {0.0, 1.0, -2.5, 983.6, 1e-300, -1e300}) {
+    std::vector<std::byte> out;
+    put_be_double(out, v);
+    std::size_t offset = 0;
+    EXPECT_EQ(get_be_double(out, offset), v);
+  }
+}
+
+TEST(ByteOrder, SequentialReadsAdvanceOffset) {
+  std::vector<std::byte> out;
+  put_be16(out, 7);
+  put_be32(out, 8);
+  put_be64(out, 9);
+  put_be_double(out, 2.5);
+  std::size_t offset = 0;
+  EXPECT_EQ(get_be16(out, offset), 7U);
+  EXPECT_EQ(get_be32(out, offset), 8U);
+  EXPECT_EQ(get_be64(out, offset), 9U);
+  EXPECT_EQ(get_be_double(out, offset), 2.5);
+  EXPECT_EQ(offset, out.size());
+}
+
+TEST(ByteOrder, UnderrunThrows) {
+  std::vector<std::byte> out;
+  put_be16(out, 7);
+  std::size_t offset = 0;
+  EXPECT_THROW((void)get_be32(out, offset), std::out_of_range);
+  // Offset is untouched on failure.
+  EXPECT_EQ(offset, 0U);
+}
+
+TEST(ByteOrder, NativeOrderDetection) {
+  // Whatever the build machine is, the helper must agree with std::endian.
+  if constexpr (std::endian::native == std::endian::little) {
+    EXPECT_EQ(native_byte_order(), ByteOrder::kLittleEndian);
+  } else {
+    EXPECT_EQ(native_byte_order(), ByteOrder::kBigEndian);
+  }
+}
+
+}  // namespace
+}  // namespace ars::support

@@ -1,0 +1,72 @@
+#include "ars/support/expected.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace ars::support {
+namespace {
+
+Expected<int> parse_positive(int v) {
+  if (v > 0) {
+    return v;
+  }
+  return make_error("not_positive", "value must be > 0");
+}
+
+TEST(Expected, HoldsValue) {
+  const Expected<int> e = parse_positive(3);
+  ASSERT_TRUE(e.has_value());
+  EXPECT_EQ(e.value(), 3);
+  EXPECT_EQ(*e, 3);
+}
+
+TEST(Expected, HoldsError) {
+  const Expected<int> e = parse_positive(-1);
+  ASSERT_FALSE(e.has_value());
+  EXPECT_EQ(e.error().code, "not_positive");
+  EXPECT_EQ(e.error().to_string(), "not_positive: value must be > 0");
+}
+
+TEST(Expected, ValueOnErrorThrows) {
+  const Expected<int> e = parse_positive(0);
+  EXPECT_THROW((void)e.value(), std::logic_error);
+}
+
+TEST(Expected, ErrorOnValueThrows) {
+  const Expected<int> e = parse_positive(1);
+  EXPECT_THROW((void)e.error(), std::logic_error);
+}
+
+TEST(Expected, ValueOr) {
+  EXPECT_EQ(parse_positive(5).value_or(-1), 5);
+  EXPECT_EQ(parse_positive(-5).value_or(-1), -1);
+}
+
+TEST(Expected, MoveOnlyPayload) {
+  Expected<std::unique_ptr<int>> e{std::make_unique<int>(9)};
+  ASSERT_TRUE(e.has_value());
+  const std::unique_ptr<int> owned = std::move(e).value();
+  EXPECT_EQ(*owned, 9);
+}
+
+TEST(Expected, ArrowOperator) {
+  Expected<std::string> e{std::string{"hello"}};
+  EXPECT_EQ(e->size(), 5U);
+}
+
+TEST(Status, DefaultIsOk) {
+  const Status s;
+  EXPECT_TRUE(s.is_ok());
+  EXPECT_TRUE(static_cast<bool>(s));
+  EXPECT_THROW((void)s.error(), std::logic_error);
+}
+
+TEST(Status, CarriesError) {
+  const Status s = make_error("io", "boom");
+  EXPECT_FALSE(s.is_ok());
+  EXPECT_EQ(s.error().code, "io");
+}
+
+}  // namespace
+}  // namespace ars::support

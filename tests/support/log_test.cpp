@@ -1,0 +1,80 @@
+#include "ars/support/log.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace ars::support {
+namespace {
+
+struct CapturedRecord {
+  LogLevel level;
+  std::string component;
+  std::string message;
+  double sim_time;
+};
+
+class LogTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto& logger = Logger::global();
+    saved_level_ = logger.level();
+    logger.set_level(LogLevel::kTrace);
+    logger.set_sink([this](LogLevel level, std::string_view component,
+                           std::string_view message, double sim_time) {
+      records_.push_back(CapturedRecord{level, std::string(component),
+                                        std::string(message), sim_time});
+    });
+  }
+
+  void TearDown() override {
+    auto& logger = Logger::global();
+    logger.set_level(saved_level_);
+    logger.set_sink(nullptr);
+    logger.set_clock(nullptr);
+    // Restore a default stderr sink for later tests.
+    logger.set_sink([](LogLevel, std::string_view, std::string_view, double) {});
+  }
+
+  std::vector<CapturedRecord> records_;
+  LogLevel saved_level_ = LogLevel::kWarn;
+};
+
+TEST_F(LogTest, MacroWritesThroughSink) {
+  ARS_LOG_INFO("test", "value=" << 42);
+  ASSERT_EQ(records_.size(), 1U);
+  EXPECT_EQ(records_[0].level, LogLevel::kInfo);
+  EXPECT_EQ(records_[0].component, "test");
+  EXPECT_EQ(records_[0].message, "value=42");
+}
+
+TEST_F(LogTest, LevelFilterSuppressesLowerLevels) {
+  Logger::global().set_level(LogLevel::kWarn);
+  ARS_LOG_DEBUG("test", "hidden");
+  ARS_LOG_WARN("test", "visible");
+  ASSERT_EQ(records_.size(), 1U);
+  EXPECT_EQ(records_[0].message, "visible");
+}
+
+TEST_F(LogTest, ClockStampsSimTime) {
+  Logger::global().set_clock([] { return 123.5; });
+  ARS_LOG_ERROR("test", "stamped");
+  ASSERT_EQ(records_.size(), 1U);
+  EXPECT_DOUBLE_EQ(records_[0].sim_time, 123.5);
+}
+
+TEST_F(LogTest, NoClockYieldsNegativeTime) {
+  ARS_LOG_ERROR("test", "no clock");
+  ASSERT_EQ(records_.size(), 1U);
+  EXPECT_LT(records_[0].sim_time, 0.0);
+}
+
+TEST(LogLevelNames, ToString) {
+  EXPECT_EQ(to_string(LogLevel::kTrace), "TRACE");
+  EXPECT_EQ(to_string(LogLevel::kError), "ERROR");
+  EXPECT_EQ(to_string(LogLevel::kOff), "OFF");
+}
+
+}  // namespace
+}  // namespace ars::support

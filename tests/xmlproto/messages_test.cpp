@@ -1,0 +1,188 @@
+#include "ars/xmlproto/messages.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ars::xmlproto {
+namespace {
+
+template <typename T>
+T round_trip(const T& message) {
+  const std::string wire = encode(ProtocolMessage{message});
+  auto decoded = decode(wire);
+  EXPECT_TRUE(decoded.has_value()) << wire;
+  EXPECT_TRUE(std::holds_alternative<T>(*decoded)) << wire;
+  return std::get<T>(*decoded);
+}
+
+TEST(Messages, RegisterRoundTrip) {
+  RegisterMsg m;
+  m.info.host = "ws1";
+  m.info.ip = "10.0.0.1";
+  m.info.os = "SunOS 5.8";
+  m.info.memory_bytes = 128ULL * 1024 * 1024;
+  m.info.disk_bytes = 20ULL * 1024 * 1024 * 1024;
+  m.info.cpu_speed = 1.0;
+  m.info.byte_order = "big";
+  m.monitor_port = 5001;
+  m.commander_port = 5002;
+  const RegisterMsg back = round_trip(m);
+  EXPECT_EQ(back.info.host, "ws1");
+  EXPECT_EQ(back.info.ip, "10.0.0.1");
+  EXPECT_EQ(back.info.os, "SunOS 5.8");
+  EXPECT_EQ(back.info.memory_bytes, m.info.memory_bytes);
+  EXPECT_EQ(back.info.disk_bytes, m.info.disk_bytes);
+  EXPECT_EQ(back.info.byte_order, "big");
+  EXPECT_EQ(back.monitor_port, 5001);
+  EXPECT_EQ(back.commander_port, 5002);
+}
+
+TEST(Messages, UpdateRoundTrip) {
+  UpdateMsg m;
+  m.status.host = "ws2";
+  m.status.state = "overloaded";
+  m.status.load1 = 2.52;
+  m.status.load5 = 1.75;
+  m.status.cpu_util = 0.97;
+  m.status.processes = 151;
+  m.status.mem_available_pct = 42.5;
+  m.status.disk_available = 1234567;
+  m.status.net_in_bps = 6.71e6;
+  m.status.net_out_bps = 7.78e6;
+  m.status.sockets_established = 703;
+  m.status.timestamp = 280.0;
+  const UpdateMsg back = round_trip(m);
+  EXPECT_EQ(back.status.host, "ws2");
+  EXPECT_EQ(back.status.state, "overloaded");
+  EXPECT_NEAR(back.status.load1, 2.52, 1e-6);
+  EXPECT_NEAR(back.status.cpu_util, 0.97, 1e-6);
+  EXPECT_EQ(back.status.processes, 151);
+  EXPECT_NEAR(back.status.net_in_bps, 6.71e6, 1.0);
+  EXPECT_EQ(back.status.sockets_established, 703);
+}
+
+TEST(Messages, ConsultRoundTrip) {
+  ConsultMsg m;
+  m.host = "ws1";
+  m.reason = "load1>2";
+  const ConsultMsg back = round_trip(m);
+  EXPECT_EQ(back.host, "ws1");
+  EXPECT_EQ(back.reason, "load1>2");
+}
+
+TEST(Messages, MigrateRoundTrip) {
+  MigrateCmd m;
+  m.pid = 1042;
+  m.process_name = "test_tree";
+  m.dest_host = "ws4";
+  m.dest_ip = "10.0.0.4";
+  m.dest_port = 5002;
+  m.schema_name = "tree20";
+  const MigrateCmd back = round_trip(m);
+  EXPECT_EQ(back.pid, 1042);
+  EXPECT_EQ(back.process_name, "test_tree");
+  EXPECT_EQ(back.dest_host, "ws4");
+  EXPECT_EQ(back.dest_port, 5002);
+  EXPECT_EQ(back.schema_name, "tree20");
+}
+
+TEST(Messages, AckRoundTrip) {
+  AckMsg m;
+  m.of = "migrate";
+  m.ok = false;
+  m.detail = "no such pid";
+  const AckMsg back = round_trip(m);
+  EXPECT_EQ(back.of, "migrate");
+  EXPECT_FALSE(back.ok);
+  EXPECT_EQ(back.detail, "no such pid");
+}
+
+TEST(Messages, ProcessRegisterRoundTrip) {
+  ProcessRegisterMsg m;
+  m.host = "ws1";
+  m.pid = 1001;
+  m.name = "test_tree";
+  m.start_time = 280.0;
+  m.migration_enabled = true;
+  m.schema_name = "tree20";
+  const ProcessRegisterMsg back = round_trip(m);
+  EXPECT_EQ(back.pid, 1001);
+  EXPECT_TRUE(back.migration_enabled);
+  EXPECT_DOUBLE_EQ(back.start_time, 280.0);
+}
+
+TEST(Messages, ProcessDeregisterRoundTrip) {
+  ProcessDeregisterMsg m;
+  m.host = "ws1";
+  m.pid = 1001;
+  const ProcessDeregisterMsg back = round_trip(m);
+  EXPECT_EQ(back.host, "ws1");
+  EXPECT_EQ(back.pid, 1001);
+}
+
+TEST(Messages, HealthRoundTrip) {
+  HealthReportMsg m;
+  m.registry_host = "cluster-a";
+  m.free_hosts = 3;
+  m.busy_hosts = 2;
+  m.overloaded_hosts = 1;
+  m.timestamp = 99.5;
+  const HealthReportMsg back = round_trip(m);
+  EXPECT_EQ(back.free_hosts, 3);
+  EXPECT_EQ(back.overloaded_hosts, 1);
+}
+
+TEST(Messages, RecommendRoundTrip) {
+  RecommendMsg m;
+  m.found = true;
+  m.dest_host = "ws4";
+  m.dest_ip = "10.0.0.4";
+  m.dest_port = 5002;
+  const RecommendMsg back = round_trip(m);
+  EXPECT_TRUE(back.found);
+  EXPECT_EQ(back.dest_host, "ws4");
+}
+
+TEST(Messages, RecommendNotFound) {
+  RecommendMsg m;
+  m.found = false;
+  const RecommendMsg back = round_trip(m);
+  EXPECT_FALSE(back.found);
+  EXPECT_TRUE(back.dest_host.empty());
+}
+
+TEST(Messages, MessageTypeNames) {
+  EXPECT_EQ(message_type(ProtocolMessage{RegisterMsg{}}), "register");
+  EXPECT_EQ(message_type(ProtocolMessage{UpdateMsg{}}), "update");
+  EXPECT_EQ(message_type(ProtocolMessage{MigrateCmd{}}), "migrate");
+  EXPECT_EQ(message_type(ProtocolMessage{RecommendMsg{}}), "recommend");
+}
+
+TEST(Messages, DecodeRejectsGarbage) {
+  EXPECT_FALSE(decode("not xml").has_value());
+  EXPECT_FALSE(decode("<other/>").has_value());
+  EXPECT_FALSE(decode("<ars/>").has_value());
+  EXPECT_FALSE(decode("<ars type=\"nosuch\"/>").has_value());
+}
+
+TEST(Messages, DecodeRejectsMissingFields) {
+  // A consult without its mandatory <host>.
+  EXPECT_FALSE(decode("<ars type=\"consult\"/>").has_value());
+  // An update whose load1 is not numeric.
+  const std::string wire = encode(ProtocolMessage{UpdateMsg{}});
+  std::string broken = wire;
+  const auto pos = broken.find("<load1>");
+  broken.replace(pos, broken.find("</load1>") - pos + 8,
+                 "<load1>abc</load1>");
+  EXPECT_FALSE(decode(broken).has_value());
+}
+
+TEST(Messages, EscapedContentSurvives) {
+  AckMsg m;
+  m.of = "migrate";
+  m.detail = "reason: <load & sockets>";
+  const AckMsg back = round_trip(m);
+  EXPECT_EQ(back.detail, "reason: <load & sockets>");
+}
+
+}  // namespace
+}  // namespace ars::xmlproto

@@ -1,0 +1,126 @@
+#include "ars/xmlproto/xml.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ars::xmlproto {
+namespace {
+
+TEST(XmlWriter, EmptyElementSelfCloses) {
+  XmlNode node{"ping"};
+  EXPECT_EQ(node.to_string(), "<ping/>");
+}
+
+TEST(XmlWriter, AttributesAreSortedAndEscaped) {
+  XmlNode node{"msg"};
+  node.set_attr("b", "two");
+  node.set_attr("a", "o<n>e");
+  EXPECT_EQ(node.to_string(), "<msg a=\"o&lt;n&gt;e\" b=\"two\"/>");
+}
+
+TEST(XmlWriter, TextAndChildren) {
+  XmlNode node{"host"};
+  node.add_child("name").set_text("ws1");
+  node.add_child("load").set_text("0.256");
+  EXPECT_EQ(node.to_string(),
+            "<host><name>ws1</name><load>0.256</load></host>");
+}
+
+TEST(XmlEscape, AllSpecials) {
+  EXPECT_EQ(xml_escape("a&b<c>d\"e'f"),
+            "a&amp;b&lt;c&gt;d&quot;e&apos;f");
+  EXPECT_EQ(xml_escape("plain"), "plain");
+}
+
+TEST(XmlParser, ParsesSimpleDocument) {
+  const auto doc = parse_xml("<ars type=\"update\"><host>ws1</host></ars>");
+  ASSERT_TRUE(doc.has_value());
+  const XmlNode& root = **doc;
+  EXPECT_EQ(root.name(), "ars");
+  EXPECT_EQ(root.attr("type").value_or(""), "update");
+  ASSERT_NE(root.child("host"), nullptr);
+  EXPECT_EQ(root.child("host")->text(), "ws1");
+}
+
+TEST(XmlParser, SelfClosingAndWhitespace) {
+  const auto doc = parse_xml("  <a>\n  <b/>\n  <c x='1'/>\n</a>  ");
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_EQ((*doc)->children().size(), 2U);
+  EXPECT_EQ((*doc)->child("c")->attr("x").value_or(""), "1");
+}
+
+TEST(XmlParser, SkipsDeclarationAndComments) {
+  const auto doc = parse_xml(
+      "<?xml version=\"1.0\"?><!-- header --><root><!-- inner -->"
+      "<x>1</x></root><!-- trailer -->");
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_EQ((*doc)->child("x")->text(), "1");
+}
+
+TEST(XmlParser, DecodesEntities) {
+  const auto doc = parse_xml("<t a=\"x&amp;y\">1 &lt; 2 &gt; 0</t>");
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_EQ((*doc)->attr("a").value_or(""), "x&y");
+  EXPECT_EQ((*doc)->text(), "1 < 2 > 0");
+}
+
+TEST(XmlParser, RoundTripsWriterOutput) {
+  XmlNode node{"schema"};
+  node.set_attr("name", "test_tree");
+  node.add_child("char").set_text("computing-intensive");
+  XmlNode& req = node.add_child("requirements");
+  req.add_child("memory").set_text("8388608");
+  req.add_child("disk").set_text("0");
+  const std::string wire = node.to_string();
+  const auto doc = parse_xml(wire);
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_EQ((*doc)->to_string(), wire);
+}
+
+TEST(XmlParser, RejectsMismatchedCloseTag) {
+  const auto doc = parse_xml("<a><b></a></b>");
+  ASSERT_FALSE(doc.has_value());
+  EXPECT_EQ(doc.error().code, "xml_parse");
+}
+
+TEST(XmlParser, RejectsUnterminatedElement) {
+  EXPECT_FALSE(parse_xml("<a><b>").has_value());
+  EXPECT_FALSE(parse_xml("<a").has_value());
+  EXPECT_FALSE(parse_xml("<a x=>").has_value());
+}
+
+TEST(XmlParser, RejectsTrailingGarbage) {
+  EXPECT_FALSE(parse_xml("<a/>junk").has_value());
+  EXPECT_FALSE(parse_xml("<a/><b/>").has_value());
+}
+
+TEST(XmlParser, RejectsUnknownEntity) {
+  EXPECT_FALSE(parse_xml("<a>&nbsp;</a>").has_value());
+}
+
+TEST(XmlParser, RejectsEmptyAndNonXml) {
+  EXPECT_FALSE(parse_xml("").has_value());
+  EXPECT_FALSE(parse_xml("hello world").has_value());
+}
+
+TEST(XmlParser, NestedStructure) {
+  const auto doc =
+      parse_xml("<a><b><c><d>deep</d></c></b></a>");
+  ASSERT_TRUE(doc.has_value());
+  const XmlNode* d = (*doc)->child("b")->child("c")->child("d");
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->text(), "deep");
+}
+
+TEST(XmlNodeQueries, ChildrenNamedAndFallbacks) {
+  XmlNode node{"list"};
+  node.add_child("item").set_text("1");
+  node.add_child("item").set_text("2");
+  node.add_child("other").set_text("x");
+  EXPECT_EQ(node.children_named("item").size(), 2U);
+  EXPECT_EQ(node.child_text_or("other", "?"), "x");
+  EXPECT_EQ(node.child_text_or("missing", "?"), "?");
+  EXPECT_EQ(node.attr_or("nope", "dflt"), "dflt");
+}
+
+}  // namespace
+}  // namespace ars::xmlproto
