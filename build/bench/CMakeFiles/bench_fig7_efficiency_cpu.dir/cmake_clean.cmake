@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_efficiency_cpu.dir/bench_fig7_efficiency_cpu.cpp.o"
+  "CMakeFiles/bench_fig7_efficiency_cpu.dir/bench_fig7_efficiency_cpu.cpp.o.d"
+  "bench_fig7_efficiency_cpu"
+  "bench_fig7_efficiency_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_efficiency_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_simulation.dir/bench_micro_simulation.cpp.o"
+  "CMakeFiles/bench_micro_simulation.dir/bench_micro_simulation.cpp.o.d"
+  "bench_micro_simulation"
+  "bench_micro_simulation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_simulation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_table2_policies.cpp" "bench/CMakeFiles/bench_table2_policies.dir/bench_table2_policies.cpp.o" "gcc" "bench/CMakeFiles/bench_table2_policies.dir/bench_table2_policies.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ars_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/ars_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/registry/CMakeFiles/ars_registry.dir/DependInfo.cmake"
+  "/root/repo/build/src/commander/CMakeFiles/ars_commander.dir/DependInfo.cmake"
+  "/root/repo/build/src/monitor/CMakeFiles/ars_monitor.dir/DependInfo.cmake"
+  "/root/repo/build/src/rules/CMakeFiles/ars_rules.dir/DependInfo.cmake"
+  "/root/repo/build/src/hpcm/CMakeFiles/ars_hpcm.dir/DependInfo.cmake"
+  "/root/repo/build/src/xmlproto/CMakeFiles/ars_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpi/CMakeFiles/ars_mpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/ars_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/host/CMakeFiles/ars_host.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ars_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/ars_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graceful_shutdown.dir/graceful_shutdown.cpp.o"
+  "CMakeFiles/graceful_shutdown.dir/graceful_shutdown.cpp.o.d"
+  "graceful_shutdown"
+  "graceful_shutdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graceful_shutdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/heterogeneous_migration.dir/heterogeneous_migration.cpp.o"
+  "CMakeFiles/heterogeneous_migration.dir/heterogeneous_migration.cpp.o.d"
+  "heterogeneous_migration"
+  "heterogeneous_migration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heterogeneous_migration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

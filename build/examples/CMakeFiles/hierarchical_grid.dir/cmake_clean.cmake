@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hierarchical_grid.dir/hierarchical_grid.cpp.o"
+  "CMakeFiles/hierarchical_grid.dir/hierarchical_grid.cpp.o.d"
+  "hierarchical_grid"
+  "hierarchical_grid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hierarchical_grid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parallel_stencil.dir/parallel_stencil.cpp.o"
+  "CMakeFiles/parallel_stencil.dir/parallel_stencil.cpp.o.d"
+  "parallel_stencil"
+  "parallel_stencil.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parallel_stencil.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

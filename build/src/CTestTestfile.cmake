@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("support")
+subdirs("sim")
+subdirs("host")
+subdirs("net")
+subdirs("xmlproto")
+subdirs("rules")
+subdirs("mpi")
+subdirs("hpcm")
+subdirs("monitor")
+subdirs("registry")
+subdirs("commander")
+subdirs("core")
+subdirs("apps")

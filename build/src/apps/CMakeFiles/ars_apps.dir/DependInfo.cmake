@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/matmul.cpp" "src/apps/CMakeFiles/ars_apps.dir/matmul.cpp.o" "gcc" "src/apps/CMakeFiles/ars_apps.dir/matmul.cpp.o.d"
+  "/root/repo/src/apps/stencil.cpp" "src/apps/CMakeFiles/ars_apps.dir/stencil.cpp.o" "gcc" "src/apps/CMakeFiles/ars_apps.dir/stencil.cpp.o.d"
+  "/root/repo/src/apps/test_tree.cpp" "src/apps/CMakeFiles/ars_apps.dir/test_tree.cpp.o" "gcc" "src/apps/CMakeFiles/ars_apps.dir/test_tree.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hpcm/CMakeFiles/ars_hpcm.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpi/CMakeFiles/ars_mpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/ars_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/xmlproto/CMakeFiles/ars_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/ars_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/host/CMakeFiles/ars_host.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ars_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ars_apps.dir/matmul.cpp.o"
+  "CMakeFiles/ars_apps.dir/matmul.cpp.o.d"
+  "CMakeFiles/ars_apps.dir/stencil.cpp.o"
+  "CMakeFiles/ars_apps.dir/stencil.cpp.o.d"
+  "CMakeFiles/ars_apps.dir/test_tree.cpp.o"
+  "CMakeFiles/ars_apps.dir/test_tree.cpp.o.d"
+  "libars_apps.a"
+  "libars_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ars_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ars_commander.dir/commander.cpp.o"
+  "CMakeFiles/ars_commander.dir/commander.cpp.o.d"
+  "libars_commander.a"
+  "libars_commander.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ars_commander.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

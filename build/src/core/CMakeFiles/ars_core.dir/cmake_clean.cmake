@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ars_core.dir/runtime.cpp.o"
+  "CMakeFiles/ars_core.dir/runtime.cpp.o.d"
+  "CMakeFiles/ars_core.dir/trace.cpp.o"
+  "CMakeFiles/ars_core.dir/trace.cpp.o.d"
+  "libars_core.a"
+  "libars_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ars_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/host/cpu.cpp" "src/host/CMakeFiles/ars_host.dir/cpu.cpp.o" "gcc" "src/host/CMakeFiles/ars_host.dir/cpu.cpp.o.d"
+  "/root/repo/src/host/hog.cpp" "src/host/CMakeFiles/ars_host.dir/hog.cpp.o" "gcc" "src/host/CMakeFiles/ars_host.dir/hog.cpp.o.d"
+  "/root/repo/src/host/host.cpp" "src/host/CMakeFiles/ars_host.dir/host.cpp.o" "gcc" "src/host/CMakeFiles/ars_host.dir/host.cpp.o.d"
+  "/root/repo/src/host/loadavg.cpp" "src/host/CMakeFiles/ars_host.dir/loadavg.cpp.o" "gcc" "src/host/CMakeFiles/ars_host.dir/loadavg.cpp.o.d"
+  "/root/repo/src/host/process.cpp" "src/host/CMakeFiles/ars_host.dir/process.cpp.o" "gcc" "src/host/CMakeFiles/ars_host.dir/process.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/ars_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/ars_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ars_host.dir/cpu.cpp.o"
+  "CMakeFiles/ars_host.dir/cpu.cpp.o.d"
+  "CMakeFiles/ars_host.dir/hog.cpp.o"
+  "CMakeFiles/ars_host.dir/hog.cpp.o.d"
+  "CMakeFiles/ars_host.dir/host.cpp.o"
+  "CMakeFiles/ars_host.dir/host.cpp.o.d"
+  "CMakeFiles/ars_host.dir/loadavg.cpp.o"
+  "CMakeFiles/ars_host.dir/loadavg.cpp.o.d"
+  "CMakeFiles/ars_host.dir/process.cpp.o"
+  "CMakeFiles/ars_host.dir/process.cpp.o.d"
+  "libars_host.a"
+  "libars_host.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ars_host.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ars_hpcm.dir/checkpoint.cpp.o"
+  "CMakeFiles/ars_hpcm.dir/checkpoint.cpp.o.d"
+  "CMakeFiles/ars_hpcm.dir/migration.cpp.o"
+  "CMakeFiles/ars_hpcm.dir/migration.cpp.o.d"
+  "CMakeFiles/ars_hpcm.dir/schema.cpp.o"
+  "CMakeFiles/ars_hpcm.dir/schema.cpp.o.d"
+  "CMakeFiles/ars_hpcm.dir/stateregistry.cpp.o"
+  "CMakeFiles/ars_hpcm.dir/stateregistry.cpp.o.d"
+  "libars_hpcm.a"
+  "libars_hpcm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ars_hpcm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ars_hpcm.
+# This may be replaced when dependencies are built.

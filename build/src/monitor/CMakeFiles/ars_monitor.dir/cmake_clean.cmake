@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ars_monitor.dir/metricsdb.cpp.o"
+  "CMakeFiles/ars_monitor.dir/metricsdb.cpp.o.d"
+  "CMakeFiles/ars_monitor.dir/monitor.cpp.o"
+  "CMakeFiles/ars_monitor.dir/monitor.cpp.o.d"
+  "CMakeFiles/ars_monitor.dir/sensors.cpp.o"
+  "CMakeFiles/ars_monitor.dir/sensors.cpp.o.d"
+  "libars_monitor.a"
+  "libars_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ars_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ars_mpi.dir/collectives.cpp.o"
+  "CMakeFiles/ars_mpi.dir/collectives.cpp.o.d"
+  "CMakeFiles/ars_mpi.dir/dpm.cpp.o"
+  "CMakeFiles/ars_mpi.dir/dpm.cpp.o.d"
+  "CMakeFiles/ars_mpi.dir/proc.cpp.o"
+  "CMakeFiles/ars_mpi.dir/proc.cpp.o.d"
+  "CMakeFiles/ars_mpi.dir/system.cpp.o"
+  "CMakeFiles/ars_mpi.dir/system.cpp.o.d"
+  "libars_mpi.a"
+  "libars_mpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ars_mpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

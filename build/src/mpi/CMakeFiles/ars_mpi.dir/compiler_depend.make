@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ars_mpi.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ars_net.dir/commhog.cpp.o"
+  "CMakeFiles/ars_net.dir/commhog.cpp.o.d"
+  "CMakeFiles/ars_net.dir/flowmeter.cpp.o"
+  "CMakeFiles/ars_net.dir/flowmeter.cpp.o.d"
+  "CMakeFiles/ars_net.dir/network.cpp.o"
+  "CMakeFiles/ars_net.dir/network.cpp.o.d"
+  "libars_net.a"
+  "libars_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ars_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

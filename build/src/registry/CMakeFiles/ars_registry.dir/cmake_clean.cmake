@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ars_registry.dir/registry.cpp.o"
+  "CMakeFiles/ars_registry.dir/registry.cpp.o.d"
+  "libars_registry.a"
+  "libars_registry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ars_registry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

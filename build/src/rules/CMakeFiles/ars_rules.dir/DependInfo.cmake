@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rules/engine.cpp" "src/rules/CMakeFiles/ars_rules.dir/engine.cpp.o" "gcc" "src/rules/CMakeFiles/ars_rules.dir/engine.cpp.o.d"
+  "/root/repo/src/rules/expr.cpp" "src/rules/CMakeFiles/ars_rules.dir/expr.cpp.o" "gcc" "src/rules/CMakeFiles/ars_rules.dir/expr.cpp.o.d"
+  "/root/repo/src/rules/policy.cpp" "src/rules/CMakeFiles/ars_rules.dir/policy.cpp.o" "gcc" "src/rules/CMakeFiles/ars_rules.dir/policy.cpp.o.d"
+  "/root/repo/src/rules/rulefile.cpp" "src/rules/CMakeFiles/ars_rules.dir/rulefile.cpp.o" "gcc" "src/rules/CMakeFiles/ars_rules.dir/rulefile.cpp.o.d"
+  "/root/repo/src/rules/state.cpp" "src/rules/CMakeFiles/ars_rules.dir/state.cpp.o" "gcc" "src/rules/CMakeFiles/ars_rules.dir/state.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/xmlproto/CMakeFiles/ars_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/ars_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

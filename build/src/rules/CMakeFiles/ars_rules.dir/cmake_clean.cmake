@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ars_rules.dir/engine.cpp.o"
+  "CMakeFiles/ars_rules.dir/engine.cpp.o.d"
+  "CMakeFiles/ars_rules.dir/expr.cpp.o"
+  "CMakeFiles/ars_rules.dir/expr.cpp.o.d"
+  "CMakeFiles/ars_rules.dir/policy.cpp.o"
+  "CMakeFiles/ars_rules.dir/policy.cpp.o.d"
+  "CMakeFiles/ars_rules.dir/rulefile.cpp.o"
+  "CMakeFiles/ars_rules.dir/rulefile.cpp.o.d"
+  "CMakeFiles/ars_rules.dir/state.cpp.o"
+  "CMakeFiles/ars_rules.dir/state.cpp.o.d"
+  "libars_rules.a"
+  "libars_rules.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ars_rules.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ars_sim.dir/engine.cpp.o"
+  "CMakeFiles/ars_sim.dir/engine.cpp.o.d"
+  "CMakeFiles/ars_sim.dir/fiber.cpp.o"
+  "CMakeFiles/ars_sim.dir/fiber.cpp.o.d"
+  "libars_sim.a"
+  "libars_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ars_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libars_sim.a"
+)

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ars_support.dir/byteorder.cpp.o"
+  "CMakeFiles/ars_support.dir/byteorder.cpp.o.d"
+  "CMakeFiles/ars_support.dir/log.cpp.o"
+  "CMakeFiles/ars_support.dir/log.cpp.o.d"
+  "CMakeFiles/ars_support.dir/rng.cpp.o"
+  "CMakeFiles/ars_support.dir/rng.cpp.o.d"
+  "CMakeFiles/ars_support.dir/strings.cpp.o"
+  "CMakeFiles/ars_support.dir/strings.cpp.o.d"
+  "libars_support.a"
+  "libars_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ars_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

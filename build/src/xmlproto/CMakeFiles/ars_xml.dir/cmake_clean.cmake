@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ars_xml.dir/messages.cpp.o"
+  "CMakeFiles/ars_xml.dir/messages.cpp.o.d"
+  "CMakeFiles/ars_xml.dir/xml.cpp.o"
+  "CMakeFiles/ars_xml.dir/xml.cpp.o.d"
+  "libars_xml.a"
+  "libars_xml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ars_xml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_commander.dir/commander/commander_test.cpp.o"
+  "CMakeFiles/test_commander.dir/commander/commander_test.cpp.o.d"
+  "test_commander"
+  "test_commander.pdb"
+  "test_commander[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_commander.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

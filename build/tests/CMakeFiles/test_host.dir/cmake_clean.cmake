@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_host.dir/host/cpu_test.cpp.o"
+  "CMakeFiles/test_host.dir/host/cpu_test.cpp.o.d"
+  "CMakeFiles/test_host.dir/host/host_test.cpp.o"
+  "CMakeFiles/test_host.dir/host/host_test.cpp.o.d"
+  "CMakeFiles/test_host.dir/host/property_test.cpp.o"
+  "CMakeFiles/test_host.dir/host/property_test.cpp.o.d"
+  "test_host"
+  "test_host.pdb"
+  "test_host[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_host.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hpcm.dir/hpcm/checkpoint_test.cpp.o"
+  "CMakeFiles/test_hpcm.dir/hpcm/checkpoint_test.cpp.o.d"
+  "CMakeFiles/test_hpcm.dir/hpcm/concurrent_test.cpp.o"
+  "CMakeFiles/test_hpcm.dir/hpcm/concurrent_test.cpp.o.d"
+  "CMakeFiles/test_hpcm.dir/hpcm/migration_test.cpp.o"
+  "CMakeFiles/test_hpcm.dir/hpcm/migration_test.cpp.o.d"
+  "CMakeFiles/test_hpcm.dir/hpcm/property_test.cpp.o"
+  "CMakeFiles/test_hpcm.dir/hpcm/property_test.cpp.o.d"
+  "CMakeFiles/test_hpcm.dir/hpcm/schema_test.cpp.o"
+  "CMakeFiles/test_hpcm.dir/hpcm/schema_test.cpp.o.d"
+  "CMakeFiles/test_hpcm.dir/hpcm/stateregistry_test.cpp.o"
+  "CMakeFiles/test_hpcm.dir/hpcm/stateregistry_test.cpp.o.d"
+  "test_hpcm"
+  "test_hpcm.pdb"
+  "test_hpcm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hpcm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/mpi/collectives_test.cpp" "tests/CMakeFiles/test_mpi.dir/mpi/collectives_test.cpp.o" "gcc" "tests/CMakeFiles/test_mpi.dir/mpi/collectives_test.cpp.o.d"
+  "/root/repo/tests/mpi/commops_test.cpp" "tests/CMakeFiles/test_mpi.dir/mpi/commops_test.cpp.o" "gcc" "tests/CMakeFiles/test_mpi.dir/mpi/commops_test.cpp.o.d"
+  "/root/repo/tests/mpi/dpm_test.cpp" "tests/CMakeFiles/test_mpi.dir/mpi/dpm_test.cpp.o" "gcc" "tests/CMakeFiles/test_mpi.dir/mpi/dpm_test.cpp.o.d"
+  "/root/repo/tests/mpi/p2p_test.cpp" "tests/CMakeFiles/test_mpi.dir/mpi/p2p_test.cpp.o" "gcc" "tests/CMakeFiles/test_mpi.dir/mpi/p2p_test.cpp.o.d"
+  "/root/repo/tests/mpi/stress_test.cpp" "tests/CMakeFiles/test_mpi.dir/mpi/stress_test.cpp.o" "gcc" "tests/CMakeFiles/test_mpi.dir/mpi/stress_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mpi/CMakeFiles/ars_mpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/ars_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/host/CMakeFiles/ars_host.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ars_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/ars_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

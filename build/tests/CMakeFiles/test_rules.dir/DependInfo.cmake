@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/rules/engine_test.cpp" "tests/CMakeFiles/test_rules.dir/rules/engine_test.cpp.o" "gcc" "tests/CMakeFiles/test_rules.dir/rules/engine_test.cpp.o.d"
+  "/root/repo/tests/rules/expr_test.cpp" "tests/CMakeFiles/test_rules.dir/rules/expr_test.cpp.o" "gcc" "tests/CMakeFiles/test_rules.dir/rules/expr_test.cpp.o.d"
+  "/root/repo/tests/rules/policy_test.cpp" "tests/CMakeFiles/test_rules.dir/rules/policy_test.cpp.o" "gcc" "tests/CMakeFiles/test_rules.dir/rules/policy_test.cpp.o.d"
+  "/root/repo/tests/rules/rulefile_test.cpp" "tests/CMakeFiles/test_rules.dir/rules/rulefile_test.cpp.o" "gcc" "tests/CMakeFiles/test_rules.dir/rules/rulefile_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rules/CMakeFiles/ars_rules.dir/DependInfo.cmake"
+  "/root/repo/build/src/xmlproto/CMakeFiles/ars_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/ars_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

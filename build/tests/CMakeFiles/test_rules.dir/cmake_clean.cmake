@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rules.dir/rules/engine_test.cpp.o"
+  "CMakeFiles/test_rules.dir/rules/engine_test.cpp.o.d"
+  "CMakeFiles/test_rules.dir/rules/expr_test.cpp.o"
+  "CMakeFiles/test_rules.dir/rules/expr_test.cpp.o.d"
+  "CMakeFiles/test_rules.dir/rules/policy_test.cpp.o"
+  "CMakeFiles/test_rules.dir/rules/policy_test.cpp.o.d"
+  "CMakeFiles/test_rules.dir/rules/rulefile_test.cpp.o"
+  "CMakeFiles/test_rules.dir/rules/rulefile_test.cpp.o.d"
+  "test_rules"
+  "test_rules.pdb"
+  "test_rules[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rules.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

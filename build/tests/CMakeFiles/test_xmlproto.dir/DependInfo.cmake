@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/xmlproto/fuzz_test.cpp" "tests/CMakeFiles/test_xmlproto.dir/xmlproto/fuzz_test.cpp.o" "gcc" "tests/CMakeFiles/test_xmlproto.dir/xmlproto/fuzz_test.cpp.o.d"
+  "/root/repo/tests/xmlproto/messages_test.cpp" "tests/CMakeFiles/test_xmlproto.dir/xmlproto/messages_test.cpp.o" "gcc" "tests/CMakeFiles/test_xmlproto.dir/xmlproto/messages_test.cpp.o.d"
+  "/root/repo/tests/xmlproto/xml_test.cpp" "tests/CMakeFiles/test_xmlproto.dir/xmlproto/xml_test.cpp.o" "gcc" "tests/CMakeFiles/test_xmlproto.dir/xmlproto/xml_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/xmlproto/CMakeFiles/ars_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/ars_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_xmlproto.dir/xmlproto/fuzz_test.cpp.o"
+  "CMakeFiles/test_xmlproto.dir/xmlproto/fuzz_test.cpp.o.d"
+  "CMakeFiles/test_xmlproto.dir/xmlproto/messages_test.cpp.o"
+  "CMakeFiles/test_xmlproto.dir/xmlproto/messages_test.cpp.o.d"
+  "CMakeFiles/test_xmlproto.dir/xmlproto/xml_test.cpp.o"
+  "CMakeFiles/test_xmlproto.dir/xmlproto/xml_test.cpp.o.d"
+  "test_xmlproto"
+  "test_xmlproto.pdb"
+  "test_xmlproto[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_xmlproto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
