@@ -53,12 +53,14 @@ RunResult run(bool with_rescheduler) {
                                           &core::TraceSample::load5);
   result.cpu_avg = runtime.trace().mean("ws1", kMeasureFrom, kDuration,
                                         &core::TraceSample::cpu_util);
+  bench::export_obs(runtime, with_rescheduler ? "with" : "without");
   return result;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::init_obs_export(argc, argv);
   bench::heading(
       "Figure 5. Overhead - Load Average (with vs without rescheduler)");
   std::printf(

@@ -75,6 +75,7 @@ RunOutcome run(bool pre_initialize) {
     outcome.timeline = runtime.middleware().history().front();
     outcome.migrated = outcome.timeline.succeeded;
   }
+  bench::export_obs(runtime, pre_initialize ? "preinit" : "normal");
   return outcome;
 }
 
@@ -140,7 +141,8 @@ int print_phases(const RunOutcome& outcome) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::init_obs_export(argc, argv);
   bench::heading("Figure 7. Efficiency - CPU (autonomic migration timeline)");
   const RunOutcome normal = run(/*pre_initialize=*/false);
   print_cpu_series(normal);

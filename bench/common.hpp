@@ -1,9 +1,14 @@
 #pragma once
-// Shared helpers for the experiment harnesses: table printing and the
-// paper-vs-measured report format used by every bench binary.
+// Shared helpers for the experiment harnesses: table printing, the
+// paper-vs-measured report format used by every bench binary, and the
+// opt-in ars::obs trace/metrics export (--trace-out= / --metrics-out=
+// flags, or the ARS_TRACE_OUT / ARS_METRICS_OUT environment variables).
 
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace ars::bench {
@@ -67,6 +72,84 @@ inline void compare(const std::string& what, double paper, double measured,
                     const std::string& unit) {
   std::printf("  %-44s paper %10.3f %-6s measured %10.3f %s\n", what.c_str(),
               paper, unit.c_str(), measured, unit.c_str());
+}
+
+// -- ars::obs export ---------------------------------------------------------
+
+/// Where to dump the observability artifacts; empty means "don't".
+struct ObsExport {
+  std::string trace_out;    // Chrome trace_event JSON (chrome://tracing)
+  std::string metrics_out;  // Prometheus text exposition
+};
+
+inline ObsExport& obs_export() {
+  static ObsExport options = [] {
+    ObsExport o;
+    if (const char* t = std::getenv("ARS_TRACE_OUT")) {
+      o.trace_out = t;
+    }
+    if (const char* m = std::getenv("ARS_METRICS_OUT")) {
+      o.metrics_out = m;
+    }
+    return o;
+  }();
+  return options;
+}
+
+/// Consume --trace-out=FILE / --metrics-out=FILE flags (they override the
+/// environment variables).  Unknown arguments are left alone.
+inline void init_obs_export(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg.starts_with("--trace-out=")) {
+      obs_export().trace_out = arg.substr(sizeof("--trace-out=") - 1);
+    } else if (arg.starts_with("--metrics-out=")) {
+      obs_export().metrics_out = arg.substr(sizeof("--metrics-out=") - 1);
+    }
+  }
+}
+
+/// Dump `runtime`'s tracer/metrics to the configured files.  A non-empty
+/// `label` is inserted before the extension ("trace.json" + "with" ->
+/// "trace.with.json") so benches that run several configurations can keep
+/// all of them.
+template <typename Runtime>
+void export_obs(Runtime& runtime, const std::string& label = "") {
+  const auto labelled = [&label](const std::string& path) {
+    if (label.empty()) {
+      return path;
+    }
+    const auto dot = path.rfind('.');
+    if (dot == std::string::npos || dot == 0) {
+      return path + "." + label;
+    }
+    return path.substr(0, dot) + "." + label + path.substr(dot);
+  };
+  const ObsExport& options = obs_export();
+  if (!options.trace_out.empty()) {
+    const std::string path = labelled(options.trace_out);
+    std::ofstream out(path);
+    out << runtime.tracer().to_chrome_trace();
+    if (out) {
+      std::printf("  [obs] wrote Chrome trace to %s (%zu events)\n",
+                  path.c_str(), runtime.tracer().events().size());
+    } else {
+      std::fprintf(stderr, "  [obs] FAILED to write trace to %s\n",
+                   path.c_str());
+    }
+  }
+  if (!options.metrics_out.empty()) {
+    const std::string path = labelled(options.metrics_out);
+    std::ofstream out(path);
+    out << runtime.metrics().to_prometheus();
+    if (out) {
+      std::printf("  [obs] wrote metrics to %s (%zu series)\n", path.c_str(),
+                  runtime.metrics().series_count());
+    } else {
+      std::fprintf(stderr, "  [obs] FAILED to write metrics to %s\n",
+                   path.c_str());
+    }
+  }
 }
 
 }  // namespace ars::bench

@@ -7,8 +7,11 @@
 // process, and HPCM migrates it — the program just watches it happen.
 //
 //   $ ./quickstart
+//   $ ARS_TRACE_OUT=quickstart.trace.json ./quickstart   # + Perfetto trace
 
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
 
 #include "ars/apps/test_tree.hpp"
 #include "ars/core/runtime.hpp"
@@ -58,6 +61,21 @@ int main() {
     std::printf("  fully migrated      +%.2f s (%.1f MB of state)\n",
                 t.total(), t.state_bytes / 1e6);
   }
+  // 6. Optional: dump the structured event trace (migration phase spans,
+  //    scheduler decision audit, monitor state transitions) for
+  //    chrome://tracing or https://ui.perfetto.dev.
+  const char* path = std::getenv("ARS_TRACE_OUT");
+  if (path != nullptr && *path != '\0') {
+    std::ofstream out{path};
+    out << runtime.tracer().to_chrome_trace();
+    if (out) {
+      std::printf("\nwrote Chrome trace to %s (%zu events)\n", path,
+                  runtime.tracer().events().size());
+    } else {
+      std::fprintf(stderr, "\nFAILED to write Chrome trace to %s\n", path);
+    }
+  }
+
   const bool ok = result.finished && result.migrations == 1 &&
                   result.sum == apps::TestTree::expected_sum(params);
   std::printf("\n%s\n", ok ? "OK - autonomic rescheduling worked"

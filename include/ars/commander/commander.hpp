@@ -11,6 +11,11 @@
 #include "ars/net/network.hpp"
 #include "ars/sim/task.hpp"
 
+namespace ars::obs {
+class Tracer;
+class MetricsRegistry;
+}  // namespace ars::obs
+
 namespace ars::commander {
 
 class Commander {
@@ -20,6 +25,9 @@ class Commander {
     // Where acknowledgements go (the registry); acks are dropped if unset.
     std::string registry_host;
     int registry_port = 0;
+    /// Optional observability hooks (not owned): signal-delivery events.
+    obs::Tracer* tracer = nullptr;
+    obs::MetricsRegistry* metrics = nullptr;
   };
 
   Commander(host::Host& h, net::Network& network,

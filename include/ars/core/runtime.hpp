@@ -18,6 +18,8 @@
 #include "ars/monitor/monitor.hpp"
 #include "ars/mpi/mpi.hpp"
 #include "ars/net/network.hpp"
+#include "ars/obs/metrics.hpp"
+#include "ars/obs/tracer.hpp"
 #include "ars/registry/registry.hpp"
 #include "ars/rules/policy.hpp"
 #include "ars/sim/engine.hpp"
@@ -47,6 +49,13 @@ struct ClusterConfig {
       registry::DestinationStrategy::kFirstFit;
   /// Relaunch the processes of crashed hosts from their checkpoints.
   bool auto_restart = false;
+  /// Event-trace buffer options (ars::obs).  Tracing is on by default; it
+  /// is cheap in virtual time and the ring bound caps memory.
+  obs::Tracer::Options trace{};
+  /// Also mirror every support::Logger record into the trace as instant
+  /// events (installs the global LogBridge — at most one runtime at a time
+  /// should enable this).
+  bool forward_logs_to_trace = false;
 };
 
 /// Convenience builder for uniform Sun-Blade-100-like clusters.
@@ -75,6 +84,16 @@ class ReschedulerRuntime {
   [[nodiscard]] commander::Commander& commander_on(const std::string& name);
   [[nodiscard]] std::vector<std::string> host_names() const;
   [[nodiscard]] TraceRecorder& trace() noexcept { return *trace_; }
+
+  /// Structured event trace (ars::obs): migration phase spans, scheduler
+  /// decision audits, monitor state transitions, commander signals.
+  [[nodiscard]] obs::Tracer& tracer() noexcept { return tracer_; }
+  [[nodiscard]] const obs::Tracer& tracer() const noexcept { return tracer_; }
+  /// Runtime-wide metrics (counters/gauges/histograms).
+  [[nodiscard]] obs::MetricsRegistry& metrics() noexcept { return metrics_; }
+  [[nodiscard]] const obs::MetricsRegistry& metrics() const noexcept {
+    return metrics_;
+  }
 
   /// Start the rescheduler entities (registry, monitors, commanders).
   /// Without this call the cluster runs "without the rescheduler" — the
@@ -108,6 +127,9 @@ class ReschedulerRuntime {
  private:
   ClusterConfig config_;
   sim::Engine engine_;
+  obs::Tracer tracer_;
+  obs::MetricsRegistry metrics_;
+  std::unique_ptr<obs::LogBridge> log_bridge_;
   std::vector<std::unique_ptr<host::Host>> hosts_;
   std::map<std::string, host::Host*> hosts_by_name_;
   std::unique_ptr<net::Network> network_;

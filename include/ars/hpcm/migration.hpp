@@ -24,6 +24,7 @@
 // Every phase is timestamped in a MigrationTimeline so the §5.2 breakdown
 // and Figures 7/8 can be regenerated.
 
+#include <cstdint>
 #include <functional>
 #include <map>
 #include <memory>
@@ -35,6 +36,11 @@
 #include "ars/hpcm/schema.hpp"
 #include "ars/hpcm/stateregistry.hpp"
 #include "ars/mpi/mpi.hpp"
+
+namespace ars::obs {
+class Tracer;
+class MetricsRegistry;
+}  // namespace ars::obs
 
 namespace ars::hpcm {
 
@@ -128,6 +134,11 @@ class MigrationEngine {
     /// Stable-store bandwidth for checkpoint writes/reads (2004-era
     /// NFS-backed disk).
     double checkpoint_store_bps = 20.0e6;
+    /// Optional observability hooks (not owned).  When set, every
+    /// migration phase is recorded as a span (signal, poll-point, spawn,
+    /// collect, restore) and timing/volume metrics are published.
+    obs::Tracer* tracer = nullptr;
+    obs::MetricsRegistry* metrics = nullptr;
   };
 
   explicit MigrationEngine(mpi::MpiSystem& mpi);
@@ -232,6 +243,13 @@ class MigrationEngine {
 
   void finish_normal_exit(mpi::RankId id);
 
+  [[nodiscard]] obs::Tracer* tracer() const noexcept {
+    return options_.tracer;
+  }
+  [[nodiscard]] obs::MetricsRegistry* metrics() const noexcept {
+    return options_.metrics;
+  }
+
   mpi::MpiSystem* mpi_;
   Options options_;
   std::map<mpi::RankId, std::unique_ptr<ProcState>> procs_;
@@ -242,6 +260,14 @@ class MigrationEngine {
   CheckpointStore checkpoint_store_;
   /// Crashed applications parked for relaunch, keyed by process name.
   std::map<std::string, std::unique_ptr<ProcState>> crashed_;
+
+  // -- tracing bookkeeping (ids are 0 when no tracer is attached) ----------
+  struct TimelineSpans {
+    std::uint64_t migration = 0;  // requested -> background restore done
+    std::uint64_t restore = 0;    // eager state landed -> restore done
+  };
+  std::map<mpi::RankId, std::uint64_t> signal_spans_;  // signal -> poll-point
+  std::map<std::size_t, TimelineSpans> timeline_spans_;
 };
 
 }  // namespace ars::hpcm

@@ -16,6 +16,11 @@
 #include "ars/rules/state.hpp"
 #include "ars/sim/task.hpp"
 
+namespace ars::obs {
+class Tracer;
+class MetricsRegistry;
+}  // namespace ars::obs
+
 namespace ars::monitor {
 
 /// Maps a status snapshot to a host state.  The default classifier derives
@@ -57,6 +62,10 @@ class Monitor {
     double warmup_min_factor = 0.5;  // bounds relative to the policy warmup
     double warmup_max_factor = 2.0;
     double warmup_gain = 0.2;        // multiplicative step per episode
+    /// Optional observability hooks (not owned): state-transition events
+    /// and per-state transition counters.
+    obs::Tracer* tracer = nullptr;
+    obs::MetricsRegistry* metrics = nullptr;
   };
 
   Monitor(host::Host& h, net::Network& network, Config config);

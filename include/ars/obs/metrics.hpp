@@ -1,0 +1,140 @@
+#pragma once
+// Metrics registry for the rescheduler (obs pillar 2): named counters,
+// gauges, and fixed-bucket histograms with percentile accessors, exportable
+// as Prometheus-style text and as JSON.
+//
+// Instruments are created on first use and owned by the registry; the
+// returned references stay valid for the registry's lifetime (node-based
+// map storage), so hot paths can cache them.  Label sets distinguish series
+// within one metric name (e.g. rules.state_transitions{to="busy"}).
+//
+// Like the Tracer, the registry is single-writer: everything runs on the
+// simulation engine's thread.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace ars::obs {
+
+using Labels = std::map<std::string, std::string>;
+
+class Counter {
+ public:
+  void inc(double delta = 1.0) noexcept { value_ += delta; }
+  [[nodiscard]] double value() const noexcept { return value_; }
+
+ private:
+  double value_ = 0.0;
+};
+
+class Gauge {
+ public:
+  void set(double value) noexcept { value_ = value; }
+  void add(double delta) noexcept { value_ += delta; }
+  [[nodiscard]] double value() const noexcept { return value_; }
+
+ private:
+  double value_ = 0.0;
+};
+
+/// Fixed-bucket histogram.  `bounds` are the inclusive upper bounds of the
+/// finite buckets, in increasing order; an implicit +Inf bucket catches the
+/// rest.  Quantiles interpolate linearly inside the winning bucket (the
+/// Prometheus convention), so their precision is the bucket resolution.
+class Histogram {
+ public:
+  Histogram() : Histogram(default_bounds()) {}
+  explicit Histogram(std::vector<double> bounds);
+
+  void observe(double value);
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
+  [[nodiscard]] double sum() const noexcept { return sum_; }
+  [[nodiscard]] double mean() const noexcept {
+    return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+  }
+  [[nodiscard]] double min() const noexcept { return count_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const noexcept { return count_ ? max_ : 0.0; }
+
+  /// Estimated q-quantile, q in [0,1]; 0 when empty.
+  [[nodiscard]] double quantile(double q) const;
+  [[nodiscard]] double p50() const { return quantile(0.50); }
+  [[nodiscard]] double p95() const { return quantile(0.95); }
+  [[nodiscard]] double p99() const { return quantile(0.99); }
+
+  [[nodiscard]] const std::vector<double>& bounds() const noexcept {
+    return bounds_;
+  }
+  /// Per-bucket counts; back() is the +Inf bucket.
+  [[nodiscard]] const std::vector<std::uint64_t>& bucket_counts()
+      const noexcept {
+    return buckets_;
+  }
+
+  /// 20 exponential buckets from 1 ms to ~500 s — wide enough for both
+  /// decision latencies (~2 ms) and full migration times (tens of seconds).
+  [[nodiscard]] static std::vector<double> default_bounds();
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::uint64_t> buckets_;  // bounds_.size() + 1 (+Inf)
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Get-or-create.  The same (name, labels) always returns the same
+  /// instrument; a name must not be reused across instrument kinds.
+  Counter& counter(const std::string& name, const Labels& labels = {});
+  Gauge& gauge(const std::string& name, const Labels& labels = {});
+  Histogram& histogram(const std::string& name, const Labels& labels = {},
+                       std::vector<double> bounds = {});
+
+  /// Lookup without creating; nullptr when absent.
+  [[nodiscard]] const Counter* find_counter(const std::string& name,
+                                            const Labels& labels = {}) const;
+  [[nodiscard]] const Gauge* find_gauge(const std::string& name,
+                                        const Labels& labels = {}) const;
+  [[nodiscard]] const Histogram* find_histogram(
+      const std::string& name, const Labels& labels = {}) const;
+
+  [[nodiscard]] std::size_t series_count() const noexcept {
+    return counters_.size() + gauges_.size() + histograms_.size();
+  }
+
+  /// Prometheus text exposition format.  Metric names are sanitized
+  /// ('.' and '-' become '_'); histograms expand to _bucket/_sum/_count.
+  [[nodiscard]] std::string to_prometheus() const;
+
+  /// One JSON object: {"counters":{...},"gauges":{...},"histograms":{...}}.
+  [[nodiscard]] std::string to_json() const;
+
+  void clear();
+
+ private:
+  template <typename T>
+  struct Series {
+    std::string name;
+    Labels labels;
+    T instrument;
+  };
+
+  /// "name{k=v,...}" — the registry key and the JSON export key.
+  [[nodiscard]] static std::string series_key(const std::string& name,
+                                              const Labels& labels);
+
+  std::map<std::string, Series<Counter>> counters_;
+  std::map<std::string, Series<Gauge>> gauges_;
+  std::map<std::string, Series<Histogram>> histograms_;
+};
+
+}  // namespace ars::obs

@@ -1,0 +1,188 @@
+#pragma once
+// Structured event tracing for the rescheduler (obs pillar 1).
+//
+// A Tracer records sim-time-stamped *instant events* and nestable *spans*
+// (explicit begin/end pairs carrying key/value attributes) into a bounded
+// in-memory ring.  Spans may cross coroutine suspension points — the id
+// returned by begin_span() is plain data, so a migration span can open on
+// the source host and close on the destination many virtual seconds later.
+//
+// Two exporters turn a recorded timeline into files:
+//   * to_jsonl()        — one JSON object per line, grep/jq-friendly;
+//   * to_chrome_trace() — the Chrome trace_event format (async "b"/"e"
+//     events plus thread-name metadata), directly loadable in
+//     chrome://tracing or https://ui.perfetto.dev, with one timeline row
+//     ("thread") per track (host or process name).
+//
+// The tracer is single-writer by design: all simulated activity runs on the
+// discrete-event engine's thread.  Cross-thread log forwarding (LogBridge)
+// is serialized by the Logger's own mutex.
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace ars::obs {
+
+/// One key/value span or event attribute.
+struct Attr {
+  std::string key;
+  std::variant<std::string, double, bool> value;
+
+  Attr(std::string k, std::string v) : key(std::move(k)), value(std::move(v)) {}
+  Attr(std::string k, const char* v) : key(std::move(k)), value(std::string(v)) {}
+  Attr(std::string k, double v) : key(std::move(k)), value(v) {}
+  Attr(std::string k, int v) : key(std::move(k)), value(static_cast<double>(v)) {}
+  Attr(std::string k, std::size_t v)
+      : key(std::move(k)), value(static_cast<double>(v)) {}
+  Attr(std::string k, bool v) : key(std::move(k)), value(v) {}
+};
+
+using Attrs = std::vector<Attr>;
+
+enum class EventKind { kInstant, kSpanBegin, kSpanEnd };
+
+struct TraceEvent {
+  EventKind kind = EventKind::kInstant;
+  double t = 0.0;          // sim time, seconds
+  std::string name;        // e.g. "migration.spawn"
+  std::string category;    // emitting subsystem, e.g. "hpcm"
+  std::string track;       // timeline row: host or process name
+  std::uint64_t span_id = 0;  // non-zero for kSpanBegin/kSpanEnd
+  Attrs attrs;
+};
+
+/// A fully closed span, reassembled from its begin/end events.
+struct CompletedSpan {
+  std::uint64_t id = 0;
+  std::string name;
+  std::string category;
+  std::string track;
+  double begin = 0.0;
+  double end = 0.0;
+  Attrs attrs;  // begin attrs followed by end attrs
+
+  [[nodiscard]] double duration() const { return end - begin; }
+};
+
+class Tracer {
+ public:
+  using ClockFn = std::function<double()>;
+
+  struct Options {
+    /// Maximum buffered events; the oldest are dropped beyond this.
+    std::size_t capacity = 1 << 16;
+    bool enabled = true;
+  };
+
+  Tracer() : Tracer(Options{}) {}
+  explicit Tracer(Options options) : options_(options) {}
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// Install the virtual-time source (normally sim::Engine::now).
+  void set_clock(ClockFn clock) { clock_ = std::move(clock); }
+
+  void set_enabled(bool enabled) noexcept { options_.enabled = enabled; }
+  [[nodiscard]] bool enabled() const noexcept { return options_.enabled; }
+
+  /// Record an instant event.
+  void instant(std::string name, std::string category, std::string track,
+               Attrs attrs = {});
+
+  /// Open a span; returns its id (0 when the tracer is disabled — safe to
+  /// pass straight back to end_span, which ignores 0).
+  [[nodiscard]] std::uint64_t begin_span(std::string name,
+                                         std::string category,
+                                         std::string track, Attrs attrs = {});
+
+  /// Close a span opened by begin_span; extra attributes are attached to
+  /// the end event.  id 0 is a no-op.
+  void end_span(std::uint64_t id, Attrs attrs = {});
+
+  /// Record an instant at an explicit timestamp (log forwarding keeps the
+  /// record's own stamp instead of re-reading the clock).
+  void instant_at(double t, std::string name, std::string category,
+                  std::string track, Attrs attrs = {});
+
+  [[nodiscard]] const std::deque<TraceEvent>& events() const noexcept {
+    return events_;
+  }
+  /// Events evicted by the capacity bound since the last clear().
+  [[nodiscard]] std::size_t dropped() const noexcept { return dropped_; }
+  /// Spans begun but not yet ended.
+  [[nodiscard]] std::size_t open_spans() const noexcept {
+    return open_info_.size();
+  }
+
+  /// All fully closed spans, in end order.  Begin events evicted by the
+  /// ring bound leave their ends unmatched (skipped).
+  [[nodiscard]] std::vector<CompletedSpan> completed_spans() const;
+
+  /// Closed spans with the given name, in end order.
+  [[nodiscard]] std::vector<CompletedSpan> spans_named(
+      const std::string& name) const;
+
+  void clear();
+
+  /// One JSON object per line: {"t":..,"kind":..,"name":..,...}.
+  [[nodiscard]] std::string to_jsonl() const;
+
+  /// Chrome trace_event JSON document (see header comment).
+  [[nodiscard]] std::string to_chrome_trace() const;
+
+ private:
+  struct OpenSpan {
+    std::string name;
+    std::string category;
+    std::string track;
+  };
+
+  void push(TraceEvent event);
+  [[nodiscard]] double now() const { return clock_ ? clock_() : 0.0; }
+
+  Options options_;
+  ClockFn clock_;
+  std::deque<TraceEvent> events_;
+  std::map<std::uint64_t, OpenSpan> open_info_;
+  std::uint64_t next_span_id_ = 1;
+  std::size_t dropped_ = 0;
+};
+
+/// RAII span for straight-line (non-migrating) scopes.
+class SpanGuard {
+ public:
+  SpanGuard(Tracer& tracer, std::string name, std::string category,
+            std::string track, Attrs attrs = {})
+      : tracer_(&tracer),
+        id_(tracer.begin_span(std::move(name), std::move(category),
+                              std::move(track), std::move(attrs))) {}
+  ~SpanGuard() {
+    if (tracer_ != nullptr) {
+      tracer_->end_span(id_);
+    }
+  }
+  SpanGuard(const SpanGuard&) = delete;
+  SpanGuard& operator=(const SpanGuard&) = delete;
+
+ private:
+  Tracer* tracer_;
+  std::uint64_t id_;
+};
+
+/// While alive, forwards every support::Logger record into `tracer` as an
+/// instant event (category "log", track = component) so logs and spans
+/// share one timeline.  Install at most one at a time.
+class LogBridge {
+ public:
+  explicit LogBridge(Tracer& tracer);
+  ~LogBridge();
+  LogBridge(const LogBridge&) = delete;
+  LogBridge& operator=(const LogBridge&) = delete;
+};
+
+}  // namespace ars::obs

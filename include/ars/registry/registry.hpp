@@ -30,6 +30,11 @@
 #include "ars/support/rng.hpp"
 #include "ars/xmlproto/messages.hpp"
 
+namespace ars::obs {
+class Tracer;
+class MetricsRegistry;
+}  // namespace ars::obs
+
 namespace ars::registry {
 
 struct HostEntry {
@@ -58,6 +63,17 @@ struct ProcessEntry {
   double last_migrated_at = -1.0e9;
 };
 
+/// Verdict on one host considered as a migration destination — the audit
+/// trail of the first-fit scan.  Every registered host appears exactly once
+/// per decision, in registration (scan) order.
+struct CandidateAudit {
+  std::string host;
+  bool accepted = false;  // passed every destination condition
+  /// "chosen (...)", "eligible (not chosen)", or the rejection cause
+  /// ("source host", "draining", "state=busy (not free)", ...).
+  std::string reason;
+};
+
 /// One scheduling decision, for the experiment logs.
 struct Decision {
   double at = 0.0;
@@ -68,6 +84,8 @@ struct Decision {
   double decision_latency = 0.0;
   bool escalated = false;
   bool restart = false;  // failure recovery rather than live migration
+  /// Why each registered host was or was not the destination.
+  std::vector<CandidateAudit> candidates;
 };
 
 class Registry {
@@ -96,6 +114,10 @@ class Registry {
     /// relaunch of its registered processes on other hosts (from their
     /// checkpoints, via the destination commanders).
     bool auto_restart = false;
+    /// Optional observability hooks (not owned): decision spans, audit
+    /// events, and scheduler/lease metrics.
+    obs::Tracer* tracer = nullptr;
+    obs::MetricsRegistry* metrics = nullptr;
   };
 
   Registry(host::Host& h, net::Network& network, Config config);
@@ -129,17 +151,21 @@ class Registry {
 
   /// Scheduling core, also callable directly by tests: pick a destination
   /// for a migration off `source_host` using the configured strategy
-  /// (nullopt if no eligible host).
+  /// (nullopt if no eligible host).  When `audit` is non-null it receives
+  /// one verdict per registered host, in scan order.
   [[nodiscard]] std::optional<std::string> choose_destination(
-      const std::string& source_host, const std::string& schema_name);
+      const std::string& source_host, const std::string& schema_name,
+      std::vector<CandidateAudit>* audit = nullptr);
 
   /// The paper's default strategy, regardless of configuration.
   [[nodiscard]] std::optional<std::string> first_fit_destination(
       const std::string& source_host, const std::string& schema_name);
 
-  /// Hosts eligible as destination, in registration order.
+  /// Hosts eligible as destination, in registration order.  When `audit`
+  /// is non-null it receives a verdict (with rejection reason) per host.
   [[nodiscard]] std::vector<const HostEntry*> eligible_destinations(
-      const std::string& source_host, const std::string& schema_name) const;
+      const std::string& source_host, const std::string& schema_name,
+      std::vector<CandidateAudit>* audit = nullptr) const;
 
   /// Selector: the migration-enabled process on `source_host` with the
   /// latest estimated completion time.

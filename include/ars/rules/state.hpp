@@ -63,4 +63,7 @@ struct StateActions {
 [[nodiscard]] support::Expected<SystemState> state_from_string(
     std::string_view name);
 
+/// "free->overloaded"-style label for state-transition trace events.
+[[nodiscard]] std::string transition_label(SystemState from, SystemState to);
+
 }  // namespace ars::rules

@@ -6,8 +6,14 @@
 // time instead of wall time.  Experiments set the hook once when the engine
 // is created; modules log through ARS_LOG_* macros which compile down to a
 // level check before any formatting happens.
+//
+// The logger is thread-safe: the level is atomic (checked lock-free by the
+// macros) and a mutex serializes sink/clock/forward swaps against writes,
+// so records never observe a half-replaced hook.
 
+#include <atomic>
 #include <functional>
+#include <mutex>
 #include <sstream>
 #include <string>
 #include <string_view>
@@ -35,17 +41,26 @@ class Logger {
   /// The process-wide logger used by the ARS_LOG_* macros.
   static Logger& global();
 
-  void set_level(LogLevel level) noexcept { level_ = level; }
-  [[nodiscard]] LogLevel level() const noexcept { return level_; }
+  void set_level(LogLevel level) noexcept {
+    level_.store(level, std::memory_order_relaxed);
+  }
+  [[nodiscard]] LogLevel level() const noexcept {
+    return level_.load(std::memory_order_relaxed);
+  }
   [[nodiscard]] bool enabled(LogLevel level) const noexcept {
-    return static_cast<int>(level) >= static_cast<int>(level_);
+    return static_cast<int>(level) >= static_cast<int>(this->level());
   }
 
   /// Install a virtual-time source; pass nullptr to revert to "no time".
-  void set_clock(ClockFn clock) { clock_ = std::move(clock); }
+  void set_clock(ClockFn clock);
 
   /// Replace the output sink (default: stderr).  Used by tests to capture.
-  void set_sink(SinkFn sink) { sink_ = std::move(sink); }
+  void set_sink(SinkFn sink);
+
+  /// A secondary tap receiving every record that passes the level filter,
+  /// in addition to the sink.  obs::LogBridge uses this to mirror log
+  /// records into a Tracer timeline.  Pass nullptr to remove.
+  void set_forward(SinkFn forward);
 
   void write(LogLevel level, std::string_view component,
              std::string_view message);
@@ -53,9 +68,11 @@ class Logger {
  private:
   Logger();
 
-  LogLevel level_ = LogLevel::kWarn;
+  std::atomic<LogLevel> level_{LogLevel::kWarn};
+  mutable std::mutex mutex_;  // guards clock_/sink_/forward_ and writes
   ClockFn clock_;
   SinkFn sink_;
+  SinkFn forward_;
 };
 
 }  // namespace ars::support

@@ -1,0 +1,39 @@
+#!/usr/bin/env sh
+# Dry-run clang-format over every C++ source in the repo and fail if any
+# file would be rewritten.  Intended for CI and pre-commit use:
+#
+#   $ scripts/check_format.sh            # check, non-zero exit on drift
+#   $ scripts/check_format.sh --fix      # rewrite in place instead
+#
+# Exits 0 with a notice when clang-format is not installed, so the check is
+# advisory on machines without the toolchain.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+CLANG_FORMAT="${CLANG_FORMAT:-}"
+if [ -z "$CLANG_FORMAT" ]; then
+  for candidate in clang-format clang-format-18 clang-format-17 \
+                   clang-format-16 clang-format-15 clang-format-14; do
+    if command -v "$candidate" >/dev/null 2>&1; then
+      CLANG_FORMAT="$candidate"
+      break
+    fi
+  done
+fi
+if [ -z "$CLANG_FORMAT" ]; then
+  echo "check_format: clang-format not found; skipping (install it or set CLANG_FORMAT)" >&2
+  exit 0
+fi
+
+MODE="--dry-run -Werror"
+if [ "${1:-}" = "--fix" ]; then
+  MODE="-i"
+fi
+
+# shellcheck disable=SC2086
+find include src tests bench examples \
+    -name '*.hpp' -o -name '*.cpp' | sort | \
+  xargs "$CLANG_FORMAT" --style=file $MODE
+
+echo "check_format: OK ($CLANG_FORMAT)"

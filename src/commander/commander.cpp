@@ -1,5 +1,7 @@
 #include "ars/commander/commander.hpp"
 
+#include "ars/obs/metrics.hpp"
+#include "ars/obs/tracer.hpp"
 #include "ars/support/log.hpp"
 #include "ars/xmlproto/messages.hpp"
 
@@ -52,6 +54,19 @@ sim::Task<> Commander::serve() {
       // here, from its latest checkpoint if one exists.
       const mpi::RankId id =
           middleware_->relaunch(relaunch->process_name, host_->name());
+      if (config_.tracer != nullptr) {
+        config_.tracer->instant("commander.relaunch", "commander",
+                                host_->name(),
+                                {{"process", relaunch->process_name},
+                                 {"lost_host", relaunch->lost_host},
+                                 {"ok", id != 0}});
+      }
+      if (config_.metrics != nullptr) {
+        config_.metrics
+            ->counter("commander.relaunches",
+                      {{"ok", id != 0 ? "true" : "false"}})
+            .inc();
+      }
       if (id == 0) {
         ARS_LOG_WARN("commander", "relaunch of unknown process "
                                       << relaunch->process_name << " on "
@@ -75,6 +90,21 @@ sim::Task<> Commander::serve() {
     // Temp file + user-defined signal; the poll-point does the rest.
     const bool ok = middleware_->request_migration(
         host_->name(), command->pid, command->dest_host);
+    if (config_.tracer != nullptr) {
+      // Signal delivery: the commander wrote the destination temp file and
+      // raised the user-defined signal at the migrating process.
+      config_.tracer->instant("commander.signal", "commander", host_->name(),
+                              {{"pid", command->pid},
+                               {"process", command->process_name},
+                               {"destination", command->dest_host},
+                               {"ok", ok}});
+    }
+    if (config_.metrics != nullptr) {
+      config_.metrics->counter("commander.commands_received").inc();
+      if (!ok) {
+        config_.metrics->counter("commander.commands_failed").inc();
+      }
+    }
     if (!ok) {
       ++commands_failed_;
       ARS_LOG_WARN("commander", "migrate command for unknown pid "

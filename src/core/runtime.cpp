@@ -19,13 +19,16 @@ ClusterConfig make_cluster(int host_count, rules::MigrationPolicy policy) {
 }
 
 ReschedulerRuntime::ReschedulerRuntime(ClusterConfig config)
-    : config_(std::move(config)) {
+    : config_(std::move(config)), tracer_(config_.trace) {
   if (config_.hosts.empty()) {
     throw std::invalid_argument("cluster needs at least one host");
   }
   if (config_.registry_host.empty()) {
     config_.registry_host = config_.hosts.front().name;
   }
+  tracer_.set_clock([this] { return engine_.now(); });
+  config_.hpcm.tracer = &tracer_;
+  config_.hpcm.metrics = &metrics_;
   network_ = std::make_unique<net::Network>(engine_, config_.network);
   for (const host::HostSpec& spec : config_.hosts) {
     hosts_.push_back(std::make_unique<host::Host>(engine_, spec));
@@ -45,6 +48,8 @@ ReschedulerRuntime::ReschedulerRuntime(ClusterConfig config)
   registry_config.per_process_cooldown = config_.per_process_cooldown;
   registry_config.strategy = config_.strategy;
   registry_config.auto_restart = config_.auto_restart;
+  registry_config.tracer = &tracer_;
+  registry_config.metrics = &metrics_;
   registry_ = std::make_unique<registry::Registry>(
       host(config_.registry_host), *network_, registry_config);
 
@@ -52,6 +57,8 @@ ReschedulerRuntime::ReschedulerRuntime(ClusterConfig config)
     commander::Commander::Config commander_config;
     commander_config.registry_host = config_.registry_host;
     commander_config.registry_port = registry_->port();
+    commander_config.tracer = &tracer_;
+    commander_config.metrics = &metrics_;
     commanders_.emplace(h->name(), std::make_unique<commander::Commander>(
                                        *h, *network_, *hpcm_,
                                        commander_config));
@@ -61,15 +68,21 @@ ReschedulerRuntime::ReschedulerRuntime(ClusterConfig config)
     monitor_config.commander_port = commanders_.at(h->name())->port();
     monitor_config.policy = config_.policy;
     monitor_config.cycle_cpu_cost = config_.monitor_cycle_cpu_cost;
+    monitor_config.tracer = &tracer_;
+    monitor_config.metrics = &metrics_;
     monitors_.emplace(h->name(), std::make_unique<monitor::Monitor>(
                                      *h, *network_, monitor_config));
   }
   trace_ = std::make_unique<TraceRecorder>(engine_, *network_);
   // Stamp log records with virtual time while this runtime is alive.
   support::Logger::global().set_clock([this] { return engine_.now(); });
+  if (config_.forward_logs_to_trace) {
+    log_bridge_ = std::make_unique<obs::LogBridge>(tracer_);
+  }
 }
 
 ReschedulerRuntime::~ReschedulerRuntime() {
+  log_bridge_.reset();
   support::Logger::global().set_clock(nullptr);
   // Entities hold fibers suspended on network endpoints; stop them before
   // members are torn down.

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "ars/obs/metrics.hpp"
+#include "ars/obs/tracer.hpp"
 #include "ars/support/log.hpp"
 
 namespace ars::hpcm {
@@ -105,7 +107,24 @@ bool MigrationEngine::request_migration(mpi::RankId id,
   // user-defined signal.
   proc->host().tmpfiles().write(migrate_key(proc->pid()), dest_host);
   it->second->context.requested_at = mpi_->engine().now();
-  return proc->host().processes().raise(proc->pid(), host::kSigMigrate);
+  const bool ok =
+      proc->host().processes().raise(proc->pid(), host::kSigMigrate);
+  if (obs::MetricsRegistry* m = metrics()) {
+    m->counter("migration.requests").inc();
+  }
+  if (obs::Tracer* t = tracer(); t != nullptr && ok) {
+    // The signal span covers delivery -> the process reaching a poll-point.
+    const auto open = signal_spans_.find(id);
+    if (open != signal_spans_.end()) {
+      t->end_span(open->second, {{"superseded", true}});
+    }
+    signal_spans_[id] = t->begin_span(
+        "migration.signal", "hpcm", proc->name(),
+        {{"source", proc->host().name()},
+         {"dest", dest_host},
+         {"pid", static_cast<int>(proc->pid())}});
+  }
+  return ok;
 }
 
 sim::Task<> MigrationContext::poll_point() {
@@ -113,14 +132,30 @@ sim::Task<> MigrationContext::poll_point() {
   if (!p.host().processes().consume_signal(p.pid(), host::kSigMigrate)) {
     co_return;
   }
+  obs::Tracer* tracer = engine_->tracer();
+  if (tracer != nullptr) {
+    // Close the signal-delivery span: the process reached its poll-point.
+    const auto open = engine_->signal_spans_.find(p.id());
+    if (open != engine_->signal_spans_.end()) {
+      tracer->end_span(open->second);
+      engine_->signal_spans_.erase(open);
+    }
+  }
   const std::string key = migrate_key(p.pid());
   if (!p.host().tmpfiles().contains(key)) {
     ARS_LOG_WARN("hpcm", "migration signal without destination file for "
                              << p.name());
     co_return;
   }
+  std::uint64_t poll_span = 0;
+  if (tracer != nullptr) {
+    poll_span = tracer->begin_span("migration.poll_point", "hpcm", p.name());
+  }
   const std::string dest = p.host().tmpfiles().read(key);
   p.host().tmpfiles().erase(key);
+  if (tracer != nullptr) {
+    tracer->end_span(poll_span, {{"dest", dest}});
+  }
   try {
     co_await engine_->migrate(*this, dest);
   } catch (const mpi::ProcMoved&) {
@@ -130,6 +165,13 @@ sim::Task<> MigrationContext::poll_point() {
     // computing on the source.
     ARS_LOG_ERROR("hpcm", "migration of " << p.name() << " to " << dest
                                           << " failed: " << e.what());
+    if (tracer != nullptr) {
+      tracer->instant("migration.failed", "hpcm", p.name(),
+                      {{"dest", dest}, {"error", std::string(e.what())}});
+    }
+    if (obs::MetricsRegistry* m = engine_->metrics()) {
+      m->counter("migration.failures").inc();
+    }
   }
 }
 
@@ -159,6 +201,13 @@ bool MigrationEngine::crash(mpi::RankId id) {
   const std::string name = proc->name();
   ARS_LOG_WARN("hpcm", "crash injected: " << name << " on "
                                           << proc->host().name());
+  if (obs::Tracer* t = tracer()) {
+    t->instant("process.crash", "hpcm", name,
+               {{"host", proc->host().name()}});
+  }
+  if (obs::MetricsRegistry* m = metrics()) {
+    m->counter("process.crashes").inc();
+  }
   auto state = std::move(it->second);
   procs_.erase(it);
   state->context.proc_ = nullptr;
@@ -227,7 +276,17 @@ mpi::RankId MigrationEngine::relaunch(const std::string& process_name,
       mpi_->launch_exact(host_name, wrapper, process_name,
                          /*migration_enabled=*/true, ctx.schema_name_);
   state->context.proc_ = mpi_->find(id);
+  const bool from_checkpoint = state->context.restarted_from_checkpoint_;
   procs_.emplace(id, std::move(state));
+  if (obs::Tracer* t = tracer()) {
+    t->instant("process.relaunch", "hpcm", process_name,
+               {{"host", host_name}, {"from_checkpoint", from_checkpoint}});
+  }
+  if (obs::MetricsRegistry* m = metrics()) {
+    m->counter("process.relaunches",
+               {{"from_checkpoint", from_checkpoint ? "yes" : "no"}})
+        .inc();
+  }
   return id;
 }
 
@@ -253,7 +312,26 @@ sim::Task<> MigrationEngine::receiver_main(mpi::Proc& helper,
   takeover(id, helper.host(), std::move(*decoded), timeline_index);
   // Background restoration completes in parallel with the resumed app.
   (void)co_await helper.recv(merged, mpi::kAnySource, kTagReady);
+  const MigrationTimeline& done = history_[timeline_index];
   history_[timeline_index].completed_at = helper.system().engine().now();
+  if (obs::Tracer* t = tracer()) {
+    const auto spans = timeline_spans_.find(timeline_index);
+    if (spans != timeline_spans_.end()) {
+      t->end_span(spans->second.restore);
+      t->end_span(spans->second.migration,
+                  {{"succeeded", done.succeeded},
+                   {"state_bytes", done.state_bytes}});
+      timeline_spans_.erase(spans);
+    }
+  }
+  if (obs::MetricsRegistry* m = metrics()) {
+    m->counter("migration.completed").inc();
+    m->histogram("migration.total_time").observe(done.total());
+    m->histogram("migration.resume_latency").observe(done.resume_latency());
+    m->histogram("migration.data_bytes",
+                 {}, {1e3, 1e4, 1e5, 1e6, 1e7, 1e8, 1e9})
+        .observe(done.state_bytes);
+  }
 }
 
 sim::Task<> MigrationEngine::migrate(MigrationContext& ctx,
@@ -282,13 +360,30 @@ sim::Task<> MigrationEngine::migrate(MigrationContext& ctx,
   }
   ARS_LOG_INFO("hpcm", "migrating " << proc.name() << ": " << source_host
                                     << " -> " << dest_host);
+  obs::Tracer* t = tracer();
+  if (t != nullptr) {
+    TimelineSpans& spans = timeline_spans_[timeline_index];
+    spans.migration = t->begin_span(
+        "migration", "hpcm", proc.name(),
+        {{"source", source_host}, {"dest", dest_host}});
+  }
 
   // ---- 1. initialized process (MPI-2 DPM) ---------------------------------
   MigrationEngine* self = this;
   mpi::Comm merged;
   mpi::RankId helper_id = 0;
   const auto port_it = pre_initialized_.find(dest_host);
-  if (port_it != pre_initialized_.end() && !port_it->second.empty()) {
+  const bool pre_init =
+      port_it != pre_initialized_.end() && !port_it->second.empty();
+  std::uint64_t spawn_span = 0;
+  if (t != nullptr) {
+    spawn_span = t->begin_span(
+        "migration.spawn", "hpcm", proc.name(),
+        {{"dest", dest_host},
+         {"mechanism", pre_init ? "connect (pre-initialized daemon)"
+                                : "MPI_Comm_spawn"}});
+  }
+  if (pre_init) {
     // Pre-initialized daemon: connect/accept instead of the slow spawn.
     const mpi::Comm conn = co_await proc.connect(port_it->second);
     helper_id = conn.remote_member(0);
@@ -304,8 +399,15 @@ sim::Task<> MigrationEngine::migrate(MigrationContext& ctx,
     merged = co_await proc.merge(spawned.intercomm, false);
   }
   history_[timeline_index].init_done_at = engine.now();
+  if (t != nullptr) {
+    t->end_span(spawn_span);
+  }
 
   // ---- 2. data collection: snapshot live variables -------------------------
+  std::uint64_t collect_span = 0;
+  if (t != nullptr) {
+    collect_span = t->begin_span("migration.collect", "hpcm", proc.name());
+  }
   if (ctx.save_) {
     ctx.save_();
   }
@@ -325,6 +427,16 @@ sim::Task<> MigrationEngine::migrate(MigrationContext& ctx,
   co_await proc.send(merged, merged.rank_of(helper_id), kTagEagerState,
                      eager_wire, std::move(eager_payload));
   history_[timeline_index].eager_done_at = engine.now();
+  if (t != nullptr) {
+    t->end_span(collect_span,
+                {{"state_bytes", history_[timeline_index].state_bytes},
+                 {"eager_bytes", eager_wire}});
+    // The restoration overlap: the destination decodes and resumes while
+    // the source keeps shipping the bulk of the memory state.
+    timeline_spans_[timeline_index].restore = t->begin_span(
+        "migration.restore", "hpcm", proc.name(),
+        {{"remaining_bytes", opaque - eager_opaque}});
+  }
 
   // ---- 4. background bulk transfer (source keeps collecting) --------------
   const double remaining = opaque - eager_opaque;
@@ -377,6 +489,11 @@ void MigrationEngine::takeover(mpi::RankId id, host::Host& destination,
   ctx.requested_at = -1.0;
   history_[timeline_index].resumed_at = mpi_->engine().now();
   history_[timeline_index].succeeded = true;
+  if (obs::Tracer* t = tracer()) {
+    t->instant("migration.resumed", "hpcm", proc->name(),
+               {{"dest", destination.name()},
+                {"migrations", ctx.migration_count_}});
+  }
 
   ProcState* state_ptr = it->second.get();
   auto wrapper = [this, state_ptr](mpi::Proc& p) -> sim::Task<> {

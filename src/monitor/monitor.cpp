@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "ars/obs/metrics.hpp"
+#include "ars/obs/tracer.hpp"
 #include "ars/support/log.hpp"
 #include "ars/support/strings.hpp"
 #include "ars/xmlproto/messages.hpp"
@@ -152,6 +154,22 @@ sim::Task<> Monitor::run() {
     const SystemState state = config_.classifier(status);
     status.state = std::string(rules::to_string(state));
     db_.record(status);
+    if (state != state_) {
+      if (config_.tracer != nullptr) {
+        config_.tracer->instant(
+            "monitor.state_transition", "monitor", host_->name(),
+            {{"from", std::string(rules::to_string(state_))},
+             {"to", std::string(rules::to_string(state))},
+             {"transition", rules::transition_label(state_, state)},
+             {"load1", status.load1}});
+      }
+      if (config_.metrics != nullptr) {
+        config_.metrics
+            ->counter("rules.state_transitions",
+                      {{"to", std::string(rules::to_string(state))}})
+            .inc();
+      }
+    }
     state_ = state;
 
     sync_process_registrations();
@@ -180,6 +198,14 @@ sim::Task<> Monitor::run() {
         ++consults_sent_;
         episode_consulted_ = true;
         last_consult_at_ = engine.now();
+        if (config_.tracer != nullptr) {
+          config_.tracer->instant("monitor.consult", "monitor",
+                                  host_->name(),
+                                  {{"reason", consult.reason}});
+        }
+        if (config_.metrics != nullptr) {
+          config_.metrics->counter("monitor.consults_sent").inc();
+        }
         ARS_LOG_INFO("monitor",
                      host_->name() << " consults registry: " << consult.reason);
       }

@@ -1,0 +1,278 @@
+#include "ars/obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "ars/obs/json.hpp"
+
+namespace ars::obs {
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  std::sort(bounds_.begin(), bounds_.end());
+  bounds_.erase(std::unique(bounds_.begin(), bounds_.end()), bounds_.end());
+  buckets_.assign(bounds_.size() + 1, 0);
+}
+
+std::vector<double> Histogram::default_bounds() {
+  std::vector<double> bounds;
+  double bound = 1e-3;
+  for (int i = 0; i < 20; ++i) {
+    bounds.push_back(bound);
+    bound *= 2.0;
+  }
+  return bounds;
+}
+
+void Histogram::observe(double value) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
+  buckets_[static_cast<std::size_t>(it - bounds_.begin())] += 1;
+  sum_ += value;
+  if (count_ == 0) {
+    min_ = max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+}
+
+double Histogram::quantile(double q) const {
+  if (count_ == 0) {
+    return 0.0;
+  }
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(count_);
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    if (buckets_[i] == 0) {
+      continue;
+    }
+    const std::uint64_t before = cumulative;
+    cumulative += buckets_[i];
+    if (static_cast<double>(cumulative) < target) {
+      continue;
+    }
+    if (i == buckets_.size() - 1) {
+      // +Inf bucket: the best point estimate is the largest observation.
+      return max_;
+    }
+    // Linear interpolation inside the winning bucket.  The lower edge is
+    // the previous finite bound (or the smallest observation for the first
+    // bucket, which avoids wild extrapolation toward zero).
+    const double upper = bounds_[i];
+    const double lower = i == 0 ? std::min(min_, upper) : bounds_[i - 1];
+    const double within =
+        (target - static_cast<double>(before)) /
+        static_cast<double>(buckets_[i]);
+    return std::clamp(lower + (upper - lower) * within, min_, max_);
+  }
+  return max_;
+}
+
+std::string MetricsRegistry::series_key(const std::string& name,
+                                        const Labels& labels) {
+  if (labels.empty()) {
+    return name;
+  }
+  std::string key = name + "{";
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) {
+      key += ",";
+    }
+    first = false;
+    key += k + "=" + v;
+  }
+  return key + "}";
+}
+
+Counter& MetricsRegistry::counter(const std::string& name,
+                                  const Labels& labels) {
+  auto [it, inserted] = counters_.try_emplace(series_key(name, labels));
+  if (inserted) {
+    it->second.name = name;
+    it->second.labels = labels;
+  }
+  return it->second.instrument;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name, const Labels& labels) {
+  auto [it, inserted] = gauges_.try_emplace(series_key(name, labels));
+  if (inserted) {
+    it->second.name = name;
+    it->second.labels = labels;
+  }
+  return it->second.instrument;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      const Labels& labels,
+                                      std::vector<double> bounds) {
+  const std::string key = series_key(name, labels);
+  auto it = histograms_.find(key);
+  if (it == histograms_.end()) {
+    Series<Histogram> series;
+    series.name = name;
+    series.labels = labels;
+    if (!bounds.empty()) {
+      series.instrument = Histogram(std::move(bounds));
+    }
+    it = histograms_.emplace(key, std::move(series)).first;
+  }
+  return it->second.instrument;
+}
+
+const Counter* MetricsRegistry::find_counter(const std::string& name,
+                                             const Labels& labels) const {
+  const auto it = counters_.find(series_key(name, labels));
+  return it == counters_.end() ? nullptr : &it->second.instrument;
+}
+
+const Gauge* MetricsRegistry::find_gauge(const std::string& name,
+                                         const Labels& labels) const {
+  const auto it = gauges_.find(series_key(name, labels));
+  return it == gauges_.end() ? nullptr : &it->second.instrument;
+}
+
+const Histogram* MetricsRegistry::find_histogram(const std::string& name,
+                                                 const Labels& labels) const {
+  const auto it = histograms_.find(series_key(name, labels));
+  return it == histograms_.end() ? nullptr : &it->second.instrument;
+}
+
+namespace {
+
+std::string prometheus_name(const std::string& name) {
+  std::string out = name;
+  for (char& c : out) {
+    if (c == '.' || c == '-') {
+      c = '_';
+    }
+  }
+  return out;
+}
+
+std::string prometheus_labels(const Labels& labels) {
+  if (labels.empty()) {
+    return "";
+  }
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) {
+      out += ",";
+    }
+    first = false;
+    out += prometheus_name(k) + "=\"" + json_escape(v) + "\"";
+  }
+  return out + "}";
+}
+
+/// Labels plus one extra pair (histogram `le`).
+std::string prometheus_labels_with(const Labels& labels,
+                                   const std::string& key,
+                                   const std::string& value) {
+  Labels merged = labels;
+  merged[key] = value;
+  return prometheus_labels(merged);
+}
+
+}  // namespace
+
+std::string MetricsRegistry::to_prometheus() const {
+  std::string out;
+  std::string last_typed;
+  const auto type_line = [&out, &last_typed](const std::string& name,
+                                             const char* type) {
+    if (name != last_typed) {
+      out += "# TYPE " + name + " " + type + "\n";
+      last_typed = name;
+    }
+  };
+  for (const auto& [key, series] : counters_) {
+    const std::string name = prometheus_name(series.name);
+    type_line(name, "counter");
+    out += name + prometheus_labels(series.labels) + " " +
+           json_number(series.instrument.value()) + "\n";
+  }
+  for (const auto& [key, series] : gauges_) {
+    const std::string name = prometheus_name(series.name);
+    type_line(name, "gauge");
+    out += name + prometheus_labels(series.labels) + " " +
+           json_number(series.instrument.value()) + "\n";
+  }
+  for (const auto& [key, series] : histograms_) {
+    const std::string name = prometheus_name(series.name);
+    const Histogram& h = series.instrument;
+    type_line(name, "histogram");
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < h.bounds().size(); ++i) {
+      cumulative += h.bucket_counts()[i];
+      out += name + "_bucket" +
+             prometheus_labels_with(series.labels, "le",
+                                    json_number(h.bounds()[i])) +
+             " " + std::to_string(cumulative) + "\n";
+    }
+    cumulative += h.bucket_counts().back();
+    out += name + "_bucket" +
+           prometheus_labels_with(series.labels, "le", "+Inf") + " " +
+           std::to_string(cumulative) + "\n";
+    out += name + "_sum" + prometheus_labels(series.labels) + " " +
+           json_number(h.sum()) + "\n";
+    out += name + "_count" + prometheus_labels(series.labels) + " " +
+           std::to_string(h.count()) + "\n";
+  }
+  return out;
+}
+
+std::string MetricsRegistry::to_json() const {
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const auto& [key, series] : counters_) {
+    if (!first) {
+      out += ",";
+    }
+    first = false;
+    out += "\"" + json_escape(key) +
+           "\":" + json_number(series.instrument.value());
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [key, series] : gauges_) {
+    if (!first) {
+      out += ",";
+    }
+    first = false;
+    out += "\"" + json_escape(key) +
+           "\":" + json_number(series.instrument.value());
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [key, series] : histograms_) {
+    if (!first) {
+      out += ",";
+    }
+    first = false;
+    const Histogram& h = series.instrument;
+    out += "\"" + json_escape(key) + "\":{";
+    out += "\"count\":" + std::to_string(h.count());
+    out += ",\"sum\":" + json_number(h.sum());
+    out += ",\"mean\":" + json_number(h.mean());
+    out += ",\"min\":" + json_number(h.min());
+    out += ",\"max\":" + json_number(h.max());
+    out += ",\"p50\":" + json_number(h.p50());
+    out += ",\"p95\":" + json_number(h.p95());
+    out += ",\"p99\":" + json_number(h.p99());
+    out += "}";
+  }
+  out += "}}";
+  return out;
+}
+
+void MetricsRegistry::clear() {
+  counters_.clear();
+  gauges_.clear();
+  histograms_.clear();
+}
+
+}  // namespace ars::obs

@@ -1,0 +1,264 @@
+#include "ars/obs/tracer.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+
+#include "ars/obs/json.hpp"
+#include "ars/support/log.hpp"
+
+namespace ars::obs {
+
+namespace {
+
+void append_attrs_json(std::string& out, const Attrs& attrs) {
+  out += "{";
+  bool first = true;
+  for (const Attr& attr : attrs) {
+    if (!first) {
+      out += ",";
+    }
+    first = false;
+    out += "\"" + json_escape(attr.key) + "\":";
+    if (const auto* s = std::get_if<std::string>(&attr.value)) {
+      out += "\"" + json_escape(*s) + "\"";
+    } else if (const auto* d = std::get_if<double>(&attr.value)) {
+      out += json_number(*d);
+    } else {
+      out += std::get<bool>(attr.value) ? "true" : "false";
+    }
+  }
+  out += "}";
+}
+
+std::string_view kind_name(EventKind kind) {
+  switch (kind) {
+    case EventKind::kInstant:
+      return "instant";
+    case EventKind::kSpanBegin:
+      return "begin";
+    case EventKind::kSpanEnd:
+      return "end";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void Tracer::push(TraceEvent event) {
+  events_.push_back(std::move(event));
+  while (events_.size() > options_.capacity) {
+    events_.pop_front();
+    ++dropped_;
+  }
+}
+
+void Tracer::instant(std::string name, std::string category, std::string track,
+                     Attrs attrs) {
+  if (!options_.enabled) {
+    return;
+  }
+  instant_at(now(), std::move(name), std::move(category), std::move(track),
+             std::move(attrs));
+}
+
+void Tracer::instant_at(double t, std::string name, std::string category,
+                        std::string track, Attrs attrs) {
+  if (!options_.enabled) {
+    return;
+  }
+  TraceEvent event;
+  event.kind = EventKind::kInstant;
+  event.t = t;
+  event.name = std::move(name);
+  event.category = std::move(category);
+  event.track = std::move(track);
+  event.attrs = std::move(attrs);
+  push(std::move(event));
+}
+
+std::uint64_t Tracer::begin_span(std::string name, std::string category,
+                                 std::string track, Attrs attrs) {
+  if (!options_.enabled) {
+    return 0;
+  }
+  const std::uint64_t id = next_span_id_++;
+  open_info_.emplace(id, OpenSpan{name, category, track});
+  TraceEvent event;
+  event.kind = EventKind::kSpanBegin;
+  event.t = now();
+  event.name = std::move(name);
+  event.category = std::move(category);
+  event.track = std::move(track);
+  event.span_id = id;
+  event.attrs = std::move(attrs);
+  push(std::move(event));
+  return id;
+}
+
+void Tracer::end_span(std::uint64_t id, Attrs attrs) {
+  if (!options_.enabled || id == 0) {
+    return;
+  }
+  const auto it = open_info_.find(id);
+  if (it == open_info_.end()) {
+    return;  // unknown or already-closed id
+  }
+  // The end event is self-contained (exporters need name/cat/track on both
+  // sides of the pair).
+  TraceEvent event;
+  event.kind = EventKind::kSpanEnd;
+  event.t = now();
+  event.span_id = id;
+  event.name = std::move(it->second.name);
+  event.category = std::move(it->second.category);
+  event.track = std::move(it->second.track);
+  event.attrs = std::move(attrs);
+  open_info_.erase(it);
+  push(std::move(event));
+}
+
+std::vector<CompletedSpan> Tracer::completed_spans() const {
+  std::map<std::uint64_t, const TraceEvent*> open;
+  std::vector<CompletedSpan> out;
+  for (const TraceEvent& event : events_) {
+    if (event.kind == EventKind::kSpanBegin) {
+      open[event.span_id] = &event;
+      continue;
+    }
+    if (event.kind != EventKind::kSpanEnd) {
+      continue;
+    }
+    const auto it = open.find(event.span_id);
+    if (it == open.end()) {
+      continue;  // begin evicted by the ring bound
+    }
+    CompletedSpan span;
+    span.id = event.span_id;
+    span.name = it->second->name;
+    span.category = it->second->category;
+    span.track = it->second->track;
+    span.begin = it->second->t;
+    span.end = event.t;
+    span.attrs = it->second->attrs;
+    span.attrs.insert(span.attrs.end(), event.attrs.begin(),
+                      event.attrs.end());
+    out.push_back(std::move(span));
+    open.erase(it);
+  }
+  return out;
+}
+
+std::vector<CompletedSpan> Tracer::spans_named(const std::string& name) const {
+  std::vector<CompletedSpan> out;
+  for (CompletedSpan& span : completed_spans()) {
+    if (span.name == name) {
+      out.push_back(std::move(span));
+    }
+  }
+  return out;
+}
+
+void Tracer::clear() {
+  events_.clear();
+  open_info_.clear();
+  dropped_ = 0;
+}
+
+std::string Tracer::to_jsonl() const {
+  std::string out;
+  for (const TraceEvent& event : events_) {
+    out += "{\"t\":" + json_number(event.t);
+    out += ",\"kind\":\"" + std::string(kind_name(event.kind)) + "\"";
+    out += ",\"name\":\"" + json_escape(event.name) + "\"";
+    out += ",\"cat\":\"" + json_escape(event.category) + "\"";
+    out += ",\"track\":\"" + json_escape(event.track) + "\"";
+    if (event.span_id != 0) {
+      out += ",\"span\":" + std::to_string(event.span_id);
+    }
+    out += ",\"attrs\":";
+    append_attrs_json(out, event.attrs);
+    out += "}\n";
+  }
+  return out;
+}
+
+std::string Tracer::to_chrome_trace() const {
+  // One trace_event "thread" per track, in first-appearance order.
+  std::map<std::string, int> tids;
+  std::vector<const std::string*> track_names;
+  for (const TraceEvent& event : events_) {
+    if (tids.emplace(event.track, static_cast<int>(tids.size()) + 1).second) {
+      track_names.push_back(&event.track);
+    }
+  }
+
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  const auto append = [&out, &first](const std::string& item) {
+    if (!first) {
+      out += ",";
+    }
+    first = false;
+    out += item;
+  };
+
+  append("{\"ph\":\"M\",\"pid\":1,\"name\":\"process_name\","
+         "\"args\":{\"name\":\"ars\"}}");
+  for (const std::string* track : track_names) {
+    append("{\"ph\":\"M\",\"pid\":1,\"tid\":" +
+           std::to_string(tids.at(*track)) +
+           ",\"name\":\"thread_name\",\"args\":{\"name\":\"" +
+           json_escape(*track) + "\"}}");
+  }
+
+  for (const TraceEvent& event : events_) {
+    std::string item = "{\"name\":\"" + json_escape(event.name) + "\"";
+    item += ",\"cat\":\"" +
+            json_escape(event.category.empty() ? "ars" : event.category) +
+            "\"";
+    switch (event.kind) {
+      case EventKind::kInstant:
+        item += ",\"ph\":\"i\",\"s\":\"t\"";
+        break;
+      case EventKind::kSpanBegin:
+        item += ",\"ph\":\"b\"";
+        break;
+      case EventKind::kSpanEnd:
+        item += ",\"ph\":\"e\"";
+        break;
+    }
+    if (event.span_id != 0) {
+      char idbuf[24];
+      std::snprintf(idbuf, sizeof idbuf, "0x%llx",
+                    static_cast<unsigned long long>(event.span_id));
+      item += ",\"id\":\"" + std::string(idbuf) + "\"";
+    }
+    // trace_event timestamps are microseconds.
+    item += ",\"ts\":" + json_number(event.t * 1e6);
+    item += ",\"pid\":1,\"tid\":" + std::to_string(tids.at(event.track));
+    item += ",\"args\":";
+    append_attrs_json(item, event.attrs);
+    item += "}";
+    append(item);
+  }
+  out += "]}";
+  return out;
+}
+
+LogBridge::LogBridge(Tracer& tracer) {
+  support::Logger::global().set_forward(
+      [tracer_ptr = &tracer](support::LogLevel level,
+                             std::string_view component,
+                             std::string_view message, double sim_time) {
+        tracer_ptr->instant_at(
+            sim_time < 0.0 ? 0.0 : sim_time, "log", "log",
+            std::string(component),
+            {{"level", std::string(support::to_string(level))},
+             {"message", std::string(message)}});
+      });
+}
+
+LogBridge::~LogBridge() { support::Logger::global().set_forward(nullptr); }
+
+}  // namespace ars::obs

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "ars/obs/metrics.hpp"
+#include "ars/obs/tracer.hpp"
 #include "ars/support/log.hpp"
 
 namespace ars::registry {
@@ -13,6 +15,40 @@ namespace {
 
 std::string process_key(const std::string& host, int pid) {
   return host + ":" + std::to_string(pid);
+}
+
+const char* strategy_name(DestinationStrategy strategy) {
+  switch (strategy) {
+    case DestinationStrategy::kFirstFit:
+      return "first-fit";
+    case DestinationStrategy::kBestFit:
+      return "best-fit";
+    case DestinationStrategy::kRandomFit:
+      return "random-fit";
+  }
+  return "?";
+}
+
+/// The audit record as a trace event: one attribute per scanned host, so
+/// the decision's full why-not trail is visible in the trace viewer.
+void emit_decision_event(obs::Tracer* tracer, double now,
+                         const std::string& track, const Decision& decision,
+                         const std::string& kind) {
+  if (tracer == nullptr) {
+    return;
+  }
+  obs::Attrs attrs{{"kind", kind},
+                   {"source", decision.source},
+                   {"process", decision.process_name},
+                   {"destination", decision.destination.empty()
+                                       ? std::string("none")
+                                       : decision.destination},
+                   {"escalated", decision.escalated}};
+  for (const CandidateAudit& candidate : decision.candidates) {
+    attrs.push_back({"candidate." + candidate.host, candidate.reason});
+  }
+  tracer->instant_at(now, "scheduler.decision", "scheduler", track,
+                     std::move(attrs));
 }
 
 }  // namespace
@@ -170,6 +206,15 @@ sim::Task<> Registry::sweep() {
           now - entry.last_update > config_.lease_ttl) {
         ARS_LOG_WARN("registry", "lease expired for host " << name);
         entry.state = SystemState::kUnavailable;
+        if (config_.metrics != nullptr) {
+          config_.metrics->counter("registry.lease_expirations").inc();
+        }
+        if (config_.tracer != nullptr) {
+          config_.tracer->instant(
+              "registry.lease_expired", "scheduler", host_->name(),
+              {{"host", name},
+               {"silent_for", now - entry.last_update}});
+        }
         if (config_.auto_restart) {
           restart_processes_of(name);
         }
@@ -190,8 +235,9 @@ void Registry::restart_processes_of(const std::string& lost_host) {
   }
   for (const ProcessEntry& process : lost) {
     processes_.erase(process_key(process.host, process.pid));
-    auto destination = choose_destination(lost_host, process.schema_name);
     Decision decision;
+    auto destination = choose_destination(lost_host, process.schema_name,
+                                          &decision.candidates);
     decision.at = host_->engine().now();
     decision.source = lost_host;
     decision.pid = process.pid;
@@ -202,10 +248,17 @@ void Registry::restart_processes_of(const std::string& lost_host) {
                                                       << " (lost with "
                                                       << lost_host << ")");
       decisions_.push_back(decision);
+      emit_decision_event(config_.tracer, decision.at, host_->name(),
+                          decision, "restart-stranded");
       continue;
     }
     decision.destination = *destination;
     decisions_.push_back(decision);
+    emit_decision_event(config_.tracer, decision.at, host_->name(), decision,
+                        "restart");
+    if (config_.metrics != nullptr) {
+      config_.metrics->counter("registry.restarts_commanded").inc();
+    }
     const auto dest_it = hosts_.find(*destination);
     if (dest_it == hosts_.end()) {
       continue;
@@ -279,7 +332,8 @@ const ProcessEntry* Registry::select_process(const std::string& source_host) {
 }
 
 std::vector<const HostEntry*> Registry::eligible_destinations(
-    const std::string& source_host, const std::string& schema_name) const {
+    const std::string& source_host, const std::string& schema_name,
+    std::vector<CandidateAudit>* audit) const {
   const hpcm::ApplicationSchema* schema = nullptr;
   const auto schema_it = schemas_.find(schema_name);
   if (schema_it != schemas_.end()) {
@@ -294,15 +348,30 @@ std::vector<const HostEntry*> Registry::eligible_destinations(
             [](const HostEntry* a, const HostEntry* b) {
               return a->registration_order < b->registration_order;
             });
+  const auto reject = [audit](const HostEntry* entry, std::string reason) {
+    if (audit != nullptr) {
+      audit->push_back({entry->info.host, false, std::move(reason)});
+    }
+  };
   std::vector<const HostEntry*> eligible;
   for (const HostEntry* entry : ordered) {
-    if (entry->info.host == source_host || entry->draining) {
+    if (entry->info.host == source_host) {
+      reject(entry, "source host");
+      continue;
+    }
+    if (entry->draining) {
+      reject(entry, "draining (evacuated)");
       continue;
     }
     if (!rules::actions_for(entry->state).migrate_in) {
-      continue;  // only `free` hosts accept incoming applications
+      // only `free` hosts accept incoming applications
+      reject(entry,
+             "state=" + std::string(rules::to_string(entry->state)) +
+                 " (not free)");
+      continue;
     }
     if (!config_.policy.accepts_destination(entry->status)) {
+      reject(entry, "policy destination conditions");
       continue;
     }
     if (schema != nullptr) {
@@ -310,8 +379,12 @@ std::vector<const HostEntry*> Registry::eligible_destinations(
       if (entry->info.memory_bytes < req.min_memory_bytes ||
           entry->info.disk_bytes < req.min_disk_bytes ||
           entry->info.cpu_speed < req.min_cpu_speed) {
+        reject(entry, "insufficient resources for schema " + schema_name);
         continue;
       }
+    }
+    if (audit != nullptr) {
+      audit->push_back({entry->info.host, true, "eligible"});
     }
     eligible.push_back(entry);
   }
@@ -328,14 +401,33 @@ std::optional<std::string> Registry::first_fit_destination(
 }
 
 std::optional<std::string> Registry::choose_destination(
-    const std::string& source_host, const std::string& schema_name) {
-  const auto eligible = eligible_destinations(source_host, schema_name);
+    const std::string& source_host, const std::string& schema_name,
+    std::vector<CandidateAudit>* audit) {
+  const auto eligible =
+      eligible_destinations(source_host, schema_name, audit);
+  const auto finish = [&](const std::string& chosen) {
+    if (audit != nullptr) {
+      for (CandidateAudit& candidate : *audit) {
+        if (!candidate.accepted) {
+          continue;
+        }
+        candidate.reason = candidate.host == chosen
+                               ? "chosen (" +
+                                     std::string(strategy_name(
+                                         config_.strategy)) +
+                                     ")"
+                               : "eligible (not chosen)";
+        candidate.accepted = candidate.host == chosen;
+      }
+    }
+    return chosen;
+  };
   if (eligible.empty()) {
     return std::nullopt;
   }
   switch (config_.strategy) {
     case DestinationStrategy::kFirstFit:
-      return eligible.front()->info.host;
+      return finish(eligible.front()->info.host);
     case DestinationStrategy::kBestFit: {
       // Least loaded (then least 5-min load as a tiebreak).
       const HostEntry* best = eligible.front();
@@ -346,12 +438,12 @@ std::optional<std::string> Registry::choose_destination(
           best = entry;
         }
       }
-      return best->info.host;
+      return finish(best->info.host);
     }
     case DestinationStrategy::kRandomFit: {
       const auto index = static_cast<std::size_t>(rng_.uniform_int(
           0, static_cast<std::int64_t>(eligible.size()) - 1));
-      return eligible[index]->info.host;
+      return finish(eligible[index]->info.host);
     }
   }
   return std::nullopt;
@@ -369,6 +461,14 @@ sim::Task<> Registry::evacuate(std::string drained_host, std::string reason) {
   co_await sim::delay(host_->engine(), config_.decision_delay);
   ARS_LOG_WARN("registry",
                "evacuating " << drained_host << " (" << reason << ")");
+  if (config_.metrics != nullptr) {
+    config_.metrics->counter("registry.evacuations").inc();
+  }
+  if (config_.tracer != nullptr) {
+    config_.tracer->instant("registry.evacuation", "scheduler",
+                            host_->name(),
+                            {{"host", drained_host}, {"reason", reason}});
+  }
   // The host stops being a destination immediately and permanently
   // (heartbeats keep refreshing its state but not its draining mark).
   const auto host_it = hosts_.find(drained_host);
@@ -385,9 +485,9 @@ sim::Task<> Registry::evacuate(std::string drained_host, std::string reason) {
     }
   }
   for (const ProcessEntry& process : targets) {
-    auto destination =
-        choose_destination(drained_host, process.schema_name);
     Decision decision;
+    auto destination = choose_destination(drained_host, process.schema_name,
+                                          &decision.candidates);
     decision.at = host_->engine().now();
     decision.source = drained_host;
     decision.pid = process.pid;
@@ -397,10 +497,14 @@ sim::Task<> Registry::evacuate(std::string drained_host, std::string reason) {
       ARS_LOG_ERROR("registry", "evacuation: no destination for "
                                     << process.name << " - process stays");
       decisions_.push_back(decision);
+      emit_decision_event(config_.tracer, decision.at, host_->name(),
+                          decision, "evacuate-stranded");
       continue;
     }
     decision.destination = *destination;
     decisions_.push_back(decision);
+    emit_decision_event(config_.tracer, decision.at, host_->name(), decision,
+                        "evacuate");
     const auto source_it = hosts_.find(drained_host);
     const auto dest_it = hosts_.find(*destination);
     if (source_it == hosts_.end() || dest_it == hosts_.end()) {
@@ -422,6 +526,34 @@ sim::Task<> Registry::evacuate(std::string drained_host, std::string reason) {
 }
 
 sim::Task<> Registry::decide(std::string overloaded_host, std::string reason) {
+  obs::Tracer* tracer = config_.tracer;
+  const std::uint64_t decide_span =
+      tracer != nullptr
+          ? tracer->begin_span("scheduler.decide", "scheduler", host_->name(),
+                               {{"source", overloaded_host},
+                                {"reason", reason}})
+          : 0;
+  if (config_.metrics != nullptr) {
+    config_.metrics->counter("scheduler.consults").inc();
+  }
+  const auto record = [this, tracer, decide_span](const Decision& decision,
+                                                  const char* outcome) {
+    decisions_.push_back(decision);
+    if (config_.metrics != nullptr) {
+      config_.metrics
+          ->histogram("scheduler.decision_latency", {},
+                      {1e-4, 1e-3, 5e-3, 1e-2, 5e-2, 1e-1, 1.0})
+          .observe(decision.decision_latency);
+      config_.metrics
+          ->counter("scheduler.decisions", {{"outcome", outcome}})
+          .inc();
+    }
+    if (tracer != nullptr) {
+      emit_decision_event(tracer, decision.at, host_->name(), decision,
+                          outcome);
+      tracer->end_span(decide_span, {{"outcome", outcome}});
+    }
+  };
   // The measured decision latency (~0.002 s in §5.2).
   co_await sim::delay(host_->engine(), config_.decision_delay);
   const double now = host_->engine().now();
@@ -436,14 +568,14 @@ sim::Task<> Registry::decide(std::string overloaded_host, std::string reason) {
     ARS_LOG_INFO("registry", "consult from " << overloaded_host << " ("
                                              << reason
                                              << "): no migratable process");
-    decisions_.push_back(decision);
+    record(decision, "no-process");
     co_return;
   }
   decision.pid = process->pid;
   decision.process_name = process->name;
 
-  auto destination =
-      choose_destination(overloaded_host, process->schema_name);
+  auto destination = choose_destination(
+      overloaded_host, process->schema_name, &decision.candidates);
   if (!destination.has_value() && !config_.parent_host.empty()) {
     // Hierarchical escalation: ask the parent registry.
     decision.escalated = true;
@@ -451,18 +583,18 @@ sim::Task<> Registry::decide(std::string overloaded_host, std::string reason) {
     escalate.host = overloaded_host;
     escalate.reason = reason + " (escalated by " + host_->name() + ")";
     send_to(config_.parent_host, config_.parent_port, escalate);
-    decisions_.push_back(decision);
+    record(decision, "escalated");
     co_return;
   }
   if (!destination.has_value()) {
     ARS_LOG_INFO("registry", "no destination for " << process->name
                                                    << " off "
                                                    << overloaded_host);
-    decisions_.push_back(decision);
+    record(decision, "no-destination");
     co_return;
   }
   decision.destination = *destination;
-  decisions_.push_back(decision);
+  record(decision, "migrate");
 
   const auto source_it = hosts_.find(overloaded_host);
   const auto dest_it = hosts_.find(*destination);

@@ -29,6 +29,10 @@ std::string_view to_string(SystemState state) noexcept {
   return "?";
 }
 
+std::string transition_label(SystemState from, SystemState to) {
+  return std::string(to_string(from)) + "->" + std::string(to_string(to));
+}
+
 support::Expected<SystemState> state_from_string(std::string_view name) {
   if (support::iequals(name, "free")) return SystemState::kFree;
   if (support::iequals(name, "busy")) return SystemState::kBusy;

@@ -37,13 +37,34 @@ Logger& Logger::global() {
   return instance;
 }
 
+void Logger::set_clock(ClockFn clock) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  clock_ = std::move(clock);
+}
+
+void Logger::set_sink(SinkFn sink) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  sink_ = std::move(sink);
+}
+
+void Logger::set_forward(SinkFn forward) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  forward_ = std::move(forward);
+}
+
 void Logger::write(LogLevel level, std::string_view component,
                    std::string_view message) {
-  if (!enabled(level) || !sink_) {
+  if (!enabled(level)) {
     return;
   }
+  const std::lock_guard<std::mutex> lock(mutex_);
   const double sim_time = clock_ ? clock_() : -1.0;
-  sink_(level, component, message, sim_time);
+  if (sink_) {
+    sink_(level, component, message, sim_time);
+  }
+  if (forward_) {
+    forward_(level, component, message, sim_time);
+  }
 }
 
 }  // namespace ars::support

@@ -1,0 +1,91 @@
+// MetricsDb bounded-ring behavior, in particular the capacity wrap-around:
+// once the ring is full every record() evicts the oldest sample, and the
+// trend queries (between, mean_load1) must only ever see the survivors.
+
+#include "ars/monitor/metricsdb.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ars::monitor {
+namespace {
+
+xmlproto::DynamicStatus sample(double t, double load1) {
+  xmlproto::DynamicStatus status;
+  status.timestamp = t;
+  status.load1 = load1;
+  return status;
+}
+
+TEST(MetricsDbTest, EmptyDbAnswersNeutrally) {
+  const MetricsDb db{4};
+  EXPECT_TRUE(db.empty());
+  EXPECT_FALSE(db.latest().has_value());
+  EXPECT_TRUE(db.between(0.0, 1e9).empty());
+  EXPECT_DOUBLE_EQ(db.mean_load1(60.0), 0.0);
+}
+
+TEST(MetricsDbTest, BetweenIsInclusiveAndOldestFirst) {
+  MetricsDb db{8};
+  for (int i = 0; i <= 4; ++i) {
+    db.record(sample(10.0 * i, static_cast<double>(i)));
+  }
+  const auto window = db.between(10.0, 30.0);
+  ASSERT_EQ(window.size(), 3u);
+  EXPECT_DOUBLE_EQ(window.front().timestamp, 10.0);
+  EXPECT_DOUBLE_EQ(window.back().timestamp, 30.0);
+}
+
+TEST(MetricsDbTest, CapacityEvictsOldestOnWrap) {
+  MetricsDb db{4};
+  for (int i = 0; i < 10; ++i) {
+    db.record(sample(static_cast<double>(i), static_cast<double>(i)));
+  }
+  EXPECT_EQ(db.size(), 4u);
+  // The full-range query only sees the surviving tail t=6..9.
+  const auto all = db.between(0.0, 100.0);
+  ASSERT_EQ(all.size(), 4u);
+  EXPECT_DOUBLE_EQ(all.front().timestamp, 6.0);
+  EXPECT_DOUBLE_EQ(all.back().timestamp, 9.0);
+  // A query entirely inside the evicted prefix finds nothing.
+  EXPECT_TRUE(db.between(0.0, 5.0).empty());
+  ASSERT_TRUE(db.latest().has_value());
+  EXPECT_DOUBLE_EQ(db.latest()->timestamp, 9.0);
+}
+
+TEST(MetricsDbTest, MeanLoad1IgnoresEvictedSamples) {
+  MetricsDb db{3};
+  // Three high-load samples that will be pushed out by three low ones.
+  for (int i = 0; i < 3; ++i) {
+    db.record(sample(static_cast<double>(i), 100.0));
+  }
+  for (int i = 3; i < 6; ++i) {
+    db.record(sample(static_cast<double>(i), 1.0));
+  }
+  // A window spanning the db's whole history averages the survivors only —
+  // the evicted 100.0 samples must not leak into the trend.
+  EXPECT_DOUBLE_EQ(db.mean_load1(1000.0), 1.0);
+}
+
+TEST(MetricsDbTest, MeanLoad1WindowBoundary) {
+  MetricsDb db{8};
+  db.record(sample(0.0, 10.0));
+  db.record(sample(5.0, 2.0));
+  db.record(sample(10.0, 4.0));
+  // horizon = newest - window; samples at the horizon are included.
+  EXPECT_DOUBLE_EQ(db.mean_load1(5.0), 3.0);   // t=5 and t=10
+  EXPECT_DOUBLE_EQ(db.mean_load1(0.0), 4.0);   // newest only
+  EXPECT_DOUBLE_EQ(db.mean_load1(100.0), 16.0 / 3.0);
+}
+
+TEST(MetricsDbTest, SustainedRespectsWrapAround) {
+  MetricsDb db{2};
+  db.record(sample(0.0, 9.0));  // will be evicted
+  db.record(sample(1.0, 1.0));
+  db.record(sample(2.0, 1.0));
+  EXPECT_TRUE(db.sustained(10.0, [](const xmlproto::DynamicStatus& s) {
+    return s.load1 < 2.0;
+  }));
+}
+
+}  // namespace
+}  // namespace ars::monitor

@@ -1,0 +1,257 @@
+// Scheduler decision audit: every registered host gets a verdict, rejection
+// reasons name the failing condition, and the audit surfaces both through
+// Decision::candidates and as "scheduler.decision" trace events.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "ars/obs/metrics.hpp"
+#include "ars/obs/tracer.hpp"
+#include "ars/registry/registry.hpp"
+
+namespace ars::registry {
+namespace {
+
+using rules::SystemState;
+
+class AuditTest : public ::testing::Test {
+ protected:
+  AuditTest() : net_(engine_) {
+    for (const char* name : {"hub", "ws1", "ws2", "ws3", "ws4", "ws5"}) {
+      host::HostSpec s;
+      s.name = name;
+      hosts_.push_back(std::make_unique<host::Host>(engine_, s));
+      net_.attach(*hosts_.back());
+    }
+    tracer_.set_clock([this] { return engine_.now(); });
+    Registry::Config config;
+    config.policy = rules::paper_policy2();
+    config.tracer = &tracer_;
+    config.metrics = &metrics_;
+    registry_ = std::make_unique<Registry>(*hosts_[0], net_, config);
+    registry_->start();
+  }
+
+  void post(const std::string& from, const xmlproto::ProtocolMessage& m) {
+    net::Message wire;
+    wire.src_host = from;
+    wire.dst_host = "hub";
+    wire.dst_port = registry_->port();
+    wire.payload = xmlproto::encode(m);
+    net_.post(std::move(wire));
+  }
+
+  void register_host(const std::string& name,
+                     std::uint64_t memory_bytes = 128ULL << 20) {
+    xmlproto::RegisterMsg reg;
+    reg.info.host = name;
+    reg.info.memory_bytes = memory_bytes;
+    reg.info.disk_bytes = 20ULL << 30;
+    reg.info.cpu_speed = 1.0;
+    reg.monitor_port = 5999;
+    reg.commander_port = 6000;
+    post(name, reg);
+  }
+
+  void update_host(const std::string& name, SystemState state,
+                   double load1 = 0.2, int processes = 60) {
+    xmlproto::UpdateMsg update;
+    update.status.host = name;
+    update.status.state = std::string(rules::to_string(state));
+    update.status.load1 = load1;
+    update.status.processes = processes;
+    update.status.timestamp = engine_.now();
+    post(name, update);
+  }
+
+  void register_process(const std::string& host, int pid,
+                        const std::string& name,
+                        const std::string& schema = "") {
+    xmlproto::ProcessRegisterMsg msg;
+    msg.host = host;
+    msg.pid = pid;
+    msg.name = name;
+    msg.start_time = 0.0;
+    msg.migration_enabled = true;
+    msg.schema_name = schema;
+    post(host, msg);
+  }
+
+  const CandidateAudit* verdict_for(const std::vector<CandidateAudit>& audit,
+                                    const std::string& host) {
+    for (const CandidateAudit& candidate : audit) {
+      if (candidate.host == host) {
+        return &candidate;
+      }
+    }
+    return nullptr;
+  }
+
+  sim::Engine engine_;
+  net::Network net_;
+  obs::Tracer tracer_;
+  obs::MetricsRegistry metrics_;
+  std::vector<std::unique_ptr<host::Host>> hosts_;
+  std::unique_ptr<Registry> registry_;
+};
+
+TEST_F(AuditTest, ChooseDestinationRecordsEveryVerdict) {
+  // A schema whose memory floor ws3 cannot meet.
+  hpcm::ApplicationSchema schema{"heavy"};
+  hpcm::ResourceRequirements req;
+  req.min_memory_bytes = 64ULL << 20;
+  schema.set_requirements(req);
+  registry_->register_schema(schema);
+
+  register_host("ws1");                     // the (overloaded) source
+  register_host("ws2");                     // busy -> not free
+  register_host("ws3", /*memory=*/8 << 20); // free but too small
+  register_host("ws4");                     // free and roomy -> chosen
+  register_host("ws5");                     // also eligible, not first
+  update_host("ws1", SystemState::kOverloaded, 2.8, 160);
+  update_host("ws2", SystemState::kBusy, 1.2);
+  update_host("ws3", SystemState::kFree);
+  update_host("ws4", SystemState::kFree);
+  update_host("ws5", SystemState::kFree);
+  engine_.run_until(1.0);
+
+  std::vector<CandidateAudit> audit;
+  const auto destination =
+      registry_->choose_destination("ws1", "heavy", &audit);
+  ASSERT_TRUE(destination.has_value());
+  EXPECT_EQ(*destination, "ws4");
+
+  // One verdict per registered host, no duplicates.
+  ASSERT_EQ(audit.size(), 5u);
+  std::set<std::string> audited;
+  for (const CandidateAudit& candidate : audit) {
+    audited.insert(candidate.host);
+  }
+  EXPECT_EQ(audited.size(), 5u);
+
+  const CandidateAudit* ws1 = verdict_for(audit, "ws1");
+  ASSERT_NE(ws1, nullptr);
+  EXPECT_FALSE(ws1->accepted);
+  EXPECT_EQ(ws1->reason, "source host");
+
+  const CandidateAudit* ws2 = verdict_for(audit, "ws2");
+  ASSERT_NE(ws2, nullptr);
+  EXPECT_FALSE(ws2->accepted);
+  EXPECT_EQ(ws2->reason, "state=busy (not free)");
+
+  const CandidateAudit* ws3 = verdict_for(audit, "ws3");
+  ASSERT_NE(ws3, nullptr);
+  EXPECT_FALSE(ws3->accepted);
+  EXPECT_EQ(ws3->reason, "insufficient resources for schema heavy");
+
+  const CandidateAudit* ws4 = verdict_for(audit, "ws4");
+  ASSERT_NE(ws4, nullptr);
+  EXPECT_TRUE(ws4->accepted);
+  EXPECT_EQ(ws4->reason, "chosen (first-fit)");
+
+  const CandidateAudit* ws5 = verdict_for(audit, "ws5");
+  ASSERT_NE(ws5, nullptr);
+  EXPECT_FALSE(ws5->accepted);  // eligible, but first-fit took ws4
+  EXPECT_EQ(ws5->reason, "eligible (not chosen)");
+}
+
+TEST_F(AuditTest, DrainingHostIsRejectedWithReason) {
+  register_host("ws1");
+  register_host("ws2");
+  update_host("ws1", SystemState::kOverloaded, 2.8, 160);
+  update_host("ws2", SystemState::kFree);
+  engine_.run_until(1.0);
+  registry_->request_evacuation("ws2", "maintenance");
+  engine_.run_until(2.0);
+
+  std::vector<CandidateAudit> audit;
+  const auto destination = registry_->choose_destination("ws1", "", &audit);
+  EXPECT_FALSE(destination.has_value());
+  const CandidateAudit* ws2 = verdict_for(audit, "ws2");
+  ASSERT_NE(ws2, nullptr);
+  EXPECT_EQ(ws2->reason, "draining (evacuated)");
+}
+
+TEST_F(AuditTest, ConsultProducesDecisionWithAuditAndTraceEvent) {
+  register_host("ws1");
+  register_host("ws2");
+  register_host("ws3");
+  update_host("ws1", SystemState::kOverloaded, 2.8, 160);
+  update_host("ws2", SystemState::kBusy, 1.2);
+  update_host("ws3", SystemState::kFree);
+  register_process("ws1", 42, "tree");
+  engine_.run_until(1.0);
+
+  xmlproto::ConsultMsg consult;
+  consult.host = "ws1";
+  consult.reason = "overloaded for 80s";
+  post("ws1", consult);
+  engine_.run_until(2.0);
+
+  ASSERT_EQ(registry_->decisions().size(), 1u);
+  const Decision& decision = registry_->decisions().front();
+  EXPECT_EQ(decision.destination, "ws3");
+  ASSERT_EQ(decision.candidates.size(), 3u);
+  EXPECT_EQ(verdict_for(decision.candidates, "ws2")->reason,
+            "state=busy (not free)");
+  EXPECT_EQ(verdict_for(decision.candidates, "ws3")->reason,
+            "chosen (first-fit)");
+
+  // The decision is also on the trace, with one candidate.<host> attribute
+  // per scanned host.
+  const obs::TraceEvent* decision_event = nullptr;
+  for (const obs::TraceEvent& event : tracer_.events()) {
+    if (event.name == "scheduler.decision") {
+      decision_event = &event;
+    }
+  }
+  ASSERT_NE(decision_event, nullptr);
+  int candidate_attrs = 0;
+  bool found_rejection = false;
+  for (const obs::Attr& attr : decision_event->attrs) {
+    if (attr.key.rfind("candidate.", 0) == 0) {
+      ++candidate_attrs;
+    }
+    if (attr.key == "candidate.ws2" &&
+        std::get<std::string>(attr.value) == "state=busy (not free)") {
+      found_rejection = true;
+    }
+  }
+  EXPECT_EQ(candidate_attrs, 3);
+  EXPECT_TRUE(found_rejection);
+
+  // And the scheduler.decide span + metrics recorded the consult.
+  ASSERT_EQ(tracer_.spans_named("scheduler.decide").size(), 1u);
+  EXPECT_DOUBLE_EQ(metrics_.counter("scheduler.consults").value(), 1.0);
+  EXPECT_DOUBLE_EQ(
+      metrics_.counter("scheduler.decisions", {{"outcome", "migrate"}})
+          .value(),
+      1.0);
+  const obs::Histogram* latency =
+      metrics_.find_histogram("scheduler.decision_latency");
+  ASSERT_NE(latency, nullptr);
+  EXPECT_EQ(latency->count(), 1u);
+  EXPECT_NEAR(latency->mean(), 0.002, 1e-9);
+}
+
+TEST_F(AuditTest, LeaseExpirationIsCountedAndTraced) {
+  register_host("ws1");
+  update_host("ws1", SystemState::kFree);
+  engine_.run_until(1.0);
+  engine_.run_until(120.0);  // default 35 s lease lapses, no heartbeats
+  EXPECT_GE(metrics_.counter("registry.lease_expirations").value(), 1.0);
+  bool traced = false;
+  for (const obs::TraceEvent& event : tracer_.events()) {
+    if (event.name == "registry.lease_expired") {
+      traced = true;
+    }
+  }
+  EXPECT_TRUE(traced);
+}
+
+}  // namespace
+}  // namespace ars::registry

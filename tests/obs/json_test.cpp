@@ -1,0 +1,105 @@
+// The obs JSON value/parser: strict RFC 8259 acceptance, escape handling,
+// and dump() round-trips.
+
+#include "ars/obs/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+namespace ars::obs {
+namespace {
+
+TEST(JsonParseTest, Scalars) {
+  EXPECT_TRUE(json_parse("null")->is_null());
+  EXPECT_TRUE(json_parse("true")->as_bool());
+  EXPECT_FALSE(json_parse("false")->as_bool());
+  EXPECT_DOUBLE_EQ(json_parse("42")->as_number(), 42.0);
+  EXPECT_DOUBLE_EQ(json_parse("-2.5e3")->as_number(), -2500.0);
+  EXPECT_EQ(json_parse("\"hi\"")->as_string(), "hi");
+}
+
+TEST(JsonParseTest, NestedStructures) {
+  const auto doc = json_parse(R"({"a":[1,2,{"b":true}],"c":{"d":null}})");
+  ASSERT_TRUE(doc.has_value());
+  const JsonValue* a = doc->find("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_TRUE(a->is_array());
+  ASSERT_EQ(a->as_array().size(), 3u);
+  EXPECT_DOUBLE_EQ(a->as_array()[1].as_number(), 2.0);
+  EXPECT_TRUE(a->as_array()[2].find("b")->as_bool());
+  EXPECT_TRUE(doc->find("c")->find("d")->is_null());
+  EXPECT_EQ(doc->find("missing"), nullptr);
+}
+
+TEST(JsonParseTest, StringEscapes) {
+  const auto doc = json_parse(R"("line\nbreak \"q\" back\\slash A")");
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_EQ(doc->as_string(), "line\nbreak \"q\" back\\slash A");
+}
+
+TEST(JsonParseTest, UnicodeEscapeEncodesUtf8) {
+  const auto doc = json_parse("\"\\u00e9\"");  // é
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_EQ(doc->as_string(), "\xc3\xa9");
+}
+
+TEST(JsonParseTest, RejectsMalformedDocuments) {
+  EXPECT_FALSE(json_parse("").has_value());
+  EXPECT_FALSE(json_parse("{").has_value());
+  EXPECT_FALSE(json_parse("[1,]").has_value());
+  EXPECT_FALSE(json_parse("{\"a\":1,}").has_value());
+  EXPECT_FALSE(json_parse("'single'").has_value());
+  EXPECT_FALSE(json_parse("nul").has_value());
+  EXPECT_FALSE(json_parse("1 2").has_value());  // trailing garbage
+  EXPECT_FALSE(json_parse("{\"a\" 1}").has_value());
+}
+
+TEST(JsonParseTest, RejectsRunawayNesting) {
+  std::string deep;
+  for (int i = 0; i < 200; ++i) {
+    deep += '[';
+  }
+  EXPECT_FALSE(json_parse(deep).has_value());
+}
+
+TEST(JsonDumpTest, RoundTripsThroughParse) {
+  JsonObject object;
+  object["name"] = "migration";
+  object["count"] = 3;
+  object["ratio"] = 0.125;
+  object["ok"] = true;
+  object["nothing"] = nullptr;
+  object["list"] = JsonArray{1, "two", false};
+  const JsonValue original{object};
+
+  const auto reparsed = json_parse(original.dump());
+  ASSERT_TRUE(reparsed.has_value());
+  EXPECT_EQ(reparsed->dump(), original.dump());
+  EXPECT_EQ(reparsed->find("name")->as_string(), "migration");
+  EXPECT_DOUBLE_EQ(reparsed->find("ratio")->as_number(), 0.125);
+}
+
+TEST(JsonEscapeTest, ControlAndQuoteCharacters) {
+  EXPECT_EQ(json_escape("plain"), "plain");
+  EXPECT_EQ(json_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(json_escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(json_escape("a\nb\tc"), "a\\nb\\tc");
+  EXPECT_EQ(json_escape(std::string("a\x01") + "b"), "a\\u0001b");
+}
+
+TEST(JsonNumberTest, IntegralAndFractionalFormatting) {
+  EXPECT_EQ(json_number(3.0), "3");
+  EXPECT_EQ(json_number(-120.0), "-120");
+  const auto parsed = json_parse(json_number(0.1));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_DOUBLE_EQ(parsed->as_number(), 0.1);  // full round-trip precision
+  // Non-finite values are not representable in JSON; the exporters emit
+  // null instead of producing an unparseable document.
+  EXPECT_EQ(json_number(std::numeric_limits<double>::quiet_NaN()), "null");
+  EXPECT_EQ(json_number(std::numeric_limits<double>::infinity()), "null");
+}
+
+}  // namespace
+}  // namespace ars::obs

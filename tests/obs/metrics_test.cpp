@@ -1,0 +1,174 @@
+// Metrics registry: instrument identity by (name, labels), histogram
+// bucket/percentile math, and the Prometheus/JSON exporters.
+
+#include "ars/obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "ars/obs/json.hpp"
+
+namespace ars::obs {
+namespace {
+
+TEST(CounterGaugeTest, BasicArithmetic) {
+  Counter c;
+  c.inc();
+  c.inc(2.5);
+  EXPECT_DOUBLE_EQ(c.value(), 3.5);
+
+  Gauge g;
+  g.set(10.0);
+  g.add(-4.0);
+  EXPECT_DOUBLE_EQ(g.value(), 6.0);
+}
+
+TEST(MetricsRegistryTest, SameNameAndLabelsReturnsSameInstrument) {
+  MetricsRegistry registry;
+  registry.counter("migration.requests").inc();
+  registry.counter("migration.requests").inc();
+  EXPECT_DOUBLE_EQ(registry.counter("migration.requests").value(), 2.0);
+
+  // Different label sets are distinct series under one name.
+  registry.counter("rules.state_transitions", {{"to", "busy"}}).inc();
+  registry.counter("rules.state_transitions", {{"to", "free"}}).inc(3.0);
+  EXPECT_DOUBLE_EQ(
+      registry.counter("rules.state_transitions", {{"to", "busy"}}).value(),
+      1.0);
+  EXPECT_DOUBLE_EQ(
+      registry.counter("rules.state_transitions", {{"to", "free"}}).value(),
+      3.0);
+  EXPECT_EQ(registry.series_count(), 3u);
+
+  EXPECT_NE(registry.find_counter("migration.requests"), nullptr);
+  EXPECT_EQ(registry.find_counter("migration.requests", {{"to", "busy"}}),
+            nullptr);
+  EXPECT_EQ(registry.find_gauge("migration.requests"), nullptr);
+}
+
+TEST(HistogramTest, BucketAssignmentIsUpperBoundInclusive) {
+  Histogram h{{1.0, 10.0, 100.0}};
+  h.observe(1.0);    // first bucket (le=1)
+  h.observe(1.001);  // second bucket
+  h.observe(50.0);   // third bucket
+  h.observe(1000.0); // +Inf
+  ASSERT_EQ(h.bucket_counts().size(), 4u);
+  EXPECT_EQ(h.bucket_counts()[0], 1u);
+  EXPECT_EQ(h.bucket_counts()[1], 1u);
+  EXPECT_EQ(h.bucket_counts()[2], 1u);
+  EXPECT_EQ(h.bucket_counts()[3], 1u);
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_DOUBLE_EQ(h.sum(), 1052.001);
+  EXPECT_DOUBLE_EQ(h.min(), 1.0);
+  EXPECT_DOUBLE_EQ(h.max(), 1000.0);
+}
+
+TEST(HistogramTest, QuantilesInterpolateWithinTheWinningBucket) {
+  Histogram h{{10.0, 20.0, 30.0, 40.0}};
+  // 100 observations spread uniformly: 25 per finite bucket.
+  for (int bucket = 0; bucket < 4; ++bucket) {
+    for (int i = 0; i < 25; ++i) {
+      h.observe(bucket * 10.0 + 5.0);
+    }
+  }
+  // p50 -> target 50 of 100; cumulative hits 50 at the end of the second
+  // bucket (10, 20], so interpolation lands on its upper edge.
+  EXPECT_NEAR(h.quantile(0.50), 20.0, 1e-9);
+  // p25 -> end of the first bucket.  Its lower edge is min()=5.
+  EXPECT_NEAR(h.quantile(0.25), 10.0, 1e-9);
+  // p95 -> 95 of 100: 20 of 25 through the last finite bucket (30, 40],
+  // interpolating to 38 -- but no estimate may exceed the largest actual
+  // observation, so the answer clamps to max() = 35.
+  EXPECT_NEAR(h.quantile(0.95), 35.0, 1e-9);
+  EXPECT_DOUBLE_EQ(h.p50(), h.quantile(0.50));
+}
+
+TEST(HistogramTest, QuantileEdgeCases) {
+  Histogram empty{{1.0, 2.0}};
+  EXPECT_DOUBLE_EQ(empty.quantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(empty.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(empty.min(), 0.0);
+
+  // Everything in the +Inf bucket: the best point estimate is the largest
+  // observation, whatever the quantile.
+  Histogram overflow{{1.0}};
+  overflow.observe(50.0);
+  overflow.observe(70.0);
+  EXPECT_DOUBLE_EQ(overflow.quantile(0.5), 70.0);
+  EXPECT_DOUBLE_EQ(overflow.quantile(0.99), 70.0);
+
+  // A single observation answers every quantile with itself.
+  Histogram single{{10.0, 20.0}};
+  single.observe(15.0);
+  EXPECT_DOUBLE_EQ(single.quantile(0.01), single.quantile(0.99));
+  EXPECT_LE(single.quantile(0.5), 20.0);
+  EXPECT_GE(single.quantile(0.5), 15.0);
+}
+
+TEST(HistogramTest, UnsortedBoundsAreNormalized) {
+  Histogram h{{100.0, 1.0, 10.0, 10.0}};
+  ASSERT_EQ(h.bounds().size(), 3u);  // sorted, deduplicated
+  EXPECT_DOUBLE_EQ(h.bounds()[0], 1.0);
+  EXPECT_DOUBLE_EQ(h.bounds()[2], 100.0);
+}
+
+TEST(MetricsRegistryTest, PrometheusExposition) {
+  MetricsRegistry registry;
+  registry.counter("migration.requests").inc(2.0);
+  registry.gauge("scheduler.hosts-known").set(4.0);
+  auto& h = registry.histogram("migration.total_time", {}, {1.0, 10.0});
+  h.observe(0.5);
+  h.observe(5.0);
+  h.observe(50.0);
+
+  const std::string text = registry.to_prometheus();
+  EXPECT_NE(text.find("# TYPE migration_requests counter\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("migration_requests 2\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE scheduler_hosts_known gauge\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("scheduler_hosts_known 4\n"), std::string::npos);
+  // Histogram buckets are cumulative and close with +Inf, _sum, _count.
+  EXPECT_NE(text.find("migration_total_time_bucket{le=\"1\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("migration_total_time_bucket{le=\"10\"} 2\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("migration_total_time_bucket{le=\"+Inf\"} 3\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("migration_total_time_sum 55.5\n"), std::string::npos);
+  EXPECT_NE(text.find("migration_total_time_count 3\n"), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, PrometheusLabelsAreQuoted) {
+  MetricsRegistry registry;
+  registry.counter("rules.state_transitions", {{"to", "busy"}}).inc();
+  const std::string text = registry.to_prometheus();
+  EXPECT_NE(text.find("rules_state_transitions{to=\"busy\"} 1\n"),
+            std::string::npos);
+}
+
+TEST(MetricsRegistryTest, JsonExportParsesBack) {
+  MetricsRegistry registry;
+  registry.counter("a.count").inc(7.0);
+  registry.gauge("b.level").set(-1.5);
+  auto& h = registry.histogram("c.time");
+  h.observe(0.004);
+  h.observe(0.006);
+
+  const auto doc = json_parse(registry.to_json());
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_DOUBLE_EQ(doc->find("counters")->find("a.count")->as_number(), 7.0);
+  EXPECT_DOUBLE_EQ(doc->find("gauges")->find("b.level")->as_number(), -1.5);
+  const JsonValue* hist = doc->find("histograms")->find("c.time");
+  ASSERT_NE(hist, nullptr);
+  EXPECT_DOUBLE_EQ(hist->find("count")->as_number(), 2.0);
+  EXPECT_DOUBLE_EQ(hist->find("sum")->as_number(), 0.01);
+  EXPECT_GT(hist->find("p95")->as_number(), 0.0);
+
+  registry.clear();
+  EXPECT_EQ(registry.series_count(), 0u);
+}
+
+}  // namespace
+}  // namespace ars::obs

@@ -1,0 +1,223 @@
+// Tracer behavior: span identity across interleaving, event ordering, ring
+// eviction, the disabled path, log forwarding, and both exporters (the
+// Chrome trace_event document is parsed back with the obs JSON parser).
+
+#include "ars/obs/tracer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+#include <string>
+
+#include "ars/obs/json.hpp"
+#include "ars/support/log.hpp"
+
+namespace ars::obs {
+namespace {
+
+class TracerTest : public ::testing::Test {
+ protected:
+  TracerTest() { tracer_.set_clock([this] { return now_; }); }
+
+  Tracer tracer_;
+  double now_ = 0.0;
+};
+
+TEST_F(TracerTest, InstantEventsCarryClockAndAttrs) {
+  now_ = 1.5;
+  tracer_.instant("tick", "test", "ws1", {{"n", 7}, {"ok", true}});
+  ASSERT_EQ(tracer_.events().size(), 1u);
+  const TraceEvent& event = tracer_.events().front();
+  EXPECT_EQ(event.kind, EventKind::kInstant);
+  EXPECT_DOUBLE_EQ(event.t, 1.5);
+  EXPECT_EQ(event.name, "tick");
+  EXPECT_EQ(event.track, "ws1");
+  ASSERT_EQ(event.attrs.size(), 2u);
+  EXPECT_DOUBLE_EQ(std::get<double>(event.attrs[0].value), 7.0);
+  EXPECT_TRUE(std::get<bool>(event.attrs[1].value));
+}
+
+TEST_F(TracerTest, NestedAndInterleavedSpansKeepIdentity) {
+  now_ = 10.0;
+  const auto outer = tracer_.begin_span("outer", "test", "ws1");
+  now_ = 11.0;
+  const auto inner = tracer_.begin_span("inner", "test", "ws1");
+  now_ = 12.0;
+  const auto other = tracer_.begin_span("other", "test", "ws2");
+  EXPECT_EQ(tracer_.open_spans(), 3u);
+
+  // Close out of order: inner, outer, other.
+  now_ = 13.0;
+  tracer_.end_span(inner);
+  now_ = 14.0;
+  tracer_.end_span(outer, {{"result", "done"}});
+  now_ = 15.0;
+  tracer_.end_span(other);
+  EXPECT_EQ(tracer_.open_spans(), 0u);
+
+  const auto spans = tracer_.completed_spans();
+  ASSERT_EQ(spans.size(), 3u);  // in end order
+  EXPECT_EQ(spans[0].name, "inner");
+  EXPECT_DOUBLE_EQ(spans[0].begin, 11.0);
+  EXPECT_DOUBLE_EQ(spans[0].end, 13.0);
+  EXPECT_EQ(spans[1].name, "outer");
+  EXPECT_DOUBLE_EQ(spans[1].duration(), 4.0);
+  ASSERT_EQ(spans[1].attrs.size(), 1u);  // end attrs folded in
+  EXPECT_EQ(spans[1].attrs[0].key, "result");
+  EXPECT_EQ(spans[2].track, "ws2");
+
+  const auto named = tracer_.spans_named("outer");
+  ASSERT_EQ(named.size(), 1u);
+  EXPECT_DOUBLE_EQ(named[0].begin, 10.0);
+}
+
+TEST_F(TracerTest, EndSpanWithUnknownOrReusedIdIsANoOp) {
+  const auto id = tracer_.begin_span("s", "test", "ws1");
+  tracer_.end_span(9999);  // unknown
+  tracer_.end_span(0);     // disabled-tracer sentinel
+  tracer_.end_span(id);
+  tracer_.end_span(id);  // double close
+  EXPECT_EQ(tracer_.events().size(), 2u);
+  EXPECT_EQ(tracer_.completed_spans().size(), 1u);
+}
+
+TEST_F(TracerTest, RingBoundEvictsOldestAndCountsDrops) {
+  Tracer small{Tracer::Options{.capacity = 4, .enabled = true}};
+  small.set_clock([this] { return now_; });
+  for (int i = 0; i < 10; ++i) {
+    small.instant("e" + std::to_string(i), "test", "ws1");
+  }
+  EXPECT_EQ(small.events().size(), 4u);
+  EXPECT_EQ(small.dropped(), 6u);
+  EXPECT_EQ(small.events().front().name, "e6");
+  small.clear();
+  EXPECT_EQ(small.events().size(), 0u);
+  EXPECT_EQ(small.dropped(), 0u);
+}
+
+TEST_F(TracerTest, EvictedBeginLeavesEndUnmatched) {
+  Tracer small{Tracer::Options{.capacity = 2, .enabled = true}};
+  const auto id = small.begin_span("victim", "test", "ws1");
+  small.instant("a", "test", "ws1");
+  small.instant("b", "test", "ws1");  // begin event evicted here
+  small.end_span(id);
+  EXPECT_TRUE(small.completed_spans().empty());
+}
+
+TEST_F(TracerTest, DisabledTracerRecordsNothing) {
+  tracer_.set_enabled(false);
+  tracer_.instant("e", "test", "ws1");
+  const auto id = tracer_.begin_span("s", "test", "ws1");
+  EXPECT_EQ(id, 0u);
+  tracer_.end_span(id);
+  EXPECT_TRUE(tracer_.events().empty());
+  EXPECT_EQ(tracer_.open_spans(), 0u);
+}
+
+TEST_F(TracerTest, JsonlExportIsOneValidObjectPerLine) {
+  now_ = 2.0;
+  const auto id = tracer_.begin_span("s", "test", "ws1", {{"k", "v"}});
+  now_ = 3.0;
+  tracer_.end_span(id);
+  tracer_.instant("i", "test", "ws2", {{"x", 1.5}});
+
+  std::istringstream lines{tracer_.to_jsonl()};
+  std::string line;
+  int count = 0;
+  while (std::getline(lines, line)) {
+    const auto doc = json_parse(line);
+    ASSERT_TRUE(doc.has_value()) << line;
+    EXPECT_NE(doc->find("t"), nullptr);
+    EXPECT_NE(doc->find("kind"), nullptr);
+    EXPECT_NE(doc->find("attrs"), nullptr);
+    ++count;
+  }
+  EXPECT_EQ(count, 3);
+}
+
+TEST_F(TracerTest, ChromeTraceRoundTripsAndPairsAsyncEvents) {
+  now_ = 1.0;
+  const auto id = tracer_.begin_span("migration", "hpcm", "proc/tree");
+  now_ = 2.5;
+  tracer_.instant("checkpoint", "hpcm", "ws1");
+  now_ = 4.0;
+  tracer_.end_span(id, {{"bytes", 1024}});
+
+  const auto doc = json_parse(tracer_.to_chrome_trace());
+  ASSERT_TRUE(doc.has_value());
+  const JsonValue* events = doc->find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+
+  int metadata = 0;
+  int begins = 0;
+  int ends = 0;
+  int instants = 0;
+  std::set<std::string> thread_names;
+  std::string begin_id;
+  std::string end_id;
+  for (const JsonValue& event : events->as_array()) {
+    const std::string& ph = event.find("ph")->as_string();
+    if (ph == "M") {
+      ++metadata;
+      if (event.find("name")->as_string() == "thread_name") {
+        thread_names.insert(
+            event.find("args")->find("name")->as_string());
+      }
+      continue;
+    }
+    if (ph == "b") {
+      ++begins;
+      begin_id = event.find("id")->as_string();
+      EXPECT_DOUBLE_EQ(event.find("ts")->as_number(), 1.0e6);  // micros
+    } else if (ph == "e") {
+      ++ends;
+      end_id = event.find("id")->as_string();
+      EXPECT_DOUBLE_EQ(
+          event.find("args")->find("bytes")->as_number(), 1024.0);
+    } else if (ph == "i") {
+      ++instants;
+      EXPECT_EQ(event.find("s")->as_string(), "t");
+    }
+    EXPECT_DOUBLE_EQ(event.find("pid")->as_number(), 1.0);
+    EXPECT_NE(event.find("tid"), nullptr);
+  }
+  EXPECT_EQ(begins, 1);
+  EXPECT_EQ(ends, 1);
+  EXPECT_EQ(instants, 1);
+  EXPECT_EQ(begin_id, end_id);  // async pair shares the id
+  EXPECT_GE(metadata, 3);       // process_name + 2 thread_names
+  EXPECT_TRUE(thread_names.contains("proc/tree"));
+  EXPECT_TRUE(thread_names.contains("ws1"));
+}
+
+TEST_F(TracerTest, LogBridgeMirrorsLogRecords) {
+  auto& logger = support::Logger::global();
+  const auto saved_level = logger.level();
+  logger.set_level(support::LogLevel::kInfo);
+  logger.set_sink(
+      [](support::LogLevel, std::string_view, std::string_view, double) {});
+  logger.set_clock([] { return 42.0; });
+  {
+    LogBridge bridge{tracer_};
+    ARS_LOG_INFO("hpcm", "migrating now");
+    ARS_LOG_DEBUG("hpcm", "filtered out");
+  }
+  ARS_LOG_INFO("hpcm", "bridge removed");
+  logger.set_clock(nullptr);
+  logger.set_sink(nullptr);
+  logger.set_level(saved_level);
+
+  ASSERT_EQ(tracer_.events().size(), 1u);
+  const TraceEvent& event = tracer_.events().front();
+  EXPECT_EQ(event.name, "log");
+  EXPECT_EQ(event.track, "hpcm");
+  EXPECT_DOUBLE_EQ(event.t, 42.0);
+  ASSERT_EQ(event.attrs.size(), 2u);
+  EXPECT_EQ(std::get<std::string>(event.attrs[0].value), "INFO");
+  EXPECT_EQ(std::get<std::string>(event.attrs[1].value), "migrating now");
+}
+
+}  // namespace
+}  // namespace ars::obs

@@ -2,7 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <string>
+#include <thread>
 #include <vector>
 
 namespace ars::support {
@@ -33,6 +35,7 @@ class LogTest : public ::testing::Test {
     logger.set_level(saved_level_);
     logger.set_sink(nullptr);
     logger.set_clock(nullptr);
+    logger.set_forward(nullptr);
     // Restore a default stderr sink for later tests.
     logger.set_sink([](LogLevel, std::string_view, std::string_view, double) {});
   }
@@ -68,6 +71,81 @@ TEST_F(LogTest, NoClockYieldsNegativeTime) {
   ARS_LOG_ERROR("test", "no clock");
   ASSERT_EQ(records_.size(), 1U);
   EXPECT_LT(records_[0].sim_time, 0.0);
+}
+
+TEST_F(LogTest, ForwardTapSeesEveryRecordTheSinkSees) {
+  std::vector<CapturedRecord> forwarded;
+  Logger::global().set_forward(
+      [&forwarded](LogLevel level, std::string_view component,
+                   std::string_view message, double sim_time) {
+        forwarded.push_back(CapturedRecord{level, std::string(component),
+                                           std::string(message), sim_time});
+      });
+  ARS_LOG_WARN("test", "to both");
+  ASSERT_EQ(records_.size(), 1U);
+  ASSERT_EQ(forwarded.size(), 1U);
+  EXPECT_EQ(forwarded[0].message, "to both");
+  EXPECT_EQ(forwarded[0].component, "test");
+
+  Logger::global().set_forward(nullptr);
+  ARS_LOG_WARN("test", "sink only");
+  EXPECT_EQ(records_.size(), 2U);
+  EXPECT_EQ(forwarded.size(), 1U);  // tap removed: unchanged
+}
+
+TEST_F(LogTest, ForwardTapRespectsLevelFilter) {
+  std::vector<CapturedRecord> forwarded;
+  Logger::global().set_forward(
+      [&forwarded](LogLevel level, std::string_view component,
+                   std::string_view message, double sim_time) {
+        forwarded.push_back(CapturedRecord{level, std::string(component),
+                                           std::string(message), sim_time});
+      });
+  Logger::global().set_level(LogLevel::kError);
+  ARS_LOG_INFO("test", "filtered");
+  ARS_LOG_ERROR("test", "passes");
+  ASSERT_EQ(forwarded.size(), 1U);
+  EXPECT_EQ(forwarded[0].message, "passes");
+}
+
+TEST_F(LogTest, ParallelWritersAreSerialized) {
+  // The sink appends to an unsynchronized vector; the logger's own mutex
+  // must make that safe and lose no records.
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 250;
+  std::vector<std::thread> writers;
+  writers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([] {
+      for (int i = 0; i < kPerThread; ++i) {
+        ARS_LOG_WARN("mt", "record " << i);
+      }
+    });
+  }
+  for (auto& writer : writers) {
+    writer.join();
+  }
+  EXPECT_EQ(records_.size(),
+            static_cast<std::size_t>(kThreads * kPerThread));
+}
+
+TEST_F(LogTest, HookSwapsDuringWritesAreSafe) {
+  std::atomic<bool> stop{false};
+  std::thread writer([&stop] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      ARS_LOG_WARN("mt", "spin");
+    }
+  });
+  auto& logger = Logger::global();
+  for (int i = 0; i < 200; ++i) {
+    logger.set_clock([] { return 1.0; });
+    logger.set_forward(
+        [](LogLevel, std::string_view, std::string_view, double) {});
+    logger.set_clock(nullptr);
+    logger.set_forward(nullptr);
+  }
+  stop.store(true);
+  writer.join();
 }
 
 TEST(LogLevelNames, ToString) {
