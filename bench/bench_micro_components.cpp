@@ -6,6 +6,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "common.hpp"
+
 #include "ars/hpcm/stateregistry.hpp"
 #include "ars/rules/engine.hpp"
 #include "ars/rules/rulefile.hpp"
@@ -29,6 +31,41 @@ void BM_EngineScheduleRun(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * events);
 }
 BENCHMARK(BM_EngineScheduleRun)->Arg(1000)->Arg(10000);
+
+// Steady state: a long-lived engine whose slot pool and timestamp index are
+// warm — the zero-allocation regime the alloc-counter test pins down.
+void BM_EngineSteadyState(benchmark::State& state) {
+  const int batch = static_cast<int>(state.range(0));
+  sim::Engine engine;
+  for (auto _ : state) {
+    for (int i = 0; i < batch; ++i) {
+      engine.schedule_after(static_cast<double>(i % 97), [] {});
+    }
+    benchmark::DoNotOptimize(engine.run());
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_EngineSteadyState)->Arg(1000);
+
+// O(1) handle cancellation: half the scheduled events are cancelled before
+// the run drains the rest (timer-heavy workloads cancel most timeouts).
+void BM_EngineCancelHalf(benchmark::State& state) {
+  const int events = static_cast<int>(state.range(0));
+  std::vector<sim::Engine::EventHandle> handles(events);
+  sim::Engine engine;
+  for (auto _ : state) {
+    for (int i = 0; i < events; ++i) {
+      handles[i] =
+          engine.schedule_after(static_cast<double>(i % 97), [] {});
+    }
+    for (int i = 0; i < events; i += 2) {
+      handles[i].cancel();
+    }
+    benchmark::DoNotOptimize(engine.run());
+  }
+  state.SetItemsProcessed(state.iterations() * events);
+}
+BENCHMARK(BM_EngineCancelHalf)->Arg(1000);
 
 void BM_FiberSpawnResume(benchmark::State& state) {
   const int fibers = static_cast<int>(state.range(0));
@@ -150,4 +187,4 @@ BENCHMARK(BM_StateRegistryDecode)->Arg(1024)->Arg(65536);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+ARS_BENCH_MAIN();

@@ -5,6 +5,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "common.hpp"
+
 #include <algorithm>
 
 #include "ars/hpcm/migration.hpp"
@@ -37,6 +39,21 @@ struct Cluster {
   net::Network net;
   mpi::MpiSystem mpi;
 };
+
+// The event-queue throughput number the perf baseline tracks: everything
+// below (MPI, CPU, network, migration) is events through this queue.
+void BM_EngineEventQueue(benchmark::State& state) {
+  const int events = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Engine engine;
+    for (int i = 0; i < events; ++i) {
+      engine.schedule_at(static_cast<double>(i % 97), [] {});
+    }
+    benchmark::DoNotOptimize(engine.run());
+  }
+  state.SetItemsProcessed(state.iterations() * events);
+}
+BENCHMARK(BM_EngineEventQueue)->Arg(1000)->Arg(10000);
 
 void BM_MpiPingPong(benchmark::State& state) {
   const int rounds = static_cast<int>(state.range(0));
@@ -163,4 +180,4 @@ BENCHMARK(BM_FullMigration);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+ARS_BENCH_MAIN();

@@ -74,6 +74,62 @@ inline void compare(const std::string& what, double paper, double measured,
               paper, unit.c_str(), measured, unit.c_str());
 }
 
+// -- google-benchmark JSON export --------------------------------------------
+
+/// Translate our stable `--json-out=FILE` flag (or the ARS_BENCH_JSON_OUT
+/// environment variable) into google-benchmark's `--benchmark_out=` /
+/// `--benchmark_out_format=json` pair, leaving every other argument alone.
+/// Returns a rewritten argv (storage lives for the program's lifetime) and
+/// updates `argc` in place; use through ARS_BENCH_MAIN() below.
+inline char** rewrite_gbench_args(int* argc, char** argv) {
+  static std::vector<std::string> storage;
+  static std::vector<char*> pointers;
+  std::string json_out;
+  if (const char* env = std::getenv("ARS_BENCH_JSON_OUT")) {
+    json_out = env;
+  }
+  storage.clear();
+  for (int i = 0; i < *argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg.starts_with("--json-out=")) {
+      json_out = arg.substr(sizeof("--json-out=") - 1);
+    } else {
+      storage.emplace_back(arg);
+    }
+  }
+  if (!json_out.empty()) {
+    storage.push_back("--benchmark_out=" + json_out);
+    storage.push_back("--benchmark_out_format=json");
+  }
+  pointers.clear();
+  for (std::string& arg : storage) {
+    pointers.push_back(arg.data());
+  }
+  pointers.push_back(nullptr);
+  *argc = static_cast<int>(storage.size());
+  return pointers.data();
+}
+
+}  // namespace ars::bench
+
+/// Drop-in replacement for BENCHMARK_MAIN() that understands --json-out=
+/// (and ARS_BENCH_JSON_OUT); scripts/bench_check.py consumes the emitted
+/// JSON.  Only usable in files that include <benchmark/benchmark.h>.
+#define ARS_BENCH_MAIN()                                                  \
+  int main(int argc, char** argv) {                                       \
+    char** args = ::ars::bench::rewrite_gbench_args(&argc, argv);         \
+    ::benchmark::Initialize(&argc, args);                                 \
+    if (::benchmark::ReportUnrecognizedArguments(argc, args)) {           \
+      return 1;                                                           \
+    }                                                                     \
+    ::benchmark::RunSpecifiedBenchmarks();                                \
+    ::benchmark::Shutdown();                                              \
+    return 0;                                                             \
+  }                                                                       \
+  static_assert(true, "require a trailing semicolon")
+
+namespace ars::bench {
+
 // -- ars::obs export ---------------------------------------------------------
 
 /// Where to dump the observability artifacts; empty means "don't".

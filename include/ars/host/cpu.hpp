@@ -7,10 +7,10 @@
 // load-average EMA, and cumulative busy time feeds the utilization meter.
 
 #include <coroutine>
-#include <deque>
 #include <vector>
 
 #include "ars/sim/engine.hpp"
+#include "ars/support/ringbuffer.hpp"
 
 namespace ars::host {
 
@@ -79,8 +79,8 @@ class CpuModel {
 
  private:
   struct BusySegment {
-    double begin;
-    double end;
+    double begin = 0.0;
+    double end = 0.0;
   };
 
   void advance();
@@ -93,7 +93,7 @@ class CpuModel {
   sim::Engine* engine_;
   double speed_;
   std::vector<ComputeAwaiter*> jobs_;
-  std::deque<BusySegment> busy_segments_;
+  support::RingBuffer<BusySegment> busy_segments_;
   double history_retention_ = 3600.0;
   double last_update_ = 0.0;
   double busy_accum_ = 0.0;

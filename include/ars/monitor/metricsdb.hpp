@@ -2,10 +2,10 @@
 // Monitoring information database (paper Figure 2): a bounded ring of
 // status snapshots used for trend queries and the experiment plots.
 
-#include <deque>
 #include <optional>
 #include <vector>
 
+#include "ars/support/ringbuffer.hpp"
 #include "ars/xmlproto/messages.hpp"
 
 namespace ars::monitor {
@@ -38,11 +38,12 @@ class MetricsDb {
     }
     const double horizon = samples_.back().timestamp - window;
     bool any = false;
-    for (auto it = samples_.rbegin(); it != samples_.rend(); ++it) {
-      if (it->timestamp < horizon) {
+    for (std::size_t i = samples_.size(); i-- > 0;) {
+      const xmlproto::DynamicStatus& sample = samples_[i];
+      if (sample.timestamp < horizon) {
         break;
       }
-      if (!pred(*it)) {
+      if (!pred(sample)) {
         return false;
       }
       any = true;
@@ -52,7 +53,7 @@ class MetricsDb {
 
  private:
   std::size_t capacity_;
-  std::deque<xmlproto::DynamicStatus> samples_;
+  support::RingBuffer<xmlproto::DynamicStatus> samples_;
 };
 
 }  // namespace ars::monitor

@@ -16,13 +16,12 @@
 // communication-state transfer.
 
 #include <cstdint>
-#include <deque>
 #include <functional>
-#include <list>
 #include <map>
 #include <memory>
 #include <optional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "ars/host/host.hpp"
@@ -258,23 +257,63 @@ class Proc {
 
   Proc(MpiSystem& system, RankId id, host::Host& h, std::string name);
 
+  /// One pending receive; lives on the suspended recv() coroutine frame and
+  /// is linked intrusively into its mailbox bucket (O(1) unpost when the
+  /// fiber is killed or migrated mid-receive).
   struct PostedRecv {
     int src = kAnySource;
     int tag = kAnyTag;
     bool matched = false;
+    std::uint64_t seq = 0;  // post order, for wildcard-overlap tie-breaks
     MpiMessage message;
     std::unique_ptr<sim::Trigger> arrived;
+    PostedRecv* prev = nullptr;
+    PostedRecv* next = nullptr;
   };
 
+  /// Per-context matching state.  Both directions are bucketed by the
+  /// (source, tag) pair — wildcards are buckets of their own, keyed with -1 —
+  /// so the hot concrete-source/concrete-tag path is O(1) instead of a
+  /// linear scan over every queued message or pending receive:
+  ///   * posted receives: intrusive FIFO per bucket; an arriving message
+  ///     checks at most its 4 candidate buckets (src/ANY x tag/ANY) and takes
+  ///     the oldest post among them;
+  ///   * unexpected messages: pooled nodes chained into per-bucket FIFOs; a
+  ///     wildcard receive takes the oldest arrival among matching bucket
+  ///     fronts, identical to the order a front-to-back scan would find.
   struct Mailbox {
-    std::deque<MpiMessage> unexpected;
-    std::list<PostedRecv*> posted;
-  };
+    static constexpr std::uint32_t kNil = 0xffffffffU;
 
-  static bool matches(const PostedRecv& posted, const MpiMessage& message) {
-    return (posted.src == kAnySource || posted.src == message.src_rank) &&
-           (posted.tag == kAnyTag || posted.tag == message.tag);
-  }
+    struct MsgNode {
+      MpiMessage message;
+      std::uint64_t seq = 0;
+      std::uint32_t next = kNil;
+    };
+    struct MsgList {
+      std::uint32_t head = kNil;
+      std::uint32_t tail = kNil;
+    };
+    struct PostedList {
+      PostedRecv* head = nullptr;
+      PostedRecv* tail = nullptr;
+    };
+
+    void post(PostedRecv& recv);
+    void unpost(PostedRecv& recv) noexcept;
+    /// Unlink and return the oldest posted receive matching `message`, if any.
+    PostedRecv* match_posted(const MpiMessage& message) noexcept;
+
+    void stash(MpiMessage message);
+    /// Pop the oldest unexpected message matching (src, tag), if any.
+    std::optional<MpiMessage> claim(int src, int tag);
+    [[nodiscard]] bool peek(int src, int tag) const noexcept;
+
+    std::unordered_map<std::uint64_t, PostedList> posted;
+    std::unordered_map<std::uint64_t, MsgList> unexpected;
+    std::vector<MsgNode> pool;  // recycled through `free_node`
+    std::uint32_t free_node = kNil;
+    std::uint64_t next_seq = 0;
+  };
 
   void deliver(MpiMessage message);
 

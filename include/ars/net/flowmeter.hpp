@@ -4,7 +4,7 @@
 // bytes (or average rate) inside an arbitrary trailing window — exactly what
 // the paper's communication-flow rules (Policy 3) and Figures 6/8 plot.
 
-#include <deque>
+#include "ars/support/ringbuffer.hpp"
 
 namespace ars::net {
 
@@ -26,14 +26,14 @@ class FlowMeter {
 
  private:
   struct Segment {
-    double begin;
-    double end;
-    double bytes;
+    double begin = 0.0;
+    double end = 0.0;
+    double bytes = 0.0;
   };
 
   void prune(double now);
 
-  std::deque<Segment> segments_;
+  support::RingBuffer<Segment> segments_;
   double total_ = 0.0;
   double retention_ = 3600.0;
 };

@@ -153,6 +153,14 @@ class Tracer {
   std::size_t dropped_ = 0;
 };
 
+/// True when `tracer` exists *and* is recording.  Hot paths must use this as
+/// the call-site guard so a disabled tracer costs one branch — no attribute
+/// vectors, no string formatting (instant()/begin_span() would discard the
+/// fully built arguments otherwise).
+[[nodiscard]] inline bool active(const Tracer* tracer) noexcept {
+  return tracer != nullptr && tracer->enabled();
+}
+
 /// RAII span for straight-line (non-migrating) scopes.
 class SpanGuard {
  public:

@@ -112,7 +112,7 @@ bool MigrationEngine::request_migration(mpi::RankId id,
   if (obs::MetricsRegistry* m = metrics()) {
     m->counter("migration.requests").inc();
   }
-  if (obs::Tracer* t = tracer(); t != nullptr && ok) {
+  if (obs::Tracer* t = tracer(); obs::active(t) && ok) {
     // The signal span covers delivery -> the process reaching a poll-point.
     const auto open = signal_spans_.find(id);
     if (open != signal_spans_.end()) {
@@ -133,7 +133,7 @@ sim::Task<> MigrationContext::poll_point() {
     co_return;
   }
   obs::Tracer* tracer = engine_->tracer();
-  if (tracer != nullptr) {
+  if (obs::active(tracer)) {
     // Close the signal-delivery span: the process reached its poll-point.
     const auto open = engine_->signal_spans_.find(p.id());
     if (open != engine_->signal_spans_.end()) {
@@ -148,12 +148,12 @@ sim::Task<> MigrationContext::poll_point() {
     co_return;
   }
   std::uint64_t poll_span = 0;
-  if (tracer != nullptr) {
+  if (obs::active(tracer)) {
     poll_span = tracer->begin_span("migration.poll_point", "hpcm", p.name());
   }
   const std::string dest = p.host().tmpfiles().read(key);
   p.host().tmpfiles().erase(key);
-  if (tracer != nullptr) {
+  if (obs::active(tracer)) {
     tracer->end_span(poll_span, {{"dest", dest}});
   }
   try {
@@ -165,7 +165,7 @@ sim::Task<> MigrationContext::poll_point() {
     // computing on the source.
     ARS_LOG_ERROR("hpcm", "migration of " << p.name() << " to " << dest
                                           << " failed: " << e.what());
-    if (tracer != nullptr) {
+    if (obs::active(tracer)) {
       tracer->instant("migration.failed", "hpcm", p.name(),
                       {{"dest", dest}, {"error", std::string(e.what())}});
     }
@@ -201,7 +201,7 @@ bool MigrationEngine::crash(mpi::RankId id) {
   const std::string name = proc->name();
   ARS_LOG_WARN("hpcm", "crash injected: " << name << " on "
                                           << proc->host().name());
-  if (obs::Tracer* t = tracer()) {
+  if (obs::Tracer* t = tracer(); obs::active(t)) {
     t->instant("process.crash", "hpcm", name,
                {{"host", proc->host().name()}});
   }
@@ -278,7 +278,7 @@ mpi::RankId MigrationEngine::relaunch(const std::string& process_name,
   state->context.proc_ = mpi_->find(id);
   const bool from_checkpoint = state->context.restarted_from_checkpoint_;
   procs_.emplace(id, std::move(state));
-  if (obs::Tracer* t = tracer()) {
+  if (obs::Tracer* t = tracer(); obs::active(t)) {
     t->instant("process.relaunch", "hpcm", process_name,
                {{"host", host_name}, {"from_checkpoint", from_checkpoint}});
   }
@@ -314,7 +314,7 @@ sim::Task<> MigrationEngine::receiver_main(mpi::Proc& helper,
   (void)co_await helper.recv(merged, mpi::kAnySource, kTagReady);
   const MigrationTimeline& done = history_[timeline_index];
   history_[timeline_index].completed_at = helper.system().engine().now();
-  if (obs::Tracer* t = tracer()) {
+  if (obs::Tracer* t = tracer(); obs::active(t)) {
     const auto spans = timeline_spans_.find(timeline_index);
     if (spans != timeline_spans_.end()) {
       t->end_span(spans->second.restore);
@@ -361,7 +361,7 @@ sim::Task<> MigrationEngine::migrate(MigrationContext& ctx,
   ARS_LOG_INFO("hpcm", "migrating " << proc.name() << ": " << source_host
                                     << " -> " << dest_host);
   obs::Tracer* t = tracer();
-  if (t != nullptr) {
+  if (obs::active(t)) {
     TimelineSpans& spans = timeline_spans_[timeline_index];
     spans.migration = t->begin_span(
         "migration", "hpcm", proc.name(),
@@ -376,7 +376,7 @@ sim::Task<> MigrationEngine::migrate(MigrationContext& ctx,
   const bool pre_init =
       port_it != pre_initialized_.end() && !port_it->second.empty();
   std::uint64_t spawn_span = 0;
-  if (t != nullptr) {
+  if (obs::active(t)) {
     spawn_span = t->begin_span(
         "migration.spawn", "hpcm", proc.name(),
         {{"dest", dest_host},
@@ -399,13 +399,13 @@ sim::Task<> MigrationEngine::migrate(MigrationContext& ctx,
     merged = co_await proc.merge(spawned.intercomm, false);
   }
   history_[timeline_index].init_done_at = engine.now();
-  if (t != nullptr) {
+  if (obs::active(t)) {
     t->end_span(spawn_span);
   }
 
   // ---- 2. data collection: snapshot live variables -------------------------
   std::uint64_t collect_span = 0;
-  if (t != nullptr) {
+  if (obs::active(t)) {
     collect_span = t->begin_span("migration.collect", "hpcm", proc.name());
   }
   if (ctx.save_) {
@@ -427,7 +427,7 @@ sim::Task<> MigrationEngine::migrate(MigrationContext& ctx,
   co_await proc.send(merged, merged.rank_of(helper_id), kTagEagerState,
                      eager_wire, std::move(eager_payload));
   history_[timeline_index].eager_done_at = engine.now();
-  if (t != nullptr) {
+  if (obs::active(t)) {
     t->end_span(collect_span,
                 {{"state_bytes", history_[timeline_index].state_bytes},
                  {"eager_bytes", eager_wire}});
@@ -489,7 +489,7 @@ void MigrationEngine::takeover(mpi::RankId id, host::Host& destination,
   ctx.requested_at = -1.0;
   history_[timeline_index].resumed_at = mpi_->engine().now();
   history_[timeline_index].succeeded = true;
-  if (obs::Tracer* t = tracer()) {
+  if (obs::Tracer* t = tracer(); obs::active(t)) {
     t->instant("migration.resumed", "hpcm", proc->name(),
                {{"dest", destination.name()},
                 {"migrations", ctx.migration_count_}});

@@ -34,11 +34,12 @@ double MetricsDb::mean_load1(double window) const {
   const double horizon = samples_.back().timestamp - window;
   double sum = 0.0;
   int count = 0;
-  for (auto it = samples_.rbegin(); it != samples_.rend(); ++it) {
-    if (it->timestamp < horizon) {
+  for (std::size_t i = samples_.size(); i-- > 0;) {
+    const xmlproto::DynamicStatus& sample = samples_[i];
+    if (sample.timestamp < horizon) {
       break;
     }
-    sum += it->load1;
+    sum += sample.load1;
     ++count;
   }
   return count == 0 ? 0.0 : sum / count;

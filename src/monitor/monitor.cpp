@@ -155,7 +155,7 @@ sim::Task<> Monitor::run() {
     status.state = std::string(rules::to_string(state));
     db_.record(status);
     if (state != state_) {
-      if (config_.tracer != nullptr) {
+      if (obs::active(config_.tracer)) {
         config_.tracer->instant(
             "monitor.state_transition", "monitor", host_->name(),
             {{"from", std::string(rules::to_string(state_))},
@@ -198,7 +198,7 @@ sim::Task<> Monitor::run() {
         ++consults_sent_;
         episode_consulted_ = true;
         last_consult_at_ = engine.now();
-        if (config_.tracer != nullptr) {
+        if (obs::active(config_.tracer)) {
           config_.tracer->instant("monitor.consult", "monitor",
                                   host_->name(),
                                   {{"reason", consult.reason}});

@@ -18,19 +18,145 @@ Proc::~Proc() {
   }
 }
 
-void Proc::deliver(MpiMessage message) {
-  Mailbox& box = mailboxes_[message.context];
-  for (auto it = box.posted.begin(); it != box.posted.end(); ++it) {
-    PostedRecv* posted = *it;
-    if (!posted->matched && matches(*posted, message)) {
-      posted->matched = true;
-      posted->message = std::move(message);
-      box.posted.erase(it);
-      posted->arrived->fire();
-      return;
+// -- Mailbox: bucketed (source, tag) matching --------------------------------
+
+namespace {
+
+/// Bucket key for a (source, tag) pair; wildcards (-1) key buckets of their
+/// own.  User tags are non-negative and reserved collective tags are <= -2,
+/// so -1 is unambiguous in both halves.
+std::uint64_t bucket_key(int src, int tag) noexcept {
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(src)) << 32) |
+         static_cast<std::uint32_t>(tag);
+}
+
+bool wildcard_match(int want_src, int want_tag, int src, int tag) noexcept {
+  return (want_src == kAnySource || want_src == src) &&
+         (want_tag == kAnyTag || want_tag == tag);
+}
+
+}  // namespace
+
+void Proc::Mailbox::post(PostedRecv& recv) {
+  recv.seq = next_seq++;
+  PostedList& list = posted[bucket_key(recv.src, recv.tag)];
+  recv.prev = list.tail;
+  recv.next = nullptr;
+  (list.tail != nullptr ? list.tail->next : list.head) = &recv;
+  list.tail = &recv;
+}
+
+void Proc::Mailbox::unpost(PostedRecv& recv) noexcept {
+  const auto it = posted.find(bucket_key(recv.src, recv.tag));
+  PostedList& list = it->second;
+  (recv.prev != nullptr ? recv.prev->next : list.head) = recv.next;
+  (recv.next != nullptr ? recv.next->prev : list.tail) = recv.prev;
+  recv.prev = recv.next = nullptr;
+  if (list.head == nullptr) {
+    posted.erase(it);
+  }
+}
+
+Proc::PostedRecv* Proc::Mailbox::match_posted(
+    const MpiMessage& message) noexcept {
+  // An arriving message can only match these four buckets; each is FIFO by
+  // post order, so comparing the fronts yields the oldest matching post —
+  // exactly what a front-to-back scan of one combined list would find.
+  const std::uint64_t candidates[4] = {
+      bucket_key(message.src_rank, message.tag),
+      bucket_key(message.src_rank, kAnyTag),
+      bucket_key(kAnySource, message.tag),
+      bucket_key(kAnySource, kAnyTag),
+  };
+  PostedRecv* best = nullptr;
+  for (const std::uint64_t key : candidates) {
+    const auto it = posted.find(key);
+    if (it != posted.end() && it->second.head != nullptr &&
+        (best == nullptr || it->second.head->seq < best->seq)) {
+      best = it->second.head;
     }
   }
-  box.unexpected.push_back(std::move(message));
+  if (best != nullptr) {
+    unpost(*best);
+  }
+  return best;
+}
+
+void Proc::Mailbox::stash(MpiMessage message) {
+  std::uint32_t index = free_node;
+  if (index != kNil) {
+    free_node = pool[index].next;
+  } else {
+    index = static_cast<std::uint32_t>(pool.size());
+    pool.emplace_back();
+  }
+  MsgNode& node = pool[index];
+  const std::uint64_t key = bucket_key(message.src_rank, message.tag);
+  node.message = std::move(message);
+  node.seq = next_seq++;
+  node.next = kNil;
+  MsgList& list = unexpected[key];
+  (list.tail != kNil ? pool[list.tail].next : list.head) = index;
+  list.tail = index;
+}
+
+std::optional<MpiMessage> Proc::Mailbox::claim(int src, int tag) {
+  auto it = unexpected.end();
+  if (src != kAnySource && tag != kAnyTag) {
+    it = unexpected.find(bucket_key(src, tag));  // hot path: O(1)
+  } else {
+    // Wildcard: every bucket front is that bucket's oldest arrival, so the
+    // minimum seq over matching fronts is the global oldest match.
+    std::uint64_t best_seq = 0;
+    for (auto probe = unexpected.begin(); probe != unexpected.end(); ++probe) {
+      const int bucket_src = static_cast<int>(probe->first >> 32);
+      const int bucket_tag = static_cast<int>(probe->first & 0xffffffffU);
+      if (wildcard_match(src, tag, bucket_src, bucket_tag) &&
+          (it == unexpected.end() || pool[probe->second.head].seq < best_seq)) {
+        it = probe;
+        best_seq = pool[it->second.head].seq;
+      }
+    }
+  }
+  if (it == unexpected.end()) {
+    return std::nullopt;
+  }
+  MsgList& list = it->second;
+  const std::uint32_t index = list.head;
+  MsgNode& node = pool[index];
+  MpiMessage message = std::move(node.message);
+  node.message = MpiMessage{};  // release payload buffers eagerly
+  list.head = node.next;
+  if (list.head == kNil) {
+    unexpected.erase(it);
+  }
+  node.next = free_node;
+  free_node = index;
+  return message;
+}
+
+bool Proc::Mailbox::peek(int src, int tag) const noexcept {
+  if (src != kAnySource && tag != kAnyTag) {
+    return unexpected.find(bucket_key(src, tag)) != unexpected.end();
+  }
+  for (const auto& [key, list] : unexpected) {
+    if (wildcard_match(src, tag, static_cast<int>(key >> 32),
+                       static_cast<int>(key & 0xffffffffU))) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void Proc::deliver(MpiMessage message) {
+  Mailbox& box = mailboxes_[message.context];
+  if (PostedRecv* posted = box.match_posted(message)) {
+    posted->matched = true;
+    posted->message = std::move(message);
+    posted->arrived->fire();
+    return;
+  }
+  box.stash(std::move(message));
 }
 
 sim::Task<> Proc::send(Comm comm, int dest, int tag, double size_bytes,
@@ -72,28 +198,21 @@ Request Proc::isend(Comm comm, int dest, int tag, double size_bytes,
 sim::Task<MpiMessage> Proc::recv(Comm comm, int src, int tag) {
   assert(comm.valid());
   Mailbox& box = mailboxes_[comm.context()];
-  PostedRecv probe;
-  probe.src = src;
-  probe.tag = tag;
-  for (auto it = box.unexpected.begin(); it != box.unexpected.end(); ++it) {
-    if (matches(probe, *it)) {
-      MpiMessage message = std::move(*it);
-      box.unexpected.erase(it);
-      co_return message;
-    }
+  if (std::optional<MpiMessage> ready = box.claim(src, tag)) {
+    co_return std::move(*ready);
   }
   PostedRecv posted;
   posted.src = src;
   posted.tag = tag;
   posted.arrived = std::make_unique<sim::Trigger>(system_->engine());
-  box.posted.push_back(&posted);
+  box.post(posted);
   // RAII guard: a killed/migrated fiber must unlink its posting.
   struct Unpost {
     Mailbox* box;
     PostedRecv* posted;
     ~Unpost() {
       if (!posted->matched) {
-        box->posted.remove(posted);
+        box->unpost(*posted);
       }
     }
   } guard{&box, &posted};
@@ -103,18 +222,7 @@ sim::Task<MpiMessage> Proc::recv(Comm comm, int src, int tag) {
 
 bool Proc::iprobe(const Comm& comm, int src, int tag) const {
   const auto it = mailboxes_.find(comm.context());
-  if (it == mailboxes_.end()) {
-    return false;
-  }
-  PostedRecv probe;
-  probe.src = src;
-  probe.tag = tag;
-  for (const MpiMessage& message : it->second.unexpected) {
-    if (matches(probe, message)) {
-      return true;
-    }
-  }
-  return false;
+  return it != mailboxes_.end() && it->second.peek(src, tag);
 }
 
 }  // namespace ars::mpi

@@ -209,7 +209,7 @@ sim::Task<> Registry::sweep() {
         if (config_.metrics != nullptr) {
           config_.metrics->counter("registry.lease_expirations").inc();
         }
-        if (config_.tracer != nullptr) {
+        if (obs::active(config_.tracer)) {
           config_.tracer->instant(
               "registry.lease_expired", "scheduler", host_->name(),
               {{"host", name},
@@ -464,7 +464,7 @@ sim::Task<> Registry::evacuate(std::string drained_host, std::string reason) {
   if (config_.metrics != nullptr) {
     config_.metrics->counter("registry.evacuations").inc();
   }
-  if (config_.tracer != nullptr) {
+  if (obs::active(config_.tracer)) {
     config_.tracer->instant("registry.evacuation", "scheduler",
                             host_->name(),
                             {{"host", drained_host}, {"reason", reason}});
@@ -528,7 +528,7 @@ sim::Task<> Registry::evacuate(std::string drained_host, std::string reason) {
 sim::Task<> Registry::decide(std::string overloaded_host, std::string reason) {
   obs::Tracer* tracer = config_.tracer;
   const std::uint64_t decide_span =
-      tracer != nullptr
+      obs::active(tracer)
           ? tracer->begin_span("scheduler.decide", "scheduler", host_->name(),
                                {{"source", overloaded_host},
                                 {"reason", reason}})
@@ -548,7 +548,7 @@ sim::Task<> Registry::decide(std::string overloaded_host, std::string reason) {
           ->counter("scheduler.decisions", {{"outcome", outcome}})
           .inc();
     }
-    if (tracer != nullptr) {
+    if (obs::active(tracer)) {
       emit_decision_event(tracer, decision.at, host_->name(), decision,
                           outcome);
       tracer->end_span(decide_span, {{"outcome", outcome}});

@@ -1,0 +1,192 @@
+// Proof of the zero-allocation steady state (ISSUE 2 acceptance): global
+// operator new/delete are replaced with counting wrappers *in this binary
+// only*, and the tests assert that a warmed-up `sim::Engine` schedules,
+// cancels, and executes events without a single heap allocation.
+//
+// This lives in its own test executable (test_alloc) so the counters don't
+// interfere with — or get confused by — the rest of the suite.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+#include <vector>
+
+#include "ars/sim/engine.hpp"
+
+namespace {
+
+std::atomic<std::size_t> g_alloc_count{0};
+
+std::size_t allocations() { return g_alloc_count.load(); }
+
+void* counted_alloc(std::size_t size) {
+  ++g_alloc_count;
+  if (void* p = std::malloc(size)) {
+    return p;
+  }
+  throw std::bad_alloc();
+}
+
+void* counted_aligned_alloc(std::size_t size, std::size_t align) {
+  ++g_alloc_count;
+  if (size % align != 0) {
+    size += align - size % align;  // aligned_alloc requires a multiple
+  }
+  if (void* p = std::aligned_alloc(align, size)) {
+    return p;
+  }
+  throw std::bad_alloc();
+}
+
+}  // namespace
+
+// Every replaceable form the engine (or the standard library underneath it)
+// could reach; deletes are deliberately not counted — the assertion is about
+// acquiring memory in steady state.
+void* operator new(std::size_t size) { return counted_alloc(size); }
+void* operator new[](std::size_t size) { return counted_alloc(size); }
+void* operator new(std::size_t size, std::align_val_t align) {
+  return counted_aligned_alloc(size, static_cast<std::size_t>(align));
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return counted_aligned_alloc(size, static_cast<std::size_t>(align));
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+
+namespace {
+
+using ars::sim::Engine;
+
+constexpr int kBatch = 1000;
+
+/// Schedule-and-drain one batch with the mixed-timestamp pattern the micro
+/// bench uses (97 distinct times, chained same-time events).
+void run_batch(Engine& engine) {
+  for (int i = 0; i < kBatch; ++i) {
+    engine.schedule_after(static_cast<double>(i % 97), [] {});
+  }
+  while (engine.step()) {
+  }
+}
+
+TEST(EngineAllocation, SteadyStateStepIsAllocationFree) {
+  Engine engine;
+  // Warm-up: grows the slot slab, timestamp pool, heap, and hash index to
+  // their steady-state footprint (these growths DO allocate, by design).
+  run_batch(engine);
+  run_batch(engine);
+
+  const std::size_t before = allocations();
+  run_batch(engine);
+  EXPECT_EQ(allocations() - before, 0U)
+      << "schedule_after/step must not allocate once the pools are warm";
+}
+
+TEST(EngineAllocation, InlineCallbackCapturesAreAllocationFree) {
+  Engine engine;
+  run_batch(engine);
+  run_batch(engine);
+
+  // 40 bytes of capture: inside Callback's 48-byte inline buffer.
+  struct Payload {
+    double a[5];
+  } payload{{1, 2, 3, 4, 5}};
+  double sink = 0.0;
+
+  const std::size_t before = allocations();
+  for (int i = 0; i < kBatch; ++i) {
+    engine.schedule_after(static_cast<double>(i % 97),
+                          [payload, &sink] { sink += payload.a[0]; });
+  }
+  while (engine.step()) {
+  }
+  EXPECT_EQ(allocations() - before, 0U)
+      << "captures up to 48 bytes must stay in the inline buffer";
+  EXPECT_EQ(sink, kBatch * 1.0);
+}
+
+TEST(EngineAllocation, CancellationIsAllocationFree) {
+  Engine engine;
+  std::vector<Engine::EventHandle> handles(kBatch);
+  // Warm-up includes the cancel pattern so the freelist is primed.
+  for (int round = 0; round < 2; ++round) {
+    for (int i = 0; i < kBatch; ++i) {
+      handles[i] =
+          engine.schedule_after(static_cast<double>(i % 97), [] {});
+    }
+    for (int i = 0; i < kBatch; i += 2) {
+      handles[i].cancel();
+    }
+    while (engine.step()) {
+    }
+  }
+
+  const std::size_t before = allocations();
+  for (int i = 0; i < kBatch; ++i) {
+    handles[i] = engine.schedule_after(static_cast<double>(i % 97), [] {});
+  }
+  for (int i = 0; i < kBatch; i += 2) {
+    handles[i].cancel();
+  }
+  while (engine.step()) {
+  }
+  EXPECT_EQ(allocations() - before, 0U)
+      << "cancel() and lazy removal must not allocate";
+}
+
+TEST(EngineAllocation, SelfReschedulingTimerIsAllocationFree) {
+  Engine engine;
+  // A periodic timer re-arming itself from inside its own callback — the
+  // monitor/heartbeat shape that dominates long idle stretches.
+  struct Timer {
+    Engine* engine;
+    int* remaining;
+    void operator()() const {
+      if (--*remaining > 0) {
+        engine->schedule_after(0.5, *this);
+      }
+    }
+  };
+  int remaining = 64;
+  engine.schedule_after(0.5, Timer{&engine, &remaining});
+  while (engine.step()) {
+  }
+
+  remaining = 4096;
+  const std::size_t before = allocations();
+  engine.schedule_after(0.5, Timer{&engine, &remaining});
+  while (engine.step()) {
+  }
+  EXPECT_EQ(allocations() - before, 0U);
+  EXPECT_EQ(remaining, 0);
+}
+
+TEST(EngineAllocation, OversizedCallbackFallsBackToHeap) {
+  // Sanity check on the fixture itself: a capture beyond the inline buffer
+  // must be visible to the counters (otherwise the zero-allocation results
+  // above would be vacuous).
+  Engine engine;
+  struct Big {
+    double a[9];  // 72 bytes > 48-byte inline buffer
+  } big{};
+  const std::size_t before = allocations();
+  engine.schedule_after(0.0, [big] { (void)big; });
+  EXPECT_GT(allocations() - before, 0U);
+  while (engine.step()) {
+  }
+}
+
+}  // namespace
