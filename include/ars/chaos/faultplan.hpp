@@ -1,0 +1,109 @@
+#pragma once
+// Declarative fault plans for the chaos subsystem (ars::chaos layer 1).
+//
+// A FaultPlan is an ordered list of FaultSpecs, each describing one fault
+// in sim time: control-plane message loss/duplication/extra-delay, link
+// bandwidth degradation, full network partitions with heal, host crash &
+// restart, CPU slowdown, monitor stall, and registry crash + cold restart.
+// Plans are built programmatically (fluent builder) or loaded from a strict
+// JSON file; both forms round-trip through to_json()/from_json(), and the
+// shipped plans/*.json files are exactly the builtins' serialization.
+//
+// A plan is pure data — the FaultInjector turns it into scheduled engine
+// events and a net::FaultPolicy.  Everything that consumes randomness does
+// so from an explicit seed, so (plan, seed) fully determines a run.
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "ars/support/expected.hpp"
+
+namespace ars::chaos {
+
+enum class FaultKind {
+  kMessageLoss,       // control datagrams dropped with `probability`
+  kMessageDuplicate,  // delivered twice with `probability`
+  kMessageDelay,      // `delay` extra seconds with `probability`
+  kLinkDegrade,       // link bandwidth multiplied by `factor`
+  kPartition,         // traffic between side A and side B fully cut
+  kHostCrash,         // host dies at `at`; reboots at `until` if set
+  kCpuSlowdown,       // host CPU speed multiplied by `factor`
+  kMonitorStall,      // the host's monitor stops heartbeating
+  kRegistryCrash,     // registry process dies; cold restart at `until`
+};
+
+[[nodiscard]] std::string_view to_string(FaultKind kind) noexcept;
+[[nodiscard]] support::Expected<FaultKind> fault_kind_from_string(
+    std::string_view text);
+
+struct FaultSpec {
+  FaultKind kind = FaultKind::kMessageLoss;
+  double at = 0.0;      // activation, sim seconds
+  double until = -1.0;  // deactivation; negative = permanent
+  /// Primary host (crash/slowdown/stall) or the message source side /
+  /// partition side A for link-level faults.  "*" matches any host.
+  std::string host_a = "*";
+  /// Peer host: message destination side / partition side B.
+  std::string host_b = "*";
+  double probability = 1.0;  // per-message, for the message faults
+  double factor = 1.0;       // bandwidth or CPU multiplier
+  double delay = 0.0;        // extra seconds, for kMessageDelay
+
+  [[nodiscard]] bool permanent() const noexcept { return until < 0.0; }
+};
+
+class FaultPlan {
+ public:
+  FaultPlan() = default;
+  explicit FaultPlan(std::string name) : name_(std::move(name)) {}
+
+  // -- fluent builder -------------------------------------------------------
+  FaultPlan& add(FaultSpec spec);
+  FaultPlan& message_loss(double at, double until, double probability,
+                          std::string src = "*", std::string dst = "*");
+  FaultPlan& message_duplicate(double at, double until, double probability,
+                               std::string src = "*", std::string dst = "*");
+  FaultPlan& message_delay(double at, double until, double probability,
+                           double delay, std::string src = "*",
+                           std::string dst = "*");
+  FaultPlan& link_degrade(double at, double until, double factor,
+                          std::string a = "*", std::string b = "*");
+  FaultPlan& partition(double at, double heal_at, std::string side_a,
+                       std::string side_b = "*");
+  FaultPlan& host_crash(double at, double restart_at, std::string host);
+  FaultPlan& cpu_slowdown(double at, double until, double factor,
+                          std::string host);
+  FaultPlan& monitor_stall(double at, double until, std::string host);
+  FaultPlan& registry_crash(double at, double restart_at);
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] const std::vector<FaultSpec>& specs() const noexcept {
+    return specs_;
+  }
+  [[nodiscard]] bool empty() const noexcept { return specs_.empty(); }
+
+  /// Latest instant at which any fault activates or heals — after this the
+  /// cluster is undisturbed (lease-convergence checks wait this out).
+  [[nodiscard]] double last_disruption_end() const noexcept;
+
+  // -- JSON (strict; parsed with the obs parser) ----------------------------
+  /// {"name": "...", "faults": [{"kind": "message_loss", "at": 40, ...}]}
+  /// Unknown keys, unknown kinds, and missing "kind"/"at" are errors.
+  [[nodiscard]] static support::Expected<FaultPlan> from_json(
+      std::string_view text);
+  [[nodiscard]] std::string to_json() const;
+
+  // -- shipped plans --------------------------------------------------------
+  /// Builtin plan by name (also shipped as plans/<name>.json); error when
+  /// unknown — see builtin_names().
+  [[nodiscard]] static support::Expected<FaultPlan> builtin(
+      const std::string& name);
+  [[nodiscard]] static std::vector<std::string> builtin_names();
+
+ private:
+  std::string name_;
+  std::vector<FaultSpec> specs_;
+};
+
+}  // namespace ars::chaos

@@ -1,0 +1,87 @@
+#pragma once
+// Fault injector (ars::chaos layer 1, execution half): turns a FaultPlan
+// into scheduled engine events against a live ReschedulerRuntime and serves
+// as the network's per-link FaultPolicy.
+//
+// Determinism: all randomness comes from one seeded Rng consumed in event
+// order, and every activation/deactivation is a normal engine event — so
+// (cluster config, plan, seed) fully determines the run, and a failing seed
+// replays byte-identically.
+//
+// Lifetime: construct after the runtime, arm() before running, destroy
+// before the runtime (the destructor cancels pending fault events and
+// uninstalls the network policy).
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "ars/chaos/faultplan.hpp"
+#include "ars/core/runtime.hpp"
+#include "ars/net/network.hpp"
+#include "ars/support/rng.hpp"
+
+namespace ars::chaos {
+
+class FaultInjector final : public net::FaultPolicy {
+ public:
+  struct Stats {
+    std::uint64_t messages_dropped = 0;     // by loss faults + partitions
+    std::uint64_t messages_duplicated = 0;  // extra copies injected
+    std::uint64_t messages_delayed = 0;
+    int host_crashes = 0;
+    int host_restarts = 0;
+    int cpu_slowdowns = 0;
+    int monitor_stalls = 0;
+    int registry_crashes = 0;
+    int partitions = 0;
+    int link_degrades = 0;
+  };
+
+  FaultInjector(core::ReschedulerRuntime& runtime, FaultPlan plan,
+                std::uint64_t seed);
+  ~FaultInjector() override;
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  /// Install the network policy and schedule every fault's activation and
+  /// deactivation.  Must run before the faults' activation times; throws
+  /// std::invalid_argument when a spec names an unknown host.
+  void arm();
+
+  // -- net::FaultPolicy -----------------------------------------------------
+  PostVerdict on_post(const net::Message& message) override;
+  double bandwidth_factor(const std::string& src,
+                          const std::string& dst) override;
+
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+  [[nodiscard]] const FaultPlan& plan() const noexcept { return plan_; }
+  [[nodiscard]] double last_disruption_end() const noexcept {
+    return plan_.last_disruption_end();
+  }
+
+ private:
+  [[nodiscard]] bool spec_active(const FaultSpec& spec) const;
+  /// Directional source->destination match for the message faults.
+  [[nodiscard]] static bool direction_matches(const FaultSpec& spec,
+                                              const std::string& src,
+                                              const std::string& dst);
+  /// Symmetric cut/degrade match for partitions and link faults.
+  [[nodiscard]] static bool link_matches(const FaultSpec& spec,
+                                         const std::string& a,
+                                         const std::string& b);
+  void activate(std::size_t index);
+  void deactivate(std::size_t index);
+  void trace_fault(const FaultSpec& spec, const char* phase);
+
+  core::ReschedulerRuntime* runtime_;
+  FaultPlan plan_;
+  support::Rng rng_;
+  Stats stats_;
+  std::vector<sim::Engine::EventHandle> events_;
+  std::map<std::string, double> saved_cpu_speed_;
+  bool armed_ = false;
+};
+
+}  // namespace ars::chaos

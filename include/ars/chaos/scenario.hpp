@@ -1,0 +1,57 @@
+#pragma once
+// Standard chaos scenario (ars::chaos layer 3, shared by the campaign
+// runner and the tests): a small cluster running several checkpointing
+// applications under a CPU hog (to provoke real migrations), with a
+// FaultPlan armed against it and the invariants checked at the horizon.
+//
+// One ScenarioOptions value — cluster shape, seed, plan — fully determines
+// the run, including the trace: run_scenario(options) twice and the
+// returned trace hashes are identical.
+
+#include <cstdint>
+#include <string>
+
+#include "ars/chaos/faultplan.hpp"
+#include "ars/chaos/injector.hpp"
+#include "ars/chaos/invariants.hpp"
+
+namespace ars::chaos {
+
+struct ScenarioOptions {
+  int hosts = 4;  // ws1..wsN; the registry lives on ws1
+  int apps = 3;   // checkpointing counter apps, staggered starts
+  int iterations = 60;
+  int checkpoint_every = 10;
+  double horizon = 700.0;
+  std::uint64_t seed = 1;
+  FaultPlan plan;
+  /// Deliberately breaks the rescheduler (the lease sweeper never fires) to
+  /// prove the invariant checker catches a broken build — crash faults then
+  /// strand their applications forever.
+  bool sabotage_lease_expiry = false;
+  /// CPU hog on ws1 so the run exercises real migrations, not just faults.
+  bool with_load = true;
+  /// Copy the full JSON-lines trace into the report (hashing is always on).
+  bool keep_trace = false;
+};
+
+struct ScenarioReport {
+  InvariantReport invariants;
+  std::uint64_t trace_hash = 0;  // FNV-1a of the full JSON-lines trace
+  std::string trace_jsonl;       // only when keep_trace
+  std::uint64_t events_executed = 0;
+  double final_time = 0.0;
+  std::size_t migration_attempts = 0;
+  std::size_t migrations_succeeded = 0;
+  FaultInjector::Stats faults;
+  std::uint64_t messages_dropped = 0;  // network total (all reasons)
+
+  [[nodiscard]] bool ok() const noexcept { return invariants.ok(); }
+};
+
+/// FNV-1a digest used for the byte-identical replay comparison.
+[[nodiscard]] std::uint64_t fnv1a(const std::string& data) noexcept;
+
+[[nodiscard]] ScenarioReport run_scenario(const ScenarioOptions& options);
+
+}  // namespace ars::chaos

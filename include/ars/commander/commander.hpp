@@ -10,6 +10,7 @@
 #include "ars/hpcm/migration.hpp"
 #include "ars/net/network.hpp"
 #include "ars/sim/task.hpp"
+#include "ars/xmlproto/messages.hpp"
 
 namespace ars::obs {
 class Tracer;
@@ -25,6 +26,13 @@ class Commander {
     // Where acknowledgements go (the registry); acks are dropped if unset.
     std::string registry_host;
     int registry_port = 0;
+    /// Bounded retry for failed MIGRATE deliveries: a command that finds no
+    /// such pid is retried up to `retry_limit` more times with exponential
+    /// backoff starting at `retry_backoff` seconds (covers the race where
+    /// the command outruns the process's registration/launch).  The ack
+    /// reports the final outcome; 0 disables retries.
+    int retry_limit = 2;
+    double retry_backoff = 0.25;
     /// Optional observability hooks (not owned): signal-delivery events.
     obs::Tracer* tracer = nullptr;
     obs::MetricsRegistry* metrics = nullptr;
@@ -46,9 +54,14 @@ class Commander {
   [[nodiscard]] int commands_failed() const noexcept {
     return commands_failed_;
   }
+  /// Retry attempts made after a failed first delivery (any outcome).
+  [[nodiscard]] int commands_retried() const noexcept {
+    return commands_retried_;
+  }
 
  private:
   [[nodiscard]] sim::Task<> serve();
+  [[nodiscard]] sim::Task<> handle_migrate(xmlproto::MigrateCmd command);
 
   host::Host* host_;
   net::Network* network_;
@@ -56,8 +69,10 @@ class Commander {
   Config config_;
   net::Endpoint* endpoint_ = nullptr;
   sim::Fiber fiber_;
+  std::vector<sim::Fiber> command_fibers_;  // in-flight migrate handlers
   int commands_received_ = 0;
   int commands_failed_ = 0;
+  int commands_retried_ = 0;
   bool running_ = false;
 };
 

@@ -49,6 +49,14 @@ struct ClusterConfig {
       registry::DestinationStrategy::kFirstFit;
   /// Relaunch the processes of crashed hosts from their checkpoints.
   bool auto_restart = false;
+  /// Bounded retry for failed commander deliveries (see
+  /// commander::Commander::Config): extra attempts and initial backoff.
+  int command_retry_limit = 2;
+  double command_retry_backoff = 0.25;
+  /// Monitors re-announce static info + process table every this many
+  /// seconds (0 disables) so a cold-restarted registry rebuilds its
+  /// soft-state tables from heartbeats alone.
+  double monitor_reregister_period = 0.0;
   /// Event-trace buffer options (ars::obs).  Tracing is on by default; it
   /// is cheap in virtual time and the ring bound caps memory.
   obs::Tracer::Options trace{};
@@ -119,7 +127,26 @@ class ReschedulerRuntime {
   /// rescheduler entities vanish.  With `auto_restart` configured, the
   /// registry notices the lease lapse and relaunches the lost processes
   /// from their checkpoints.  Returns how many processes were lost.
+  /// A co-located registry dies with its host (use restart_host to bring
+  /// it back, cold).
   int fail_host(const std::string& host_name);
+
+  /// Bring a failed host's rescheduler entities back up (the machine
+  /// rebooted).  Its monitor re-registers on the next cycle; processes lost
+  /// in the crash are NOT resurrected here — that is the registry's
+  /// auto-restart path.  A co-located registry restarts cold (soft state
+  /// wiped, rebuilt from heartbeats).
+  void restart_host(const std::string& host_name);
+
+  /// Kill only the registry/scheduler process (its host stays up).
+  void crash_registry();
+  /// Cold-restart the registry: soft-state tables are gone and must be
+  /// rebuilt purely from subsequent monitor traffic (paper §3).
+  void restart_registry();
+
+  [[nodiscard]] const ClusterConfig& config() const noexcept {
+    return config_;
+  }
 
   /// Advance virtual time.
   void run_until(double t) { engine_.run_until(t); }

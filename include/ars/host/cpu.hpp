@@ -75,6 +75,12 @@ class CpuModel {
   }
 
   [[nodiscard]] double speed() const noexcept { return speed_; }
+
+  /// Change the effective speed mid-run (chaos CPU slowdown / thermal
+  /// throttling).  In-flight jobs keep their accrued progress and finish at
+  /// the new rate.
+  void set_speed(double speed);
+
   [[nodiscard]] sim::Engine& engine() const noexcept { return *engine_; }
 
  private:

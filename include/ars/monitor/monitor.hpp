@@ -47,6 +47,11 @@ class Monitor {
     rules::MigrationPolicy policy;
     Classifier classifier;   // defaults to classifier_from_policy(policy)
     double sensor_window = 10.0;
+    /// Soft-state refresh: re-announce static info and the full process
+    /// table every this many seconds (0 disables).  A registry that cold
+    /// restarts rebuilds its tables purely from these announcements plus
+    /// the regular heartbeats (paper §3's soft-state claim).
+    double reregister_period = 0.0;
     /// CPU cost of one monitoring cycle (running the `vmstat`/`netstat`
     /// sensor scripts), in reference-CPU seconds — the source of the
     /// rescheduler's measurable overhead (paper §5.1, < 4 %).
@@ -102,7 +107,7 @@ class Monitor {
   [[nodiscard]] sim::Task<> run();
   void push(xmlproto::ProtocolMessage message);
   [[nodiscard]] double frequency_for(rules::SystemState state) const;
-  void sync_process_registrations();
+  void sync_process_registrations(bool refresh);
 
   host::Host* host_;
   net::Network* network_;

@@ -26,6 +26,10 @@
 #include "ars/sim/task.hpp"
 #include "ars/sim/wait.hpp"
 
+namespace ars::obs {
+class MetricsRegistry;
+}  // namespace ars::obs
+
 namespace ars::net {
 
 struct Message {
@@ -44,12 +48,38 @@ struct Endpoint {
   sim::Channel<Message> inbox;
 };
 
+/// Per-link fault policy consulted by the network (chaos injection hook).
+/// Implementations are not owned by the network; install with
+/// Network::set_fault_policy and clear (nullptr) before destruction.
+class FaultPolicy {
+ public:
+  virtual ~FaultPolicy() = default;
+
+  struct PostVerdict {
+    bool drop = false;        // discard the datagram entirely
+    int duplicates = 0;       // extra copies delivered alongside the original
+    double extra_delay = 0.0; // added seconds before the copy enters the NIC
+  };
+
+  /// Consulted once per post(); may advance internal (seeded) random state.
+  virtual PostVerdict on_post(const Message& message) = 0;
+
+  /// Bandwidth multiplier in [0, 1] applied to bulk transfers src -> dst.
+  /// 0 stalls the transfer until the factor recovers (full partition); call
+  /// Network::on_fault_change() whenever the answer changes over time.
+  virtual double bandwidth_factor(const std::string& src,
+                                  const std::string& dst) = 0;
+};
+
 class Network {
  public:
   struct Options {
     double latency = 0.0001;          // one-way propagation, seconds
     double bandwidth_bps = 12.5e6;    // per-NIC, bytes/second (100 Mb/s)
     std::uint64_t message_overhead = 64;  // headers added to each post()
+    /// Optional metrics sink (not owned): datagram drops are counted as
+    /// ars_net_dropped_total{reason=...}.
+    obs::MetricsRegistry* metrics = nullptr;
   };
 
   explicit Network(sim::Engine& engine);  // default options
@@ -95,6 +125,28 @@ class Network {
     return jobs_.size();
   }
 
+  // -- fault injection (ars::chaos hook points) -----------------------------
+
+  /// Install (or clear, with nullptr) the link fault policy.  Not owned; the
+  /// policy must outlive the network or be cleared before it goes away.
+  void set_fault_policy(FaultPolicy* policy) noexcept;
+  [[nodiscard]] FaultPolicy* fault_policy() const noexcept {
+    return fault_policy_;
+  }
+
+  /// Re-evaluate active transfer rates against the fault policy.  Call when
+  /// a time-varying fault (partition heal, bandwidth degradation boundary)
+  /// changes what bandwidth_factor would answer.
+  void on_fault_change();
+
+  /// Datagrams dropped so far with `hostname` as the poster (all reasons:
+  /// unknown destination, unbound port, injected fault).
+  [[nodiscard]] std::uint64_t dropped_count(const std::string& hostname) const;
+  /// Total datagrams dropped across all hosts and reasons.
+  [[nodiscard]] std::uint64_t dropped_total() const noexcept {
+    return dropped_total_;
+  }
+
  private:
   struct HostRecord {
     host::Host* host = nullptr;
@@ -104,6 +156,7 @@ class Network {
     FlowMeter tx_meter;
     FlowMeter rx_meter;
     int next_port = 40000;
+    std::uint64_t messages_dropped = 0;
   };
 
   struct TransferJob {
@@ -127,6 +180,9 @@ class Network {
   void on_completion_event();
   void register_job(TransferJob* job);
   void withdraw_job(TransferJob* job);
+  /// Account one dropped datagram: per-poster count plus the labeled
+  /// ars_net_dropped_total counter when a metrics sink is configured.
+  void count_drop(const std::string& src_host, const char* reason);
 
   sim::Engine* engine_;
   Options options_;
@@ -137,6 +193,8 @@ class Network {
   double last_update_ = 0.0;
   sim::Engine::EventHandle completion_event_;
   int next_ip_suffix_ = 1;
+  FaultPolicy* fault_policy_ = nullptr;
+  std::uint64_t dropped_total_ = 0;
 };
 
 }  // namespace ars::net

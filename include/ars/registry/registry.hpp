@@ -128,6 +128,12 @@ class Registry {
   void start();
   void stop();
 
+  /// Drop all soft state (host table, process registry, registration
+  /// order) — a cold restart.  Schemas and the decision log survive: they
+  /// are configuration and audit trail, not soft state.  Call while
+  /// stopped; the tables rebuild from subsequent monitor announcements.
+  void clear_soft_state();
+
   [[nodiscard]] int port() const noexcept { return config_.port; }
   [[nodiscard]] const std::string& host_name() const {
     return host_->name();

@@ -32,7 +32,7 @@ if [ "${1:-}" = "--fix" ]; then
 fi
 
 # shellcheck disable=SC2086
-find include src tests bench examples \
+find include src tests bench examples tools \
     -name '*.hpp' -o -name '*.cpp' | sort | \
   xargs "$CLANG_FORMAT" --style=file $MODE
 

@@ -1,0 +1,344 @@
+#include "ars/chaos/faultplan.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "ars/obs/json.hpp"
+
+namespace ars::chaos {
+
+using support::Expected;
+using support::make_error;
+
+std::string_view to_string(FaultKind kind) noexcept {
+  switch (kind) {
+    case FaultKind::kMessageLoss:
+      return "message_loss";
+    case FaultKind::kMessageDuplicate:
+      return "message_duplicate";
+    case FaultKind::kMessageDelay:
+      return "message_delay";
+    case FaultKind::kLinkDegrade:
+      return "link_degrade";
+    case FaultKind::kPartition:
+      return "partition";
+    case FaultKind::kHostCrash:
+      return "host_crash";
+    case FaultKind::kCpuSlowdown:
+      return "cpu_slowdown";
+    case FaultKind::kMonitorStall:
+      return "monitor_stall";
+    case FaultKind::kRegistryCrash:
+      return "registry_crash";
+  }
+  return "?";
+}
+
+Expected<FaultKind> fault_kind_from_string(std::string_view text) {
+  for (const FaultKind kind :
+       {FaultKind::kMessageLoss, FaultKind::kMessageDuplicate,
+        FaultKind::kMessageDelay, FaultKind::kLinkDegrade,
+        FaultKind::kPartition, FaultKind::kHostCrash, FaultKind::kCpuSlowdown,
+        FaultKind::kMonitorStall, FaultKind::kRegistryCrash}) {
+    if (text == to_string(kind)) {
+      return kind;
+    }
+  }
+  return make_error("chaos.unknown_kind",
+                    "unknown fault kind: " + std::string(text));
+}
+
+FaultPlan& FaultPlan::add(FaultSpec spec) {
+  specs_.push_back(std::move(spec));
+  return *this;
+}
+
+FaultPlan& FaultPlan::message_loss(double at, double until, double probability,
+                                   std::string src, std::string dst) {
+  FaultSpec spec;
+  spec.kind = FaultKind::kMessageLoss;
+  spec.at = at;
+  spec.until = until;
+  spec.probability = probability;
+  spec.host_a = std::move(src);
+  spec.host_b = std::move(dst);
+  return add(std::move(spec));
+}
+
+FaultPlan& FaultPlan::message_duplicate(double at, double until,
+                                        double probability, std::string src,
+                                        std::string dst) {
+  FaultSpec spec;
+  spec.kind = FaultKind::kMessageDuplicate;
+  spec.at = at;
+  spec.until = until;
+  spec.probability = probability;
+  spec.host_a = std::move(src);
+  spec.host_b = std::move(dst);
+  return add(std::move(spec));
+}
+
+FaultPlan& FaultPlan::message_delay(double at, double until,
+                                    double probability, double delay,
+                                    std::string src, std::string dst) {
+  FaultSpec spec;
+  spec.kind = FaultKind::kMessageDelay;
+  spec.at = at;
+  spec.until = until;
+  spec.probability = probability;
+  spec.delay = delay;
+  spec.host_a = std::move(src);
+  spec.host_b = std::move(dst);
+  return add(std::move(spec));
+}
+
+FaultPlan& FaultPlan::link_degrade(double at, double until, double factor,
+                                   std::string a, std::string b) {
+  FaultSpec spec;
+  spec.kind = FaultKind::kLinkDegrade;
+  spec.at = at;
+  spec.until = until;
+  spec.factor = factor;
+  spec.host_a = std::move(a);
+  spec.host_b = std::move(b);
+  return add(std::move(spec));
+}
+
+FaultPlan& FaultPlan::partition(double at, double heal_at, std::string side_a,
+                                std::string side_b) {
+  FaultSpec spec;
+  spec.kind = FaultKind::kPartition;
+  spec.at = at;
+  spec.until = heal_at;
+  spec.host_a = std::move(side_a);
+  spec.host_b = std::move(side_b);
+  return add(std::move(spec));
+}
+
+FaultPlan& FaultPlan::host_crash(double at, double restart_at,
+                                 std::string host) {
+  FaultSpec spec;
+  spec.kind = FaultKind::kHostCrash;
+  spec.at = at;
+  spec.until = restart_at;
+  spec.host_a = std::move(host);
+  return add(std::move(spec));
+}
+
+FaultPlan& FaultPlan::cpu_slowdown(double at, double until, double factor,
+                                   std::string host) {
+  FaultSpec spec;
+  spec.kind = FaultKind::kCpuSlowdown;
+  spec.at = at;
+  spec.until = until;
+  spec.factor = factor;
+  spec.host_a = std::move(host);
+  return add(std::move(spec));
+}
+
+FaultPlan& FaultPlan::monitor_stall(double at, double until,
+                                    std::string host) {
+  FaultSpec spec;
+  spec.kind = FaultKind::kMonitorStall;
+  spec.at = at;
+  spec.until = until;
+  spec.host_a = std::move(host);
+  return add(std::move(spec));
+}
+
+FaultPlan& FaultPlan::registry_crash(double at, double restart_at) {
+  FaultSpec spec;
+  spec.kind = FaultKind::kRegistryCrash;
+  spec.at = at;
+  spec.until = restart_at;
+  return add(std::move(spec));
+}
+
+double FaultPlan::last_disruption_end() const noexcept {
+  double last = 0.0;
+  for (const FaultSpec& spec : specs_) {
+    last = std::max(last, spec.permanent() ? spec.at : spec.until);
+  }
+  return last;
+}
+
+std::string FaultPlan::to_json() const {
+  obs::JsonArray faults;
+  for (const FaultSpec& spec : specs_) {
+    obs::JsonObject fault;
+    fault.emplace("kind", std::string(to_string(spec.kind)));
+    fault.emplace("at", spec.at);
+    fault.emplace("until", spec.until);
+    fault.emplace("host_a", spec.host_a);
+    fault.emplace("host_b", spec.host_b);
+    fault.emplace("probability", spec.probability);
+    fault.emplace("factor", spec.factor);
+    fault.emplace("delay", spec.delay);
+    faults.emplace_back(std::move(fault));
+  }
+  obs::JsonObject root;
+  root.emplace("name", name_);
+  root.emplace("faults", std::move(faults));
+  return obs::JsonValue{std::move(root)}.dump();
+}
+
+namespace {
+
+/// Read a numeric member; `required` distinguishes "must exist" from
+/// "defaulted".  Non-numbers are always errors.
+Expected<double> number_member(const obs::JsonValue& fault,
+                               const std::string& key, bool required,
+                               double fallback) {
+  const obs::JsonValue* member = fault.find(key);
+  if (member == nullptr) {
+    if (required) {
+      return make_error("chaos.missing_key", "fault missing \"" + key + "\"");
+    }
+    return fallback;
+  }
+  if (!member->is_number()) {
+    return make_error("chaos.bad_type", "\"" + key + "\" must be a number");
+  }
+  return member->as_number();
+}
+
+Expected<std::string> string_member(const obs::JsonValue& fault,
+                                    const std::string& key,
+                                    std::string fallback) {
+  const obs::JsonValue* member = fault.find(key);
+  if (member == nullptr) {
+    return fallback;
+  }
+  if (!member->is_string()) {
+    return make_error("chaos.bad_type", "\"" + key + "\" must be a string");
+  }
+  return member->as_string();
+}
+
+}  // namespace
+
+Expected<FaultPlan> FaultPlan::from_json(std::string_view text) {
+  auto document = obs::json_parse(text);
+  if (!document.has_value()) {
+    return document.error();
+  }
+  if (!document->is_object()) {
+    return make_error("chaos.bad_plan", "plan must be a JSON object");
+  }
+  for (const auto& [key, value] : document->as_object()) {
+    if (key != "name" && key != "faults") {
+      return make_error("chaos.unknown_key", "unknown plan key \"" + key +
+                                                 "\"");
+    }
+  }
+  FaultPlan plan;
+  if (const obs::JsonValue* name = document->find("name");
+      name != nullptr) {
+    if (!name->is_string()) {
+      return make_error("chaos.bad_type", "\"name\" must be a string");
+    }
+    plan.name_ = name->as_string();
+  }
+  const obs::JsonValue* faults = document->find("faults");
+  if (faults == nullptr || !faults->is_array()) {
+    return make_error("chaos.bad_plan", "plan needs a \"faults\" array");
+  }
+  for (const obs::JsonValue& fault : faults->as_array()) {
+    if (!fault.is_object()) {
+      return make_error("chaos.bad_plan", "each fault must be an object");
+    }
+    static constexpr const char* kKnownKeys[] = {
+        "kind", "at", "until", "host_a", "host_b", "probability", "factor",
+        "delay"};
+    for (const auto& [key, value] : fault.as_object()) {
+      if (std::find(std::begin(kKnownKeys), std::end(kKnownKeys), key) ==
+          std::end(kKnownKeys)) {
+        return make_error("chaos.unknown_key",
+                          "unknown fault key \"" + key + "\"");
+      }
+    }
+    const obs::JsonValue* kind = fault.find("kind");
+    if (kind == nullptr || !kind->is_string()) {
+      return make_error("chaos.missing_key",
+                        "fault needs a string \"kind\"");
+    }
+    auto parsed_kind = fault_kind_from_string(kind->as_string());
+    if (!parsed_kind.has_value()) {
+      return parsed_kind.error();
+    }
+    FaultSpec spec;
+    spec.kind = *parsed_kind;
+    auto at = number_member(fault, "at", /*required=*/true, 0.0);
+    if (!at.has_value()) {
+      return at.error();
+    }
+    spec.at = *at;
+    auto until = number_member(fault, "until", false, -1.0);
+    auto probability = number_member(fault, "probability", false, 1.0);
+    auto factor = number_member(fault, "factor", false, 1.0);
+    auto delay = number_member(fault, "delay", false, 0.0);
+    auto host_a = string_member(fault, "host_a", "*");
+    auto host_b = string_member(fault, "host_b", "*");
+    for (const support::Error* error :
+         {until.has_value() ? nullptr : &until.error(),
+          probability.has_value() ? nullptr : &probability.error(),
+          factor.has_value() ? nullptr : &factor.error(),
+          delay.has_value() ? nullptr : &delay.error(),
+          host_a.has_value() ? nullptr : &host_a.error(),
+          host_b.has_value() ? nullptr : &host_b.error()}) {
+      if (error != nullptr) {
+        return *error;
+      }
+    }
+    spec.until = *until;
+    spec.probability = *probability;
+    spec.factor = *factor;
+    spec.delay = *delay;
+    spec.host_a = *host_a;
+    spec.host_b = *host_b;
+    if (spec.probability < 0.0 || spec.probability > 1.0) {
+      return make_error("chaos.bad_value",
+                        "\"probability\" must be in [0, 1]");
+    }
+    if (spec.factor < 0.0) {
+      return make_error("chaos.bad_value", "\"factor\" must be >= 0");
+    }
+    plan.specs_.push_back(std::move(spec));
+  }
+  return plan;
+}
+
+Expected<FaultPlan> FaultPlan::builtin(const std::string& name) {
+  if (name == "control-loss") {
+    // The control plane misbehaves but every machine stays up: datagram
+    // loss, duplication and delay storms, one monitor silent past the
+    // lease, and a registry cold restart.  Soft state (paper §3) must
+    // absorb all of it without touching the applications.
+    FaultPlan plan{"control-loss"};
+    plan.message_loss(40.0, 200.0, 0.30)
+        .message_duplicate(40.0, 200.0, 0.10)
+        .message_delay(60.0, 180.0, 0.20, 0.5)
+        .monitor_stall(100.0, 160.0, "ws2")
+        .registry_crash(220.0, 240.0);
+    return plan;
+  }
+  if (name == "churn") {
+    // Machines and links misbehave: a host dies and reboots (its work is
+    // relaunched from checkpoints elsewhere), a CPU throttles, a host is
+    // partitioned past the lease and heals, a link degrades.
+    FaultPlan plan{"churn"};
+    plan.host_crash(45.0, 110.0, "ws3")
+        .cpu_slowdown(130.0, 200.0, 0.5, "ws2")
+        .partition(260.0, 320.0, "ws4")
+        .link_degrade(340.0, 380.0, 0.3, "ws1", "ws2");
+    return plan;
+  }
+  return make_error("chaos.unknown_plan", "no builtin plan named \"" + name +
+                                              "\" (see builtin_names())");
+}
+
+std::vector<std::string> FaultPlan::builtin_names() {
+  return {"control-loss", "churn"};
+}
+
+}  // namespace ars::chaos

@@ -1,0 +1,234 @@
+#include "ars/chaos/injector.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "ars/obs/tracer.hpp"
+#include "ars/support/log.hpp"
+
+namespace ars::chaos {
+
+namespace {
+
+bool side_matches(const std::string& side, const std::string& host) {
+  return side == "*" || side == host;
+}
+
+}  // namespace
+
+FaultInjector::FaultInjector(core::ReschedulerRuntime& runtime,
+                             FaultPlan plan, std::uint64_t seed)
+    : runtime_(&runtime), plan_(std::move(plan)), rng_(seed) {}
+
+FaultInjector::~FaultInjector() {
+  for (auto& event : events_) {
+    event.cancel();
+  }
+  if (armed_ && runtime_->network().fault_policy() == this) {
+    runtime_->network().set_fault_policy(nullptr);
+  }
+}
+
+void FaultInjector::arm() {
+  if (armed_) {
+    return;
+  }
+  armed_ = true;
+  for (const FaultSpec& spec : plan_.specs()) {
+    // Host-targeted faults must name real, non-wildcard hosts.
+    const bool host_targeted = spec.kind == FaultKind::kHostCrash ||
+                               spec.kind == FaultKind::kCpuSlowdown ||
+                               spec.kind == FaultKind::kMonitorStall;
+    if (host_targeted &&
+        (spec.host_a == "*" ||
+         runtime_->network().find_host(spec.host_a) == nullptr)) {
+      throw std::invalid_argument("fault plan \"" + plan_.name() +
+                                  "\" targets unknown host: " + spec.host_a);
+    }
+  }
+  runtime_->network().set_fault_policy(this);
+  sim::Engine& engine = runtime_->engine();
+  for (std::size_t i = 0; i < plan_.specs().size(); ++i) {
+    const FaultSpec& spec = plan_.specs()[i];
+    events_.push_back(
+        engine.schedule_at(spec.at, [this, i] { activate(i); }));
+    if (!spec.permanent()) {
+      events_.push_back(
+          engine.schedule_at(spec.until, [this, i] { deactivate(i); }));
+    }
+  }
+}
+
+bool FaultInjector::spec_active(const FaultSpec& spec) const {
+  const double now = runtime_->engine().now();
+  return now >= spec.at && (spec.permanent() || now < spec.until);
+}
+
+bool FaultInjector::direction_matches(const FaultSpec& spec,
+                                      const std::string& src,
+                                      const std::string& dst) {
+  return side_matches(spec.host_a, src) && side_matches(spec.host_b, dst);
+}
+
+bool FaultInjector::link_matches(const FaultSpec& spec, const std::string& a,
+                                 const std::string& b) {
+  if (a == b) {
+    return false;  // loopback is never cut
+  }
+  return (side_matches(spec.host_a, a) && side_matches(spec.host_b, b)) ||
+         (side_matches(spec.host_a, b) && side_matches(spec.host_b, a));
+}
+
+net::FaultPolicy::PostVerdict FaultInjector::on_post(
+    const net::Message& message) {
+  PostVerdict verdict;
+  // Evaluate every active spec (no early exit): the rng is consumed in a
+  // stable order regardless of which fault fires first.
+  for (const FaultSpec& spec : plan_.specs()) {
+    if (!spec_active(spec)) {
+      continue;
+    }
+    switch (spec.kind) {
+      case FaultKind::kPartition:
+        if (link_matches(spec, message.src_host, message.dst_host)) {
+          verdict.drop = true;
+        }
+        break;
+      case FaultKind::kMessageLoss:
+        if (direction_matches(spec, message.src_host, message.dst_host) &&
+            rng_.uniform() < spec.probability) {
+          verdict.drop = true;
+        }
+        break;
+      case FaultKind::kMessageDuplicate:
+        if (direction_matches(spec, message.src_host, message.dst_host) &&
+            rng_.uniform() < spec.probability) {
+          verdict.duplicates += 1;
+        }
+        break;
+      case FaultKind::kMessageDelay:
+        if (direction_matches(spec, message.src_host, message.dst_host) &&
+            rng_.uniform() < spec.probability) {
+          verdict.extra_delay += spec.delay;
+        }
+        break;
+      default:
+        break;  // host faults do not act on individual datagrams
+    }
+  }
+  if (verdict.drop) {
+    ++stats_.messages_dropped;
+  } else {
+    stats_.messages_duplicated +=
+        static_cast<std::uint64_t>(verdict.duplicates);
+    if (verdict.extra_delay > 0.0) {
+      ++stats_.messages_delayed;
+    }
+  }
+  return verdict;
+}
+
+double FaultInjector::bandwidth_factor(const std::string& src,
+                                       const std::string& dst) {
+  double factor = 1.0;
+  for (const FaultSpec& spec : plan_.specs()) {
+    if (!spec_active(spec)) {
+      continue;
+    }
+    if (spec.kind == FaultKind::kPartition && link_matches(spec, src, dst)) {
+      return 0.0;
+    }
+    if (spec.kind == FaultKind::kLinkDegrade && link_matches(spec, src, dst)) {
+      factor *= std::clamp(spec.factor, 0.0, 1.0);
+    }
+  }
+  return factor;
+}
+
+void FaultInjector::trace_fault(const FaultSpec& spec, const char* phase) {
+  obs::Tracer& tracer = runtime_->tracer();
+  if (!obs::active(&tracer)) {
+    return;
+  }
+  tracer.instant("chaos.fault", "chaos", "chaos",
+                 {{"kind", std::string(to_string(spec.kind))},
+                  {"phase", phase},
+                  {"host_a", spec.host_a},
+                  {"host_b", spec.host_b}});
+}
+
+void FaultInjector::activate(std::size_t index) {
+  const FaultSpec& spec = plan_.specs()[index];
+  trace_fault(spec, "inject");
+  ARS_LOG_WARN("chaos", "inject " << to_string(spec.kind) << " ("
+                                  << spec.host_a << ", " << spec.host_b
+                                  << ")");
+  switch (spec.kind) {
+    case FaultKind::kHostCrash:
+      runtime_->fail_host(spec.host_a);
+      ++stats_.host_crashes;
+      break;
+    case FaultKind::kCpuSlowdown: {
+      host::CpuModel& cpu = runtime_->host(spec.host_a).cpu();
+      saved_cpu_speed_.emplace(spec.host_a, cpu.speed());
+      cpu.set_speed(cpu.speed() * std::max(spec.factor, 1e-3));
+      ++stats_.cpu_slowdowns;
+      break;
+    }
+    case FaultKind::kMonitorStall:
+      runtime_->monitor_on(spec.host_a).stop();
+      ++stats_.monitor_stalls;
+      break;
+    case FaultKind::kRegistryCrash:
+      runtime_->crash_registry();
+      ++stats_.registry_crashes;
+      break;
+    case FaultKind::kPartition:
+      ++stats_.partitions;
+      runtime_->network().on_fault_change();
+      break;
+    case FaultKind::kLinkDegrade:
+      ++stats_.link_degrades;
+      runtime_->network().on_fault_change();
+      break;
+    default:
+      break;  // message faults act lazily, per post()
+  }
+}
+
+void FaultInjector::deactivate(std::size_t index) {
+  const FaultSpec& spec = plan_.specs()[index];
+  trace_fault(spec, "heal");
+  ARS_LOG_INFO("chaos", "heal " << to_string(spec.kind) << " ("
+                                << spec.host_a << ", " << spec.host_b
+                                << ")");
+  switch (spec.kind) {
+    case FaultKind::kHostCrash:
+      runtime_->restart_host(spec.host_a);
+      ++stats_.host_restarts;
+      break;
+    case FaultKind::kCpuSlowdown: {
+      const auto it = saved_cpu_speed_.find(spec.host_a);
+      if (it != saved_cpu_speed_.end()) {
+        runtime_->host(spec.host_a).cpu().set_speed(it->second);
+        saved_cpu_speed_.erase(it);
+      }
+      break;
+    }
+    case FaultKind::kMonitorStall:
+      runtime_->monitor_on(spec.host_a).start();
+      break;
+    case FaultKind::kRegistryCrash:
+      runtime_->restart_registry();
+      break;
+    case FaultKind::kPartition:
+    case FaultKind::kLinkDegrade:
+      // Stalled/degraded transfers pick their full rates back up.
+      runtime_->network().on_fault_change();
+      break;
+    default:
+      break;
+  }
+}
+
+}  // namespace ars::chaos

@@ -1,0 +1,130 @@
+#include "ars/chaos/invariants.hpp"
+
+#include <map>
+#include <set>
+
+#include "ars/obs/tracer.hpp"
+
+namespace ars::chaos {
+
+std::string InvariantReport::summary() const {
+  if (ok()) {
+    return "ok";
+  }
+  std::string text;
+  for (const Violation& violation : violations) {
+    if (!text.empty()) {
+      text += "\n";
+    }
+    text += violation.invariant + " [" + violation.subject + "]: " +
+            violation.detail;
+  }
+  return text;
+}
+
+void InvariantChecker::expect_app(std::string process_name) {
+  expected_apps_.push_back(std::move(process_name));
+}
+
+void InvariantChecker::expect_alive(std::string host_name) {
+  expected_alive_.push_back(std::move(host_name));
+}
+
+InvariantReport InvariantChecker::check() const {
+  InvariantReport report;
+  report.apps_checked = expected_apps_.size();
+  report.hosts_checked = expected_alive_.size();
+  const auto violate = [&report](std::string invariant, std::string subject,
+                                 std::string detail) {
+    report.violations.push_back(Violation{
+        std::move(invariant), std::move(subject), std::move(detail)});
+  };
+
+  // Scan the trace once: exits per process, resumes, relaunches.
+  std::map<std::string, int> exits;       // process name -> exit count
+  std::size_t resumed_events = 0;
+  for (const obs::TraceEvent& event : runtime_->tracer().events()) {
+    if (event.kind != obs::EventKind::kInstant) {
+      continue;
+    }
+    if (event.name == "process.exit") {
+      ++exits[event.track];
+      ++report.exits_seen;
+    } else if (event.name == "migration.resumed") {
+      ++resumed_events;
+    } else if (event.name == "process.relaunch") {
+      ++report.relaunches_seen;
+    }
+  }
+
+  // Exactly-once completion.
+  const bool quiesced = runtime_->engine().pending_events() == 0;
+  for (const std::string& app : expected_apps_) {
+    const auto it = exits.find(app);
+    const int count = it == exits.end() ? 0 : it->second;
+    if (count == 1) {
+      continue;
+    }
+    if (count > 1) {
+      violate("exactly-once-finish", app,
+              "finished " + std::to_string(count) + " times");
+    } else if (quiesced) {
+      violate("deadlock-watchdog", app,
+              "sim time quiesced with the application unfinished");
+    } else {
+      violate("exactly-once-finish", app, "did not finish by the horizon");
+    }
+  }
+
+  // No double-live instance: a process name on more than one host at once.
+  std::map<std::string, std::set<std::string>> live_on;
+  for (const std::string& host_name : runtime_->host_names()) {
+    for (const host::ProcessInfo& info :
+         runtime_->host(host_name).processes().snapshot()) {
+      if (info.migration_enabled) {
+        live_on[info.name].insert(host_name);
+      }
+    }
+  }
+  for (const auto& [name, hosts] : live_on) {
+    if (hosts.size() > 1) {
+      std::string where;
+      for (const std::string& host_name : hosts) {
+        where += (where.empty() ? "" : ", ") + host_name;
+      }
+      violate("single-live-instance", name, "live on " + where);
+    }
+  }
+
+  // Exactly-once migration: the middleware's succeeded timelines and the
+  // trace's resume events must agree one-to-one.
+  for (const hpcm::MigrationTimeline& timeline :
+       runtime_->middleware().history()) {
+    if (timeline.succeeded) {
+      ++report.migrations_succeeded;
+    }
+  }
+  if (resumed_events != report.migrations_succeeded) {
+    violate("exactly-once-migration", "middleware",
+            std::to_string(report.migrations_succeeded) +
+                " migrations succeeded but " +
+                std::to_string(resumed_events) + " resume events recorded");
+  }
+
+  // Lease convergence: every host expected alive must have re-registered
+  // (entry present) and escaped `unavailable` once the faults healed.
+  for (const std::string& host_name : expected_alive_) {
+    const auto state = runtime_->scheduler().host_state(host_name);
+    if (!state.has_value()) {
+      violate("lease-convergence", host_name,
+              "not in the registry's host table at the horizon");
+    } else if (*state == rules::SystemState::kUnavailable) {
+      violate("lease-convergence", host_name,
+              "still marked unavailable at the horizon");
+    }
+  }
+
+  return report;
+}
+
+}  // namespace ars::chaos

@@ -1,0 +1,140 @@
+#include "ars/chaos/scenario.hpp"
+
+#include <memory>
+#include <vector>
+
+#include "ars/core/runtime.hpp"
+#include "ars/host/hog.hpp"
+#include "ars/rules/policy.hpp"
+#include "ars/support/rng.hpp"
+
+namespace ars::chaos {
+
+std::uint64_t fnv1a(const std::string& data) noexcept {
+  std::uint64_t hash = 1469598103934665603ULL;
+  for (const char c : data) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 1099511628211ULL;
+  }
+  return hash;
+}
+
+namespace {
+
+/// Checkpointing counter application (the failover tests' workload shape):
+/// restores its loop index after a migration or relaunch, checkpoints
+/// periodically, and records where it finished.
+struct ScenarioApp {
+  int iterations = 60;
+  int checkpoint_every = 10;
+  bool finished = false;
+  std::string finished_on;
+
+  hpcm::MigrationEngine::MigratableApp make() {
+    return [this](mpi::Proc& proc,
+                  hpcm::MigrationContext& ctx) -> sim::Task<> {
+      std::int64_t i = ctx.restored() ? *ctx.state().get_int("i") : 0;
+      ctx.on_save([&ctx, &i] { ctx.state().set_int("i", i); });
+      for (; i < iterations; ++i) {
+        co_await ctx.poll_point();
+        if (checkpoint_every > 0 && i > 0 && i % checkpoint_every == 0) {
+          co_await ctx.checkpoint();
+        }
+        co_await proc.compute(1.0);
+      }
+      finished = true;
+      finished_on = proc.host().name();
+    };
+  }
+};
+
+}  // namespace
+
+ScenarioReport run_scenario(const ScenarioOptions& options) {
+  rules::MigrationPolicy policy = rules::paper_policy2();
+  policy.set_warmup(20.0);
+  core::ClusterConfig config = core::make_cluster(options.hosts, policy);
+  config.registry_host = "ws1";
+  config.auto_restart = true;
+  // The sabotage knob disables lease expiry in effect (the sweeper never
+  // sees a stale lease), so crashed hosts' work is never relaunched — the
+  // checker must catch the stranded applications.
+  config.lease_ttl = options.sabotage_lease_expiry ? 1.0e18 : 25.0;
+  config.monitor_reregister_period = 20.0;
+  core::ReschedulerRuntime runtime{config};
+  runtime.start_rescheduler();
+
+  // Staggered application launches, derived from the seed alone.
+  support::Rng rng{options.seed};
+  std::vector<std::unique_ptr<ScenarioApp>> apps;
+  std::vector<std::string> app_names;
+  for (int i = 1; i <= options.apps; ++i) {
+    apps.push_back(std::make_unique<ScenarioApp>());
+    ScenarioApp& app = *apps.back();
+    app.iterations = options.iterations;
+    app.checkpoint_every = options.checkpoint_every;
+    const std::string name = "job" + std::to_string(i);
+    app_names.push_back(name + ".0");
+    const std::string host =
+        "ws" + std::to_string((i - 1) % options.hosts + 1);
+    const double start_at = rng.uniform(10.0, 30.0);
+    runtime.engine().schedule_at(start_at, [&runtime, &app, name, host] {
+      runtime.launch_app(host, app.make(), name,
+                         hpcm::ApplicationSchema{name});
+    });
+  }
+
+  // A CPU hog overloads ws1 so the run includes policy-driven migrations,
+  // not only injected faults.
+  host::CpuHog hog{runtime.host("ws1"),
+                   {.threads = 3, .duration = 120.0, .name = "hog"}};
+  if (options.with_load) {
+    runtime.engine().schedule_at(40.0, [&hog] { hog.start(); });
+  }
+
+  FaultInjector injector{runtime, options.plan, options.seed};
+  injector.arm();
+
+  InvariantChecker checker{runtime};
+  for (const std::string& name : app_names) {
+    checker.expect_app(name);
+  }
+  for (const std::string& host_name : runtime.host_names()) {
+    // Hosts a permanent crash leaves dead are exempt from the liveness
+    // expectation; everything else must converge after the faults heal.
+    bool permanently_dead = false;
+    for (const FaultSpec& spec : options.plan.specs()) {
+      if (spec.kind == FaultKind::kHostCrash && spec.permanent() &&
+          spec.host_a == host_name) {
+        permanently_dead = true;
+      }
+    }
+    if (!permanently_dead) {
+      checker.expect_alive(host_name);
+    }
+  }
+
+  runtime.run_until(options.horizon);
+
+  ScenarioReport report;
+  report.invariants = checker.check();
+  const std::string trace = runtime.tracer().to_jsonl();
+  report.trace_hash = fnv1a(trace);
+  if (options.keep_trace) {
+    report.trace_jsonl = trace;
+  }
+  report.events_executed = runtime.engine().events_executed();
+  report.final_time = runtime.engine().now();
+  report.migration_attempts = runtime.middleware().history().size();
+  for (const hpcm::MigrationTimeline& timeline :
+       runtime.middleware().history()) {
+    if (timeline.succeeded) {
+      ++report.migrations_succeeded;
+    }
+  }
+  report.faults = injector.stats();
+  report.messages_dropped = runtime.network().dropped_total();
+  return report;
+}
+
+}  // namespace ars::chaos

@@ -36,6 +36,10 @@ void Commander::stop() {
   }
   running_ = false;
   fiber_.kill();
+  for (auto& fiber : command_fibers_) {
+    fiber.kill();
+  }
+  command_fibers_.clear();
   network_->unbind(host_->name(), config_.port);
   endpoint_ = nullptr;
 }
@@ -87,47 +91,80 @@ sim::Task<> Commander::serve() {
       continue;
     }
     ++commands_received_;
-    // Temp file + user-defined signal; the poll-point does the rest.
-    const bool ok = middleware_->request_migration(
-        host_->name(), command->pid, command->dest_host);
-    if (config_.tracer != nullptr) {
-      // Signal delivery: the commander wrote the destination temp file and
-      // raised the user-defined signal at the migrating process.
-      config_.tracer->instant("commander.signal", "commander", host_->name(),
-                              {{"pid", command->pid},
-                               {"process", command->process_name},
-                               {"destination", command->dest_host},
-                               {"ok", ok}});
-    }
     if (config_.metrics != nullptr) {
       config_.metrics->counter("commander.commands_received").inc();
-      if (!ok) {
-        config_.metrics->counter("commander.commands_failed").inc();
-      }
     }
-    if (!ok) {
-      ++commands_failed_;
-      ARS_LOG_WARN("commander", "migrate command for unknown pid "
-                                    << command->pid << " on "
-                                    << host_->name());
-    } else {
-      ARS_LOG_INFO("commander", host_->name() << " signalled pid "
-                                              << command->pid
-                                              << " to migrate to "
-                                              << command->dest_host);
+    // Each command gets its own fiber so a retrying delivery does not block
+    // the inbox (and stop() can cancel in-flight retries).
+    std::erase_if(command_fibers_,
+                  [](const sim::Fiber& f) { return f.done(); });
+    command_fibers_.push_back(sim::Fiber::spawn(
+        host_->engine(), handle_migrate(*command),
+        "commander.migrate." + host_->name()));
+  }
+}
+
+sim::Task<> Commander::handle_migrate(xmlproto::MigrateCmd command) {
+  // Temp file + user-defined signal; the poll-point does the rest.
+  bool ok = middleware_->request_migration(host_->name(), command.pid,
+                                           command.dest_host);
+  if (config_.tracer != nullptr) {
+    // Signal delivery: the commander wrote the destination temp file and
+    // raised the user-defined signal at the migrating process.
+    config_.tracer->instant("commander.signal", "commander", host_->name(),
+                            {{"pid", command.pid},
+                             {"process", command.process_name},
+                             {"destination", command.dest_host},
+                             {"ok", ok}});
+  }
+  // Bounded retry: the command may have raced the process's launch or
+  // relaunch; back off exponentially before giving up.
+  double backoff = config_.retry_backoff;
+  for (int attempt = 1; !ok && attempt <= config_.retry_limit; ++attempt) {
+    co_await sim::delay(host_->engine(), backoff);
+    backoff *= 2.0;
+    ++commands_retried_;
+    if (config_.metrics != nullptr) {
+      config_.metrics->counter("commander.commands_retried").inc();
     }
-    if (!config_.registry_host.empty()) {
-      xmlproto::AckMsg ack;
-      ack.of = "migrate";
-      ack.ok = ok;
-      ack.detail = ok ? "" : "unknown pid";
-      net::Message reply;
-      reply.src_host = host_->name();
-      reply.dst_host = config_.registry_host;
-      reply.dst_port = config_.registry_port;
-      reply.payload = xmlproto::encode(xmlproto::ProtocolMessage{ack});
-      network_->post(std::move(reply));
+    ok = middleware_->request_migration(host_->name(), command.pid,
+                                        command.dest_host);
+    if (config_.tracer != nullptr) {
+      config_.tracer->instant("commander.retry", "commander", host_->name(),
+                              {{"pid", command.pid},
+                               {"process", command.process_name},
+                               {"attempt", attempt},
+                               {"ok", ok}});
     }
+    ARS_LOG_INFO("commander", host_->name() << " retry " << attempt
+                                            << " for pid " << command.pid
+                                            << (ok ? " succeeded"
+                                                   : " failed"));
+  }
+  if (!ok) {
+    ++commands_failed_;
+    if (config_.metrics != nullptr) {
+      config_.metrics->counter("commander.commands_failed").inc();
+    }
+    ARS_LOG_WARN("commander", "migrate command for unknown pid "
+                                  << command.pid << " on " << host_->name());
+  } else {
+    ARS_LOG_INFO("commander", host_->name() << " signalled pid "
+                                            << command.pid
+                                            << " to migrate to "
+                                            << command.dest_host);
+  }
+  if (!config_.registry_host.empty()) {
+    xmlproto::AckMsg ack;
+    ack.of = "migrate";
+    ack.ok = ok;
+    ack.detail = ok ? "" : "unknown pid";
+    net::Message reply;
+    reply.src_host = host_->name();
+    reply.dst_host = config_.registry_host;
+    reply.dst_port = config_.registry_port;
+    reply.payload = xmlproto::encode(xmlproto::ProtocolMessage{ack});
+    network_->post(std::move(reply));
   }
 }
 

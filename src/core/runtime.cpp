@@ -29,6 +29,7 @@ ReschedulerRuntime::ReschedulerRuntime(ClusterConfig config)
   tracer_.set_clock([this] { return engine_.now(); });
   config_.hpcm.tracer = &tracer_;
   config_.hpcm.metrics = &metrics_;
+  config_.network.metrics = &metrics_;
   network_ = std::make_unique<net::Network>(engine_, config_.network);
   for (const host::HostSpec& spec : config_.hosts) {
     hosts_.push_back(std::make_unique<host::Host>(engine_, spec));
@@ -57,6 +58,8 @@ ReschedulerRuntime::ReschedulerRuntime(ClusterConfig config)
     commander::Commander::Config commander_config;
     commander_config.registry_host = config_.registry_host;
     commander_config.registry_port = registry_->port();
+    commander_config.retry_limit = config_.command_retry_limit;
+    commander_config.retry_backoff = config_.command_retry_backoff;
     commander_config.tracer = &tracer_;
     commander_config.metrics = &metrics_;
     commanders_.emplace(h->name(), std::make_unique<commander::Commander>(
@@ -68,6 +71,7 @@ ReschedulerRuntime::ReschedulerRuntime(ClusterConfig config)
     monitor_config.commander_port = commanders_.at(h->name())->port();
     monitor_config.policy = config_.policy;
     monitor_config.cycle_cpu_cost = config_.monitor_cycle_cpu_cost;
+    monitor_config.reregister_period = config_.monitor_reregister_period;
     monitor_config.tracer = &tracer_;
     monitor_config.metrics = &metrics_;
     monitors_.emplace(h->name(), std::make_unique<monitor::Monitor>(
@@ -149,7 +153,35 @@ int ReschedulerRuntime::fail_host(const std::string& host_name) {
   // stop, so the registry's soft-state lease lapses.
   monitors_.at(host_name)->stop();
   commanders_.at(host_name)->stop();
+  if (rescheduler_running_ && host_name == config_.registry_host) {
+    registry_->stop();  // a co-located registry dies too
+  }
   return hpcm_->crash_host(host_name);
+}
+
+void ReschedulerRuntime::restart_host(const std::string& host_name) {
+  (void)host(host_name);  // validate
+  if (!rescheduler_running_) {
+    return;
+  }
+  if (host_name == config_.registry_host) {
+    restart_registry();
+  }
+  commanders_.at(host_name)->start();
+  monitors_.at(host_name)->start();
+}
+
+void ReschedulerRuntime::crash_registry() { registry_->stop(); }
+
+void ReschedulerRuntime::restart_registry() {
+  // Cold restart: the soft-state tables did not survive; the paper's claim
+  // is that heartbeats and periodic re-announcements rebuild them.
+  registry_->clear_soft_state();
+  registry_->start();
+  if (obs::active(&tracer_)) {
+    tracer_.instant("registry.cold_restart", "scheduler",
+                    config_.registry_host, {});
+  }
 }
 
 mpi::RankId ReschedulerRuntime::launch_app(

@@ -123,6 +123,13 @@ void CpuModel::remove_job(ComputeAwaiter* job) {
   reschedule_completion();
 }
 
+void CpuModel::set_speed(double speed) {
+  assert(speed > 0.0 && "CPU speed must be positive");
+  advance();  // settle progress at the old rate first
+  speed_ = speed;
+  reschedule_completion();
+}
+
 double CpuModel::cumulative_busy() const noexcept {
   double busy = busy_accum_;
   if (!jobs_.empty()) {

@@ -80,6 +80,16 @@ void MigrationEngine::finish_normal_exit(mpi::RankId id) {
   if (ApplicationSchema* s = schema(ctx.schema_name_)) {
     s->record_execution(mpi_->engine().now() - ctx.launched_at);
   }
+  if (const mpi::Proc* proc = mpi_->find(id); proc != nullptr) {
+    if (obs::Tracer* t = tracer(); obs::active(t)) {
+      t->instant("process.exit", "hpcm", proc->name(),
+                 {{"host", proc->host().name()},
+                  {"migrations", ctx.migration_count_}});
+    }
+    if (obs::MetricsRegistry* m = metrics()) {
+      m->counter("process.exits").inc();
+    }
+  }
   procs_.erase(it);
 }
 

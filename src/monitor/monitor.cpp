@@ -105,16 +105,18 @@ void Monitor::push(xmlproto::ProtocolMessage message) {
   network_->post(std::move(wire));
 }
 
-void Monitor::sync_process_registrations() {
+void Monitor::sync_process_registrations(bool refresh) {
   // Registers new migration-enabled processes with the registry and
   // deregisters those that are gone — the "process registration" service.
+  // `refresh` re-announces every live process (soft-state rebuild after a
+  // registry cold restart); the deregistration sweep is unaffected.
   std::map<host::Pid, bool> current;
   for (const auto& info : host_->processes().snapshot()) {
     if (!info.migration_enabled) {
       continue;
     }
     current.emplace(info.pid, true);
-    if (!known_pids_.contains(info.pid)) {
+    if (refresh || !known_pids_.contains(info.pid)) {
       xmlproto::ProcessRegisterMsg msg;
       msg.host = host_->name();
       msg.pid = info.pid;
@@ -144,8 +146,16 @@ sim::Task<> Monitor::run() {
   reg.monitor_port = config_.monitor_port;
   reg.commander_port = config_.commander_port;
   push(reg);
+  double last_register_at = engine.now();
 
   while (true) {
+    bool refresh = false;
+    if (config_.reregister_period > 0.0 &&
+        engine.now() - last_register_at >= config_.reregister_period) {
+      push(reg);  // periodic soft-state re-announcement
+      last_register_at = engine.now();
+      refresh = true;
+    }
     if (config_.cycle_cpu_cost > 0.0) {
       // Running the gathering scripts costs CPU on the monitored host.
       co_await host_->cpu().compute(config_.cycle_cpu_cost);
@@ -172,7 +182,7 @@ sim::Task<> Monitor::run() {
     }
     state_ = state;
 
-    sync_process_registrations();
+    sync_process_registrations(refresh);
 
     xmlproto::UpdateMsg update;
     update.status = status;

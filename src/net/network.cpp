@@ -5,6 +5,7 @@
 #include <limits>
 #include <stdexcept>
 
+#include "ars/obs/metrics.hpp"
 #include "ars/support/log.hpp"
 
 namespace ars::net {
@@ -102,9 +103,32 @@ void Network::post(Message message) {
     message.size_bytes = message.payload.size() + options_.message_overhead;
   }
   message.sent_at = engine_->now();
+  if (!hosts_.contains(message.dst_host)) {
+    ARS_LOG_WARN("net", "dropping message to unknown host "
+                            << message.dst_host);
+    count_drop(message.src_host, "unknown_host");
+    return;
+  }
+  int copies = 1;
+  double extra_delay = 0.0;
+  if (fault_policy_ != nullptr) {
+    const FaultPolicy::PostVerdict verdict = fault_policy_->on_post(message);
+    if (verdict.drop) {
+      ARS_LOG_WARN("net", "fault drops message " << message.src_host << " -> "
+                                                 << message.dst_host << ":"
+                                                 << message.dst_port);
+      count_drop(message.src_host, "fault");
+      return;
+    }
+    copies += std::max(verdict.duplicates, 0);
+    extra_delay = std::max(verdict.extra_delay, 0.0);
+  }
   // Deliver through a detached fiber so the datagram pays the same latency
   // and bandwidth-sharing costs as any other traffic.
-  auto deliver = [](Network* net, Message msg) -> sim::Task<> {
+  auto deliver = [](Network* net, Message msg, double hold) -> sim::Task<> {
+    if (hold > 0.0) {
+      co_await sim::delay(*net->engine_, hold);
+    }
     (void)co_await net->transfer(msg.src_host, msg.dst_host,
                                  static_cast<double>(msg.size_bytes));
     msg.delivered_at = net->engine_->now();
@@ -113,6 +137,7 @@ void Network::post(Message message) {
     if (it == net->endpoints_.end() || it->second->inbox.closed()) {
       ARS_LOG_WARN("net", "dropping message to unbound "
                               << msg.dst_host << ":" << msg.dst_port);
+      net->count_drop(msg.src_host, "unbound_port");
       co_return;
     }
     it->second->inbox.send(std::move(msg));
@@ -120,8 +145,12 @@ void Network::post(Message message) {
   // Prune finished deliveries so the tracking list stays small.
   std::erase_if(delivery_fibers_,
                 [](const sim::Fiber& f) { return f.done(); });
+  for (int copy = 1; copy < copies; ++copy) {  // injected duplicates
+    delivery_fibers_.push_back(sim::Fiber::spawn(
+        *engine_, deliver(this, message, extra_delay), "net.post"));
+  }
   delivery_fibers_.push_back(sim::Fiber::spawn(
-      *engine_, deliver(this, std::move(message)), "net.post"));
+      *engine_, deliver(this, std::move(message), extra_delay), "net.post"));
 }
 
 sim::Task<double> Network::transfer(std::string src, std::string dst,
@@ -181,6 +210,15 @@ void Network::recompute_rates() {
     const double rx_share =
         options_.bandwidth_bps / std::max(job->dst->rx_active, 1);
     job->rate = std::min(tx_share, rx_share);
+    if (fault_policy_ != nullptr) {
+      // Degraded links slow bulk transfers; factor 0 (partition) stalls them
+      // until on_fault_change() reports the link healed.
+      const double factor = std::clamp(
+          fault_policy_->bandwidth_factor(job->src->host->name(),
+                                          job->dst->host->name()),
+          0.0, 1.0);
+      job->rate *= factor;
+    }
   }
 }
 
@@ -236,6 +274,34 @@ void Network::withdraw_job(TransferJob* job) {
   --job->dst->rx_active;
   recompute_rates();
   reschedule_completion();
+}
+
+void Network::set_fault_policy(FaultPolicy* policy) noexcept {
+  fault_policy_ = policy;
+  on_fault_change();
+}
+
+void Network::on_fault_change() {
+  advance();
+  recompute_rates();
+  reschedule_completion();
+}
+
+std::uint64_t Network::dropped_count(const std::string& hostname) const {
+  const auto it = hosts_.find(hostname);
+  return it == hosts_.end() ? 0 : it->second.messages_dropped;
+}
+
+void Network::count_drop(const std::string& src_host, const char* reason) {
+  ++dropped_total_;
+  const auto it = hosts_.find(src_host);
+  if (it != hosts_.end()) {
+    ++it->second.messages_dropped;
+  }
+  if (options_.metrics != nullptr) {
+    options_.metrics->counter("ars_net_dropped_total", {{"reason", reason}})
+        .inc();
+  }
 }
 
 const FlowMeter& Network::tx_meter(const std::string& hostname) const {

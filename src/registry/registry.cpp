@@ -92,6 +92,12 @@ void Registry::stop() {
   endpoint_ = nullptr;
 }
 
+void Registry::clear_soft_state() {
+  hosts_.clear();
+  processes_.clear();
+  next_registration_order_ = 0;
+}
+
 void Registry::register_schema(const hpcm::ApplicationSchema& schema) {
   schemas_.insert_or_assign(schema.name(), schema);
 }

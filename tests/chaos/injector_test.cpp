@@ -1,0 +1,146 @@
+// FaultInjector behavior against a small, quiet runtime: message faults act
+// on posted datagrams, host faults act on scheduled windows, and arming
+// validates the plan against the actual cluster.
+
+#include "ars/chaos/injector.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "ars/core/runtime.hpp"
+
+namespace ars::chaos {
+namespace {
+
+core::ClusterConfig quiet_cluster(int hosts) {
+  core::ClusterConfig config =
+      core::make_cluster(hosts, rules::paper_policy2());
+  return config;
+}
+
+net::Message wire(const std::string& src, const std::string& dst, int port) {
+  net::Message message;
+  message.src_host = src;
+  message.dst_host = dst;
+  message.dst_port = port;
+  message.payload = "x";
+  return message;
+}
+
+TEST(FaultInjectorTest, ArmRejectsUnknownHosts) {
+  core::ReschedulerRuntime runtime{quiet_cluster(2)};
+  FaultPlan plan{"bad"};
+  plan.host_crash(10.0, 20.0, "ws9");
+  FaultInjector injector{runtime, plan, 1};
+  EXPECT_THROW(injector.arm(), std::invalid_argument);
+}
+
+TEST(FaultInjectorTest, ArmRejectsWildcardHostFaults) {
+  core::ReschedulerRuntime runtime{quiet_cluster(2)};
+  FaultPlan plan{"bad"};
+  plan.cpu_slowdown(10.0, 20.0, 0.5, "*");
+  FaultInjector injector{runtime, plan, 1};
+  EXPECT_THROW(injector.arm(), std::invalid_argument);
+}
+
+TEST(FaultInjectorTest, PartitionCutsMatchingLinksOnly) {
+  core::ReschedulerRuntime runtime{quiet_cluster(3)};
+  net::Endpoint& ws2_inbox = runtime.network().bind("ws2", 7000);
+  net::Endpoint& ws3_inbox = runtime.network().bind("ws3", 7000);
+
+  FaultPlan plan{"partition"};
+  plan.partition(0.0, 100.0, "ws2");
+  FaultInjector injector{runtime, plan, 1};
+  injector.arm();
+  runtime.run_until(1.0);
+
+  runtime.network().post(wire("ws1", "ws2", 7000));  // crosses the cut
+  runtime.network().post(wire("ws1", "ws3", 7000));  // unaffected
+  runtime.network().post(wire("ws2", "ws2", 7000));  // loopback, never cut
+  runtime.run_until(10.0);
+
+  int ws2_received = 0;
+  while (ws2_inbox.inbox.try_recv()) {
+    ++ws2_received;
+  }
+  EXPECT_EQ(ws2_received, 1);  // only the loopback datagram
+  EXPECT_TRUE(ws3_inbox.inbox.try_recv().has_value());
+  EXPECT_EQ(injector.stats().messages_dropped, 1u);
+
+  // After the heal the link carries traffic again.
+  runtime.run_until(101.0);
+  runtime.network().post(wire("ws1", "ws2", 7000));
+  runtime.run_until(110.0);
+  EXPECT_TRUE(ws2_inbox.inbox.try_recv().has_value());
+}
+
+TEST(FaultInjectorTest, CertainMessageLossDropsEverythingInWindow) {
+  core::ReschedulerRuntime runtime{quiet_cluster(2)};
+  net::Endpoint& inbox = runtime.network().bind("ws2", 7000);
+
+  FaultPlan plan{"loss"};
+  plan.message_loss(0.0, 50.0, 1.0);
+  FaultInjector injector{runtime, plan, 1};
+  injector.arm();
+  runtime.run_until(1.0);
+
+  for (int i = 0; i < 5; ++i) {
+    runtime.network().post(wire("ws1", "ws2", 7000));
+  }
+  runtime.run_until(10.0);
+  EXPECT_FALSE(inbox.inbox.try_recv().has_value());
+  EXPECT_EQ(injector.stats().messages_dropped, 5u);
+  EXPECT_EQ(runtime.network().dropped_count("ws1"), 5u);
+}
+
+TEST(FaultInjectorTest, DuplicationDeliversTwice) {
+  core::ReschedulerRuntime runtime{quiet_cluster(2)};
+  net::Endpoint& inbox = runtime.network().bind("ws2", 7000);
+
+  FaultPlan plan{"dup"};
+  plan.message_duplicate(0.0, 50.0, 1.0);
+  FaultInjector injector{runtime, plan, 1};
+  injector.arm();
+  runtime.run_until(1.0);
+
+  runtime.network().post(wire("ws1", "ws2", 7000));
+  runtime.run_until(10.0);
+  int received = 0;
+  while (inbox.inbox.try_recv()) {
+    ++received;
+  }
+  EXPECT_EQ(received, 2);
+  EXPECT_EQ(injector.stats().messages_duplicated, 1u);
+}
+
+TEST(FaultInjectorTest, CpuSlowdownAppliesAndRestores) {
+  core::ReschedulerRuntime runtime{quiet_cluster(2)};
+  const double base = runtime.host("ws2").cpu().speed();
+
+  FaultPlan plan{"slow"};
+  plan.cpu_slowdown(10.0, 20.0, 0.5, "ws2");
+  FaultInjector injector{runtime, plan, 1};
+  injector.arm();
+
+  runtime.run_until(15.0);
+  EXPECT_DOUBLE_EQ(runtime.host("ws2").cpu().speed(), base * 0.5);
+  runtime.run_until(25.0);
+  EXPECT_DOUBLE_EQ(runtime.host("ws2").cpu().speed(), base);
+  EXPECT_EQ(injector.stats().cpu_slowdowns, 1);
+}
+
+TEST(FaultInjectorTest, DestructorUninstallsThePolicy) {
+  core::ReschedulerRuntime runtime{quiet_cluster(2)};
+  {
+    FaultPlan plan{"loss"};
+    plan.message_loss(0.0, 50.0, 1.0);
+    FaultInjector injector{runtime, plan, 1};
+    injector.arm();
+    EXPECT_EQ(runtime.network().fault_policy(), &injector);
+  }
+  EXPECT_EQ(runtime.network().fault_policy(), nullptr);
+}
+
+}  // namespace
+}  // namespace ars::chaos

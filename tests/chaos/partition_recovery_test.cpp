@@ -1,0 +1,91 @@
+// Partition is not a crash: when a host is cut off from the registry past
+// the lease TTL, its processes keep running locally and must NOT be
+// relaunched elsewhere.  After the heal the host re-registers and becomes
+// schedulable again, and the application finishes exactly once, in place.
+
+#include <gtest/gtest.h>
+
+#include "ars/chaos/injector.hpp"
+#include "ars/core/runtime.hpp"
+
+namespace ars::chaos {
+namespace {
+
+hpcm::MigrationEngine::MigratableApp counter_app(int iterations,
+                                                 std::string* finished_on,
+                                                 int* finish_count) {
+  return [iterations, finished_on, finish_count](
+             mpi::Proc& proc, hpcm::MigrationContext& ctx) -> sim::Task<> {
+    std::int64_t i = ctx.restored() ? *ctx.state().get_int("i") : 0;
+    ctx.on_save([&ctx, &i] { ctx.state().set_int("i", i); });
+    for (; i < iterations; ++i) {
+      co_await ctx.poll_point();
+      if (i > 0 && i % 10 == 0) {
+        co_await ctx.checkpoint();
+      }
+      co_await proc.compute(1.0);
+    }
+    *finished_on = proc.host().name();
+    ++*finish_count;
+  };
+}
+
+std::size_t relaunch_events(core::ReschedulerRuntime& runtime) {
+  std::size_t count = 0;
+  for (const obs::TraceEvent& event : runtime.tracer().events()) {
+    if (event.kind == obs::EventKind::kInstant &&
+        event.name == "process.relaunch") {
+      ++count;
+    }
+  }
+  return count;
+}
+
+TEST(PartitionRecoveryTest, PartitionedHostIsNotRelaunchedAndRejoins) {
+  rules::MigrationPolicy policy = rules::paper_policy2();
+  policy.set_warmup(20.0);
+  core::ClusterConfig config = core::make_cluster(3, policy);
+  config.auto_restart = true;  // the crash path IS armed — it must not fire
+  config.lease_ttl = 25.0;
+  config.monitor_reregister_period = 20.0;
+  core::ReschedulerRuntime runtime{config};
+  runtime.start_rescheduler();
+
+  std::string finished_on;
+  int finish_count = 0;
+  const auto id =
+      runtime.launch_app("ws2", counter_app(140, &finished_on, &finish_count),
+                         "app", hpcm::ApplicationSchema{"app"});
+
+  // Cut ws2 off from everything (including the ws1 registry) well past the
+  // lease TTL, then heal.
+  FaultPlan plan{"partition"};
+  plan.partition(40.0, 120.0, "ws2");
+  FaultInjector injector{runtime, plan, 1};
+  injector.arm();
+
+  // Mid-partition: the lease has lapsed, so the registry has written the
+  // host off...
+  runtime.run_until(80.0);
+  ASSERT_TRUE(runtime.scheduler().host_state("ws2").has_value());
+  EXPECT_EQ(*runtime.scheduler().host_state("ws2"),
+            rules::SystemState::kUnavailable);
+  // ...but the process is alive on ws2 and was NOT resurrected elsewhere.
+  const mpi::Proc* proc = runtime.mpi().find(id);
+  ASSERT_NE(proc, nullptr);
+  EXPECT_EQ(proc->host().name(), "ws2");
+  EXPECT_EQ(relaunch_events(runtime), 0u);
+
+  // After the heal: the host re-registers, escapes `unavailable`, and the
+  // application finishes exactly once, where it always was.
+  runtime.run_until(300.0);
+  ASSERT_TRUE(runtime.scheduler().host_state("ws2").has_value());
+  EXPECT_NE(*runtime.scheduler().host_state("ws2"),
+            rules::SystemState::kUnavailable);
+  EXPECT_EQ(finish_count, 1);
+  EXPECT_EQ(finished_on, "ws2");
+  EXPECT_EQ(relaunch_events(runtime), 0u);
+}
+
+}  // namespace
+}  // namespace ars::chaos

@@ -139,6 +139,51 @@ TEST_F(CommanderTest, GarbageAndWrongTypesAreIgnored) {
   EXPECT_EQ(commander_->commands_received(), 0);
 }
 
+TEST_F(CommanderTest, RetryRecoversWhenTargetAppearsLate) {
+  // The command names a pid that does not exist yet — the first delivery
+  // attempt fails, and the target process launches before the backoff
+  // expires, so the bounded retry succeeds.
+  std::string finished_a;
+  const auto id = hpcm_.launch("ws1", looper(&finished_a), "early",
+                               hpcm::ApplicationSchema{"early"});
+  engine_.run_until(2.0);
+  const mpi::Proc* proc = mpi_.find(id);
+  ASSERT_NE(proc, nullptr);
+
+  xmlproto::MigrateCmd command;
+  command.pid = proc->pid() + 1;  // the NEXT pid ws1 will hand out
+  command.process_name = "late.0";
+  command.dest_host = "ws2";
+  post(command);
+  engine_.run_until(2.1);  // first attempt has failed; retry still pending
+
+  std::string finished_b;
+  hpcm_.launch("ws1", looper(&finished_b), "late",
+               hpcm::ApplicationSchema{"late"});
+  engine_.run_until(100.0);
+
+  EXPECT_EQ(finished_b, "ws2");
+  EXPECT_GE(commander_->commands_retried(), 1);
+  EXPECT_EQ(commander_->commands_failed(), 0);
+  const auto ack = next_ack();
+  ASSERT_TRUE(ack.has_value());
+  EXPECT_TRUE(ack->ok);
+}
+
+TEST_F(CommanderTest, RetriesAreBoundedAndFailureIsCountedOnce) {
+  xmlproto::MigrateCmd command;
+  command.pid = 31337;
+  command.dest_host = "ws2";
+  post(command);
+  engine_.run_until(50.0);
+  // Default config: 2 retries (0.25 s backoff, doubling), then give up.
+  EXPECT_EQ(commander_->commands_retried(), 2);
+  EXPECT_EQ(commander_->commands_failed(), 1);
+  const auto ack = next_ack();
+  ASSERT_TRUE(ack.has_value());
+  EXPECT_FALSE(ack->ok);
+}
+
 TEST_F(CommanderTest, StopUnbindsThePort) {
   commander_->stop();
   xmlproto::MigrateCmd command;

@@ -1,0 +1,302 @@
+// chaos_campaign: seed-sweep driver for the ars::chaos subsystem.
+//
+// Runs the standard chaos scenario (scenario.hpp) over a seed range for each
+// requested fault plan, checks the invariants after every run, and re-runs a
+// sample of seeds (always every failing seed) to prove the simulation replays
+// byte-identically.  Emits a human summary on stdout and, with --out, a JSON
+// report.  Exit status is nonzero iff any invariant was violated or any
+// replay diverged.
+//
+// Usage:
+//   chaos_campaign [--seeds=N] [--seed-base=N] [--plan=<builtin|file.json>]...
+//                  [--hosts=N] [--apps=N] [--horizon=T] [--replay-passing=N]
+//                  [--sabotage-lease-expiry] [--out=report.json] [--list-plans]
+//
+// --plan may be given multiple times; the default sweep covers every builtin
+// plan plus a fault-free baseline.
+
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "ars/chaos/faultplan.hpp"
+#include "ars/chaos/scenario.hpp"
+#include "ars/obs/json.hpp"
+#include "ars/support/log.hpp"
+
+namespace {
+
+using ars::chaos::FaultPlan;
+using ars::chaos::ScenarioOptions;
+using ars::chaos::ScenarioReport;
+
+struct CampaignOptions {
+  int seeds = 20;
+  std::uint64_t seed_base = 1;
+  std::vector<std::string> plans;  // builtin names or JSON file paths
+  int hosts = 4;
+  int apps = 3;
+  double horizon = 700.0;
+  int replay_passing = 3;  // additionally replay this many passing seeds
+  bool sabotage_lease_expiry = false;
+  std::string out_path;
+};
+
+struct SeedResult {
+  std::uint64_t seed = 0;
+  bool ok = false;
+  std::string violations;  // summary() when not ok
+  std::uint64_t trace_hash = 0;
+  std::uint64_t events_executed = 0;
+  std::size_t migrations_succeeded = 0;
+  std::uint64_t messages_dropped = 0;
+  bool replayed = false;
+  bool replay_identical = true;
+};
+
+struct PlanResult {
+  std::string plan_name;
+  std::vector<SeedResult> seeds;
+  int failures = 0;
+  int replay_mismatches = 0;
+};
+
+std::optional<std::string> arg_value(const std::string& arg,
+                                     const std::string& flag) {
+  const std::string prefix = flag + "=";
+  if (arg.rfind(prefix, 0) == 0) {
+    return arg.substr(prefix.size());
+  }
+  return std::nullopt;
+}
+
+[[noreturn]] void usage_error(const std::string& message) {
+  std::cerr << "chaos_campaign: " << message << "\n"
+            << "usage: chaos_campaign [--seeds=N] [--seed-base=N]\n"
+            << "         [--plan=<builtin|file.json>]... [--hosts=N]\n"
+            << "         [--apps=N] [--horizon=T] [--replay-passing=N]\n"
+            << "         [--sabotage-lease-expiry] [--out=report.json]\n"
+            << "         [--list-plans]\n";
+  std::exit(2);
+}
+
+FaultPlan load_plan(const std::string& spec) {
+  if (spec == "none") {
+    return FaultPlan{"none"};
+  }
+  if (auto builtin = FaultPlan::builtin(spec); builtin.has_value()) {
+    return *std::move(builtin);
+  }
+  std::ifstream in(spec);
+  if (!in) {
+    std::cerr << "chaos_campaign: --plan=" << spec
+              << " is neither a builtin plan nor a readable file\n";
+    std::exit(2);
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+  auto plan = FaultPlan::from_json(text.str());
+  if (!plan.has_value()) {
+    std::cerr << "chaos_campaign: " << spec << ": " << plan.error().message
+              << "\n";
+    std::exit(2);
+  }
+  return *std::move(plan);
+}
+
+ScenarioReport run_once(const CampaignOptions& options, const FaultPlan& plan,
+                        std::uint64_t seed) {
+  ScenarioOptions scenario;
+  scenario.hosts = options.hosts;
+  scenario.apps = options.apps;
+  scenario.horizon = options.horizon;
+  scenario.seed = seed;
+  scenario.plan = plan;
+  scenario.sabotage_lease_expiry = options.sabotage_lease_expiry;
+  return ars::chaos::run_scenario(scenario);
+}
+
+PlanResult sweep_plan(const CampaignOptions& options, const FaultPlan& plan) {
+  PlanResult result;
+  result.plan_name = plan.name();
+  int passing_replays_left = options.replay_passing;
+  for (int i = 0; i < options.seeds; ++i) {
+    const std::uint64_t seed = options.seed_base + static_cast<std::uint64_t>(i);
+    const ScenarioReport report = run_once(options, plan, seed);
+    SeedResult seed_result;
+    seed_result.seed = seed;
+    seed_result.ok = report.ok();
+    seed_result.trace_hash = report.trace_hash;
+    seed_result.events_executed = report.events_executed;
+    seed_result.migrations_succeeded = report.migrations_succeeded;
+    seed_result.messages_dropped = report.messages_dropped;
+    if (!report.ok()) {
+      ++result.failures;
+      seed_result.violations = report.invariants.summary();
+      std::cout << "  seed " << seed << " FAIL\n";
+      for (const ars::chaos::Violation& violation :
+           report.invariants.violations) {
+        std::cout << "    " << violation.invariant << " ["
+                  << violation.subject << "]: " << violation.detail << "\n";
+      }
+    }
+    // Replay every failing seed (a reproducer must reproduce) and the first
+    // few passing ones; the rerun must be byte-identical.
+    const bool replay = !report.ok() || passing_replays_left > 0;
+    if (replay) {
+      if (report.ok()) {
+        --passing_replays_left;
+      }
+      const ScenarioReport again = run_once(options, plan, seed);
+      seed_result.replayed = true;
+      seed_result.replay_identical =
+          again.trace_hash == report.trace_hash &&
+          again.events_executed == report.events_executed;
+      if (!seed_result.replay_identical) {
+        ++result.replay_mismatches;
+        std::cout << "  seed " << seed << " REPLAY MISMATCH: trace "
+                  << report.trace_hash << " vs " << again.trace_hash << "\n";
+      }
+    }
+    result.seeds.push_back(std::move(seed_result));
+  }
+  return result;
+}
+
+ars::obs::JsonValue to_json(const PlanResult& result) {
+  ars::obs::JsonObject plan_object;
+  plan_object["plan"] = ars::obs::JsonValue{result.plan_name};
+  plan_object["failures"] =
+      ars::obs::JsonValue{static_cast<double>(result.failures)};
+  plan_object["replay_mismatches"] =
+      ars::obs::JsonValue{static_cast<double>(result.replay_mismatches)};
+  ars::obs::JsonArray seeds;
+  for (const SeedResult& seed : result.seeds) {
+    ars::obs::JsonObject seed_object;
+    seed_object["seed"] =
+        ars::obs::JsonValue{static_cast<double>(seed.seed)};
+    seed_object["ok"] = ars::obs::JsonValue{seed.ok};
+    if (!seed.violations.empty()) {
+      seed_object["violations"] = ars::obs::JsonValue{seed.violations};
+    }
+    seed_object["trace_hash"] =
+        ars::obs::JsonValue{std::to_string(seed.trace_hash)};
+    seed_object["events_executed"] =
+        ars::obs::JsonValue{static_cast<double>(seed.events_executed)};
+    seed_object["migrations_succeeded"] = ars::obs::JsonValue{
+        static_cast<double>(seed.migrations_succeeded)};
+    seed_object["messages_dropped"] =
+        ars::obs::JsonValue{static_cast<double>(seed.messages_dropped)};
+    if (seed.replayed) {
+      seed_object["replay_identical"] =
+          ars::obs::JsonValue{seed.replay_identical};
+    }
+    seeds.push_back(ars::obs::JsonValue{std::move(seed_object)});
+  }
+  plan_object["seeds"] = ars::obs::JsonValue{std::move(seeds)};
+  return ars::obs::JsonValue{std::move(plan_object)};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Hundreds of runs, each of which legitimately drops messages and crashes
+  // hosts — the per-event warnings would swamp the campaign summary.
+  ars::support::Logger::global().set_level(ars::support::LogLevel::kOff);
+  CampaignOptions options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--list-plans") {
+      for (const std::string& name : FaultPlan::builtin_names()) {
+        std::cout << name << "\n";
+      }
+      std::cout << "none\n";
+      return 0;
+    }
+    if (auto dump = arg_value(arg, "--dump-plan")) {
+      std::cout << load_plan(*dump).to_json() << "\n";
+      return 0;
+    }
+    if (arg == "--sabotage-lease-expiry") {
+      options.sabotage_lease_expiry = true;
+    } else if (auto value = arg_value(arg, "--seeds")) {
+      options.seeds = std::stoi(*value);
+    } else if (auto value2 = arg_value(arg, "--seed-base")) {
+      options.seed_base = std::stoull(*value2);
+    } else if (auto value3 = arg_value(arg, "--plan")) {
+      options.plans.push_back(*value3);
+    } else if (auto value4 = arg_value(arg, "--hosts")) {
+      options.hosts = std::stoi(*value4);
+    } else if (auto value5 = arg_value(arg, "--apps")) {
+      options.apps = std::stoi(*value5);
+    } else if (auto value6 = arg_value(arg, "--horizon")) {
+      options.horizon = std::stod(*value6);
+    } else if (auto value7 = arg_value(arg, "--replay-passing")) {
+      options.replay_passing = std::stoi(*value7);
+    } else if (auto value8 = arg_value(arg, "--out")) {
+      options.out_path = *value8;
+    } else {
+      usage_error("unknown argument: " + arg);
+    }
+  }
+  if (options.seeds <= 0) {
+    usage_error("--seeds must be positive");
+  }
+  if (options.plans.empty()) {
+    options.plans = FaultPlan::builtin_names();
+    options.plans.push_back("none");
+  }
+
+  std::vector<PlanResult> results;
+  int total_failures = 0;
+  int total_mismatches = 0;
+  for (const std::string& spec : options.plans) {
+    const FaultPlan plan = load_plan(spec);
+    std::cout << "plan \"" << plan.name() << "\": " << options.seeds
+              << " seeds from " << options.seed_base << "\n";
+    PlanResult result = sweep_plan(options, plan);
+    std::cout << "  " << (options.seeds - result.failures) << "/"
+              << options.seeds << " clean, " << result.replay_mismatches
+              << " replay mismatches\n";
+    total_failures += result.failures;
+    total_mismatches += result.replay_mismatches;
+    results.push_back(std::move(result));
+  }
+
+  if (!options.out_path.empty()) {
+    ars::obs::JsonObject report;
+    report["seeds"] = ars::obs::JsonValue{static_cast<double>(options.seeds)};
+    report["seed_base"] =
+        ars::obs::JsonValue{static_cast<double>(options.seed_base)};
+    report["hosts"] = ars::obs::JsonValue{static_cast<double>(options.hosts)};
+    report["apps"] = ars::obs::JsonValue{static_cast<double>(options.apps)};
+    report["horizon"] = ars::obs::JsonValue{options.horizon};
+    report["failures"] = ars::obs::JsonValue{static_cast<double>(total_failures)};
+    report["replay_mismatches"] =
+        ars::obs::JsonValue{static_cast<double>(total_mismatches)};
+    ars::obs::JsonArray plans;
+    for (const PlanResult& result : results) {
+      plans.push_back(to_json(result));
+    }
+    report["plans"] = ars::obs::JsonValue{std::move(plans)};
+    std::ofstream out(options.out_path);
+    if (!out) {
+      std::cerr << "chaos_campaign: cannot write " << options.out_path << "\n";
+      return 2;
+    }
+    out << ars::obs::JsonValue{std::move(report)}.dump() << "\n";
+  }
+
+  if (total_failures > 0 || total_mismatches > 0) {
+    std::cout << "CAMPAIGN FAIL: " << total_failures << " violations, "
+              << total_mismatches << " replay mismatches\n";
+    return 1;
+  }
+  std::cout << "CAMPAIGN OK\n";
+  return 0;
+}
