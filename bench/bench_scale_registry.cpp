@@ -1,0 +1,171 @@
+// Registry decision path at cluster scale (google-benchmark).
+//
+// Builds a registry with 256/1024/4096 registered hosts (~5% free — a busy
+// cluster, the regime the state index targets), drives it through deliver()
+// so no network simulation is paid for, and times:
+//
+//   * the scheduling decision on the indexed path (walks the free list,
+//     O(eligible)) vs the legacy full-table scan (O(hosts)) — the gap is the
+//     tentpole speedup and must stay ~linear in the eligible count;
+//   * heartbeat churn: full UpdateMsg state flips (index relink cost) and
+//     batched lease renewals (UpdateBatchMsg);
+//   * cold registration storms (table + index build).
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <string>
+
+#include "ars/host/host.hpp"
+#include "ars/net/network.hpp"
+#include "ars/registry/registry.hpp"
+#include "ars/rules/policy.hpp"
+#include "ars/sim/engine.hpp"
+#include "ars/xmlproto/messages.hpp"
+
+#include "common.hpp"
+
+namespace {
+
+using namespace ars;
+
+std::string host_name(int i) {
+  char buf[16];
+  std::snprintf(buf, sizeof buf, "h%05d", i);
+  return buf;
+}
+
+xmlproto::RegisterMsg register_msg(const std::string& name) {
+  xmlproto::RegisterMsg reg;
+  reg.info.host = name;
+  reg.info.memory_bytes = 128ULL << 20;
+  reg.info.disk_bytes = 20ULL << 30;
+  reg.info.cpu_speed = 1.0;
+  reg.monitor_port = 5999;
+  reg.commander_port = 6000;
+  return reg;
+}
+
+xmlproto::UpdateMsg update_msg(const std::string& name,
+                               rules::SystemState state) {
+  xmlproto::UpdateMsg update;
+  update.status.host = name;
+  update.status.state = std::string(rules::to_string(state));
+  update.status.load1 = state == rules::SystemState::kFree ? 0.2 : 1.8;
+  update.status.processes = 60;
+  update.status.timestamp = 0.0;
+  return update;
+}
+
+/// A registry with `hosts` registered workstations, every 20th one free
+/// (~5%), the rest busy.  The source host h00000 is busy — a consult from it
+/// never offers it as its own destination.
+struct ScaledRegistry {
+  sim::Engine engine;
+  net::Network net{engine};
+  std::unique_ptr<host::Host> hub;
+  std::unique_ptr<registry::Registry> reg;
+
+  ScaledRegistry(int hosts, bool legacy_scan) {
+    host::HostSpec spec;
+    spec.name = "hub";
+    hub = std::make_unique<host::Host>(engine, spec);
+    net.attach(*hub);
+    registry::Registry::Config config;
+    config.policy = rules::paper_policy2();
+    config.audit = registry::AuditMode::kOff;
+    config.use_legacy_scan = legacy_scan;
+    reg = std::make_unique<registry::Registry>(*hub, net, config);
+    for (int i = 0; i < hosts; ++i) {
+      const std::string name = host_name(i);
+      reg->deliver(register_msg(name), name);
+      const auto state = i % 20 == 7 ? rules::SystemState::kFree
+                                     : rules::SystemState::kBusy;
+      reg->deliver(update_msg(name, state), name);
+    }
+  }
+};
+
+void decision_bench(benchmark::State& state, bool legacy_scan) {
+  const int hosts = static_cast<int>(state.range(0));
+  ScaledRegistry scaled{hosts, legacy_scan};
+  const std::string source = host_name(0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(scaled.reg->choose_destination(source, ""));
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["hosts"] = hosts;
+  state.counters["free"] =
+      static_cast<double>(scaled.reg->indexed_count(rules::SystemState::kFree));
+}
+
+void BM_RegistryDecisionIndexed(benchmark::State& state) {
+  decision_bench(state, false);
+}
+BENCHMARK(BM_RegistryDecisionIndexed)->Arg(256)->Arg(1024)->Arg(4096);
+
+void BM_RegistryDecisionLegacyScan(benchmark::State& state) {
+  decision_bench(state, true);
+}
+BENCHMARK(BM_RegistryDecisionLegacyScan)->Arg(256)->Arg(1024)->Arg(4096);
+
+// Heartbeat churn: each delivered UpdateMsg flips a rotating host between
+// busy and free — the index must relink the entry in place, O(1) for the
+// busy list and an ordered insert on the free list.
+void BM_RegistryHeartbeatChurn(benchmark::State& state) {
+  const int hosts = static_cast<int>(state.range(0));
+  ScaledRegistry scaled{hosts, false};
+  int i = 0;
+  bool to_free = true;
+  for (auto _ : state) {
+    const std::string name = host_name(i);
+    scaled.reg->deliver(
+        update_msg(name, to_free ? rules::SystemState::kFree
+                                 : rules::SystemState::kBusy),
+        name);
+    i = (i + 13) % hosts;
+    if (i < 13) {
+      to_free = !to_free;
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+  if (!scaled.reg->index_consistent()) {
+    state.SkipWithError("state index inconsistent after churn");
+  }
+}
+BENCHMARK(BM_RegistryHeartbeatChurn)->Arg(1024)->Arg(4096);
+
+// Batched lease renewals: one UpdateBatchMsg renewing 64 known hosts — the
+// delta-heartbeat path a monitor aggregate would take.
+void BM_RegistryLeaseRenewalBatch(benchmark::State& state) {
+  const int hosts = static_cast<int>(state.range(0));
+  ScaledRegistry scaled{hosts, false};
+  xmlproto::UpdateBatchMsg batch;
+  for (int i = 0; i < 64; ++i) {
+    xmlproto::LeaseRenewal renewal;
+    renewal.host = host_name((i * 17) % hosts);
+    renewal.state = "busy";
+    batch.renewals.push_back(std::move(renewal));
+  }
+  for (auto _ : state) {
+    scaled.reg->deliver(batch, "hub");
+  }
+  state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_RegistryLeaseRenewalBatch)->Arg(1024);
+
+// Cold registration storm: the whole table (entries + index) built from
+// scratch — the soft-state rebuild after a registry restart.
+void BM_RegistryRegisterStorm(benchmark::State& state) {
+  const int hosts = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    ScaledRegistry scaled{hosts, false};
+    benchmark::DoNotOptimize(scaled.reg->hosts().size());
+  }
+  state.SetItemsProcessed(state.iterations() * hosts);
+}
+BENCHMARK(BM_RegistryRegisterStorm)->Arg(256)->Arg(1024);
+
+}  // namespace
+
+ARS_BENCH_MAIN();

@@ -10,6 +10,8 @@
 //     middleware history has exactly one migration.resumed trace event;
 //   * lease convergence — hosts expected alive at the horizon are not
 //     stuck `unavailable` after all faults healed;
+//   * no stranded work — every restart parked on the registry's retry
+//     list (no capacity at crash time) has drained by the horizon;
 //   * deadlock watchdog — virtual time must not quiesce (empty event
 //     queue) while expected applications are unfinished.
 //

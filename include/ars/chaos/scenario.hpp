@@ -33,6 +33,14 @@ struct ScenarioOptions {
   bool with_load = true;
   /// Copy the full JSON-lines trace into the report (hashing is always on).
   bool keep_trace = false;
+  /// Force the registry's pre-index full-table scan (the reference path).
+  bool legacy_scan = false;
+  /// Produce the per-host audit trail on every decision.  Turn OFF for
+  /// indexed-vs-legacy equivalence runs: the audit forces the legacy scan,
+  /// and without it the traces of both modes are directly comparable.
+  bool audit_decisions = true;
+  /// Monitors send compact lease renewals between full-status keyframes.
+  bool delta_heartbeats = false;
 };
 
 struct ScenarioReport {
@@ -45,6 +53,10 @@ struct ScenarioReport {
   std::size_t migrations_succeeded = 0;
   FaultInjector::Stats faults;
   std::uint64_t messages_dropped = 0;  // network total (all reasons)
+  /// Canonical decision log (registry::Registry::decision_log) and its
+  /// FNV-1a digest — the byte-identical comparison for scan equivalence.
+  std::size_t decisions = 0;
+  std::uint64_t decision_log_hash = 0;
 
   [[nodiscard]] bool ok() const noexcept { return invariants.ok(); }
 };

@@ -67,6 +67,13 @@ class Monitor {
     double warmup_min_factor = 0.5;  // bounds relative to the policy warmup
     double warmup_max_factor = 2.0;
     double warmup_gain = 0.2;        // multiplicative step per episode
+    /// Coalesce unchanged-state heartbeats into compact UpdateBatchMsg
+    /// lease renewals.  A full UpdateMsg is still sent on every state
+    /// change and every `full_status_every` cycles as a keyframe (the
+    /// registry rejects renewals from hosts it has expired, so a keyframe
+    /// also re-admits after a partition).
+    bool delta_heartbeats = false;
+    int full_status_every = 6;
     /// Optional observability hooks (not owned): state-transition events
     /// and per-state transition counters.
     obs::Tracer* tracer = nullptr;
@@ -90,7 +97,10 @@ class Monitor {
 
   /// Number of CONSULT messages sent so far.
   [[nodiscard]] int consults_sent() const noexcept { return consults_sent_; }
+  /// Full UpdateMsg heartbeats sent (keyframes, when delta mode is on).
   [[nodiscard]] int updates_sent() const noexcept { return updates_sent_; }
+  /// Compact lease renewals sent instead of full heartbeats.
+  [[nodiscard]] int renewals_sent() const noexcept { return renewals_sent_; }
 
   /// The warm-up currently in effect (equals the policy's unless adaptive
   /// warm-up has adjusted it).
@@ -121,6 +131,10 @@ class Monitor {
   bool episode_consulted_ = false;
   int consults_sent_ = 0;
   int updates_sent_ = 0;
+  int renewals_sent_ = 0;
+  int cycles_since_full_ = 0;
+  bool full_sent_ = false;  // at least one keyframe has gone out
+  rules::SystemState last_sent_state_ = rules::SystemState::kFree;
   int absorbed_spikes_ = 0;
   std::map<host::Pid, bool> known_pids_;
   sim::Fiber fiber_;

@@ -15,6 +15,12 @@
 //   * Hierarchy: a registry may have a parent; when no local candidate
 //     exists the consult escalates ("the migration destination is chosen
 //     inside one's control domain" when possible).
+//
+// Scale: every `HostEntry` is threaded onto an intrusive per-`SystemState`
+// list ordered by `registration_order`, maintained in place on every state
+// transition, so a decision walks only the `free` list — O(eligible) — while
+// the audited slow path keeps the full O(hosts) verdict trail.  See
+// DESIGN.md §10.
 
 #include <map>
 #include <memory>
@@ -46,6 +52,14 @@ struct HostEntry {
   int commander_port = 0;
   int registration_order = 0;  // first-fit scans in this order
   bool draining = false;       // evacuated: never a destination again
+  /// At least one full UpdateMsg has been applied since the host was last
+  /// (re)admitted — until then `status` may be stale pre-crash data and the
+  /// host must not be offered as a destination.
+  bool status_seen = false;
+  /// Intrusive links for the registry's per-state index.  Owned and
+  /// maintained by the Registry; meaningless in copies of the entry.
+  HostEntry* index_prev = nullptr;
+  HostEntry* index_next = nullptr;
 };
 
 /// Destination-choice strategy.  The paper uses first-fit ("the
@@ -53,6 +67,15 @@ struct HostEntry {
 /// the resources required"); best-fit and random-fit are provided for the
 /// ablation benches.
 enum class DestinationStrategy { kFirstFit, kBestFit, kRandomFit };
+
+/// When to produce the per-host `CandidateAudit` trail.  The audited scan is
+/// inherently O(hosts) (every host gets a verdict), so large clusters run
+/// with the audit off and use the state index instead.
+enum class AuditMode {
+  kAuto,    // audit iff a tracer is configured (pre-index behaviour)
+  kAlways,  // audit every decision even without a tracer
+  kOff,     // never audit: always take the indexed fast path
+};
 
 struct ProcessEntry {
   std::string host;
@@ -88,6 +111,20 @@ struct Decision {
   std::vector<CandidateAudit> candidates;
 };
 
+/// What a parent registry knows about one child domain, from the child's
+/// periodic HealthReportMsg.  `routed_consults` counts consults forwarded to
+/// the child since its last report — a conservative in-flight debit so
+/// escalations spread across domains instead of piling onto the child that
+/// reported the most free hosts.
+struct ChildDomain {
+  int port = 0;
+  int free_hosts = 0;
+  int busy_hosts = 0;
+  int overloaded_hosts = 0;
+  double last_report = -1.0;
+  int routed_consults = 0;
+};
+
 class Registry {
  public:
   struct Config {
@@ -114,6 +151,11 @@ class Registry {
     /// relaunch of its registered processes on other hosts (from their
     /// checkpoints, via the destination commanders).
     bool auto_restart = false;
+    /// Per-host audit trail policy (see AuditMode).
+    AuditMode audit = AuditMode::kAuto;
+    /// Force the pre-index full-table scan even when no audit is wanted —
+    /// the reference implementation for equivalence checks and benches.
+    bool use_legacy_scan = false;
     /// Optional observability hooks (not owned): decision spans, audit
     /// events, and scheduler/lease metrics.
     obs::Tracer* tracer = nullptr;
@@ -129,9 +171,10 @@ class Registry {
   void stop();
 
   /// Drop all soft state (host table, process registry, registration
-  /// order) — a cold restart.  Schemas and the decision log survive: they
-  /// are configuration and audit trail, not soft state.  Call while
-  /// stopped; the tables rebuild from subsequent monitor announcements.
+  /// order, stranded-restart queue) — a cold restart.  Schemas and the
+  /// decision log survive: they are configuration and audit trail, not
+  /// soft state.  Call while stopped; the tables rebuild from subsequent
+  /// monitor announcements.
   void clear_soft_state();
 
   [[nodiscard]] int port() const noexcept { return config_.port; }
@@ -155,6 +198,12 @@ class Registry {
     return processes_.size();
   }
 
+  /// Apply one protocol message as if it had arrived over the wire from
+  /// `from_host` — the serve loop routes through this; benches and tests
+  /// use it to drive the registry without paying for network simulation.
+  void deliver(const xmlproto::ProtocolMessage& message,
+               const std::string& from_host);
+
   /// Scheduling core, also callable directly by tests: pick a destination
   /// for a migration off `source_host` using the configured strategy
   /// (nullopt if no eligible host).  When `audit` is non-null it receives
@@ -168,7 +217,10 @@ class Registry {
       const std::string& source_host, const std::string& schema_name);
 
   /// Hosts eligible as destination, in registration order.  When `audit`
-  /// is non-null it receives a verdict (with rejection reason) per host.
+  /// is non-null it receives a verdict (with rejection reason) per host —
+  /// the full-table reference scan.  With `audit == nullptr` (and the
+  /// legacy scan not forced) only the `free` index list is walked; both
+  /// paths yield the identical eligible sequence.
   [[nodiscard]] std::vector<const HostEntry*> eligible_destinations(
       const std::string& source_host, const std::string& schema_name,
       std::vector<CandidateAudit>* audit = nullptr) const;
@@ -189,28 +241,107 @@ class Registry {
     return evacuations_commanded_;
   }
 
+  /// Canonical one-line-per-decision log (no audit trail) — byte-comparable
+  /// across indexed and legacy runs of the same scenario.
+  [[nodiscard]] std::string decision_log() const;
+
+  // -- state-index introspection (tests, benches) ---------------------------
+  /// Host names on the index list for `state`, in list order.
+  [[nodiscard]] std::vector<std::string> indexed_hosts(
+      rules::SystemState state) const;
+  [[nodiscard]] std::size_t indexed_count(rules::SystemState state) const;
+  /// Every host is on exactly the list matching its state, list sizes are
+  /// right, links are coherent, and the free list is ordered by
+  /// registration_order.
+  [[nodiscard]] bool index_consistent() const;
+
+  /// Lost processes waiting for capacity to restart (retried every sweep).
+  [[nodiscard]] const std::vector<ProcessEntry>& stranded() const {
+    return stranded_;
+  }
+
+  /// Child domains known from HealthReportMsg (parent registries only).
+  [[nodiscard]] const std::map<std::string, ChildDomain>& children() const {
+    return children_;
+  }
+
  private:
+  /// In-flight placements of one recovery round: restarts already commanded
+  /// count against a destination's capacity before its next heartbeat can
+  /// reflect them, so a dead host's processes spread instead of piling onto
+  /// the first free host.
+  struct RecoveryRound {
+    struct Debit {
+      int placements = 0;
+      std::uint64_t memory_bytes = 0;
+      std::uint64_t disk_bytes = 0;
+    };
+    std::map<std::string, Debit> by_host;
+  };
+
   [[nodiscard]] sim::Task<> serve();
   [[nodiscard]] sim::Task<> sweep();
   [[nodiscard]] sim::Task<> report_health();
   void handle(const xmlproto::ProtocolMessage& message,
               const std::string& from_host);
-  [[nodiscard]] sim::Task<> decide(std::string overloaded_host,
-                                   std::string reason);
+  [[nodiscard]] sim::Task<> decide(xmlproto::ConsultMsg consult);
   [[nodiscard]] sim::Task<> evacuate(std::string drained_host,
                                      std::string reason);
   void restart_processes_of(const std::string& lost_host);
+  /// Place one lost process (shared by the recovery round and the stranded
+  /// retry drain).  Returns false when no destination exists; the process
+  /// is parked on `stranded_` (`record_stranded` controls whether the
+  /// failure is also logged as a decision — only the first time is).
+  bool restart_process(const ProcessEntry& process, RecoveryRound& round,
+                       bool record_stranded);
+  void drain_stranded();
+  /// Route an escalated consult to the child domain with the most reported
+  /// free capacity (minus consults already routed there).  Returns false
+  /// when no child can plausibly take it.
+  bool route_to_child(const xmlproto::ConsultMsg& consult);
   void send_to(const std::string& dst_host, int dst_port,
                const xmlproto::ProtocolMessage& message);
+
+  [[nodiscard]] bool want_audit() const;
+  /// Find-or-create `hosts_[name]`, linking new entries into the
+  /// `unavailable` index list.
+  HostEntry& ensure_entry(const std::string& name);
+  void index_insert(HostEntry& entry);
+  void index_remove(HostEntry& entry);
+  /// Transition `entry` to `next`, relinking it between index lists.
+  void set_state(HostEntry& entry, rules::SystemState next);
+  /// Re-sort `entry` within its current list after its
+  /// `registration_order` changed (ghost entry adopted by a RegisterMsg).
+  void reposition(HostEntry& entry);
+
+  [[nodiscard]] std::vector<const HostEntry*> legacy_eligible(
+      const std::string& source_host, const hpcm::ApplicationSchema* schema,
+      const std::string& schema_name,
+      std::vector<CandidateAudit>* audit) const;
+  [[nodiscard]] std::vector<const HostEntry*> indexed_eligible(
+      const std::string& source_host,
+      const hpcm::ApplicationSchema* schema) const;
+
+  struct StateList {
+    HostEntry* head = nullptr;
+    HostEntry* tail = nullptr;
+    std::size_t size = 0;
+  };
+  static std::size_t state_slot(rules::SystemState state) noexcept {
+    return static_cast<std::size_t>(state);
+  }
 
   host::Host* host_;
   net::Network* network_;
   Config config_;
   net::Endpoint* endpoint_ = nullptr;
-  std::map<std::string, HostEntry> hosts_;
+  std::map<std::string, HostEntry> hosts_;  // node-based: stable addresses
+  StateList index_[4];
   std::map<std::string, ProcessEntry> processes_;  // key host:pid
   std::map<std::string, hpcm::ApplicationSchema> schemas_;
   std::vector<Decision> decisions_;
+  std::vector<ProcessEntry> stranded_;
+  std::map<std::string, ChildDomain> children_;
   int evacuations_commanded_ = 0;
   int next_registration_order_ = 0;
   support::Rng rng_{1};

@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <string>
 #include <variant>
+#include <vector>
 
 #include "ars/support/expected.hpp"
 
@@ -56,9 +57,34 @@ struct UpdateMsg {
 };
 
 /// Monitor -> registry: host is overloaded, request a migration decision.
+/// The optional fields are filled when a registry escalates or routes the
+/// consult across the hierarchy: they carry the child's process selection
+/// and the source commander's return-path so a foreign domain can command
+/// the migration without knowing the source host.
 struct ConsultMsg {
   std::string host;
   std::string reason;
+  std::string origin_registry;  // child registry that first escalated
+  int pid = 0;                  // selected process (0: none carried)
+  std::string process_name;
+  std::string schema_name;
+  int commander_port = 0;  // commander port on `host`
+};
+
+/// One compact lease renewal inside an UpdateBatchMsg: "nothing changed
+/// since my last full status" — enough to refresh the soft-state lease
+/// without re-encoding (or re-parsing) the full DynamicStatus.
+struct LeaseRenewal {
+  std::string host;
+  std::string state;  // must match the registry's current view
+  double timestamp = 0.0;
+};
+
+/// Monitor -> registry: batched delta heartbeat.  Monitors coalesce
+/// unchanged-state cycles into renewals; a full UpdateMsg is still sent on
+/// any state change and periodically as a keyframe.
+struct UpdateBatchMsg {
+  std::vector<LeaseRenewal> renewals;
 };
 
 /// Registry -> commander (of the overloaded host): migrate `pid` to dest.
@@ -97,6 +123,7 @@ struct ProcessDeregisterMsg {
 /// Child registry -> parent registry: aggregated health (hierarchy, §3.2).
 struct HealthReportMsg {
   std::string registry_host;
+  int registry_port = 0;  // where the parent can send routed consults
   int free_hosts = 0;
   int busy_hosts = 0;
   int overloaded_hosts = 0;
@@ -129,9 +156,9 @@ struct RelaunchCmd {
 };
 
 using ProtocolMessage =
-    std::variant<RegisterMsg, UpdateMsg, ConsultMsg, MigrateCmd, AckMsg,
-                 ProcessRegisterMsg, ProcessDeregisterMsg, HealthReportMsg,
-                 RecommendMsg, EvacuateMsg, RelaunchCmd>;
+    std::variant<RegisterMsg, UpdateMsg, UpdateBatchMsg, ConsultMsg,
+                 MigrateCmd, AckMsg, ProcessRegisterMsg, ProcessDeregisterMsg,
+                 HealthReportMsg, RecommendMsg, EvacuateMsg, RelaunchCmd>;
 
 /// Serialize any protocol message to its XML wire form.
 [[nodiscard]] std::string encode(const ProtocolMessage& message);

@@ -111,6 +111,16 @@ InvariantReport InvariantChecker::check() const {
                 std::to_string(resumed_events) + " resume events recorded");
   }
 
+  // No stranded work: a restart parked on the retry list means a lost
+  // process was never placed — every park must drain by the horizon, once
+  // the faults heal and capacity returns (pairs with exactly-once-finish:
+  // parked work may finish late, but never zero times and never silently).
+  for (const registry::ProcessEntry& process :
+       runtime_->scheduler().stranded()) {
+    violate("no-stranded-work", process.name,
+            "restart still parked on the retry list at the horizon");
+  }
+
   // Lease convergence: every host expected alive must have re-registered
   // (entry present) and escaped `unavailable` once the faults healed.
   for (const std::string& host_name : expected_alive_) {

@@ -61,6 +61,11 @@ ScenarioReport run_scenario(const ScenarioOptions& options) {
   // checker must catch the stranded applications.
   config.lease_ttl = options.sabotage_lease_expiry ? 1.0e18 : 25.0;
   config.monitor_reregister_period = 20.0;
+  config.registry_legacy_scan = options.legacy_scan;
+  config.registry_audit = options.audit_decisions
+                              ? registry::AuditMode::kAuto
+                              : registry::AuditMode::kOff;
+  config.monitor_delta_heartbeats = options.delta_heartbeats;
   core::ReschedulerRuntime runtime{config};
   runtime.start_rescheduler();
 
@@ -134,6 +139,8 @@ ScenarioReport run_scenario(const ScenarioOptions& options) {
   }
   report.faults = injector.stats();
   report.messages_dropped = runtime.network().dropped_total();
+  report.decisions = runtime.scheduler().decisions().size();
+  report.decision_log_hash = fnv1a(runtime.scheduler().decision_log());
   return report;
 }
 

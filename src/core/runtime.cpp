@@ -49,6 +49,8 @@ ReschedulerRuntime::ReschedulerRuntime(ClusterConfig config)
   registry_config.per_process_cooldown = config_.per_process_cooldown;
   registry_config.strategy = config_.strategy;
   registry_config.auto_restart = config_.auto_restart;
+  registry_config.audit = config_.registry_audit;
+  registry_config.use_legacy_scan = config_.registry_legacy_scan;
   registry_config.tracer = &tracer_;
   registry_config.metrics = &metrics_;
   registry_ = std::make_unique<registry::Registry>(
@@ -72,6 +74,8 @@ ReschedulerRuntime::ReschedulerRuntime(ClusterConfig config)
     monitor_config.policy = config_.policy;
     monitor_config.cycle_cpu_cost = config_.monitor_cycle_cpu_cost;
     monitor_config.reregister_period = config_.monitor_reregister_period;
+    monitor_config.delta_heartbeats = config_.monitor_delta_heartbeats;
+    monitor_config.full_status_every = config_.monitor_full_status_every;
     monitor_config.tracer = &tracer_;
     monitor_config.metrics = &metrics_;
     monitors_.emplace(h->name(), std::make_unique<monitor::Monitor>(

@@ -184,10 +184,32 @@ sim::Task<> Monitor::run() {
 
     sync_process_registrations(refresh);
 
-    xmlproto::UpdateMsg update;
-    update.status = status;
-    push(update);
-    ++updates_sent_;
+    // Delta heartbeats: an unchanged state only needs its lease renewed.
+    // Keyframes (full status) still go out on every state change, every
+    // `full_status_every` cycles, and whenever soft state is re-announced.
+    const bool keyframe_due =
+        !config_.delta_heartbeats || !full_sent_ || refresh ||
+        state != last_sent_state_ ||
+        cycles_since_full_ + 1 >= config_.full_status_every;
+    if (keyframe_due) {
+      xmlproto::UpdateMsg update;
+      update.status = status;
+      push(update);
+      ++updates_sent_;
+      full_sent_ = true;
+      cycles_since_full_ = 0;
+    } else {
+      xmlproto::UpdateBatchMsg batch;
+      xmlproto::LeaseRenewal renewal;
+      renewal.host = host_->name();
+      renewal.state = status.state;
+      renewal.timestamp = status.timestamp;
+      batch.renewals.push_back(std::move(renewal));
+      push(std::move(batch));
+      ++renewals_sent_;
+      ++cycles_since_full_;
+    }
+    last_sent_state_ = state;
 
     if (state == SystemState::kOverloaded) {
       if (overloaded_since_ < 0.0) {

@@ -1,6 +1,8 @@
 #include "ars/registry/registry.hpp"
 
 #include <algorithm>
+#include <cstdio>
+#include <limits>
 
 #include "ars/obs/metrics.hpp"
 #include "ars/obs/tracer.hpp"
@@ -51,6 +53,28 @@ void emit_decision_event(obs::Tracer* tracer, double now,
                      std::move(attrs));
 }
 
+/// Rewrite the accepted verdicts once a destination is chosen.
+void mark_chosen(std::vector<CandidateAudit>* audit, const std::string& chosen,
+                 DestinationStrategy strategy) {
+  if (audit == nullptr) {
+    return;
+  }
+  for (CandidateAudit& candidate : *audit) {
+    if (!candidate.accepted) {
+      continue;
+    }
+    candidate.reason =
+        candidate.host == chosen
+            ? "chosen (" + std::string(strategy_name(strategy)) + ")"
+            : "eligible (not chosen)";
+    candidate.accepted = candidate.host == chosen;
+  }
+}
+
+bool same_process(const ProcessEntry& a, const ProcessEntry& b) {
+  return a.host == b.host && a.pid == b.pid;
+}
+
 }  // namespace
 
 Registry::Registry(host::Host& h, net::Network& network, Config config)
@@ -94,7 +118,12 @@ void Registry::stop() {
 
 void Registry::clear_soft_state() {
   hosts_.clear();
+  for (StateList& list : index_) {
+    list = StateList{};
+  }
   processes_.clear();
+  stranded_.clear();
+  children_.clear();
   next_registration_order_ = 0;
 }
 
@@ -110,6 +139,140 @@ std::optional<SystemState> Registry::host_state(
   }
   return it->second.state;
 }
+
+// -- state index ------------------------------------------------------------
+
+HostEntry& Registry::ensure_entry(const std::string& name) {
+  const auto [it, inserted] = hosts_.try_emplace(name);
+  if (inserted) {
+    it->second.info.host = name;
+    index_insert(it->second);  // default state: unavailable
+  }
+  return it->second;
+}
+
+void Registry::index_insert(HostEntry& entry) {
+  StateList& list = index_[state_slot(entry.state)];
+  entry.index_prev = nullptr;
+  entry.index_next = nullptr;
+  if (entry.state == SystemState::kFree) {
+    // The free list stays ordered by registration_order so first-fit is a
+    // front-of-list walk.  Scan from the tail: a host re-entering `free`
+    // usually belongs near the end (recent registrations churn most).
+    HostEntry* after = list.tail;
+    while (after != nullptr &&
+           after->registration_order > entry.registration_order) {
+      after = after->index_prev;
+    }
+    if (after == nullptr) {
+      entry.index_next = list.head;
+      if (list.head != nullptr) {
+        list.head->index_prev = &entry;
+      }
+      list.head = &entry;
+      if (list.tail == nullptr) {
+        list.tail = &entry;
+      }
+    } else {
+      entry.index_prev = after;
+      entry.index_next = after->index_next;
+      if (after->index_next != nullptr) {
+        after->index_next->index_prev = &entry;
+      }
+      after->index_next = &entry;
+      if (list.tail == after) {
+        list.tail = &entry;
+      }
+    }
+  } else {
+    // Non-free lists are never scanned for destinations: O(1) append.
+    entry.index_prev = list.tail;
+    if (list.tail != nullptr) {
+      list.tail->index_next = &entry;
+    }
+    list.tail = &entry;
+    if (list.head == nullptr) {
+      list.head = &entry;
+    }
+  }
+  ++list.size;
+}
+
+void Registry::index_remove(HostEntry& entry) {
+  StateList& list = index_[state_slot(entry.state)];
+  if (entry.index_prev != nullptr) {
+    entry.index_prev->index_next = entry.index_next;
+  } else {
+    list.head = entry.index_next;
+  }
+  if (entry.index_next != nullptr) {
+    entry.index_next->index_prev = entry.index_prev;
+  } else {
+    list.tail = entry.index_prev;
+  }
+  entry.index_prev = nullptr;
+  entry.index_next = nullptr;
+  --list.size;
+}
+
+void Registry::set_state(HostEntry& entry, SystemState next) {
+  if (entry.state == next) {
+    return;
+  }
+  index_remove(entry);
+  entry.state = next;
+  index_insert(entry);
+}
+
+void Registry::reposition(HostEntry& entry) {
+  index_remove(entry);
+  index_insert(entry);
+}
+
+std::vector<std::string> Registry::indexed_hosts(SystemState state) const {
+  const StateList& list = index_[state_slot(state)];
+  std::vector<std::string> names;
+  names.reserve(list.size);
+  for (const HostEntry* entry = list.head; entry != nullptr;
+       entry = entry->index_next) {
+    names.push_back(entry->info.host);
+  }
+  return names;
+}
+
+std::size_t Registry::indexed_count(SystemState state) const {
+  return index_[state_slot(state)].size;
+}
+
+bool Registry::index_consistent() const {
+  std::size_t total = 0;
+  for (std::size_t slot = 0; slot < 4; ++slot) {
+    const StateList& list = index_[slot];
+    std::size_t count = 0;
+    const HostEntry* prev = nullptr;
+    for (const HostEntry* entry = list.head; entry != nullptr;
+         entry = entry->index_next) {
+      if (entry->index_prev != prev || state_slot(entry->state) != slot) {
+        return false;
+      }
+      if (slot == state_slot(SystemState::kFree) && prev != nullptr &&
+          prev->registration_order > entry->registration_order) {
+        return false;
+      }
+      prev = entry;
+      if (++count > hosts_.size()) {
+        return false;  // cycle
+      }
+    }
+    if (list.tail != prev || count != list.size) {
+      return false;
+    }
+    total += count;
+  }
+  return total == hosts_.size();
+}
+
+// -- wire protocol ----------------------------------------------------------
 
 void Registry::send_to(const std::string& dst_host, int dst_port,
                        const ProtocolMessage& message) {
@@ -135,40 +298,85 @@ sim::Task<> Registry::serve() {
   }
 }
 
+void Registry::deliver(const ProtocolMessage& message,
+                       const std::string& from_host) {
+  handle(message, from_host);
+}
+
 void Registry::handle(const ProtocolMessage& message,
                       const std::string& from_host) {
   const double now = host_->engine().now();
   if (const auto* reg = std::get_if<xmlproto::RegisterMsg>(&message)) {
-    HostEntry& entry = hosts_[reg->info.host];
+    HostEntry& entry = ensure_entry(reg->info.host);
     entry.info = reg->info;
-    entry.monitor_port = reg->monitor_port;
-    entry.commander_port = reg->commander_port;
+    // A re-registration may omit ports (they have not changed); never
+    // forget a known command path.
+    if (reg->monitor_port != 0) {
+      entry.monitor_port = reg->monitor_port;
+    }
+    if (reg->commander_port != 0) {
+      entry.commander_port = reg->commander_port;
+    }
     entry.last_update = now;
     if (entry.state == SystemState::kUnavailable) {
-      entry.state = SystemState::kFree;
+      if (!entry.status_seen) {
+        // Brand-new host: admit optimistically, there is no status yet.
+        set_state(entry, SystemState::kFree);
+      }
+      // Re-admission after a lease expiry keeps the host `unavailable`
+      // until a fresh UpdateMsg arrives: `entry.status` still holds
+      // pre-crash metrics and must not feed destination conditions.
     }
     if (entry.registration_order == 0) {
       entry.registration_order = ++next_registration_order_;
+      reposition(entry);
     }
     ARS_LOG_INFO("registry", "registered host " << reg->info.host);
     return;
   }
   if (const auto* update = std::get_if<xmlproto::UpdateMsg>(&message)) {
-    HostEntry& entry = hosts_[update->status.host];
+    HostEntry& entry = ensure_entry(update->status.host);
     entry.status = update->status;
     entry.last_update = now;
+    entry.status_seen = true;
     if (entry.registration_order == 0) {
       entry.registration_order = ++next_registration_order_;
+      reposition(entry);
     }
     const auto state = rules::state_from_string(update->status.state);
-    entry.state = state.has_value() ? *state : SystemState::kBusy;
+    set_state(entry, state.has_value() ? *state : SystemState::kBusy);
+    return;
+  }
+  if (const auto* batch = std::get_if<xmlproto::UpdateBatchMsg>(&message)) {
+    for (const xmlproto::LeaseRenewal& renewal : batch->renewals) {
+      const auto it = hosts_.find(renewal.host);
+      // A compact renewal cannot (re)admit a host: admission needs a full
+      // UpdateMsg so the table never holds made-up or stale status data.
+      if (it == hosts_.end() || !it->second.status_seen ||
+          it->second.state == SystemState::kUnavailable) {
+        if (config_.metrics != nullptr) {
+          config_.metrics->counter("registry.renewals_rejected").inc();
+        }
+        continue;
+      }
+      HostEntry& entry = it->second;
+      entry.last_update = now;
+      entry.status.timestamp = renewal.timestamp;
+      const auto state = rules::state_from_string(renewal.state);
+      if (state.has_value() && *state != SystemState::kUnavailable) {
+        entry.status.state = renewal.state;
+        set_state(entry, *state);
+      }
+      if (config_.metrics != nullptr) {
+        config_.metrics->counter("registry.renewals_applied").inc();
+      }
+    }
     return;
   }
   if (const auto* consult = std::get_if<xmlproto::ConsultMsg>(&message)) {
     std::erase_if(fibers_, [](const sim::Fiber& f) { return f.done(); });
-    fibers_.push_back(sim::Fiber::spawn(
-        host_->engine(), decide(consult->host, consult->reason),
-        "registry.decide"));
+    fibers_.push_back(sim::Fiber::spawn(host_->engine(), decide(*consult),
+                                        "registry.decide"));
     return;
   }
   if (const auto* preg = std::get_if<xmlproto::ProcessRegisterMsg>(&message)) {
@@ -196,8 +404,18 @@ void Registry::handle(const ProtocolMessage& message,
   if (std::get_if<xmlproto::AckMsg>(&message) != nullptr) {
     return;  // commander acknowledgements: informational
   }
-  if (std::get_if<xmlproto::HealthReportMsg>(&message) != nullptr) {
-    return;  // child registry health: recorded implicitly by liveness
+  if (const auto* health = std::get_if<xmlproto::HealthReportMsg>(&message)) {
+    // Child-domain capacity, used to balance escalated consults.
+    ChildDomain& child = children_[health->registry_host];
+    if (health->registry_port != 0) {
+      child.port = health->registry_port;
+    }
+    child.free_hosts = health->free_hosts;
+    child.busy_hosts = health->busy_hosts;
+    child.overloaded_hosts = health->overloaded_hosts;
+    child.last_report = now;
+    child.routed_consults = 0;  // fresh report supersedes the debits
+    return;
   }
   ARS_LOG_WARN("registry", "unhandled " << xmlproto::message_type(message)
                                         << " from " << from_host);
@@ -207,11 +425,14 @@ sim::Task<> Registry::sweep() {
   while (true) {
     co_await sim::delay(host_->engine(), config_.sweep_period);
     const double now = host_->engine().now();
+    // Retry stranded restarts first: capacity freed since the last sweep
+    // (and this tick's expiries have not been processed yet).
+    drain_stranded();
     for (auto& [name, entry] : hosts_) {
       if (entry.state != SystemState::kUnavailable &&
           now - entry.last_update > config_.lease_ttl) {
         ARS_LOG_WARN("registry", "lease expired for host " << name);
-        entry.state = SystemState::kUnavailable;
+        set_state(entry, SystemState::kUnavailable);
         if (config_.metrics != nullptr) {
           config_.metrics->counter("registry.lease_expirations").inc();
         }
@@ -233,50 +454,162 @@ void Registry::restart_processes_of(const std::string& lost_host) {
   // Failure recovery: every process registered on the silent host is
   // relaunched elsewhere from its latest checkpoint.  The destination's
   // commander performs the relaunch; the lost host's entries are dropped.
+  // Placements within the round debit each other so the processes spread
+  // instead of piling onto the first free host.
   std::vector<ProcessEntry> lost;
   for (const auto& [key, entry] : processes_) {
     if (entry.host == lost_host) {
       lost.push_back(entry);
     }
   }
+  RecoveryRound round;
   for (const ProcessEntry& process : lost) {
     processes_.erase(process_key(process.host, process.pid));
-    Decision decision;
-    auto destination = choose_destination(lost_host, process.schema_name,
-                                          &decision.candidates);
-    decision.at = host_->engine().now();
-    decision.source = lost_host;
-    decision.pid = process.pid;
-    decision.process_name = process.name;
-    decision.restart = true;
-    if (!destination.has_value()) {
+    if (!restart_process(process, round, /*record_stranded=*/true)) {
+      // Parked: the sweeper retries once capacity frees up.
+      const bool already =
+          std::any_of(stranded_.begin(), stranded_.end(),
+                      [&](const ProcessEntry& p) {
+                        return same_process(p, process);
+                      });
+      if (!already) {
+        stranded_.push_back(process);
+      }
+    }
+  }
+}
+
+bool Registry::restart_process(const ProcessEntry& process,
+                               RecoveryRound& round, bool record_stranded) {
+  Decision decision;
+  decision.at = host_->engine().now();
+  decision.source = process.host;
+  decision.pid = process.pid;
+  decision.process_name = process.name;
+  decision.restart = true;
+  std::vector<CandidateAudit>* audit =
+      want_audit() ? &decision.candidates : nullptr;
+  const auto eligible =
+      eligible_destinations(process.host, process.schema_name, audit);
+  const hpcm::ApplicationSchema* schema = nullptr;
+  if (const auto schema_it = schemas_.find(process.schema_name);
+      schema_it != schemas_.end()) {
+    schema = &schema_it->second;
+  }
+  // In-flight debits: restarts commanded earlier in this round occupy
+  // resources the destination's next heartbeat cannot yet reflect.
+  std::vector<const HostEntry*> viable;
+  viable.reserve(eligible.size());
+  for (const HostEntry* entry : eligible) {
+    const auto debit_it = round.by_host.find(entry->info.host);
+    if (debit_it != round.by_host.end() && schema != nullptr) {
+      const auto& req = schema->requirements();
+      const RecoveryRound::Debit& debit = debit_it->second;
+      if (entry->info.memory_bytes < req.min_memory_bytes + debit.memory_bytes ||
+          entry->info.disk_bytes < req.min_disk_bytes + debit.disk_bytes) {
+        if (audit != nullptr) {
+          for (CandidateAudit& candidate : *audit) {
+            if (candidate.host == entry->info.host) {
+              candidate.accepted = false;
+              candidate.reason = "in-flight restarts exhaust resources";
+            }
+          }
+        }
+        continue;
+      }
+    }
+    viable.push_back(entry);
+  }
+  if (viable.empty()) {
+    if (record_stranded) {
       ARS_LOG_ERROR("registry", "no host to restart " << process.name
                                                       << " (lost with "
-                                                      << lost_host << ")");
+                                                      << process.host << ")");
       decisions_.push_back(decision);
       emit_decision_event(config_.tracer, decision.at, host_->name(),
                           decision, "restart-stranded");
-      continue;
+      if (config_.metrics != nullptr) {
+        config_.metrics->counter("registry.restarts_stranded").inc();
+      }
     }
-    decision.destination = *destination;
-    decisions_.push_back(decision);
-    emit_decision_event(config_.tracer, decision.at, host_->name(), decision,
-                        "restart");
-    if (config_.metrics != nullptr) {
-      config_.metrics->counter("registry.restarts_commanded").inc();
-    }
-    const auto dest_it = hosts_.find(*destination);
-    if (dest_it == hosts_.end()) {
-      continue;
-    }
-    xmlproto::RelaunchCmd command;
-    command.process_name = process.name;
-    command.lost_host = lost_host;
-    command.schema_name = process.schema_name;
-    ARS_LOG_WARN("registry", "restarting " << process.name << " on "
-                                           << *destination);
-    send_to(*destination, dest_it->second.commander_port, command);
+    return false;
   }
+  // Spread the round: only destinations with the fewest placements so far
+  // stay in play, then the configured strategy picks among them.
+  int min_placements = std::numeric_limits<int>::max();
+  const auto placements = [&round](const HostEntry* entry) {
+    const auto it = round.by_host.find(entry->info.host);
+    return it == round.by_host.end() ? 0 : it->second.placements;
+  };
+  for (const HostEntry* entry : viable) {
+    min_placements = std::min(min_placements, placements(entry));
+  }
+  std::vector<const HostEntry*> spread;
+  spread.reserve(viable.size());
+  for (const HostEntry* entry : viable) {
+    if (placements(entry) == min_placements) {
+      spread.push_back(entry);
+    }
+  }
+  const HostEntry* chosen = spread.front();
+  switch (config_.strategy) {
+    case DestinationStrategy::kFirstFit:
+      break;
+    case DestinationStrategy::kBestFit:
+      for (const HostEntry* entry : spread) {
+        if (entry->status.load1 < chosen->status.load1 ||
+            (entry->status.load1 == chosen->status.load1 &&
+             entry->status.load5 < chosen->status.load5)) {
+          chosen = entry;
+        }
+      }
+      break;
+    case DestinationStrategy::kRandomFit:
+      chosen = spread[static_cast<std::size_t>(rng_.uniform_int(
+          0, static_cast<std::int64_t>(spread.size()) - 1))];
+      break;
+  }
+  mark_chosen(audit, chosen->info.host, config_.strategy);
+  decision.destination = chosen->info.host;
+  decisions_.push_back(decision);
+  emit_decision_event(config_.tracer, decision.at, host_->name(), decision,
+                      "restart");
+  if (config_.metrics != nullptr) {
+    config_.metrics->counter("registry.restarts_commanded").inc();
+  }
+  RecoveryRound::Debit& debit = round.by_host[chosen->info.host];
+  ++debit.placements;
+  if (schema != nullptr) {
+    debit.memory_bytes += schema->requirements().min_memory_bytes;
+    debit.disk_bytes += schema->requirements().min_disk_bytes;
+  }
+  xmlproto::RelaunchCmd command;
+  command.process_name = process.name;
+  command.lost_host = process.host;
+  command.schema_name = process.schema_name;
+  ARS_LOG_WARN("registry", "restarting " << process.name << " on "
+                                         << chosen->info.host);
+  send_to(chosen->info.host, chosen->commander_port, command);
+  return true;
+}
+
+void Registry::drain_stranded() {
+  if (stranded_.empty()) {
+    return;
+  }
+  RecoveryRound round;
+  std::vector<ProcessEntry> still;
+  still.reserve(stranded_.size());
+  for (const ProcessEntry& process : stranded_) {
+    if (!restart_process(process, round, /*record_stranded=*/false)) {
+      still.push_back(process);
+    }
+  }
+  if (still.size() != stranded_.size() && config_.metrics != nullptr) {
+    config_.metrics->counter("registry.stranded_recovered")
+        .inc(static_cast<double>(stranded_.size() - still.size()));
+  }
+  stranded_.swap(still);
 }
 
 sim::Task<> Registry::report_health() {
@@ -284,22 +617,15 @@ sim::Task<> Registry::report_health() {
     co_await sim::delay(host_->engine(), config_.health_report_period);
     xmlproto::HealthReportMsg report;
     report.registry_host = host_->name();
+    report.registry_port = config_.port;
     report.timestamp = host_->engine().now();
-    for (const auto& [name, entry] : hosts_) {
-      switch (entry.state) {
-        case SystemState::kFree:
-          ++report.free_hosts;
-          break;
-        case SystemState::kBusy:
-          ++report.busy_hosts;
-          break;
-        case SystemState::kOverloaded:
-          ++report.overloaded_hosts;
-          break;
-        case SystemState::kUnavailable:
-          break;
-      }
-    }
+    // O(1) from the index list sizes.
+    report.free_hosts =
+        static_cast<int>(index_[state_slot(SystemState::kFree)].size);
+    report.busy_hosts =
+        static_cast<int>(index_[state_slot(SystemState::kBusy)].size);
+    report.overloaded_hosts =
+        static_cast<int>(index_[state_slot(SystemState::kOverloaded)].size);
     send_to(config_.parent_host, config_.parent_port, report);
   }
 }
@@ -337,6 +663,18 @@ const ProcessEntry* Registry::select_process(const std::string& source_host) {
   return best;
 }
 
+bool Registry::want_audit() const {
+  switch (config_.audit) {
+    case AuditMode::kAlways:
+      return true;
+    case AuditMode::kOff:
+      return false;
+    case AuditMode::kAuto:
+      break;
+  }
+  return obs::active(config_.tracer);
+}
+
 std::vector<const HostEntry*> Registry::eligible_destinations(
     const std::string& source_host, const std::string& schema_name,
     std::vector<CandidateAudit>* audit) const {
@@ -345,6 +683,21 @@ std::vector<const HostEntry*> Registry::eligible_destinations(
   if (schema_it != schemas_.end()) {
     schema = &schema_it->second;
   }
+  // The audited scan is inherently O(hosts): every registered host gets a
+  // verdict.  Without an audit (and unless the reference scan is forced)
+  // only the `free` index list is walked; both produce the identical
+  // eligible sequence because only free hosts pass the state filter and
+  // the free list preserves registration order.
+  if (audit != nullptr || config_.use_legacy_scan) {
+    return legacy_eligible(source_host, schema, schema_name, audit);
+  }
+  return indexed_eligible(source_host, schema);
+}
+
+std::vector<const HostEntry*> Registry::legacy_eligible(
+    const std::string& source_host, const hpcm::ApplicationSchema* schema,
+    const std::string& schema_name,
+    std::vector<CandidateAudit>* audit) const {
   std::vector<const HostEntry*> ordered;
   ordered.reserve(hosts_.size());
   for (const auto& [name, entry] : hosts_) {
@@ -376,6 +729,12 @@ std::vector<const HostEntry*> Registry::eligible_destinations(
                  " (not free)");
       continue;
     }
+    if (entry->commander_port == 0) {
+      // Update-before-Register ghost: no RegisterMsg has supplied ports
+      // yet, so any command would be posted to port 0 and silently lost.
+      reject(entry, "unregistered (no command port)");
+      continue;
+    }
     if (!config_.policy.accepts_destination(entry->status)) {
       reject(entry, "policy destination conditions");
       continue;
@@ -397,6 +756,34 @@ std::vector<const HostEntry*> Registry::eligible_destinations(
   return eligible;
 }
 
+std::vector<const HostEntry*> Registry::indexed_eligible(
+    const std::string& source_host,
+    const hpcm::ApplicationSchema* schema) const {
+  const StateList& free_list = index_[state_slot(SystemState::kFree)];
+  std::vector<const HostEntry*> eligible;
+  eligible.reserve(free_list.size);
+  for (const HostEntry* entry = free_list.head; entry != nullptr;
+       entry = entry->index_next) {
+    if (entry->info.host == source_host || entry->draining ||
+        entry->commander_port == 0) {
+      continue;
+    }
+    if (!config_.policy.accepts_destination(entry->status)) {
+      continue;
+    }
+    if (schema != nullptr) {
+      const auto& req = schema->requirements();
+      if (entry->info.memory_bytes < req.min_memory_bytes ||
+          entry->info.disk_bytes < req.min_disk_bytes ||
+          entry->info.cpu_speed < req.min_cpu_speed) {
+        continue;
+      }
+    }
+    eligible.push_back(entry);
+  }
+  return eligible;
+}
+
 std::optional<std::string> Registry::first_fit_destination(
     const std::string& source_host, const std::string& schema_name) {
   const auto eligible = eligible_destinations(source_host, schema_name);
@@ -411,26 +798,13 @@ std::optional<std::string> Registry::choose_destination(
     std::vector<CandidateAudit>* audit) {
   const auto eligible =
       eligible_destinations(source_host, schema_name, audit);
-  const auto finish = [&](const std::string& chosen) {
-    if (audit != nullptr) {
-      for (CandidateAudit& candidate : *audit) {
-        if (!candidate.accepted) {
-          continue;
-        }
-        candidate.reason = candidate.host == chosen
-                               ? "chosen (" +
-                                     std::string(strategy_name(
-                                         config_.strategy)) +
-                                     ")"
-                               : "eligible (not chosen)";
-        candidate.accepted = candidate.host == chosen;
-      }
-    }
-    return chosen;
-  };
   if (eligible.empty()) {
     return std::nullopt;
   }
+  const auto finish = [&](const std::string& chosen) {
+    mark_chosen(audit, chosen, config_.strategy);
+    return chosen;
+  };
   switch (config_.strategy) {
     case DestinationStrategy::kFirstFit:
       return finish(eligible.front()->info.host);
@@ -492,8 +866,9 @@ sim::Task<> Registry::evacuate(std::string drained_host, std::string reason) {
   }
   for (const ProcessEntry& process : targets) {
     Decision decision;
-    auto destination = choose_destination(drained_host, process.schema_name,
-                                          &decision.candidates);
+    auto destination = choose_destination(
+        drained_host, process.schema_name,
+        want_audit() ? &decision.candidates : nullptr);
     decision.at = host_->engine().now();
     decision.source = drained_host;
     decision.pid = process.pid;
@@ -531,13 +906,56 @@ sim::Task<> Registry::evacuate(std::string drained_host, std::string reason) {
   }
 }
 
-sim::Task<> Registry::decide(std::string overloaded_host, std::string reason) {
+bool Registry::route_to_child(const xmlproto::ConsultMsg& consult) {
+  // A routed consult must carry the child's process selection and a
+  // command return-path; without them the receiving domain could decide
+  // nothing.
+  if (consult.pid == 0 || consult.commander_port == 0) {
+    return false;
+  }
+  ChildDomain* best = nullptr;
+  const std::string* best_name = nullptr;
+  int best_available = 0;
+  for (auto& [name, child] : children_) {
+    if (name == consult.origin_registry || child.port == 0) {
+      continue;
+    }
+    // Conservative capacity estimate: reported free hosts minus consults
+    // already routed there since that report.
+    const int available = child.free_hosts - child.routed_consults;
+    if (available <= 0) {
+      continue;
+    }
+    if (best == nullptr || available > best_available) {
+      best = &child;
+      best_name = &name;
+      best_available = available;
+    }
+  }
+  if (best == nullptr) {
+    return false;
+  }
+  ++best->routed_consults;
+  send_to(*best_name, best->port, consult);
+  if (config_.metrics != nullptr) {
+    config_.metrics->counter("registry.consults_routed").inc();
+  }
+  if (obs::active(config_.tracer)) {
+    config_.tracer->instant("registry.consult_routed", "scheduler",
+                            host_->name(),
+                            {{"child", *best_name},
+                             {"source", consult.host}});
+  }
+  return true;
+}
+
+sim::Task<> Registry::decide(xmlproto::ConsultMsg consult) {
   obs::Tracer* tracer = config_.tracer;
   const std::uint64_t decide_span =
       obs::active(tracer)
           ? tracer->begin_span("scheduler.decide", "scheduler", host_->name(),
-                               {{"source", overloaded_host},
-                                {"reason", reason}})
+                               {{"source", consult.host},
+                                {"reason", consult.reason}})
           : 0;
   if (config_.metrics != nullptr) {
     config_.metrics->counter("scheduler.consults").inc();
@@ -566,13 +984,23 @@ sim::Task<> Registry::decide(std::string overloaded_host, std::string reason) {
 
   Decision decision;
   decision.at = now;
-  decision.source = overloaded_host;
+  decision.source = consult.host;
   decision.decision_latency = config_.decision_delay;
 
-  const ProcessEntry* process = select_process(overloaded_host);
+  const ProcessEntry* process = select_process(consult.host);
+  // An escalated consult carries the child's selection; adopt it when the
+  // process is unknown locally.
+  ProcessEntry carried;
+  if (process == nullptr && consult.pid != 0) {
+    carried.host = consult.host;
+    carried.pid = consult.pid;
+    carried.name = consult.process_name;
+    carried.schema_name = consult.schema_name;
+    process = &carried;
+  }
   if (process == nullptr) {
-    ARS_LOG_INFO("registry", "consult from " << overloaded_host << " ("
-                                             << reason
+    ARS_LOG_INFO("registry", "consult from " << consult.host << " ("
+                                             << consult.reason
                                              << "): no migratable process");
     record(decision, "no-process");
     co_return;
@@ -581,32 +1009,79 @@ sim::Task<> Registry::decide(std::string overloaded_host, std::string reason) {
   decision.process_name = process->name;
 
   auto destination = choose_destination(
-      overloaded_host, process->schema_name, &decision.candidates);
+      consult.host, process->schema_name,
+      want_audit() ? &decision.candidates : nullptr);
   if (!destination.has_value() && !config_.parent_host.empty()) {
-    // Hierarchical escalation: ask the parent registry.
+    // Hierarchical escalation: ask the parent registry, carrying the
+    // process selection and the source commander's return-path so any
+    // domain the parent picks can command the migration.
     decision.escalated = true;
-    xmlproto::ConsultMsg escalate;
-    escalate.host = overloaded_host;
-    escalate.reason = reason + " (escalated by " + host_->name() + ")";
+    xmlproto::ConsultMsg escalate = consult;
+    escalate.reason =
+        consult.reason + " (escalated by " + host_->name() + ")";
+    if (escalate.origin_registry.empty()) {
+      escalate.origin_registry = host_->name();
+    }
+    escalate.pid = process->pid;
+    escalate.process_name = process->name;
+    escalate.schema_name = process->schema_name;
+    if (escalate.commander_port == 0) {
+      const auto source_it = hosts_.find(consult.host);
+      if (source_it != hosts_.end()) {
+        escalate.commander_port = source_it->second.commander_port;
+      }
+    }
     send_to(config_.parent_host, config_.parent_port, escalate);
     record(decision, "escalated");
     co_return;
   }
   if (!destination.has_value()) {
+    // Top of the hierarchy with no local candidate: balance across child
+    // domains using their health-report capacity counts.
+    xmlproto::ConsultMsg routed = consult;
+    routed.pid = process->pid;
+    routed.process_name = process->name;
+    routed.schema_name = process->schema_name;
+    if (routed.origin_registry.empty()) {
+      routed.origin_registry = host_->name();
+    }
+    if (routed.commander_port == 0) {
+      const auto source_it = hosts_.find(consult.host);
+      if (source_it != hosts_.end()) {
+        routed.commander_port = source_it->second.commander_port;
+      }
+    }
+    if (route_to_child(routed)) {
+      decision.escalated = true;
+      record(decision, "routed");
+      co_return;
+    }
     ARS_LOG_INFO("registry", "no destination for " << process->name
                                                    << " off "
-                                                   << overloaded_host);
+                                                   << consult.host);
     record(decision, "no-destination");
     co_return;
   }
   decision.destination = *destination;
-  record(decision, "migrate");
 
-  const auto source_it = hosts_.find(overloaded_host);
+  const auto source_it = hosts_.find(consult.host);
   const auto dest_it = hosts_.find(*destination);
-  if (source_it == hosts_.end() || dest_it == hosts_.end()) {
+  int source_port =
+      source_it != hosts_.end() ? source_it->second.commander_port : 0;
+  if (source_port == 0) {
+    source_port = consult.commander_port;
+  }
+  if (source_port == 0 || dest_it == hosts_.end()) {
+    // Update-before-Register ghost source: no command path is known, and
+    // a port-0 post would be dropped on the floor by the network.
+    if (config_.metrics != nullptr) {
+      config_.metrics->counter("registry.commands_unroutable").inc();
+    }
+    record(decision, "source-unreachable");
     co_return;
   }
+  record(decision, "migrate");
+
   // Note the migration so the selector does not immediately re-choose it.
   const auto process_it =
       processes_.find(process_key(process->host, process->pid));
@@ -622,9 +1097,35 @@ sim::Task<> Registry::decide(std::string overloaded_host, std::string reason) {
   command.dest_port = dest_it->second.commander_port;
   command.schema_name = process->schema_name;
   ARS_LOG_INFO("registry", "decision: migrate " << process->name << " from "
-                                                << overloaded_host << " to "
+                                                << consult.host << " to "
                                                 << *destination);
-  send_to(overloaded_host, source_it->second.commander_port, command);
+  send_to(consult.host, source_port, command);
+}
+
+std::string Registry::decision_log() const {
+  std::string out;
+  out.reserve(decisions_.size() * 64);
+  char stamp[32];
+  for (const Decision& decision : decisions_) {
+    std::snprintf(stamp, sizeof stamp, "%.6f", decision.at);
+    out += stamp;
+    out += ' ';
+    out += decision.source;
+    out += " -> ";
+    out += decision.destination.empty() ? "-" : decision.destination;
+    out += " pid=";
+    out += std::to_string(decision.pid);
+    out += " name=";
+    out += decision.process_name;
+    if (decision.escalated) {
+      out += " escalated";
+    }
+    if (decision.restart) {
+      out += " restart";
+    }
+    out += '\n';
+  }
+  return out;
 }
 
 }  // namespace ars::registry

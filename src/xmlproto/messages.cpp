@@ -194,6 +194,32 @@ struct Encoder {
     root.set_attr("type", "consult");
     put(root, "host", m.host);
     put(root, "reason", m.reason);
+    // Hierarchy-routing fields ride along only when set, so a plain
+    // monitor consult keeps its original compact form.
+    if (!m.origin_registry.empty()) {
+      put(root, "origin_registry", m.origin_registry);
+    }
+    if (m.pid != 0) {
+      put(root, "pid", m.pid);
+    }
+    if (!m.process_name.empty()) {
+      put(root, "process_name", m.process_name);
+    }
+    if (!m.schema_name.empty()) {
+      put(root, "schema_name", m.schema_name);
+    }
+    if (m.commander_port != 0) {
+      put(root, "commander_port", m.commander_port);
+    }
+  }
+  void operator()(const UpdateBatchMsg& m) const {
+    root.set_attr("type", "update_batch");
+    for (const LeaseRenewal& renewal : m.renewals) {
+      XmlNode& n = root.add_child("renewal");
+      put(n, "host", renewal.host);
+      put(n, "state", renewal.state);
+      put(n, "timestamp", renewal.timestamp);
+    }
   }
   void operator()(const MigrateCmd& m) const {
     root.set_attr("type", "migrate");
@@ -227,6 +253,7 @@ struct Encoder {
   void operator()(const HealthReportMsg& m) const {
     root.set_attr("type", "health");
     put(root, "registry_host", m.registry_host);
+    put(root, "registry_port", m.registry_port);
     put(root, "free_hosts", m.free_hosts);
     put(root, "busy_hosts", m.busy_hosts);
     put(root, "overloaded_hosts", m.overloaded_hosts);
@@ -280,7 +307,36 @@ Expected<ProtocolMessage> decode_consult(const XmlNode& root) {
   if (!host.has_value()) return host.error();
   m.host = *host;
   m.reason = root.child_text_or("reason", "");
+  // Optional hierarchy-routing fields (absent in plain monitor consults
+  // and in documents from older senders).
+  m.origin_registry = root.child_text_or("origin_registry", "");
+  const auto pid = parse_int(root.child_text_or("pid", "0"));
+  m.pid = pid.has_value() ? static_cast<int>(*pid) : 0;
+  m.process_name = root.child_text_or("process_name", "");
+  m.schema_name = root.child_text_or("schema_name", "");
+  const auto commander_port =
+      parse_int(root.child_text_or("commander_port", "0"));
+  m.commander_port =
+      commander_port.has_value() ? static_cast<int>(*commander_port) : 0;
   return ProtocolMessage{m};
+}
+
+Expected<ProtocolMessage> decode_update_batch(const XmlNode& root) {
+  UpdateBatchMsg m;
+  for (const XmlNode* n : root.children_named("renewal")) {
+    LeaseRenewal renewal;
+    auto host = need_text(*n, "host");
+    if (!host.has_value()) return host.error();
+    renewal.host = *host;
+    auto state = need_text(*n, "state");
+    if (!state.has_value()) return state.error();
+    renewal.state = *state;
+    auto ts = need_double(*n, "timestamp");
+    if (!ts.has_value()) return ts.error();
+    renewal.timestamp = *ts;
+    m.renewals.push_back(std::move(renewal));
+  }
+  return ProtocolMessage{std::move(m)};
 }
 
 Expected<ProtocolMessage> decode_migrate(const XmlNode& root) {
@@ -347,6 +403,8 @@ Expected<ProtocolMessage> decode_health(const XmlNode& root) {
   auto host = need_text(root, "registry_host");
   if (!host.has_value()) return host.error();
   m.registry_host = *host;
+  const auto port = parse_int(root.child_text_or("registry_port", "0"));
+  m.registry_port = port.has_value() ? static_cast<int>(*port) : 0;
   auto free_hosts = need_int(root, "free_hosts");
   if (!free_hosts.has_value()) return free_hosts.error();
   m.free_hosts = static_cast<int>(*free_hosts);
@@ -405,6 +463,9 @@ std::string message_type(const ProtocolMessage& message) {
   struct Namer {
     std::string operator()(const RegisterMsg&) const { return "register"; }
     std::string operator()(const UpdateMsg&) const { return "update"; }
+    std::string operator()(const UpdateBatchMsg&) const {
+      return "update_batch";
+    }
     std::string operator()(const ConsultMsg&) const { return "consult"; }
     std::string operator()(const MigrateCmd&) const { return "migrate"; }
     std::string operator()(const AckMsg&) const { return "ack"; }
@@ -439,6 +500,7 @@ Expected<ProtocolMessage> decode(std::string_view wire) {
   static const std::map<std::string, DecodeFn> kDecoders = {
       {"register", decode_register},
       {"update", decode_update},
+      {"update_batch", decode_update_batch},
       {"consult", decode_consult},
       {"migrate", decode_migrate},
       {"ack", decode_ack},

@@ -88,5 +88,35 @@ TEST(ChaosScenarioTest, SameSeedAndPlanReplayByteIdentical) {
   EXPECT_NE(first.trace_hash, third.trace_hash);
 }
 
+TEST(ChaosScenarioTest, IndexedSchedulerMatchesLegacyScanByteForByte) {
+  // Same seed and plan, the registry's scan mode the only difference
+  // (audits off on both sides, since the audit itself forces the legacy
+  // scan): the whole run — trace and decision log — must be identical.
+  ScenarioOptions options;
+  options.seed = 5;
+  options.plan = *FaultPlan::builtin("churn");
+  options.audit_decisions = false;
+  const ScenarioReport indexed = run_scenario(options);
+  options.legacy_scan = true;
+  const ScenarioReport legacy = run_scenario(options);
+  EXPECT_TRUE(indexed.ok()) << indexed.invariants.summary();
+  EXPECT_GT(indexed.decisions, 0U);
+  EXPECT_EQ(indexed.trace_hash, legacy.trace_hash);
+  EXPECT_EQ(indexed.decisions, legacy.decisions);
+  EXPECT_EQ(indexed.decision_log_hash, legacy.decision_log_hash);
+  EXPECT_EQ(indexed.events_executed, legacy.events_executed);
+}
+
+TEST(ChaosScenarioTest, DeltaHeartbeatsHoldAllInvariants) {
+  // Compact lease renewals between keyframes must not break liveness: the
+  // registry still sees fresh leases through crashes and recoveries.
+  ScenarioOptions options;
+  options.seed = 3;
+  options.plan = *FaultPlan::builtin("churn");
+  options.delta_heartbeats = true;
+  const ScenarioReport report = run_scenario(options);
+  EXPECT_TRUE(report.ok()) << report.invariants.summary();
+}
+
 }  // namespace
 }  // namespace ars::chaos

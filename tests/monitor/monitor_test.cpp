@@ -194,6 +194,59 @@ TEST_F(MonitorEntityTest, RegistersThenHeartbeats) {
   EXPECT_EQ(monitor.state(), SystemState::kFree);
 }
 
+TEST_F(MonitorEntityTest, DeltaHeartbeatsCoalesceUnchangedState) {
+  Monitor::Config c = config();
+  c.delta_heartbeats = true;
+  c.full_status_every = 6;
+  Monitor monitor{*hosts_[0], net_, c};
+  monitor.start();
+  // Idle host, 10 s cycles: ~10 cycles by t=95 with no state change.
+  engine_.run_until(95.0);
+  EXPECT_GE(monitor.renewals_sent(), 6);
+  // Keyframes only on the first cycle and every 6th after it.
+  EXPECT_LE(monitor.updates_sent(), 3);
+  int full = 0;
+  int renewals = 0;
+  for (const auto& m : drain()) {
+    if (std::holds_alternative<xmlproto::UpdateMsg>(m)) {
+      ++full;
+    } else if (const auto* batch =
+                   std::get_if<xmlproto::UpdateBatchMsg>(&m)) {
+      ASSERT_EQ(batch->renewals.size(), 1U);
+      EXPECT_EQ(batch->renewals[0].host, "ws1");
+      EXPECT_EQ(batch->renewals[0].state, "free");
+      ++renewals;
+    }
+  }
+  EXPECT_EQ(full, monitor.updates_sent());
+  EXPECT_EQ(renewals, monitor.renewals_sent());
+}
+
+TEST_F(MonitorEntityTest, DeltaHeartbeatsKeyframeOnStateChange) {
+  Monitor::Config c = config();
+  c.delta_heartbeats = true;
+  c.full_status_every = 1000;  // keyframes only via state changes here
+  Monitor monitor{*hosts_[0], net_, c};
+  monitor.start();
+  host::CpuHog hog{*hosts_[0], {.threads = 3}};
+  engine_.schedule_at(50.0, [&] { hog.start(); });
+  engine_.run_until(250.0);
+  EXPECT_NE(monitor.state(), SystemState::kFree);
+  // Every renewal's state must match the latest keyframe: a state change
+  // always goes out as a full UpdateMsg, never as a compact renewal.
+  std::string keyframe_state;
+  for (const auto& m : drain()) {
+    if (const auto* update = std::get_if<xmlproto::UpdateMsg>(&m)) {
+      keyframe_state = update->status.state;
+    } else if (const auto* batch =
+                   std::get_if<xmlproto::UpdateBatchMsg>(&m)) {
+      ASSERT_EQ(batch->renewals.size(), 1U);
+      EXPECT_EQ(batch->renewals[0].state, keyframe_state);
+    }
+  }
+  EXPECT_GE(monitor.updates_sent(), 2);  // initial + the transitions
+}
+
 TEST_F(MonitorEntityTest, ConsultsAfterSustainedOverload) {
   Monitor monitor{*hosts_[0], net_, config()};
   monitor.start();

@@ -1,0 +1,525 @@
+// Tests for the registry's per-state index and the stale-state decision
+// bugfix regressions:
+//
+//   * the index tracks every state transition and keeps the free list in
+//     registration order (the first-fit scan order);
+//   * the indexed fast path and the audited legacy full-table scan yield
+//     byte-identical decisions under churn;
+//   * re-admission after a lease expiry must not reuse pre-crash status;
+//   * restarts of one crashed host's processes spread across free hosts;
+//   * Update-before-Register ghosts are never command targets (no message
+//     is ever posted to port 0);
+//   * restarts with no capacity park on a retry list the sweeper drains.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "ars/obs/metrics.hpp"
+#include "ars/registry/registry.hpp"
+#include "ars/support/rng.hpp"
+
+namespace ars::registry {
+namespace {
+
+using rules::SystemState;
+using sim::Engine;
+
+double counter_value(const obs::MetricsRegistry& metrics,
+                     const std::string& name,
+                     const obs::Labels& labels = {}) {
+  const obs::Counter* counter = metrics.find_counter(name, labels);
+  return counter == nullptr ? 0.0 : counter->value();
+}
+
+class ScaleIndexTest : public ::testing::Test {
+ protected:
+  void build(Registry::Config config = {}) {
+    net::Network::Options net_options;
+    net_options.metrics = &metrics_;
+    net_ = std::make_unique<net::Network>(engine_, net_options);
+    for (const char* name : {"hub", "ws1", "ws2", "ws3", "ws4", "ws5"}) {
+      host::HostSpec s;
+      s.name = name;
+      hosts_.push_back(std::make_unique<host::Host>(engine_, s));
+      net_->attach(*hosts_.back());
+    }
+    config.policy = rules::paper_policy2();
+    config.lease_ttl = 25.0;
+    config.metrics = &metrics_;
+    registry_ = std::make_unique<Registry>(*hosts_[0], *net_, config);
+    registry_->start();
+  }
+
+  void post(const std::string& from, const xmlproto::ProtocolMessage& m) {
+    net::Message wire;
+    wire.src_host = from;
+    wire.dst_host = "hub";
+    wire.dst_port = registry_->port();
+    wire.payload = xmlproto::encode(m);
+    net_->post(std::move(wire));
+  }
+
+  static xmlproto::RegisterMsg register_msg(const std::string& name,
+                                            int commander_port = 6000) {
+    xmlproto::RegisterMsg reg;
+    reg.info.host = name;
+    reg.info.memory_bytes = 128ULL << 20;
+    reg.info.disk_bytes = 20ULL << 30;
+    reg.info.cpu_speed = 1.0;
+    reg.monitor_port = 5999;
+    reg.commander_port = commander_port;
+    return reg;
+  }
+
+  xmlproto::UpdateMsg update_msg(const std::string& name, SystemState state,
+                                 double load1 = 0.2) {
+    xmlproto::UpdateMsg update;
+    update.status.host = name;
+    update.status.state = std::string(rules::to_string(state));
+    update.status.load1 = load1;
+    update.status.processes = 60;
+    update.status.timestamp = engine_.now();
+    return update;
+  }
+
+  void register_host(const std::string& name, int commander_port = 6000) {
+    post(name, register_msg(name, commander_port));
+  }
+
+  void update_host(const std::string& name, SystemState state,
+                   double load1 = 0.2) {
+    post(name, update_msg(name, state, load1));
+  }
+
+  void register_process(const std::string& host, int pid,
+                        const std::string& name) {
+    xmlproto::ProcessRegisterMsg msg;
+    msg.host = host;
+    msg.pid = pid;
+    msg.name = name;
+    msg.migration_enabled = true;
+    post(host, msg);
+  }
+
+  void consult(const std::string& from) {
+    xmlproto::ConsultMsg msg;
+    msg.host = from;
+    msg.reason = "test";
+    post(from, msg);
+  }
+
+  /// RelaunchCmd/MigrateCmd/ConsultMsg counts drained from an endpoint.
+  static int drain_count(net::Endpoint& endpoint, const char* type) {
+    int count = 0;
+    while (auto wire = endpoint.inbox.try_recv()) {
+      const auto message = xmlproto::decode(wire->payload);
+      if (message.has_value() && xmlproto::message_type(*message) == type) {
+        ++count;
+      }
+    }
+    return count;
+  }
+
+  Engine engine_;
+  obs::MetricsRegistry metrics_;
+  std::unique_ptr<net::Network> net_;
+  std::vector<std::unique_ptr<host::Host>> hosts_;
+  std::unique_ptr<Registry> registry_;
+};
+
+TEST_F(ScaleIndexTest, IndexTracksEveryStateTransition) {
+  build();
+  register_host("ws1");
+  register_host("ws2");
+  register_host("ws3");
+  engine_.run_until(0.5);
+  // Register-only hosts are admitted optimistically as free.
+  EXPECT_EQ(registry_->indexed_count(SystemState::kFree), 3U);
+  EXPECT_TRUE(registry_->index_consistent());
+
+  update_host("ws2", SystemState::kBusy, 1.5);
+  update_host("ws3", SystemState::kOverloaded, 3.0);
+  engine_.run_until(1.0);
+  EXPECT_EQ(registry_->indexed_hosts(SystemState::kFree),
+            std::vector<std::string>{"ws1"});
+  EXPECT_EQ(registry_->indexed_hosts(SystemState::kBusy),
+            std::vector<std::string>{"ws2"});
+  EXPECT_EQ(registry_->indexed_hosts(SystemState::kOverloaded),
+            std::vector<std::string>{"ws3"});
+  EXPECT_TRUE(registry_->index_consistent());
+
+  update_host("ws2", SystemState::kFree);
+  engine_.run_until(1.5);
+  EXPECT_EQ(registry_->indexed_count(SystemState::kFree), 2U);
+
+  // All leases lapse: everything migrates to the unavailable list.
+  engine_.run_until(60.0);
+  EXPECT_EQ(registry_->indexed_count(SystemState::kFree), 0U);
+  EXPECT_EQ(registry_->indexed_count(SystemState::kUnavailable), 3U);
+  EXPECT_TRUE(registry_->index_consistent());
+}
+
+TEST_F(ScaleIndexTest, FreeListFollowsRegistrationOrderNotName) {
+  build();
+  // ws3 registers before ws1: the free list (= first-fit order) must not
+  // fall back to the host table's name order.
+  register_host("ws3");
+  engine_.run_until(0.2);
+  register_host("ws1");
+  update_host("ws3", SystemState::kFree);
+  update_host("ws1", SystemState::kFree);
+  engine_.run_until(0.5);
+  EXPECT_EQ(registry_->indexed_hosts(SystemState::kFree),
+            (std::vector<std::string>{"ws3", "ws1"}));
+  EXPECT_EQ(registry_->first_fit_destination("src", ""), "ws3");
+}
+
+TEST_F(ScaleIndexTest, IndexedAndLegacyEligiblesAgreeUnderChurn) {
+  build();
+  const int kHosts = 40;
+  std::vector<std::string> names;
+  for (int i = 0; i < kHosts; ++i) {
+    names.push_back("n" + std::to_string(100 + i));
+    registry_->deliver(register_msg(names.back()), names.back());
+    registry_->deliver(update_msg(names.back(), SystemState::kFree),
+                       names.back());
+  }
+  support::Rng rng{7};
+  const SystemState states[] = {SystemState::kFree, SystemState::kBusy,
+                                SystemState::kOverloaded};
+  for (int round = 0; round < 50; ++round) {
+    for (int flip = 0; flip < 6; ++flip) {
+      const auto& name =
+          names[static_cast<std::size_t>(rng.uniform_int(0, kHosts - 1))];
+      const SystemState state = states[rng.uniform_int(0, 2)];
+      registry_->deliver(update_msg(name, state), name);
+    }
+    ASSERT_TRUE(registry_->index_consistent());
+    const auto& source =
+        names[static_cast<std::size_t>(rng.uniform_int(0, kHosts - 1))];
+    // Same registry, both paths: audited legacy scan vs indexed walk.
+    std::vector<CandidateAudit> audit;
+    const auto legacy = registry_->eligible_destinations(source, "", &audit);
+    const auto indexed = registry_->eligible_destinations(source, "");
+    ASSERT_EQ(legacy.size(), indexed.size()) << "round " << round;
+    for (std::size_t i = 0; i < legacy.size(); ++i) {
+      EXPECT_EQ(legacy[i]->info.host, indexed[i]->info.host)
+          << "round " << round << " position " << i;
+    }
+  }
+}
+
+TEST_F(ScaleIndexTest, IndexedAndLegacyDecisionLogsAreByteIdentical) {
+  build();  // indexed: no tracer, audit auto -> fast path
+  Registry::Config legacy_config;
+  legacy_config.policy = rules::paper_policy2();
+  legacy_config.lease_ttl = 25.0;
+  legacy_config.use_legacy_scan = true;
+  Registry legacy{*hosts_[0], *net_, legacy_config};
+  legacy.start();
+
+  const auto both = [&](const xmlproto::ProtocolMessage& m,
+                        const std::string& from) {
+    registry_->deliver(m, from);
+    legacy.deliver(m, from);
+  };
+
+  const int kHosts = 24;
+  std::vector<std::string> names;
+  for (int i = 0; i < kHosts; ++i) {
+    names.push_back("n" + std::to_string(100 + i));
+    both(register_msg(names.back()), names.back());
+    both(update_msg(names.back(), SystemState::kFree), names.back());
+    xmlproto::ProcessRegisterMsg proc;
+    proc.host = names.back();
+    proc.pid = 500 + i;
+    proc.name = "app" + std::to_string(i);
+    proc.migration_enabled = true;
+    both(proc, names.back());
+  }
+  support::Rng rng{11};
+  const SystemState states[] = {SystemState::kFree, SystemState::kBusy,
+                                SystemState::kOverloaded};
+  double t = 0.0;
+  for (int round = 0; round < 30; ++round) {
+    for (int flip = 0; flip < 4; ++flip) {
+      const auto& name =
+          names[static_cast<std::size_t>(rng.uniform_int(0, kHosts - 1))];
+      both(update_msg(name, states[rng.uniform_int(0, 2)]), name);
+    }
+    xmlproto::ConsultMsg msg;
+    msg.host = names[static_cast<std::size_t>(rng.uniform_int(0, kHosts - 1))];
+    msg.reason = "churn";
+    both(msg, msg.host);
+    t += 1.0;
+    engine_.run_until(t);
+  }
+  EXPECT_FALSE(registry_->decisions().empty());
+  EXPECT_EQ(registry_->decision_log(), legacy.decision_log());
+}
+
+// Bugfix regression: a host whose lease expired (crash) and that then
+// re-registers (reboot) used to flip straight back to `free` with its
+// pre-crash status — and could win the very next consult on stale data.
+TEST_F(ScaleIndexTest, ReAdmissionAfterExpiryWaitsForFreshStatus) {
+  build();
+  register_host("ws1");
+  update_host("ws1", SystemState::kOverloaded, 3.0);
+  register_process("ws1", 100, "app");
+  register_host("ws2");
+  update_host("ws2", SystemState::kFree);
+  engine_.run_until(1.0);
+  EXPECT_EQ(registry_->host_state("ws2"), SystemState::kFree);
+
+  // ws2 crashes: its lease lapses.  ws1 keeps heart-beating.
+  engine_.run_until(20.0);
+  update_host("ws1", SystemState::kOverloaded, 3.0);
+  engine_.run_until(40.0);
+  EXPECT_EQ(registry_->host_state("ws2"), SystemState::kUnavailable);
+
+  // Reboot: the monitor re-announces static info before its first status
+  // cycle.  The stale pre-crash "free" status must not make ws2 eligible.
+  register_host("ws2");
+  engine_.run_until(41.0);
+  EXPECT_EQ(registry_->host_state("ws2"), SystemState::kUnavailable);
+  EXPECT_FALSE(registry_->first_fit_destination("ws1", "").has_value());
+
+  // Consult in the reboot window: no destination, not a stale migrate.
+  consult("ws1");
+  engine_.run_until(42.0);
+  ASSERT_EQ(registry_->decisions().size(), 1U);
+  EXPECT_TRUE(registry_->decisions()[0].destination.empty());
+
+  // The first fresh heartbeat restores eligibility.
+  update_host("ws2", SystemState::kFree);
+  engine_.run_until(43.0);
+  EXPECT_EQ(registry_->host_state("ws2"), SystemState::kFree);
+  EXPECT_EQ(registry_->first_fit_destination("ws1", ""), "ws2");
+}
+
+// A brand-new host (no status ever seen) is still admitted optimistically
+// on registration alone — only RE-admission is held back.
+TEST_F(ScaleIndexTest, FreshRegistrationIsStillAdmittedOptimistically) {
+  build();
+  register_host("ws1");
+  engine_.run_until(0.5);
+  EXPECT_EQ(registry_->host_state("ws1"), SystemState::kFree);
+  EXPECT_EQ(registry_->first_fit_destination("src", ""), "ws1");
+}
+
+// Bugfix regression: all processes of a crashed host used to be relaunched
+// onto the same first-fit destination because the in-flight placements were
+// invisible until the destination's next heartbeat.
+TEST_F(ScaleIndexTest, RestartsSpreadAcrossFreeHosts) {
+  Registry::Config config;
+  config.auto_restart = true;
+  build(config);
+  net::Endpoint& ws2_commander = net_->bind("ws2", 6000);
+  net::Endpoint& ws3_commander = net_->bind("ws3", 6000);
+  register_host("ws1");
+  update_host("ws1", SystemState::kBusy, 1.5);
+  for (int pid = 1; pid <= 4; ++pid) {
+    register_process("ws1", pid, "rank" + std::to_string(pid));
+  }
+  register_host("ws2");
+  update_host("ws2", SystemState::kFree);
+  register_host("ws3");
+  update_host("ws3", SystemState::kFree);
+  engine_.run_until(20.0);
+  // Keep the destinations' leases fresh while ws1 goes silent.
+  update_host("ws2", SystemState::kFree);
+  update_host("ws3", SystemState::kFree);
+  engine_.run_until(40.0);
+
+  EXPECT_EQ(registry_->host_state("ws1"), SystemState::kUnavailable);
+  EXPECT_EQ(drain_count(ws2_commander, "relaunch"), 2);
+  EXPECT_EQ(drain_count(ws3_commander, "relaunch"), 2);
+  EXPECT_TRUE(registry_->stranded().empty());
+}
+
+// Bugfix regression: an UpdateMsg arriving before any RegisterMsg creates a
+// ghost entry with port 0; such a host used to win consults, and the
+// migrate command was then posted to port 0 and silently dropped.
+TEST_F(ScaleIndexTest, GhostHostIsNeverADestination) {
+  build();
+  register_host("ws1");
+  update_host("ws1", SystemState::kOverloaded, 3.0);
+  register_process("ws1", 100, "app");
+  // ws2's Update overtakes its Register: a free ghost with no ports.
+  update_host("ws2", SystemState::kFree);
+  engine_.run_until(1.0);
+  EXPECT_EQ(registry_->host_state("ws2"), SystemState::kFree);
+  EXPECT_FALSE(registry_->first_fit_destination("ws1", "").has_value());
+
+  consult("ws1");
+  engine_.run_until(2.0);
+  ASSERT_EQ(registry_->decisions().size(), 1U);
+  EXPECT_TRUE(registry_->decisions()[0].destination.empty());
+  EXPECT_EQ(counter_value(metrics_, "ars_net_dropped_total",
+                          {{"reason", "unbound_port"}}),
+            0.0);
+
+  // The late RegisterMsg supplies the ports; ws2 becomes a real candidate.
+  register_host("ws2");
+  engine_.run_until(3.0);
+  EXPECT_EQ(registry_->first_fit_destination("ws1", ""), "ws2");
+}
+
+// Ghost on the SOURCE side: the consulting host itself has no known
+// commander port, so the migrate command cannot be routed anywhere.
+TEST_F(ScaleIndexTest, GhostSourceConsultDoesNotPostToPortZero) {
+  build();
+  update_host("ws1", SystemState::kOverloaded, 3.0);  // ghost source
+  register_process("ws1", 100, "app");
+  register_host("ws2");
+  update_host("ws2", SystemState::kFree);
+  engine_.run_until(1.0);
+
+  consult("ws1");
+  engine_.run_until(2.0);
+  ASSERT_EQ(registry_->decisions().size(), 1U);
+  EXPECT_EQ(registry_->decisions()[0].destination, "ws2");
+  EXPECT_EQ(counter_value(metrics_, "registry.commands_unroutable"), 1.0);
+  EXPECT_EQ(counter_value(metrics_, "ars_net_dropped_total",
+                          {{"reason", "unbound_port"}}),
+            0.0);
+}
+
+// Bugfix regression: a lost process with no eligible destination used to be
+// dropped on the floor with only a log line.  It must park on the retry
+// list and restart as soon as capacity returns.
+TEST_F(ScaleIndexTest, StrandedRestartsRetryWhenCapacityReturns) {
+  Registry::Config config;
+  config.auto_restart = true;
+  build(config);
+  register_host("ws1");
+  update_host("ws1", SystemState::kBusy, 1.5);
+  register_process("ws1", 100, "app");
+  engine_.run_until(1.0);
+
+  // ws1 dies with no other host in the system: the restart is stranded.
+  engine_.run_until(40.0);
+  EXPECT_EQ(registry_->host_state("ws1"), SystemState::kUnavailable);
+  ASSERT_EQ(registry_->stranded().size(), 1U);
+  EXPECT_EQ(registry_->stranded()[0].name, "app");
+  EXPECT_EQ(counter_value(metrics_, "registry.restarts_stranded"), 1.0);
+  // The failure is logged as a decision exactly once, not once per sweep.
+  ASSERT_EQ(registry_->decisions().size(), 1U);
+  EXPECT_TRUE(registry_->decisions()[0].destination.empty());
+  EXPECT_TRUE(registry_->decisions()[0].restart);
+
+  // Capacity returns: the next sweep drains the retry list.
+  net::Endpoint& ws2_commander = net_->bind("ws2", 6000);
+  register_host("ws2");
+  update_host("ws2", SystemState::kFree);
+  engine_.run_until(50.0);
+  EXPECT_TRUE(registry_->stranded().empty());
+  EXPECT_EQ(drain_count(ws2_commander, "relaunch"), 1);
+  EXPECT_EQ(counter_value(metrics_, "registry.stranded_recovered"), 1.0);
+  ASSERT_EQ(registry_->decisions().size(), 2U);
+  EXPECT_EQ(registry_->decisions()[1].destination, "ws2");
+}
+
+// Compact lease renewals refresh leases but can never (re)admit a host.
+TEST_F(ScaleIndexTest, LeaseRenewalsRefreshButNeverAdmit) {
+  build();
+  register_host("ws1");
+  update_host("ws1", SystemState::kFree);
+  engine_.run_until(1.0);
+
+  const auto renew = [&](const std::string& name) {
+    xmlproto::UpdateBatchMsg batch;
+    xmlproto::LeaseRenewal renewal;
+    renewal.host = name;
+    renewal.state = "free";
+    renewal.timestamp = engine_.now();
+    batch.renewals.push_back(renewal);
+    registry_->deliver(batch, name);
+  };
+
+  // Renewals alone keep ws1 alive well past the lease TTL.
+  for (double t = 10.0; t <= 60.0; t += 10.0) {
+    renew("ws1");
+    engine_.run_until(t);
+  }
+  EXPECT_EQ(registry_->host_state("ws1"), SystemState::kFree);
+  EXPECT_GE(counter_value(metrics_, "registry.renewals_applied"), 5.0);
+
+  // A renewal for an unknown host is rejected, not a ghost admission.
+  renew("ws9");
+  engine_.run_until(61.0);
+  EXPECT_FALSE(registry_->host_state("ws9").has_value());
+  EXPECT_GE(counter_value(metrics_, "registry.renewals_rejected"), 1.0);
+
+  // After an expiry, renewals are rejected until a full UpdateMsg.
+  engine_.run_until(100.0);
+  EXPECT_EQ(registry_->host_state("ws1"), SystemState::kUnavailable);
+  renew("ws1");
+  engine_.run_until(101.0);
+  EXPECT_EQ(registry_->host_state("ws1"), SystemState::kUnavailable);
+  update_host("ws1", SystemState::kFree);
+  engine_.run_until(102.0);
+  EXPECT_EQ(registry_->host_state("ws1"), SystemState::kFree);
+}
+
+// Escalated consults are balanced across child domains by their reported
+// free capacity minus the consults already routed there.
+TEST_F(ScaleIndexTest, EscalationsSpreadAcrossChildDomains) {
+  build();
+  net::Endpoint& child1 = net_->bind("ws1", 7000);
+  net::Endpoint& child2 = net_->bind("ws2", 7100);
+  const auto report = [&](const std::string& name, int port, int free) {
+    xmlproto::HealthReportMsg health;
+    health.registry_host = name;
+    health.registry_port = port;
+    health.free_hosts = free;
+    health.timestamp = engine_.now();
+    post(name, health);
+  };
+  report("ws1", 7000, 2);
+  report("ws2", 7100, 2);
+  engine_.run_until(0.5);
+  ASSERT_EQ(registry_->children().size(), 2U);
+
+  // Four escalated consults from an unknown domain: 2 free + 2 free means
+  // a 2/2 split, not four piled onto whichever child reported first.
+  for (int i = 0; i < 4; ++i) {
+    xmlproto::ConsultMsg msg;
+    msg.host = "remote" + std::to_string(i);
+    msg.reason = "escalated";
+    msg.origin_registry = "elsewhere";
+    msg.pid = 900 + i;
+    msg.process_name = "job" + std::to_string(i);
+    msg.commander_port = 6000;
+    registry_->deliver(msg, msg.host);
+  }
+  engine_.run_until(2.0);
+  EXPECT_EQ(drain_count(child1, "consult"), 2);
+  EXPECT_EQ(drain_count(child2, "consult"), 2);
+  EXPECT_EQ(counter_value(metrics_, "registry.consults_routed"), 4.0);
+
+  // Capacity exhausted: the fifth consult is a plain no-destination.
+  xmlproto::ConsultMsg extra;
+  extra.host = "remote9";
+  extra.reason = "escalated";
+  extra.origin_registry = "elsewhere";
+  extra.pid = 999;
+  extra.commander_port = 6000;
+  registry_->deliver(extra, extra.host);
+  engine_.run_until(3.0);
+  EXPECT_EQ(counter_value(metrics_, "registry.consults_routed"), 4.0);
+  EXPECT_EQ(drain_count(child1, "consult"), 0);
+  EXPECT_EQ(drain_count(child2, "consult"), 0);
+
+  // A fresh health report resets the in-flight debit.
+  report("ws1", 7000, 1);
+  engine_.run_until(3.5);
+  registry_->deliver(extra, extra.host);
+  engine_.run_until(4.0);
+  EXPECT_EQ(drain_count(child1, "consult"), 1);
+}
+
+}  // namespace
+}  // namespace ars::registry

@@ -69,6 +69,62 @@ TEST(Messages, ConsultRoundTrip) {
   EXPECT_EQ(back.reason, "load1>2");
 }
 
+TEST(Messages, EscalatedConsultRoundTrip) {
+  // The optional routing fields an escalated consult carries: process
+  // selection and the command return-path.
+  ConsultMsg m;
+  m.host = "ws1";
+  m.reason = "overloaded (escalated by ws2)";
+  m.origin_registry = "ws2";
+  m.pid = 1042;
+  m.process_name = "test_tree";
+  m.schema_name = "tree20";
+  m.commander_port = 5002;
+  const ConsultMsg back = round_trip(m);
+  EXPECT_EQ(back.origin_registry, "ws2");
+  EXPECT_EQ(back.pid, 1042);
+  EXPECT_EQ(back.process_name, "test_tree");
+  EXPECT_EQ(back.schema_name, "tree20");
+  EXPECT_EQ(back.commander_port, 5002);
+}
+
+TEST(Messages, PlainConsultOmitsRoutingFields) {
+  // A monitor's plain consult must keep its original wire shape: the
+  // routing fields are encoded only when set.
+  ConsultMsg m;
+  m.host = "ws1";
+  m.reason = "load1>2";
+  const std::string wire = encode(ProtocolMessage{m});
+  EXPECT_EQ(wire.find("origin_registry"), std::string::npos);
+  EXPECT_EQ(wire.find("commander_port"), std::string::npos);
+  EXPECT_EQ(wire.find("pid"), std::string::npos);
+  const ConsultMsg back = round_trip(m);
+  EXPECT_EQ(back.pid, 0);
+  EXPECT_EQ(back.commander_port, 0);
+  EXPECT_TRUE(back.origin_registry.empty());
+}
+
+TEST(Messages, UpdateBatchRoundTrip) {
+  UpdateBatchMsg m;
+  for (int i = 1; i <= 3; ++i) {
+    LeaseRenewal renewal;
+    renewal.host = "ws" + std::to_string(i);
+    renewal.state = i == 2 ? "busy" : "free";
+    renewal.timestamp = 100.0 + i;
+    m.renewals.push_back(renewal);
+  }
+  const UpdateBatchMsg back = round_trip(m);
+  ASSERT_EQ(back.renewals.size(), 3U);
+  EXPECT_EQ(back.renewals[0].host, "ws1");
+  EXPECT_EQ(back.renewals[1].state, "busy");
+  EXPECT_DOUBLE_EQ(back.renewals[2].timestamp, 103.0);
+}
+
+TEST(Messages, EmptyUpdateBatchRoundTrip) {
+  const UpdateBatchMsg back = round_trip(UpdateBatchMsg{});
+  EXPECT_TRUE(back.renewals.empty());
+}
+
 TEST(Messages, MigrateRoundTrip) {
   MigrateCmd m;
   m.pid = 1042;
@@ -122,11 +178,13 @@ TEST(Messages, ProcessDeregisterRoundTrip) {
 TEST(Messages, HealthRoundTrip) {
   HealthReportMsg m;
   m.registry_host = "cluster-a";
+  m.registry_port = 5050;
   m.free_hosts = 3;
   m.busy_hosts = 2;
   m.overloaded_hosts = 1;
   m.timestamp = 99.5;
   const HealthReportMsg back = round_trip(m);
+  EXPECT_EQ(back.registry_port, 5050);
   EXPECT_EQ(back.free_hosts, 3);
   EXPECT_EQ(back.overloaded_hosts, 1);
 }

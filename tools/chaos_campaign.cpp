@@ -10,10 +10,17 @@
 // Usage:
 //   chaos_campaign [--seeds=N] [--seed-base=N] [--plan=<builtin|file.json>]...
 //                  [--hosts=N] [--apps=N] [--horizon=T] [--replay-passing=N]
-//                  [--sabotage-lease-expiry] [--out=report.json] [--list-plans]
+//                  [--sabotage-lease-expiry] [--verify-scan-equivalence]
+//                  [--delta-heartbeats] [--out=report.json] [--list-plans]
 //
 // --plan may be given multiple times; the default sweep covers every builtin
 // plan plus a fault-free baseline.
+//
+// --verify-scan-equivalence runs every seed a second time with the registry
+// forced onto its pre-index full-table scan (audits off in both runs, so the
+// scan mode is the only difference) and requires the trace hash AND the
+// canonical decision log to match byte-for-byte — the indexed scheduler must
+// be observationally identical to the reference scan, under faults.
 
 #include <cstdint>
 #include <cstdlib>
@@ -44,6 +51,8 @@ struct CampaignOptions {
   double horizon = 700.0;
   int replay_passing = 3;  // additionally replay this many passing seeds
   bool sabotage_lease_expiry = false;
+  bool verify_scan_equivalence = false;
+  bool delta_heartbeats = false;
   std::string out_path;
 };
 
@@ -55,8 +64,12 @@ struct SeedResult {
   std::uint64_t events_executed = 0;
   std::size_t migrations_succeeded = 0;
   std::uint64_t messages_dropped = 0;
+  std::size_t decisions = 0;
+  std::uint64_t decision_log_hash = 0;
   bool replayed = false;
   bool replay_identical = true;
+  bool scan_checked = false;
+  bool scan_equivalent = true;
 };
 
 struct PlanResult {
@@ -64,6 +77,7 @@ struct PlanResult {
   std::vector<SeedResult> seeds;
   int failures = 0;
   int replay_mismatches = 0;
+  int scan_mismatches = 0;
 };
 
 std::optional<std::string> arg_value(const std::string& arg,
@@ -80,7 +94,8 @@ std::optional<std::string> arg_value(const std::string& arg,
             << "usage: chaos_campaign [--seeds=N] [--seed-base=N]\n"
             << "         [--plan=<builtin|file.json>]... [--hosts=N]\n"
             << "         [--apps=N] [--horizon=T] [--replay-passing=N]\n"
-            << "         [--sabotage-lease-expiry] [--out=report.json]\n"
+            << "         [--sabotage-lease-expiry] [--verify-scan-equivalence]\n"
+            << "         [--delta-heartbeats] [--out=report.json]\n"
             << "         [--list-plans]\n";
   std::exit(2);
 }
@@ -110,7 +125,7 @@ FaultPlan load_plan(const std::string& spec) {
 }
 
 ScenarioReport run_once(const CampaignOptions& options, const FaultPlan& plan,
-                        std::uint64_t seed) {
+                        std::uint64_t seed, bool legacy_scan = false) {
   ScenarioOptions scenario;
   scenario.hosts = options.hosts;
   scenario.apps = options.apps;
@@ -118,6 +133,11 @@ ScenarioReport run_once(const CampaignOptions& options, const FaultPlan& plan,
   scenario.seed = seed;
   scenario.plan = plan;
   scenario.sabotage_lease_expiry = options.sabotage_lease_expiry;
+  scenario.delta_heartbeats = options.delta_heartbeats;
+  scenario.legacy_scan = legacy_scan;
+  // Equivalence runs compare the two scan modes, so the audit (which itself
+  // forces the legacy scan) must be off for both sides.
+  scenario.audit_decisions = !options.verify_scan_equivalence;
   return ars::chaos::run_scenario(scenario);
 }
 
@@ -135,6 +155,8 @@ PlanResult sweep_plan(const CampaignOptions& options, const FaultPlan& plan) {
     seed_result.events_executed = report.events_executed;
     seed_result.migrations_succeeded = report.migrations_succeeded;
     seed_result.messages_dropped = report.messages_dropped;
+    seed_result.decisions = report.decisions;
+    seed_result.decision_log_hash = report.decision_log_hash;
     if (!report.ok()) {
       ++result.failures;
       seed_result.violations = report.invariants.summary();
@@ -163,6 +185,24 @@ PlanResult sweep_plan(const CampaignOptions& options, const FaultPlan& plan) {
                   << report.trace_hash << " vs " << again.trace_hash << "\n";
       }
     }
+    if (options.verify_scan_equivalence) {
+      // Same seed, registry forced onto the reference full-table scan: the
+      // run must be indistinguishable — trace and decision log included.
+      const ScenarioReport legacy = run_once(options, plan, seed, true);
+      seed_result.scan_checked = true;
+      seed_result.scan_equivalent =
+          legacy.trace_hash == report.trace_hash &&
+          legacy.decisions == report.decisions &&
+          legacy.decision_log_hash == report.decision_log_hash;
+      if (!seed_result.scan_equivalent) {
+        ++result.scan_mismatches;
+        std::cout << "  seed " << seed << " SCAN MISMATCH: indexed decisions "
+                  << report.decisions << " (log " << report.decision_log_hash
+                  << ", trace " << report.trace_hash << ") vs legacy "
+                  << legacy.decisions << " (log " << legacy.decision_log_hash
+                  << ", trace " << legacy.trace_hash << ")\n";
+      }
+    }
     result.seeds.push_back(std::move(seed_result));
   }
   return result;
@@ -175,6 +215,8 @@ ars::obs::JsonValue to_json(const PlanResult& result) {
       ars::obs::JsonValue{static_cast<double>(result.failures)};
   plan_object["replay_mismatches"] =
       ars::obs::JsonValue{static_cast<double>(result.replay_mismatches)};
+  plan_object["scan_mismatches"] =
+      ars::obs::JsonValue{static_cast<double>(result.scan_mismatches)};
   ars::obs::JsonArray seeds;
   for (const SeedResult& seed : result.seeds) {
     ars::obs::JsonObject seed_object;
@@ -192,9 +234,17 @@ ars::obs::JsonValue to_json(const PlanResult& result) {
         static_cast<double>(seed.migrations_succeeded)};
     seed_object["messages_dropped"] =
         ars::obs::JsonValue{static_cast<double>(seed.messages_dropped)};
+    seed_object["decisions"] =
+        ars::obs::JsonValue{static_cast<double>(seed.decisions)};
+    seed_object["decision_log_hash"] =
+        ars::obs::JsonValue{std::to_string(seed.decision_log_hash)};
     if (seed.replayed) {
       seed_object["replay_identical"] =
           ars::obs::JsonValue{seed.replay_identical};
+    }
+    if (seed.scan_checked) {
+      seed_object["scan_equivalent"] =
+          ars::obs::JsonValue{seed.scan_equivalent};
     }
     seeds.push_back(ars::obs::JsonValue{std::move(seed_object)});
   }
@@ -224,6 +274,10 @@ int main(int argc, char** argv) {
     }
     if (arg == "--sabotage-lease-expiry") {
       options.sabotage_lease_expiry = true;
+    } else if (arg == "--verify-scan-equivalence") {
+      options.verify_scan_equivalence = true;
+    } else if (arg == "--delta-heartbeats") {
+      options.delta_heartbeats = true;
     } else if (auto value = arg_value(arg, "--seeds")) {
       options.seeds = std::stoi(*value);
     } else if (auto value2 = arg_value(arg, "--seed-base")) {
@@ -255,6 +309,7 @@ int main(int argc, char** argv) {
   std::vector<PlanResult> results;
   int total_failures = 0;
   int total_mismatches = 0;
+  int total_scan_mismatches = 0;
   for (const std::string& spec : options.plans) {
     const FaultPlan plan = load_plan(spec);
     std::cout << "plan \"" << plan.name() << "\": " << options.seeds
@@ -262,9 +317,14 @@ int main(int argc, char** argv) {
     PlanResult result = sweep_plan(options, plan);
     std::cout << "  " << (options.seeds - result.failures) << "/"
               << options.seeds << " clean, " << result.replay_mismatches
-              << " replay mismatches\n";
+              << " replay mismatches";
+    if (options.verify_scan_equivalence) {
+      std::cout << ", " << result.scan_mismatches << " scan mismatches";
+    }
+    std::cout << "\n";
     total_failures += result.failures;
     total_mismatches += result.replay_mismatches;
+    total_scan_mismatches += result.scan_mismatches;
     results.push_back(std::move(result));
   }
 
@@ -279,6 +339,8 @@ int main(int argc, char** argv) {
     report["failures"] = ars::obs::JsonValue{static_cast<double>(total_failures)};
     report["replay_mismatches"] =
         ars::obs::JsonValue{static_cast<double>(total_mismatches)};
+    report["scan_mismatches"] =
+        ars::obs::JsonValue{static_cast<double>(total_scan_mismatches)};
     ars::obs::JsonArray plans;
     for (const PlanResult& result : results) {
       plans.push_back(to_json(result));
@@ -292,9 +354,10 @@ int main(int argc, char** argv) {
     out << ars::obs::JsonValue{std::move(report)}.dump() << "\n";
   }
 
-  if (total_failures > 0 || total_mismatches > 0) {
+  if (total_failures > 0 || total_mismatches > 0 || total_scan_mismatches > 0) {
     std::cout << "CAMPAIGN FAIL: " << total_failures << " violations, "
-              << total_mismatches << " replay mismatches\n";
+              << total_mismatches << " replay mismatches, "
+              << total_scan_mismatches << " scan mismatches\n";
     return 1;
   }
   std::cout << "CAMPAIGN OK\n";
