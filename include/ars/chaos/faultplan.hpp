@@ -31,6 +31,15 @@ enum class FaultKind {
   kCpuSlowdown,       // host CPU speed multiplied by `factor`
   kMonitorStall,      // the host's monitor stops heartbeating
   kRegistryCrash,     // registry process dies; cold restart at `until`
+  // Migration-window faults: triggered by a live migration transaction
+  // entering the named `phase` (init/eager/ack/restore) inside [at, until),
+  // not at a wall-clock instant.
+  kMigrationDestCrash,  // crash the destination host when a migration
+                        // targeting it reaches `phase`; reboot after `delay`
+                        // seconds if delay > 0
+  kMigrationLinkCut,    // sever the source<->destination link when a
+                        // migration reaches `phase`; heal after `delay`
+                        // seconds (or at `until` when delay == 0)
 };
 
 [[nodiscard]] std::string_view to_string(FaultKind kind) noexcept;
@@ -49,6 +58,9 @@ struct FaultSpec {
   double probability = 1.0;  // per-message, for the message faults
   double factor = 1.0;       // bandwidth or CPU multiplier
   double delay = 0.0;        // extra seconds, for kMessageDelay
+  /// Migration-window faults only: the transaction phase ("init", "eager",
+  /// "ack", "restore") that triggers the fault.  Empty matches every phase.
+  std::string phase;
 
   [[nodiscard]] bool permanent() const noexcept { return until < 0.0; }
 };
@@ -76,6 +88,20 @@ class FaultPlan {
                           std::string host);
   FaultPlan& monitor_stall(double at, double until, std::string host);
   FaultPlan& registry_crash(double at, double restart_at);
+  /// Crash the destination host of any migration that reaches `phase`
+  /// inside [at, until) with `probability`; the host reboots `reboot_after`
+  /// seconds later (0 = stays down).  `dest` = "*" matches any destination.
+  FaultPlan& migration_dest_crash(double at, double until, std::string phase,
+                                  double probability = 1.0,
+                                  double reboot_after = 0.0,
+                                  std::string dest = "*");
+  /// Sever the source<->destination link of any migration reaching `phase`
+  /// inside [at, until) with `probability`; the cut heals after
+  /// `heal_after` seconds.
+  FaultPlan& migration_link_cut(double at, double until, std::string phase,
+                                double probability = 1.0,
+                                double heal_after = 5.0,
+                                std::string dest = "*");
 
   [[nodiscard]] const std::string& name() const noexcept { return name_; }
   [[nodiscard]] const std::vector<FaultSpec>& specs() const noexcept {

@@ -14,6 +14,7 @@
 
 #include <cstdint>
 #include <map>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -37,6 +38,8 @@ class FaultInjector final : public net::FaultPolicy {
     int registry_crashes = 0;
     int partitions = 0;
     int link_degrades = 0;
+    int migration_dest_crashes = 0;  // destinations killed mid-transaction
+    int migration_link_cuts = 0;     // src<->dst links severed mid-transfer
   };
 
   FaultInjector(core::ReschedulerRuntime& runtime, FaultPlan plan,
@@ -74,6 +77,22 @@ class FaultInjector final : public net::FaultPolicy {
   void activate(std::size_t index);
   void deactivate(std::size_t index);
   void trace_fault(const FaultSpec& spec, const char* phase);
+  /// Migration-window faults: called (via the middleware's phase listener)
+  /// whenever a live transaction enters a phase; schedules the matching
+  /// reactions as zero-delay engine events (listeners must not reenter the
+  /// migration engine inline).
+  void on_migration_phase(const hpcm::PhaseEvent& event);
+  void crash_migration_destination(const std::string& dest,
+                                   double reboot_after);
+  void cut_migration_link(const std::string& a, const std::string& b,
+                          double heal_after);
+
+  /// An active dynamic link cut between a migration's source and
+  /// destination (symmetric, like a partition).
+  struct LinkCut {
+    std::string a;
+    std::string b;
+  };
 
   core::ReschedulerRuntime* runtime_;
   FaultPlan plan_;
@@ -81,7 +100,13 @@ class FaultInjector final : public net::FaultPolicy {
   Stats stats_;
   std::vector<sim::Engine::EventHandle> events_;
   std::map<std::string, double> saved_cpu_speed_;
+  /// Hosts currently down (scheduled crash or migration-triggered) — makes
+  /// crash/restart idempotent when a timed host_crash and a
+  /// migration_dest_crash hit the same machine.
+  std::set<std::string> down_hosts_;
+  std::vector<LinkCut> link_cuts_;
   bool armed_ = false;
+  bool phase_listener_installed_ = false;
 };
 
 }  // namespace ars::chaos

@@ -13,7 +13,12 @@
 //   * no stranded work — every restart parked on the registry's retry
 //     list (no capacity at crash time) has drained by the horizon;
 //   * deadlock watchdog — virtual time must not quiesce (empty event
-//     queue) while expected applications are unfinished.
+//     queue) while expected applications are unfinished;
+//   * no lost process — every aborted or rolled-back migration leaves
+//     exactly one live or restartable instance: the process finished,
+//     is live on some host, is parked for relaunch in the middleware,
+//     or sits on the registry's retry list.  An abort must never
+//     silently destroy the application.
 //
 // The checker is read-only: run the scenario, then call check().
 
@@ -35,6 +40,8 @@ struct InvariantReport {
   std::size_t apps_checked = 0;
   std::size_t exits_seen = 0;
   std::size_t migrations_succeeded = 0;
+  std::size_t migrations_aborted = 0;      // pre-commit rollbacks to source
+  std::size_t migrations_rolled_back = 0;  // post-commit destination loss
   std::size_t relaunches_seen = 0;
   std::size_t hosts_checked = 0;
 

@@ -29,6 +29,10 @@ struct ScenarioOptions {
   /// prove the invariant checker catches a broken build — crash faults then
   /// strand their applications forever.
   bool sabotage_lease_expiry = false;
+  /// Deliberately breaks the migration transaction (aborts skip the
+  /// roll-back to source-side execution) to prove the no-lost-process
+  /// invariant catches a broken protocol.
+  bool sabotage_migration_rollback = false;
   /// CPU hog on ws1 so the run exercises real migrations, not just faults.
   bool with_load = true;
   /// Copy the full JSON-lines trace into the report (hashing is always on).
@@ -51,6 +55,8 @@ struct ScenarioReport {
   double final_time = 0.0;
   std::size_t migration_attempts = 0;
   std::size_t migrations_succeeded = 0;
+  std::size_t migrations_aborted = 0;      // pre-commit, rolled back to source
+  std::size_t migrations_rolled_back = 0;  // post-commit destination loss
   FaultInjector::Stats faults;
   std::uint64_t messages_dropped = 0;  // network total (all reasons)
   /// Canonical decision log (registry::Registry::decision_log) and its

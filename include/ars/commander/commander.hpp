@@ -47,6 +47,11 @@ class Commander {
   void start();
   void stop();
 
+  /// Forward a migration transaction's terminal outcome to the registry
+  /// (fire-and-forget, like the migrate ack).  Dropped when the commander
+  /// is stopped (its host failed) or no registry is configured.
+  void report_outcome(const xmlproto::MigrationOutcomeMsg& outcome);
+
   [[nodiscard]] int port() const noexcept { return config_.port; }
   [[nodiscard]] int commands_received() const noexcept {
     return commands_received_;

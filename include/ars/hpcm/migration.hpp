@@ -7,22 +7,32 @@
 // callback filling the StateRegistry) and calls `co_await ctx.poll_point()`
 // at the pre-defined points where a migration may occur.  When the
 // commander's user-defined signal is pending, the poll-point executes the
-// protocol:
+// protocol as an explicit phased *transaction*:
 //
-//   1. read the destination from the temp file the commander wrote;
-//   2. create the *initialized process* on the destination through MPI-2
-//      dynamic process management (Comm_spawn — or Comm_connect to a
-//      pre-initialized daemon when that optimization is enabled) and join
-//      the communicators (Intercomm_merge);
-//   3. send the execution state + eager data over the merged communicator;
-//   4. keep collecting/sending the bulk of the memory state from the source
-//      while the destination restores and RESUMES the application in
-//      parallel (the paper's §5.2 overlap);
-//   5. unwind the source fiber (ProcMoved) — the logical MPI process has
-//      been relocated, so in-flight messages are forwarded.
+//   1. "init"   — create the *initialized process* on the destination
+//      through MPI-2 dynamic process management (Comm_spawn — or
+//      Comm_connect to a pre-initialized daemon when that optimization is
+//      enabled) and join the communicators (Intercomm_merge);
+//   2. collect  — snapshot live variables into the StateRegistry;
+//   3. "eager"  — send the execution state + eager data over the merged
+//      communicator;
+//   4. "ack"    — wait for the destination's resume acknowledgement.  This
+//      is the transaction's HARD COMMIT POINT: until the ACK lands, the
+//      source fiber stays authoritative and any failure (phase timeout,
+//      destination crash, severed link) aborts the transaction and rolls
+//      the process back to source-side execution with its state intact;
+//   5. commit   — relocate the logical process, resume it on the
+//      destination, and keep shipping the bulk of the memory state in the
+//      background (the paper's §5.2 overlap).  A destination failure after
+//      the commit but before background restoration finishes rolls the
+//      transaction back to the checkpoint-restart path instead of silently
+//      losing the process.
 //
-// Every phase is timestamped in a MigrationTimeline so the §5.2 breakdown
-// and Figures 7/8 can be regenerated.
+// Every phase carries a configurable timeout; every terminal outcome
+// (committed / aborted{reason} / rolled-back) is timestamped in a
+// MigrationTimeline and reported through the outcome listener so the
+// registry can credit back its in-flight placement debit and mark failed
+// destinations suspect (DESIGN.md §12).
 
 #include <cstdint>
 #include <functional>
@@ -58,6 +68,13 @@ struct MigrationTimeline {
   double completed_at = -1.0;    // background restoration finished
   double state_bytes = 0.0;      // total state moved
   bool succeeded = false;
+  /// Transaction outcome: "in-flight" while the protocol runs, then one of
+  /// "committed", "aborted" (pre-commit rollback to the source), or
+  /// "rolled-back" (destination lost after the commit point; the process
+  /// falls back to checkpoint-restart).
+  std::string outcome = "in-flight";
+  std::string abort_reason;  // set when outcome != "committed"
+  std::string abort_phase;   // protocol phase the failure hit
 
   [[nodiscard]] double reach_poll_point() const {
     return poll_point_at - requested_at;
@@ -69,6 +86,27 @@ struct MigrationTimeline {
     return resumed_at - init_done_at;
   }
   [[nodiscard]] double total() const { return completed_at - requested_at; }
+};
+
+/// Terminal transaction outcome handed to the outcome listener (the runtime
+/// forwards it to the source host's commander as a MigrationOutcomeMsg).
+struct MigrationOutcome {
+  std::string process;
+  std::string source;
+  std::string destination;
+  std::string outcome;  // "committed" | "aborted" | "rolled-back"
+  std::string reason;   // empty for committed
+  std::string phase;    // protocol phase the failure hit (empty for committed)
+};
+
+/// Phase-entry notification ("init", "eager", "ack", "restore") fired from
+/// inside the migrating fiber.  Listeners must not reenter the engine
+/// inline — schedule an event instead (ars::chaos does).
+struct PhaseEvent {
+  std::string process;
+  std::string source;
+  std::string destination;
+  std::string phase;
 };
 
 /// Persistent per-process migration state; survives fiber swaps across
@@ -91,7 +129,9 @@ class MigrationContext {
   void on_save(std::function<void()> save) { save_ = std::move(save); }
 
   /// The poll-point: cheap when no migration is pending; otherwise runs the
-  /// migration protocol and never returns on the source (throws ProcMoved).
+  /// migration protocol.  Never returns on the source when the transaction
+  /// commits (throws ProcMoved); returns normally — the process keeps
+  /// computing on the source — when it aborts.
   [[nodiscard]] sim::Task<> poll_point();
 
   /// Write a checkpoint of the registered state to the stable store
@@ -134,6 +174,16 @@ class MigrationEngine {
     /// Stable-store bandwidth for checkpoint writes/reads (2004-era
     /// NFS-backed disk).
     double checkpoint_store_bps = 20.0e6;
+    /// Per-phase transaction timeouts (seconds).  A phase that neither
+    /// completes nor fails within its budget aborts the transaction and the
+    /// process keeps computing on the source.
+    double init_timeout = 10.0;
+    double eager_timeout = 60.0;
+    double ack_timeout = 10.0;
+    /// Sabotage knob for the chaos checker: skip the abort path's rollback
+    /// so an aborted migration LOSES the logical process (the bug class the
+    /// no-lost-process invariant exists to catch).  Never set outside tests.
+    bool sabotage_skip_rollback = false;
     /// Optional observability hooks (not owned).  When set, every
     /// migration phase is recorded as a span (signal, poll-point, spawn,
     /// collect, restore) and timing/volume metrics are published.
@@ -149,6 +199,8 @@ class MigrationEngine {
 
   using MigratableApp =
       std::function<sim::Task<>(mpi::Proc&, MigrationContext&)>;
+  using OutcomeListener = std::function<void(const MigrationOutcome&)>;
+  using PhaseListener = std::function<void(const PhaseEvent&)>;
 
   /// Launch a migration-enabled application; registers it (and its schema)
   /// with the host process table.
@@ -176,6 +228,16 @@ class MigrationEngine {
   void pre_initialize_on(const std::string& host_name);
   [[nodiscard]] bool has_pre_initialized(const std::string& host_name) const;
 
+  /// Terminal transaction outcomes (committed / aborted / rolled-back); the
+  /// runtime forwards them to the registry.  At most one listener.
+  void set_outcome_listener(OutcomeListener listener) {
+    outcome_listener_ = std::move(listener);
+  }
+  /// Phase-entry notifications, for migration-window fault injection.
+  void set_phase_listener(PhaseListener listener) {
+    phase_listener_ = std::move(listener);
+  }
+
   // -- checkpoint/restart (the paper's checkpointing-based alternative) ----
 
   [[nodiscard]] CheckpointStore& checkpoints() noexcept {
@@ -184,7 +246,8 @@ class MigrationEngine {
 
   /// Simulate a process crash (host failure, kill -9): the fiber dies on
   /// the spot, the logical process disappears, nothing is collected.  The
-  /// application (and its context shell) is parked for relaunch.
+  /// application (and its context shell) is parked for relaunch.  An
+  /// in-flight migration transaction of the process is aborted.
   /// Returns false for unknown ids.
   bool crash(mpi::RankId id);
 
@@ -196,12 +259,18 @@ class MigrationEngine {
                        const std::string& host_name);
 
   /// Crash every launched application currently on `host_name` (host
-  /// failure).  Returns how many were crashed (and parked for relaunch).
+  /// failure).  In-flight transactions with this host as destination are
+  /// aborted (pre-commit) or rolled back to checkpoint-restart
+  /// (post-commit); a pre-initialized daemon on the host is dropped.
+  /// Returns how many applications were crashed (and parked for relaunch).
   int crash_host(const std::string& host_name);
 
   [[nodiscard]] const std::vector<MigrationTimeline>& history() const {
     return history_;
   }
+  /// Names of crashed applications currently parked for relaunch (the
+  /// chaos no-lost-process invariant counts these as restartable).
+  [[nodiscard]] std::vector<std::string> parked_for_relaunch() const;
   [[nodiscard]] ApplicationSchema* schema(const std::string& name);
   [[nodiscard]] const std::map<std::string, ApplicationSchema>& schemas()
       const {
@@ -219,9 +288,80 @@ class MigrationEngine {
     MigrationEngine::MigratableApp app;
   };
 
+  /// One in-flight migration transaction, keyed by timeline index.  Heap
+  /// allocated so phase fibers and timeout events can hold stable pointers.
+  struct PendingTx {
+    explicit PendingTx(sim::Engine& engine) : wake(engine) {}
+
+    std::size_t timeline_index = 0;
+    mpi::RankId proc_id = 0;
+    std::string process;
+    std::string source;
+    std::string dest;
+    bool pre_init = false;
+    std::string port;  // daemon port when pre_init
+    mpi::RankId helper_id = 0;
+    mpi::Comm merged;
+
+    // Phase machinery: the protocol phase runs in a sub-fiber while the
+    // migrating fiber waits on `wake` with a cancellable timeout event.
+    std::string phase = "init";
+    sim::WaitQueue wake;
+    sim::Fiber phase_fiber;
+    sim::Engine::EventHandle timeout_event;
+    bool phase_done = false;
+    bool timed_out = false;
+    bool dest_failed = false;
+    bool committed = false;
+    std::string phase_error;
+
+    // Collected state (filled by the collect step / the receiver).
+    std::vector<std::byte> encoded;
+    double opaque = 0.0;
+    double eager_opaque = 0.0;
+    double eager_wire = 0.0;
+    StateRegistry restored_state;
+    bool state_ready = false;
+  };
+
+  enum class PhaseResult { kDone, kTimeout, kDestFailed, kError };
+
   /// The source-side protocol; runs inside the migrating fiber.
   [[nodiscard]] sim::Task<> migrate(MigrationContext& ctx,
                                     std::string dest_host);
+
+  // Phase bodies (member coroutines — lambda coroutines would dangle their
+  // captures once the spawning frame unwinds).
+  [[nodiscard]] sim::Task<> phase_init(PendingTx& tx, mpi::Proc& proc);
+  [[nodiscard]] sim::Task<> phase_eager(PendingTx& tx, mpi::Proc& proc);
+  [[nodiscard]] sim::Task<> phase_ack(PendingTx& tx, mpi::Proc& proc);
+  /// Drives one phase body inside its own fiber; flags completion/failure
+  /// on the transaction and wakes the migrating fiber.
+  [[nodiscard]] sim::Task<> run_phase(PendingTx* tx, sim::Task<> body);
+  /// Runs `body` as phase `phase` with a timeout; returns how it ended.
+  [[nodiscard]] sim::Task<PhaseResult> await_phase(PendingTx& tx,
+                                                   sim::Task<> body,
+                                                   const char* phase,
+                                                   double timeout);
+
+  /// Shared phase-failure epilogue: log, abort the transaction with the
+  /// reason derived from `result`, and (sabotaged builds only) lose the
+  /// process by unwinding the source fiber without rollback.
+  void fail_phase(PendingTx& tx, mpi::Proc& proc, PhaseResult result);
+  /// Pre-commit abort: tear down the destination helper, stamp the timeline
+  /// (aborted{reason}), publish metrics/spans, and report the outcome.  The
+  /// process keeps computing on the source (unless sabotaged).
+  void abort_transaction(std::size_t timeline_index, std::string reason);
+  /// Post-commit destination failure during background restoration: kill
+  /// the collector and helper, stamp the timeline rolled-back, and report.
+  void rollback_restore(std::size_t timeline_index, std::string reason);
+  /// Close the timeline's restore + migration spans with a terminal
+  /// outcome attribute and forget them.
+  void end_transaction_spans(std::size_t timeline_index, const char* outcome,
+                             const std::string& reason);
+  /// Kill a pre-initialized daemon and forget its port (future migrations
+  /// to the host fall back to MPI_Comm_spawn).
+  void drop_daemon(const std::string& host_name);
 
   /// Destination-side protocol shared by spawned initialized processes and
   /// pre-initialized daemons.
@@ -241,7 +381,17 @@ class MigrationEngine {
   void takeover(mpi::RankId id, host::Host& destination,
                 StateRegistry restored_state, std::size_t timeline_index);
 
+  /// Background restoration finished: close the transaction as committed.
+  void finish_restore(std::size_t timeline_index);
+
   void finish_normal_exit(mpi::RankId id);
+
+  /// Close (and forget) the open migration.signal span of a process, if
+  /// any; `closed_by` says why ("poll-point", "crash", "exit", ...).
+  void close_signal_span(mpi::RankId id, const char* closed_by);
+
+  void notify_phase(const PendingTx& tx, const char* phase);
+  void notify_outcome(const MigrationTimeline& timeline);
 
   [[nodiscard]] obs::Tracer* tracer() const noexcept {
     return options_.tracer;
@@ -255,11 +405,18 @@ class MigrationEngine {
   std::map<mpi::RankId, std::unique_ptr<ProcState>> procs_;
   std::map<std::string, ApplicationSchema> schemas_;
   std::map<std::string, std::string> pre_initialized_;  // host -> port
-  std::vector<sim::Fiber> collector_fibers_;  // background bulk transfers
+  std::map<std::string, mpi::RankId> daemon_ids_;       // host -> daemon
+  /// Background bulk transfers, keyed by timeline index so a post-commit
+  /// rollback can kill exactly the right one.
+  std::map<std::size_t, sim::Fiber> collectors_;
+  /// In-flight transactions, keyed by timeline index.
+  std::map<std::size_t, std::unique_ptr<PendingTx>> pending_;
   std::vector<MigrationTimeline> history_;
   CheckpointStore checkpoint_store_;
   /// Crashed applications parked for relaunch, keyed by process name.
   std::map<std::string, std::unique_ptr<ProcState>> crashed_;
+  OutcomeListener outcome_listener_;
+  PhaseListener phase_listener_;
 
   // -- tracing bookkeeping (ids are 0 when no tracer is attached) ----------
   struct TimelineSpans {

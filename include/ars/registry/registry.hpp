@@ -56,6 +56,10 @@ struct HostEntry {
   /// (re)admitted — until then `status` may be stale pre-crash data and the
   /// host must not be offered as a destination.
   bool status_seen = false;
+  /// A migration to this host aborted or rolled back recently; it is not
+  /// offered as a destination again until this (re-admission backoff)
+  /// deadline passes.  Heartbeats keep flowing and refresh the lease.
+  double suspect_until = -1.0;
   /// Intrusive links for the registry's per-state index.  Owned and
   /// maintained by the Registry; meaningless in copies of the entry.
   HostEntry* index_prev = nullptr;
@@ -151,6 +155,21 @@ class Registry {
     /// relaunch of its registered processes on other hosts (from their
     /// checkpoints, via the destination commanders).
     bool auto_restart = false;
+    /// Re-admission backoff after a MigrationOutcomeMsg reports a failed
+    /// destination: the host is filtered from eligibility for this long.
+    double suspect_backoff = 30.0;
+    /// An in-flight placement debit whose outcome never arrives (lost
+    /// report, dead commander) is dropped by the sweeper after this long.
+    double placement_debit_ttl = 120.0;
+    /// On an aborted migration (process still on the source), immediately
+    /// issue a fresh consult for the source host instead of waiting for
+    /// the monitor's next overload report.
+    bool replan_on_abort = true;
+    /// A commanded relaunch is fire-and-forget on the wire; if no monitor
+    /// re-reports the process within this long, the registry re-parks it
+    /// on the stranded list and retries (the middleware's single-consumer
+    /// checkpoint park makes a duplicate command a harmless no-op).
+    double relaunch_confirm_ttl = 15.0;
     /// Per-host audit trail policy (see AuditMode).
     AuditMode audit = AuditMode::kAuto;
     /// Force the pre-index full-table scan even when no audit is wanted —
@@ -265,6 +284,12 @@ class Registry {
     return children_;
   }
 
+  /// Migration placements commanded but not yet resolved by a
+  /// MigrationOutcomeMsg (each debits its destination's capacity).
+  [[nodiscard]] std::size_t inflight_placements() const {
+    return inflight_.size();
+  }
+
  private:
   /// In-flight placements of one recovery round: restarts already commanded
   /// count against a destination's capacity before its next heartbeat can
@@ -277,6 +302,27 @@ class Registry {
       std::uint64_t disk_bytes = 0;
     };
     std::map<std::string, Debit> by_host;
+  };
+
+  /// One commanded live migration awaiting its terminal outcome.  While
+  /// outstanding it debits the destination's capacity (resource
+  /// requirements snapshotted at command time) exactly like a
+  /// RecoveryRound placement, so simultaneous placements spread.
+  struct PlacementDebit {
+    std::string process;
+    std::string dest;
+    double at = 0.0;
+    std::uint64_t memory_bytes = 0;
+    std::uint64_t disk_bytes = 0;
+  };
+
+  /// A commanded relaunch awaiting confirmation: the destination monitor
+  /// must re-report the process before `relaunch_confirm_ttl` lapses, or
+  /// the registry assumes the command was lost and retries.
+  struct PendingRelaunch {
+    ProcessEntry process;
+    std::string dest;
+    double commanded_at = 0.0;
   };
 
   [[nodiscard]] sim::Task<> serve();
@@ -295,6 +341,20 @@ class Registry {
   bool restart_process(const ProcessEntry& process, RecoveryRound& round,
                        bool record_stranded);
   void drain_stranded();
+  /// Re-park commanded relaunches that no monitor has confirmed within
+  /// `relaunch_confirm_ttl` (the RelaunchCmd was lost on the wire).
+  void confirm_relaunches(double now);
+  /// Record an in-flight placement debit for a freshly commanded migration
+  /// (any older debit of the same process is superseded).
+  void debit_placement(const std::string& process_name,
+                       const std::string& dest,
+                       const std::string& schema_name);
+  /// Apply a commander's MigrationOutcomeMsg: credit the placement debit
+  /// back, mark failed destinations suspect, and re-plan aborts.
+  void on_migration_outcome(const xmlproto::MigrationOutcomeMsg& outcome);
+  /// Summed in-flight debits against `host_name` (0/0 when none).
+  [[nodiscard]] std::pair<std::uint64_t, std::uint64_t> inflight_debit(
+      const std::string& host_name) const;
   /// Route an escalated consult to the child domain with the most reported
   /// free capacity (minus consults already routed there).  Returns false
   /// when no child can plausibly take it.
@@ -341,6 +401,8 @@ class Registry {
   std::map<std::string, hpcm::ApplicationSchema> schemas_;
   std::vector<Decision> decisions_;
   std::vector<ProcessEntry> stranded_;
+  std::vector<PlacementDebit> inflight_;
+  std::vector<PendingRelaunch> pending_relaunches_;
   std::map<std::string, ChildDomain> children_;
   int evacuations_commanded_ = 0;
   int next_registration_order_ = 0;

@@ -155,10 +155,25 @@ struct RelaunchCmd {
   std::string schema_name;
 };
 
+/// Commander (source host) -> registry: terminal outcome of a migration
+/// transaction.  "committed" credits back the registry's in-flight
+/// placement debit; "aborted"/"rolled-back" additionally mark the failed
+/// destination suspect and let the registry re-plan immediately.  The
+/// reason/phase fields are only meaningful (and only encoded) for failures.
+struct MigrationOutcomeMsg {
+  std::string process;
+  std::string source;
+  std::string destination;
+  std::string outcome;  // "committed" | "aborted" | "rolled-back"
+  std::string reason;   // e.g. "init-timeout", "dest-failed"
+  std::string phase;    // protocol phase the failure hit
+};
+
 using ProtocolMessage =
     std::variant<RegisterMsg, UpdateMsg, UpdateBatchMsg, ConsultMsg,
                  MigrateCmd, AckMsg, ProcessRegisterMsg, ProcessDeregisterMsg,
-                 HealthReportMsg, RecommendMsg, EvacuateMsg, RelaunchCmd>;
+                 HealthReportMsg, RecommendMsg, EvacuateMsg, RelaunchCmd,
+                 MigrationOutcomeMsg>;
 
 /// Serialize any protocol message to its XML wire form.
 [[nodiscard]] std::string encode(const ProtocolMessage& message);

@@ -30,6 +30,10 @@ std::string_view to_string(FaultKind kind) noexcept {
       return "monitor_stall";
     case FaultKind::kRegistryCrash:
       return "registry_crash";
+    case FaultKind::kMigrationDestCrash:
+      return "migration_dest_crash";
+    case FaultKind::kMigrationLinkCut:
+      return "migration_link_cut";
   }
   return "?";
 }
@@ -39,7 +43,8 @@ Expected<FaultKind> fault_kind_from_string(std::string_view text) {
        {FaultKind::kMessageLoss, FaultKind::kMessageDuplicate,
         FaultKind::kMessageDelay, FaultKind::kLinkDegrade,
         FaultKind::kPartition, FaultKind::kHostCrash, FaultKind::kCpuSlowdown,
-        FaultKind::kMonitorStall, FaultKind::kRegistryCrash}) {
+        FaultKind::kMonitorStall, FaultKind::kRegistryCrash,
+        FaultKind::kMigrationDestCrash, FaultKind::kMigrationLinkCut}) {
     if (text == to_string(kind)) {
       return kind;
     }
@@ -154,6 +159,37 @@ FaultPlan& FaultPlan::registry_crash(double at, double restart_at) {
   return add(std::move(spec));
 }
 
+FaultPlan& FaultPlan::migration_dest_crash(double at, double until,
+                                           std::string phase,
+                                           double probability,
+                                           double reboot_after,
+                                           std::string dest) {
+  FaultSpec spec;
+  spec.kind = FaultKind::kMigrationDestCrash;
+  spec.at = at;
+  spec.until = until;
+  spec.phase = std::move(phase);
+  spec.probability = probability;
+  spec.delay = reboot_after;
+  spec.host_a = std::move(dest);
+  return add(std::move(spec));
+}
+
+FaultPlan& FaultPlan::migration_link_cut(double at, double until,
+                                         std::string phase,
+                                         double probability,
+                                         double heal_after, std::string dest) {
+  FaultSpec spec;
+  spec.kind = FaultKind::kMigrationLinkCut;
+  spec.at = at;
+  spec.until = until;
+  spec.phase = std::move(phase);
+  spec.probability = probability;
+  spec.delay = heal_after;
+  spec.host_a = std::move(dest);
+  return add(std::move(spec));
+}
+
 double FaultPlan::last_disruption_end() const noexcept {
   double last = 0.0;
   for (const FaultSpec& spec : specs_) {
@@ -174,6 +210,11 @@ std::string FaultPlan::to_json() const {
     fault.emplace("probability", spec.probability);
     fault.emplace("factor", spec.factor);
     fault.emplace("delay", spec.delay);
+    if (!spec.phase.empty()) {
+      // Only migration-window faults carry a phase; omitting the key keeps
+      // pre-existing plan files byte-identical to their builtins.
+      fault.emplace("phase", spec.phase);
+    }
     faults.emplace_back(std::move(fault));
   }
   obs::JsonObject root;
@@ -249,7 +290,7 @@ Expected<FaultPlan> FaultPlan::from_json(std::string_view text) {
     }
     static constexpr const char* kKnownKeys[] = {
         "kind", "at", "until", "host_a", "host_b", "probability", "factor",
-        "delay"};
+        "delay", "phase"};
     for (const auto& [key, value] : fault.as_object()) {
       if (std::find(std::begin(kKnownKeys), std::end(kKnownKeys), key) ==
           std::end(kKnownKeys)) {
@@ -279,13 +320,15 @@ Expected<FaultPlan> FaultPlan::from_json(std::string_view text) {
     auto delay = number_member(fault, "delay", false, 0.0);
     auto host_a = string_member(fault, "host_a", "*");
     auto host_b = string_member(fault, "host_b", "*");
+    auto phase = string_member(fault, "phase", "");
     for (const support::Error* error :
          {until.has_value() ? nullptr : &until.error(),
           probability.has_value() ? nullptr : &probability.error(),
           factor.has_value() ? nullptr : &factor.error(),
           delay.has_value() ? nullptr : &delay.error(),
           host_a.has_value() ? nullptr : &host_a.error(),
-          host_b.has_value() ? nullptr : &host_b.error()}) {
+          host_b.has_value() ? nullptr : &host_b.error(),
+          phase.has_value() ? nullptr : &phase.error()}) {
       if (error != nullptr) {
         return *error;
       }
@@ -296,12 +339,19 @@ Expected<FaultPlan> FaultPlan::from_json(std::string_view text) {
     spec.delay = *delay;
     spec.host_a = *host_a;
     spec.host_b = *host_b;
+    spec.phase = *phase;
     if (spec.probability < 0.0 || spec.probability > 1.0) {
       return make_error("chaos.bad_value",
                         "\"probability\" must be in [0, 1]");
     }
     if (spec.factor < 0.0) {
       return make_error("chaos.bad_value", "\"factor\" must be >= 0");
+    }
+    if (!spec.phase.empty() && spec.phase != "init" &&
+        spec.phase != "eager" && spec.phase != "ack" &&
+        spec.phase != "restore") {
+      return make_error("chaos.bad_value",
+                        "\"phase\" must be one of init/eager/ack/restore");
     }
     plan.specs_.push_back(std::move(spec));
   }

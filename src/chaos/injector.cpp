@@ -24,6 +24,9 @@ FaultInjector::~FaultInjector() {
   for (auto& event : events_) {
     event.cancel();
   }
+  if (phase_listener_installed_) {
+    runtime_->middleware().set_phase_listener(nullptr);
+  }
   if (armed_ && runtime_->network().fault_policy() == this) {
     runtime_->network().set_fault_policy(nullptr);
   }
@@ -34,6 +37,7 @@ void FaultInjector::arm() {
     return;
   }
   armed_ = true;
+  bool wants_migration_faults = false;
   for (const FaultSpec& spec : plan_.specs()) {
     // Host-targeted faults must name real, non-wildcard hosts.
     const bool host_targeted = spec.kind == FaultKind::kHostCrash ||
@@ -45,11 +49,36 @@ void FaultInjector::arm() {
       throw std::invalid_argument("fault plan \"" + plan_.name() +
                                   "\" targets unknown host: " + spec.host_a);
     }
+    const bool migration_window =
+        spec.kind == FaultKind::kMigrationDestCrash ||
+        spec.kind == FaultKind::kMigrationLinkCut;
+    if (migration_window) {
+      // Wildcard destinations are allowed (the trigger is the transaction,
+      // not a wall-clock event), but a named one must exist.
+      if (spec.host_a != "*" &&
+          runtime_->network().find_host(spec.host_a) == nullptr) {
+        throw std::invalid_argument("fault plan \"" + plan_.name() +
+                                    "\" targets unknown host: " +
+                                    spec.host_a);
+      }
+      wants_migration_faults = true;
+    }
   }
   runtime_->network().set_fault_policy(this);
+  if (wants_migration_faults) {
+    runtime_->middleware().set_phase_listener(
+        [this](const hpcm::PhaseEvent& event) { on_migration_phase(event); });
+    phase_listener_installed_ = true;
+  }
   sim::Engine& engine = runtime_->engine();
   for (std::size_t i = 0; i < plan_.specs().size(); ++i) {
     const FaultSpec& spec = plan_.specs()[i];
+    const bool migration_window =
+        spec.kind == FaultKind::kMigrationDestCrash ||
+        spec.kind == FaultKind::kMigrationLinkCut;
+    if (migration_window) {
+      continue;  // triggered by phase entry, not by wall-clock events
+    }
     events_.push_back(
         engine.schedule_at(spec.at, [this, i] { activate(i); }));
     if (!spec.permanent()) {
@@ -116,6 +145,13 @@ net::FaultPolicy::PostVerdict FaultInjector::on_post(
         break;  // host faults do not act on individual datagrams
     }
   }
+  // Dynamic migration-window cuts behave like a two-host partition.
+  for (const LinkCut& cut : link_cuts_) {
+    if ((cut.a == message.src_host && cut.b == message.dst_host) ||
+        (cut.a == message.dst_host && cut.b == message.src_host)) {
+      verdict.drop = true;
+    }
+  }
   if (verdict.drop) {
     ++stats_.messages_dropped;
   } else {
@@ -142,6 +178,11 @@ double FaultInjector::bandwidth_factor(const std::string& src,
       factor *= std::clamp(spec.factor, 0.0, 1.0);
     }
   }
+  for (const LinkCut& cut : link_cuts_) {
+    if ((cut.a == src && cut.b == dst) || (cut.a == dst && cut.b == src)) {
+      return 0.0;
+    }
+  }
   return factor;
 }
 
@@ -165,8 +206,10 @@ void FaultInjector::activate(std::size_t index) {
                                   << ")");
   switch (spec.kind) {
     case FaultKind::kHostCrash:
-      runtime_->fail_host(spec.host_a);
-      ++stats_.host_crashes;
+      if (down_hosts_.insert(spec.host_a).second) {
+        runtime_->fail_host(spec.host_a);
+        ++stats_.host_crashes;
+      }
       break;
     case FaultKind::kCpuSlowdown: {
       host::CpuModel& cpu = runtime_->host(spec.host_a).cpu();
@@ -204,8 +247,10 @@ void FaultInjector::deactivate(std::size_t index) {
                                 << ")");
   switch (spec.kind) {
     case FaultKind::kHostCrash:
-      runtime_->restart_host(spec.host_a);
-      ++stats_.host_restarts;
+      if (down_hosts_.erase(spec.host_a) > 0) {
+        runtime_->restart_host(spec.host_a);
+        ++stats_.host_restarts;
+      }
       break;
     case FaultKind::kCpuSlowdown: {
       const auto it = saved_cpu_speed_.find(spec.host_a);
@@ -229,6 +274,92 @@ void FaultInjector::deactivate(std::size_t index) {
     default:
       break;
   }
+}
+
+void FaultInjector::on_migration_phase(const hpcm::PhaseEvent& event) {
+  // Evaluate every armed migration-window spec; randomness is consumed in
+  // spec order so (plan, seed) stays fully deterministic.
+  for (const FaultSpec& spec : plan_.specs()) {
+    const bool migration_window =
+        spec.kind == FaultKind::kMigrationDestCrash ||
+        spec.kind == FaultKind::kMigrationLinkCut;
+    if (!migration_window || !spec_active(spec)) {
+      continue;
+    }
+    if (!spec.phase.empty() && spec.phase != event.phase) {
+      continue;
+    }
+    if (!side_matches(spec.host_a, event.destination)) {
+      continue;
+    }
+    if (rng_.uniform() >= spec.probability) {
+      continue;
+    }
+    trace_fault(spec, "inject");
+    // React via a zero-delay event: phase listeners must not reenter the
+    // migration engine inline.
+    sim::Engine& engine = runtime_->engine();
+    if (spec.kind == FaultKind::kMigrationDestCrash) {
+      events_.push_back(engine.schedule_after(
+          0.0, [this, dest = event.destination, reboot = spec.delay] {
+            crash_migration_destination(dest, reboot);
+          }));
+    } else {
+      events_.push_back(engine.schedule_after(
+          0.0, [this, a = event.source, b = event.destination,
+                heal = spec.delay > 0.0 ? spec.delay
+                                        : std::max(spec.until -
+                                                       runtime_->engine()
+                                                           .now(),
+                                                   1.0)] {
+            cut_migration_link(a, b, heal);
+          }));
+    }
+  }
+}
+
+void FaultInjector::crash_migration_destination(const std::string& dest,
+                                                double reboot_after) {
+  if (!down_hosts_.insert(dest).second) {
+    return;  // already down (another fault beat us to it)
+  }
+  ARS_LOG_WARN("chaos", "migration-window crash of destination " << dest);
+  ++stats_.migration_dest_crashes;
+  runtime_->fail_host(dest);
+  if (reboot_after > 0.0) {
+    events_.push_back(runtime_->engine().schedule_after(
+        reboot_after, [this, dest] {
+          if (down_hosts_.erase(dest) > 0) {
+            runtime_->restart_host(dest);
+            ++stats_.host_restarts;
+          }
+        }));
+  }
+}
+
+void FaultInjector::cut_migration_link(const std::string& a,
+                                       const std::string& b,
+                                       double heal_after) {
+  if (a == b) {
+    return;  // loopback is never cut
+  }
+  ARS_LOG_WARN("chaos",
+               "migration-window link cut " << a << " <-> " << b << " for "
+                                            << heal_after << "s");
+  ++stats_.migration_link_cuts;
+  link_cuts_.push_back(LinkCut{a, b});
+  runtime_->network().on_fault_change();
+  events_.push_back(
+      runtime_->engine().schedule_after(heal_after, [this, a, b] {
+        const auto it = std::find_if(
+            link_cuts_.begin(), link_cuts_.end(), [&](const LinkCut& cut) {
+              return cut.a == a && cut.b == b;
+            });
+        if (it != link_cuts_.end()) {
+          link_cuts_.erase(it);
+          runtime_->network().on_fault_change();
+        }
+      }));
 }
 
 }  // namespace ars::chaos

@@ -103,6 +103,11 @@ InvariantReport InvariantChecker::check() const {
     if (timeline.succeeded) {
       ++report.migrations_succeeded;
     }
+    if (timeline.outcome == "aborted") {
+      ++report.migrations_aborted;
+    } else if (timeline.outcome == "rolled-back") {
+      ++report.migrations_rolled_back;
+    }
   }
   if (resumed_events != report.migrations_succeeded) {
     violate("exactly-once-migration", "middleware",
@@ -119,6 +124,35 @@ InvariantReport InvariantChecker::check() const {
        runtime_->scheduler().stranded()) {
     violate("no-stranded-work", process.name,
             "restart still parked on the retry list at the horizon");
+  }
+
+  // No lost process: an aborted (pre-commit) or rolled-back (post-commit)
+  // migration must leave exactly one live or restartable instance — the
+  // process finished, is live on some host, is parked for relaunch in the
+  // middleware, or is on the registry's retry list.  Anything else means
+  // the transaction destroyed the application.
+  std::set<std::string> restartable;
+  for (const std::string& name : runtime_->middleware().parked_for_relaunch()) {
+    restartable.insert(name);
+  }
+  for (const registry::ProcessEntry& process :
+       runtime_->scheduler().stranded()) {
+    restartable.insert(process.name);
+  }
+  for (const hpcm::MigrationTimeline& timeline :
+       runtime_->middleware().history()) {
+    if (timeline.outcome != "aborted" && timeline.outcome != "rolled-back") {
+      continue;
+    }
+    const auto exited = exits.find(timeline.process);
+    const bool finished = exited != exits.end() && exited->second > 0;
+    const bool live = live_on.count(timeline.process) > 0;
+    if (!finished && !live && restartable.count(timeline.process) == 0) {
+      violate("no-lost-process", timeline.process,
+              "migration " + timeline.outcome + " (" +
+                  timeline.abort_reason + " in " + timeline.abort_phase +
+                  ") left no live or restartable instance");
+    }
   }
 
   // Lease convergence: every host expected alive must have re-registered

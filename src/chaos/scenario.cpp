@@ -66,6 +66,12 @@ ScenarioReport run_scenario(const ScenarioOptions& options) {
                               ? registry::AuditMode::kAuto
                               : registry::AuditMode::kOff;
   config.monitor_delta_heartbeats = options.delta_heartbeats;
+  // Tight transaction timeouts so migration-window faults resolve (abort
+  // or commit) well inside the horizon.
+  config.hpcm.init_timeout = 8.0;
+  config.hpcm.eager_timeout = 20.0;
+  config.hpcm.ack_timeout = 8.0;
+  config.hpcm.sabotage_skip_rollback = options.sabotage_migration_rollback;
   core::ReschedulerRuntime runtime{config};
   runtime.start_rescheduler();
 
@@ -113,6 +119,12 @@ ScenarioReport run_scenario(const ScenarioOptions& options) {
           spec.host_a == host_name) {
         permanently_dead = true;
       }
+      // A migration-window destination crash with no reboot delay leaves
+      // the (named) destination down for good.
+      if (spec.kind == FaultKind::kMigrationDestCrash && spec.delay <= 0.0 &&
+          spec.host_a == host_name) {
+        permanently_dead = true;
+      }
     }
     if (!permanently_dead) {
       checker.expect_alive(host_name);
@@ -135,6 +147,11 @@ ScenarioReport run_scenario(const ScenarioOptions& options) {
        runtime.middleware().history()) {
     if (timeline.succeeded) {
       ++report.migrations_succeeded;
+    }
+    if (timeline.outcome == "aborted") {
+      ++report.migrations_aborted;
+    } else if (timeline.outcome == "rolled-back") {
+      ++report.migrations_rolled_back;
     }
   }
   report.faults = injector.stats();

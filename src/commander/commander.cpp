@@ -44,6 +44,24 @@ void Commander::stop() {
   endpoint_ = nullptr;
 }
 
+void Commander::report_outcome(const xmlproto::MigrationOutcomeMsg& outcome) {
+  if (!running_ || config_.registry_host.empty()) {
+    return;  // the registry's debit TTL covers lost reports
+  }
+  if (config_.metrics != nullptr) {
+    config_.metrics
+        ->counter("commander.outcomes_reported",
+                  {{"outcome", outcome.outcome}})
+        .inc();
+  }
+  net::Message report;
+  report.src_host = host_->name();
+  report.dst_host = config_.registry_host;
+  report.dst_port = config_.registry_port;
+  report.payload = xmlproto::encode(xmlproto::ProtocolMessage{outcome});
+  network_->post(std::move(report));
+}
+
 sim::Task<> Commander::serve() {
   while (true) {
     const net::Message wire = co_await endpoint_->inbox.recv();

@@ -81,6 +81,24 @@ ReschedulerRuntime::ReschedulerRuntime(ClusterConfig config)
     monitors_.emplace(h->name(), std::make_unique<monitor::Monitor>(
                                      *h, *network_, monitor_config));
   }
+  // Transactional-migration feedback loop: every terminal outcome is
+  // forwarded to the registry by the SOURCE host's commander (the source
+  // stays authoritative until commit, so its commander is the survivor
+  // that can still speak for an aborted transaction).
+  hpcm_->set_outcome_listener([this](const hpcm::MigrationOutcome& o) {
+    const auto it = commanders_.find(o.source);
+    if (it == commanders_.end()) {
+      return;  // the registry's debit TTL covers the silence
+    }
+    xmlproto::MigrationOutcomeMsg msg;
+    msg.process = o.process;
+    msg.source = o.source;
+    msg.destination = o.destination;
+    msg.outcome = o.outcome;
+    msg.reason = o.reason;
+    msg.phase = o.phase;
+    it->second->report_outcome(msg);
+  });
   trace_ = std::make_unique<TraceRecorder>(engine_, *network_);
   // Stamp log records with virtual time while this runtime is alive.
   support::Logger::global().set_clock([this] { return engine_.now(); });

@@ -1,6 +1,8 @@
 #include "ars/hpcm/migration.hpp"
 
 #include <algorithm>
+#include <cctype>
+#include <optional>
 
 #include "ars/obs/metrics.hpp"
 #include "ars/obs/tracer.hpp"
@@ -13,9 +15,50 @@ namespace {
 /// Tags on the merged communicator used by the migration protocol.
 constexpr int kTagEagerState = 100;
 constexpr int kTagReady = 101;
+constexpr int kTagResumeAck = 102;
 
 std::string migrate_key(host::Pid pid) {
   return "hpcm.migrate." + std::to_string(pid);
+}
+
+/// Trim and validate the commander-written destination ("host" or
+/// "host:port"); returns the bare host name, or nullopt when malformed
+/// (empty, whitespace, control characters, or a non-numeric port).
+std::optional<std::string> parse_destination(const std::string& raw) {
+  std::size_t begin = 0;
+  std::size_t end = raw.size();
+  while (begin < end &&
+         std::isspace(static_cast<unsigned char>(raw[begin])) != 0) {
+    ++begin;
+  }
+  while (end > begin &&
+         std::isspace(static_cast<unsigned char>(raw[end - 1])) != 0) {
+    --end;
+  }
+  std::string value = raw.substr(begin, end - begin);
+  if (value.empty()) {
+    return std::nullopt;
+  }
+  if (const auto colon = value.find(':'); colon != std::string::npos) {
+    const std::string port = value.substr(colon + 1);
+    if (port.empty() ||
+        !std::all_of(port.begin(), port.end(), [](unsigned char c) {
+          return std::isdigit(c) != 0;
+        })) {
+      return std::nullopt;
+    }
+    value.resize(colon);
+  }
+  if (value.empty()) {
+    return std::nullopt;
+  }
+  for (const char c : value) {
+    const auto uc = static_cast<unsigned char>(c);
+    if (std::iscntrl(uc) != 0 || std::isspace(uc) != 0 || c == ':') {
+      return std::nullopt;
+    }
+  }
+  return value;
 }
 
 }  // namespace
@@ -24,10 +67,35 @@ MigrationEngine::MigrationEngine(mpi::MpiSystem& mpi)
     : MigrationEngine(mpi, Options{}) {}
 
 MigrationEngine::MigrationEngine(mpi::MpiSystem& mpi, Options options)
-    : mpi_(&mpi), options_(options) {}
+    : mpi_(&mpi), options_(options) {
+  if (obs::MetricsRegistry* m = metrics()) {
+    // Pre-register the transaction-outcome series so metric exports
+    // (benches, CI) always carry them, even on runs without an abort.
+    m->counter("migration.rollbacks");
+    for (const char* reason :
+         {"init-timeout", "eager-timeout", "ack-timeout", "dest-failed",
+          "source-crashed", "phase-error"}) {
+      m->counter("migration.aborts", {{"reason", reason}});
+    }
+  }
+}
 
 MigrationEngine::~MigrationEngine() {
-  for (auto& fiber : collector_fibers_) {
+  // In-flight transactions hold fibers suspended on per-transaction wait
+  // queues; tear them down in dependency order (phase fiber, then the
+  // migrating fiber, then the destination helper) before the queues die.
+  for (auto& [index, tx] : pending_) {
+    tx->timeout_event.cancel();
+    tx->phase_fiber.kill();
+    if (!tx->committed) {
+      mpi_->kill(tx->proc_id);
+    }
+    if (!tx->pre_init && tx->helper_id != 0) {
+      mpi_->kill(tx->helper_id);
+    }
+  }
+  pending_.clear();
+  for (auto& [index, fiber] : collectors_) {
     fiber.kill();
   }
 }
@@ -35,6 +103,15 @@ MigrationEngine::~MigrationEngine() {
 ApplicationSchema* MigrationEngine::schema(const std::string& name) {
   const auto it = schemas_.find(name);
   return it == schemas_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::string> MigrationEngine::parked_for_relaunch() const {
+  std::vector<std::string> names;
+  names.reserve(crashed_.size());
+  for (const auto& [name, state] : crashed_) {
+    names.push_back(name);
+  }
+  return names;
 }
 
 mpi::RankId MigrationEngine::launch(const std::string& host_name,
@@ -71,11 +148,51 @@ std::vector<mpi::RankId> MigrationEngine::launch_world(
   return ids;
 }
 
+void MigrationEngine::close_signal_span(mpi::RankId id, const char* closed_by) {
+  const auto open = signal_spans_.find(id);
+  if (open == signal_spans_.end()) {
+    return;
+  }
+  if (obs::Tracer* t = tracer(); obs::active(t)) {
+    t->end_span(open->second, {{"closed_by", closed_by}});
+  }
+  signal_spans_.erase(open);
+}
+
+void MigrationEngine::notify_phase(const PendingTx& tx, const char* phase) {
+  if (!phase_listener_) {
+    return;
+  }
+  PhaseEvent event;
+  event.process = tx.process;
+  event.source = tx.source;
+  event.destination = tx.dest;
+  event.phase = phase;
+  phase_listener_(event);
+}
+
+void MigrationEngine::notify_outcome(const MigrationTimeline& timeline) {
+  if (!outcome_listener_) {
+    return;
+  }
+  MigrationOutcome outcome;
+  outcome.process = timeline.process;
+  outcome.source = timeline.source;
+  outcome.destination = timeline.destination;
+  outcome.outcome = timeline.outcome;
+  outcome.reason = timeline.abort_reason;
+  outcome.phase = timeline.abort_phase;
+  outcome_listener_(outcome);
+}
+
 void MigrationEngine::finish_normal_exit(mpi::RankId id) {
   const auto it = procs_.find(id);
   if (it == procs_.end()) {
     return;
   }
+  // A signal span still open here means the process exited before reaching
+  // another poll-point; close it or it leaks as an open span forever.
+  close_signal_span(id, "exit");
   MigrationContext& ctx = it->second->context;
   if (ApplicationSchema* s = schema(ctx.schema_name_)) {
     s->record_execution(mpi_->engine().now() - ctx.launched_at);
@@ -124,10 +241,7 @@ bool MigrationEngine::request_migration(mpi::RankId id,
   }
   if (obs::Tracer* t = tracer(); obs::active(t) && ok) {
     // The signal span covers delivery -> the process reaching a poll-point.
-    const auto open = signal_spans_.find(id);
-    if (open != signal_spans_.end()) {
-      t->end_span(open->second, {{"superseded", true}});
-    }
+    close_signal_span(id, "superseded");
     signal_spans_[id] = t->begin_span(
         "migration.signal", "hpcm", proc->name(),
         {{"source", proc->host().name()},
@@ -142,15 +256,9 @@ sim::Task<> MigrationContext::poll_point() {
   if (!p.host().processes().consume_signal(p.pid(), host::kSigMigrate)) {
     co_return;
   }
+  // Close the signal-delivery span: the process reached its poll-point.
+  engine_->close_signal_span(p.id(), "poll-point");
   obs::Tracer* tracer = engine_->tracer();
-  if (obs::active(tracer)) {
-    // Close the signal-delivery span: the process reached its poll-point.
-    const auto open = engine_->signal_spans_.find(p.id());
-    if (open != engine_->signal_spans_.end()) {
-      tracer->end_span(open->second);
-      engine_->signal_spans_.erase(open);
-    }
-  }
   const std::string key = migrate_key(p.pid());
   if (!p.host().tmpfiles().contains(key)) {
     ARS_LOG_WARN("hpcm", "migration signal without destination file for "
@@ -161,23 +269,43 @@ sim::Task<> MigrationContext::poll_point() {
   if (obs::active(tracer)) {
     poll_span = tracer->begin_span("migration.poll_point", "hpcm", p.name());
   }
-  const std::string dest = p.host().tmpfiles().read(key);
+  const std::string raw = p.host().tmpfiles().read(key);
   p.host().tmpfiles().erase(key);
+  // Validate the commander-written destination up front: a malformed temp
+  // file or an unknown host must not start (or crash) the protocol — the
+  // process keeps computing on the source.
+  const std::optional<std::string> dest = parse_destination(raw);
+  const bool known =
+      dest.has_value() &&
+      engine_->mpi().network().find_host(*dest) != nullptr;
+  if (!known) {
+    if (obs::active(tracer)) {
+      tracer->end_span(poll_span, {{"bad_destination", true}});
+      tracer->instant("migration.bad_destination", "hpcm", p.name(),
+                      {{"host", p.host().name()}});
+    }
+    ARS_LOG_WARN("hpcm", "ignoring malformed or unknown migration "
+                             << "destination for " << p.name());
+    if (obs::MetricsRegistry* m = engine_->metrics()) {
+      m->counter("migration.bad_destination").inc();
+    }
+    co_return;
+  }
   if (obs::active(tracer)) {
-    tracer->end_span(poll_span, {{"dest", dest}});
+    tracer->end_span(poll_span, {{"dest", *dest}});
   }
   try {
-    co_await engine_->migrate(*this, dest);
+    co_await engine_->migrate(*this, *dest);
   } catch (const mpi::ProcMoved&) {
     throw;  // normal migration unwind
   } catch (const std::exception& e) {
     // A failed migration must not kill the application; log and keep
     // computing on the source.
-    ARS_LOG_ERROR("hpcm", "migration of " << p.name() << " to " << dest
+    ARS_LOG_ERROR("hpcm", "migration of " << p.name() << " to " << *dest
                                           << " failed: " << e.what());
     if (obs::active(tracer)) {
       tracer->instant("migration.failed", "hpcm", p.name(),
-                      {{"dest", dest}, {"error", std::string(e.what())}});
+                      {{"dest", *dest}, {"error", std::string(e.what())}});
     }
     if (obs::MetricsRegistry* m = engine_->metrics()) {
       m->counter("migration.failures").inc();
@@ -218,14 +346,61 @@ bool MigrationEngine::crash(mpi::RankId id) {
   if (obs::MetricsRegistry* m = metrics()) {
     m->counter("process.crashes").inc();
   }
+  // A signal delivered but never polled would leak its span.
+  close_signal_span(id, "crash");
+  // An in-flight transaction's phase fiber references the Proc; destroy it
+  // before the kill below frees the process.
+  std::size_t tx_index = 0;
+  bool tx_found = false;
+  bool tx_committed = false;
+  for (auto& [index, tx] : pending_) {
+    if (tx->proc_id == id) {
+      tx_found = true;
+      tx_index = index;
+      tx_committed = tx->committed;
+      tx->timeout_event.cancel();
+      tx->phase_fiber.kill();
+      break;
+    }
+  }
   auto state = std::move(it->second);
   procs_.erase(it);
   state->context.proc_ = nullptr;
   crashed_[name] = std::move(state);
-  return mpi_->kill(id);
+  const bool killed = mpi_->kill(id);
+  if (tx_found) {
+    if (tx_committed) {
+      // The freshly relocated instance died during background restoration.
+      rollback_restore(tx_index, "restore-interrupted");
+    } else {
+      abort_transaction(tx_index, "source-crashed");
+    }
+  }
+  return killed;
 }
 
 int MigrationEngine::crash_host(const std::string& host_name) {
+  // Destination-side failure handling for in-flight transactions: wake
+  // pre-commit transactions so their migrating fiber aborts and rolls back
+  // to source execution; roll post-commit ones back to checkpoint-restart.
+  std::vector<std::size_t> rolling;
+  for (auto& [index, tx] : pending_) {
+    if (tx->dest != host_name) {
+      continue;
+    }
+    if (tx->committed) {
+      rolling.push_back(index);
+    } else {
+      tx->dest_failed = true;
+      tx->wake.notify_all();
+    }
+  }
+  for (const std::size_t index : rolling) {
+    rollback_restore(index, "restore-interrupted");
+  }
+  // A pre-initialized receiver daemon dies with its host.
+  drop_daemon(host_name);
+
   std::vector<mpi::RankId> victims;
   for (const auto& [id, state] : procs_) {
     const mpi::Proc* proc = mpi_->find(id);
@@ -319,11 +494,23 @@ sim::Task<> MigrationEngine::receiver_main(mpi::Proc& helper,
   }
   // Data restoration cost before the application can resume.
   co_await sim::delay(helper.system().engine(), options_.restore_delay);
-  takeover(id, helper.host(), std::move(*decoded), timeline_index);
+  const auto tx_it = pending_.find(timeline_index);
+  if (tx_it == pending_.end()) {
+    co_return;  // transaction aborted while we were restoring
+  }
+  tx_it->second->restored_state = std::move(*decoded);
+  tx_it->second->state_ready = true;
+  // The resume handshake: the source relocates the process (the commit
+  // point) only once this acknowledgement lands.
+  co_await helper.send(merged, merged.rank_of(id), kTagResumeAck, 16.0);
   // Background restoration completes in parallel with the resumed app.
   (void)co_await helper.recv(merged, mpi::kAnySource, kTagReady);
-  const MigrationTimeline& done = history_[timeline_index];
-  history_[timeline_index].completed_at = helper.system().engine().now();
+  finish_restore(timeline_index);
+}
+
+void MigrationEngine::finish_restore(std::size_t timeline_index) {
+  MigrationTimeline& done = history_[timeline_index];
+  done.completed_at = mpi_->engine().now();
   if (obs::Tracer* t = tracer(); obs::active(t)) {
     const auto spans = timeline_spans_.find(timeline_index);
     if (spans != timeline_spans_.end()) {
@@ -342,6 +529,218 @@ sim::Task<> MigrationEngine::receiver_main(mpi::Proc& helper,
                  {}, {1e3, 1e4, 1e5, 1e6, 1e7, 1e8, 1e9})
         .observe(done.state_bytes);
   }
+  notify_outcome(done);
+  collectors_.erase(timeline_index);
+  pending_.erase(timeline_index);
+}
+
+sim::Task<> MigrationEngine::phase_init(PendingTx& tx, mpi::Proc& proc) {
+  if (tx.pre_init) {
+    // Pre-initialized daemon: connect/accept instead of the slow spawn.
+    const mpi::Comm conn = co_await proc.connect(tx.port);
+    tx.helper_id = conn.remote_member(0);
+    tx.merged = co_await proc.merge(conn, false);
+  } else {
+    MigrationEngine* self = this;
+    auto receiver = [self](mpi::Proc& helper) -> sim::Task<> {
+      const mpi::Comm m = co_await helper.merge(helper.parent_comm(), true);
+      co_await self->receiver_main(helper, m);
+    };
+    const mpi::SpawnResult spawned =
+        co_await proc.spawn(tx.dest, receiver, proc.name() + ".init");
+    tx.helper_id = spawned.children.front();
+    tx.merged = co_await proc.merge(spawned.intercomm, false);
+  }
+}
+
+sim::Task<> MigrationEngine::phase_eager(PendingTx& tx, mpi::Proc& proc) {
+  mpi::MpiMessage eager_payload;
+  eager_payload.data =
+      std::make_shared<const mpi::Bytes>(std::move(tx.encoded));
+  eager_payload.values = {static_cast<double>(proc.id()),
+                          static_cast<double>(tx.timeline_index)};
+  co_await proc.send(tx.merged, tx.merged.rank_of(tx.helper_id),
+                     kTagEagerState, tx.eager_wire, std::move(eager_payload));
+}
+
+sim::Task<> MigrationEngine::phase_ack(PendingTx& tx, mpi::Proc& proc) {
+  (void)co_await proc.recv(tx.merged, mpi::kAnySource, kTagResumeAck);
+}
+
+sim::Task<> MigrationEngine::run_phase(PendingTx* tx, sim::Task<> body) {
+  try {
+    co_await std::move(body);
+    tx->phase_done = true;
+  } catch (const std::exception& e) {
+    tx->phase_error = e.what();
+    if (tx->phase_error.empty()) {
+      tx->phase_error = "phase failed";
+    }
+  }
+  tx->wake.notify_all();
+}
+
+sim::Task<MigrationEngine::PhaseResult> MigrationEngine::await_phase(
+    PendingTx& tx, sim::Task<> body, const char* phase, double timeout) {
+  tx.phase = phase;
+  tx.phase_done = false;
+  tx.timed_out = false;
+  tx.phase_error.clear();
+  notify_phase(tx, phase);
+  tx.phase_fiber =
+      sim::Fiber::spawn(mpi_->engine(), run_phase(&tx, std::move(body)),
+                        tx.process + ".migrate." + phase);
+  PendingTx* txp = &tx;
+  tx.timeout_event = mpi_->engine().schedule_after(timeout, [txp] {
+    txp->timed_out = true;
+    txp->wake.notify_all();
+  });
+  while (!tx.phase_done && !tx.timed_out && !tx.dest_failed &&
+         tx.phase_error.empty()) {
+    co_await tx.wake.wait();
+  }
+  tx.timeout_event.cancel();
+  if (tx.dest_failed) {
+    tx.phase_fiber.kill();
+    co_return PhaseResult::kDestFailed;
+  }
+  if (tx.phase_done) {
+    co_return PhaseResult::kDone;
+  }
+  tx.phase_fiber.kill();
+  co_return tx.phase_error.empty() ? PhaseResult::kTimeout
+                                   : PhaseResult::kError;
+}
+
+void MigrationEngine::fail_phase(PendingTx& tx, mpi::Proc& proc,
+                                 PhaseResult result) {
+  const std::string phase = tx.phase;
+  if (result == PhaseResult::kError) {
+    ARS_LOG_ERROR("hpcm", "migration phase " << phase << " of " << proc.name()
+                                             << " failed: "
+                                             << tx.phase_error);
+  }
+  std::string reason;
+  switch (result) {
+    case PhaseResult::kTimeout:
+      reason = phase + "-timeout";
+      break;
+    case PhaseResult::kDestFailed:
+      reason = "dest-failed";
+      break;
+    default:
+      reason = "phase-error";
+      break;
+  }
+  abort_transaction(tx.timeline_index, std::move(reason));  // destroys tx
+  if (options_.sabotage_skip_rollback) {
+    // Sabotaged build (chaos checker validation): unwind the source fiber
+    // as if the transaction had committed even though it did not — the
+    // logical process is lost, which no-lost-process must catch.
+    mpi_->terminate(proc.id());
+    throw mpi::ProcMoved{};
+  }
+}
+
+void MigrationEngine::abort_transaction(std::size_t timeline_index,
+                                        std::string reason) {
+  const auto it = pending_.find(timeline_index);
+  if (it == pending_.end()) {
+    return;
+  }
+  PendingTx& tx = *it->second;
+  tx.timeout_event.cancel();
+  tx.phase_fiber.kill();
+  if (tx.pre_init) {
+    // The daemon is wedged mid-protocol; drop it so later migrations to
+    // the host fall back to MPI_Comm_spawn.
+    drop_daemon(tx.dest);
+  } else if (tx.helper_id != 0) {
+    mpi_->kill(tx.helper_id);
+  }
+  MigrationTimeline& t = history_[timeline_index];
+  t.outcome = "aborted";
+  t.abort_reason = reason;
+  t.abort_phase = tx.phase;
+  ARS_LOG_WARN("hpcm", "migration of " << tx.process << " to " << tx.dest
+                                       << " aborted in phase " << tx.phase
+                                       << " (" << reason << ")");
+  if (obs::Tracer* tr = tracer(); obs::active(tr)) {
+    tr->instant("migration.aborted", "hpcm", tx.process,
+                {{"dest", tx.dest},
+                 {"phase", tx.phase},
+                 {"reason", reason}});
+  }
+  end_transaction_spans(timeline_index, "aborted", reason);
+  if (obs::MetricsRegistry* m = metrics()) {
+    m->counter("migration.aborts", {{"reason", reason}}).inc();
+    if (!options_.sabotage_skip_rollback) {
+      m->counter("migration.rollbacks").inc();
+    }
+  }
+  notify_outcome(t);
+  pending_.erase(it);
+}
+
+void MigrationEngine::rollback_restore(std::size_t timeline_index,
+                                       std::string reason) {
+  const auto it = pending_.find(timeline_index);
+  if (it == pending_.end()) {
+    return;
+  }
+  PendingTx& tx = *it->second;
+  tx.timeout_event.cancel();
+  tx.phase_fiber.kill();
+  if (const auto coll = collectors_.find(timeline_index);
+      coll != collectors_.end()) {
+    coll->second.kill();
+    collectors_.erase(coll);
+  }
+  if (tx.pre_init) {
+    drop_daemon(tx.dest);
+  } else if (tx.helper_id != 0) {
+    mpi_->kill(tx.helper_id);
+  }
+  MigrationTimeline& t = history_[timeline_index];
+  t.outcome = "rolled-back";
+  t.abort_reason = reason;
+  t.abort_phase = "restore";
+  ARS_LOG_WARN("hpcm", "migration of " << tx.process << " to " << tx.dest
+                                       << " rolled back after commit ("
+                                       << reason << ")");
+  if (obs::Tracer* tr = tracer(); obs::active(tr)) {
+    tr->instant("migration.rolled_back", "hpcm", tx.process,
+                {{"dest", tx.dest}, {"reason", reason}});
+  }
+  end_transaction_spans(timeline_index, "rolled-back", reason);
+  if (obs::MetricsRegistry* m = metrics()) {
+    m->counter("migration.rollbacks").inc();
+  }
+  notify_outcome(t);
+  pending_.erase(it);
+}
+
+void MigrationEngine::end_transaction_spans(std::size_t timeline_index,
+                                            const char* outcome,
+                                            const std::string& reason) {
+  const auto spans = timeline_spans_.find(timeline_index);
+  if (spans == timeline_spans_.end()) {
+    return;
+  }
+  if (obs::Tracer* t = tracer(); obs::active(t)) {
+    t->end_span(spans->second.restore, {{"outcome", outcome}});
+    t->end_span(spans->second.migration,
+                {{"outcome", outcome}, {"reason", reason}});
+  }
+  timeline_spans_.erase(spans);
+}
+
+void MigrationEngine::drop_daemon(const std::string& host_name) {
+  if (const auto it = daemon_ids_.find(host_name); it != daemon_ids_.end()) {
+    mpi_->kill(it->second);
+    daemon_ids_.erase(it);
+  }
+  pre_initialized_.erase(host_name);
 }
 
 sim::Task<> MigrationEngine::migrate(MigrationContext& ctx,
@@ -378,42 +777,42 @@ sim::Task<> MigrationEngine::migrate(MigrationContext& ctx,
         {{"source", source_host}, {"dest", dest_host}});
   }
 
-  // ---- 1. initialized process (MPI-2 DPM) ---------------------------------
-  MigrationEngine* self = this;
-  mpi::Comm merged;
-  mpi::RankId helper_id = 0;
   const auto port_it = pre_initialized_.find(dest_host);
-  const bool pre_init =
+  auto tx_owner = std::make_unique<PendingTx>(engine);
+  PendingTx& tx = *tx_owner;
+  tx.timeline_index = timeline_index;
+  tx.proc_id = proc.id();
+  tx.process = proc.name();
+  tx.source = source_host;
+  tx.dest = dest_host;
+  tx.pre_init =
       port_it != pre_initialized_.end() && !port_it->second.empty();
+  if (tx.pre_init) {
+    tx.port = port_it->second;
+  }
+  pending_.emplace(timeline_index, std::move(tx_owner));
+
+  // ---- phase 1: initialized process (MPI-2 DPM) ---------------------------
   std::uint64_t spawn_span = 0;
   if (obs::active(t)) {
     spawn_span = t->begin_span(
         "migration.spawn", "hpcm", proc.name(),
         {{"dest", dest_host},
-         {"mechanism", pre_init ? "connect (pre-initialized daemon)"
-                                : "MPI_Comm_spawn"}});
+         {"mechanism", tx.pre_init ? "connect (pre-initialized daemon)"
+                                   : "MPI_Comm_spawn"}});
   }
-  if (pre_init) {
-    // Pre-initialized daemon: connect/accept instead of the slow spawn.
-    const mpi::Comm conn = co_await proc.connect(port_it->second);
-    helper_id = conn.remote_member(0);
-    merged = co_await proc.merge(conn, false);
-  } else {
-    auto receiver = [self](mpi::Proc& helper) -> sim::Task<> {
-      const mpi::Comm m = co_await helper.merge(helper.parent_comm(), true);
-      co_await self->receiver_main(helper, m);
-    };
-    const mpi::SpawnResult spawned =
-        co_await proc.spawn(dest_host, receiver, proc.name() + ".init");
-    helper_id = spawned.children.front();
-    merged = co_await proc.merge(spawned.intercomm, false);
+  PhaseResult r = co_await await_phase(tx, phase_init(tx, proc), "init",
+                                       options_.init_timeout);
+  if (obs::active(t)) {
+    t->end_span(spawn_span, {{"completed", r == PhaseResult::kDone}});
+  }
+  if (r != PhaseResult::kDone) {
+    fail_phase(tx, proc, r);
+    co_return;
   }
   history_[timeline_index].init_done_at = engine.now();
-  if (obs::active(t)) {
-    t->end_span(spawn_span);
-  }
 
-  // ---- 2. data collection: snapshot live variables -------------------------
+  // ---- phase 2: data collection: snapshot live variables -------------------
   std::uint64_t collect_span = 0;
   if (obs::active(t)) {
     collect_span = t->begin_span("migration.collect", "hpcm", proc.name());
@@ -421,44 +820,67 @@ sim::Task<> MigrationEngine::migrate(MigrationContext& ctx,
   if (ctx.save_) {
     ctx.save_();
   }
-  const std::vector<std::byte> encoded =
-      ctx.state_.encode(proc.host().spec().byte_order);
-  const double opaque = static_cast<double>(ctx.state_.opaque_bytes());
-  const double eager_opaque = std::min(opaque, options_.eager_bytes);
-  const double eager_wire = static_cast<double>(encoded.size()) + eager_opaque;
+  tx.encoded = ctx.state_.encode(proc.host().spec().byte_order);
+  tx.opaque = static_cast<double>(ctx.state_.opaque_bytes());
+  tx.eager_opaque = std::min(tx.opaque, options_.eager_bytes);
+  tx.eager_wire = static_cast<double>(tx.encoded.size()) + tx.eager_opaque;
   history_[timeline_index].state_bytes =
-      static_cast<double>(encoded.size()) + opaque;
+      static_cast<double>(tx.encoded.size()) + tx.opaque;
+  const double state_bytes = history_[timeline_index].state_bytes;
+  const double eager_wire = tx.eager_wire;
+  const double remaining = tx.opaque - tx.eager_opaque;
 
-  // ---- 3. execution state + eager data over the merged communicator -------
-  mpi::MpiMessage eager_payload;
-  eager_payload.data = std::make_shared<const mpi::Bytes>(encoded);
-  eager_payload.values = {static_cast<double>(proc.id()),
-                          static_cast<double>(timeline_index)};
-  co_await proc.send(merged, merged.rank_of(helper_id), kTagEagerState,
-                     eager_wire, std::move(eager_payload));
+  // ---- phase 3: execution state + eager data over the merged communicator -
+  r = co_await await_phase(tx, phase_eager(tx, proc), "eager",
+                           options_.eager_timeout);
+  if (r != PhaseResult::kDone) {
+    if (obs::active(t)) {
+      t->end_span(collect_span, {{"completed", false}});
+    }
+    fail_phase(tx, proc, r);
+    co_return;
+  }
   history_[timeline_index].eager_done_at = engine.now();
   if (obs::active(t)) {
-    t->end_span(collect_span,
-                {{"state_bytes", history_[timeline_index].state_bytes},
-                 {"eager_bytes", eager_wire}});
+    t->end_span(collect_span, {{"state_bytes", state_bytes},
+                               {"eager_bytes", eager_wire}});
     // The restoration overlap: the destination decodes and resumes while
     // the source keeps shipping the bulk of the memory state.
     timeline_spans_[timeline_index].restore = t->begin_span(
         "migration.restore", "hpcm", proc.name(),
-        {{"remaining_bytes", opaque - eager_opaque}});
+        {{"remaining_bytes", remaining}});
   }
 
-  // ---- 4. background bulk transfer (source keeps collecting) --------------
-  const double remaining = opaque - eager_opaque;
-  std::erase_if(collector_fibers_,
-                [](const sim::Fiber& f) { return f.done(); });
-  collector_fibers_.push_back(
+  // ---- phase 4: resume handshake — the transaction's commit point ----------
+  r = co_await await_phase(tx, phase_ack(tx, proc), "ack",
+                           options_.ack_timeout);
+  if (r != PhaseResult::kDone) {
+    fail_phase(tx, proc, r);
+    co_return;
+  }
+  mpi::Proc* helper = mpi_->find(tx.helper_id);
+  if (helper == nullptr || !tx.state_ready) {
+    // The ACK raced a destination failure; treat it as a failed handshake.
+    tx.phase = "ack";
+    fail_phase(tx, proc, PhaseResult::kDestFailed);
+    co_return;
+  }
+
+  // ---- commit: the destination owns the process from here on ---------------
+  notify_phase(tx, "restore");
+  std::erase_if(collectors_,
+                [](const auto& entry) { return entry.second.done(); });
+  collectors_.emplace(
+      timeline_index,
       sim::Fiber::spawn(engine,
                         run_collector(source_host, dest_host, remaining,
-                                      helper_id, merged),
+                                      tx.helper_id, tx.merged),
                         proc.name() + ".collector"));
+  tx.committed = true;
+  takeover(proc.id(), helper->host(), std::move(tx.restored_state),
+           timeline_index);
 
-  // ---- 5. the source-side fiber is done ------------------------------------
+  // ---- the source-side fiber is done ---------------------------------------
   throw mpi::ProcMoved{};
 }
 
@@ -491,6 +913,9 @@ void MigrationEngine::takeover(mpi::RankId id, host::Host& destination,
     ARS_LOG_ERROR("hpcm", "takeover for unknown proc " << id);
     return;
   }
+  // A second signal raised mid-transaction can never be polled on the
+  // source again; close its span instead of leaking it.
+  close_signal_span(id, "relocated");
   MigrationContext& ctx = it->second->context;
   mpi_->relocate(*proc, destination);
   ctx.state_ = std::move(restored_state);
@@ -499,6 +924,7 @@ void MigrationEngine::takeover(mpi::RankId id, host::Host& destination,
   ctx.requested_at = -1.0;
   history_[timeline_index].resumed_at = mpi_->engine().now();
   history_[timeline_index].succeeded = true;
+  history_[timeline_index].outcome = "committed";
   if (obs::Tracer* t = tracer(); obs::active(t)) {
     t->instant("migration.resumed", "hpcm", proc->name(),
                {{"dest", destination.name()},
@@ -528,7 +954,8 @@ void MigrationEngine::pre_initialize_on(const std::string& host_name) {
       co_await self->receiver_main(helper, merged);
     }
   };
-  mpi_->launch(host_name, daemon, "hpcm.daemon." + host_name);
+  daemon_ids_[host_name] =
+      mpi_->launch(host_name, daemon, "hpcm.daemon." + host_name);
 }
 
 bool MigrationEngine::has_pre_initialized(const std::string& host_name) const {

@@ -123,6 +123,8 @@ void Registry::clear_soft_state() {
   }
   processes_.clear();
   stranded_.clear();
+  inflight_.clear();
+  pending_relaunches_.clear();
   children_.clear();
   next_registration_order_ = 0;
 }
@@ -389,6 +391,15 @@ void Registry::handle(const ProtocolMessage& message,
       entry.schema_name = preg->schema_name;
       processes_.insert_or_assign(process_key(preg->host, preg->pid),
                                   std::move(entry));
+      if (!pending_relaunches_.empty()) {
+        // A monitor re-reporting the process confirms its relaunch landed
+        // (event-driven, so a fast process that exits before the TTL check
+        // still counts as confirmed).
+        std::erase_if(pending_relaunches_,
+                      [&](const PendingRelaunch& pending) {
+                        return pending.process.name == preg->name;
+                      });
+      }
     }
     return;
   }
@@ -403,6 +414,11 @@ void Registry::handle(const ProtocolMessage& message,
   }
   if (std::get_if<xmlproto::AckMsg>(&message) != nullptr) {
     return;  // commander acknowledgements: informational
+  }
+  if (const auto* outcome =
+          std::get_if<xmlproto::MigrationOutcomeMsg>(&message)) {
+    on_migration_outcome(*outcome);
+    return;
   }
   if (const auto* health = std::get_if<xmlproto::HealthReportMsg>(&message)) {
     // Child-domain capacity, used to balance escalated consults.
@@ -428,6 +444,21 @@ sim::Task<> Registry::sweep() {
     // Retry stranded restarts first: capacity freed since the last sweep
     // (and this tick's expiries have not been processed yet).
     drain_stranded();
+    // A placement whose outcome report was lost must not debit its
+    // destination forever.
+    const std::size_t live_debits = inflight_.size();
+    std::erase_if(inflight_, [&](const PlacementDebit& debit) {
+      return now - debit.at > config_.placement_debit_ttl;
+    });
+    if (inflight_.size() != live_debits && config_.metrics != nullptr) {
+      config_.metrics->counter("registry.placements_expired")
+          .inc(static_cast<double>(live_debits - inflight_.size()));
+      config_.metrics->gauge("registry.placements_inflight")
+          .set(static_cast<double>(inflight_.size()));
+    }
+    // A relaunch command lost on the wire (partition, dead commander)
+    // must not strand the process: unconfirmed relaunches re-park.
+    confirm_relaunches(now);
     for (auto& [name, entry] : hosts_) {
       if (entry.state != SystemState::kUnavailable &&
           now - entry.last_update > config_.lease_ttl) {
@@ -590,6 +621,13 @@ bool Registry::restart_process(const ProcessEntry& process,
   ARS_LOG_WARN("registry", "restarting " << process.name << " on "
                                          << chosen->info.host);
   send_to(chosen->info.host, chosen->commander_port, command);
+  // Track the command until a monitor re-reports the process: the wire is
+  // lossy and a vanished RelaunchCmd must not lose the process for good.
+  std::erase_if(pending_relaunches_, [&](const PendingRelaunch& pending) {
+    return pending.process.name == process.name;
+  });
+  pending_relaunches_.push_back(
+      PendingRelaunch{process, chosen->info.host, host_->engine().now()});
   return true;
 }
 
@@ -610,6 +648,187 @@ void Registry::drain_stranded() {
         .inc(static_cast<double>(stranded_.size() - still.size()));
   }
   stranded_.swap(still);
+}
+
+void Registry::confirm_relaunches(double now) {
+  std::vector<PendingRelaunch> unconfirmed;
+  std::erase_if(pending_relaunches_, [&](const PendingRelaunch& pending) {
+    if (now - pending.commanded_at <= config_.relaunch_confirm_ttl) {
+      return false;  // still inside the confirmation window
+    }
+    for (const auto& [key, entry] : processes_) {
+      if (entry.name == pending.process.name) {
+        return true;  // a monitor has re-reported it — relaunch landed
+      }
+    }
+    unconfirmed.push_back(pending);
+    return true;
+  });
+  for (const PendingRelaunch& pending : unconfirmed) {
+    ARS_LOG_WARN("registry", "relaunch of " << pending.process.name << " on "
+                                            << pending.dest
+                                            << " unconfirmed; retrying");
+    if (config_.metrics != nullptr) {
+      config_.metrics->counter("registry.relaunches_retried").inc();
+    }
+    if (obs::active(config_.tracer)) {
+      config_.tracer->instant("registry.relaunch_retry", "scheduler",
+                              host_->name(),
+                              {{"process", pending.process.name},
+                               {"dest", pending.dest}});
+    }
+    const bool already = std::any_of(
+        stranded_.begin(), stranded_.end(), [&](const ProcessEntry& p) {
+          return p.name == pending.process.name;
+        });
+    if (!already) {
+      stranded_.push_back(pending.process);
+    }
+  }
+}
+
+void Registry::debit_placement(const std::string& process_name,
+                               const std::string& dest,
+                               const std::string& schema_name) {
+  // A process has at most one migration in flight: a new command for it
+  // supersedes any stale debit (bounds the list when outcomes get lost).
+  std::erase_if(inflight_, [&](const PlacementDebit& debit) {
+    return debit.process == process_name;
+  });
+  PlacementDebit debit;
+  debit.process = process_name;
+  debit.dest = dest;
+  debit.at = host_->engine().now();
+  if (const auto it = schemas_.find(schema_name); it != schemas_.end()) {
+    debit.memory_bytes = it->second.requirements().min_memory_bytes;
+    debit.disk_bytes = it->second.requirements().min_disk_bytes;
+  }
+  inflight_.push_back(std::move(debit));
+  if (config_.metrics != nullptr) {
+    config_.metrics->gauge("registry.placements_inflight")
+        .set(static_cast<double>(inflight_.size()));
+  }
+}
+
+std::pair<std::uint64_t, std::uint64_t> Registry::inflight_debit(
+    const std::string& host_name) const {
+  std::uint64_t memory = 0;
+  std::uint64_t disk = 0;
+  for (const PlacementDebit& debit : inflight_) {
+    if (debit.dest == host_name) {
+      memory += debit.memory_bytes;
+      disk += debit.disk_bytes;
+    }
+  }
+  return {memory, disk};
+}
+
+void Registry::on_migration_outcome(
+    const xmlproto::MigrationOutcomeMsg& outcome) {
+  const double now = host_->engine().now();
+  if (config_.metrics != nullptr) {
+    config_.metrics
+        ->counter("registry.migration_outcomes",
+                  {{"outcome", outcome.outcome}})
+        .inc();
+  }
+  if (obs::active(config_.tracer)) {
+    config_.tracer->instant("registry.migration_outcome", "scheduler",
+                            host_->name(),
+                            {{"process", outcome.process},
+                             {"dest", outcome.destination},
+                             {"outcome", outcome.outcome},
+                             {"reason", outcome.reason}});
+  }
+  // Credit the in-flight placement debit back (prefer the exact
+  // destination; fall back to the process alone for re-planned debits).
+  auto debit = std::find_if(
+      inflight_.begin(), inflight_.end(), [&](const PlacementDebit& d) {
+        return d.process == outcome.process && d.dest == outcome.destination;
+      });
+  if (debit == inflight_.end()) {
+    debit = std::find_if(
+        inflight_.begin(), inflight_.end(),
+        [&](const PlacementDebit& d) { return d.process == outcome.process; });
+  }
+  if (debit != inflight_.end()) {
+    inflight_.erase(debit);
+    if (config_.metrics != nullptr) {
+      config_.metrics->counter("registry.placements_credited").inc();
+      config_.metrics->gauge("registry.placements_inflight")
+          .set(static_cast<double>(inflight_.size()));
+    }
+  }
+  if (outcome.outcome == "committed") {
+    return;
+  }
+  // The destination failed mid-transaction: back it off as a destination
+  // until it proves itself again.
+  if (const auto it = hosts_.find(outcome.destination); it != hosts_.end()) {
+    it->second.suspect_until = now + config_.suspect_backoff;
+    ARS_LOG_WARN("registry", "marking " << outcome.destination
+                                        << " suspect until t="
+                                        << it->second.suspect_until << " ("
+                                        << outcome.outcome << ": "
+                                        << outcome.reason << ")");
+    if (config_.metrics != nullptr) {
+      config_.metrics->counter("registry.hosts_suspected").inc();
+    }
+  }
+  if (outcome.outcome == "rolled-back") {
+    // Post-commit destination loss: the process committed to the dead
+    // destination, so the source lease never lapses for it — command the
+    // checkpoint-restart directly instead of waiting for a lease that is
+    // not coming.
+    ProcessEntry lost;
+    bool known = false;
+    for (const auto& [key, entry] : processes_) {
+      if (entry.name == outcome.process) {
+        lost = entry;
+        known = true;
+        break;
+      }
+    }
+    if (known) {
+      processes_.erase(process_key(lost.host, lost.pid));
+    } else {
+      // The destination died before its monitor ever reported the arrival;
+      // reconstruct what the relaunch needs from the outcome itself.
+      lost.name = outcome.process;
+      lost.host = outcome.destination;
+    }
+    if (config_.metrics != nullptr) {
+      config_.metrics->counter("registry.rollback_restarts").inc();
+    }
+    RecoveryRound round;
+    if (!restart_process(lost, round, /*record_stranded=*/true)) {
+      const bool already = std::any_of(
+          stranded_.begin(), stranded_.end(),
+          [&](const ProcessEntry& p) { return p.name == lost.name; });
+      if (!already) {
+        stranded_.push_back(lost);
+      }
+    }
+    return;
+  }
+  if (outcome.outcome != "aborted") {
+    return;
+  }
+  // Aborted: the process still runs on the source.  Clear its cooldown
+  // (this migration never happened) and re-plan right away.
+  for (auto& [key, process] : processes_) {
+    if (process.host == outcome.source && process.name == outcome.process) {
+      process.last_migrated_at = -1.0e9;
+    }
+  }
+  if (config_.replan_on_abort) {
+    xmlproto::ConsultMsg consult;
+    consult.host = outcome.source;
+    consult.reason = "migration aborted (" + outcome.reason + ")";
+    std::erase_if(fibers_, [](const sim::Fiber& f) { return f.done(); });
+    fibers_.push_back(sim::Fiber::spawn(host_->engine(), decide(consult),
+                                        "registry.decide"));
+  }
 }
 
 sim::Task<> Registry::report_health() {
@@ -698,6 +917,7 @@ std::vector<const HostEntry*> Registry::legacy_eligible(
     const std::string& source_host, const hpcm::ApplicationSchema* schema,
     const std::string& schema_name,
     std::vector<CandidateAudit>* audit) const {
+  const double now = host_->engine().now();
   std::vector<const HostEntry*> ordered;
   ordered.reserve(hosts_.size());
   for (const auto& [name, entry] : hosts_) {
@@ -720,6 +940,10 @@ std::vector<const HostEntry*> Registry::legacy_eligible(
     }
     if (entry->draining) {
       reject(entry, "draining (evacuated)");
+      continue;
+    }
+    if (entry->suspect_until > now) {
+      reject(entry, "suspect (recent migration failure)");
       continue;
     }
     if (!rules::actions_for(entry->state).migrate_in) {
@@ -747,6 +971,14 @@ std::vector<const HostEntry*> Registry::legacy_eligible(
         reject(entry, "insufficient resources for schema " + schema_name);
         continue;
       }
+      const auto [mem_debit, disk_debit] =
+          inflight_debit(entry->info.host);
+      if ((mem_debit != 0 || disk_debit != 0) &&
+          (entry->info.memory_bytes < req.min_memory_bytes + mem_debit ||
+           entry->info.disk_bytes < req.min_disk_bytes + disk_debit)) {
+        reject(entry, "in-flight placements exhaust resources");
+        continue;
+      }
     }
     if (audit != nullptr) {
       audit->push_back({entry->info.host, true, "eligible"});
@@ -759,13 +991,14 @@ std::vector<const HostEntry*> Registry::legacy_eligible(
 std::vector<const HostEntry*> Registry::indexed_eligible(
     const std::string& source_host,
     const hpcm::ApplicationSchema* schema) const {
+  const double now = host_->engine().now();
   const StateList& free_list = index_[state_slot(SystemState::kFree)];
   std::vector<const HostEntry*> eligible;
   eligible.reserve(free_list.size);
   for (const HostEntry* entry = free_list.head; entry != nullptr;
        entry = entry->index_next) {
     if (entry->info.host == source_host || entry->draining ||
-        entry->commander_port == 0) {
+        entry->suspect_until > now || entry->commander_port == 0) {
       continue;
     }
     if (!config_.policy.accepts_destination(entry->status)) {
@@ -776,6 +1009,13 @@ std::vector<const HostEntry*> Registry::indexed_eligible(
       if (entry->info.memory_bytes < req.min_memory_bytes ||
           entry->info.disk_bytes < req.min_disk_bytes ||
           entry->info.cpu_speed < req.min_cpu_speed) {
+        continue;
+      }
+      const auto [mem_debit, disk_debit] =
+          inflight_debit(entry->info.host);
+      if ((mem_debit != 0 || disk_debit != 0) &&
+          (entry->info.memory_bytes < req.min_memory_bytes + mem_debit ||
+           entry->info.disk_bytes < req.min_disk_bytes + disk_debit)) {
         continue;
       }
     }
@@ -899,6 +1139,7 @@ sim::Task<> Registry::evacuate(std::string drained_host, std::string reason) {
     command.dest_port = dest_it->second.commander_port;
     command.schema_name = process.schema_name;
     send_to(drained_host, source_it->second.commander_port, command);
+    debit_placement(process.name, *destination, process.schema_name);
     ++evacuations_commanded_;
     // Give each migration a beat so the destinations' heartbeats can
     // reflect the newly placed work before the next placement.
@@ -1088,6 +1329,8 @@ sim::Task<> Registry::decide(xmlproto::ConsultMsg consult) {
   if (process_it != processes_.end()) {
     process_it->second.last_migrated_at = now;
   }
+  // In-flight debit until the source commander reports the outcome.
+  debit_placement(process->name, *destination, process->schema_name);
 
   xmlproto::MigrateCmd command;
   command.pid = process->pid;

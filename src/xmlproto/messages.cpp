@@ -277,6 +277,21 @@ struct Encoder {
     put(root, "lost_host", m.lost_host);
     put(root, "schema_name", m.schema_name);
   }
+  void operator()(const MigrationOutcomeMsg& m) const {
+    root.set_attr("type", "migration_outcome");
+    put(root, "process", m.process);
+    put(root, "source", m.source);
+    put(root, "destination", m.destination);
+    put(root, "outcome", m.outcome);
+    // Failure detail rides along only on aborts/rollbacks, so a committed
+    // outcome keeps its compact form.
+    if (!m.reason.empty()) {
+      put(root, "reason", m.reason);
+    }
+    if (!m.phase.empty()) {
+      put(root, "phase", m.phase);
+    }
+  }
 };
 
 // ---- per-type decoders ----------------------------------------------------
@@ -439,6 +454,25 @@ Expected<ProtocolMessage> decode_relaunch(const XmlNode& root) {
   return ProtocolMessage{m};
 }
 
+Expected<ProtocolMessage> decode_migration_outcome(const XmlNode& root) {
+  MigrationOutcomeMsg m;
+  auto process = need_text(root, "process");
+  if (!process.has_value()) return process.error();
+  m.process = *process;
+  auto source = need_text(root, "source");
+  if (!source.has_value()) return source.error();
+  m.source = *source;
+  auto destination = need_text(root, "destination");
+  if (!destination.has_value()) return destination.error();
+  m.destination = *destination;
+  auto outcome = need_text(root, "outcome");
+  if (!outcome.has_value()) return outcome.error();
+  m.outcome = *outcome;
+  m.reason = root.child_text_or("reason", "");
+  m.phase = root.child_text_or("phase", "");
+  return ProtocolMessage{m};
+}
+
 Expected<ProtocolMessage> decode_recommend(const XmlNode& root) {
   RecommendMsg m;
   auto found = need_bool(root, "found");
@@ -479,6 +513,9 @@ std::string message_type(const ProtocolMessage& message) {
     std::string operator()(const RecommendMsg&) const { return "recommend"; }
     std::string operator()(const EvacuateMsg&) const { return "evacuate"; }
     std::string operator()(const RelaunchCmd&) const { return "relaunch"; }
+    std::string operator()(const MigrationOutcomeMsg&) const {
+      return "migration_outcome";
+    }
   };
   return std::visit(Namer{}, message);
 }
@@ -510,6 +547,7 @@ Expected<ProtocolMessage> decode(std::string_view wire) {
       {"recommend", decode_recommend},
       {"evacuate", decode_evacuate},
       {"relaunch", decode_relaunch},
+      {"migration_outcome", decode_migration_outcome},
   };
   const auto it = kDecoders.find(*type);
   if (it == kDecoders.end()) {

@@ -1,0 +1,286 @@
+// Registry side of the transactional-migration feedback loop (DESIGN.md
+// §12): every commanded migration debits an in-flight placement; the
+// commander's MigrationOutcomeMsg credits it back, marks failed
+// destinations suspect with a re-admission backoff, re-plans aborts, and
+// commands a checkpoint-restart for post-commit (rolled-back) losses.
+
+#include <set>
+#include <string>
+
+#include "ars/obs/metrics.hpp"
+#include "ars/registry/registry.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ars::registry {
+namespace {
+
+using rules::SystemState;
+using sim::Engine;
+
+class OutcomeFeedbackTest : public ::testing::Test {
+ protected:
+  void build(Registry::Config config) {
+    for (const char* name : {"hub", "ws1", "ws2", "ws3"}) {
+      host::HostSpec s;
+      s.name = name;
+      hosts_.push_back(std::make_unique<host::Host>(engine_, s));
+      net_.attach(*hosts_.back());
+    }
+    config.policy = rules::paper_policy2();
+    config.metrics = &metrics_;
+    registry_ = std::make_unique<Registry>(*hosts_[0], net_, config);
+    registry_->start();
+  }
+
+  void post(const std::string& from, const xmlproto::ProtocolMessage& m) {
+    net::Message wire;
+    wire.src_host = from;
+    wire.dst_host = "hub";
+    wire.dst_port = registry_->port();
+    wire.payload = xmlproto::encode(m);
+    net_.post(std::move(wire));
+  }
+
+  void register_host(const std::string& name, const std::string& state = "free",
+                     double load1 = 0.2, int processes = 60) {
+    xmlproto::RegisterMsg reg;
+    reg.info.host = name;
+    reg.info.cpu_speed = 1.0;
+    reg.commander_port = 6000;
+    post(name, reg);
+    heartbeat(name, state, load1, processes);
+  }
+
+  void heartbeat(const std::string& name, const std::string& state = "free",
+                 double load1 = 0.2, int processes = 60) {
+    xmlproto::UpdateMsg update;
+    update.status.host = name;
+    update.status.state = state;
+    update.status.load1 = load1;
+    update.status.processes = processes;
+    update.status.timestamp = engine_.now();
+    post(name, update);
+  }
+
+  void register_process(const std::string& host, int pid,
+                        const std::string& name) {
+    xmlproto::ProcessRegisterMsg msg;
+    msg.host = host;
+    msg.pid = pid;
+    msg.name = name;
+    msg.migration_enabled = true;
+    post(host, msg);
+  }
+
+  /// The overloaded-ws1 + free-ws2/ws3 setup every test starts from, with
+  /// one migratable process and a captured commander endpoint per host.
+  void overloaded_source() {
+    for (const char* h : {"ws1", "ws2", "ws3"}) {
+      commanders_[h] = &net_.bind(h, 6000);
+    }
+    register_host("ws1", "overloaded", 2.8, 160);
+    register_host("ws2");
+    register_host("ws3");
+    register_process("ws1", 100, "app");
+    engine_.run_until(1.0);
+  }
+
+  void consult() {
+    xmlproto::ConsultMsg m;
+    m.host = "ws1";
+    m.reason = "load1>2";
+    post("ws1", m);
+  }
+
+  /// Outcome report as the source commander would send it.
+  xmlproto::MigrationOutcomeMsg outcome_msg(const std::string& outcome,
+                                            const std::string& reason = "",
+                                            const std::string& phase = "") {
+    xmlproto::MigrationOutcomeMsg m;
+    m.process = "app";
+    m.source = "ws1";
+    m.destination = "ws2";
+    m.outcome = outcome;
+    m.reason = reason;
+    m.phase = phase;
+    return m;
+  }
+
+  /// Drain every captured commander inbox; returns decoded messages of T.
+  template <typename T>
+  std::vector<std::pair<std::string, T>> commands() {
+    std::vector<std::pair<std::string, T>> out;
+    for (auto& [host, endpoint] : commanders_) {
+      while (auto wire = endpoint->inbox.try_recv()) {
+        const auto message = xmlproto::decode(wire->payload);
+        if (message.has_value()) {
+          if (const auto* cmd = std::get_if<T>(&*message)) {
+            out.emplace_back(host, *cmd);
+          }
+        }
+      }
+    }
+    return out;
+  }
+
+  double counter_value(const std::string& name,
+                       const obs::Labels& labels = {}) {
+    const obs::Counter* c = metrics_.find_counter(name, labels);
+    return c == nullptr ? 0.0 : c->value();
+  }
+
+  double gauge_value(const std::string& name) {
+    const obs::Gauge* g = metrics_.find_gauge(name);
+    return g == nullptr ? 0.0 : g->value();
+  }
+
+  Engine engine_;
+  net::Network net_{engine_};
+  obs::MetricsRegistry metrics_;
+  std::vector<std::unique_ptr<host::Host>> hosts_;
+  std::map<std::string, net::Endpoint*> commanders_;
+  std::unique_ptr<Registry> registry_;
+};
+
+TEST_F(OutcomeFeedbackTest, MigrateCommandDebitsPlacement) {
+  build({});
+  overloaded_source();
+  consult();
+  engine_.run_until(2.0);
+  const auto migrates = commands<xmlproto::MigrateCmd>();
+  ASSERT_EQ(migrates.size(), 1U);
+  EXPECT_EQ(migrates[0].first, "ws1");
+  EXPECT_EQ(migrates[0].second.dest_host, "ws2");  // first fit
+  EXPECT_EQ(registry_->inflight_placements(), 1U);
+  EXPECT_EQ(gauge_value("registry.placements_inflight"), 1.0);
+}
+
+TEST_F(OutcomeFeedbackTest, AbortCreditsDebitSuspectsDestAndReplans) {
+  build({});
+  overloaded_source();
+  consult();
+  engine_.run_until(2.0);
+  ASSERT_EQ(registry_->inflight_placements(), 1U);
+  (void)commands<xmlproto::MigrateCmd>();  // drain the first command
+
+  post("ws1", outcome_msg("aborted", "dest-failed", "init"));
+  engine_.run_until(4.0);
+  // The in-flight debit is credited back...
+  EXPECT_EQ(counter_value("registry.placements_credited"), 1.0);
+  EXPECT_EQ(counter_value("registry.migration_outcomes",
+                          {{"outcome", "aborted"}}),
+            1.0);
+  // ...the failed destination is suspect...
+  EXPECT_EQ(counter_value("registry.hosts_suspected"), 1.0);
+  // ...and the immediate re-plan routed around it: a fresh MigrateCmd to
+  // ws3, which holds the (single) new in-flight debit.
+  const auto replanned = commands<xmlproto::MigrateCmd>();
+  ASSERT_EQ(replanned.size(), 1U);
+  EXPECT_EQ(replanned[0].second.dest_host, "ws3");
+  EXPECT_EQ(registry_->inflight_placements(), 1U);
+}
+
+TEST_F(OutcomeFeedbackTest, SuspectDestinationReadmittedAfterBackoff) {
+  Registry::Config config;
+  config.suspect_backoff = 10.0;
+  build(config);
+  overloaded_source();
+  ASSERT_EQ(registry_->choose_destination("ws1", ""), "ws2");
+  // No in-flight debit needed: a stray outcome still applies the backoff.
+  post("ws1", outcome_msg("aborted", "dest-failed", "eager"));
+  engine_.run_until(2.0);
+  EXPECT_EQ(registry_->choose_destination("ws1", ""), "ws3");
+  // Past the backoff (with live leases) ws2 is first-fit eligible again.
+  engine_.run_until(12.0);
+  heartbeat("ws2");
+  heartbeat("ws3");
+  engine_.run_until(13.0);
+  EXPECT_EQ(registry_->choose_destination("ws1", ""), "ws2");
+}
+
+TEST_F(OutcomeFeedbackTest, CommittedOutcomeOnlyCredits) {
+  build({});
+  overloaded_source();
+  consult();
+  engine_.run_until(2.0);
+  (void)commands<xmlproto::MigrateCmd>();
+  post("ws1", outcome_msg("committed"));
+  engine_.run_until(4.0);
+  EXPECT_EQ(registry_->inflight_placements(), 0U);
+  EXPECT_EQ(counter_value("registry.placements_credited"), 1.0);
+  EXPECT_EQ(gauge_value("registry.placements_inflight"), 0.0);
+  EXPECT_EQ(counter_value("registry.hosts_suspected"), 0.0);
+  // No re-plan, and ws2 is still a destination.
+  EXPECT_TRUE(commands<xmlproto::MigrateCmd>().empty());
+  EXPECT_EQ(registry_->choose_destination("ws1", ""), "ws2");
+}
+
+TEST_F(OutcomeFeedbackTest, RolledBackOutcomeCommandsCheckpointRestart) {
+  build({});
+  overloaded_source();
+  ASSERT_EQ(registry_->process_count(), 1U);
+  // Post-commit destination loss: the registry still lists the process on
+  // the live source (the dead destination's monitor never reported the
+  // arrival), so no lease will ever lapse for it — the restart must be
+  // commanded directly.
+  post("ws1", outcome_msg("rolled-back", "restore-interrupted", "restore"));
+  engine_.run_until(3.0);
+  EXPECT_EQ(counter_value("registry.rollback_restarts"), 1.0);
+  EXPECT_EQ(registry_->process_count(), 0U);  // stale entry dropped
+  const auto relaunches = commands<xmlproto::RelaunchCmd>();
+  ASSERT_EQ(relaunches.size(), 1U);
+  EXPECT_EQ(relaunches[0].second.process_name, "app");
+  // ws2 (the failed destination) is suspect; the relaunch goes elsewhere.
+  EXPECT_NE(relaunches[0].first, "ws2");
+}
+
+TEST_F(OutcomeFeedbackTest, UnconfirmedRelaunchIsRetried) {
+  build({});
+  overloaded_source();
+  post("ws1", outcome_msg("rolled-back", "restore-interrupted", "restore"));
+  engine_.run_until(3.0);
+  ASSERT_EQ(commands<xmlproto::RelaunchCmd>().size(), 1U);
+  // Nobody confirms the relaunch (the RelaunchCmd could have been lost on
+  // the wire): past relaunch_confirm_ttl the registry re-parks and
+  // retries it.
+  engine_.run_until(30.0);
+  EXPECT_GE(counter_value("registry.relaunches_retried"), 1.0);
+  EXPECT_FALSE(commands<xmlproto::RelaunchCmd>().empty());
+}
+
+TEST_F(OutcomeFeedbackTest, ConfirmedRelaunchIsNotRetried) {
+  build({});
+  overloaded_source();
+  post("ws1", outcome_msg("rolled-back", "restore-interrupted", "restore"));
+  engine_.run_until(3.0);
+  const auto relaunches = commands<xmlproto::RelaunchCmd>();
+  ASSERT_EQ(relaunches.size(), 1U);
+  // The destination monitor re-reports the relaunched process: confirmed,
+  // never retried.
+  register_process(relaunches[0].first, 2000, "app");
+  engine_.run_until(40.0);
+  EXPECT_EQ(counter_value("registry.relaunches_retried"), 0.0);
+  EXPECT_TRUE(commands<xmlproto::RelaunchCmd>().empty());
+  EXPECT_EQ(registry_->process_count(), 1U);
+}
+
+TEST_F(OutcomeFeedbackTest, SilentOutcomeDebitExpiresAfterTtl) {
+  Registry::Config config;
+  config.placement_debit_ttl = 10.0;
+  build(config);
+  overloaded_source();
+  consult();
+  engine_.run_until(2.0);
+  ASSERT_EQ(registry_->inflight_placements(), 1U);
+  // The source commander dies before reporting: the sweeper drops the
+  // debit after the TTL so the destination's capacity is not leaked.
+  engine_.run_until(30.0);
+  EXPECT_EQ(registry_->inflight_placements(), 0U);
+  EXPECT_EQ(counter_value("registry.placements_expired"), 1.0);
+  EXPECT_EQ(counter_value("registry.placements_credited"), 0.0);
+  EXPECT_EQ(gauge_value("registry.placements_inflight"), 0.0);
+}
+
+}  // namespace
+}  // namespace ars::registry

@@ -208,6 +208,50 @@ TEST(Messages, RecommendNotFound) {
   EXPECT_TRUE(back.dest_host.empty());
 }
 
+TEST(Messages, MigrationOutcomeRoundTrip) {
+  MigrationOutcomeMsg m;
+  m.process = "test_tree";
+  m.source = "ws1";
+  m.destination = "ws4";
+  m.outcome = "aborted";
+  m.reason = "dest-failed";
+  m.phase = "eager";
+  const MigrationOutcomeMsg back = round_trip(m);
+  EXPECT_EQ(back.process, "test_tree");
+  EXPECT_EQ(back.source, "ws1");
+  EXPECT_EQ(back.destination, "ws4");
+  EXPECT_EQ(back.outcome, "aborted");
+  EXPECT_EQ(back.reason, "dest-failed");
+  EXPECT_EQ(back.phase, "eager");
+}
+
+TEST(Messages, CommittedOutcomeOmitsFailureDetail) {
+  // A committed outcome keeps the compact wire shape: reason/phase are
+  // encoded only when non-empty.
+  MigrationOutcomeMsg m;
+  m.process = "test_tree";
+  m.source = "ws1";
+  m.destination = "ws4";
+  m.outcome = "committed";
+  const std::string wire = encode(ProtocolMessage{m});
+  EXPECT_EQ(wire.find("reason"), std::string::npos);
+  EXPECT_EQ(wire.find("phase"), std::string::npos);
+  const MigrationOutcomeMsg back = round_trip(m);
+  EXPECT_EQ(back.outcome, "committed");
+  EXPECT_TRUE(back.reason.empty());
+  EXPECT_TRUE(back.phase.empty());
+}
+
+TEST(Messages, MigrationOutcomeRejectsMissingFields) {
+  // Every routing field is mandatory: the registry keys its debit-credit
+  // bookkeeping on (process, source, destination, outcome).
+  EXPECT_FALSE(decode("<ars type=\"migration_outcome\"/>").has_value());
+  EXPECT_FALSE(decode("<ars type=\"migration_outcome\">"
+                      "<process>p</process><source>ws1</source>"
+                      "<destination>ws4</destination></ars>")
+                   .has_value());
+}
+
 TEST(Messages, MessageTypeNames) {
   EXPECT_EQ(message_type(ProtocolMessage{RegisterMsg{}}), "register");
   EXPECT_EQ(message_type(ProtocolMessage{UpdateMsg{}}), "update");

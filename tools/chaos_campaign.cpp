@@ -10,8 +10,9 @@
 // Usage:
 //   chaos_campaign [--seeds=N] [--seed-base=N] [--plan=<builtin|file.json>]...
 //                  [--hosts=N] [--apps=N] [--horizon=T] [--replay-passing=N]
-//                  [--sabotage-lease-expiry] [--verify-scan-equivalence]
-//                  [--delta-heartbeats] [--out=report.json] [--list-plans]
+//                  [--sabotage-lease-expiry] [--sabotage-migration-rollback]
+//                  [--verify-scan-equivalence] [--delta-heartbeats]
+//                  [--out=report.json] [--list-plans]
 //
 // --plan may be given multiple times; the default sweep covers every builtin
 // plan plus a fault-free baseline.
@@ -51,6 +52,7 @@ struct CampaignOptions {
   double horizon = 700.0;
   int replay_passing = 3;  // additionally replay this many passing seeds
   bool sabotage_lease_expiry = false;
+  bool sabotage_migration_rollback = false;
   bool verify_scan_equivalence = false;
   bool delta_heartbeats = false;
   std::string out_path;
@@ -63,6 +65,8 @@ struct SeedResult {
   std::uint64_t trace_hash = 0;
   std::uint64_t events_executed = 0;
   std::size_t migrations_succeeded = 0;
+  std::size_t migrations_aborted = 0;
+  std::size_t migrations_rolled_back = 0;
   std::uint64_t messages_dropped = 0;
   std::size_t decisions = 0;
   std::uint64_t decision_log_hash = 0;
@@ -94,7 +98,9 @@ std::optional<std::string> arg_value(const std::string& arg,
             << "usage: chaos_campaign [--seeds=N] [--seed-base=N]\n"
             << "         [--plan=<builtin|file.json>]... [--hosts=N]\n"
             << "         [--apps=N] [--horizon=T] [--replay-passing=N]\n"
-            << "         [--sabotage-lease-expiry] [--verify-scan-equivalence]\n"
+            << "         [--sabotage-lease-expiry]\n"
+            << "         [--sabotage-migration-rollback]\n"
+            << "         [--verify-scan-equivalence]\n"
             << "         [--delta-heartbeats] [--out=report.json]\n"
             << "         [--list-plans]\n";
   std::exit(2);
@@ -133,6 +139,7 @@ ScenarioReport run_once(const CampaignOptions& options, const FaultPlan& plan,
   scenario.seed = seed;
   scenario.plan = plan;
   scenario.sabotage_lease_expiry = options.sabotage_lease_expiry;
+  scenario.sabotage_migration_rollback = options.sabotage_migration_rollback;
   scenario.delta_heartbeats = options.delta_heartbeats;
   scenario.legacy_scan = legacy_scan;
   // Equivalence runs compare the two scan modes, so the audit (which itself
@@ -154,6 +161,8 @@ PlanResult sweep_plan(const CampaignOptions& options, const FaultPlan& plan) {
     seed_result.trace_hash = report.trace_hash;
     seed_result.events_executed = report.events_executed;
     seed_result.migrations_succeeded = report.migrations_succeeded;
+    seed_result.migrations_aborted = report.migrations_aborted;
+    seed_result.migrations_rolled_back = report.migrations_rolled_back;
     seed_result.messages_dropped = report.messages_dropped;
     seed_result.decisions = report.decisions;
     seed_result.decision_log_hash = report.decision_log_hash;
@@ -232,6 +241,10 @@ ars::obs::JsonValue to_json(const PlanResult& result) {
         ars::obs::JsonValue{static_cast<double>(seed.events_executed)};
     seed_object["migrations_succeeded"] = ars::obs::JsonValue{
         static_cast<double>(seed.migrations_succeeded)};
+    seed_object["migrations_aborted"] = ars::obs::JsonValue{
+        static_cast<double>(seed.migrations_aborted)};
+    seed_object["migrations_rolled_back"] = ars::obs::JsonValue{
+        static_cast<double>(seed.migrations_rolled_back)};
     seed_object["messages_dropped"] =
         ars::obs::JsonValue{static_cast<double>(seed.messages_dropped)};
     seed_object["decisions"] =
@@ -274,6 +287,8 @@ int main(int argc, char** argv) {
     }
     if (arg == "--sabotage-lease-expiry") {
       options.sabotage_lease_expiry = true;
+    } else if (arg == "--sabotage-migration-rollback") {
+      options.sabotage_migration_rollback = true;
     } else if (arg == "--verify-scan-equivalence") {
       options.verify_scan_equivalence = true;
     } else if (arg == "--delta-heartbeats") {
