@@ -27,6 +27,11 @@ struct MonitorOutcome {
 
 MonitorOutcome run(bool adaptive) {
   sim::Engine engine;
+  // No ReschedulerRuntime here — the rig is a bare monitor — so the obs
+  // sinks are attached directly through the monitor's config.
+  obs::Tracer tracer;
+  obs::MetricsRegistry metrics;
+  tracer.set_clock([&engine] { return engine.now(); });
   net::Network network{engine};
   std::vector<std::unique_ptr<host::Host>> hosts;
   for (const char* name : {"ws1", "hub"}) {
@@ -42,6 +47,8 @@ MonitorOutcome run(bool adaptive) {
   config.registry_port = 5000;
   config.policy = rules::paper_policy2();  // warmup 60 s
   config.adaptive_warmup = adaptive;
+  config.tracer = &tracer;
+  config.metrics = &metrics;
   monitor::Monitor mon{*hosts[0], network, config};
   mon.start();
 
@@ -69,12 +76,14 @@ MonitorOutcome run(bool adaptive) {
   outcome.consults = mon.consults_sent();
   outcome.absorbed = mon.absorbed_spikes();
   outcome.final_warmup = mon.effective_warmup();
+  bench::export_obs(tracer, metrics, outcome.name);
   return outcome;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::init_obs_export(argc, argv);
   bench::heading(
       "Ablation: static vs self-adjusting warm-up (paper 6 future work)");
   const MonitorOutcome fixed = run(false);

@@ -34,7 +34,8 @@ constexpr double kEventAt = 100.3;     // the host is lost mid-run
 constexpr double kStateBytes = 50.0e6; // job footprint
 
 struct Rig {
-  Rig() : net(engine), mpi(engine, net), middleware(mpi) {
+  Rig() : net(engine), mpi(engine, net), middleware(mpi, obs_options()) {
+    tracer.set_clock([this] { return engine.now(); });
     for (const char* name : {"ws1", "ws2"}) {
       host::HostSpec spec;
       spec.name = name;
@@ -51,7 +52,17 @@ struct Rig {
   net::Network net;
   std::vector<std::unique_ptr<host::Host>> hosts;
   mpi::MpiSystem mpi;
+  obs::Tracer tracer;
+  obs::MetricsRegistry metrics;
   hpcm::MigrationEngine middleware;
+
+ private:
+  hpcm::MigrationEngine::Options obs_options() {
+    hpcm::MigrationEngine::Options options;
+    options.tracer = &tracer;
+    options.metrics = &metrics;
+    return options;
+  }
 };
 
 struct JobResult {
@@ -100,6 +111,7 @@ Recovery run_restart() {
   r.total = result.finished_at;
   r.lost_work = result.executed - kIterations;
   r.correct = result.correct;
+  bench::export_obs(rig.tracer, rig.metrics, "restart");
   return r;
 }
 
@@ -121,6 +133,8 @@ Recovery run_checkpoint(int every) {
   r.overhead_time = rig.middleware.checkpoints().writes() * kStateBytes /
                     rig.middleware.options().checkpoint_store_bps;
   r.correct = result.correct;
+  bench::export_obs(rig.tracer, rig.metrics,
+                    "checkpoint" + std::to_string(every));
   return r;
 }
 
@@ -140,12 +154,14 @@ Recovery run_migration() {
     r.overhead_time = rig.middleware.history().front().total();
   }
   r.correct = result.correct;
+  bench::export_obs(rig.tracer, rig.metrics, "migrate");
   return r;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::init_obs_export(argc, argv);
   bench::heading(
       "Ablation: how to vacate a host mid-job (the paper's motivation)");
   std::printf(

@@ -61,6 +61,7 @@ StrategyOutcome run_overload(registry::DestinationStrategy strategy,
       outcome.destination = t.destination;
     }
   }
+  bench::export_obs(runtime, name);
   return outcome;
 }
 
@@ -99,12 +100,14 @@ EvacuationOutcome run_evacuation(registry::DestinationStrategy strategy,
                                         r->finished_at);
     }
   }
+  bench::export_obs(runtime, "evac-" + name);
   return outcome;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::init_obs_export(argc, argv);
   bench::heading("Ablation: destination-choice strategy (paper: first fit)");
 
   bench::subheading(

@@ -60,12 +60,14 @@ RunResult run(bool with_rescheduler) {
   result.rx_kbps = runtime.trace().mean("ws1", kMeasureFrom, kDuration,
                                         &core::TraceSample::rx_bps) /
                    1000.0;
+  bench::export_obs(runtime, with_rescheduler ? "with" : "without");
   return result;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::init_obs_export(argc, argv);
   bench::heading(
       "Figure 6. Overhead - Communication (with vs without rescheduler)");
 

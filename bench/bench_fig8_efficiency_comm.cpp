@@ -18,7 +18,8 @@ constexpr double kDuration = 900.0;
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::init_obs_export(argc, argv);
   bench::heading("Figure 8. Efficiency - Communication (migration burst)");
 
   rules::MigrationPolicy policy = rules::paper_policy2();
@@ -45,6 +46,7 @@ int main() {
   runtime.engine().schedule_at(kLoadStart, [&] { hog.start(); });
 
   runtime.run_until(kDuration);
+  bench::export_obs(runtime);
 
   if (runtime.middleware().history().empty()) {
     std::printf("  NO MIGRATION HAPPENED - experiment failed\n");

@@ -19,6 +19,21 @@ namespace {
 
 using namespace ars;
 
+/// Bench-level telemetry for the uniform --trace-out/--metrics-out export:
+/// one instant per benchmark case plus an iteration counter.  The sinks are
+/// nullptr unless an export was requested, so measured numbers are
+/// undisturbed.  (Nothing here takes an obs::Tracer — these are codec and
+/// event-queue micro benches — hence the harness-side telemetry.)
+void note_case(benchmark::State& state, const char* name) {
+  if (auto* metrics = bench::obs_metrics_sink()) {
+    metrics->counter("bench.iterations", {{"bench", name}})
+        .inc(static_cast<double>(state.iterations()));
+  }
+  if (auto* tracer = bench::obs_trace_sink()) {
+    tracer->instant("bench.case", "bench", name);
+  }
+}
+
 void BM_EngineScheduleRun(benchmark::State& state) {
   const int events = static_cast<int>(state.range(0));
   for (auto _ : state) {
@@ -29,6 +44,7 @@ void BM_EngineScheduleRun(benchmark::State& state) {
     benchmark::DoNotOptimize(engine.run());
   }
   state.SetItemsProcessed(state.iterations() * events);
+  note_case(state, "BM_EngineScheduleRun");
 }
 BENCHMARK(BM_EngineScheduleRun)->Arg(1000)->Arg(10000);
 
@@ -44,6 +60,7 @@ void BM_EngineSteadyState(benchmark::State& state) {
     benchmark::DoNotOptimize(engine.run());
   }
   state.SetItemsProcessed(state.iterations() * batch);
+  note_case(state, "BM_EngineSteadyState");
 }
 BENCHMARK(BM_EngineSteadyState)->Arg(1000);
 
@@ -64,6 +81,7 @@ void BM_EngineCancelHalf(benchmark::State& state) {
     benchmark::DoNotOptimize(engine.run());
   }
   state.SetItemsProcessed(state.iterations() * events);
+  note_case(state, "BM_EngineCancelHalf");
 }
 BENCHMARK(BM_EngineCancelHalf)->Arg(1000);
 
@@ -80,6 +98,7 @@ void BM_FiberSpawnResume(benchmark::State& state) {
     engine.run();
   }
   state.SetItemsProcessed(state.iterations() * fibers);
+  note_case(state, "BM_FiberSpawnResume");
 }
 BENCHMARK(BM_FiberSpawnResume)->Arg(100)->Arg(1000);
 
@@ -91,6 +110,7 @@ void BM_SimpleRuleEvaluation(benchmark::State& state) {
   for (auto _ : state) {
     benchmark::DoNotOptimize(engine->evaluate_all(sensors));
   }
+  note_case(state, "BM_SimpleRuleEvaluation");
 }
 BENCHMARK(BM_SimpleRuleEvaluation);
 
@@ -113,6 +133,7 @@ void BM_ComplexRuleEvaluation(benchmark::State& state) {
   for (auto _ : state) {
     benchmark::DoNotOptimize(engine->evaluate(5, sensors));
   }
+  note_case(state, "BM_ComplexRuleEvaluation");
 }
 BENCHMARK(BM_ComplexRuleEvaluation);
 
@@ -122,6 +143,7 @@ void BM_RuleFileParse(benchmark::State& state) {
     benchmark::DoNotOptimize(rules::parse_rule_file(text));
   }
   state.SetBytesProcessed(state.iterations() * text.size());
+  note_case(state, "BM_RuleFileParse");
 }
 BENCHMARK(BM_RuleFileParse);
 
@@ -147,6 +169,7 @@ void BM_XmlEncodeHeartbeat(benchmark::State& state) {
   for (auto _ : state) {
     benchmark::DoNotOptimize(xmlproto::encode(message));
   }
+  note_case(state, "BM_XmlEncodeHeartbeat");
 }
 BENCHMARK(BM_XmlEncodeHeartbeat);
 
@@ -156,6 +179,7 @@ void BM_XmlDecodeHeartbeat(benchmark::State& state) {
     benchmark::DoNotOptimize(xmlproto::decode(wire));
   }
   state.SetBytesProcessed(state.iterations() * wire.size());
+  note_case(state, "BM_XmlDecodeHeartbeat");
 }
 BENCHMARK(BM_XmlDecodeHeartbeat);
 
@@ -170,6 +194,7 @@ void BM_StateRegistryEncode(benchmark::State& state) {
     benchmark::DoNotOptimize(reg.encode());
   }
   state.SetBytesProcessed(state.iterations() * doubles * 8);
+  note_case(state, "BM_StateRegistryEncode");
 }
 BENCHMARK(BM_StateRegistryEncode)->Arg(1024)->Arg(65536);
 
@@ -182,6 +207,7 @@ void BM_StateRegistryDecode(benchmark::State& state) {
     benchmark::DoNotOptimize(hpcm::StateRegistry::decode(wire));
   }
   state.SetBytesProcessed(state.iterations() * wire.size());
+  note_case(state, "BM_StateRegistryDecode");
 }
 BENCHMARK(BM_StateRegistryDecode)->Arg(1024)->Arg(65536);
 

@@ -151,7 +151,17 @@ void BM_FullMigration(benchmark::State& state) {
   // merge, eager + background transfer of ~10 MB, takeover).
   for (auto _ : state) {
     Cluster cluster{2};
-    hpcm::MigrationEngine middleware{cluster.mpi};
+    // Attach the process-wide obs sinks (null unless --trace-out/
+    // --metrics-out was requested) so the export holds real migration
+    // spans and phase histograms from the final iterations.
+    hpcm::MigrationEngine::Options obs_options;
+    obs_options.tracer = bench::obs_trace_sink();
+    obs_options.metrics = bench::obs_metrics_sink();
+    if (obs_options.tracer != nullptr) {
+      obs_options.tracer->set_clock(
+          [&cluster] { return cluster.engine.now(); });
+    }
+    hpcm::MigrationEngine middleware{cluster.mpi, obs_options};
     auto app = [](mpi::Proc& proc, hpcm::MigrationContext& ctx) -> sim::Task<> {
       std::int64_t i = ctx.restored() ? *ctx.state().get_int("i") : 0;
       ctx.on_save([&ctx, &i] {

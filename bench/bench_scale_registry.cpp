@@ -75,6 +75,13 @@ struct ScaledRegistry {
     config.policy = rules::paper_policy2();
     config.audit = registry::AuditMode::kOff;
     config.use_legacy_scan = legacy_scan;
+    // Process-wide obs sinks: null (and therefore free) unless an export
+    // was requested with --trace-out/--metrics-out.
+    config.tracer = bench::obs_trace_sink();
+    config.metrics = bench::obs_metrics_sink();
+    if (config.tracer != nullptr) {
+      config.tracer->set_clock([this] { return engine.now(); });
+    }
     reg = std::make_unique<registry::Registry>(*hub, net, config);
     for (int i = 0; i < hosts; ++i) {
       const std::string name = host_name(i);

@@ -117,10 +117,22 @@ void print_figure4() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::init_obs_export(argc, argv);
+  // This bench drives the rule engine directly — no simulation, no runtime
+  // — so the uniform --trace-out/--metrics-out flags export the harness's
+  // own telemetry rather than a cluster trace.
+  obs::Tracer tracer;
+  obs::MetricsRegistry metrics;
+  for (const char* section : {"table1", "figure3", "figure4"}) {
+    tracer.instant("bench.section", "bench", "table1_states",
+                   {{"name", std::string(section)}});
+    metrics.counter("bench.sections").inc();
+  }
   print_table1();
   print_figure3();
   print_figure4();
   std::printf("\n");
+  bench::export_obs(tracer, metrics);
   return 0;
 }

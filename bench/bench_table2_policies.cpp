@@ -103,12 +103,14 @@ PolicyOutcome run_policy(rules::MigrationPolicy policy) {
   } else {
     outcome.source_time = app.finished_at;
   }
+  bench::export_obs(runtime, "policy" + outcome.policy);
   return outcome;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::init_obs_export(argc, argv);
   bench::heading("Table 2. Comparison of Policies");
 
   const PolicyOutcome p1 = run_policy(rules::paper_policy1());

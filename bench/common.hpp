@@ -1,15 +1,21 @@
 #pragma once
 // Shared helpers for the experiment harnesses: table printing, the
 // paper-vs-measured report format used by every bench binary, and the
-// opt-in ars::obs trace/metrics export (--trace-out= / --metrics-out=
-// flags, or the ARS_TRACE_OUT / ARS_METRICS_OUT environment variables).
+// opt-in ars::obs trace/metrics export.  Every bench binary — plain and
+// google-benchmark alike — honours `--trace-out=FILE` / `--metrics-out=FILE`
+// (or the ARS_TRACE_OUT / ARS_METRICS_OUT environment variables as
+// fallbacks) through the helpers here.
 
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "ars/obs/metrics.hpp"
+#include "ars/obs/tracer.hpp"
 
 namespace ars::bench {
 
@@ -74,62 +80,6 @@ inline void compare(const std::string& what, double paper, double measured,
               paper, unit.c_str(), measured, unit.c_str());
 }
 
-// -- google-benchmark JSON export --------------------------------------------
-
-/// Translate our stable `--json-out=FILE` flag (or the ARS_BENCH_JSON_OUT
-/// environment variable) into google-benchmark's `--benchmark_out=` /
-/// `--benchmark_out_format=json` pair, leaving every other argument alone.
-/// Returns a rewritten argv (storage lives for the program's lifetime) and
-/// updates `argc` in place; use through ARS_BENCH_MAIN() below.
-inline char** rewrite_gbench_args(int* argc, char** argv) {
-  static std::vector<std::string> storage;
-  static std::vector<char*> pointers;
-  std::string json_out;
-  if (const char* env = std::getenv("ARS_BENCH_JSON_OUT")) {
-    json_out = env;
-  }
-  storage.clear();
-  for (int i = 0; i < *argc; ++i) {
-    const std::string_view arg = argv[i];
-    if (arg.starts_with("--json-out=")) {
-      json_out = arg.substr(sizeof("--json-out=") - 1);
-    } else {
-      storage.emplace_back(arg);
-    }
-  }
-  if (!json_out.empty()) {
-    storage.push_back("--benchmark_out=" + json_out);
-    storage.push_back("--benchmark_out_format=json");
-  }
-  pointers.clear();
-  for (std::string& arg : storage) {
-    pointers.push_back(arg.data());
-  }
-  pointers.push_back(nullptr);
-  *argc = static_cast<int>(storage.size());
-  return pointers.data();
-}
-
-}  // namespace ars::bench
-
-/// Drop-in replacement for BENCHMARK_MAIN() that understands --json-out=
-/// (and ARS_BENCH_JSON_OUT); scripts/bench_check.py consumes the emitted
-/// JSON.  Only usable in files that include <benchmark/benchmark.h>.
-#define ARS_BENCH_MAIN()                                                  \
-  int main(int argc, char** argv) {                                       \
-    char** args = ::ars::bench::rewrite_gbench_args(&argc, argv);         \
-    ::benchmark::Initialize(&argc, args);                                 \
-    if (::benchmark::ReportUnrecognizedArguments(argc, args)) {           \
-      return 1;                                                           \
-    }                                                                     \
-    ::benchmark::RunSpecifiedBenchmarks();                                \
-    ::benchmark::Shutdown();                                              \
-    return 0;                                                             \
-  }                                                                       \
-  static_assert(true, "require a trailing semicolon")
-
-namespace ars::bench {
-
 // -- ars::obs export ---------------------------------------------------------
 
 /// Where to dump the observability artifacts; empty means "don't".
@@ -152,55 +102,81 @@ inline ObsExport& obs_export() {
   return options;
 }
 
-/// Consume --trace-out=FILE / --metrics-out=FILE flags (they override the
-/// environment variables).  Unknown arguments are left alone.
+/// Consume a --trace-out=FILE / --metrics-out=FILE flag (they override the
+/// environment variables).  Returns true when `arg` was an obs flag —
+/// rewrite_gbench_args uses this to strip them before google-benchmark sees
+/// the argv.
+inline bool consume_obs_flag(std::string_view arg) {
+  if (arg.starts_with("--trace-out=")) {
+    obs_export().trace_out = arg.substr(sizeof("--trace-out=") - 1);
+    return true;
+  }
+  if (arg.starts_with("--metrics-out=")) {
+    obs_export().metrics_out = arg.substr(sizeof("--metrics-out=") - 1);
+    return true;
+  }
+  return false;
+}
+
+/// Consume --trace-out=/--metrics-out= flags; unknown arguments are left
+/// alone.
 inline void init_obs_export(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
-    const std::string_view arg = argv[i];
-    if (arg.starts_with("--trace-out=")) {
-      obs_export().trace_out = arg.substr(sizeof("--trace-out=") - 1);
-    } else if (arg.starts_with("--metrics-out=")) {
-      obs_export().metrics_out = arg.substr(sizeof("--metrics-out=") - 1);
-    }
+    consume_obs_flag(argv[i]);
   }
 }
 
-/// Dump `runtime`'s tracer/metrics to the configured files.  A non-empty
-/// `label` is inserted before the extension ("trace.json" + "with" ->
-/// "trace.with.json") so benches that run several configurations can keep
+/// Insert a label before the path's extension ("trace.json" + "with" ->
+/// "trace.with.json") so harnesses that run several configurations can keep
 /// all of them.
-template <typename Runtime>
-void export_obs(Runtime& runtime, const std::string& label = "") {
-  const auto labelled = [&label](const std::string& path) {
-    if (label.empty()) {
-      return path;
-    }
-    const auto dot = path.rfind('.');
-    if (dot == std::string::npos || dot == 0) {
-      return path + "." + label;
-    }
-    return path.substr(0, dot) + "." + label + path.substr(dot);
-  };
+inline std::string labelled_path(const std::string& path,
+                                 const std::string& label) {
+  if (label.empty()) {
+    return path;
+  }
+  const auto dot = path.rfind('.');
+  if (dot == std::string::npos || dot == 0) {
+    return path + "." + label;
+  }
+  return path.substr(0, dot) + "." + label + path.substr(dot);
+}
+
+/// Create the directory an export path points into; best-effort (a failed
+/// write is reported by the caller anyway).
+inline void ensure_parent_dir(const std::string& path) {
+  const std::filesystem::path target{path};
+  if (target.has_parent_path()) {
+    std::error_code ec;
+    std::filesystem::create_directories(target.parent_path(), ec);
+  }
+}
+
+/// Dump a tracer/metrics pair to the configured files.
+inline void export_obs(const obs::Tracer& tracer,
+                       const obs::MetricsRegistry& metrics,
+                       const std::string& label = "") {
   const ObsExport& options = obs_export();
   if (!options.trace_out.empty()) {
-    const std::string path = labelled(options.trace_out);
+    const std::string path = labelled_path(options.trace_out, label);
+    ensure_parent_dir(path);
     std::ofstream out(path);
-    out << runtime.tracer().to_chrome_trace();
+    out << tracer.to_chrome_trace();
     if (out) {
       std::printf("  [obs] wrote Chrome trace to %s (%zu events)\n",
-                  path.c_str(), runtime.tracer().events().size());
+                  path.c_str(), tracer.events().size());
     } else {
       std::fprintf(stderr, "  [obs] FAILED to write trace to %s\n",
                    path.c_str());
     }
   }
   if (!options.metrics_out.empty()) {
-    const std::string path = labelled(options.metrics_out);
+    const std::string path = labelled_path(options.metrics_out, label);
+    ensure_parent_dir(path);
     std::ofstream out(path);
-    out << runtime.metrics().to_prometheus();
+    out << metrics.to_prometheus();
     if (out) {
       std::printf("  [obs] wrote metrics to %s (%zu series)\n", path.c_str(),
-                  runtime.metrics().series_count());
+                  metrics.series_count());
     } else {
       std::fprintf(stderr, "  [obs] FAILED to write metrics to %s\n",
                    path.c_str());
@@ -208,4 +184,103 @@ void export_obs(Runtime& runtime, const std::string& label = "") {
   }
 }
 
+/// Dump `runtime`'s tracer/metrics to the configured files.
+template <typename Runtime>
+void export_obs(Runtime& runtime, const std::string& label = "") {
+  export_obs(runtime.tracer(), runtime.metrics(), label);
+}
+
+// -- obs sinks for google-benchmark binaries ---------------------------------
+//
+// The micro benches build a fresh rig per iteration, so there is no runtime
+// alive at the end to export.  Instead they attach these process-wide sinks
+// to their rigs; ARS_BENCH_MAIN() exports whatever accumulated (the tracer
+// is a ring, so the trace holds the tail of the run).  The sinks are nullptr
+// when no export was requested — the instrumented components then skip all
+// recording and the measured numbers are undisturbed.
+
+inline obs::Tracer& gbench_tracer() {
+  static obs::Tracer tracer;
+  return tracer;
+}
+
+inline obs::MetricsRegistry& gbench_metrics() {
+  static obs::MetricsRegistry metrics;
+  return metrics;
+}
+
+inline obs::Tracer* obs_trace_sink() {
+  return obs_export().trace_out.empty() ? nullptr : &gbench_tracer();
+}
+
+inline obs::MetricsRegistry* obs_metrics_sink() {
+  return obs_export().metrics_out.empty() ? nullptr : &gbench_metrics();
+}
+
+inline void export_gbench_obs() {
+  const ObsExport& options = obs_export();
+  if (options.trace_out.empty() && options.metrics_out.empty()) {
+    return;
+  }
+  export_obs(gbench_tracer(), gbench_metrics());
+}
+
+// -- google-benchmark argv handling ------------------------------------------
+
+/// Translate our stable `--json-out=FILE` flag (or the ARS_BENCH_JSON_OUT
+/// environment variable) into google-benchmark's `--benchmark_out=` /
+/// `--benchmark_out_format=json` pair, and strip the `--trace-out=` /
+/// `--metrics-out=` obs flags (consumed into obs_export()), leaving every
+/// other argument alone.  Returns a rewritten argv (storage lives for the
+/// program's lifetime) and updates `argc` in place; use through
+/// ARS_BENCH_MAIN() below.
+inline char** rewrite_gbench_args(int* argc, char** argv) {
+  static std::vector<std::string> storage;
+  static std::vector<char*> pointers;
+  std::string json_out;
+  if (const char* env = std::getenv("ARS_BENCH_JSON_OUT")) {
+    json_out = env;
+  }
+  storage.clear();
+  for (int i = 0; i < *argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg.starts_with("--json-out=")) {
+      json_out = arg.substr(sizeof("--json-out=") - 1);
+    } else if (i > 0 && consume_obs_flag(arg)) {
+      // stripped: google-benchmark would reject it as unrecognized
+    } else {
+      storage.emplace_back(arg);
+    }
+  }
+  if (!json_out.empty()) {
+    storage.push_back("--benchmark_out=" + json_out);
+    storage.push_back("--benchmark_out_format=json");
+  }
+  pointers.clear();
+  for (std::string& arg : storage) {
+    pointers.push_back(arg.data());
+  }
+  pointers.push_back(nullptr);
+  *argc = static_cast<int>(storage.size());
+  return pointers.data();
+}
+
 }  // namespace ars::bench
+
+/// Drop-in replacement for BENCHMARK_MAIN() that understands --json-out=
+/// (and ARS_BENCH_JSON_OUT) plus the uniform --trace-out=/--metrics-out=
+/// obs flags; scripts/bench_check.py consumes the emitted JSON.  Only
+/// usable in files that include <benchmark/benchmark.h>.
+#define ARS_BENCH_MAIN()                                                  \
+  int main(int argc, char** argv) {                                       \
+    char** args = ::ars::bench::rewrite_gbench_args(&argc, argv);         \
+    ::benchmark::Initialize(&argc, args);                                 \
+    if (::benchmark::ReportUnrecognizedArguments(argc, args)) {           \
+      return 1;                                                           \
+    }                                                                     \
+    ::benchmark::RunSpecifiedBenchmarks();                                \
+    ::benchmark::Shutdown();                                              \
+    ::ars::bench::export_gbench_obs();                                    \
+    return 0;                                                             \
+  }                                                                       \
+  static_assert(true, "require a trailing semicolon")

@@ -50,7 +50,13 @@ struct ScenarioOptions {
 struct ScenarioReport {
   InvariantReport invariants;
   std::uint64_t trace_hash = 0;  // FNV-1a of the full JSON-lines trace
-  std::string trace_jsonl;       // only when keep_trace
+  /// Captured when keep_trace is set OR any invariant was violated: a
+  /// failing run always yields its black-box trace for the flight
+  /// recorder, no re-run needed.
+  std::string trace_jsonl;
+  /// Metrics snapshot (MetricsRegistry::to_json), captured alongside the
+  /// trace under the same rule.
+  std::string metrics_json;
   std::uint64_t events_executed = 0;
   double final_time = 0.0;
   std::size_t migration_attempts = 0;

@@ -49,8 +49,10 @@ class Commander {
 
   /// Forward a migration transaction's terminal outcome to the registry
   /// (fire-and-forget, like the migrate ack).  Dropped when the commander
-  /// is stopped (its host failed) or no registry is configured.
-  void report_outcome(const xmlproto::MigrationOutcomeMsg& outcome);
+  /// is stopped (its host failed) or no registry is configured.  `ctx`
+  /// links the report to the migration transaction on the wire.
+  void report_outcome(const xmlproto::MigrationOutcomeMsg& outcome,
+                      obs::TraceCtx ctx = {});
 
   [[nodiscard]] int port() const noexcept { return config_.port; }
   [[nodiscard]] int commands_received() const noexcept {
@@ -66,7 +68,8 @@ class Commander {
 
  private:
   [[nodiscard]] sim::Task<> serve();
-  [[nodiscard]] sim::Task<> handle_migrate(xmlproto::MigrateCmd command);
+  [[nodiscard]] sim::Task<> handle_migrate(xmlproto::MigrateCmd command,
+                                           obs::TraceCtx ctx);
 
   host::Host* host_;
   net::Network* network_;

@@ -46,6 +46,7 @@
 #include "ars/hpcm/schema.hpp"
 #include "ars/hpcm/stateregistry.hpp"
 #include "ars/mpi/mpi.hpp"
+#include "ars/obs/trace_ctx.hpp"
 
 namespace ars::obs {
 class Tracer;
@@ -75,6 +76,9 @@ struct MigrationTimeline {
   std::string outcome = "in-flight";
   std::string abort_reason;  // set when outcome != "committed"
   std::string abort_phase;   // protocol phase the failure hit
+  /// Causal transaction id carried by the MigrateCmd that triggered this
+  /// migration (0 when the request was untraced).
+  std::uint64_t txn = 0;
 
   [[nodiscard]] double reach_poll_point() const {
     return poll_point_at - requested_at;
@@ -97,6 +101,9 @@ struct MigrationOutcome {
   std::string outcome;  // "committed" | "aborted" | "rolled-back"
   std::string reason;   // empty for committed
   std::string phase;    // protocol phase the failure hit (empty for committed)
+  /// Causal context of the transaction; rides on the MigrationOutcomeMsg
+  /// envelope so the registry links the report to the original decision.
+  obs::TraceCtx trace;
 };
 
 /// Phase-entry notification ("init", "eager", "ack", "restore") fired from
@@ -159,6 +166,9 @@ class MigrationContext {
   int migration_count_ = 0;
   double requested_at = -1.0;
   double launched_at = 0.0;
+  /// Context delivered with the latest migration request; consumed by
+  /// migrate() so the whole transaction links back to the decision.
+  obs::TraceCtx pending_trace_;
   std::string schema_name_;
 };
 
@@ -217,11 +227,15 @@ class MigrationEngine {
 
   /// Commander entry point: write the destination temp file and raise the
   /// user-defined signal at (host, pid).  Returns false for unknown pids.
+  /// `ctx` is the causal context of the MigrateCmd (unset for untraced
+  /// requests); the whole transaction inherits it.
   bool request_migration(const std::string& host_name, host::Pid pid,
-                         const std::string& dest_host);
+                         const std::string& dest_host,
+                         obs::TraceCtx ctx = {});
 
   /// Test/bench convenience: request by rank id.
-  bool request_migration(mpi::RankId id, const std::string& dest_host);
+  bool request_migration(mpi::RankId id, const std::string& dest_host,
+                         obs::TraceCtx ctx = {});
 
   /// Pre-initialize a receiver daemon on `host_name` (paper §5.2's proposed
   /// optimization): later migrations to that host skip the DPM spawn cost.
@@ -255,8 +269,9 @@ class MigrationEngine {
   /// latest checkpoint if one exists (paying the store read time),
   /// otherwise restarts from scratch — the paper's "loss of all partial
   /// results".  Returns the new rank id, or 0 if the name is unknown.
+  /// `ctx` links the relaunch to the registry's recovery transaction.
   mpi::RankId relaunch(const std::string& process_name,
-                       const std::string& host_name);
+                       const std::string& host_name, obs::TraceCtx ctx = {});
 
   /// Crash every launched application currently on `host_name` (host
   /// failure).  In-flight transactions with this host as destination are
@@ -314,6 +329,9 @@ class MigrationEngine {
     bool dest_failed = false;
     bool committed = false;
     std::string phase_error;
+    /// Context for spans/instants of this transaction: the request's txn
+    /// with the migration span as parent (set once the span opens).
+    obs::TraceCtx trace;
 
     // Collected state (filled by the collect step / the receiver).
     std::vector<std::byte> encoded;
@@ -391,7 +409,10 @@ class MigrationEngine {
   void close_signal_span(mpi::RankId id, const char* closed_by);
 
   void notify_phase(const PendingTx& tx, const char* phase);
-  void notify_outcome(const MigrationTimeline& timeline);
+  void notify_outcome(const MigrationTimeline& timeline,
+                      const obs::TraceCtx& trace);
+  /// Record one protocol phase's wall-clock into migration.phase_ms{phase}.
+  void observe_phase_ms(const char* phase, double seconds);
 
   [[nodiscard]] obs::Tracer* tracer() const noexcept {
     return options_.tracer;
@@ -422,6 +443,7 @@ class MigrationEngine {
   struct TimelineSpans {
     std::uint64_t migration = 0;  // requested -> background restore done
     std::uint64_t restore = 0;    // eager state landed -> restore done
+    std::uint64_t transfer = 0;   // commit -> background bulk transfer done
   };
   std::map<mpi::RankId, std::uint64_t> signal_spans_;  // signal -> poll-point
   std::map<std::size_t, TimelineSpans> timeline_spans_;

@@ -12,6 +12,7 @@
 
 #include "ars/monitor/metricsdb.hpp"
 #include "ars/monitor/sensors.hpp"
+#include "ars/obs/trace_ctx.hpp"
 #include "ars/rules/policy.hpp"
 #include "ars/rules/state.hpp"
 #include "ars/sim/task.hpp"
@@ -116,6 +117,7 @@ class Monitor {
  private:
   [[nodiscard]] sim::Task<> run();
   void push(xmlproto::ProtocolMessage message);
+  void push(xmlproto::ProtocolMessage message, obs::TraceCtx ctx);
   [[nodiscard]] double frequency_for(rules::SystemState state) const;
   void sync_process_registrations(bool refresh);
 

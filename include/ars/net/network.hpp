@@ -22,12 +22,14 @@
 
 #include "ars/host/host.hpp"
 #include "ars/net/flowmeter.hpp"
+#include "ars/obs/trace_ctx.hpp"
 #include "ars/sim/channel.hpp"
 #include "ars/sim/task.hpp"
 #include "ars/sim/wait.hpp"
 
 namespace ars::obs {
 class MetricsRegistry;
+class Tracer;
 }  // namespace ars::obs
 
 namespace ars::net {
@@ -40,6 +42,10 @@ struct Message {
   std::uint64_t size_bytes = 0;  // defaults to payload size at post()
   double sent_at = 0.0;
   double delivered_at = 0.0;
+  /// Causal context the payload's envelope carries (unset for untraced
+  /// traffic).  Lets the network stamp net.send/net.recv instants without
+  /// re-parsing the XML payload.
+  obs::TraceCtx trace;
 };
 
 /// A bound (host, port): messages posted to it appear in `inbox`.
@@ -80,6 +86,11 @@ class Network {
     /// Optional metrics sink (not owned): datagram drops are counted as
     /// ars_net_dropped_total{reason=...}.
     obs::MetricsRegistry* metrics = nullptr;
+    /// Optional tracer (not owned): messages whose envelope carries a
+    /// TraceCtx get net.send/net.recv instants so the critical-path
+    /// analyzer can attribute wire latency.  Untraced traffic is ignored —
+    /// the hot path stays one branch.
+    obs::Tracer* tracer = nullptr;
   };
 
   explicit Network(sim::Engine& engine);  // default options

@@ -1,0 +1,126 @@
+#pragma once
+// Critical-path analysis over exported trace rings (tentpole part 2).
+//
+// A trace produced with causal contexts enabled tags every cross-host
+// message and every remote span with the transaction it belongs to ("txn"
+// attribute) and, when the emitter was itself working under a span, with
+// that parent span id ("pspan").  This module reconstructs per-transaction
+// DAGs from the flat JSONL export, validates them (every pspan reference
+// resolves inside its transaction, parent chains are acyclic), and breaks
+// the migration freeze window down by phase — init (spawn/connect),
+// collect, eager, ack, transfer, restore — so "where did the 2.1 s go?"
+// has a per-seed and cross-seed answer.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "ars/obs/json.hpp"
+#include "ars/support/expected.hpp"
+
+namespace ars::obs::critpath {
+
+/// One parsed trace event (a JSONL line).  Causal attributes are hoisted
+/// out of `attrs` for cheap access; the full object is kept for reporting.
+struct Event {
+  enum class Kind { kInstant, kBegin, kEnd };
+  Kind kind = Kind::kInstant;
+  double t = 0.0;
+  std::string name;
+  std::string category;
+  std::string track;
+  std::uint64_t span = 0;   // span id (begin/end events)
+  std::uint64_t txn = 0;    // transaction ("txn" attr; 0 = untagged)
+  std::uint64_t pspan = 0;  // parent span ("pspan" attr; 0 = none)
+  std::uint64_t cause_txn = 0;  // causal link to a prior transaction
+  JsonObject attrs;
+};
+
+/// A begin/end pair reconstructed inside one transaction.
+struct Span {
+  std::uint64_t id = 0;
+  std::string name;
+  std::string track;
+  double begin = 0.0;
+  double end = 0.0;
+  bool closed = false;
+  std::uint64_t pspan = 0;
+  JsonObject attrs;  // begin attrs, with end attrs merged over them
+};
+
+/// All events sharing one txn id, with derived migration timings.
+struct Transaction {
+  std::uint64_t txn = 0;
+  double begin = 0.0;
+  double end = 0.0;
+  std::string root_name;        // earliest event: the origination
+  std::uint64_t cause_txn = 0;  // 0 unless some event linked a prior txn
+  std::vector<Event> events;    // ring order (time-sorted by construction)
+  std::vector<Span> spans;
+
+  // Derived from the migration span tree, when present.
+  bool has_migration = false;
+  double migration_s = 0.0;  // end-to-end migration span
+  double freeze_s = 0.0;     // init + collect + eager + ack
+  std::string outcome;       // committed / aborted / rolled-back / ""
+  std::map<std::string, double> phase_s;  // init/collect/eager/ack/...
+};
+
+/// DAG validation verdict for one transaction.
+struct Validation {
+  bool ok = true;
+  std::vector<std::string> problems;
+};
+
+/// Parse a JSONL trace export through the strict JSON parser.  Empty lines
+/// are skipped; any malformed line fails the whole parse (a trace that
+/// does not round-trip is a bug, not data).
+[[nodiscard]] support::Expected<std::vector<Event>> parse_jsonl(
+    std::string_view jsonl);
+
+/// Group tagged events into transactions.  Span-end events carry no txn
+/// attribute (only the begin is stamped); they are attributed through
+/// their span id.  Untagged events are dropped.  Transactions are returned
+/// in ascending txn order.
+[[nodiscard]] std::vector<Transaction> group_transactions(
+    const std::vector<Event>& events);
+
+/// Validate one transaction's DAG: every pspan reference must resolve to a
+/// span opened in the same transaction, parent chains must be acyclic, and
+/// at most one migration span may exist (one migration attempt per txn).
+[[nodiscard]] Validation validate(const Transaction& txn);
+
+/// Wall-clock inside the migration span not covered by any phase span, in
+/// seconds (0 when there is no migration).  The phase spans overlap
+/// (transfer and restore run concurrently after commit), so this measures
+/// the union's gap — unaccounted time the breakdown cannot explain.
+[[nodiscard]] double coverage_gap_s(const Transaction& txn);
+
+/// Cross-transaction (and cross-seed: feed it transactions from many
+/// trace files) phase statistics.
+struct PhaseStats {
+  std::vector<double> samples;  // seconds, unsorted
+  void add(double s) { samples.push_back(s); }
+  [[nodiscard]] double percentile(double p) const;  // nearest-rank, p in [0,100]
+  [[nodiscard]] double max() const;
+};
+
+struct Report {
+  int transactions = 0;
+  int migrations = 0;
+  std::map<std::string, int> outcomes;
+  std::map<std::string, PhaseStats> phases;  // + "freeze" and "total"
+};
+
+/// Fold a batch of transactions into `report` (call once per trace file).
+void accumulate(Report& report, const std::vector<Transaction>& txns);
+
+/// Human-readable percentile table (p50/p90/p99/max per phase).
+[[nodiscard]] std::string format_report(const Report& report);
+
+/// The same report as a JSON document (for CI smoke checks).
+[[nodiscard]] JsonValue report_to_json(const Report& report);
+
+}  // namespace ars::obs::critpath

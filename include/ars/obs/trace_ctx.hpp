@@ -1,0 +1,36 @@
+#pragma once
+// Causal trace context (obs v2).
+//
+// A TraceCtx names the *transaction* a piece of work belongs to — one
+// migration, relaunch, or consult decision — plus the span on whose behalf
+// the current message was sent.  It is plain data: entities copy it out of
+// an incoming wire envelope, stamp their local spans/instants with it
+// (attrs "txn" and "pspan"), and hand it to the next encode() so the causal
+// chain survives host hops.
+//
+// txn == 0 means "no context": encoders emit nothing, tracers stamp
+// nothing, and the wire byte-layout is identical to the pre-v2 protocol.
+// This header is dependency-free on purpose — xmlproto and net include it
+// without pulling in the tracer.
+
+#include <cstdint>
+
+namespace ars::obs {
+
+struct TraceCtx {
+  /// Transaction id, unique per Tracer (see Tracer::new_txn()).  0 = unset.
+  std::uint64_t txn = 0;
+  /// Span id of the causal parent (the span that sent the message or
+  /// spawned the work).  0 = the transaction root itself.
+  std::uint64_t parent_span = 0;
+
+  [[nodiscard]] bool set() const noexcept { return txn != 0; }
+
+  /// The same transaction viewed from a new parent span — what an entity
+  /// passes downstream after opening its own span for the work.
+  [[nodiscard]] TraceCtx child_of(std::uint64_t span_id) const noexcept {
+    return TraceCtx{txn, span_id};
+  }
+};
+
+}  // namespace ars::obs

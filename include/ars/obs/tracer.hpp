@@ -26,6 +26,8 @@
 #include <variant>
 #include <vector>
 
+#include "ars/obs/trace_ctx.hpp"
+
 namespace ars::obs {
 
 /// One key/value span or event attribute.
@@ -109,6 +111,15 @@ class Tracer {
   void instant_at(double t, std::string name, std::string category,
                   std::string track, Attrs attrs = {});
 
+  /// Mint a transaction id for a new causal chain (one migration, relaunch
+  /// or consult decision).  Deterministic: a plain counter, like span ids,
+  /// so identically seeded runs mint identical ids.  Returns 0 when the
+  /// tracer is disabled — a TraceCtx built from it stays unset and nothing
+  /// downstream is stamped or encoded.
+  [[nodiscard]] std::uint64_t new_txn() noexcept {
+    return options_.enabled ? next_txn_id_++ : 0;
+  }
+
   [[nodiscard]] const std::deque<TraceEvent>& events() const noexcept {
     return events_;
   }
@@ -150,8 +161,21 @@ class Tracer {
   std::deque<TraceEvent> events_;
   std::map<std::uint64_t, OpenSpan> open_info_;
   std::uint64_t next_span_id_ = 1;
+  std::uint64_t next_txn_id_ = 1;
   std::size_t dropped_ = 0;
 };
+
+/// Append the causal attrs ("txn", and "pspan" when known) to an attribute
+/// list.  A no-op for an unset context, so call sites stay branch-free.
+inline void stamp(Attrs& attrs, const TraceCtx& ctx) {
+  if (!ctx.set()) {
+    return;
+  }
+  attrs.emplace_back("txn", static_cast<std::size_t>(ctx.txn));
+  if (ctx.parent_span != 0) {
+    attrs.emplace_back("pspan", static_cast<std::size_t>(ctx.parent_span));
+  }
+}
 
 /// True when `tracer` exists *and* is recording.  Hot paths must use this as
 /// the call-site guard so a disabled tracer costs one branch — no attribute

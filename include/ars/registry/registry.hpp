@@ -30,6 +30,7 @@
 
 #include "ars/hpcm/schema.hpp"
 #include "ars/net/network.hpp"
+#include "ars/obs/trace_ctx.hpp"
 #include "ars/rules/policy.hpp"
 #include "ars/rules/state.hpp"
 #include "ars/sim/task.hpp"
@@ -220,8 +221,10 @@ class Registry {
   /// Apply one protocol message as if it had arrived over the wire from
   /// `from_host` — the serve loop routes through this; benches and tests
   /// use it to drive the registry without paying for network simulation.
+  /// `ctx` is the causal context of the message's envelope (unset when the
+  /// sender attached none).
   void deliver(const xmlproto::ProtocolMessage& message,
-               const std::string& from_host);
+               const std::string& from_host, obs::TraceCtx ctx = {});
 
   /// Scheduling core, also callable directly by tests: pick a destination
   /// for a migration off `source_host` using the configured strategy
@@ -329,8 +332,9 @@ class Registry {
   [[nodiscard]] sim::Task<> sweep();
   [[nodiscard]] sim::Task<> report_health();
   void handle(const xmlproto::ProtocolMessage& message,
-              const std::string& from_host);
-  [[nodiscard]] sim::Task<> decide(xmlproto::ConsultMsg consult);
+              const std::string& from_host, obs::TraceCtx ctx);
+  [[nodiscard]] sim::Task<> decide(xmlproto::ConsultMsg consult,
+                                   obs::TraceCtx ctx);
   [[nodiscard]] sim::Task<> evacuate(std::string drained_host,
                                      std::string reason);
   void restart_processes_of(const std::string& lost_host);
@@ -338,8 +342,11 @@ class Registry {
   /// retry drain).  Returns false when no destination exists; the process
   /// is parked on `stranded_` (`record_stranded` controls whether the
   /// failure is also logged as a decision — only the first time is).
+  /// `cause` links the restart's fresh transaction to the one that killed
+  /// the previous incarnation (rolled-back migrations) via a cause_txn
+  /// attribute on the decision event.
   bool restart_process(const ProcessEntry& process, RecoveryRound& round,
-                       bool record_stranded);
+                       bool record_stranded, obs::TraceCtx cause = {});
   void drain_stranded();
   /// Re-park commanded relaunches that no monitor has confirmed within
   /// `relaunch_confirm_ttl` (the RelaunchCmd was lost on the wire).
@@ -350,17 +357,21 @@ class Registry {
                        const std::string& dest,
                        const std::string& schema_name);
   /// Apply a commander's MigrationOutcomeMsg: credit the placement debit
-  /// back, mark failed destinations suspect, and re-plan aborts.
-  void on_migration_outcome(const xmlproto::MigrationOutcomeMsg& outcome);
+  /// back, mark failed destinations suspect, and re-plan aborts.  `ctx` is
+  /// the transaction the outcome closes; a replanned consult opens a new
+  /// transaction linked to it by a cause_txn attribute.
+  void on_migration_outcome(const xmlproto::MigrationOutcomeMsg& outcome,
+                            obs::TraceCtx ctx);
   /// Summed in-flight debits against `host_name` (0/0 when none).
   [[nodiscard]] std::pair<std::uint64_t, std::uint64_t> inflight_debit(
       const std::string& host_name) const;
   /// Route an escalated consult to the child domain with the most reported
   /// free capacity (minus consults already routed there).  Returns false
   /// when no child can plausibly take it.
-  bool route_to_child(const xmlproto::ConsultMsg& consult);
+  bool route_to_child(const xmlproto::ConsultMsg& consult, obs::TraceCtx ctx);
   void send_to(const std::string& dst_host, int dst_port,
-               const xmlproto::ProtocolMessage& message);
+               const xmlproto::ProtocolMessage& message,
+               obs::TraceCtx ctx = {});
 
   [[nodiscard]] bool want_audit() const;
   /// Find-or-create `hosts_[name]`, linking new entries into the

@@ -13,6 +13,7 @@
 #include <variant>
 #include <vector>
 
+#include "ars/obs/trace_ctx.hpp"
 #include "ars/support/expected.hpp"
 
 namespace ars::xmlproto {
@@ -178,8 +179,27 @@ using ProtocolMessage =
 /// Serialize any protocol message to its XML wire form.
 [[nodiscard]] std::string encode(const ProtocolMessage& message);
 
+/// Serialize with a causal trace context riding on the envelope.  The
+/// context travels as root attributes (txn="..." pspan="...") that are
+/// emitted only when set — an unset context yields byte-identical output
+/// to the context-free encode(), so pre-v2 peers and byte-exact replay
+/// are unaffected when tracing is off.
+[[nodiscard]] std::string encode(const ProtocolMessage& message,
+                                 const obs::TraceCtx& ctx);
+
+/// A decoded message together with the causal context its envelope
+/// carried (unset when the sender attached none).
+struct Envelope {
+  ProtocolMessage message;
+  obs::TraceCtx trace;
+};
+
 /// Parse a wire document back into a typed message.
 [[nodiscard]] support::Expected<ProtocolMessage> decode(
+    std::string_view wire);
+
+/// Parse a wire document, preserving the envelope's trace context.
+[[nodiscard]] support::Expected<Envelope> decode_envelope(
     std::string_view wire);
 
 /// Wire type tag of a message ("register", "update", ...).

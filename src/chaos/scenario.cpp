@@ -137,8 +137,10 @@ ScenarioReport run_scenario(const ScenarioOptions& options) {
   report.invariants = checker.check();
   const std::string trace = runtime.tracer().to_jsonl();
   report.trace_hash = fnv1a(trace);
-  if (options.keep_trace) {
+  if (options.keep_trace || !report.invariants.ok()) {
+    // Black-box rule: a failing run keeps its evidence.
     report.trace_jsonl = trace;
+    report.metrics_json = runtime.metrics().to_json();
   }
   report.events_executed = runtime.engine().events_executed();
   report.final_time = runtime.engine().now();

@@ -44,7 +44,8 @@ void Commander::stop() {
   endpoint_ = nullptr;
 }
 
-void Commander::report_outcome(const xmlproto::MigrationOutcomeMsg& outcome) {
+void Commander::report_outcome(const xmlproto::MigrationOutcomeMsg& outcome,
+                               obs::TraceCtx ctx) {
   if (!running_ || config_.registry_host.empty()) {
     return;  // the registry's debit TTL covers lost reports
   }
@@ -58,30 +59,34 @@ void Commander::report_outcome(const xmlproto::MigrationOutcomeMsg& outcome) {
   report.src_host = host_->name();
   report.dst_host = config_.registry_host;
   report.dst_port = config_.registry_port;
-  report.payload = xmlproto::encode(xmlproto::ProtocolMessage{outcome});
+  report.payload = xmlproto::encode(xmlproto::ProtocolMessage{outcome}, ctx);
+  report.trace = ctx;
   network_->post(std::move(report));
 }
 
 sim::Task<> Commander::serve() {
   while (true) {
     const net::Message wire = co_await endpoint_->inbox.recv();
-    auto message = xmlproto::decode(wire.payload);
-    if (!message.has_value()) {
+    auto envelope = xmlproto::decode_envelope(wire.payload);
+    if (!envelope.has_value()) {
       ARS_LOG_WARN("commander", "undecodable message from " << wire.src_host);
       continue;
     }
+    auto& message = envelope->message;
+    const obs::TraceCtx ctx = envelope->trace;
     if (const auto* relaunch =
-            std::get_if<xmlproto::RelaunchCmd>(&*message)) {
+            std::get_if<xmlproto::RelaunchCmd>(&message)) {
       // Failure recovery: bring a process lost with its host back to life
       // here, from its latest checkpoint if one exists.
       const mpi::RankId id =
-          middleware_->relaunch(relaunch->process_name, host_->name());
+          middleware_->relaunch(relaunch->process_name, host_->name(), ctx);
       if (config_.tracer != nullptr) {
+        obs::Attrs attrs{{"process", relaunch->process_name},
+                         {"lost_host", relaunch->lost_host},
+                         {"ok", id != 0}};
+        obs::stamp(attrs, ctx);
         config_.tracer->instant("commander.relaunch", "commander",
-                                host_->name(),
-                                {{"process", relaunch->process_name},
-                                 {"lost_host", relaunch->lost_host},
-                                 {"ok", id != 0}});
+                                host_->name(), std::move(attrs));
       }
       if (config_.metrics != nullptr) {
         config_.metrics
@@ -101,10 +106,10 @@ sim::Task<> Commander::serve() {
       }
       continue;
     }
-    const auto* command = std::get_if<xmlproto::MigrateCmd>(&*message);
+    const auto* command = std::get_if<xmlproto::MigrateCmd>(&message);
     if (command == nullptr) {
       ARS_LOG_WARN("commander", "unexpected "
-                                    << xmlproto::message_type(*message)
+                                    << xmlproto::message_type(message)
                                     << " from " << wire.src_host);
       continue;
     }
@@ -117,23 +122,26 @@ sim::Task<> Commander::serve() {
     std::erase_if(command_fibers_,
                   [](const sim::Fiber& f) { return f.done(); });
     command_fibers_.push_back(sim::Fiber::spawn(
-        host_->engine(), handle_migrate(*command),
+        host_->engine(), handle_migrate(*command, ctx),
         "commander.migrate." + host_->name()));
   }
 }
 
-sim::Task<> Commander::handle_migrate(xmlproto::MigrateCmd command) {
+sim::Task<> Commander::handle_migrate(xmlproto::MigrateCmd command,
+                                      obs::TraceCtx ctx) {
   // Temp file + user-defined signal; the poll-point does the rest.
   bool ok = middleware_->request_migration(host_->name(), command.pid,
-                                           command.dest_host);
+                                           command.dest_host, ctx);
   if (config_.tracer != nullptr) {
     // Signal delivery: the commander wrote the destination temp file and
     // raised the user-defined signal at the migrating process.
+    obs::Attrs attrs{{"pid", command.pid},
+                     {"process", command.process_name},
+                     {"destination", command.dest_host},
+                     {"ok", ok}};
+    obs::stamp(attrs, ctx);
     config_.tracer->instant("commander.signal", "commander", host_->name(),
-                            {{"pid", command.pid},
-                             {"process", command.process_name},
-                             {"destination", command.dest_host},
-                             {"ok", ok}});
+                            std::move(attrs));
   }
   // Bounded retry: the command may have raced the process's launch or
   // relaunch; back off exponentially before giving up.
@@ -146,13 +154,15 @@ sim::Task<> Commander::handle_migrate(xmlproto::MigrateCmd command) {
       config_.metrics->counter("commander.commands_retried").inc();
     }
     ok = middleware_->request_migration(host_->name(), command.pid,
-                                        command.dest_host);
+                                        command.dest_host, ctx);
     if (config_.tracer != nullptr) {
+      obs::Attrs attrs{{"pid", command.pid},
+                       {"process", command.process_name},
+                       {"attempt", attempt},
+                       {"ok", ok}};
+      obs::stamp(attrs, ctx);
       config_.tracer->instant("commander.retry", "commander", host_->name(),
-                              {{"pid", command.pid},
-                               {"process", command.process_name},
-                               {"attempt", attempt},
-                               {"ok", ok}});
+                              std::move(attrs));
     }
     ARS_LOG_INFO("commander", host_->name() << " retry " << attempt
                                             << " for pid " << command.pid
@@ -181,7 +191,8 @@ sim::Task<> Commander::handle_migrate(xmlproto::MigrateCmd command) {
     reply.src_host = host_->name();
     reply.dst_host = config_.registry_host;
     reply.dst_port = config_.registry_port;
-    reply.payload = xmlproto::encode(xmlproto::ProtocolMessage{ack});
+    reply.payload = xmlproto::encode(xmlproto::ProtocolMessage{ack}, ctx);
+    reply.trace = ctx;
     network_->post(std::move(reply));
   }
 }

@@ -30,6 +30,7 @@ ReschedulerRuntime::ReschedulerRuntime(ClusterConfig config)
   config_.hpcm.tracer = &tracer_;
   config_.hpcm.metrics = &metrics_;
   config_.network.metrics = &metrics_;
+  config_.network.tracer = &tracer_;
   network_ = std::make_unique<net::Network>(engine_, config_.network);
   for (const host::HostSpec& spec : config_.hosts) {
     hosts_.push_back(std::make_unique<host::Host>(engine_, spec));
@@ -97,7 +98,7 @@ ReschedulerRuntime::ReschedulerRuntime(ClusterConfig config)
     msg.outcome = o.outcome;
     msg.reason = o.reason;
     msg.phase = o.phase;
-    it->second->report_outcome(msg);
+    it->second->report_outcome(msg, o.trace);
   });
   trace_ = std::make_unique<TraceRecorder>(engine_, *network_);
   // Stamp log records with virtual time while this runtime is alive.

@@ -21,6 +21,17 @@ std::string migrate_key(host::Pid pid) {
   return "hpcm.migrate." + std::to_string(pid);
 }
 
+/// Protocol phases that get a migration.phase_ms{phase} duration series.
+constexpr const char* kPhaseNames[] = {"init",     "collect", "eager",
+                                       "ack",      "transfer", "restore"};
+
+/// Millisecond buckets for phase durations: sub-ms collect snapshots up to
+/// multi-second background transfers.
+std::vector<double> phase_ms_bounds() {
+  return {0.01, 0.03, 0.1, 0.3, 1.0,   3.0,   10.0,  30.0,
+          100.0, 300.0, 1e3, 3e3, 1e4, 3e4,   1e5};
+}
+
 /// Trim and validate the commander-written destination ("host" or
 /// "host:port"); returns the bare host name, or nullopt when malformed
 /// (empty, whitespace, control characters, or a non-numeric port).
@@ -77,6 +88,19 @@ MigrationEngine::MigrationEngine(mpi::MpiSystem& mpi, Options options)
           "source-crashed", "phase-error"}) {
       m->counter("migration.aborts", {{"reason", reason}});
     }
+    // Same for the per-phase duration histograms: a zero-migration run
+    // still exports every phase series (with zero observations).
+    for (const char* phase : kPhaseNames) {
+      m->histogram("migration.phase_ms", {{"phase", phase}},
+                   phase_ms_bounds());
+    }
+  }
+}
+
+void MigrationEngine::observe_phase_ms(const char* phase, double seconds) {
+  if (obs::MetricsRegistry* m = metrics(); m != nullptr && seconds >= 0.0) {
+    m->histogram("migration.phase_ms", {{"phase", phase}}, phase_ms_bounds())
+        .observe(seconds * 1e3);
   }
 }
 
@@ -171,7 +195,8 @@ void MigrationEngine::notify_phase(const PendingTx& tx, const char* phase) {
   phase_listener_(event);
 }
 
-void MigrationEngine::notify_outcome(const MigrationTimeline& timeline) {
+void MigrationEngine::notify_outcome(const MigrationTimeline& timeline,
+                                     const obs::TraceCtx& trace) {
   if (!outcome_listener_) {
     return;
   }
@@ -182,6 +207,7 @@ void MigrationEngine::notify_outcome(const MigrationTimeline& timeline) {
   outcome.outcome = timeline.outcome;
   outcome.reason = timeline.abort_reason;
   outcome.phase = timeline.abort_phase;
+  outcome.trace = trace;
   outcome_listener_(outcome);
 }
 
@@ -212,16 +238,18 @@ void MigrationEngine::finish_normal_exit(mpi::RankId id) {
 
 bool MigrationEngine::request_migration(const std::string& host_name,
                                         host::Pid pid,
-                                        const std::string& dest_host) {
+                                        const std::string& dest_host,
+                                        obs::TraceCtx ctx) {
   mpi::Proc* proc = mpi_->find_by_pid(host_name, pid);
   if (proc == nullptr) {
     return false;
   }
-  return request_migration(proc->id(), dest_host);
+  return request_migration(proc->id(), dest_host, ctx);
 }
 
 bool MigrationEngine::request_migration(mpi::RankId id,
-                                        const std::string& dest_host) {
+                                        const std::string& dest_host,
+                                        obs::TraceCtx ctx) {
   const auto it = procs_.find(id);
   if (it == procs_.end()) {
     return false;
@@ -234,6 +262,7 @@ bool MigrationEngine::request_migration(mpi::RankId id,
   // user-defined signal.
   proc->host().tmpfiles().write(migrate_key(proc->pid()), dest_host);
   it->second->context.requested_at = mpi_->engine().now();
+  it->second->context.pending_trace_ = ctx;
   const bool ok =
       proc->host().processes().raise(proc->pid(), host::kSigMigrate);
   if (obs::MetricsRegistry* m = metrics()) {
@@ -242,11 +271,12 @@ bool MigrationEngine::request_migration(mpi::RankId id,
   if (obs::Tracer* t = tracer(); obs::active(t) && ok) {
     // The signal span covers delivery -> the process reaching a poll-point.
     close_signal_span(id, "superseded");
-    signal_spans_[id] = t->begin_span(
-        "migration.signal", "hpcm", proc->name(),
-        {{"source", proc->host().name()},
-         {"dest", dest_host},
-         {"pid", static_cast<int>(proc->pid())}});
+    obs::Attrs attrs{{"source", proc->host().name()},
+                     {"dest", dest_host},
+                     {"pid", static_cast<int>(proc->pid())}};
+    obs::stamp(attrs, ctx);
+    signal_spans_[id] = t->begin_span("migration.signal", "hpcm",
+                                      proc->name(), std::move(attrs));
   }
   return ok;
 }
@@ -267,7 +297,10 @@ sim::Task<> MigrationContext::poll_point() {
   }
   std::uint64_t poll_span = 0;
   if (obs::active(tracer)) {
-    poll_span = tracer->begin_span("migration.poll_point", "hpcm", p.name());
+    obs::Attrs attrs;
+    obs::stamp(attrs, pending_trace_);
+    poll_span = tracer->begin_span("migration.poll_point", "hpcm", p.name(),
+                                   std::move(attrs));
   }
   const std::string raw = p.host().tmpfiles().read(key);
   p.host().tmpfiles().erase(key);
@@ -289,6 +322,7 @@ sim::Task<> MigrationContext::poll_point() {
     if (obs::MetricsRegistry* m = engine_->metrics()) {
       m->counter("migration.bad_destination").inc();
     }
+    pending_trace_ = {};  // the transaction never starts
     co_return;
   }
   if (obs::active(tracer)) {
@@ -416,7 +450,8 @@ int MigrationEngine::crash_host(const std::string& host_name) {
 }
 
 mpi::RankId MigrationEngine::relaunch(const std::string& process_name,
-                                      const std::string& host_name) {
+                                      const std::string& host_name,
+                                      obs::TraceCtx trace) {
   const auto it = crashed_.find(process_name);
   if (it == crashed_.end()) {
     return 0;
@@ -464,8 +499,10 @@ mpi::RankId MigrationEngine::relaunch(const std::string& process_name,
   const bool from_checkpoint = state->context.restarted_from_checkpoint_;
   procs_.emplace(id, std::move(state));
   if (obs::Tracer* t = tracer(); obs::active(t)) {
-    t->instant("process.relaunch", "hpcm", process_name,
-               {{"host", host_name}, {"from_checkpoint", from_checkpoint}});
+    obs::Attrs attrs{{"host", host_name},
+                     {"from_checkpoint", from_checkpoint}};
+    obs::stamp(attrs, trace);
+    t->instant("process.relaunch", "hpcm", process_name, std::move(attrs));
   }
   if (obs::MetricsRegistry* m = metrics()) {
     m->counter("process.relaunches",
@@ -514,13 +551,17 @@ void MigrationEngine::finish_restore(std::size_t timeline_index) {
   if (obs::Tracer* t = tracer(); obs::active(t)) {
     const auto spans = timeline_spans_.find(timeline_index);
     if (spans != timeline_spans_.end()) {
+      t->end_span(spans->second.transfer);
       t->end_span(spans->second.restore);
       t->end_span(spans->second.migration,
-                  {{"succeeded", done.succeeded},
+                  {{"outcome", "committed"},
+                   {"succeeded", done.succeeded},
                    {"state_bytes", done.state_bytes}});
       timeline_spans_.erase(spans);
     }
   }
+  observe_phase_ms("transfer", done.completed_at - done.resumed_at);
+  observe_phase_ms("restore", done.completed_at - done.eager_done_at);
   if (obs::MetricsRegistry* m = metrics()) {
     m->counter("migration.completed").inc();
     m->histogram("migration.total_time").observe(done.total());
@@ -529,7 +570,9 @@ void MigrationEngine::finish_restore(std::size_t timeline_index) {
                  {}, {1e3, 1e4, 1e5, 1e6, 1e7, 1e8, 1e9})
         .observe(done.state_bytes);
   }
-  notify_outcome(done);
+  const auto tx_it = pending_.find(timeline_index);
+  notify_outcome(done, tx_it != pending_.end() ? tx_it->second->trace
+                                               : obs::TraceCtx{});
   collectors_.erase(timeline_index);
   pending_.erase(timeline_index);
 }
@@ -666,10 +709,10 @@ void MigrationEngine::abort_transaction(std::size_t timeline_index,
                                        << " aborted in phase " << tx.phase
                                        << " (" << reason << ")");
   if (obs::Tracer* tr = tracer(); obs::active(tr)) {
-    tr->instant("migration.aborted", "hpcm", tx.process,
-                {{"dest", tx.dest},
-                 {"phase", tx.phase},
-                 {"reason", reason}});
+    obs::Attrs attrs{
+        {"dest", tx.dest}, {"phase", tx.phase}, {"reason", reason}};
+    obs::stamp(attrs, tx.trace);
+    tr->instant("migration.aborted", "hpcm", tx.process, std::move(attrs));
   }
   end_transaction_spans(timeline_index, "aborted", reason);
   if (obs::MetricsRegistry* m = metrics()) {
@@ -678,7 +721,7 @@ void MigrationEngine::abort_transaction(std::size_t timeline_index,
       m->counter("migration.rollbacks").inc();
     }
   }
-  notify_outcome(t);
+  notify_outcome(t, tx.trace);
   pending_.erase(it);
 }
 
@@ -709,14 +752,16 @@ void MigrationEngine::rollback_restore(std::size_t timeline_index,
                                        << " rolled back after commit ("
                                        << reason << ")");
   if (obs::Tracer* tr = tracer(); obs::active(tr)) {
+    obs::Attrs attrs{{"dest", tx.dest}, {"reason", reason}};
+    obs::stamp(attrs, tx.trace);
     tr->instant("migration.rolled_back", "hpcm", tx.process,
-                {{"dest", tx.dest}, {"reason", reason}});
+                std::move(attrs));
   }
   end_transaction_spans(timeline_index, "rolled-back", reason);
   if (obs::MetricsRegistry* m = metrics()) {
     m->counter("migration.rollbacks").inc();
   }
-  notify_outcome(t);
+  notify_outcome(t, tx.trace);
   pending_.erase(it);
 }
 
@@ -728,6 +773,7 @@ void MigrationEngine::end_transaction_spans(std::size_t timeline_index,
     return;
   }
   if (obs::Tracer* t = tracer(); obs::active(t)) {
+    t->end_span(spans->second.transfer, {{"outcome", outcome}});
     t->end_span(spans->second.restore, {{"outcome", outcome}});
     t->end_span(spans->second.migration,
                 {{"outcome", outcome}, {"reason", reason}});
@@ -757,6 +803,11 @@ sim::Task<> MigrationEngine::migrate(MigrationContext& ctx,
     throw std::out_of_range("hpcm: unknown destination host " + dest_host);
   }
 
+  // The request's causal context (from the MigrateCmd, via the commander);
+  // consumed here so a later unrelated request starts fresh.
+  const obs::TraceCtx req_trace = ctx.pending_trace_;
+  ctx.pending_trace_ = {};
+
   const std::size_t timeline_index = history_.size();
   history_.emplace_back();
   {
@@ -766,15 +817,17 @@ sim::Task<> MigrationEngine::migrate(MigrationContext& ctx,
     t.destination = dest_host;
     t.requested_at = ctx.requested_at;
     t.poll_point_at = engine.now();
+    t.txn = req_trace.txn;
   }
   ARS_LOG_INFO("hpcm", "migrating " << proc.name() << ": " << source_host
                                     << " -> " << dest_host);
   obs::Tracer* t = tracer();
   if (obs::active(t)) {
     TimelineSpans& spans = timeline_spans_[timeline_index];
-    spans.migration = t->begin_span(
-        "migration", "hpcm", proc.name(),
-        {{"source", source_host}, {"dest", dest_host}});
+    obs::Attrs attrs{{"source", source_host}, {"dest", dest_host}};
+    obs::stamp(attrs, req_trace);
+    spans.migration =
+        t->begin_span("migration", "hpcm", proc.name(), std::move(attrs));
   }
 
   const auto port_it = pre_initialized_.find(dest_host);
@@ -785,6 +838,8 @@ sim::Task<> MigrationEngine::migrate(MigrationContext& ctx,
   tx.process = proc.name();
   tx.source = source_host;
   tx.dest = dest_host;
+  // Everything inside the transaction hangs off the migration span.
+  tx.trace = req_trace.child_of(timeline_spans_[timeline_index].migration);
   tx.pre_init =
       port_it != pre_initialized_.end() && !port_it->second.empty();
   if (tx.pre_init) {
@@ -795,11 +850,13 @@ sim::Task<> MigrationEngine::migrate(MigrationContext& ctx,
   // ---- phase 1: initialized process (MPI-2 DPM) ---------------------------
   std::uint64_t spawn_span = 0;
   if (obs::active(t)) {
-    spawn_span = t->begin_span(
-        "migration.spawn", "hpcm", proc.name(),
-        {{"dest", dest_host},
-         {"mechanism", tx.pre_init ? "connect (pre-initialized daemon)"
-                                   : "MPI_Comm_spawn"}});
+    obs::Attrs attrs{
+        {"dest", dest_host},
+        {"mechanism", tx.pre_init ? "connect (pre-initialized daemon)"
+                                  : "MPI_Comm_spawn"}};
+    obs::stamp(attrs, tx.trace);
+    spawn_span = t->begin_span("migration.spawn", "hpcm", proc.name(),
+                               std::move(attrs));
   }
   PhaseResult r = co_await await_phase(tx, phase_init(tx, proc), "init",
                                        options_.init_timeout);
@@ -811,12 +868,19 @@ sim::Task<> MigrationEngine::migrate(MigrationContext& ctx,
     co_return;
   }
   history_[timeline_index].init_done_at = engine.now();
+  observe_phase_ms("init",
+                   history_[timeline_index].init_done_at -
+                       history_[timeline_index].poll_point_at);
 
   // ---- phase 2: data collection: snapshot live variables -------------------
   std::uint64_t collect_span = 0;
   if (obs::active(t)) {
-    collect_span = t->begin_span("migration.collect", "hpcm", proc.name());
+    obs::Attrs attrs;
+    obs::stamp(attrs, tx.trace);
+    collect_span = t->begin_span("migration.collect", "hpcm", proc.name(),
+                                 std::move(attrs));
   }
+  const double collect_begin = engine.now();
   if (ctx.save_) {
     ctx.save_();
   }
@@ -829,35 +893,62 @@ sim::Task<> MigrationEngine::migrate(MigrationContext& ctx,
   const double state_bytes = history_[timeline_index].state_bytes;
   const double eager_wire = tx.eager_wire;
   const double remaining = tx.opaque - tx.eager_opaque;
+  if (obs::active(t)) {
+    // Collection is the snapshot alone; the wire phases get their own
+    // spans so the critical-path analyzer can attribute the freeze window.
+    t->end_span(collect_span, {{"state_bytes", state_bytes},
+                               {"eager_bytes", eager_wire}});
+  }
+  observe_phase_ms("collect", engine.now() - collect_begin);
 
   // ---- phase 3: execution state + eager data over the merged communicator -
+  std::uint64_t eager_span = 0;
+  if (obs::active(t)) {
+    obs::Attrs attrs{{"eager_bytes", eager_wire}};
+    obs::stamp(attrs, tx.trace);
+    eager_span = t->begin_span("migration.eager", "hpcm", proc.name(),
+                               std::move(attrs));
+  }
+  const double eager_begin = engine.now();
   r = co_await await_phase(tx, phase_eager(tx, proc), "eager",
                            options_.eager_timeout);
+  if (obs::active(t)) {
+    t->end_span(eager_span, {{"completed", r == PhaseResult::kDone}});
+  }
   if (r != PhaseResult::kDone) {
-    if (obs::active(t)) {
-      t->end_span(collect_span, {{"completed", false}});
-    }
     fail_phase(tx, proc, r);
     co_return;
   }
   history_[timeline_index].eager_done_at = engine.now();
+  observe_phase_ms("eager", engine.now() - eager_begin);
   if (obs::active(t)) {
-    t->end_span(collect_span, {{"state_bytes", state_bytes},
-                               {"eager_bytes", eager_wire}});
     // The restoration overlap: the destination decodes and resumes while
     // the source keeps shipping the bulk of the memory state.
+    obs::Attrs attrs{{"remaining_bytes", remaining}};
+    obs::stamp(attrs, tx.trace);
     timeline_spans_[timeline_index].restore = t->begin_span(
-        "migration.restore", "hpcm", proc.name(),
-        {{"remaining_bytes", remaining}});
+        "migration.restore", "hpcm", proc.name(), std::move(attrs));
   }
 
   // ---- phase 4: resume handshake — the transaction's commit point ----------
+  std::uint64_t ack_span = 0;
+  if (obs::active(t)) {
+    obs::Attrs attrs;
+    obs::stamp(attrs, tx.trace);
+    ack_span = t->begin_span("migration.ack", "hpcm", proc.name(),
+                             std::move(attrs));
+  }
+  const double ack_begin = engine.now();
   r = co_await await_phase(tx, phase_ack(tx, proc), "ack",
                            options_.ack_timeout);
+  if (obs::active(t)) {
+    t->end_span(ack_span, {{"completed", r == PhaseResult::kDone}});
+  }
   if (r != PhaseResult::kDone) {
     fail_phase(tx, proc, r);
     co_return;
   }
+  observe_phase_ms("ack", engine.now() - ack_begin);
   mpi::Proc* helper = mpi_->find(tx.helper_id);
   if (helper == nullptr || !tx.state_ready) {
     // The ACK raced a destination failure; treat it as a failed handshake.
@@ -868,6 +959,12 @@ sim::Task<> MigrationEngine::migrate(MigrationContext& ctx,
 
   // ---- commit: the destination owns the process from here on ---------------
   notify_phase(tx, "restore");
+  if (obs::active(t)) {
+    obs::Attrs attrs{{"remaining_bytes", remaining}};
+    obs::stamp(attrs, tx.trace);
+    timeline_spans_[timeline_index].transfer = t->begin_span(
+        "migration.transfer", "hpcm", proc.name(), std::move(attrs));
+  }
   std::erase_if(collectors_,
                 [](const auto& entry) { return entry.second.done(); });
   collectors_.emplace(
@@ -926,9 +1023,13 @@ void MigrationEngine::takeover(mpi::RankId id, host::Host& destination,
   history_[timeline_index].succeeded = true;
   history_[timeline_index].outcome = "committed";
   if (obs::Tracer* t = tracer(); obs::active(t)) {
-    t->instant("migration.resumed", "hpcm", proc->name(),
-               {{"dest", destination.name()},
-                {"migrations", ctx.migration_count_}});
+    obs::Attrs attrs{{"dest", destination.name()},
+                     {"migrations", ctx.migration_count_}};
+    if (const auto tx_it = pending_.find(timeline_index);
+        tx_it != pending_.end()) {
+      obs::stamp(attrs, tx_it->second->trace);
+    }
+    t->instant("migration.resumed", "hpcm", proc->name(), std::move(attrs));
   }
 
   ProcState* state_ptr = it->second.get();

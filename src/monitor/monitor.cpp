@@ -97,11 +97,16 @@ double Monitor::frequency_for(SystemState state) const {
 }
 
 void Monitor::push(xmlproto::ProtocolMessage message) {
+  push(std::move(message), {});
+}
+
+void Monitor::push(xmlproto::ProtocolMessage message, obs::TraceCtx ctx) {
   net::Message wire;
   wire.src_host = host_->name();
   wire.dst_host = config_.registry_host;
   wire.dst_port = config_.registry_port;
-  wire.payload = xmlproto::encode(message);
+  wire.payload = xmlproto::encode(message, ctx);
+  wire.trace = ctx;
   network_->post(std::move(wire));
 }
 
@@ -226,15 +231,22 @@ sim::Task<> Monitor::run() {
         consult.host = host_->name();
         consult.reason = "overloaded for " +
                          support::format_fixed(overloaded_for, 1) + "s";
-        push(consult);
+        // A consult opens a new causal transaction: the decision, command,
+        // and migration it triggers all link back to this instant.
+        obs::TraceCtx ctx;
+        if (obs::active(config_.tracer)) {
+          // The consult instant goes into the ring before the send so it
+          // is the transaction's root event.
+          ctx.txn = config_.tracer->new_txn();
+          obs::Attrs attrs{{"reason", consult.reason}};
+          obs::stamp(attrs, ctx);
+          config_.tracer->instant("monitor.consult", "monitor",
+                                  host_->name(), std::move(attrs));
+        }
+        push(consult, ctx);
         ++consults_sent_;
         episode_consulted_ = true;
         last_consult_at_ = engine.now();
-        if (obs::active(config_.tracer)) {
-          config_.tracer->instant("monitor.consult", "monitor",
-                                  host_->name(),
-                                  {{"reason", consult.reason}});
-        }
         if (config_.metrics != nullptr) {
           config_.metrics->counter("monitor.consults_sent").inc();
         }

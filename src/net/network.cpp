@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "ars/obs/metrics.hpp"
+#include "ars/obs/tracer.hpp"
 #include "ars/support/log.hpp"
 
 namespace ars::net {
@@ -103,6 +104,14 @@ void Network::post(Message message) {
     message.size_bytes = message.payload.size() + options_.message_overhead;
   }
   message.sent_at = engine_->now();
+  if (message.trace.set() && obs::active(options_.tracer)) {
+    obs::Attrs attrs{{"dst", message.dst_host},
+                     {"port", message.dst_port},
+                     {"bytes", static_cast<std::size_t>(message.size_bytes)}};
+    obs::stamp(attrs, message.trace);
+    options_.tracer->instant("net.send", "net", message.src_host,
+                             std::move(attrs));
+  }
   if (!hosts_.contains(message.dst_host)) {
     ARS_LOG_WARN("net", "dropping message to unknown host "
                             << message.dst_host);
@@ -139,6 +148,14 @@ void Network::post(Message message) {
                               << msg.dst_host << ":" << msg.dst_port);
       net->count_drop(msg.src_host, "unbound_port");
       co_return;
+    }
+    if (msg.trace.set() && obs::active(net->options_.tracer)) {
+      obs::Attrs attrs{{"src", msg.src_host},
+                       {"port", msg.dst_port},
+                       {"latency_ms", (msg.delivered_at - msg.sent_at) * 1e3}};
+      obs::stamp(attrs, msg.trace);
+      net->options_.tracer->instant("net.recv", "net", msg.dst_host,
+                                    std::move(attrs));
     }
     it->second->inbox.send(std::move(msg));
   };

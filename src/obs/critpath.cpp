@@ -1,0 +1,403 @@
+#include "ars/obs/critpath.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace ars::obs::critpath {
+
+namespace {
+
+std::uint64_t attr_u64(const JsonObject& attrs, const char* key) {
+  const auto it = attrs.find(key);
+  if (it == attrs.end() || !it->second.is_number()) {
+    return 0;
+  }
+  const double value = it->second.as_number();
+  return value > 0.0 ? static_cast<std::uint64_t>(value) : 0;
+}
+
+/// Span-name -> phase-name mapping for the migration breakdown.
+const char* phase_of(const std::string& span_name) {
+  if (span_name == "migration.spawn") {
+    return "init";
+  }
+  if (span_name == "migration.collect") {
+    return "collect";
+  }
+  if (span_name == "migration.eager") {
+    return "eager";
+  }
+  if (span_name == "migration.ack") {
+    return "ack";
+  }
+  if (span_name == "migration.transfer") {
+    return "transfer";
+  }
+  if (span_name == "migration.restore") {
+    return "restore";
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+support::Expected<std::vector<Event>> parse_jsonl(std::string_view jsonl) {
+  std::vector<Event> events;
+  std::size_t line_no = 0;
+  std::size_t pos = 0;
+  while (pos <= jsonl.size()) {
+    const std::size_t eol = jsonl.find('\n', pos);
+    const std::string_view line =
+        jsonl.substr(pos, eol == std::string_view::npos ? std::string_view::npos
+                                                        : eol - pos);
+    pos = eol == std::string_view::npos ? jsonl.size() + 1 : eol + 1;
+    ++line_no;
+    if (line.find_first_not_of(" \t\r") == std::string_view::npos) {
+      continue;
+    }
+    auto doc = json_parse(line);
+    if (!doc.has_value()) {
+      return support::make_error(
+          "trace.parse", "line " + std::to_string(line_no) + ": " +
+                             doc.error().to_string());
+    }
+    if (!doc->is_object()) {
+      return support::make_error(
+          "trace.parse", "line " + std::to_string(line_no) + ": not an object");
+    }
+    const JsonObject& object = doc->as_object();
+    Event event;
+    const auto str = [&object](const char* key) -> std::string {
+      const auto it = object.find(key);
+      return it != object.end() && it->second.is_string()
+                 ? it->second.as_string()
+                 : std::string{};
+    };
+    const auto it_t = object.find("t");
+    if (it_t == object.end() || !it_t->second.is_number()) {
+      return support::make_error(
+          "trace.parse", "line " + std::to_string(line_no) + ": missing t");
+    }
+    event.t = it_t->second.as_number();
+    const std::string kind = str("kind");
+    if (kind == "begin") {
+      event.kind = Event::Kind::kBegin;
+    } else if (kind == "end") {
+      event.kind = Event::Kind::kEnd;
+    } else if (kind == "instant") {
+      event.kind = Event::Kind::kInstant;
+    } else {
+      return support::make_error(
+          "trace.parse",
+          "line " + std::to_string(line_no) + ": unknown kind '" + kind + "'");
+    }
+    event.name = str("name");
+    event.category = str("cat");
+    event.track = str("track");
+    if (const auto it = object.find("span");
+        it != object.end() && it->second.is_number()) {
+      event.span = static_cast<std::uint64_t>(it->second.as_number());
+    }
+    if (const auto it = object.find("attrs");
+        it != object.end() && it->second.is_object()) {
+      event.attrs = it->second.as_object();
+    }
+    event.txn = attr_u64(event.attrs, "txn");
+    event.pspan = attr_u64(event.attrs, "pspan");
+    event.cause_txn = attr_u64(event.attrs, "cause_txn");
+    events.push_back(std::move(event));
+  }
+  return events;
+}
+
+std::vector<Transaction> group_transactions(const std::vector<Event>& events) {
+  // Span-end events are not stamped (only the begin carries txn/pspan), so
+  // first learn which transaction owns each span id.
+  std::unordered_map<std::uint64_t, std::uint64_t> span_txn;
+  for (const Event& event : events) {
+    if (event.kind == Event::Kind::kBegin && event.txn != 0 &&
+        event.span != 0) {
+      span_txn.emplace(event.span, event.txn);
+    }
+  }
+  std::map<std::uint64_t, Transaction> by_txn;
+  for (const Event& event : events) {
+    std::uint64_t txn = event.txn;
+    if (txn == 0 && event.span != 0) {
+      const auto it = span_txn.find(event.span);
+      if (it != span_txn.end()) {
+        txn = it->second;
+      }
+    }
+    if (txn == 0) {
+      continue;
+    }
+    Transaction& t = by_txn[txn];
+    if (t.events.empty()) {
+      t.txn = txn;
+      t.begin = event.t;
+      t.root_name = event.name;
+    }
+    t.end = std::max(t.end, event.t);
+    if (event.cause_txn != 0 && t.cause_txn == 0) {
+      t.cause_txn = event.cause_txn;
+    }
+    t.events.push_back(event);
+  }
+
+  std::vector<Transaction> out;
+  out.reserve(by_txn.size());
+  for (auto& [txn_id, t] : by_txn) {
+    // Reconstruct spans (begin/end pairs) within the transaction.
+    std::unordered_map<std::uint64_t, std::size_t> open;
+    for (const Event& event : t.events) {
+      if (event.kind == Event::Kind::kBegin) {
+        Span span;
+        span.id = event.span;
+        span.name = event.name;
+        span.track = event.track;
+        span.begin = event.t;
+        span.end = event.t;
+        span.pspan = event.pspan;
+        span.attrs = event.attrs;
+        open.emplace(span.id, t.spans.size());
+        t.spans.push_back(std::move(span));
+      } else if (event.kind == Event::Kind::kEnd) {
+        const auto it = open.find(event.span);
+        if (it == open.end()) {
+          continue;  // validated later: end without a begin
+        }
+        Span& span = t.spans[it->second];
+        span.end = event.t;
+        span.closed = true;
+        for (const auto& [key, value] : event.attrs) {
+          span.attrs.insert_or_assign(key, value);
+        }
+        open.erase(it);
+      }
+    }
+    // Migration breakdown.
+    for (const Span& span : t.spans) {
+      if (!span.closed) {
+        continue;
+      }
+      if (span.name == "migration") {
+        t.has_migration = true;
+        t.migration_s = span.end - span.begin;
+        if (const auto it = span.attrs.find("outcome");
+            it != span.attrs.end() && it->second.is_string()) {
+          t.outcome = it->second.as_string();
+        }
+        continue;
+      }
+      if (const char* phase = phase_of(span.name)) {
+        t.phase_s[phase] += span.end - span.begin;
+      }
+    }
+    for (const char* phase : {"init", "collect", "eager", "ack"}) {
+      if (const auto it = t.phase_s.find(phase); it != t.phase_s.end()) {
+        t.freeze_s += it->second;
+      }
+    }
+    out.push_back(std::move(t));
+  }
+  return out;
+}
+
+Validation validate(const Transaction& txn) {
+  Validation verdict;
+  const auto problem = [&verdict](std::string text) {
+    verdict.ok = false;
+    verdict.problems.push_back(std::move(text));
+  };
+  if (txn.events.empty()) {
+    problem("transaction has no events");
+    return verdict;
+  }
+  std::unordered_map<std::uint64_t, const Span*> spans;
+  int migrations = 0;
+  for (const Span& span : txn.spans) {
+    spans.emplace(span.id, &span);
+    if (span.name == "migration") {
+      ++migrations;
+    }
+  }
+  if (migrations > 1) {
+    problem("transaction holds " + std::to_string(migrations) +
+            " migration spans (expected at most 1)");
+  }
+  // Orphans: every pspan reference must resolve inside the transaction.
+  for (const Event& event : txn.events) {
+    if (event.pspan != 0 && !spans.contains(event.pspan)) {
+      problem("event '" + event.name + "' at t=" + std::to_string(event.t) +
+              " references unknown parent span " +
+              std::to_string(event.pspan));
+    }
+    if (event.kind == Event::Kind::kEnd && !spans.contains(event.span)) {
+      problem("end of span " + std::to_string(event.span) + " ('" +
+              event.name + "') has no begin in this transaction");
+    }
+  }
+  // Cycles: walk each span's parent chain; it must terminate at 0.
+  for (const Span& span : txn.spans) {
+    std::unordered_set<std::uint64_t> seen{span.id};
+    std::uint64_t parent = span.pspan;
+    while (parent != 0) {
+      if (!seen.insert(parent).second) {
+        problem("span '" + span.name + "' (" + std::to_string(span.id) +
+                ") sits on a parent cycle");
+        break;
+      }
+      const auto it = spans.find(parent);
+      if (it == spans.end()) {
+        break;  // already reported as an orphan above
+      }
+      parent = it->second->pspan;
+    }
+  }
+  return verdict;
+}
+
+double coverage_gap_s(const Transaction& txn) {
+  const Span* migration = nullptr;
+  for (const Span& span : txn.spans) {
+    if (span.name == "migration" && span.closed) {
+      migration = &span;
+      break;
+    }
+  }
+  if (migration == nullptr) {
+    return 0.0;
+  }
+  // Union of the phase spans, clipped to the migration span.
+  std::vector<std::pair<double, double>> intervals;
+  for (const Span& span : txn.spans) {
+    if (!span.closed || phase_of(span.name) == nullptr) {
+      continue;
+    }
+    const double lo = std::max(span.begin, migration->begin);
+    const double hi = std::min(span.end, migration->end);
+    if (hi > lo) {
+      intervals.emplace_back(lo, hi);
+    }
+  }
+  std::sort(intervals.begin(), intervals.end());
+  double covered = 0.0;
+  double cursor = migration->begin;
+  for (const auto& [lo, hi] : intervals) {
+    const double from = std::max(lo, cursor);
+    if (hi > from) {
+      covered += hi - from;
+      cursor = hi;
+    }
+  }
+  return (migration->end - migration->begin) - covered;
+}
+
+double PhaseStats::percentile(double p) const {
+  if (samples.empty()) {
+    return 0.0;
+  }
+  std::vector<double> sorted = samples;
+  std::sort(sorted.begin(), sorted.end());
+  const double rank = p / 100.0 * static_cast<double>(sorted.size());
+  std::size_t index = rank <= 0.0
+                          ? 0
+                          : static_cast<std::size_t>(std::ceil(rank)) - 1;
+  index = std::min(index, sorted.size() - 1);
+  return sorted[index];
+}
+
+double PhaseStats::max() const {
+  if (samples.empty()) {
+    return 0.0;
+  }
+  return *std::max_element(samples.begin(), samples.end());
+}
+
+void accumulate(Report& report, const std::vector<Transaction>& txns) {
+  for (const Transaction& txn : txns) {
+    ++report.transactions;
+    if (!txn.has_migration) {
+      continue;
+    }
+    ++report.migrations;
+    ++report.outcomes[txn.outcome.empty() ? "unknown" : txn.outcome];
+    for (const auto& [phase, seconds] : txn.phase_s) {
+      report.phases[phase].add(seconds);
+    }
+    report.phases["freeze"].add(txn.freeze_s);
+    report.phases["total"].add(txn.migration_s);
+  }
+}
+
+std::string format_report(const Report& report) {
+  std::string out;
+  out += "transactions: " + std::to_string(report.transactions) +
+         "  migrations: " + std::to_string(report.migrations) + "\n";
+  if (!report.outcomes.empty()) {
+    out += "outcomes:";
+    for (const auto& [outcome, count] : report.outcomes) {
+      out += " " + outcome + "=" + std::to_string(count);
+    }
+    out += "\n";
+  }
+  if (report.phases.empty()) {
+    return out;
+  }
+  char line[160];
+  std::snprintf(line, sizeof line, "%-10s %8s %12s %12s %12s %12s\n", "phase",
+                "n", "p50_ms", "p90_ms", "p99_ms", "max_ms");
+  out += line;
+  // Fixed pipeline order first, then the synthetic aggregates.
+  const std::vector<std::string> order{"init",     "collect", "eager",
+                                       "ack",      "transfer", "restore",
+                                       "freeze",   "total"};
+  const auto emit = [&](const std::string& phase, const PhaseStats& stats) {
+    std::snprintf(line, sizeof line, "%-10s %8zu %12.3f %12.3f %12.3f %12.3f\n",
+                  phase.c_str(), stats.samples.size(),
+                  stats.percentile(50) * 1e3, stats.percentile(90) * 1e3,
+                  stats.percentile(99) * 1e3, stats.max() * 1e3);
+    out += line;
+  };
+  for (const std::string& phase : order) {
+    if (const auto it = report.phases.find(phase);
+        it != report.phases.end()) {
+      emit(phase, it->second);
+    }
+  }
+  for (const auto& [phase, stats] : report.phases) {
+    if (std::find(order.begin(), order.end(), phase) == order.end()) {
+      emit(phase, stats);
+    }
+  }
+  return out;
+}
+
+JsonValue report_to_json(const Report& report) {
+  JsonObject root;
+  root.emplace("transactions", static_cast<double>(report.transactions));
+  root.emplace("migrations", static_cast<double>(report.migrations));
+  JsonObject outcomes;
+  for (const auto& [outcome, count] : report.outcomes) {
+    outcomes.emplace(outcome, static_cast<double>(count));
+  }
+  root.emplace("outcomes", std::move(outcomes));
+  JsonObject phases;
+  for (const auto& [phase, stats] : report.phases) {
+    JsonObject entry;
+    entry.emplace("n", static_cast<double>(stats.samples.size()));
+    entry.emplace("p50_ms", stats.percentile(50) * 1e3);
+    entry.emplace("p90_ms", stats.percentile(90) * 1e3);
+    entry.emplace("p99_ms", stats.percentile(99) * 1e3);
+    entry.emplace("max_ms", stats.max() * 1e3);
+    phases.emplace(phase, std::move(entry));
+  }
+  root.emplace("phases", std::move(phases));
+  return JsonValue{std::move(root)};
+}
+
+}  // namespace ars::obs::critpath

@@ -35,7 +35,9 @@ const char* strategy_name(DestinationStrategy strategy) {
 /// the decision's full why-not trail is visible in the trace viewer.
 void emit_decision_event(obs::Tracer* tracer, double now,
                          const std::string& track, const Decision& decision,
-                         const std::string& kind) {
+                         const std::string& kind,
+                         const obs::TraceCtx& ctx = {},
+                         std::uint64_t cause_txn = 0) {
   if (tracer == nullptr) {
     return;
   }
@@ -46,6 +48,10 @@ void emit_decision_event(obs::Tracer* tracer, double now,
                                        ? std::string("none")
                                        : decision.destination},
                    {"escalated", decision.escalated}};
+  obs::stamp(attrs, ctx);
+  if (cause_txn != 0) {
+    attrs.push_back({"cause_txn", static_cast<std::size_t>(cause_txn)});
+  }
   for (const CandidateAudit& candidate : decision.candidates) {
     attrs.push_back({"candidate." + candidate.host, candidate.reason});
   }
@@ -277,36 +283,37 @@ bool Registry::index_consistent() const {
 // -- wire protocol ----------------------------------------------------------
 
 void Registry::send_to(const std::string& dst_host, int dst_port,
-                       const ProtocolMessage& message) {
+                       const ProtocolMessage& message, obs::TraceCtx ctx) {
   net::Message wire;
   wire.src_host = host_->name();
   wire.dst_host = dst_host;
   wire.dst_port = dst_port;
-  wire.payload = xmlproto::encode(message);
+  wire.payload = xmlproto::encode(message, ctx);
+  wire.trace = ctx;
   network_->post(std::move(wire));
 }
 
 sim::Task<> Registry::serve() {
   while (true) {
     const net::Message wire = co_await endpoint_->inbox.recv();
-    auto message = xmlproto::decode(wire.payload);
-    if (!message.has_value()) {
+    auto envelope = xmlproto::decode_envelope(wire.payload);
+    if (!envelope.has_value()) {
       ARS_LOG_WARN("registry", "undecodable message from "
                                    << wire.src_host << ": "
-                                   << message.error().to_string());
+                                   << envelope.error().to_string());
       continue;
     }
-    handle(*message, wire.src_host);
+    handle(envelope->message, wire.src_host, envelope->trace);
   }
 }
 
 void Registry::deliver(const ProtocolMessage& message,
-                       const std::string& from_host) {
-  handle(message, from_host);
+                       const std::string& from_host, obs::TraceCtx ctx) {
+  handle(message, from_host, ctx);
 }
 
 void Registry::handle(const ProtocolMessage& message,
-                      const std::string& from_host) {
+                      const std::string& from_host, obs::TraceCtx ctx) {
   const double now = host_->engine().now();
   if (const auto* reg = std::get_if<xmlproto::RegisterMsg>(&message)) {
     HostEntry& entry = ensure_entry(reg->info.host);
@@ -377,7 +384,8 @@ void Registry::handle(const ProtocolMessage& message,
   }
   if (const auto* consult = std::get_if<xmlproto::ConsultMsg>(&message)) {
     std::erase_if(fibers_, [](const sim::Fiber& f) { return f.done(); });
-    fibers_.push_back(sim::Fiber::spawn(host_->engine(), decide(*consult),
+    fibers_.push_back(sim::Fiber::spawn(host_->engine(),
+                                        decide(*consult, ctx),
                                         "registry.decide"));
     return;
   }
@@ -417,7 +425,7 @@ void Registry::handle(const ProtocolMessage& message,
   }
   if (const auto* outcome =
           std::get_if<xmlproto::MigrationOutcomeMsg>(&message)) {
-    on_migration_outcome(*outcome);
+    on_migration_outcome(*outcome, ctx);
     return;
   }
   if (const auto* health = std::get_if<xmlproto::HealthReportMsg>(&message)) {
@@ -511,7 +519,14 @@ void Registry::restart_processes_of(const std::string& lost_host) {
 }
 
 bool Registry::restart_process(const ProcessEntry& process,
-                               RecoveryRound& round, bool record_stranded) {
+                               RecoveryRound& round, bool record_stranded,
+                               obs::TraceCtx cause) {
+  // A restart opens a fresh transaction: the registry is the originator
+  // (no consult precedes it), so the decision event is the DAG root.
+  obs::TraceCtx ctx;
+  if (obs::active(config_.tracer)) {
+    ctx.txn = config_.tracer->new_txn();
+  }
   Decision decision;
   decision.at = host_->engine().now();
   decision.source = process.host;
@@ -558,7 +573,7 @@ bool Registry::restart_process(const ProcessEntry& process,
                                                       << process.host << ")");
       decisions_.push_back(decision);
       emit_decision_event(config_.tracer, decision.at, host_->name(),
-                          decision, "restart-stranded");
+                          decision, "restart-stranded", ctx, cause.txn);
       if (config_.metrics != nullptr) {
         config_.metrics->counter("registry.restarts_stranded").inc();
       }
@@ -604,7 +619,7 @@ bool Registry::restart_process(const ProcessEntry& process,
   decision.destination = chosen->info.host;
   decisions_.push_back(decision);
   emit_decision_event(config_.tracer, decision.at, host_->name(), decision,
-                      "restart");
+                      "restart", ctx, cause.txn);
   if (config_.metrics != nullptr) {
     config_.metrics->counter("registry.restarts_commanded").inc();
   }
@@ -620,7 +635,7 @@ bool Registry::restart_process(const ProcessEntry& process,
   command.schema_name = process.schema_name;
   ARS_LOG_WARN("registry", "restarting " << process.name << " on "
                                          << chosen->info.host);
-  send_to(chosen->info.host, chosen->commander_port, command);
+  send_to(chosen->info.host, chosen->commander_port, command, ctx);
   // Track the command until a monitor re-reports the process: the wire is
   // lossy and a vanished RelaunchCmd must not lose the process for good.
   std::erase_if(pending_relaunches_, [&](const PendingRelaunch& pending) {
@@ -724,7 +739,7 @@ std::pair<std::uint64_t, std::uint64_t> Registry::inflight_debit(
 }
 
 void Registry::on_migration_outcome(
-    const xmlproto::MigrationOutcomeMsg& outcome) {
+    const xmlproto::MigrationOutcomeMsg& outcome, obs::TraceCtx ctx) {
   const double now = host_->engine().now();
   if (config_.metrics != nullptr) {
     config_.metrics
@@ -733,12 +748,13 @@ void Registry::on_migration_outcome(
         .inc();
   }
   if (obs::active(config_.tracer)) {
+    obs::Attrs attrs{{"process", outcome.process},
+                     {"dest", outcome.destination},
+                     {"outcome", outcome.outcome},
+                     {"reason", outcome.reason}};
+    obs::stamp(attrs, ctx);
     config_.tracer->instant("registry.migration_outcome", "scheduler",
-                            host_->name(),
-                            {{"process", outcome.process},
-                             {"dest", outcome.destination},
-                             {"outcome", outcome.outcome},
-                             {"reason", outcome.reason}});
+                            host_->name(), std::move(attrs));
   }
   // Credit the in-flight placement debit back (prefer the exact
   // destination; fall back to the process alone for re-planned debits).
@@ -801,7 +817,7 @@ void Registry::on_migration_outcome(
       config_.metrics->counter("registry.rollback_restarts").inc();
     }
     RecoveryRound round;
-    if (!restart_process(lost, round, /*record_stranded=*/true)) {
+    if (!restart_process(lost, round, /*record_stranded=*/true, ctx)) {
       const bool already = std::any_of(
           stranded_.begin(), stranded_.end(),
           [&](const ProcessEntry& p) { return p.name == lost.name; });
@@ -825,8 +841,23 @@ void Registry::on_migration_outcome(
     xmlproto::ConsultMsg consult;
     consult.host = outcome.source;
     consult.reason = "migration aborted (" + outcome.reason + ")";
+    // The re-plan is a NEW transaction (one migration attempt per DAG);
+    // the replan event links it back to the aborted one via cause_txn.
+    obs::TraceCtx replan_ctx;
+    if (obs::active(config_.tracer)) {
+      replan_ctx.txn = config_.tracer->new_txn();
+      obs::Attrs attrs{{"process", outcome.process},
+                       {"source", outcome.source}};
+      obs::stamp(attrs, replan_ctx);
+      if (ctx.set()) {
+        attrs.emplace_back("cause_txn", static_cast<std::size_t>(ctx.txn));
+      }
+      config_.tracer->instant("registry.replan", "scheduler", host_->name(),
+                              std::move(attrs));
+    }
     std::erase_if(fibers_, [](const sim::Fiber& f) { return f.done(); });
-    fibers_.push_back(sim::Fiber::spawn(host_->engine(), decide(consult),
+    fibers_.push_back(sim::Fiber::spawn(host_->engine(),
+                                        decide(consult, replan_ctx),
                                         "registry.decide"));
   }
 }
@@ -1105,6 +1136,12 @@ sim::Task<> Registry::evacuate(std::string drained_host, std::string reason) {
     }
   }
   for (const ProcessEntry& process : targets) {
+    // Each evacuated process gets its own transaction (one migration per
+    // DAG), rooted at its decision event.
+    obs::TraceCtx ctx;
+    if (obs::active(config_.tracer)) {
+      ctx.txn = config_.tracer->new_txn();
+    }
     Decision decision;
     auto destination = choose_destination(
         drained_host, process.schema_name,
@@ -1119,13 +1156,13 @@ sim::Task<> Registry::evacuate(std::string drained_host, std::string reason) {
                                     << process.name << " - process stays");
       decisions_.push_back(decision);
       emit_decision_event(config_.tracer, decision.at, host_->name(),
-                          decision, "evacuate-stranded");
+                          decision, "evacuate-stranded", ctx);
       continue;
     }
     decision.destination = *destination;
     decisions_.push_back(decision);
     emit_decision_event(config_.tracer, decision.at, host_->name(), decision,
-                        "evacuate");
+                        "evacuate", ctx);
     const auto source_it = hosts_.find(drained_host);
     const auto dest_it = hosts_.find(*destination);
     if (source_it == hosts_.end() || dest_it == hosts_.end()) {
@@ -1138,7 +1175,7 @@ sim::Task<> Registry::evacuate(std::string drained_host, std::string reason) {
     command.dest_ip = dest_it->second.info.ip;
     command.dest_port = dest_it->second.commander_port;
     command.schema_name = process.schema_name;
-    send_to(drained_host, source_it->second.commander_port, command);
+    send_to(drained_host, source_it->second.commander_port, command, ctx);
     debit_placement(process.name, *destination, process.schema_name);
     ++evacuations_commanded_;
     // Give each migration a beat so the destinations' heartbeats can
@@ -1147,7 +1184,8 @@ sim::Task<> Registry::evacuate(std::string drained_host, std::string reason) {
   }
 }
 
-bool Registry::route_to_child(const xmlproto::ConsultMsg& consult) {
+bool Registry::route_to_child(const xmlproto::ConsultMsg& consult,
+                              obs::TraceCtx ctx) {
   // A routed consult must carry the child's process selection and a
   // command return-path; without them the receiving domain could decide
   // nothing.
@@ -1177,32 +1215,36 @@ bool Registry::route_to_child(const xmlproto::ConsultMsg& consult) {
     return false;
   }
   ++best->routed_consults;
-  send_to(*best_name, best->port, consult);
+  send_to(*best_name, best->port, consult, ctx);
   if (config_.metrics != nullptr) {
     config_.metrics->counter("registry.consults_routed").inc();
   }
   if (obs::active(config_.tracer)) {
+    obs::Attrs attrs{{"child", *best_name}, {"source", consult.host}};
+    obs::stamp(attrs, ctx);
     config_.tracer->instant("registry.consult_routed", "scheduler",
-                            host_->name(),
-                            {{"child", *best_name},
-                             {"source", consult.host}});
+                            host_->name(), std::move(attrs));
   }
   return true;
 }
 
-sim::Task<> Registry::decide(xmlproto::ConsultMsg consult) {
+sim::Task<> Registry::decide(xmlproto::ConsultMsg consult, obs::TraceCtx ctx) {
   obs::Tracer* tracer = config_.tracer;
-  const std::uint64_t decide_span =
-      obs::active(tracer)
-          ? tracer->begin_span("scheduler.decide", "scheduler", host_->name(),
-                               {{"source", consult.host},
-                                {"reason", consult.reason}})
-          : 0;
+  std::uint64_t decide_span = 0;
+  if (obs::active(tracer)) {
+    obs::Attrs attrs{{"source", consult.host}, {"reason", consult.reason}};
+    obs::stamp(attrs, ctx);
+    decide_span = tracer->begin_span("scheduler.decide", "scheduler",
+                                     host_->name(), std::move(attrs));
+  }
+  // Everything this decision sends descends from the decide span.
+  const obs::TraceCtx out_ctx = ctx.child_of(decide_span);
   if (config_.metrics != nullptr) {
     config_.metrics->counter("scheduler.consults").inc();
   }
-  const auto record = [this, tracer, decide_span](const Decision& decision,
-                                                  const char* outcome) {
+  const auto record = [this, tracer, decide_span,
+                       out_ctx](const Decision& decision,
+                                const char* outcome) {
     decisions_.push_back(decision);
     if (config_.metrics != nullptr) {
       config_.metrics
@@ -1215,7 +1257,7 @@ sim::Task<> Registry::decide(xmlproto::ConsultMsg consult) {
     }
     if (obs::active(tracer)) {
       emit_decision_event(tracer, decision.at, host_->name(), decision,
-                          outcome);
+                          outcome, out_ctx);
       tracer->end_span(decide_span, {{"outcome", outcome}});
     }
   };
@@ -1272,7 +1314,7 @@ sim::Task<> Registry::decide(xmlproto::ConsultMsg consult) {
         escalate.commander_port = source_it->second.commander_port;
       }
     }
-    send_to(config_.parent_host, config_.parent_port, escalate);
+    send_to(config_.parent_host, config_.parent_port, escalate, out_ctx);
     record(decision, "escalated");
     co_return;
   }
@@ -1292,7 +1334,7 @@ sim::Task<> Registry::decide(xmlproto::ConsultMsg consult) {
         routed.commander_port = source_it->second.commander_port;
       }
     }
-    if (route_to_child(routed)) {
+    if (route_to_child(routed, out_ctx)) {
       decision.escalated = true;
       record(decision, "routed");
       co_return;
@@ -1342,7 +1384,7 @@ sim::Task<> Registry::decide(xmlproto::ConsultMsg consult) {
   ARS_LOG_INFO("registry", "decision: migrate " << process->name << " from "
                                                 << consult.host << " to "
                                                 << *destination);
-  send_to(consult.host, source_port, command);
+  send_to(consult.host, source_port, command, out_ctx);
 }
 
 std::string Registry::decision_log() const {

@@ -485,11 +485,57 @@ Expected<ProtocolMessage> decode_recommend(const XmlNode& root) {
   return ProtocolMessage{m};
 }
 
+Expected<ProtocolMessage> decode_root(const XmlNode& root) {
+  if (root.name() != "ars") {
+    return make_error("proto_decode", "unexpected root <" + root.name() + ">");
+  }
+  const auto type = root.attr("type");
+  if (!type.has_value()) {
+    return make_error("proto_decode", "missing type attribute");
+  }
+  using DecodeFn = Expected<ProtocolMessage> (*)(const XmlNode&);
+  static const std::map<std::string, DecodeFn> kDecoders = {
+      {"register", decode_register},
+      {"update", decode_update},
+      {"update_batch", decode_update_batch},
+      {"consult", decode_consult},
+      {"migrate", decode_migrate},
+      {"ack", decode_ack},
+      {"process_register", decode_process_register},
+      {"process_deregister", decode_process_deregister},
+      {"health", decode_health},
+      {"recommend", decode_recommend},
+      {"evacuate", decode_evacuate},
+      {"relaunch", decode_relaunch},
+      {"migration_outcome", decode_migration_outcome},
+  };
+  const auto it = kDecoders.find(*type);
+  if (it == kDecoders.end()) {
+    return make_error("proto_decode", "unknown message type '" + *type + "'");
+  }
+  return it->second(root);
+}
+
 }  // namespace
 
 std::string encode(const ProtocolMessage& message) {
   XmlNode root{"ars"};
   std::visit(Encoder{root}, message);
+  return root.to_string();
+}
+
+std::string encode(const ProtocolMessage& message, const obs::TraceCtx& ctx) {
+  XmlNode root{"ars"};
+  std::visit(Encoder{root}, message);
+  // The context rides as envelope attributes, emitted only when set (same
+  // rule as ConsultMsg's routing fields) so a context-free message keeps
+  // its pre-v2 byte layout.
+  if (ctx.set()) {
+    root.set_attr("txn", std::to_string(ctx.txn));
+    if (ctx.parent_span != 0) {
+      root.set_attr("pspan", std::to_string(ctx.parent_span));
+    }
+  }
   return root.to_string();
 }
 
@@ -525,35 +571,33 @@ Expected<ProtocolMessage> decode(std::string_view wire) {
   if (!doc.has_value()) {
     return doc.error();
   }
+  return decode_root(**doc);
+}
+
+Expected<Envelope> decode_envelope(std::string_view wire) {
+  auto doc = parse_xml(wire);
+  if (!doc.has_value()) {
+    return doc.error();
+  }
   const XmlNode& root = **doc;
-  if (root.name() != "ars") {
-    return make_error("proto_decode", "unexpected root <" + root.name() + ">");
+  auto message = decode_root(root);
+  if (!message.has_value()) {
+    return message.error();
   }
-  const auto type = root.attr("type");
-  if (!type.has_value()) {
-    return make_error("proto_decode", "missing type attribute");
+  Envelope envelope{std::move(*message), {}};
+  // Malformed context attrs degrade to "no context" rather than rejecting
+  // the message: causality is advisory, the payload is not.
+  if (const auto txn = root.attr("txn"); txn.has_value()) {
+    if (const auto id = parse_int(*txn); id.has_value() && *id > 0) {
+      envelope.trace.txn = static_cast<std::uint64_t>(*id);
+      if (const auto pspan = root.attr("pspan"); pspan.has_value()) {
+        if (const auto sid = parse_int(*pspan); sid.has_value() && *sid > 0) {
+          envelope.trace.parent_span = static_cast<std::uint64_t>(*sid);
+        }
+      }
+    }
   }
-  using DecodeFn = Expected<ProtocolMessage> (*)(const XmlNode&);
-  static const std::map<std::string, DecodeFn> kDecoders = {
-      {"register", decode_register},
-      {"update", decode_update},
-      {"update_batch", decode_update_batch},
-      {"consult", decode_consult},
-      {"migrate", decode_migrate},
-      {"ack", decode_ack},
-      {"process_register", decode_process_register},
-      {"process_deregister", decode_process_deregister},
-      {"health", decode_health},
-      {"recommend", decode_recommend},
-      {"evacuate", decode_evacuate},
-      {"relaunch", decode_relaunch},
-      {"migration_outcome", decode_migration_outcome},
-  };
-  const auto it = kDecoders.find(*type);
-  if (it == kDecoders.end()) {
-    return make_error("proto_decode", "unknown message type '" + *type + "'");
-  }
-  return it->second(root);
+  return envelope;
 }
 
 }  // namespace ars::xmlproto

@@ -1,0 +1,139 @@
+// Flight-recorder tests (tentpole part 3): an induced invariant violation
+// produces a complete, self-contained post-mortem bundle that survives a
+// disk round-trip and — because one ScenarioOptions value determines the
+// whole run — replays to the very same violation, byte-identical trace
+// included.  A tampered bundle must be called out, not rubber-stamped.
+
+#include "ars/chaos/flight_recorder.hpp"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "ars/obs/json.hpp"
+
+namespace ars::chaos {
+namespace {
+
+/// The known-bad configuration from the migration-fault suite: rollback
+/// sabotaged, destination crashed in init — the no-lost-process invariant
+/// trips deterministically.
+ScenarioOptions sabotaged_options() {
+  ScenarioOptions options;
+  options.seed = 9;
+  options.horizon = 900.0;
+  options.plan = FaultPlan{"dest-crash-init"};
+  options.plan.migration_dest_crash(/*at=*/50.0, /*until=*/400.0, "init",
+                                    /*probability=*/1.0,
+                                    /*reboot_after=*/30.0);
+  options.sabotage_migration_rollback = true;
+  return options;
+}
+
+TEST(FlightRecorder, ViolationProducesACompleteBundle) {
+  const ScenarioOptions options = sabotaged_options();
+  const ScenarioReport report = run_scenario(options);
+  ASSERT_FALSE(report.ok());
+  // A failing run keeps its own evidence — no keep_trace, no re-run.
+  ASSERT_FALSE(report.trace_jsonl.empty());
+  ASSERT_FALSE(report.metrics_json.empty());
+
+  const obs::JsonValue bundle = make_bundle(
+      options, report,
+      FlightTrigger{"invariant-violation", report.invariants.summary()});
+  ASSERT_TRUE(bundle.is_object());
+  const auto field = [&bundle](const char* key) {
+    const obs::JsonValue* member = bundle.find(key);
+    EXPECT_NE(member, nullptr) << key;
+    return member;
+  };
+  EXPECT_EQ(field("trigger")->find("kind")->as_string(),
+            "invariant-violation");
+  EXPECT_EQ(field("scenario")->find("seed")->as_number(), 9.0);
+  EXPECT_TRUE(field("scenario")
+                  ->find("sabotage_migration_rollback")
+                  ->as_bool());
+  EXPECT_EQ(field("plan")->find("name")->as_string(), "dest-crash-init");
+  EXPECT_FALSE(field("violations")->as_array().empty());
+  EXPECT_EQ(field("trace_hash")->as_string(),
+            std::to_string(report.trace_hash));
+  EXPECT_NE(field("trace_jsonl"), nullptr);
+  EXPECT_NE(field("metrics"), nullptr);
+}
+
+TEST(FlightRecorder, BundleSurvivesDiskAndReplaysToTheSameViolation) {
+  const ScenarioOptions options = sabotaged_options();
+  const ScenarioReport report = run_scenario(options);
+  ASSERT_FALSE(report.ok());
+  const obs::JsonValue bundle = make_bundle(
+      options, report,
+      FlightTrigger{"invariant-violation", report.invariants.summary()});
+
+  const std::string path =
+      ::testing::TempDir() + "/ars-flight/flight_recorder_test.bundle.json";
+  const auto status = write_bundle(path, bundle);
+  ASSERT_TRUE(status.is_ok()) << status.error().to_string();
+
+  std::ifstream in{path};
+  ASSERT_TRUE(in.good());
+  std::ostringstream text;
+  text << in.rdbuf();
+
+  const auto replay = replay_bundle(text.str());
+  ASSERT_TRUE(replay.has_value()) << replay.error().to_string();
+  EXPECT_EQ(replay->trigger.kind, "invariant-violation");
+  EXPECT_EQ(replay->recorded_trace_hash, report.trace_hash);
+  EXPECT_EQ(replay->recorded_violations, report.invariants.summary());
+  // The replay reproduced the recording: same trace bytes, same violation
+  // summary, and the fresh run failed the same way.
+  EXPECT_TRUE(replay->trace_identical);
+  EXPECT_TRUE(replay->violations_match);
+  EXPECT_TRUE(replay->reproduced());
+  EXPECT_FALSE(replay->report.ok());
+}
+
+TEST(FlightRecorder, PassingRunBundleAlsoReproduces) {
+  // The recorder is not failure-only: a clean run (keep_trace on, so the
+  // evidence is captured) bundles and replays the same way.
+  ScenarioOptions options;
+  options.seed = 21;
+  options.keep_trace = true;
+  const ScenarioReport report = run_scenario(options);
+  ASSERT_TRUE(report.ok()) << report.invariants.summary();
+  ASSERT_FALSE(report.trace_jsonl.empty());
+
+  const obs::JsonValue bundle =
+      make_bundle(options, report, FlightTrigger{"manual", "keep-trace run"});
+  const auto replay = replay_bundle(bundle.dump());
+  ASSERT_TRUE(replay.has_value()) << replay.error().to_string();
+  EXPECT_TRUE(replay->reproduced());
+  EXPECT_TRUE(replay->report.ok());
+}
+
+TEST(FlightRecorder, TamperedTraceHashFailsTheReplayCheck) {
+  const ScenarioOptions options = sabotaged_options();
+  const ScenarioReport report = run_scenario(options);
+  ASSERT_FALSE(report.ok());
+  const obs::JsonValue bundle = make_bundle(
+      options, report, FlightTrigger{"invariant-violation", "tamper test"});
+
+  obs::JsonObject doctored = bundle.as_object();
+  doctored.insert_or_assign(
+      "trace_hash",
+      obs::JsonValue{std::to_string(report.trace_hash + 1)});
+  const auto replay = replay_bundle(obs::JsonValue{std::move(doctored)}.dump());
+  ASSERT_TRUE(replay.has_value()) << replay.error().to_string();
+  EXPECT_FALSE(replay->trace_identical);
+  EXPECT_FALSE(replay->reproduced());
+}
+
+TEST(FlightRecorder, MalformedBundleIsRejected) {
+  EXPECT_FALSE(replay_bundle("not json").has_value());
+  EXPECT_FALSE(replay_bundle("[1,2,3]").has_value());
+  EXPECT_FALSE(replay_bundle("{\"version\":1}").has_value());
+}
+
+}  // namespace
+}  // namespace ars::chaos

@@ -89,6 +89,10 @@ TEST(DeterminismFigure7, TraceAndEventSequenceAreByteIdentical) {
   // otherwise identical traces would be a vacuous guarantee.
   EXPECT_TRUE(first.migrated) << "scenario did not migrate; widen the load";
   EXPECT_GT(first.trace_jsonl.size(), 0U);
+  // Causal contexts are ON in this trace (txn-tagged events present), so
+  // byte-identity covers the obs-v2 tagging, not just the bare timeline.
+  EXPECT_NE(first.trace_jsonl.find("\"txn\""), std::string::npos)
+      << "trace carries no causal contexts; determinism check is vacuous";
 
   EXPECT_EQ(fnv1a(first.trace_jsonl), fnv1a(second.trace_jsonl));
   EXPECT_EQ(first.trace_jsonl, second.trace_jsonl)

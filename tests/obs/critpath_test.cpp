@@ -1,0 +1,282 @@
+// Critical-path analyzer tests (tentpole part 2): the strict JSONL
+// round-trip, transaction grouping, DAG validation, and the migration
+// phase breakdown — first over a hand-built trace whose numbers are known
+// exactly, then over a real autonomic-rescheduling run where every
+// context-carrying event must land in exactly one valid transaction DAG.
+
+#include "ars/obs/critpath.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "ars/apps/test_tree.hpp"
+#include "ars/core/runtime.hpp"
+#include "ars/host/hog.hpp"
+#include "ars/obs/tracer.hpp"
+
+namespace ars::obs::critpath {
+namespace {
+
+/// A miniature but complete transaction: consult -> decision span ->
+/// migration span with all six phase spans, with exact timings.
+struct SyntheticTrace {
+  Tracer tracer;
+  double now = 0.0;
+  std::uint64_t txn = 0;
+  std::uint64_t decide = 0;
+  std::uint64_t migration = 0;
+
+  SyntheticTrace() {
+    tracer.set_clock([this] { return now; });
+    txn = tracer.new_txn();
+    TraceCtx ctx{txn, 0};
+
+    Attrs root{{"reason", "overloaded for 63.0s"}};
+    stamp(root, ctx);
+    tracer.instant("monitor.consult", "monitor", "ws1", std::move(root));
+
+    now = 1.0;
+    Attrs decide_attrs;
+    stamp(decide_attrs, ctx);
+    decide = tracer.begin_span("registry.decide", "registry", "hub",
+                               std::move(decide_attrs));
+    now = 2.0;
+    tracer.end_span(decide, {{"dest", "ws4"}});
+
+    Attrs mig_attrs{{"source", "ws1"}, {"dest", "ws4"}};
+    stamp(mig_attrs, ctx.child_of(decide));
+    migration = tracer.begin_span("migration", "hpcm", "test_tree.0",
+                                  std::move(mig_attrs));
+    const TraceCtx phase_ctx = ctx.child_of(migration);
+    phase("migration.spawn", 2.0, 3.0, phase_ctx);
+    phase("migration.collect", 3.0, 4.0, phase_ctx);
+    phase("migration.eager", 4.0, 6.0, phase_ctx);
+    phase("migration.ack", 6.0, 6.5, phase_ctx);
+    // transfer and restore overlap (post-commit background work).
+    const std::uint64_t transfer = begin_at("migration.transfer", 6.5,
+                                            phase_ctx);
+    const std::uint64_t restore = begin_at("migration.restore", 6.5,
+                                           phase_ctx);
+    now = 8.0;
+    tracer.end_span(restore);
+    now = 9.0;
+    tracer.end_span(transfer);
+    now = 10.0;
+    tracer.end_span(migration, {{"outcome", "committed"}});
+  }
+
+  std::uint64_t begin_at(const char* name, double at, const TraceCtx& ctx) {
+    now = at;
+    Attrs attrs;
+    stamp(attrs, ctx);
+    return tracer.begin_span(name, "hpcm", "test_tree.0", std::move(attrs));
+  }
+
+  void phase(const char* name, double from, double to, const TraceCtx& ctx) {
+    const std::uint64_t id = begin_at(name, from, ctx);
+    now = to;
+    tracer.end_span(id);
+  }
+};
+
+TEST(CritpathParse, JsonlRoundTripsThroughStrictParser) {
+  SyntheticTrace synth;
+  const auto events = parse_jsonl(synth.tracer.to_jsonl());
+  ASSERT_TRUE(events.has_value()) << events.error().to_string();
+  // 1 instant + 8 spans (decide, migration, 6 phases) x begin/end.
+  ASSERT_EQ(events->size(), 17u);
+
+  const Event& root = events->front();
+  EXPECT_EQ(root.kind, Event::Kind::kInstant);
+  EXPECT_EQ(root.name, "monitor.consult");
+  EXPECT_EQ(root.category, "monitor");
+  EXPECT_EQ(root.track, "ws1");
+  EXPECT_DOUBLE_EQ(root.t, 0.0);
+  EXPECT_EQ(root.txn, synth.txn);
+  EXPECT_EQ(root.pspan, 0u);
+
+  // The migration begin carries its causal parent (the decision span).
+  bool saw_migration_begin = false;
+  for (const Event& event : *events) {
+    if (event.kind == Event::Kind::kBegin && event.name == "migration") {
+      saw_migration_begin = true;
+      EXPECT_EQ(event.txn, synth.txn);
+      EXPECT_EQ(event.pspan, synth.decide);
+      EXPECT_EQ(event.span, synth.migration);
+    }
+  }
+  EXPECT_TRUE(saw_migration_begin);
+}
+
+TEST(CritpathParse, MalformedLineFailsTheWholeParse) {
+  EXPECT_TRUE(parse_jsonl("").has_value());
+  EXPECT_TRUE(parse_jsonl("\n\n").has_value());
+  EXPECT_FALSE(parse_jsonl("{\"t\":1,").has_value());
+  EXPECT_FALSE(
+      parse_jsonl("{\"t\":0,\"kind\":\"instant\",\"name\":\"a\"}\nnot json\n")
+          .has_value());
+}
+
+TEST(CritpathGroup, ReconstructsOneTransactionWithExactPhaseBreakdown) {
+  SyntheticTrace synth;
+  const auto events = parse_jsonl(synth.tracer.to_jsonl());
+  ASSERT_TRUE(events.has_value());
+  const auto txns = group_transactions(*events);
+  ASSERT_EQ(txns.size(), 1u);
+
+  const Transaction& txn = txns.front();
+  EXPECT_EQ(txn.txn, synth.txn);
+  EXPECT_EQ(txn.root_name, "monitor.consult");
+  EXPECT_EQ(txn.spans.size(), 8u);
+  EXPECT_TRUE(txn.has_migration);
+  EXPECT_EQ(txn.outcome, "committed");
+  EXPECT_DOUBLE_EQ(txn.migration_s, 8.0);   // [2, 10]
+  EXPECT_DOUBLE_EQ(txn.phase_s.at("init"), 1.0);
+  EXPECT_DOUBLE_EQ(txn.phase_s.at("collect"), 1.0);
+  EXPECT_DOUBLE_EQ(txn.phase_s.at("eager"), 2.0);
+  EXPECT_DOUBLE_EQ(txn.phase_s.at("ack"), 0.5);
+  EXPECT_DOUBLE_EQ(txn.phase_s.at("transfer"), 2.5);
+  EXPECT_DOUBLE_EQ(txn.phase_s.at("restore"), 1.5);
+  EXPECT_DOUBLE_EQ(txn.freeze_s, 4.5);      // init+collect+eager+ack
+
+  // Phases cover [2, 9] of the [2, 10] migration: 1 s unaccounted.
+  EXPECT_NEAR(coverage_gap_s(txn), 1.0, 1e-9);
+
+  const Validation verdict = validate(txn);
+  EXPECT_TRUE(verdict.ok) << verdict.problems.front();
+}
+
+TEST(CritpathValidate, OrphanParentSpanIsReported) {
+  Tracer tracer;
+  const std::uint64_t txn = tracer.new_txn();
+  Attrs attrs;
+  stamp(attrs, TraceCtx{txn, /*parent_span=*/999});  // no such span
+  const auto id = tracer.begin_span("registry.decide", "registry", "hub",
+                                    std::move(attrs));
+  tracer.end_span(id);
+
+  const auto events = parse_jsonl(tracer.to_jsonl());
+  ASSERT_TRUE(events.has_value());
+  const auto txns = group_transactions(*events);
+  ASSERT_EQ(txns.size(), 1u);
+  const Validation verdict = validate(txns.front());
+  EXPECT_FALSE(verdict.ok);
+  ASSERT_FALSE(verdict.problems.empty());
+  EXPECT_NE(verdict.problems.front().find("unknown parent span"),
+            std::string::npos)
+      << verdict.problems.front();
+}
+
+TEST(CritpathValidate, TwoMigrationSpansInOneTransactionAreReported) {
+  Tracer tracer;
+  const std::uint64_t txn = tracer.new_txn();
+  const TraceCtx ctx{txn, 0};
+  for (int i = 0; i < 2; ++i) {
+    Attrs attrs;
+    stamp(attrs, ctx);
+    const auto id =
+        tracer.begin_span("migration", "hpcm", "app.0", std::move(attrs));
+    tracer.end_span(id, {{"outcome", "committed"}});
+  }
+  const auto events = parse_jsonl(tracer.to_jsonl());
+  ASSERT_TRUE(events.has_value());
+  const auto txns = group_transactions(*events);
+  ASSERT_EQ(txns.size(), 1u);
+  EXPECT_FALSE(validate(txns.front()).ok);
+}
+
+TEST(CritpathStats, NearestRankPercentilesAccumulateAcrossTransactions) {
+  SyntheticTrace synth;
+  const auto events = parse_jsonl(synth.tracer.to_jsonl());
+  ASSERT_TRUE(events.has_value());
+  Report report;
+  accumulate(report, group_transactions(*events));
+  accumulate(report, group_transactions(*events));  // "second seed"
+
+  EXPECT_EQ(report.transactions, 2);
+  EXPECT_EQ(report.migrations, 2);
+  EXPECT_EQ(report.outcomes.at("committed"), 2);
+  EXPECT_EQ(report.phases.at("freeze").samples.size(), 2u);
+  EXPECT_DOUBLE_EQ(report.phases.at("freeze").percentile(50.0), 4.5);
+  EXPECT_DOUBLE_EQ(report.phases.at("total").max(), 8.0);
+  EXPECT_DOUBLE_EQ(report.phases.at("eager").percentile(99.0), 2.0);
+
+  // The human table and the JSON form both carry the phase rows.
+  const std::string table = format_report(report);
+  EXPECT_NE(table.find("freeze"), std::string::npos);
+  const std::string json = report_to_json(report).dump();
+  EXPECT_NE(json.find("\"migrations\":2"), std::string::npos);
+}
+
+// -- end-to-end: a real autonomic migration forms valid DAGs ---------------
+
+TEST(CritpathEndToEnd, ScenarioTraceReconstructsIntoValidTransactionDags) {
+  auto config = core::make_cluster(3, rules::paper_policy2());
+  core::ReschedulerRuntime runtime{std::move(config)};
+  runtime.start_rescheduler();
+
+  apps::TestTree::Params params;
+  params.levels = 16;
+  apps::TestTree::Result result;
+  runtime.launch_app("ws1", apps::TestTree::make(params, &result),
+                     "test_tree", apps::TestTree::schema(params));
+  host::CpuHog hog{runtime.host("ws1"),
+                   {.threads = 3, .name = "additional"}};
+  runtime.engine().schedule_at(20.0, [&] { hog.start(); });
+  runtime.run_until(1200.0);
+  ASSERT_TRUE(result.finished);
+  ASSERT_EQ(result.migrations, 1);
+
+  const auto events = parse_jsonl(runtime.tracer().to_jsonl());
+  ASSERT_TRUE(events.has_value()) << events.error().to_string();
+  const auto txns = group_transactions(*events);
+  ASSERT_FALSE(txns.empty());
+
+  // Every transaction's DAG must validate: no orphan pspan references, no
+  // parent cycles, at most one migration attempt per transaction.
+  for (const Transaction& txn : txns) {
+    const Validation verdict = validate(txn);
+    EXPECT_TRUE(verdict.ok)
+        << "txn " << txn.txn << ": " << verdict.problems.front();
+  }
+
+  // No tagged event is orphaned: grouping accounts for every non-end event
+  // that carries a txn (ends are attributed through their span ids).
+  std::size_t tagged = 0;
+  for (const Event& event : *events) {
+    if (event.kind != Event::Kind::kEnd && event.txn != 0) {
+      ++tagged;
+    }
+  }
+  std::size_t grouped = 0;
+  for (const Transaction& txn : txns) {
+    for (const Event& event : txn.events) {
+      if (event.kind != Event::Kind::kEnd) {
+        ++grouped;
+      }
+    }
+  }
+  EXPECT_EQ(grouped, tagged);
+
+  // Exactly one transaction carries the migration, rooted at the consult
+  // that triggered it, and its phases account for the migration window.
+  std::size_t migrations = 0;
+  for (const Transaction& txn : txns) {
+    if (!txn.has_migration) {
+      continue;
+    }
+    ++migrations;
+    EXPECT_EQ(txn.root_name, "monitor.consult");
+    EXPECT_EQ(txn.outcome, "committed");
+    EXPECT_GT(txn.freeze_s, 0.0);
+    EXPECT_GT(txn.migration_s, 0.0);
+    EXPECT_LE(coverage_gap_s(txn), 0.05 * txn.migration_s)
+        << "phase spans leave unexplained time in the migration window";
+  }
+  EXPECT_EQ(migrations, 1u);
+}
+
+}  // namespace
+}  // namespace ars::obs::critpath

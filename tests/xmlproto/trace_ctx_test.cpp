@@ -1,0 +1,98 @@
+// Envelope trace-context tests (obs v2): the causal TraceCtx rides on the
+// wire envelope as root attributes, round-trips through decode_envelope,
+// and — crucially — changes NOTHING when unset.  Byte-identical output for
+// an unset context is what keeps pre-v2 wire layouts and the chaos
+// byte-exact replay unchanged when tracing is off.
+
+#include "ars/xmlproto/messages.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ars/obs/trace_ctx.hpp"
+
+namespace ars::xmlproto {
+namespace {
+
+ConsultMsg sample_consult() {
+  ConsultMsg consult;
+  consult.host = "ws1";
+  consult.reason = "overloaded for 63.0s";
+  return consult;
+}
+
+std::vector<ProtocolMessage> sample_messages() {
+  std::vector<ProtocolMessage> messages;
+  messages.emplace_back(sample_consult());
+  UpdateMsg update;
+  update.status.host = "ws2";
+  update.status.state = "busy";
+  update.status.load1 = 0.97;
+  messages.emplace_back(update);
+  MigrateCmd command;
+  command.pid = 12;
+  command.process_name = "test_tree.0";
+  command.dest_host = "ws4";
+  messages.emplace_back(command);
+  MigrationOutcomeMsg outcome;
+  outcome.process = "test_tree.0";
+  outcome.outcome = "committed";
+  messages.emplace_back(outcome);
+  return messages;
+}
+
+TEST(EnvelopeTraceCtx, UnsetContextIsByteIdenticalToPlainEncode) {
+  for (const ProtocolMessage& message : sample_messages()) {
+    EXPECT_EQ(encode(message), encode(message, obs::TraceCtx{}))
+        << message_type(message);
+  }
+}
+
+TEST(EnvelopeTraceCtx, PlainDocumentDecodesToUnsetContext) {
+  for (const ProtocolMessage& message : sample_messages()) {
+    const auto envelope = decode_envelope(encode(message));
+    ASSERT_TRUE(envelope.has_value()) << message_type(message);
+    EXPECT_FALSE(envelope->trace.set()) << message_type(message);
+    EXPECT_EQ(envelope->trace.txn, 0u);
+    EXPECT_EQ(envelope->trace.parent_span, 0u);
+    EXPECT_EQ(message_type(envelope->message), message_type(message));
+  }
+}
+
+TEST(EnvelopeTraceCtx, FullContextRoundTrips) {
+  const obs::TraceCtx ctx{/*txn=*/7, /*parent_span=*/3};
+  for (const ProtocolMessage& message : sample_messages()) {
+    const std::string wire = encode(message, ctx);
+    const auto envelope = decode_envelope(wire);
+    ASSERT_TRUE(envelope.has_value()) << wire;
+    EXPECT_EQ(envelope->trace.txn, 7u) << message_type(message);
+    EXPECT_EQ(envelope->trace.parent_span, 3u) << message_type(message);
+    EXPECT_EQ(message_type(envelope->message), message_type(message));
+  }
+}
+
+TEST(EnvelopeTraceCtx, RootOnlyContextOmitsParentSpan) {
+  // pspan is emitted only when nonzero: a transaction-root message carries
+  // just the txn attribute.
+  const ProtocolMessage message{sample_consult()};
+  const std::string wire = encode(message, obs::TraceCtx{/*txn=*/42});
+  EXPECT_NE(wire.find("txn"), std::string::npos);
+  EXPECT_EQ(wire.find("pspan"), std::string::npos) << wire;
+
+  const auto envelope = decode_envelope(wire);
+  ASSERT_TRUE(envelope.has_value());
+  EXPECT_EQ(envelope->trace.txn, 42u);
+  EXPECT_EQ(envelope->trace.parent_span, 0u);
+}
+
+TEST(EnvelopeTraceCtx, ContextSurvivesTypedPayloadIntact) {
+  const obs::TraceCtx ctx{/*txn=*/9, /*parent_span=*/5};
+  const auto envelope = decode_envelope(encode(sample_consult(), ctx));
+  ASSERT_TRUE(envelope.has_value());
+  const auto* consult = std::get_if<ConsultMsg>(&envelope->message);
+  ASSERT_NE(consult, nullptr);
+  EXPECT_EQ(consult->host, "ws1");
+  EXPECT_EQ(consult->reason, "overloaded for 63.0s");
+}
+
+}  // namespace
+}  // namespace ars::xmlproto

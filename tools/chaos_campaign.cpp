@@ -12,7 +12,21 @@
 //                  [--hosts=N] [--apps=N] [--horizon=T] [--replay-passing=N]
 //                  [--sabotage-lease-expiry] [--sabotage-migration-rollback]
 //                  [--verify-scan-equivalence] [--delta-heartbeats]
-//                  [--out=report.json] [--list-plans]
+//                  [--out=report.json] [--bundle-dir=DIR] [--trace-dir=DIR]
+//                  [--trace-out=FILE] [--metrics-out=FILE]
+//                  [--replay-bundle=FILE] [--list-plans]
+//
+// --bundle-dir writes a flight-recorder bundle (scenario + seed + fault plan
+// + violations + trace ring + metrics snapshot, one JSON file) for every
+// failing seed; --replay-bundle re-runs such a bundle and exits 0 iff it
+// reproduces the recorded trace hash and violations.  --trace-dir exports
+// every seed's trace as JSONL for trace_critpath.
+//
+// The uniform bench flags are honoured too (with ARS_TRACE_OUT /
+// ARS_METRICS_OUT as environment fallbacks): --trace-out=FILE writes each
+// seed's JSONL trace to FILE with a "<plan>_seed<N>" label spliced before
+// the extension, and --metrics-out=FILE does the same with the scenario's
+// metrics snapshot (JSON).
 //
 // --plan may be given multiple times; the default sweep covers every builtin
 // plan plus a fault-free baseline.
@@ -25,6 +39,7 @@
 
 #include <cstdint>
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <optional>
@@ -33,9 +48,12 @@
 #include <vector>
 
 #include "ars/chaos/faultplan.hpp"
+#include "ars/chaos/flight_recorder.hpp"
 #include "ars/chaos/scenario.hpp"
 #include "ars/obs/json.hpp"
 #include "ars/support/log.hpp"
+
+#include "../bench/common.hpp"  // uniform --trace-out/--metrics-out handling
 
 namespace {
 
@@ -56,6 +74,8 @@ struct CampaignOptions {
   bool verify_scan_equivalence = false;
   bool delta_heartbeats = false;
   std::string out_path;
+  std::string bundle_dir;  // flight-recorder bundles for failing seeds
+  std::string trace_dir;   // per-seed JSONL exports for trace_critpath
 };
 
 struct SeedResult {
@@ -82,6 +102,7 @@ struct PlanResult {
   int failures = 0;
   int replay_mismatches = 0;
   int scan_mismatches = 0;
+  std::vector<std::string> bundles;  // flight-recorder bundle paths written
 };
 
 std::optional<std::string> arg_value(const std::string& arg,
@@ -102,7 +123,9 @@ std::optional<std::string> arg_value(const std::string& arg,
             << "         [--sabotage-migration-rollback]\n"
             << "         [--verify-scan-equivalence]\n"
             << "         [--delta-heartbeats] [--out=report.json]\n"
-            << "         [--list-plans]\n";
+            << "         [--bundle-dir=DIR] [--trace-dir=DIR]\n"
+            << "         [--trace-out=FILE] [--metrics-out=FILE]\n"
+            << "         [--replay-bundle=FILE] [--list-plans]\n";
   std::exit(2);
 }
 
@@ -130,8 +153,9 @@ FaultPlan load_plan(const std::string& spec) {
   return *std::move(plan);
 }
 
-ScenarioReport run_once(const CampaignOptions& options, const FaultPlan& plan,
-                        std::uint64_t seed, bool legacy_scan = false) {
+ScenarioOptions make_scenario(const CampaignOptions& options,
+                              const FaultPlan& plan, std::uint64_t seed,
+                              bool legacy_scan = false) {
   ScenarioOptions scenario;
   scenario.hosts = options.hosts;
   scenario.apps = options.apps;
@@ -145,7 +169,38 @@ ScenarioReport run_once(const CampaignOptions& options, const FaultPlan& plan,
   // Equivalence runs compare the two scan modes, so the audit (which itself
   // forces the legacy scan) must be off for both sides.
   scenario.audit_decisions = !options.verify_scan_equivalence;
-  return ars::chaos::run_scenario(scenario);
+  // Trace exports and replay-mismatch bundles need the bytes, not just the
+  // hash (failing runs keep their trace regardless).
+  scenario.keep_trace = !options.trace_dir.empty() ||
+                        !options.bundle_dir.empty() ||
+                        !ars::bench::obs_export().trace_out.empty() ||
+                        !ars::bench::obs_export().metrics_out.empty();
+  return scenario;
+}
+
+ScenarioReport run_once(const CampaignOptions& options, const FaultPlan& plan,
+                        std::uint64_t seed, bool legacy_scan = false) {
+  return ars::chaos::run_scenario(
+      make_scenario(options, plan, seed, legacy_scan));
+}
+
+/// Write one flight-recorder bundle; returns the path (empty on failure).
+std::string record_bundle(const CampaignOptions& options,
+                          const FaultPlan& plan, std::uint64_t seed,
+                          const ScenarioReport& report,
+                          const ars::chaos::FlightTrigger& trigger) {
+  const std::string path = options.bundle_dir + "/bundle_" + plan.name() +
+                           "_seed" + std::to_string(seed) + ".json";
+  const auto bundle =
+      ars::chaos::make_bundle(make_scenario(options, plan, seed), report,
+                              trigger);
+  if (const auto status = ars::chaos::write_bundle(path, bundle);
+      !status.is_ok()) {
+    std::cerr << "chaos_campaign: " << status.error().to_string() << "\n";
+    return {};
+  }
+  std::cout << "  flight recorder: " << path << "\n";
+  return path;
 }
 
 PlanResult sweep_plan(const CampaignOptions& options, const FaultPlan& plan) {
@@ -166,6 +221,43 @@ PlanResult sweep_plan(const CampaignOptions& options, const FaultPlan& plan) {
     seed_result.messages_dropped = report.messages_dropped;
     seed_result.decisions = report.decisions;
     seed_result.decision_log_hash = report.decision_log_hash;
+    if (!options.trace_dir.empty() && !report.trace_jsonl.empty()) {
+      const std::string path = options.trace_dir + "/trace_" + plan.name() +
+                               "_seed" + std::to_string(seed) + ".jsonl";
+      std::filesystem::create_directories(options.trace_dir);
+      std::ofstream trace_out(path);
+      if (trace_out) {
+        trace_out << report.trace_jsonl;
+      } else {
+        std::cerr << "chaos_campaign: cannot write " << path << "\n";
+      }
+    }
+    // Uniform bench flags: one labelled file per plan/seed.
+    const ars::bench::ObsExport& obs = ars::bench::obs_export();
+    const std::string seed_label =
+        plan.name() + "_seed" + std::to_string(seed);
+    if (!obs.trace_out.empty() && !report.trace_jsonl.empty()) {
+      const std::string path =
+          ars::bench::labelled_path(obs.trace_out, seed_label);
+      ars::bench::ensure_parent_dir(path);
+      std::ofstream out(path);
+      if (out) {
+        out << report.trace_jsonl;
+      } else {
+        std::cerr << "chaos_campaign: cannot write " << path << "\n";
+      }
+    }
+    if (!obs.metrics_out.empty() && !report.metrics_json.empty()) {
+      const std::string path =
+          ars::bench::labelled_path(obs.metrics_out, seed_label);
+      ars::bench::ensure_parent_dir(path);
+      std::ofstream out(path);
+      if (out) {
+        out << report.metrics_json << "\n";
+      } else {
+        std::cerr << "chaos_campaign: cannot write " << path << "\n";
+      }
+    }
     if (!report.ok()) {
       ++result.failures;
       seed_result.violations = report.invariants.summary();
@@ -174,6 +266,14 @@ PlanResult sweep_plan(const CampaignOptions& options, const FaultPlan& plan) {
            report.invariants.violations) {
         std::cout << "    " << violation.invariant << " ["
                   << violation.subject << "]: " << violation.detail << "\n";
+      }
+      if (!options.bundle_dir.empty()) {
+        const std::string path = record_bundle(
+            options, plan, seed, report,
+            {"invariant-violation", report.invariants.summary()});
+        if (!path.empty()) {
+          result.bundles.push_back(path);
+        }
       }
     }
     // Replay every failing seed (a reproducer must reproduce) and the first
@@ -192,6 +292,16 @@ PlanResult sweep_plan(const CampaignOptions& options, const FaultPlan& plan) {
         ++result.replay_mismatches;
         std::cout << "  seed " << seed << " REPLAY MISMATCH: trace "
                   << report.trace_hash << " vs " << again.trace_hash << "\n";
+        if (!options.bundle_dir.empty()) {
+          const std::string path = record_bundle(
+              options, plan, seed, report,
+              {"replay-mismatch",
+               "trace " + std::to_string(report.trace_hash) + " vs " +
+                   std::to_string(again.trace_hash)});
+          if (!path.empty()) {
+            result.bundles.push_back(path);
+          }
+        }
       }
     }
     if (options.verify_scan_equivalence) {
@@ -262,7 +372,46 @@ ars::obs::JsonValue to_json(const PlanResult& result) {
     seeds.push_back(ars::obs::JsonValue{std::move(seed_object)});
   }
   plan_object["seeds"] = ars::obs::JsonValue{std::move(seeds)};
+  if (!result.bundles.empty()) {
+    ars::obs::JsonArray bundles;
+    for (const std::string& path : result.bundles) {
+      bundles.push_back(ars::obs::JsonValue{path});
+    }
+    plan_object["bundles"] = ars::obs::JsonValue{std::move(bundles)};
+  }
   return ars::obs::JsonValue{std::move(plan_object)};
+}
+
+/// --replay-bundle: re-run one flight-recorder bundle and report whether it
+/// reproduces.  Exit 0 iff it does.
+int replay_bundle_main(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::cerr << "chaos_campaign: cannot read " << path << "\n";
+    return 2;
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+  auto replay = ars::chaos::replay_bundle(text.str());
+  if (!replay.has_value()) {
+    std::cerr << "chaos_campaign: " << path << ": "
+              << replay.error().to_string() << "\n";
+    return 2;
+  }
+  std::cout << "bundle " << path << " (trigger: " << replay->trigger.kind
+            << ")\n"
+            << "  trace " << (replay->trace_identical ? "identical" : "DIVERGED")
+            << " (" << replay->report.trace_hash << " vs recorded "
+            << replay->recorded_trace_hash << ")\n"
+            << "  violations "
+            << (replay->violations_match ? "reproduced" : "DIFFER") << ": "
+            << replay->report.invariants.summary() << "\n";
+  if (!replay->reproduced()) {
+    std::cout << "BUNDLE DOES NOT REPRODUCE\n";
+    return 1;
+  }
+  std::cout << "BUNDLE REPRODUCES\n";
+  return 0;
 }
 
 }  // namespace
@@ -309,6 +458,14 @@ int main(int argc, char** argv) {
       options.replay_passing = std::stoi(*value7);
     } else if (auto value8 = arg_value(arg, "--out")) {
       options.out_path = *value8;
+    } else if (auto value9 = arg_value(arg, "--bundle-dir")) {
+      options.bundle_dir = *value9;
+    } else if (auto value10 = arg_value(arg, "--trace-dir")) {
+      options.trace_dir = *value10;
+    } else if (auto value11 = arg_value(arg, "--replay-bundle")) {
+      return replay_bundle_main(*value11);
+    } else if (ars::bench::consume_obs_flag(arg)) {
+      // --trace-out= / --metrics-out= recorded in bench::obs_export()
     } else {
       usage_error("unknown argument: " + arg);
     }

@@ -1,0 +1,152 @@
+// trace_critpath: reconstruct per-transaction DAGs from JSONL trace exports
+// and report the migration freeze-window breakdown per phase.
+//
+// Each input file is one trace export (one run / one seed); feeding the tool
+// a whole campaign's trace directory yields cross-seed percentiles.
+//
+// Usage:
+//   trace_critpath [--json] [--per-txn] [--check-dags]
+//                  [--check-sum-tolerance=FRAC] trace.jsonl...
+//
+// --check-dags         exit 1 if any transaction fails DAG validation
+//                      (orphaned pspan references, parent cycles, more than
+//                      one migration span per transaction).
+// --check-sum-tolerance=FRAC
+//                      exit 1 if, for any committed migration, the phase
+//                      spans leave more than FRAC of the end-to-end
+//                      migration span's wall clock uncovered — the phase
+//                      breakdown must explain the whole span.
+// --per-txn            print one line per migration transaction.
+// --json               emit the aggregate report as JSON instead of text.
+
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "ars/obs/critpath.hpp"
+
+namespace {
+
+namespace critpath = ars::obs::critpath;
+
+std::optional<std::string> arg_value(const std::string& arg,
+                                     const std::string& flag) {
+  const std::string prefix = flag + "=";
+  if (arg.rfind(prefix, 0) == 0) {
+    return arg.substr(prefix.size());
+  }
+  return std::nullopt;
+}
+
+[[noreturn]] void usage_error(const std::string& message) {
+  std::cerr << "trace_critpath: " << message << "\n"
+            << "usage: trace_critpath [--json] [--per-txn] [--check-dags]\n"
+            << "         [--check-sum-tolerance=FRAC] trace.jsonl...\n";
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool json = false;
+  bool per_txn = false;
+  bool check_dags = false;
+  double sum_tolerance = -1.0;
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json") {
+      json = true;
+    } else if (arg == "--per-txn") {
+      per_txn = true;
+    } else if (arg == "--check-dags") {
+      check_dags = true;
+    } else if (auto value = arg_value(arg, "--check-sum-tolerance")) {
+      sum_tolerance = std::stod(*value);
+      if (sum_tolerance < 0.0) {
+        usage_error("--check-sum-tolerance must be >= 0");
+      }
+    } else if (!arg.empty() && arg.front() == '-') {
+      usage_error("unknown argument: " + arg);
+    } else {
+      paths.push_back(arg);
+    }
+  }
+  if (paths.empty()) {
+    usage_error("no trace files given");
+  }
+
+  critpath::Report report;
+  int invalid_dags = 0;
+  int coverage_failures = 0;
+  for (const std::string& path : paths) {
+    std::ifstream in(path);
+    if (!in) {
+      std::cerr << "trace_critpath: cannot read " << path << "\n";
+      return 2;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    auto events = critpath::parse_jsonl(text.str());
+    if (!events.has_value()) {
+      std::cerr << "trace_critpath: " << path << ": "
+                << events.error().to_string() << "\n";
+      return 2;
+    }
+    const auto txns = critpath::group_transactions(*events);
+    for (const critpath::Transaction& txn : txns) {
+      const critpath::Validation verdict = critpath::validate(txn);
+      if (!verdict.ok) {
+        ++invalid_dags;
+        for (const std::string& problem : verdict.problems) {
+          std::cerr << path << ": txn " << txn.txn << ": " << problem << "\n";
+        }
+      }
+      if (sum_tolerance >= 0.0 && txn.has_migration &&
+          txn.outcome == "committed" && txn.migration_s > 0.0) {
+        const double gap = critpath::coverage_gap_s(txn);
+        if (gap > sum_tolerance * txn.migration_s) {
+          ++coverage_failures;
+          std::cerr << path << ": txn " << txn.txn << ": phase spans leave "
+                    << gap << "s of a " << txn.migration_s
+                    << "s migration unexplained\n";
+        }
+      }
+      if (per_txn && txn.has_migration) {
+        std::cout << "txn " << txn.txn << " root=" << txn.root_name;
+        if (txn.cause_txn != 0) {
+          std::cout << " cause_txn=" << txn.cause_txn;
+        }
+        std::cout << " outcome=" << (txn.outcome.empty() ? "?" : txn.outcome)
+                  << " total=" << txn.migration_s * 1e3 << "ms"
+                  << " freeze=" << txn.freeze_s * 1e3 << "ms";
+        for (const auto& [phase, seconds] : txn.phase_s) {
+          std::cout << " " << phase << "=" << seconds * 1e3 << "ms";
+        }
+        std::cout << "\n";
+      }
+    }
+    critpath::accumulate(report, txns);
+  }
+
+  if (json) {
+    std::cout << critpath::report_to_json(report).dump() << "\n";
+  } else {
+    std::cout << critpath::format_report(report);
+  }
+  if (check_dags && invalid_dags > 0) {
+    std::cerr << "trace_critpath: " << invalid_dags
+              << " transactions failed DAG validation\n";
+    return 1;
+  }
+  if (coverage_failures > 0) {
+    std::cerr << "trace_critpath: " << coverage_failures
+              << " migrations failed the phase-coverage check\n";
+    return 1;
+  }
+  return 0;
+}
