@@ -13,9 +13,12 @@
 
 #include <benchmark/benchmark.h>
 
+#include <fstream>
 #include <memory>
+#include <sstream>
 #include <string>
 
+#include "ars/core/sharded_cluster.hpp"
 #include "ars/host/host.hpp"
 #include "ars/net/network.hpp"
 #include "ars/registry/registry.hpp"
@@ -172,6 +175,85 @@ void BM_RegistryRegisterStorm(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * hosts);
 }
 BENCHMARK(BM_RegistryRegisterStorm)->Arg(256)->Arg(1024);
+
+// -- sharded full-scenario scaling (the parallel DES core) -------------------
+//
+// Unlike the deliver()-driven microbenches above, these run the complete
+// simulation — engines, networks, monitors, registries — through
+// core::ShardedCluster, so they measure what the multi-threaded core buys
+// end to end.  Throughput is engine events per wall second; the
+// shards4_vs_1 baseline ratio in BENCH_micro.json tracks the speedup
+// (wired warn-only in CI: containers pin cores unpredictably).
+//
+// --cluster-plan=FILE swaps in a committed plan (plans/huge-cluster.json is
+// the 100k-host instance); --shards=N overrides the per-arg shard sweep.
+
+core::ShardedClusterOptions scenario_options(int hosts, double duration) {
+  core::ShardedClusterOptions options;
+  options.hosts = hosts;
+  options.duration = duration;
+  options.tracing = false;  // measure the core, not the trace ring
+  const std::string& plan_path = bench::bench_cluster_plan();
+  if (!plan_path.empty()) {
+    std::ifstream in(plan_path);
+    std::stringstream text;
+    text << in.rdbuf();
+    auto loaded = core::load_cluster_plan(text.str());
+    if (loaded.has_value()) {
+      options = std::move(loaded.value());
+    } else {
+      std::fprintf(stderr, "bad --cluster-plan %s: %s\n", plan_path.c_str(),
+                   loaded.error().to_string().c_str());
+    }
+  }
+  return options;
+}
+
+void sharded_cluster_bench(benchmark::State& state, int hosts,
+                           double duration) {
+  core::ShardedClusterOptions options = scenario_options(hosts, duration);
+  options.shards = bench::bench_shards() > 0
+                       ? bench::bench_shards()
+                       : static_cast<int>(state.range(0));
+  std::uint64_t events = 0;
+  std::uint64_t cross = 0;
+  for (auto _ : state) {
+    core::ShardedCluster cluster(options);
+    const core::ShardedClusterReport report = cluster.run();
+    events += report.events;
+    cross += report.cross_messages;
+    benchmark::DoNotOptimize(report.registered_hosts);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(events));
+  state.counters["hosts"] = options.hosts;
+  state.counters["shards"] = options.shards;
+  state.counters["cross_msgs"] =
+      benchmark::Counter(static_cast<double>(cross));
+}
+
+/// Shard sweep at a fixed fleet: the speedup-vs-1-shard curve.  The 35s
+/// virtual horizon reaches past the registries' 30s health-report period so
+/// the child->root cross-shard path is actually exercised (cross_msgs > 0).
+void BM_ShardedClusterHeartbeats(benchmark::State& state) {
+  sharded_cluster_bench(state, 20'000, 35.0);
+}
+BENCHMARK(BM_ShardedClusterHeartbeats)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->MeasureProcessCPUTime();
+
+/// The ISSUE 7 exit criterion: 100k hosts across 8 shards (or --shards=N),
+/// hierarchical registries, one registration + heartbeat regime.
+void BM_ShardedClusterHuge(benchmark::State& state) {
+  sharded_cluster_bench(state, 100'000, 35.0);
+}
+BENCHMARK(BM_ShardedClusterHuge)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->MeasureProcessCPUTime();
 
 }  // namespace
 

@@ -126,6 +126,45 @@ inline void init_obs_export(int argc, char** argv) {
   }
 }
 
+// -- sharded-run knobs -------------------------------------------------------
+
+/// Shard-count override for benchmarks with a sharded variant: --shards=N
+/// (or ARS_BENCH_SHARDS).  0 means "use the benchmark's own per-arg shard
+/// counts" — the default sweep that the speedup baselines compare.
+inline int& bench_shards() {
+  static int shards = [] {
+    if (const char* env = std::getenv("ARS_BENCH_SHARDS")) {
+      return std::atoi(env);
+    }
+    return 0;
+  }();
+  return shards;
+}
+
+/// Cluster-plan file for scenario benchmarks: --cluster-plan=FILE (or
+/// ARS_BENCH_CLUSTER_PLAN); empty means the benchmark's built-in defaults.
+inline std::string& bench_cluster_plan() {
+  static std::string path = [] {
+    const char* env = std::getenv("ARS_BENCH_CLUSTER_PLAN");
+    return std::string(env != nullptr ? env : "");
+  }();
+  return path;
+}
+
+/// Consume a --shards=N / --cluster-plan=FILE flag; returns true when `arg`
+/// was one (rewrite_gbench_args strips them like the obs flags).
+inline bool consume_shard_flag(std::string_view arg) {
+  if (arg.starts_with("--shards=")) {
+    bench_shards() = std::atoi(std::string(arg.substr(sizeof("--shards=") - 1)).c_str());
+    return true;
+  }
+  if (arg.starts_with("--cluster-plan=")) {
+    bench_cluster_plan() = arg.substr(sizeof("--cluster-plan=") - 1);
+    return true;
+  }
+  return false;
+}
+
 /// Insert a label before the path's extension ("trace.json" + "with" ->
 /// "trace.with.json") so harnesses that run several configurations can keep
 /// all of them.
@@ -246,7 +285,7 @@ inline char** rewrite_gbench_args(int* argc, char** argv) {
     const std::string_view arg = argv[i];
     if (arg.starts_with("--json-out=")) {
       json_out = arg.substr(sizeof("--json-out=") - 1);
-    } else if (i > 0 && consume_obs_flag(arg)) {
+    } else if (i > 0 && (consume_obs_flag(arg) || consume_shard_flag(arg))) {
       // stripped: google-benchmark would reject it as unrecognized
     } else {
       storage.emplace_back(arg);

@@ -34,6 +34,8 @@ class Tracer;
 
 namespace ars::net {
 
+class ShardRouter;
+
 struct Message {
   std::string src_host;
   std::string dst_host;
@@ -114,7 +116,16 @@ class Network {
 
   /// Fire-and-forget control message.  Unknown destinations or unbound
   /// ports drop the message with a warning (soft-state tolerates loss).
+  /// With a shard router attached, destinations living on another shard are
+  /// forwarded through the inter-shard fabric instead of dropped; the local
+  /// fast path (destination attached here) is unchanged.
   void post(Message message);
+
+  /// Destination side of a cross-shard datagram: the fabric already paid
+  /// the wire cost, so deliver straight into the bound endpoint (stamping
+  /// net.recv on this network's tracer).  Unbound ports drop as usual.
+  /// Called by the shard router on this shard's thread.
+  void deliver_local(Message message);
 
   /// Awaitable bulk transfer; returns elapsed seconds.  Loopback (src==dst)
   /// costs only latency and is not metered.
@@ -149,6 +160,19 @@ class Network {
   /// a time-varying fault (partition heal, bandwidth degradation boundary)
   /// changes what bandwidth_factor would answer.
   void on_fault_change();
+
+  // -- cross-shard routing (sharded runs; see net/shard_router.hpp) ---------
+
+  /// Wire this network to the inter-shard fabric as shard `shard_id`; clear
+  /// with nullptr.  Normally called by ShardRouter::attach, not directly.
+  void set_shard_router(ShardRouter* router, std::size_t shard_id) noexcept {
+    shard_router_ = router;
+    shard_id_ = shard_id;
+  }
+  [[nodiscard]] ShardRouter* shard_router() const noexcept {
+    return shard_router_;
+  }
+  [[nodiscard]] std::size_t shard_id() const noexcept { return shard_id_; }
 
   /// Datagrams dropped so far with `hostname` as the poster (all reasons:
   /// unknown destination, unbound port, injected fault).
@@ -191,6 +215,10 @@ class Network {
   void on_completion_event();
   void register_job(TransferJob* job);
   void withdraw_job(TransferJob* job);
+  /// Source side of a cross-shard post: fault verdict, then hand the copies
+  /// to the router.  Returns false when the router does not know the
+  /// destination (the caller then drops it as unknown_host).
+  bool route_cross_shard(Message& message);
   /// Account one dropped datagram: per-poster count plus the labeled
   /// ars_net_dropped_total counter when a metrics sink is configured.
   void count_drop(const std::string& src_host, const char* reason);
@@ -206,6 +234,8 @@ class Network {
   int next_ip_suffix_ = 1;
   FaultPolicy* fault_policy_ = nullptr;
   std::uint64_t dropped_total_ = 0;
+  ShardRouter* shard_router_ = nullptr;
+  std::size_t shard_id_ = 0;
 };
 
 }  // namespace ars::net

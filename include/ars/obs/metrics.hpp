@@ -9,7 +9,9 @@
 // within one metric name (e.g. rules.state_transitions{to="busy"}).
 //
 // Like the Tracer, the registry is single-writer: everything runs on the
-// simulation engine's thread.
+// simulation engine's thread.  Sharded runs confine one registry per shard
+// (written only by that shard's worker) and fold them together afterwards
+// with merge_from(); never share one registry across shards.
 
 #include <cstdint>
 #include <map>
@@ -73,6 +75,11 @@ class Histogram {
     return buckets_;
   }
 
+  /// Fold `other` into this histogram.  Requires identical bucket bounds
+  /// (the per-shard registries all use the same pre-registered bounds);
+  /// throws std::invalid_argument otherwise.
+  void merge(const Histogram& other);
+
   /// 20 exponential buckets from 1 ms to ~500 s — wide enough for both
   /// decision latencies (~2 ms) and full migration times (tens of seconds).
   [[nodiscard]] static std::vector<double> default_bounds();
@@ -110,6 +117,13 @@ class MetricsRegistry {
   [[nodiscard]] std::size_t series_count() const noexcept {
     return counters_.size() + gauges_.size() + histograms_.size();
   }
+
+  /// Fold another registry's series into this one (the per-shard merge
+  /// step): counters add, histograms add bucket-wise (same bounds
+  /// required), and gauges *add* too — per-shard gauges are disjoint
+  /// population counts (hosts in a state, pending work), so summing is the
+  /// cluster-wide reading.  Series missing here are created.
+  void merge_from(const MetricsRegistry& other);
 
   /// Prometheus text exposition format.  Metric names are sanitized
   /// ('.' and '-' become '_'); histograms expand to _bucket/_sum/_count.

@@ -17,6 +17,14 @@
 // The tracer is single-writer by design: all simulated activity runs on the
 // discrete-event engine's thread.  Cross-thread log forwarding (LogBridge)
 // is serialized by the Logger's own mutex.
+//
+// Sharded runs (sim/shard.hpp) keep that rule by confinement: every shard
+// owns a private Tracer written only by its worker thread, and the per-shard
+// timelines are combined after the run with merged_jsonl(), which orders
+// events by (timestamp, shard, recording order) — deterministic for a fixed
+// shard count, and per-txn span pairs stay intact because a transaction's
+// causal chain is already ordered by timestamp.  Never share one Tracer
+// across shards.
 
 #include <cstdint>
 #include <deque>
@@ -164,6 +172,17 @@ class Tracer {
   std::uint64_t next_txn_id_ = 1;
   std::size_t dropped_ = 0;
 };
+
+/// Merge per-shard timelines into one JSONL document, events ordered by
+/// (timestamp, shard index, per-shard recording order).  With a single
+/// tracer this is byte-identical to its to_jsonl() (per-shard order is
+/// already non-decreasing in time), which is what the 1-shard == legacy
+/// determinism tests lean on.  Span ids collide across shards only if the
+/// tracers were written from the same id space — per-shard tracers mint
+/// independent ids, so exporters downstream must treat (shard, span) as the
+/// key; the critical-path tool keys on txn attrs, which stay globally
+/// meaningful because each consult mints its txn on one shard.
+[[nodiscard]] std::string merged_jsonl(const std::vector<const Tracer*>& shards);
 
 /// Append the causal attrs ("txn", and "pspan" when known) to an attribute
 /// list.  A no-op for an unset context, so call sites stay branch-free.

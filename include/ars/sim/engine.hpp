@@ -85,6 +85,12 @@ class Engine {
   /// `until`.  Returns the number of events executed.
   std::size_t run_until(SimTime until);
 
+  /// Timestamp of the earliest live pending event, +infinity when the queue
+  /// is empty.  Settles cancelled fronts on the way, so repeated peeks stay
+  /// O(1) amortized.  The conservative shard coordinator (sim/shard.hpp)
+  /// uses this to derive each epoch's horizon.
+  [[nodiscard]] SimTime next_event_at();
+
   /// Make run()/run_until() return after the current event finishes.
   void request_stop() noexcept { stop_requested_ = true; }
   void clear_stop() noexcept { stop_requested_ = false; }

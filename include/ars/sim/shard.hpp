@@ -1,0 +1,147 @@
+#pragma once
+// Conservative parallel discrete-event simulation: a group of independent
+// engines (shards) advanced in lock-step epochs by worker threads.
+//
+// The synchronization protocol is the classic lookahead/window scheme
+// (YAWNS-style adaptive barriers):
+//
+//   1. the coordinator peeks every shard's next event time and sets the
+//      epoch horizon to  min(until, global_min_next_event + lookahead);
+//   2. every shard runs its own engine up to the horizon — intra-shard
+//      events execute lock-free on the ordinary slot-slab + 4-ary-heap
+//      engine, no atomics on the hot path;
+//   3. barrier; each shard drains the cross-shard mailboxes addressed to it
+//      (sorted by (timestamp, source shard, sequence) so the merge order is
+//      deterministic for a fixed shard count) and schedules the deliveries
+//      into its own engine; barrier; repeat.
+//
+// Correctness rests on the lookahead contract: a cross-shard post made at
+// source time t must be timestamped >= t + lookahead.  Every event executed
+// inside an epoch has t >= the global minimum the horizon was derived from,
+// so its posts land at or after the horizon — never in a peer's past.  The
+// network's cross-shard fabric latency (net/shard_router.hpp) is the natural
+// lookahead bound.
+//
+// Threading contract:
+//   * shard s's engine (and everything hanging off it — hosts, networks,
+//     tracers) is touched only by shard s's worker, or by the coordinating
+//     thread while no epoch is in flight;
+//   * post(src, ...) may be called from shard src's worker during an epoch,
+//     or from the coordinating thread outside run_until (setup posts are
+//     flushed before the first epoch);
+//   * with one shard everything runs inline on the caller's thread — no
+//     workers, no barriers, bit-identical to driving the engine directly.
+
+#include <barrier>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "ars/sim/engine.hpp"
+
+namespace ars::sim {
+
+class ShardGroup {
+ public:
+  struct Options {
+    /// Conservative synchronization bound, seconds: the minimum delay of any
+    /// cross-shard post.  Must be > 0 (zero-lookahead would stall the epoch
+    /// loop).
+    double lookahead = 0.0001;
+  };
+
+  explicit ShardGroup(std::size_t shards);
+  ShardGroup(std::size_t shards, Options options);
+  ShardGroup(const ShardGroup&) = delete;
+  ShardGroup& operator=(const ShardGroup&) = delete;
+  ~ShardGroup();
+
+  [[nodiscard]] std::size_t size() const noexcept { return shards_.size(); }
+  [[nodiscard]] Engine& engine(std::size_t shard) noexcept {
+    return shards_[shard]->engine;
+  }
+  [[nodiscard]] double lookahead() const noexcept { return options_.lookahead; }
+
+  /// Cross-shard event: run `fn` on shard `dst`'s engine at absolute time
+  /// `at`.  src == dst degenerates to a plain schedule_at.  During an epoch
+  /// `at` must honor the lookahead contract (>= source now + lookahead);
+  /// delivery happens at the next epoch barrier.
+  void post(std::size_t src, std::size_t dst, SimTime at, Callback fn);
+
+  /// Advance every shard to `until` (events with t <= until execute, clocks
+  /// land on `until`).  Returns the number of events executed across all
+  /// shards.  Not reentrant; call from one coordinating thread.
+  std::size_t run_until(SimTime until);
+
+  /// Sum of events executed across shards.  Stable only while no epoch is
+  /// in flight (i.e. outside run_until) — same as the other accessors.
+  [[nodiscard]] std::uint64_t events_executed() const;
+  /// Epoch barriers crossed by threaded run_until calls so far.
+  [[nodiscard]] std::uint64_t epochs() const noexcept { return epochs_; }
+  /// Cross-shard deliveries merged into destination engines so far.
+  [[nodiscard]] std::uint64_t cross_events() const;
+  /// True once worker threads exist (first multi-shard run_until).
+  [[nodiscard]] bool threaded() const noexcept { return !workers_.empty(); }
+
+ private:
+  struct Pending {
+    SimTime at = 0.0;
+    std::uint64_t seq = 0;
+    Callback fn;
+  };
+
+  /// One (src, dst) mailbox.  Written only by src's thread during the run
+  /// phase, drained only by dst's thread during the exchange phase; the
+  /// epoch barriers order the two.  Cache-line sized so neighbouring
+  /// writers never share a line.
+  struct alignas(64) Mailbox {
+    std::vector<Pending> items;
+    std::uint64_t next_seq = 0;
+  };
+
+  struct Incoming {
+    SimTime at = 0.0;
+    std::size_t src = 0;
+    std::uint64_t seq = 0;
+    Callback fn;
+  };
+
+  struct alignas(64) ShardState {
+    Engine engine;
+    std::vector<Incoming> scratch;  // exchange-phase merge buffer
+    std::uint64_t cross_in = 0;     // deliveries merged into this shard
+  };
+
+  [[nodiscard]] Mailbox& outbox(std::size_t src, std::size_t dst) noexcept {
+    return outbox_[src * shards_.size() + dst];
+  }
+
+  /// Run phase + exchange phase for one shard, separated by the barriers.
+  void run_epoch(std::size_t shard, SimTime horizon);
+  /// Drain every mailbox addressed to `dst` into its engine, deterministic
+  /// (timestamp, source shard, sequence) order.
+  void deliver_inbox(std::size_t dst);
+  void ensure_workers();
+  void worker_main(std::size_t shard);
+
+  Options options_;
+  std::vector<std::unique_ptr<ShardState>> shards_;
+  std::vector<Mailbox> outbox_;  // shards * shards, row-major by source
+  std::uint64_t epochs_ = 0;
+
+  // Epoch handshake: the coordinator publishes (round_, horizon_) under the
+  // mutex and the two-phase barrier paces the round; workers park on the
+  // condition variable between rounds.
+  std::vector<std::thread> workers_;
+  std::unique_ptr<std::barrier<>> barrier_;
+  std::mutex mutex_;
+  std::condition_variable round_start_;
+  std::uint64_t round_ = 0;
+  SimTime horizon_ = 0.0;
+  bool exit_ = false;
+};
+
+}  // namespace ars::sim

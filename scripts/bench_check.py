@@ -44,8 +44,11 @@ def extract(results_path):
         for metric in THROUGHPUT_METRICS:
             if metric in bench:
                 metrics[metric] = bench[metric]
-        if not metrics and "real_time" in bench:
-            metrics["real_time"] = bench["real_time"]
+        # real_time rides along even when a throughput metric exists: ratio
+        # entries (e.g. the sharded speedup-vs-1-shard curve) compare wall
+        # time between two benchmarks.
+        if "real_time" in bench:
+            metrics.setdefault("real_time", bench["real_time"])
         if metrics:
             out[name] = metrics
     return out
@@ -94,6 +97,47 @@ def check(baseline, measured, tolerance):
     return failures, warnings
 
 
+def measured_ratio(entry, measured):
+    """value(numerator)/value(denominator) for a ratio entry, or None."""
+    metric = entry.get("metric", "real_time")
+    num = measured.get(entry.get("numerator", ""), {}).get(metric)
+    den = measured.get(entry.get("denominator", ""), {}).get(metric)
+    if num is None or den is None or den == 0:
+        return None
+    return num / den
+
+
+def check_ratios(baseline, measured, default_tolerance):
+    """Derived-ratio entries: numerator/denominator of a metric across two
+    benchmarks (e.g. speedup vs the 1-shard run).  Each entry carries its
+    own tolerance, and `warn_only: true` downgrades a miss to a warning —
+    parallel speedups depend on how many cores the runner actually grants.
+    Returns (failures, warnings)."""
+    failures = []
+    warnings = []
+    for name, entry in sorted(baseline.get("ratios", {}).items()):
+        got = measured_ratio(entry, measured)
+        if got is None:
+            warnings.append(f"ratio {name}: operands not in results (skipped)")
+            continue
+        base_value = entry.get("value")
+        if base_value is None or base_value <= 0:
+            warnings.append(f"ratio {name}: no baseline value (skipped)")
+            continue
+        tolerance = entry.get("tolerance", default_tolerance)
+        ok = got >= base_value * (1 - tolerance)
+        line = (f"ratio {name}: measured {got:.3f} vs baseline "
+                f"{base_value:.3f} (require >= "
+                f"{base_value * (1 - tolerance):.3f})")
+        if ok:
+            print(f"  ok   {line}")
+        elif entry.get("warn_only"):
+            warnings.append(f"{line} [warn-only]")
+        else:
+            failures.append(line)
+    return failures, warnings
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("results", nargs="+",
@@ -122,6 +166,17 @@ def main():
             "benchmarks": {name: metrics
                            for name, metrics in sorted(measured.items())},
         }
+        if args.baseline.exists():
+            # Ratio entries are hand-authored; carry them over and refresh
+            # each pinned value from the new results when both operands ran.
+            previous = json.loads(args.baseline.read_text())
+            ratios = previous.get("ratios", {})
+            for entry in ratios.values():
+                got = measured_ratio(entry, measured)
+                if got is not None:
+                    entry["value"] = got
+            if ratios:
+                baseline["ratios"] = ratios
         args.baseline.write_text(json.dumps(baseline, indent=2) + "\n")
         print(f"wrote {args.baseline} ({len(measured)} benchmarks)")
         return 0
@@ -138,6 +193,9 @@ def main():
     print(f"checking {len(measured)} measured benchmarks against "
           f"{args.baseline.name} (tolerance {tolerance:.0%})")
     failures, warnings = check(baseline, measured, tolerance)
+    ratio_failures, ratio_warnings = check_ratios(baseline, measured, tolerance)
+    failures += ratio_failures
+    warnings += ratio_warnings
     for warning in warnings:
         print(f"  warn {warning}")
     for failure in failures:

@@ -1,0 +1,116 @@
+#!/usr/bin/env python3
+"""Generate a sharded-cluster plan JSON (core::load_cluster_plan format).
+
+A cluster plan parameterizes core::ShardedCluster — the scaling scenario on
+the parallel sharded DES core — without recompiling: fleet size, shard
+count, registry topology, load mix, and chaos windows.  The committed
+plans/huge-cluster.json (100k hosts) and plans/huge-cluster-smoke.json (CI
+size) were produced by this script; regenerate or derive new ones with:
+
+  scripts/gen_cluster_plan.py --hosts 100000 --shards 8 \
+      --duration 120 --out plans/huge-cluster.json
+  scripts/gen_cluster_plan.py --hosts 2000 --shards 4 --duration 30 \
+      --name huge-cluster-smoke --out plans/huge-cluster-smoke.json
+
+Unknown keys are ignored by the C++ loader, so plans written by newer
+versions of this script stay loadable.
+"""
+
+import argparse
+import json
+import pathlib
+import sys
+
+
+def build_plan(args: argparse.Namespace) -> dict:
+    plan = {
+        "name": args.name,
+        "hosts": args.hosts,
+        "shards": args.shards,
+        "duration": args.duration,
+        "cross_latency": args.cross_latency,
+        "hierarchical": not args.flat,
+        "delta_heartbeats": not args.full_heartbeats,
+        "seed": args.seed,
+        "busy_fraction": args.busy_fraction,
+        "overloaded_fraction": args.overloaded_fraction,
+        "tracing": not args.no_tracing,
+        "trace_capacity": args.trace_capacity,
+        "generator": "scripts/gen_cluster_plan.py",
+    }
+    if args.message_loss > 0:
+        plan["message_loss"] = args.message_loss
+        plan["loss_from"] = args.loss_from
+        plan["loss_until"] = (
+            args.loss_until if args.loss_until > 0 else args.duration
+        )
+    if args.crash_hosts > 0:
+        plan["crash_hosts"] = args.crash_hosts
+        plan["crash_at"] = args.crash_at
+        plan["crash_until"] = (
+            args.crash_until if args.crash_until > 0 else args.duration
+        )
+    return plan
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(
+        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter
+    )
+    parser.add_argument("--name", default=None, help="plan name (default: derived)")
+    parser.add_argument("--hosts", type=int, default=100_000)
+    parser.add_argument("--shards", type=int, default=8)
+    parser.add_argument("--duration", type=float, default=120.0,
+                        help="virtual seconds to simulate")
+    parser.add_argument("--cross-latency", type=float, default=0.005,
+                        dest="cross_latency",
+                        help="inter-shard fabric latency / lookahead, seconds")
+    parser.add_argument("--flat", action="store_true",
+                        help="single root registry (all heartbeats cross-shard)"
+                        " instead of one child registry per shard")
+    parser.add_argument("--full-heartbeats", action="store_true",
+                        dest="full_heartbeats",
+                        help="disable delta-heartbeat coalescing")
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--busy-fraction", type=float, default=0.30,
+                        dest="busy_fraction")
+    parser.add_argument("--overloaded-fraction", type=float, default=0.05,
+                        dest="overloaded_fraction")
+    parser.add_argument("--message-loss", type=float, default=0.0,
+                        dest="message_loss")
+    parser.add_argument("--loss-from", type=float, default=0.0,
+                        dest="loss_from")
+    parser.add_argument("--loss-until", type=float, default=0.0,
+                        dest="loss_until", help="default: plan duration")
+    parser.add_argument("--crash-hosts", type=int, default=0,
+                        dest="crash_hosts",
+                        help="first N hosts of each shard crash")
+    parser.add_argument("--crash-at", type=float, default=0.0,
+                        dest="crash_at")
+    parser.add_argument("--crash-until", type=float, default=0.0,
+                        dest="crash_until", help="default: plan duration")
+    parser.add_argument("--no-tracing", action="store_true", dest="no_tracing",
+                        help="disable tracing (cheaper bench runs)")
+    parser.add_argument("--trace-capacity", type=int, default=4096,
+                        dest="trace_capacity",
+                        help="per-shard trace ring capacity")
+    parser.add_argument("--out", type=pathlib.Path, default=None,
+                        help="output file (default: stdout)")
+    args = parser.parse_args()
+
+    if args.hosts < 1 or args.shards < 1:
+        parser.error("--hosts and --shards must be >= 1")
+    if args.name is None:
+        args.name = f"cluster-{args.hosts}x{args.shards}"
+
+    text = json.dumps(build_plan(args), indent=2, sort_keys=True) + "\n"
+    if args.out is None:
+        sys.stdout.write(text)
+    else:
+        args.out.write_text(text)
+        print(f"wrote {args.out}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -5,6 +5,7 @@
 #include <limits>
 #include <stdexcept>
 
+#include "ars/net/shard_router.hpp"
 #include "ars/obs/metrics.hpp"
 #include "ars/obs/tracer.hpp"
 #include "ars/support/log.hpp"
@@ -113,6 +114,9 @@ void Network::post(Message message) {
                              std::move(attrs));
   }
   if (!hosts_.contains(message.dst_host)) {
+    if (shard_router_ != nullptr && route_cross_shard(message)) {
+      return;  // handled (forwarded, or dropped by the fault verdict)
+    }
     ARS_LOG_WARN("net", "dropping message to unknown host "
                             << message.dst_host);
     count_drop(message.src_host, "unknown_host");
@@ -168,6 +172,58 @@ void Network::post(Message message) {
   }
   delivery_fibers_.push_back(sim::Fiber::spawn(
       *engine_, deliver(this, std::move(message), extra_delay), "net.post"));
+}
+
+bool Network::route_cross_shard(Message& message) {
+  if (!shard_router_->routes(message.dst_host, shard_id_)) {
+    return false;
+  }
+  // Same source-side fault semantics as the local path: the verdict (and
+  // any seeded random state it advances) is charged where the message is
+  // posted, so a fixed shard layout keeps fault runs deterministic.
+  int copies = 1;
+  double extra_delay = 0.0;
+  if (fault_policy_ != nullptr) {
+    const FaultPolicy::PostVerdict verdict = fault_policy_->on_post(message);
+    if (verdict.drop) {
+      ARS_LOG_WARN("net", "fault drops message " << message.src_host << " -> "
+                                                 << message.dst_host << ":"
+                                                 << message.dst_port);
+      count_drop(message.src_host, "fault");
+      return true;
+    }
+    copies += std::max(verdict.duplicates, 0);
+    extra_delay = std::max(verdict.extra_delay, 0.0);
+  }
+  if (options_.metrics != nullptr) {
+    options_.metrics->counter("ars_net_cross_shard_total").inc(copies);
+  }
+  shard_router_->forward(shard_id_, std::move(message), extra_delay, copies);
+  return true;
+}
+
+void Network::deliver_local(Message message) {
+  message.delivered_at = engine_->now();
+  const auto it =
+      endpoints_.find(std::make_pair(message.dst_host, message.dst_port));
+  if (it == endpoints_.end() || it->second->inbox.closed()) {
+    ARS_LOG_WARN("net", "dropping message to unbound "
+                            << message.dst_host << ":" << message.dst_port);
+    // The poster lives on another shard, so only this network's totals and
+    // the labeled counter move; the per-poster count stays on its own shard.
+    count_drop(message.src_host, "unbound_port");
+    return;
+  }
+  if (message.trace.set() && obs::active(options_.tracer)) {
+    obs::Attrs attrs{
+        {"src", message.src_host},
+        {"port", message.dst_port},
+        {"latency_ms", (message.delivered_at - message.sent_at) * 1e3}};
+    obs::stamp(attrs, message.trace);
+    options_.tracer->instant("net.recv", "net", message.dst_host,
+                             std::move(attrs));
+  }
+  it->second->inbox.send(std::move(message));
 }
 
 sim::Task<double> Network::transfer(std::string src, std::string dst,

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <stdexcept>
 
 #include "ars/obs/json.hpp"
 
@@ -34,6 +35,22 @@ void Histogram::observe(double value) {
     max_ = std::max(max_, value);
   }
   ++count_;
+}
+
+void Histogram::merge(const Histogram& other) {
+  if (bounds_ != other.bounds_) {
+    throw std::invalid_argument(
+        "Histogram::merge requires identical bucket bounds");
+  }
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    buckets_[i] += other.buckets_[i];
+  }
+  if (other.count_ > 0) {
+    min_ = count_ == 0 ? other.min_ : std::min(min_, other.min_);
+    max_ = count_ == 0 ? other.max_ : std::max(max_, other.max_);
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
 }
 
 double Histogram::quantile(double q) const {
@@ -120,6 +137,21 @@ Histogram& MetricsRegistry::histogram(const std::string& name,
     it = histograms_.emplace(key, std::move(series)).first;
   }
   return it->second.instrument;
+}
+
+void MetricsRegistry::merge_from(const MetricsRegistry& other) {
+  for (const auto& [key, series] : other.counters_) {
+    counter(series.name, series.labels).inc(series.instrument.value());
+  }
+  for (const auto& [key, series] : other.gauges_) {
+    gauge(series.name, series.labels).add(series.instrument.value());
+  }
+  for (const auto& [key, series] : other.histograms_) {
+    // Create with the source's bounds so a series absent here merges
+    // cleanly; an existing series must already share them.
+    histogram(series.name, series.labels, series.instrument.bounds())
+        .merge(series.instrument);
+  }
 }
 
 const Counter* MetricsRegistry::find_counter(const std::string& name,

@@ -43,6 +43,22 @@ std::string_view kind_name(EventKind kind) {
   return "?";
 }
 
+/// One to_jsonl() line (shared by the single-tracer and merged exporters so
+/// the 1-shard merge stays byte-identical to to_jsonl()).
+void append_jsonl_line(std::string& out, const TraceEvent& event) {
+  out += "{\"t\":" + json_number(event.t);
+  out += ",\"kind\":\"" + std::string(kind_name(event.kind)) + "\"";
+  out += ",\"name\":\"" + json_escape(event.name) + "\"";
+  out += ",\"cat\":\"" + json_escape(event.category) + "\"";
+  out += ",\"track\":\"" + json_escape(event.track) + "\"";
+  if (event.span_id != 0) {
+    out += ",\"span\":" + std::to_string(event.span_id);
+  }
+  out += ",\"attrs\":";
+  append_attrs_json(out, event.attrs);
+  out += "}\n";
+}
+
 }  // namespace
 
 void Tracer::push(TraceEvent event) {
@@ -168,17 +184,42 @@ void Tracer::clear() {
 std::string Tracer::to_jsonl() const {
   std::string out;
   for (const TraceEvent& event : events_) {
-    out += "{\"t\":" + json_number(event.t);
-    out += ",\"kind\":\"" + std::string(kind_name(event.kind)) + "\"";
-    out += ",\"name\":\"" + json_escape(event.name) + "\"";
-    out += ",\"cat\":\"" + json_escape(event.category) + "\"";
-    out += ",\"track\":\"" + json_escape(event.track) + "\"";
-    if (event.span_id != 0) {
-      out += ",\"span\":" + std::to_string(event.span_id);
+    append_jsonl_line(out, event);
+  }
+  return out;
+}
+
+std::string merged_jsonl(const std::vector<const Tracer*>& shards) {
+  struct Ref {
+    double t;
+    std::size_t shard;
+    std::size_t index;
+    const TraceEvent* event;
+  };
+  std::vector<Ref> refs;
+  for (std::size_t shard = 0; shard < shards.size(); ++shard) {
+    if (shards[shard] == nullptr) {
+      continue;
     }
-    out += ",\"attrs\":";
-    append_attrs_json(out, event.attrs);
-    out += "}\n";
+    std::size_t index = 0;
+    for (const TraceEvent& event : shards[shard]->events()) {
+      refs.push_back(Ref{event.t, shard, index++, &event});
+    }
+  }
+  // (t, shard, index) is a total order — unique by (shard, index) — so
+  // plain sort is deterministic without needing stability.
+  std::sort(refs.begin(), refs.end(), [](const Ref& a, const Ref& b) {
+    if (a.t != b.t) {
+      return a.t < b.t;
+    }
+    if (a.shard != b.shard) {
+      return a.shard < b.shard;
+    }
+    return a.index < b.index;
+  });
+  std::string out;
+  for (const Ref& ref : refs) {
+    append_jsonl_line(out, *ref.event);
   }
   return out;
 }

@@ -327,6 +327,14 @@ void Registry::handle(const ProtocolMessage& message,
       entry.commander_port = reg->commander_port;
     }
     entry.last_update = now;
+    // Assign the registration order BEFORE admission: set_state inserts
+    // into the free list ordered by registration_order, and an order-0
+    // entry would walk the whole list from the tail — an O(hosts) step
+    // that turns a cold registration storm quadratic.
+    if (entry.registration_order == 0) {
+      entry.registration_order = ++next_registration_order_;
+      reposition(entry);
+    }
     if (entry.state == SystemState::kUnavailable) {
       if (!entry.status_seen) {
         // Brand-new host: admit optimistically, there is no status yet.
@@ -335,10 +343,6 @@ void Registry::handle(const ProtocolMessage& message,
       // Re-admission after a lease expiry keeps the host `unavailable`
       // until a fresh UpdateMsg arrives: `entry.status` still holds
       // pre-crash metrics and must not feed destination conditions.
-    }
-    if (entry.registration_order == 0) {
-      entry.registration_order = ++next_registration_order_;
-      reposition(entry);
     }
     ARS_LOG_INFO("registry", "registered host " << reg->info.host);
     return;

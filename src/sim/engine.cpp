@@ -2,6 +2,7 @@
 
 #include <bit>
 #include <cassert>
+#include <limits>
 
 namespace ars::sim {
 
@@ -323,6 +324,12 @@ std::size_t Engine::run_until(SimTime until) {
     now_ = until;
   }
   return count;
+}
+
+SimTime Engine::next_event_at() {
+  settle_head();
+  return heap_.empty() ? std::numeric_limits<SimTime>::infinity()
+                       : heap_.front().at;
 }
 
 }  // namespace ars::sim

@@ -1,0 +1,187 @@
+#include "ars/sim/shard.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <stdexcept>
+#include <tuple>
+
+namespace ars::sim {
+
+ShardGroup::ShardGroup(std::size_t shards) : ShardGroup(shards, Options{}) {}
+
+ShardGroup::ShardGroup(std::size_t shards, Options options)
+    : options_(options) {
+  if (shards == 0) {
+    throw std::invalid_argument("ShardGroup needs at least one shard");
+  }
+  if (!(options_.lookahead > 0.0)) {
+    throw std::invalid_argument("ShardGroup lookahead must be > 0");
+  }
+  shards_.reserve(shards);
+  for (std::size_t i = 0; i < shards; ++i) {
+    shards_.push_back(std::make_unique<ShardState>());
+  }
+  outbox_.resize(shards * shards);
+}
+
+ShardGroup::~ShardGroup() {
+  if (!workers_.empty()) {
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      exit_ = true;
+    }
+    round_start_.notify_all();
+    for (std::thread& worker : workers_) {
+      worker.join();
+    }
+  }
+}
+
+void ShardGroup::post(std::size_t src, std::size_t dst, SimTime at,
+                      Callback fn) {
+  assert(src < shards_.size() && dst < shards_.size());
+  if (src == dst) {
+    // The caller owns this shard's engine right now; no mailbox needed.
+    shards_[src]->engine.schedule_at(at, std::move(fn));
+    return;
+  }
+  Mailbox& box = outbox(src, dst);
+  box.items.push_back(Pending{at, box.next_seq++, std::move(fn)});
+}
+
+void ShardGroup::deliver_inbox(std::size_t dst) {
+  ShardState& state = *shards_[dst];
+  std::vector<Incoming>& incoming = state.scratch;
+  incoming.clear();
+  for (std::size_t src = 0; src < shards_.size(); ++src) {
+    Mailbox& box = outbox(src, dst);
+    for (Pending& pending : box.items) {
+      incoming.push_back(
+          Incoming{pending.at, src, pending.seq, std::move(pending.fn)});
+    }
+    box.items.clear();
+  }
+  if (incoming.empty()) {
+    return;
+  }
+  // The deterministic merge order the whole scheme hinges on: timestamp,
+  // then source shard, then per-mailbox sequence.  Same-timestamp events
+  // then enqueue in this order and the engine's structural FIFO chains keep
+  // it — no further tie-breaking needed.
+  std::sort(incoming.begin(), incoming.end(),
+            [](const Incoming& a, const Incoming& b) {
+              return std::tie(a.at, a.src, a.seq) <
+                     std::tie(b.at, b.src, b.seq);
+            });
+  for (Incoming& item : incoming) {
+    // Lookahead contract: the post may not land in this shard's past.  (The
+    // engine would clamp to `now`, still deterministic, but a violation
+    // means some cross-shard path undercuts the configured lookahead.)
+    assert(item.at >= state.engine.now());
+    state.engine.schedule_at(item.at, std::move(item.fn));
+  }
+  state.cross_in += incoming.size();
+  incoming.clear();
+}
+
+void ShardGroup::run_epoch(std::size_t shard, SimTime horizon) {
+  shards_[shard]->engine.run_until(horizon);
+  barrier_->arrive_and_wait();  // all outboxes final for this epoch
+  deliver_inbox(shard);
+  barrier_->arrive_and_wait();  // all inboxes drained; horizons may move
+}
+
+void ShardGroup::worker_main(std::size_t shard) {
+  std::uint64_t seen_round = 0;
+  for (;;) {
+    SimTime horizon = 0.0;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      round_start_.wait(lock,
+                        [&] { return exit_ || round_ != seen_round; });
+      if (exit_) {
+        return;
+      }
+      seen_round = round_;
+      horizon = horizon_;
+    }
+    run_epoch(shard, horizon);
+  }
+}
+
+void ShardGroup::ensure_workers() {
+  if (!workers_.empty()) {
+    return;
+  }
+  barrier_ = std::make_unique<std::barrier<>>(
+      static_cast<std::ptrdiff_t>(shards_.size()));
+  workers_.reserve(shards_.size() - 1);
+  for (std::size_t shard = 1; shard < shards_.size(); ++shard) {
+    workers_.emplace_back([this, shard] { worker_main(shard); });
+  }
+}
+
+std::size_t ShardGroup::run_until(SimTime until) {
+  const std::uint64_t before = events_executed();
+  if (shards_.size() == 1) {
+    // Inline path: identical to driving the engine directly — no threads,
+    // no epochs, no barriers.  (post() with one shard already schedules
+    // straight into the engine.)
+    shards_[0]->engine.run_until(until);
+    return static_cast<std::size_t>(events_executed() - before);
+  }
+
+  // Setup-time posts (wiring done before the run) are merged on the
+  // coordinating thread, in the same deterministic order as epoch merges.
+  for (std::size_t dst = 0; dst < shards_.size(); ++dst) {
+    deliver_inbox(dst);
+  }
+  ensure_workers();
+
+  for (;;) {
+    SimTime next = std::numeric_limits<SimTime>::infinity();
+    for (const auto& state : shards_) {
+      next = std::min(next, state->engine.next_event_at());
+    }
+    if (!(next <= until)) {
+      break;  // nothing left inside the window (covers next == +inf)
+    }
+    const SimTime horizon = std::min(until, next + options_.lookahead);
+    ++epochs_;
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      horizon_ = horizon;
+      ++round_;
+    }
+    round_start_.notify_all();
+    run_epoch(/*shard=*/0, horizon);
+    // run_epoch returns only after every worker passed the second barrier,
+    // so reading engine state for the next horizon is race-free.
+  }
+
+  // Land every clock exactly on `until` (the final horizon may fall short
+  // when the last events cluster before it).
+  for (const auto& state : shards_) {
+    state->engine.run_until(until);
+  }
+  return static_cast<std::size_t>(events_executed() - before);
+}
+
+std::uint64_t ShardGroup::events_executed() const {
+  std::uint64_t total = 0;
+  for (const auto& state : shards_) {
+    total += state->engine.events_executed();
+  }
+  return total;
+}
+
+std::uint64_t ShardGroup::cross_events() const {
+  std::uint64_t total = 0;
+  for (const auto& state : shards_) {
+    total += state->cross_in;
+  }
+  return total;
+}
+
+}  // namespace ars::sim

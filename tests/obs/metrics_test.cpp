@@ -170,5 +170,55 @@ TEST(MetricsRegistryTest, JsonExportParsesBack) {
   EXPECT_EQ(registry.series_count(), 0u);
 }
 
+TEST(MetricsMergeTest, MergeFromFoldsAllInstrumentKinds) {
+  MetricsRegistry a;
+  MetricsRegistry b;
+  a.counter("hits").inc(2);
+  b.counter("hits").inc(3);
+  b.counter("only_b", {{"shard", "1"}}).inc(1);
+  a.gauge("hosts_free").set(4);   // per-shard population counts: sums are
+  b.gauge("hosts_free").set(6);   // the cluster-wide reading
+  a.histogram("lat", {}, {1.0, 2.0}).observe(0.5);
+  b.histogram("lat", {}, {1.0, 2.0}).observe(1.5);
+  b.histogram("lat", {}, {1.0, 2.0}).observe(9.0);
+
+  a.merge_from(b);
+  EXPECT_DOUBLE_EQ(a.find_counter("hits")->value(), 5.0);
+  EXPECT_DOUBLE_EQ(a.find_counter("only_b", {{"shard", "1"}})->value(), 1.0);
+  EXPECT_DOUBLE_EQ(a.find_gauge("hosts_free")->value(), 10.0);
+  const Histogram* h = a.find_histogram("lat");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->count(), 3u);
+  EXPECT_DOUBLE_EQ(h->sum(), 11.0);
+  EXPECT_DOUBLE_EQ(h->min(), 0.5);
+  EXPECT_DOUBLE_EQ(h->max(), 9.0);
+  EXPECT_EQ(h->bucket_counts(), (std::vector<std::uint64_t>{1, 1, 1}));
+}
+
+TEST(MetricsMergeTest, MergeFromIsDeterministicAcrossFoldOrder) {
+  const auto fill = [](MetricsRegistry& r, double v) {
+    r.counter("c").inc(v);
+    r.histogram("h").observe(v);
+  };
+  MetricsRegistry s0;
+  MetricsRegistry s1;
+  fill(s0, 1.0);
+  fill(s1, 2.0);
+
+  MetricsRegistry forward;
+  forward.merge_from(s0);
+  forward.merge_from(s1);
+  MetricsRegistry backward;
+  backward.merge_from(s1);
+  backward.merge_from(s0);
+  EXPECT_EQ(forward.to_json(), backward.to_json());
+}
+
+TEST(MetricsMergeTest, HistogramMergeRejectsMismatchedBounds) {
+  Histogram a({1.0, 2.0});
+  Histogram b({1.0, 3.0});
+  EXPECT_THROW(a.merge(b), std::invalid_argument);
+}
+
 }  // namespace
 }  // namespace ars::obs

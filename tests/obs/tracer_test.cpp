@@ -219,5 +219,52 @@ TEST_F(TracerTest, LogBridgeMirrorsLogRecords) {
   EXPECT_EQ(std::get<std::string>(event.attrs[1].value), "migrating now");
 }
 
+TEST(MergedJsonlTest, SingleTracerMergeIsByteIdenticalToToJsonl) {
+  Tracer tracer;
+  double now = 0.0;
+  tracer.set_clock([&now] { return now; });
+  now = 1.0;
+  tracer.instant("a", "test", "ws1", {{"n", 1}});
+  const std::uint64_t span = tracer.begin_span("work", "test", "ws1");
+  now = 2.5;
+  tracer.end_span(span, {{"ok", true}});
+
+  EXPECT_EQ(merged_jsonl({&tracer}), tracer.to_jsonl());
+}
+
+TEST(MergedJsonlTest, OrdersByTimestampThenShardThenRecordingOrder) {
+  Tracer shard0;
+  Tracer shard1;
+  double t0 = 0.0;
+  double t1 = 0.0;
+  shard0.set_clock([&t0] { return t0; });
+  shard1.set_clock([&t1] { return t1; });
+
+  t1 = 1.0;
+  shard1.instant("s1-first", "test", "b");
+  shard1.instant("s1-second", "test", "b");  // same stamp: recording order
+  t0 = 1.0;
+  shard0.instant("s0-tied", "test", "a");  // ties break by shard index
+  t0 = 2.0;
+  shard0.instant("s0-late", "test", "a");
+
+  const std::string merged = merged_jsonl({&shard0, &shard1});
+  const auto pos = [&merged](const char* name) {
+    const auto at = merged.find(name);
+    EXPECT_NE(at, std::string::npos) << name;
+    return at;
+  };
+  EXPECT_LT(pos("s0-tied"), pos("s1-first"));
+  EXPECT_LT(pos("s1-first"), pos("s1-second"));
+  EXPECT_LT(pos("s1-second"), pos("s0-late"));
+}
+
+TEST(MergedJsonlTest, SkipsNullShardsAndMergesEmptyToEmpty) {
+  Tracer tracer;
+  tracer.instant("only", "test", "ws1");
+  EXPECT_EQ(merged_jsonl({nullptr, &tracer}), tracer.to_jsonl());
+  EXPECT_EQ(merged_jsonl({}), "");
+}
+
 }  // namespace
 }  // namespace ars::obs
