@@ -1,0 +1,105 @@
+// Micro benchmark of the malleable resize spawn phase: sequential MPI-2
+// DPM spawn (one MPI_Comm_spawn round per new rank) versus the binomial
+// tree fan-out (already-spawned ranks recursively spawn the rest).  The
+// metric is SIMULATED seconds for the spawn phase of one expand(+k)
+// transaction, reported via manual time — the ratio entry in
+// BENCH_micro.json asserts the tree measurably beats sequential at 32
+// ranks, the claim the strategy knob exists to serve.
+
+#include <benchmark/benchmark.h>
+
+#include "common.hpp"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ars/malleable/malleable.hpp"
+#include "ars/mpi/mpi.hpp"
+#include "ars/net/network.hpp"
+
+namespace {
+
+using namespace ars;
+
+struct Cluster {
+  explicit Cluster(int n) : net(engine), mpi(engine, net) {
+    for (int i = 0; i < n; ++i) {
+      host::HostSpec spec;
+      spec.name = "ws" + std::to_string(i + 1);
+      hosts.push_back(std::make_unique<host::Host>(engine, spec));
+      net.attach(*hosts.back());
+    }
+  }
+
+  sim::Engine engine;
+  std::vector<std::unique_ptr<host::Host>> hosts;
+  net::Network net;
+  mpi::MpiSystem mpi;
+};
+
+/// One expand(+delta) from a single root; returns the spawn phase's
+/// simulated duration (and the DPM round count through `rounds`).
+double expand_spawn_seconds(int delta, mpi::SpawnStrategy strategy,
+                            int* rounds) {
+  Cluster cluster{delta + 1};
+  malleable::MalleableEngine malleable{cluster.mpi, cluster.net};
+  malleable::JobSpec spec;
+  spec.name = "job";
+  spec.workload.blocks = 2 * (delta + 1);
+  spec.workload.work_per_block = 0.05;
+  spec.workload.bytes_per_block = 1.0e4;
+  spec.workload.iterations = 6;
+  spec.workload.sync_bytes = 1024.0;
+  spec.max_ranks = delta + 1;
+  spec.strategy = strategy;
+  malleable.launch(spec, {"ws1"});
+  std::vector<std::string> targets;
+  targets.reserve(delta);
+  for (int i = 0; i < delta; ++i) {
+    targets.push_back("ws" + std::to_string(i + 2));
+  }
+  malleable.request_resize("job", malleable::ResizeVerb::kExpand, delta,
+                           targets, strategy);
+  while (!malleable.all_finished() &&
+         cluster.engine.now() < 10000.0) {
+    cluster.engine.run_until(cluster.engine.now() + 10.0);
+  }
+  if (malleable.history().empty() ||
+      malleable.history().front().outcome != malleable::kCommitted) {
+    return -1.0;
+  }
+  const malleable::ResizeOutcome& outcome = malleable.history().front();
+  if (rounds != nullptr) {
+    *rounds = outcome.spawn_rounds;
+  }
+  return outcome.spawn_seconds;
+}
+
+void run_spawn_bench(benchmark::State& state, mpi::SpawnStrategy strategy) {
+  const int delta = static_cast<int>(state.range(0));
+  int rounds = 0;
+  for (auto _ : state) {
+    const double seconds = expand_spawn_seconds(delta, strategy, &rounds);
+    if (seconds < 0.0) {
+      state.SkipWithError("expand did not commit");
+      break;
+    }
+    state.SetIterationTime(seconds);
+  }
+  state.counters["dpm_rounds"] = static_cast<double>(rounds);
+}
+
+void BM_ResizeSpawnSequential(benchmark::State& state) {
+  run_spawn_bench(state, mpi::SpawnStrategy::kSequential);
+}
+BENCHMARK(BM_ResizeSpawnSequential)->Arg(8)->Arg(32)->UseManualTime();
+
+void BM_ResizeSpawnTree(benchmark::State& state) {
+  run_spawn_bench(state, mpi::SpawnStrategy::kTree);
+}
+BENCHMARK(BM_ResizeSpawnTree)->Arg(8)->Arg(32)->UseManualTime();
+
+}  // namespace
+
+ARS_BENCH_MAIN();

@@ -1,0 +1,25 @@
+#pragma once
+// Resizable variants of the paper's workloads.  The migratable apps in
+// stencil.hpp / matmul.hpp fix their world size at launch; these factories
+// map the same parameter spaces onto malleable::Workload — the
+// block-decomposed SPMD shape the malleable engine can grow and shrink at
+// iteration boundaries.
+
+#include "ars/apps/matmul.hpp"
+#include "ars/apps/stencil.hpp"
+#include "ars/malleable/malleable.hpp"
+
+namespace ars::apps {
+
+/// 1-D Jacobi sweep as a malleable job: one block per former "rank's worth"
+/// of cells, halo traffic folded into the per-iteration sync payload.
+/// `blocks` sets the resize granularity (more blocks = finer rebalancing).
+[[nodiscard]] malleable::Workload resizable_stencil(
+    const Stencil1D::Params& params, int blocks = 32);
+
+/// Blocked matmul as a malleable job: row blocks of C are the distribution
+/// unit, k-panels of B are the iterations, and each owner holds its A and C
+/// row blocks as named state.
+[[nodiscard]] malleable::Workload resizable_matmul(const MatMul::Params& params);
+
+}  // namespace ars::apps

@@ -40,6 +40,14 @@ enum class FaultKind {
   kMigrationLinkCut,    // sever the source<->destination link when a
                         // migration reaches `phase`; heal after `delay`
                         // seconds (or at `until` when delay == 0)
+  // Resize-window faults: aimed at malleable jobs' grow/shrink
+  // transactions instead of migrations.
+  kResizeStall,        // stall every resize `phase` ("spawn" |
+                       // "redistribute") entered inside [at, until) by
+                       // `delay` seconds — drives the phase into timeout
+  kResizeTargetCrash,  // crash one spawn-target host when an expand
+                       // reaches `phase` inside [at, until) with
+                       // `probability`; reboot after `delay` seconds
 };
 
 [[nodiscard]] std::string_view to_string(FaultKind kind) noexcept;
@@ -102,6 +110,18 @@ class FaultPlan {
                                 double probability = 1.0,
                                 double heal_after = 5.0,
                                 std::string dest = "*");
+  /// Stall every resize `phase` ("spawn" | "redistribute") entered inside
+  /// [at, until) by `stall_seconds` — long stalls drive the phase into its
+  /// timeout and exercise the abort/rollback paths.
+  FaultPlan& resize_stall(double at, double until, std::string phase,
+                          double stall_seconds);
+  /// Crash one spawn-target host when an expand reaches `phase` (usually
+  /// "spawn") inside [at, until) with `probability`; the host reboots
+  /// `reboot_after` seconds later (0 = stays down).
+  FaultPlan& resize_target_crash(double at, double until,
+                                 std::string phase = "spawn",
+                                 double probability = 1.0,
+                                 double reboot_after = 0.0);
 
   [[nodiscard]] const std::string& name() const noexcept { return name_; }
   [[nodiscard]] const std::vector<FaultSpec>& specs() const noexcept {

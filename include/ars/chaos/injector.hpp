@@ -40,6 +40,8 @@ class FaultInjector final : public net::FaultPolicy {
     int link_degrades = 0;
     int migration_dest_crashes = 0;  // destinations killed mid-transaction
     int migration_link_cuts = 0;     // src<->dst links severed mid-transfer
+    int resize_stalls = 0;           // resize phases stalled toward timeout
+    int resize_target_crashes = 0;   // spawn targets killed mid-expand
   };
 
   FaultInjector(core::ReschedulerRuntime& runtime, FaultPlan plan,
@@ -82,6 +84,10 @@ class FaultInjector final : public net::FaultPolicy {
   /// reactions as zero-delay engine events (listeners must not reenter the
   /// migration engine inline).
   void on_migration_phase(const hpcm::PhaseEvent& event);
+  /// Resize-window faults: called from the malleable engine's phase
+  /// listener; crashes a spawn target as a zero-delay engine event.
+  void on_resize_phase(const malleable::ResizePhaseEvent& event);
+  void crash_resize_target(const std::string& host, double reboot_after);
   void crash_migration_destination(const std::string& dest,
                                    double reboot_after);
   void cut_migration_link(const std::string& a, const std::string& b,
@@ -107,6 +113,7 @@ class FaultInjector final : public net::FaultPolicy {
   std::vector<LinkCut> link_cuts_;
   bool armed_ = false;
   bool phase_listener_installed_ = false;
+  bool resize_listener_installed_ = false;
 };
 
 }  // namespace ars::chaos

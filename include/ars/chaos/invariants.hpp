@@ -14,6 +14,10 @@
 //     list (no capacity at crash time) has drained by the horizon;
 //   * deadlock watchdog — virtual time must not quiesce (empty event
 //     queue) while expected applications are unfinished;
+//   * no lost rank — every terminal resize outcome leaves zero ghost
+//     ranks (spawned children alive outside membership), every aborted
+//     resize restores the original world size, and no malleable job is
+//     left unfinished (unless its root died) at the horizon;
 //   * no lost process — every aborted or rolled-back migration leaves
 //     exactly one live or restartable instance: the process finished,
 //     is live on some host, is parked for relaunch in the middleware,
@@ -44,6 +48,8 @@ struct InvariantReport {
   std::size_t migrations_rolled_back = 0;  // post-commit destination loss
   std::size_t relaunches_seen = 0;
   std::size_t hosts_checked = 0;
+  std::size_t resizes_checked = 0;  // terminal resize outcomes examined
+  long long ghost_ranks = 0;        // leaked ranks found at outcome time
 
   [[nodiscard]] bool ok() const noexcept { return violations.empty(); }
   /// One line per violation (or "ok"), for logs and gtest messages.

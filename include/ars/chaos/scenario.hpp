@@ -45,6 +45,13 @@ struct ScenarioOptions {
   bool audit_decisions = true;
   /// Monitors send compact lease renewals between full-status keyframes.
   bool delta_heartbeats = false;
+  /// Malleable (resizable) jobs riding alongside the checkpointing apps;
+  /// > 0 also enables the registry's resize planner, so the run exercises
+  /// grow/shrink transactions that resize-window faults can hit.
+  int malleable_jobs = 0;
+  /// Deliberately leaks freshly spawned ranks on a failed redistribution
+  /// (no rollback) to prove the no-lost-rank invariant catches it.
+  bool sabotage_resize_rollback = false;
 };
 
 struct ScenarioReport {
@@ -63,6 +70,11 @@ struct ScenarioReport {
   std::size_t migrations_succeeded = 0;
   std::size_t migrations_aborted = 0;      // pre-commit, rolled back to source
   std::size_t migrations_rolled_back = 0;  // post-commit destination loss
+  std::size_t resizes_attempted = 0;   // terminal resize outcomes
+  std::size_t resizes_committed = 0;
+  std::size_t resizes_aborted = 0;
+  std::size_t resizes_rolled_back = 0;  // partial-rollback expands
+  long long ghost_ranks = 0;            // must stay 0 (no-lost-rank)
   FaultInjector::Stats faults;
   std::uint64_t messages_dropped = 0;  // network total (all reasons)
   /// Canonical decision log (registry::Registry::decision_log) and its

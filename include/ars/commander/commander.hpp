@@ -17,6 +17,10 @@ class Tracer;
 class MetricsRegistry;
 }  // namespace ars::obs
 
+namespace ars::malleable {
+class MalleableEngine;
+}  // namespace ars::malleable
+
 namespace ars::commander {
 
 class Commander {
@@ -54,6 +58,17 @@ class Commander {
   void report_outcome(const xmlproto::MigrationOutcomeMsg& outcome,
                       obs::TraceCtx ctx = {});
 
+  /// Forward a resize transaction's terminal outcome (same contract as
+  /// report_outcome; the registry credits resize placement debits from it).
+  void report_resize_outcome(const xmlproto::ResizeOutcomeMsg& outcome,
+                             obs::TraceCtx ctx = {});
+
+  /// Wire the malleable engine RESIZE commands are forwarded to.  Unset,
+  /// RESIZE commands are rejected with an immediate aborted outcome.
+  void set_malleable(malleable::MalleableEngine* engine) {
+    malleable_ = engine;
+  }
+
   [[nodiscard]] int port() const noexcept { return config_.port; }
   [[nodiscard]] int commands_received() const noexcept {
     return commands_received_;
@@ -71,9 +86,13 @@ class Commander {
   [[nodiscard]] sim::Task<> handle_migrate(xmlproto::MigrateCmd command,
                                            obs::TraceCtx ctx);
 
+  void reject_resize(const xmlproto::ResizeCmd& command,
+                     const std::string& reason, obs::TraceCtx ctx);
+
   host::Host* host_;
   net::Network* network_;
   hpcm::MigrationEngine* middleware_;
+  malleable::MalleableEngine* malleable_ = nullptr;
   Config config_;
   net::Endpoint* endpoint_ = nullptr;
   sim::Fiber fiber_;

@@ -15,6 +15,7 @@
 #include "ars/core/trace.hpp"
 #include "ars/host/host.hpp"
 #include "ars/hpcm/migration.hpp"
+#include "ars/malleable/malleable.hpp"
 #include "ars/monitor/monitor.hpp"
 #include "ars/mpi/mpi.hpp"
 #include "ars/net/network.hpp"
@@ -73,6 +74,13 @@ struct ClusterConfig {
   /// events (installs the global LogBridge — at most one runtime at a time
   /// should enable this).
   bool forward_logs_to_trace = false;
+  /// Malleable-job engine options (timeouts, merge overhead, sabotage).
+  malleable::MalleableEngine::Options malleable{};
+  /// Let the registry's sweep plan expand/shrink commands for registered
+  /// malleable jobs from the host-state indexes.
+  bool enable_resize_planner = false;
+  double resize_cooldown = 30.0;
+  int max_expand_step = 4;
 };
 
 /// Convenience builder for uniform Sun-Blade-100-like clusters.
@@ -95,6 +103,9 @@ class ReschedulerRuntime {
   }
   [[nodiscard]] registry::Registry& scheduler() noexcept {
     return *registry_;
+  }
+  [[nodiscard]] malleable::MalleableEngine& malleable() noexcept {
+    return *malleable_;
   }
   [[nodiscard]] host::Host& host(const std::string& name);
   [[nodiscard]] monitor::Monitor& monitor_on(const std::string& name);
@@ -126,6 +137,12 @@ class ReschedulerRuntime {
                          hpcm::MigrationEngine::MigratableApp app,
                          const std::string& name,
                          hpcm::ApplicationSchema schema);
+
+  /// Launch a resizable job (hosts[0] is the root) and register it with the
+  /// registry so its sweep can plan expand/shrink commands.  Returns the
+  /// initial members in rank order.
+  std::vector<mpi::RankId> launch_malleable_job(
+      const malleable::JobSpec& spec, const std::vector<std::string>& hosts);
 
   /// Fault-tolerance path: migrate everything off `host_name` (planned
   /// shutdown / detected intrusion) and never place work there again.
@@ -171,6 +188,7 @@ class ReschedulerRuntime {
   std::unique_ptr<net::Network> network_;
   std::unique_ptr<mpi::MpiSystem> mpi_;
   std::unique_ptr<hpcm::MigrationEngine> hpcm_;
+  std::unique_ptr<malleable::MalleableEngine> malleable_;
   std::unique_ptr<registry::Registry> registry_;
   std::map<std::string, std::unique_ptr<monitor::Monitor>> monitors_;
   std::map<std::string, std::unique_ptr<commander::Commander>> commanders_;

@@ -39,6 +39,7 @@
 #include <map>
 #include <memory>
 #include <optional>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -286,6 +287,10 @@ class MigrationEngine {
   /// Names of crashed applications currently parked for relaunch (the
   /// chaos no-lost-process invariant counts these as restartable).
   [[nodiscard]] std::vector<std::string> parked_for_relaunch() const;
+  /// True when `process_name` ran to completion and exited normally — a
+  /// relaunch request for it is stale (e.g. a falsely expired lease) and
+  /// the registry should abandon the retry, not park it as stranded.
+  [[nodiscard]] bool exited_normally(const std::string& process_name) const;
   [[nodiscard]] ApplicationSchema* schema(const std::string& name);
   [[nodiscard]] const std::map<std::string, ApplicationSchema>& schemas()
       const {
@@ -436,6 +441,9 @@ class MigrationEngine {
   CheckpointStore checkpoint_store_;
   /// Crashed applications parked for relaunch, keyed by process name.
   std::map<std::string, std::unique_ptr<ProcState>> crashed_;
+  /// Processes that ran to completion (normal exit); cleared if the name
+  /// is reused by a fresh launch.
+  std::set<std::string> exited_;
   OutcomeListener outcome_listener_;
   PhaseListener phase_listener_;
 

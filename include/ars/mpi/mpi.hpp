@@ -21,6 +21,7 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
@@ -138,6 +139,38 @@ struct SpawnResult {
   std::vector<RankId> children;
 };
 
+/// How a multi-host spawn fans out (Martín-Álvarez et al.: the spawn step
+/// is a first-order cost of malleability, worth engineering).
+///  * kSequential — the parent creates every child itself, one after the
+///    other: k spawn handshakes in series, O(k) latency.
+///  * kTree — binomial tree: every already-created process spawns further
+///    children in successive rounds, so all k children exist after
+///    ceil(log2(k+1)) rounds, O(log k) latency.
+enum class SpawnStrategy { kSequential, kTree };
+
+[[nodiscard]] const char* spawn_strategy_name(SpawnStrategy strategy);
+[[nodiscard]] std::optional<SpawnStrategy> spawn_strategy_from(
+    std::string_view name);
+
+/// Cooperative cancellation token for spawn_many: once `cancelled` flips
+/// true, in-flight handshakes finish their current step and no further
+/// children are created — spawn_many returns the partial group (via its
+/// `progress` list) for the caller to reap.  The caller owns the token and
+/// must keep it alive until spawn_many returns.
+struct SpawnCancel {
+  bool cancelled = false;
+};
+
+struct MultiSpawnResult {
+  /// Child ids in `hosts` order (child i is named `name + "." + i`),
+  /// regardless of strategy — the membership is strategy-independent,
+  /// only the latency differs.
+  std::vector<RankId> children;
+  Comm intercomm;   // local group: {parent}; remote group: {children}
+  /// Spawn handshakes on the critical path (sequential: k; tree: depth).
+  int rounds = 0;
+};
+
 /// One logical MPI process.
 class Proc {
  public:
@@ -237,6 +270,23 @@ class Proc {
   [[nodiscard]] sim::Task<SpawnResult> spawn(const std::string& host_name,
                                              AppMain app, std::string name,
                                              int count = 1);
+
+  /// Spawn one child per entry of `hosts` (child i named `name + "." + i`),
+  /// fanning out sequentially or over the binomial tree.  Every spawn
+  /// handshake pays the full DPM cost (startup overhead + control
+  /// round-trip) charged to the host performing it; with kTree those
+  /// handshakes overlap across the already-created children.  Children are
+  /// created suspended and started together once the whole group exists, so
+  /// the resulting membership and application behaviour are byte-identical
+  /// across strategies — only the completion time differs.  `progress`
+  /// (optional, not owned) receives each child id as it is created, so a
+  /// caller that abandons the operation mid-flight (resize spawn timeout)
+  /// can reap the partial group.
+  [[nodiscard]] sim::Task<MultiSpawnResult> spawn_many(
+      std::vector<std::string> hosts, AppMain app, std::string name,
+      SpawnStrategy strategy = SpawnStrategy::kSequential,
+      std::vector<RankId>* progress = nullptr,
+      std::shared_ptr<const struct SpawnCancel> cancel = nullptr);
 
   /// Open a named port (server side).
   [[nodiscard]] std::string open_port();
@@ -440,6 +490,13 @@ class MpiSystem {
 
   Proc& create_proc(const std::string& host_name, std::string name,
                     bool migration_enabled, const std::string& schema_name);
+
+  /// Shared bookkeeping of one in-flight spawn_many fan-out; node fibers
+  /// hold references until they finish or notice cancellation.
+  struct MultiSpawnState;
+  /// One binomial-tree node's spawn loop (node 0 is the parent itself).
+  [[nodiscard]] sim::Task<> tree_spawn_node(
+      std::shared_ptr<MultiSpawnState> state, int node, int depth);
 
   /// Route `size_bytes` from the current host of `from` to the current host
   /// of `to`, following relocations (forwarding hops).

@@ -22,6 +22,7 @@
 // the audited slow path keeps the full O(hosts) verdict trail.  See
 // DESIGN.md §10.
 
+#include <functional>
 #include <map>
 #include <memory>
 #include <optional>
@@ -116,6 +117,24 @@ struct Decision {
   std::vector<CandidateAudit> candidates;
 };
 
+/// One registered malleable job the resize planner manages: the registry
+/// watches its state indexes for slack (free hosts -> expand) and pressure
+/// (overloaded member hosts -> shrink) and commands the resize through the
+/// job's root-host commander.  `ranks` is soft state, re-synced by every
+/// ResizeOutcomeMsg.
+struct MalleableJobEntry {
+  std::string name;
+  std::string root_host;
+  int ranks = 0;
+  int min_ranks = 1;
+  int max_ranks = 64;
+  std::string strategy;  // "sequential" | "tree" | "" (job default)
+  double last_resize_at = -1.0e9;
+  bool resizing = false;  // a command is in flight awaiting its outcome
+  /// Expand targets of the in-flight command; marked suspect on failure.
+  std::vector<std::string> pending_targets;
+};
+
 /// What a parent registry knows about one child domain, from the child's
 /// periodic HealthReportMsg.  `routed_consults` counts consults forwarded to
 /// the child since its last report — a conservative in-flight debit so
@@ -171,6 +190,15 @@ class Registry {
     /// on the stranded list and retries (the middleware's single-consumer
     /// checkpoint park makes a duplicate command a harmless no-op).
     double relaunch_confirm_ttl = 15.0;
+    /// Plan expand/shrink for registered malleable jobs during the sweep.
+    bool enable_resize = false;
+    /// Minimum spacing between commanded resizes of the same job.
+    double resize_cooldown = 30.0;
+    /// Upper bound on new ranks per expand command.
+    int max_expand_step = 4;
+    /// Current hosts of a malleable job (wired by the runtime): used to
+    /// avoid doubling ranks onto member hosts and to pick pressure victims.
+    std::function<std::vector<std::string>(const std::string&)> job_hosts;
     /// Per-host audit trail policy (see AuditMode).
     AuditMode audit = AuditMode::kAuto;
     /// Force the pre-index full-table scan even when no audit is wanted —
@@ -263,6 +291,22 @@ class Registry {
     return evacuations_commanded_;
   }
 
+  /// Make a malleable job known to the resize planner (like schemas, job
+  /// registrations are configuration and survive a cold restart; `ranks`
+  /// re-syncs from outcome reports).
+  void register_malleable_job(const std::string& name,
+                              const std::string& root_host, int ranks,
+                              int min_ranks, int max_ranks,
+                              const std::string& strategy = "");
+  [[nodiscard]] const std::map<std::string, MalleableJobEntry>&
+  malleable_jobs() const {
+    return malleable_jobs_;
+  }
+  /// Number of resize commands issued so far.
+  [[nodiscard]] int resizes_commanded() const noexcept {
+    return resizes_commanded_;
+  }
+
   /// Canonical one-line-per-decision log (no audit trail) — byte-comparable
   /// across indexed and legacy runs of the same scenario.
   [[nodiscard]] std::string decision_log() const;
@@ -348,6 +392,11 @@ class Registry {
   bool restart_process(const ProcessEntry& process, RecoveryRound& round,
                        bool record_stranded, obs::TraceCtx cause = {});
   void drain_stranded();
+  /// Drop a process from the relaunch retry pipeline (stranded list and
+  /// pending confirmations): it deregistered cleanly or a commander reported
+  /// it already exited, so re-commanding its restart forever is wrong.
+  void abandon_relaunch(const std::string& process_name,
+                        const std::string& reason);
   /// Re-park commanded relaunches that no monitor has confirmed within
   /// `relaunch_confirm_ttl` (the RelaunchCmd was lost on the wire).
   void confirm_relaunches(double now);
@@ -362,6 +411,16 @@ class Registry {
   /// transaction linked to it by a cause_txn attribute.
   void on_migration_outcome(const xmlproto::MigrationOutcomeMsg& outcome,
                             obs::TraceCtx ctx);
+  /// Resize planner: slack/pressure detection over the state indexes,
+  /// one command per eligible job per sweep tick.
+  void plan_resizes(double now);
+  void command_resize(MalleableJobEntry& job, const std::string& verb,
+                      std::vector<std::string> hosts, double now);
+  /// Apply a commander's ResizeOutcomeMsg: credit the per-target placement
+  /// debits, re-sync the job's rank count, and suspect failed targets —
+  /// the malleable mirror of on_migration_outcome.
+  void on_resize_outcome(const xmlproto::ResizeOutcomeMsg& outcome,
+                         obs::TraceCtx ctx);
   /// Summed in-flight debits against `host_name` (0/0 when none).
   [[nodiscard]] std::pair<std::uint64_t, std::uint64_t> inflight_debit(
       const std::string& host_name) const;
@@ -415,6 +474,8 @@ class Registry {
   std::vector<PlacementDebit> inflight_;
   std::vector<PendingRelaunch> pending_relaunches_;
   std::map<std::string, ChildDomain> children_;
+  std::map<std::string, MalleableJobEntry> malleable_jobs_;
+  int resizes_commanded_ = 0;
   int evacuations_commanded_ = 0;
   int next_registration_order_ = 0;
   support::Rng rng_{1};

@@ -170,11 +170,40 @@ struct MigrationOutcomeMsg {
   std::string phase;    // protocol phase the failure hit
 };
 
+/// Registry -> commander (of a malleable job's root host): grow or shrink
+/// the job.  For an expand, `hosts` are the spawn targets (one new rank
+/// each); for a shrink they are the hosts to vacate (ranks there retire at
+/// the job's next poll-point).  `strategy` selects the DPM fan-out
+/// ("sequential" | "tree"; empty keeps the job's default).
+struct ResizeCmd {
+  std::string job;
+  std::string verb;  // "expand" | "shrink"
+  int delta = 0;
+  std::string strategy;
+  std::vector<std::string> hosts;
+};
+
+/// Commander (root host) -> registry: terminal outcome of a resize
+/// transaction.  "committed" credits back the registry's per-target
+/// placement debits exactly like MigrationOutcomeMsg; "aborted" and
+/// "partial-rollback" additionally mark the commanded targets suspect.
+/// The reason/phase fields are only meaningful (and only encoded) for
+/// failures.
+struct ResizeOutcomeMsg {
+  std::string job;
+  std::string verb;     // "expand" | "shrink"
+  int delta = 0;
+  std::string outcome;  // "committed" | "aborted" | "partial-rollback"
+  std::string reason;   // e.g. "spawn-timeout", "no-capacity"
+  std::string phase;    // transaction phase the failure hit
+  int ranks_after = 0;
+};
+
 using ProtocolMessage =
     std::variant<RegisterMsg, UpdateMsg, UpdateBatchMsg, ConsultMsg,
                  MigrateCmd, AckMsg, ProcessRegisterMsg, ProcessDeregisterMsg,
                  HealthReportMsg, RecommendMsg, EvacuateMsg, RelaunchCmd,
-                 MigrationOutcomeMsg>;
+                 MigrationOutcomeMsg, ResizeCmd, ResizeOutcomeMsg>;
 
 /// Serialize any protocol message to its XML wire form.
 [[nodiscard]] std::string encode(const ProtocolMessage& message);

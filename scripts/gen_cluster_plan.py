@@ -13,13 +13,102 @@ size) were produced by this script; regenerate or derive new ones with:
       --name huge-cluster-smoke --out plans/huge-cluster-smoke.json
 
 Unknown keys are ignored by the C++ loader, so plans written by newer
-versions of this script stay loadable.
+versions of this script stay loadable — which also means a typo in a
+hand-edited plan silently becomes a default.  `--check FILE` closes that
+gap: it validates a plan against the schema this script generates,
+rejecting unknown top-level keys and reporting every error with the
+offending key path ($.hots: unknown key).
 """
 
 import argparse
 import json
+import numbers
 import pathlib
 import sys
+
+def _is_int(v) -> bool:
+    return isinstance(v, int) and not isinstance(v, bool)
+
+
+def _is_num(v) -> bool:
+    return isinstance(v, numbers.Real) and not isinstance(v, bool)
+
+
+# Top-level plan schema: key -> (predicate, description).  Mirrors
+# build_plan() below and core::load_cluster_plan's known keys.
+_SCHEMA = {
+    "name": (lambda v: isinstance(v, str) and v != "", "non-empty string"),
+    "hosts": (lambda v: _is_int(v) and v >= 1, "integer >= 1"),
+    "shards": (lambda v: _is_int(v) and v >= 1, "integer >= 1"),
+    "duration": (
+        lambda v: _is_num(v) and v > 0,
+        "number > 0",
+    ),
+    "cross_latency": (
+        lambda v: _is_num(v) and v >= 0,
+        "number >= 0",
+    ),
+    "hierarchical": (lambda v: isinstance(v, bool), "boolean"),
+    "delta_heartbeats": (lambda v: isinstance(v, bool), "boolean"),
+    "seed": (lambda v: _is_int(v) and v >= 0, "integer >= 0"),
+    "busy_fraction": (
+        lambda v: _is_num(v) and 0 <= v <= 1,
+        "number in [0, 1]",
+    ),
+    "overloaded_fraction": (
+        lambda v: _is_num(v) and 0 <= v <= 1,
+        "number in [0, 1]",
+    ),
+    "tracing": (lambda v: isinstance(v, bool), "boolean"),
+    "trace_capacity": (
+        lambda v: _is_int(v) and v >= 0,
+        "integer >= 0",
+    ),
+    "generator": (lambda v: isinstance(v, str), "string"),
+    "message_loss": (
+        lambda v: _is_num(v) and 0 <= v <= 1,
+        "number in [0, 1]",
+    ),
+    "loss_from": (
+        lambda v: _is_num(v) and v >= 0,
+        "number >= 0",
+    ),
+    "loss_until": (
+        lambda v: _is_num(v) and v >= 0,
+        "number >= 0",
+    ),
+    "crash_hosts": (
+        lambda v: _is_int(v) and v >= 0,
+        "integer >= 0",
+    ),
+    "crash_at": (
+        lambda v: _is_num(v) and v >= 0,
+        "number >= 0",
+    ),
+    "crash_until": (
+        lambda v: _is_num(v) and v >= 0,
+        "number >= 0",
+    ),
+}
+
+_REQUIRED = ("name", "hosts", "shards", "duration")
+
+
+def validate_plan(plan) -> list:
+    """Schema errors as '$.key: what' strings; empty when the plan is valid."""
+    if not isinstance(plan, dict):
+        return ["$: expected a JSON object"]
+    errors = []
+    for key in sorted(plan):
+        if key not in _SCHEMA:
+            errors.append(f"$.{key}: unknown key")
+    for key in _REQUIRED:
+        if key not in plan:
+            errors.append(f"$.{key}: required key is missing")
+    for key, (accept, want) in _SCHEMA.items():
+        if key in plan and not accept(plan[key]):
+            errors.append(f"$.{key}: expected {want}, got {plan[key]!r}")
+    return sorted(errors)
 
 
 def build_plan(args: argparse.Namespace) -> dict:
@@ -96,14 +185,37 @@ def main() -> int:
                         help="per-shard trace ring capacity")
     parser.add_argument("--out", type=pathlib.Path, default=None,
                         help="output file (default: stdout)")
+    parser.add_argument("--check", type=pathlib.Path, default=None,
+                        metavar="FILE",
+                        help="validate an existing plan file against the"
+                        " schema instead of generating one")
     args = parser.parse_args()
+
+    if args.check is not None:
+        try:
+            plan = json.loads(args.check.read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"{args.check}: {exc}", file=sys.stderr)
+            return 1
+        errors = validate_plan(plan)
+        for error in errors:
+            print(f"{args.check}: {error}", file=sys.stderr)
+        if not errors:
+            print(f"{args.check}: ok", file=sys.stderr)
+        return 1 if errors else 0
 
     if args.hosts < 1 or args.shards < 1:
         parser.error("--hosts and --shards must be >= 1")
     if args.name is None:
         args.name = f"cluster-{args.hosts}x{args.shards}"
 
-    text = json.dumps(build_plan(args), indent=2, sort_keys=True) + "\n"
+    plan = build_plan(args)
+    errors = validate_plan(plan)
+    if errors:  # the generator drifting from its own schema is a bug
+        for error in errors:
+            print(f"generated plan: {error}", file=sys.stderr)
+        return 1
+    text = json.dumps(plan, indent=2, sort_keys=True) + "\n"
     if args.out is None:
         sys.stdout.write(text)
     else:

@@ -1,0 +1,268 @@
+#include "ars/apps/productivity.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "ars/apps/resizable.hpp"
+#include "ars/obs/json.hpp"
+#include "ars/rules/policy.hpp"
+
+namespace ars::apps {
+namespace {
+
+support::Error plan_error(const std::string& path, const std::string& what) {
+  return support::make_error("plan", path + ": " + what);
+}
+
+// Workload presets for the named kinds; "custom" starts from the
+// malleable::Workload defaults and takes overrides verbatim.
+malleable::Workload preset_workload(const std::string& kind) {
+  if (kind == "stencil") {
+    return resizable_stencil(Stencil1D::Params{});
+  }
+  if (kind == "matmul") {
+    return resizable_matmul(MatMul::Params{});
+  }
+  return malleable::Workload{};
+}
+
+support::Expected<double> number_field(const obs::JsonValue& value,
+                                       const std::string& path) {
+  if (!value.is_number()) {
+    return plan_error(path, "expected a number");
+  }
+  return value.as_number();
+}
+
+}  // namespace
+
+support::Expected<QueuePlan> load_queue_plan(const std::string& json_text) {
+  auto parsed = obs::json_parse(json_text);
+  if (!parsed) {
+    return support::make_error("plan", "$: " + parsed.error().message);
+  }
+  const obs::JsonValue& root = parsed.value();
+  if (!root.is_object()) {
+    return plan_error("$", "expected an object");
+  }
+
+  static const std::set<std::string> kTopKeys = {
+      "hosts", "resize_cooldown", "max_expand_step", "jobs"};
+  for (const auto& [key, value] : root.as_object()) {
+    (void)value;
+    if (!kTopKeys.contains(key)) {
+      return plan_error("$." + key, "unknown key");
+    }
+  }
+
+  QueuePlan plan;
+  if (const obs::JsonValue* hosts = root.find("hosts")) {
+    auto n = number_field(*hosts, "$.hosts");
+    if (!n) return n.error();
+    plan.hosts = static_cast<int>(n.value());
+    if (plan.hosts < 1) return plan_error("$.hosts", "must be >= 1");
+  }
+  if (const obs::JsonValue* cooldown = root.find("resize_cooldown")) {
+    auto n = number_field(*cooldown, "$.resize_cooldown");
+    if (!n) return n.error();
+    plan.resize_cooldown = n.value();
+  }
+  if (const obs::JsonValue* step = root.find("max_expand_step")) {
+    auto n = number_field(*step, "$.max_expand_step");
+    if (!n) return n.error();
+    plan.max_expand_step = static_cast<int>(n.value());
+  }
+
+  const obs::JsonValue* jobs = root.find("jobs");
+  if (jobs == nullptr || !jobs->is_array()) {
+    return plan_error("$.jobs", "expected an array of jobs");
+  }
+
+  static const std::set<std::string> kJobKeys = {
+      "name",      "kind",          "arrival",         "initial_ranks",
+      "min_ranks", "max_ranks",     "blocks",          "work_per_block",
+      "bytes_per_block", "iterations", "sync_bytes"};
+
+  int index = 0;
+  for (const obs::JsonValue& entry : jobs->as_array()) {
+    const std::string path = "$.jobs[" + std::to_string(index) + "]";
+    ++index;
+    if (!entry.is_object()) {
+      return plan_error(path, "expected an object");
+    }
+    for (const auto& [key, value] : entry.as_object()) {
+      (void)value;
+      if (!kJobKeys.contains(key)) {
+        return plan_error(path + "." + key, "unknown key");
+      }
+    }
+
+    QueueJob job;
+    const obs::JsonValue* name = entry.find("name");
+    if (name == nullptr || !name->is_string() || name->as_string().empty()) {
+      return plan_error(path + ".name", "required non-empty string");
+    }
+    job.name = name->as_string();
+    if (const obs::JsonValue* kind = entry.find("kind")) {
+      if (!kind->is_string()) {
+        return plan_error(path + ".kind", "expected a string");
+      }
+      job.kind = kind->as_string();
+    }
+    if (job.kind != "stencil" && job.kind != "matmul" && job.kind != "custom") {
+      return plan_error(path + ".kind",
+                        "unknown kind '" + job.kind +
+                            "' (stencil | matmul | custom)");
+    }
+    job.workload = preset_workload(job.kind);
+
+    struct NumField {
+      const char* key;
+      double* target;
+    };
+    double arrival = job.arrival;
+    double initial_ranks = job.initial_ranks;
+    double min_ranks = job.min_ranks;
+    double max_ranks = job.max_ranks;
+    double blocks = job.workload.blocks;
+    double iterations = job.workload.iterations;
+    const NumField fields[] = {
+        {"arrival", &arrival},
+        {"initial_ranks", &initial_ranks},
+        {"min_ranks", &min_ranks},
+        {"max_ranks", &max_ranks},
+        {"blocks", &blocks},
+        {"work_per_block", &job.workload.work_per_block},
+        {"bytes_per_block", &job.workload.bytes_per_block},
+        {"iterations", &iterations},
+        {"sync_bytes", &job.workload.sync_bytes},
+    };
+    for (const NumField& field : fields) {
+      if (const obs::JsonValue* value = entry.find(field.key)) {
+        auto n = number_field(*value, path + "." + field.key);
+        if (!n) return n.error();
+        *field.target = n.value();
+      }
+    }
+    job.arrival = arrival;
+    job.initial_ranks = static_cast<int>(initial_ranks);
+    job.min_ranks = static_cast<int>(min_ranks);
+    job.max_ranks = static_cast<int>(max_ranks);
+    job.workload.blocks = static_cast<int>(blocks);
+    job.workload.iterations = static_cast<int>(iterations);
+
+    if (job.initial_ranks < 1 || job.workload.blocks < 1 ||
+        job.workload.iterations < 1) {
+      return plan_error(path, "ranks/blocks/iterations must be >= 1");
+    }
+    if (job.min_ranks > job.initial_ranks ||
+        job.initial_ranks > job.max_ranks) {
+      return plan_error(path,
+                        "need min_ranks <= initial_ranks <= max_ranks");
+    }
+    plan.jobs.push_back(std::move(job));
+  }
+  if (plan.jobs.empty()) {
+    return plan_error("$.jobs", "at least one job required");
+  }
+  return plan;
+}
+
+CampaignResult run_queue(const QueuePlan& plan, bool malleability,
+                         double deadline) {
+  core::ClusterConfig config =
+      core::make_cluster(plan.hosts, rules::paper_policy2());
+  config.enable_resize_planner = malleability;
+  config.resize_cooldown = plan.resize_cooldown;
+  config.max_expand_step = plan.max_expand_step;
+  core::ReschedulerRuntime runtime{config};
+  runtime.start_rescheduler();
+
+  const std::vector<std::string> host_names = runtime.host_names();
+
+  // Launch each job at its arrival on the emptiest hosts: count live ranks
+  // of unfinished malleable jobs per host and fill least-loaded first (ties
+  // break on host order, so placement is deterministic).
+  for (const QueueJob& queued : plan.jobs) {
+    runtime.engine().schedule_at(
+        queued.arrival, [&runtime, &queued, &host_names] {
+          std::map<std::string, int> occupancy;
+          for (const std::string& host : host_names) {
+            occupancy[host] = 0;
+          }
+          auto& malleable = runtime.malleable();
+          for (const std::string& job : malleable.job_names()) {
+            if (malleable.finished(job)) {
+              continue;
+            }
+            for (const std::string& host : malleable.rank_hosts(job)) {
+              ++occupancy[host];
+            }
+          }
+          std::vector<std::string> ordered = host_names;
+          std::stable_sort(ordered.begin(), ordered.end(),
+                           [&occupancy](const std::string& a,
+                                        const std::string& b) {
+                             return occupancy[a] < occupancy[b];
+                           });
+          const int world =
+              std::min<int>(queued.initial_ranks,
+                            static_cast<int>(ordered.size()));
+          ordered.resize(static_cast<std::size_t>(world));
+
+          malleable::JobSpec spec;
+          spec.name = queued.name;
+          spec.workload = queued.workload;
+          spec.min_ranks = queued.min_ranks;
+          spec.max_ranks = queued.max_ranks;
+          (void)runtime.launch_malleable_job(spec, ordered);
+        });
+  }
+
+  double last_arrival = 0.0;
+  for (const QueueJob& queued : plan.jobs) {
+    last_arrival = std::max(last_arrival, queued.arrival);
+  }
+
+  // Step until every job has both launched and finished (all_finished() is
+  // vacuously true before the first launch, hence the arrival guard).
+  auto& malleable = runtime.malleable();
+  while (runtime.engine().now() < deadline) {
+    runtime.run_until(runtime.engine().now() + 1.0);
+    if (runtime.engine().now() > last_arrival && malleable.all_finished() &&
+        malleable.job_names().size() == plan.jobs.size()) {
+      break;
+    }
+  }
+
+  CampaignResult result;
+  result.all_finished = malleable.all_finished() &&
+                        malleable.job_names().size() == plan.jobs.size();
+  for (const QueueJob& queued : plan.jobs) {
+    const double at =
+        malleable.finished(queued.name) ? malleable.finished_at(queued.name)
+                                        : runtime.engine().now();
+    result.finish_times.push_back(at);
+    result.makespan = std::max(result.makespan, at);
+  }
+  double busy = 0.0;
+  for (const std::string& host : host_names) {
+    busy += runtime.host(host).cpu().cumulative_busy();
+  }
+  if (result.makespan > 0.0) {
+    result.utilization =
+        busy / (static_cast<double>(host_names.size()) * result.makespan);
+  }
+  result.resizes_commanded = runtime.scheduler().resizes_commanded();
+  for (const malleable::ResizeOutcome& outcome : malleable.history()) {
+    if (outcome.outcome == malleable::kCommitted) {
+      ++result.resizes_committed;
+    }
+  }
+  return result;
+}
+
+}  // namespace ars::apps

@@ -1,0 +1,38 @@
+#include "ars/apps/resizable.hpp"
+
+#include <algorithm>
+
+namespace ars::apps {
+
+malleable::Workload resizable_stencil(const Stencil1D::Params& params,
+                                      int blocks) {
+  malleable::Workload workload;
+  workload.blocks = std::max(1, blocks);
+  // One block carries one former rank's slab of cells.
+  workload.work_per_block =
+      static_cast<double>(params.cells_per_rank) * params.work_per_cell;
+  workload.bytes_per_block =
+      static_cast<double>(params.cells_per_rank) * 8.0;  // doubles
+  workload.iterations = params.iterations;
+  // Halo exchange rides the per-iteration sync: two neighbors per block.
+  workload.sync_bytes = 2.0 * params.halo_bytes;
+  return workload;
+}
+
+malleable::Workload resizable_matmul(const MatMul::Params& params) {
+  const int row_blocks = std::max(1, params.n / std::max(1, params.block_rows));
+  const double n = params.n;
+  const double br = params.block_rows;
+  malleable::Workload workload;
+  workload.blocks = row_blocks;
+  // Total work 2n^3*wpf split over row-blocks x k-panels.
+  workload.iterations = row_blocks;
+  workload.work_per_block = 2.0 * n * br * br * params.work_per_flop;
+  // A row block + C row block live with the owner.
+  workload.bytes_per_block = 2.0 * br * n * 8.0;
+  // The k-panel of B broadcast each iteration.
+  workload.sync_bytes = br * n * 8.0;
+  return workload;
+}
+
+}  // namespace ars::apps

@@ -34,6 +34,10 @@ std::string_view to_string(FaultKind kind) noexcept {
       return "migration_dest_crash";
     case FaultKind::kMigrationLinkCut:
       return "migration_link_cut";
+    case FaultKind::kResizeStall:
+      return "resize_stall";
+    case FaultKind::kResizeTargetCrash:
+      return "resize_target_crash";
   }
   return "?";
 }
@@ -44,7 +48,8 @@ Expected<FaultKind> fault_kind_from_string(std::string_view text) {
         FaultKind::kMessageDelay, FaultKind::kLinkDegrade,
         FaultKind::kPartition, FaultKind::kHostCrash, FaultKind::kCpuSlowdown,
         FaultKind::kMonitorStall, FaultKind::kRegistryCrash,
-        FaultKind::kMigrationDestCrash, FaultKind::kMigrationLinkCut}) {
+        FaultKind::kMigrationDestCrash, FaultKind::kMigrationLinkCut,
+        FaultKind::kResizeStall, FaultKind::kResizeTargetCrash}) {
     if (text == to_string(kind)) {
       return kind;
     }
@@ -187,6 +192,31 @@ FaultPlan& FaultPlan::migration_link_cut(double at, double until,
   spec.probability = probability;
   spec.delay = heal_after;
   spec.host_a = std::move(dest);
+  return add(std::move(spec));
+}
+
+FaultPlan& FaultPlan::resize_stall(double at, double until, std::string phase,
+                                   double stall_seconds) {
+  FaultSpec spec;
+  spec.kind = FaultKind::kResizeStall;
+  spec.at = at;
+  spec.until = until;
+  spec.phase = std::move(phase);
+  spec.delay = stall_seconds;
+  return add(std::move(spec));
+}
+
+FaultPlan& FaultPlan::resize_target_crash(double at, double until,
+                                          std::string phase,
+                                          double probability,
+                                          double reboot_after) {
+  FaultSpec spec;
+  spec.kind = FaultKind::kResizeTargetCrash;
+  spec.at = at;
+  spec.until = until;
+  spec.phase = std::move(phase);
+  spec.probability = probability;
+  spec.delay = reboot_after;
   return add(std::move(spec));
 }
 
@@ -347,9 +377,17 @@ Expected<FaultPlan> FaultPlan::from_json(std::string_view text) {
     if (spec.factor < 0.0) {
       return make_error("chaos.bad_value", "\"factor\" must be >= 0");
     }
-    if (!spec.phase.empty() && spec.phase != "init" &&
-        spec.phase != "eager" && spec.phase != "ack" &&
-        spec.phase != "restore") {
+    const bool resize_fault = spec.kind == FaultKind::kResizeStall ||
+                              spec.kind == FaultKind::kResizeTargetCrash;
+    if (resize_fault) {
+      if (spec.phase != "spawn" && spec.phase != "redistribute") {
+        return make_error(
+            "chaos.bad_value",
+            "resize fault \"phase\" must be spawn or redistribute");
+      }
+    } else if (!spec.phase.empty() && spec.phase != "init" &&
+               spec.phase != "eager" && spec.phase != "ack" &&
+               spec.phase != "restore") {
       return make_error("chaos.bad_value",
                         "\"phase\" must be one of init/eager/ack/restore");
     }
@@ -383,12 +421,25 @@ Expected<FaultPlan> FaultPlan::builtin(const std::string& name) {
         .link_degrade(340.0, 380.0, 0.3, "ws1", "ws2");
     return plan;
   }
+  if (name == "resize-storm") {
+    // Malleable jobs under fire: spawn phases stall into their timeout,
+    // spawn targets crash and reboot mid-expand, redistribution stalls
+    // force rollbacks, and ambient control-plane loss rides along.  The
+    // no-lost-rank invariant must hold through all of it.
+    FaultPlan plan{"resize-storm"};
+    plan.resize_stall(60.0, 140.0, "spawn", 30.0)
+        .resize_target_crash(160.0, 260.0, "spawn", 0.6, 40.0)
+        .resize_stall(280.0, 360.0, "redistribute", 45.0)
+        .message_loss(60.0, 360.0, 0.10)
+        .host_crash(400.0, 440.0, "ws4");
+    return plan;
+  }
   return make_error("chaos.unknown_plan", "no builtin plan named \"" + name +
                                               "\" (see builtin_names())");
 }
 
 std::vector<std::string> FaultPlan::builtin_names() {
-  return {"control-loss", "churn"};
+  return {"control-loss", "churn", "resize-storm"};
 }
 
 }  // namespace ars::chaos

@@ -27,6 +27,10 @@ JsonValue scenario_to_json(const ScenarioOptions& options) {
   scenario.emplace("legacy_scan", options.legacy_scan);
   scenario.emplace("audit_decisions", options.audit_decisions);
   scenario.emplace("delta_heartbeats", options.delta_heartbeats);
+  scenario.emplace("malleable_jobs",
+                   static_cast<double>(options.malleable_jobs));
+  scenario.emplace("sabotage_resize_rollback",
+                   options.sabotage_resize_rollback);
   return JsonValue{std::move(scenario)};
 }
 
@@ -64,6 +68,10 @@ support::Expected<ScenarioOptions> scenario_from_json(const JsonValue& value) {
       boolean("audit_decisions", options.audit_decisions);
   options.delta_heartbeats =
       boolean("delta_heartbeats", options.delta_heartbeats);
+  options.malleable_jobs = static_cast<int>(
+      number("malleable_jobs", options.malleable_jobs));
+  options.sabotage_resize_rollback = boolean(
+      "sabotage_resize_rollback", options.sabotage_resize_rollback);
   return options;
 }
 

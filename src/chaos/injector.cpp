@@ -27,6 +27,9 @@ FaultInjector::~FaultInjector() {
   if (phase_listener_installed_) {
     runtime_->middleware().set_phase_listener(nullptr);
   }
+  if (resize_listener_installed_) {
+    runtime_->malleable().set_phase_listener(nullptr);
+  }
   if (armed_ && runtime_->network().fault_policy() == this) {
     runtime_->network().set_fault_policy(nullptr);
   }
@@ -64,7 +67,20 @@ void FaultInjector::arm() {
       wants_migration_faults = true;
     }
   }
+  bool wants_resize_faults = false;
+  for (const FaultSpec& spec : plan_.specs()) {
+    if (spec.kind == FaultKind::kResizeTargetCrash) {
+      wants_resize_faults = true;
+    }
+  }
   runtime_->network().set_fault_policy(this);
+  if (wants_resize_faults) {
+    runtime_->malleable().set_phase_listener(
+        [this](const malleable::ResizePhaseEvent& event) {
+          on_resize_phase(event);
+        });
+    resize_listener_installed_ = true;
+  }
   if (wants_migration_faults) {
     runtime_->middleware().set_phase_listener(
         [this](const hpcm::PhaseEvent& event) { on_migration_phase(event); });
@@ -76,7 +92,7 @@ void FaultInjector::arm() {
     const bool migration_window =
         spec.kind == FaultKind::kMigrationDestCrash ||
         spec.kind == FaultKind::kMigrationLinkCut;
-    if (migration_window) {
+    if (migration_window || spec.kind == FaultKind::kResizeTargetCrash) {
       continue;  // triggered by phase entry, not by wall-clock events
     }
     events_.push_back(
@@ -234,6 +250,10 @@ void FaultInjector::activate(std::size_t index) {
       ++stats_.link_degrades;
       runtime_->network().on_fault_change();
       break;
+    case FaultKind::kResizeStall:
+      runtime_->malleable().set_phase_stall(spec.phase, spec.delay);
+      ++stats_.resize_stalls;
+      break;
     default:
       break;  // message faults act lazily, per post()
   }
@@ -270,6 +290,9 @@ void FaultInjector::deactivate(std::size_t index) {
     case FaultKind::kLinkDegrade:
       // Stalled/degraded transfers pick their full rates back up.
       runtime_->network().on_fault_change();
+      break;
+    case FaultKind::kResizeStall:
+      runtime_->malleable().set_phase_stall(spec.phase, 0.0);
       break;
     default:
       break;
@@ -315,6 +338,53 @@ void FaultInjector::on_migration_phase(const hpcm::PhaseEvent& event) {
             cut_migration_link(a, b, heal);
           }));
     }
+  }
+}
+
+void FaultInjector::on_resize_phase(const malleable::ResizePhaseEvent& event) {
+  if (event.verb != malleable::ResizeVerb::kExpand || event.hosts.empty()) {
+    return;  // only expands have spawn targets to kill
+  }
+  // Spec order keeps rng consumption — and therefore the whole run —
+  // deterministic in (plan, seed).
+  for (const FaultSpec& spec : plan_.specs()) {
+    if (spec.kind != FaultKind::kResizeTargetCrash || !spec_active(spec)) {
+      continue;
+    }
+    if (!spec.phase.empty() && spec.phase != event.phase) {
+      continue;
+    }
+    if (rng_.uniform() >= spec.probability) {
+      continue;
+    }
+    const std::size_t pick = static_cast<std::size_t>(rng_.uniform_int(
+        0, static_cast<std::int64_t>(event.hosts.size()) - 1));
+    trace_fault(spec, "inject");
+    // React via a zero-delay event: phase listeners must not reenter the
+    // malleable engine inline.
+    events_.push_back(runtime_->engine().schedule_after(
+        0.0, [this, host = event.hosts[pick], reboot = spec.delay] {
+          crash_resize_target(host, reboot);
+        }));
+  }
+}
+
+void FaultInjector::crash_resize_target(const std::string& host,
+                                        double reboot_after) {
+  if (!down_hosts_.insert(host).second) {
+    return;  // already down (another fault beat us to it)
+  }
+  ARS_LOG_WARN("chaos", "resize-window crash of spawn target " << host);
+  ++stats_.resize_target_crashes;
+  runtime_->fail_host(host);
+  if (reboot_after > 0.0) {
+    events_.push_back(
+        runtime_->engine().schedule_after(reboot_after, [this, host] {
+          if (down_hosts_.erase(host) > 0) {
+            runtime_->restart_host(host);
+            ++stats_.host_restarts;
+          }
+        }));
   }
 }
 

@@ -155,6 +155,39 @@ InvariantReport InvariantChecker::check() const {
     }
   }
 
+  // No lost rank: at every terminal resize outcome the malleable engine
+  // counted spawned children still alive outside membership (ground truth
+  // against the mpi process table); any ghost means a grow/shrink
+  // transaction leaked a rank.  Aborts must also restore the original
+  // world size, and a job whose root survived must finish.
+  malleable::MalleableEngine& malleable = runtime_->malleable();
+  report.ghost_ranks = malleable.ghost_ranks();
+  if (report.ghost_ranks > 0) {
+    violate("no-lost-rank", "malleable",
+            std::to_string(report.ghost_ranks) +
+                " rank(s) alive outside membership at outcome time");
+  }
+  for (const malleable::ResizeOutcome& outcome : malleable.history()) {
+    ++report.resizes_checked;
+    if (outcome.outcome == malleable::kAborted &&
+        outcome.ranks_after != outcome.ranks_before) {
+      violate("no-lost-rank", outcome.job,
+              "aborted " + std::string(malleable::verb_name(outcome.verb)) +
+                  " moved the world from " +
+                  std::to_string(outcome.ranks_before) + " to " +
+                  std::to_string(outcome.ranks_after) + " ranks");
+    }
+  }
+  for (const std::string& job : malleable.job_names()) {
+    if (malleable.failed(job)) {
+      continue;  // a dead root legitimately tears the job down
+    }
+    if (!malleable.finished(job)) {
+      violate(quiesced ? "deadlock-watchdog" : "malleable-job-finish", job,
+              "malleable job unfinished at the horizon");
+    }
+  }
+
   // Lease convergence: every host expected alive must have re-registered
   // (entry present) and escaped `unavailable` once the faults healed.
   for (const std::string& host_name : expected_alive_) {

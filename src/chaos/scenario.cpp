@@ -72,6 +72,15 @@ ScenarioReport run_scenario(const ScenarioOptions& options) {
   config.hpcm.eager_timeout = 20.0;
   config.hpcm.ack_timeout = 8.0;
   config.hpcm.sabotage_skip_rollback = options.sabotage_migration_rollback;
+  // Malleable jobs: the resize planner grows them into slack and shrinks
+  // them off pressure; tight transaction timeouts so resize-window stalls
+  // resolve (abort or rollback) well inside the horizon.
+  config.enable_resize_planner = options.malleable_jobs > 0;
+  config.resize_cooldown = 20.0;
+  config.malleable.spawn_timeout = 12.0;
+  config.malleable.redistribute_timeout = 25.0;
+  config.malleable.sabotage_skip_resize_rollback =
+      options.sabotage_resize_rollback;
   core::ReschedulerRuntime runtime{config};
   runtime.start_rescheduler();
 
@@ -92,6 +101,28 @@ ScenarioReport run_scenario(const ScenarioOptions& options) {
     runtime.engine().schedule_at(start_at, [&runtime, &app, name, host] {
       runtime.launch_app(host, app.make(), name,
                          hpcm::ApplicationSchema{name});
+    });
+  }
+
+  // Malleable jobs launch staggered on host pairs; the planner takes it
+  // from there.  Everything (start time, placement) derives from the seed.
+  for (int i = 1; i <= options.malleable_jobs; ++i) {
+    malleable::JobSpec spec;
+    spec.name = "mjob" + std::to_string(i);
+    spec.workload.blocks = 16;
+    spec.workload.work_per_block = 0.25;
+    spec.workload.bytes_per_block = 2.0e5;
+    spec.workload.iterations = options.iterations * 3;
+    spec.workload.sync_bytes = 4096.0;
+    spec.min_ranks = 1;
+    spec.max_ranks = 6;
+    const int base = ((i - 1) * 2) % options.hosts;
+    const std::vector<std::string> world = {
+        "ws" + std::to_string(base + 1),
+        "ws" + std::to_string((base + 1) % options.hosts + 1)};
+    const double start_at = rng.uniform(10.0, 30.0);
+    runtime.engine().schedule_at(start_at, [&runtime, spec, world] {
+      (void)runtime.launch_malleable_job(spec, world);
     });
   }
 
@@ -125,6 +156,11 @@ ScenarioReport run_scenario(const ScenarioOptions& options) {
           spec.host_a == host_name) {
         permanently_dead = true;
       }
+      // A resize target crash with no reboot kills SOME host for good, and
+      // which one depends on the planner — no host can be promised alive.
+      if (spec.kind == FaultKind::kResizeTargetCrash && spec.delay <= 0.0) {
+        permanently_dead = true;
+      }
     }
     if (!permanently_dead) {
       checker.expect_alive(host_name);
@@ -156,6 +192,18 @@ ScenarioReport run_scenario(const ScenarioOptions& options) {
       ++report.migrations_rolled_back;
     }
   }
+  for (const malleable::ResizeOutcome& outcome :
+       runtime.malleable().history()) {
+    ++report.resizes_attempted;
+    if (outcome.outcome == malleable::kCommitted) {
+      ++report.resizes_committed;
+    } else if (outcome.outcome == malleable::kAborted) {
+      ++report.resizes_aborted;
+    } else if (outcome.outcome == malleable::kPartialRollback) {
+      ++report.resizes_rolled_back;
+    }
+  }
+  report.ghost_ranks = runtime.malleable().ghost_ranks();
   report.faults = injector.stats();
   report.messages_dropped = runtime.network().dropped_total();
   report.decisions = runtime.scheduler().decisions().size();

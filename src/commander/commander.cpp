@@ -1,5 +1,6 @@
 #include "ars/commander/commander.hpp"
 
+#include "ars/malleable/malleable.hpp"
 #include "ars/obs/metrics.hpp"
 #include "ars/obs/tracer.hpp"
 #include "ars/support/log.hpp"
@@ -64,6 +65,44 @@ void Commander::report_outcome(const xmlproto::MigrationOutcomeMsg& outcome,
   network_->post(std::move(report));
 }
 
+void Commander::report_resize_outcome(const xmlproto::ResizeOutcomeMsg& outcome,
+                                      obs::TraceCtx ctx) {
+  if (!running_ || config_.registry_host.empty()) {
+    return;  // the registry's debit TTL covers lost reports
+  }
+  if (config_.metrics != nullptr) {
+    config_.metrics
+        ->counter("commander.resize_outcomes_reported",
+                  {{"outcome", outcome.outcome}})
+        .inc();
+  }
+  net::Message report;
+  report.src_host = host_->name();
+  report.dst_host = config_.registry_host;
+  report.dst_port = config_.registry_port;
+  report.payload = xmlproto::encode(xmlproto::ProtocolMessage{outcome}, ctx);
+  report.trace = ctx;
+  network_->post(std::move(report));
+}
+
+void Commander::reject_resize(const xmlproto::ResizeCmd& command,
+                              const std::string& reason, obs::TraceCtx ctx) {
+  ++commands_failed_;
+  ARS_LOG_WARN("commander", "rejecting " << command.verb << "("
+                                         << command.job << ") on "
+                                         << host_->name() << ": " << reason);
+  xmlproto::ResizeOutcomeMsg outcome;
+  outcome.job = command.job;
+  outcome.verb = command.verb;
+  outcome.delta = command.delta;
+  outcome.outcome = "aborted";
+  outcome.reason = reason;
+  outcome.phase = "plan";
+  outcome.ranks_after =
+      malleable_ != nullptr ? malleable_->ranks(command.job) : 0;
+  report_resize_outcome(outcome, ctx);
+}
+
 sim::Task<> Commander::serve() {
   while (true) {
     const net::Message wire = co_await endpoint_->inbox.recv();
@@ -98,11 +137,80 @@ sim::Task<> Commander::serve() {
         ARS_LOG_WARN("commander", "relaunch of unknown process "
                                       << relaunch->process_name << " on "
                                       << host_->name());
+        // A relaunch for a process the cluster-wide middleware saw run to
+        // completion is stale (a falsely expired lease raced a normal
+        // exit): tell the registry to abandon the retry instead of
+        // re-commanding it every sweep until the end of time.  The ack may
+        // be lost; the next retry produces another one.
+        if (middleware_->exited_normally(relaunch->process_name) &&
+            !config_.registry_host.empty()) {
+          xmlproto::AckMsg ack;
+          ack.of = "relaunch";
+          ack.ok = false;
+          ack.detail = "exited:" + relaunch->process_name;
+          net::Message reply;
+          reply.src_host = host_->name();
+          reply.dst_host = config_.registry_host;
+          reply.dst_port = config_.registry_port;
+          reply.payload =
+              xmlproto::encode(xmlproto::ProtocolMessage{ack}, ctx);
+          reply.trace = ctx;
+          network_->post(std::move(reply));
+        }
       } else {
         ARS_LOG_INFO("commander", host_->name() << " relaunched "
                                                 << relaunch->process_name
                                                 << " (lost with "
                                                 << relaunch->lost_host << ")");
+      }
+      continue;
+    }
+    if (const auto* resize = std::get_if<xmlproto::ResizeCmd>(&message)) {
+      // Malleability: forward the resize to the engine; it takes effect at
+      // the job's next poll-point and reports its own terminal outcome.
+      ++commands_received_;
+      if (config_.metrics != nullptr) {
+        config_.metrics
+            ->counter("commander.resizes_received", {{"verb", resize->verb}})
+            .inc();
+      }
+      const auto verb = malleable::verb_from(resize->verb);
+      if (malleable_ == nullptr || !verb.has_value()) {
+        reject_resize(*resize,
+                      malleable_ == nullptr ? "no malleable engine"
+                                            : "unknown verb",
+                      ctx);
+        continue;
+      }
+      std::optional<mpi::SpawnStrategy> strategy;
+      if (!resize->strategy.empty()) {
+        strategy = mpi::spawn_strategy_from(resize->strategy);
+      }
+      const bool queued = malleable_->request_resize(
+          resize->job, *verb, resize->delta, resize->hosts, strategy, ctx);
+      if (config_.tracer != nullptr) {
+        obs::Attrs attrs{{"job", resize->job},
+                         {"verb", resize->verb},
+                         {"delta", static_cast<double>(resize->delta)},
+                         {"queued", queued}};
+        obs::stamp(attrs, ctx);
+        config_.tracer->instant("commander.resize", "commander",
+                                host_->name(), std::move(attrs));
+      }
+      if (!queued) {
+        // Nothing will run, so nothing will report: close the loop here or
+        // the registry's debits only lapse by TTL.  Distinguish "the job is
+        // gone" (registry should stop planning for it) from "try again
+        // later" (a resize is already pending).
+        const bool gone = !malleable_->known(resize->job) ||
+                          malleable_->finished(resize->job) ||
+                          malleable_->failed(resize->job);
+        reject_resize(*resize, gone ? "job-finished" : "busy", ctx);
+      } else {
+        ARS_LOG_INFO("commander", host_->name()
+                                      << " queued " << resize->verb << "("
+                                      << resize->job << ", " << resize->delta
+                                      << ")");
       }
       continue;
     }

@@ -42,6 +42,10 @@ ReschedulerRuntime::ReschedulerRuntime(ClusterConfig config)
   }
   mpi_ = std::make_unique<mpi::MpiSystem>(engine_, *network_, config_.mpi);
   hpcm_ = std::make_unique<hpcm::MigrationEngine>(*mpi_, config_.hpcm);
+  config_.malleable.tracer = &tracer_;
+  config_.malleable.metrics = &metrics_;
+  malleable_ = std::make_unique<malleable::MalleableEngine>(
+      *mpi_, *network_, config_.malleable);
 
   registry::Registry::Config registry_config;
   registry_config.policy = config_.policy;
@@ -54,6 +58,17 @@ ReschedulerRuntime::ReschedulerRuntime(ClusterConfig config)
   registry_config.use_legacy_scan = config_.registry_legacy_scan;
   registry_config.tracer = &tracer_;
   registry_config.metrics = &metrics_;
+  registry_config.enable_resize = config_.enable_resize_planner;
+  registry_config.resize_cooldown = config_.resize_cooldown;
+  registry_config.max_expand_step = config_.max_expand_step;
+  registry_config.job_hosts = [this](const std::string& job) {
+    // A finished job holds no hosts; without this guard its last world
+    // would read as occupied until the registry's entry ages out.
+    if (malleable_->finished(job) || malleable_->failed(job)) {
+      return std::vector<std::string>{};
+    }
+    return malleable_->rank_hosts(job);
+  };
   registry_ = std::make_unique<registry::Registry>(
       host(config_.registry_host), *network_, registry_config);
 
@@ -100,6 +115,28 @@ ReschedulerRuntime::ReschedulerRuntime(ClusterConfig config)
     msg.phase = o.phase;
     it->second->report_outcome(msg, o.trace);
   });
+  // Same feedback loop for resizes: the job's ROOT host's commander is the
+  // reporter (the root runs the transaction and survives every abort path).
+  malleable_->set_outcome_listener([this](const malleable::ResizeOutcome& o) {
+    const auto roots = malleable_->rank_hosts(o.job);
+    const std::string root_host = roots.empty() ? "" : roots.front();
+    const auto it = commanders_.find(root_host);
+    if (it == commanders_.end()) {
+      return;  // the registry's debit TTL covers the silence
+    }
+    xmlproto::ResizeOutcomeMsg msg;
+    msg.job = o.job;
+    msg.verb = malleable::verb_name(o.verb);
+    msg.delta = o.delta;
+    msg.outcome = o.outcome;
+    msg.reason = o.reason;
+    msg.phase = o.phase;
+    msg.ranks_after = o.ranks_after;
+    it->second->report_resize_outcome(msg, o.trace);
+  });
+  for (auto& [name, c] : commanders_) {
+    c->set_malleable(malleable_.get());
+  }
   trace_ = std::make_unique<TraceRecorder>(engine_, *network_);
   // Stamp log records with virtual time while this runtime is alive.
   support::Logger::global().set_clock([this] { return engine_.now(); });
@@ -179,7 +216,8 @@ int ReschedulerRuntime::fail_host(const std::string& host_name) {
   if (rescheduler_running_ && host_name == config_.registry_host) {
     registry_->stop();  // a co-located registry dies too
   }
-  return hpcm_->crash_host(host_name);
+  const int lost = hpcm_->crash_host(host_name);
+  return lost + malleable_->on_host_failed(host_name);
 }
 
 void ReschedulerRuntime::restart_host(const std::string& host_name) {
@@ -212,6 +250,15 @@ mpi::RankId ReschedulerRuntime::launch_app(
     const std::string& name, hpcm::ApplicationSchema schema) {
   registry_->register_schema(schema);
   return hpcm_->launch(host_name, std::move(app), name, std::move(schema));
+}
+
+std::vector<mpi::RankId> ReschedulerRuntime::launch_malleable_job(
+    const malleable::JobSpec& spec, const std::vector<std::string>& hosts) {
+  auto members = malleable_->launch(spec, hosts);
+  registry_->register_malleable_job(
+      spec.name, hosts.front(), static_cast<int>(hosts.size()),
+      spec.min_ranks, spec.max_ranks, mpi::spawn_strategy_name(spec.strategy));
+  return members;
 }
 
 }  // namespace ars::core

@@ -138,6 +138,10 @@ std::vector<std::string> MigrationEngine::parked_for_relaunch() const {
   return names;
 }
 
+bool MigrationEngine::exited_normally(const std::string& process_name) const {
+  return exited_.contains(process_name);
+}
+
 mpi::RankId MigrationEngine::launch(const std::string& host_name,
                                     MigratableApp app,
                                     const std::string& name,
@@ -167,6 +171,9 @@ std::vector<mpi::RankId> MigrationEngine::launch_world(
     state->context.proc_ = mpi_->find(id);
     state->context.schema_name_ = schema_name;
     state->context.launched_at = mpi_->engine().now();
+    if (const mpi::Proc* proc = mpi_->find(id); proc != nullptr) {
+      exited_.erase(proc->name());  // the name is live again
+    }
     procs_.emplace(id, std::move(state));
   }
   return ids;
@@ -224,6 +231,7 @@ void MigrationEngine::finish_normal_exit(mpi::RankId id) {
     s->record_execution(mpi_->engine().now() - ctx.launched_at);
   }
   if (const mpi::Proc* proc = mpi_->find(id); proc != nullptr) {
+    exited_.insert(proc->name());
     if (obs::Tracer* t = tracer(); obs::active(t)) {
       t->instant("process.exit", "hpcm", proc->name(),
                  {{"host", proc->host().name()},

@@ -43,6 +43,179 @@ sim::Task<SpawnResult> Proc::spawn(const std::string& host_name, AppMain app,
   co_return result;
 }
 
+const char* spawn_strategy_name(SpawnStrategy strategy) {
+  return strategy == SpawnStrategy::kTree ? "tree" : "sequential";
+}
+
+std::optional<SpawnStrategy> spawn_strategy_from(std::string_view name) {
+  if (name == "sequential") {
+    return SpawnStrategy::kSequential;
+  }
+  if (name == "tree") {
+    return SpawnStrategy::kTree;
+  }
+  return std::nullopt;
+}
+
+namespace {
+
+/// Smallest power of two strictly greater than `node` — the stride of the
+/// node's first spawn round in the binomial tree.  Node c is created by
+/// node c - msb(c), so every child has exactly one spawner.
+int tree_first_stride(int node) {
+  int stride = 1;
+  while (stride <= node) {
+    stride *= 2;
+  }
+  return stride;
+}
+
+}  // namespace
+
+struct MpiSystem::MultiSpawnState {
+  explicit MultiSpawnState(sim::Engine& engine) : done(engine) {}
+
+  std::string parent_host;
+  std::vector<std::string> hosts;  // child j (1-based) lands on hosts[j-1]
+  std::string name;
+  std::vector<RankId> ids;  // per child, 0 until created
+  int remaining = 0;
+  int active_nodes = 0;  // node fibers still running (cancellation drain)
+  int max_depth = 0;
+  sim::Trigger done;
+  std::vector<sim::Fiber> fibers;
+  std::vector<RankId>* progress = nullptr;
+  std::shared_ptr<const SpawnCancel> cancel;
+
+  [[nodiscard]] bool cancelled() const {
+    return cancel && cancel->cancelled;
+  }
+};
+
+sim::Task<> MpiSystem::tree_spawn_node(std::shared_ptr<MultiSpawnState> state,
+                                       int node, int depth) {
+  const int total = static_cast<int>(state->hosts.size());
+  const std::string from =
+      node == 0 ? state->parent_host : state->hosts[node - 1];
+  for (int stride = tree_first_stride(node); node + stride <= total;
+       stride *= 2) {
+    if (state->cancelled()) {
+      break;
+    }
+    const int child = node + stride;
+    // Every handshake pays the full DPM cost, charged to the spawning
+    // node's host; rounds overlap because each created child immediately
+    // starts spawning its own subtree.
+    co_await sim::delay(*engine_, options_.spawn_overhead);
+    (void)co_await network_->transfer(from, state->hosts[child - 1], 512.0);
+    if (state->cancelled()) {
+      break;
+    }
+    Proc& proc =
+        create_proc(state->hosts[child - 1],
+                    state->name + "." + std::to_string(child - 1), false, "");
+    state->ids[child - 1] = proc.id();
+    if (state->progress != nullptr) {
+      state->progress->push_back(proc.id());
+    }
+    state->max_depth = std::max(state->max_depth, depth + 1);
+    if (--state->remaining == 0) {
+      state->done.fire();
+      break;
+    }
+    if (child + tree_first_stride(child) <= total) {
+      state->fibers.push_back(
+          sim::Fiber::spawn(*engine_, tree_spawn_node(state, child, depth + 1),
+                            "mpi-tree-spawn"));
+      ++state->active_nodes;
+    }
+  }
+  // A cancelled fan-out never exhausts `remaining`; the last node fiber to
+  // drain releases the waiting parent instead.
+  if (--state->active_nodes == 0 && state->cancelled()) {
+    state->done.fire();
+  }
+}
+
+sim::Task<MultiSpawnResult> Proc::spawn_many(
+    std::vector<std::string> hosts, AppMain app, std::string name,
+    SpawnStrategy strategy, std::vector<RankId>* progress,
+    std::shared_ptr<const SpawnCancel> cancel) {
+  MultiSpawnResult result;
+  if (hosts.empty()) {
+    co_return result;
+  }
+  auto state =
+      std::make_shared<MpiSystem::MultiSpawnState>(system_->engine());
+  state->parent_host = host_->name();
+  state->hosts = std::move(hosts);
+  state->name = std::move(name);
+  state->ids.resize(state->hosts.size(), 0);
+  state->remaining = static_cast<int>(state->hosts.size());
+  state->progress = progress;
+  state->cancel = std::move(cancel);
+
+  if (strategy == SpawnStrategy::kSequential) {
+    for (std::size_t i = 0; i < state->hosts.size(); ++i) {
+      if (state->cancelled()) {
+        break;
+      }
+      co_await sim::delay(system_->engine(),
+                          system_->options().spawn_overhead);
+      (void)co_await system_->network().transfer(state->parent_host,
+                                                 state->hosts[i], 512.0);
+      if (state->cancelled()) {
+        break;
+      }
+      Proc& child = system_->create_proc(
+          state->hosts[i], state->name + "." + std::to_string(i), false, "");
+      state->ids[i] = child.id();
+      if (progress != nullptr) {
+        progress->push_back(child.id());
+      }
+      --state->remaining;
+      ++result.rounds;
+    }
+  } else {
+    state->active_nodes = 1;
+    state->fibers.push_back(sim::Fiber::spawn(
+        system_->engine(), system_->tree_spawn_node(state, 0, 0),
+        "mpi-tree-spawn"));
+    co_await state->done.wait();
+    result.rounds = state->max_depth;
+  }
+  // Either way the fan-out is quiescent here (complete, or cancelled with
+  // every node fiber drained), so the handle vector holds only finished
+  // fibers.
+  state->fibers.clear();
+
+  if (state->remaining > 0) {
+    // Cancelled mid-flight: hand back the partial group without starting
+    // any application — the caller reaps the orphans.
+    for (const RankId id : state->ids) {
+      if (id != 0) {
+        result.children.push_back(id);
+      }
+    }
+    co_return result;
+  }
+  result.children = state->ids;
+  // The whole group exists: wire up the children's world and the mirrored
+  // parent/children intercommunicator, then start every child.  Starting
+  // together makes membership and app behaviour strategy-independent.
+  const Comm child_world = system_->make_comm(result.children);
+  auto [parent_view, child_view] =
+      system_->make_intercomm_pair({id_}, result.children);
+  result.intercomm = parent_view;
+  for (const RankId id : result.children) {
+    Proc* child = system_->find(id);
+    child->world_ = child_world;
+    child->parent_comm_ = child_view;
+    system_->start_app(*child, app);
+  }
+  co_return result;
+}
+
 std::string Proc::open_port() {
   const std::string port =
       host_->name() + ":" + std::to_string(40000 + system_->next_port_++);

@@ -89,6 +89,18 @@ Registry::Registry(host::Host& h, net::Network& network, Config config)
   if (config_.port == 0) {
     config_.port = network_->allocate_port(host_->name());
   }
+  if (config_.metrics != nullptr) {
+    // Pre-register the resize-planner series so exports are stable at zero
+    // (the malleable.* convention).
+    for (const char* verb : {"expand", "shrink"}) {
+      config_.metrics->counter("registry.resizes_commanded",
+                               {{"verb", verb}});
+    }
+    for (const char* outcome : {"committed", "aborted", "partial-rollback"}) {
+      config_.metrics->counter("registry.resize_outcomes",
+                               {{"outcome", outcome}});
+    }
+  }
 }
 
 Registry::~Registry() { stop(); }
@@ -417,19 +429,38 @@ void Registry::handle(const ProtocolMessage& message,
   }
   if (const auto* dereg =
           std::get_if<xmlproto::ProcessDeregisterMsg>(&message)) {
-    processes_.erase(process_key(dereg->host, dereg->pid));
+    // A deregister means the process left its host cleanly (finished or
+    // migrated away) — any relaunch queued for it is stale.
+    if (const auto it = processes_.find(process_key(dereg->host, dereg->pid));
+        it != processes_.end()) {
+      abandon_relaunch(it->second.name, "deregistered");
+      processes_.erase(it);
+    }
     return;
   }
   if (const auto* evac = std::get_if<xmlproto::EvacuateMsg>(&message)) {
     request_evacuation(evac->host, evac->reason);
     return;
   }
-  if (std::get_if<xmlproto::AckMsg>(&message) != nullptr) {
-    return;  // commander acknowledgements: informational
+  if (const auto* ack = std::get_if<xmlproto::AckMsg>(&message)) {
+    // Commander acknowledgements are informational except one: a relaunch
+    // rejected because the process already exited normally.  Retrying that
+    // forever would park finished work on the stranded list until the
+    // horizon — abandon it instead.
+    if (ack->of == "relaunch" && !ack->ok &&
+        ack->detail.rfind("exited:", 0) == 0) {
+      abandon_relaunch(ack->detail.substr(7), "exited");
+    }
+    return;
   }
   if (const auto* outcome =
           std::get_if<xmlproto::MigrationOutcomeMsg>(&message)) {
     on_migration_outcome(*outcome, ctx);
+    return;
+  }
+  if (const auto* resize =
+          std::get_if<xmlproto::ResizeOutcomeMsg>(&message)) {
+    on_resize_outcome(*resize, ctx);
     return;
   }
   if (const auto* health = std::get_if<xmlproto::HealthReportMsg>(&message)) {
@@ -490,6 +521,248 @@ sim::Task<> Registry::sweep() {
         }
       }
     }
+    plan_resizes(now);
+  }
+}
+
+void Registry::register_malleable_job(const std::string& name,
+                                      const std::string& root_host,
+                                      int ranks, int min_ranks, int max_ranks,
+                                      const std::string& strategy) {
+  MalleableJobEntry entry;
+  entry.name = name;
+  entry.root_host = root_host;
+  entry.ranks = ranks;
+  entry.min_ranks = min_ranks;
+  entry.max_ranks = max_ranks;
+  entry.strategy = strategy;
+  malleable_jobs_.insert_or_assign(name, std::move(entry));
+}
+
+void Registry::plan_resizes(const double now) {
+  if (!config_.enable_resize) {
+    return;
+  }
+  // Membership census.  Load averages lag a fresh worker by tens of
+  // seconds, so a host can sit on the free index while it is in fact
+  // saturated; the planner therefore reasons from rank placement directly:
+  // `occupied` hosts are never expand targets, and hosts shared by two
+  // jobs shed the larger one without waiting for loadavg to confirm the
+  // crowding.
+  std::set<std::string> occupied;
+  std::map<std::string, std::vector<std::string>> residents;  // host -> jobs
+  std::map<std::string, std::vector<std::string>> members_of;
+  if (config_.job_hosts) {
+    for (const auto& [jname, jentry] : malleable_jobs_) {
+      (void)jentry;
+      std::vector<std::string> hosts = config_.job_hosts(jname);
+      for (const std::string& h : hosts) {
+        occupied.insert(h);
+        residents[h].push_back(jname);
+      }
+      members_of.emplace(jname, std::move(hosts));
+    }
+  }
+  std::set<std::string> victims_taken;  // at most one shed per host per sweep
+  for (auto& [name, job] : malleable_jobs_) {
+    if (job.resizing || now - job.last_resize_at < config_.resize_cooldown) {
+      continue;
+    }
+    const auto root = hosts_.find(job.root_host);
+    if (root == hosts_.end() || root->second.commander_port == 0 ||
+        root->second.state == SystemState::kUnavailable) {
+      continue;  // no command path to the job's root
+    }
+    const std::vector<std::string>& my_hosts = members_of[name];
+    const std::set<std::string> member_hosts(my_hosts.begin(), my_hosts.end());
+    std::vector<std::string> victims;
+    const int shrinkable = job.ranks - job.min_ranks;
+    // Crowding: a host carrying ranks of two jobs sheds the strictly
+    // largest one (ties break on name), immediately — barrier-synchronized
+    // SPMD jobs straggle on the slowest member, so one shared host halves
+    // both jobs until it is repaired.
+    for (const std::string& h : my_hosts) {
+      if (static_cast<int>(victims.size()) >= shrinkable) {
+        break;
+      }
+      if (h == job.root_host || victims_taken.count(h) != 0) {
+        continue;
+      }
+      const std::vector<std::string>& who = residents[h];
+      if (who.size() < 2) {
+        continue;
+      }
+      bool shed = true;
+      for (const std::string& other : who) {
+        if (other == name) {
+          continue;
+        }
+        const MalleableJobEntry& peer = malleable_jobs_.at(other);
+        if (peer.ranks > job.ranks ||
+            (peer.ranks == job.ranks && other > name)) {
+          shed = false;  // the bigger resident sheds instead
+          break;
+        }
+      }
+      if (shed) {
+        victims.push_back(h);
+        victims_taken.insert(h);
+      }
+    }
+    // Pressure: member hosts sitting on the overloaded index shed their
+    // rank (the malleable analogue of a migration consult).
+    for (const HostEntry* entry =
+             index_[state_slot(SystemState::kOverloaded)].head;
+         entry != nullptr && static_cast<int>(victims.size()) < shrinkable;
+         entry = entry->index_next) {
+      if (entry->info.host != job.root_host &&
+          victims_taken.count(entry->info.host) == 0 &&
+          member_hosts.count(entry->info.host) != 0) {
+        victims.push_back(entry->info.host);
+        victims_taken.insert(entry->info.host);
+      }
+    }
+    if (!victims.empty()) {
+      command_resize(job, "shrink", std::move(victims), now);
+      continue;
+    }
+    // Slack: free hosts not already carrying a rank of this job (and not
+    // already debited by another in-flight placement) take one new rank
+    // each, up to the per-command step.
+    if (job.ranks >= job.max_ranks) {
+      continue;
+    }
+    const int step = std::min(config_.max_expand_step,
+                              job.max_ranks - job.ranks);
+    std::vector<std::string> targets;
+    for (const HostEntry* entry = index_[state_slot(SystemState::kFree)].head;
+         entry != nullptr && static_cast<int>(targets.size()) < step;
+         entry = entry->index_next) {
+      const std::string& candidate = entry->info.host;
+      if (candidate == job.root_host || occupied.count(candidate) != 0 ||
+          entry->draining || !entry->status_seen ||
+          entry->suspect_until > now) {
+        continue;
+      }
+      const bool debited = std::any_of(
+          inflight_.begin(), inflight_.end(),
+          [&](const PlacementDebit& d) { return d.dest == candidate; });
+      if (debited) {
+        continue;
+      }
+      targets.push_back(candidate);
+    }
+    if (!targets.empty()) {
+      command_resize(job, "expand", std::move(targets), now);
+    }
+  }
+}
+
+void Registry::command_resize(MalleableJobEntry& job, const std::string& verb,
+                              std::vector<std::string> hosts,
+                              const double now) {
+  const auto root = hosts_.find(job.root_host);
+  if (root == hosts_.end() || root->second.commander_port == 0) {
+    return;
+  }
+  obs::TraceCtx ctx;
+  if (obs::active(config_.tracer)) {
+    ctx.txn = config_.tracer->new_txn();
+  }
+  xmlproto::ResizeCmd cmd;
+  cmd.job = job.name;
+  cmd.verb = verb;
+  cmd.delta = static_cast<int>(hosts.size());
+  cmd.strategy = job.strategy;
+  cmd.hosts = hosts;
+  if (verb == "expand") {
+    // Debit each target so parallel planning rounds spread placements
+    // instead of piling onto the same slack host; the outcome report
+    // credits them back, exactly like a migration's PlacementDebit.
+    for (const std::string& target : hosts) {
+      debit_placement("resize:" + job.name + ":" + target, target, "");
+    }
+    job.pending_targets = hosts;
+  } else {
+    job.pending_targets.clear();
+  }
+  job.resizing = true;
+  job.last_resize_at = now;
+  ++resizes_commanded_;
+  if (config_.metrics != nullptr) {
+    config_.metrics->counter("registry.resizes_commanded", {{"verb", verb}})
+        .inc();
+  }
+  if (obs::active(config_.tracer)) {
+    obs::Attrs attrs{{"job", job.name},
+                     {"verb", verb},
+                     {"delta", static_cast<double>(cmd.delta)},
+                     {"root", job.root_host}};
+    obs::stamp(attrs, ctx);
+    config_.tracer->instant("registry.resize_commanded", "scheduler",
+                            host_->name(), std::move(attrs));
+  }
+  ARS_LOG_INFO("registry", "commanding " << verb << "(" << job.name << ", "
+                                         << cmd.delta << ") via "
+                                         << job.root_host);
+  send_to(job.root_host, root->second.commander_port, cmd, ctx);
+}
+
+void Registry::on_resize_outcome(const xmlproto::ResizeOutcomeMsg& outcome,
+                                 obs::TraceCtx ctx) {
+  const double now = host_->engine().now();
+  if (config_.metrics != nullptr) {
+    config_.metrics
+        ->counter("registry.resize_outcomes", {{"outcome", outcome.outcome}})
+        .inc();
+  }
+  if (obs::active(config_.tracer)) {
+    obs::Attrs attrs{{"job", outcome.job},
+                     {"verb", outcome.verb},
+                     {"outcome", outcome.outcome},
+                     {"reason", outcome.reason},
+                     {"ranks_after", static_cast<double>(outcome.ranks_after)}};
+    obs::stamp(attrs, ctx);
+    config_.tracer->instant("registry.resize_outcome", "scheduler",
+                            host_->name(), std::move(attrs));
+  }
+  // Credit every per-target debit of this job's in-flight command.
+  const std::string prefix = "resize:" + outcome.job + ":";
+  const std::size_t before = inflight_.size();
+  std::erase_if(inflight_, [&](const PlacementDebit& debit) {
+    return debit.process.rfind(prefix, 0) == 0;
+  });
+  if (inflight_.size() != before && config_.metrics != nullptr) {
+    config_.metrics->counter("registry.placements_credited")
+        .inc(static_cast<double>(before - inflight_.size()));
+    config_.metrics->gauge("registry.placements_inflight")
+        .set(static_cast<double>(inflight_.size()));
+  }
+  const auto it = malleable_jobs_.find(outcome.job);
+  if (it == malleable_jobs_.end()) {
+    return;
+  }
+  MalleableJobEntry& job = it->second;
+  job.resizing = false;
+  if (outcome.ranks_after > 0) {
+    job.ranks = outcome.ranks_after;
+  }
+  if (outcome.outcome != "committed" && outcome.phase != "plan") {
+    // Failed expand targets back off as spawn destinations, exactly like a
+    // failed migration destination.  Plan-phase rejections never touched
+    // the targets, so they stay in good standing.
+    for (const std::string& target : job.pending_targets) {
+      if (const auto hit = hosts_.find(target); hit != hosts_.end()) {
+        hit->second.suspect_until = now + config_.suspect_backoff;
+        if (config_.metrics != nullptr) {
+          config_.metrics->counter("registry.hosts_suspected").inc();
+        }
+      }
+    }
+  }
+  job.pending_targets.clear();
+  if (outcome.reason == "job-finished" || outcome.reason == "job-failed") {
+    malleable_jobs_.erase(it);  // terminal: stop planning resizes for it
   }
 }
 
@@ -650,10 +923,47 @@ bool Registry::restart_process(const ProcessEntry& process,
   return true;
 }
 
+void Registry::abandon_relaunch(const std::string& process_name,
+                                const std::string& reason) {
+  const auto dropped =
+      std::erase_if(stranded_, [&](const ProcessEntry& process) {
+        return process.name == process_name;
+      }) +
+      std::erase_if(pending_relaunches_, [&](const PendingRelaunch& pending) {
+        return pending.process.name == process_name;
+      });
+  if (dropped == 0) {
+    return;
+  }
+  ARS_LOG_INFO("registry", "abandoning relaunch of " << process_name << " ("
+                                                     << reason << ")");
+  if (config_.metrics != nullptr) {
+    config_.metrics->counter("registry.relaunches_abandoned").inc();
+  }
+  if (obs::active(config_.tracer)) {
+    config_.tracer->instant(
+        "registry.relaunch_abandoned", "scheduler", host_->name(),
+        {{"process", process_name}, {"reason", reason}});
+  }
+}
+
 void Registry::drain_stranded() {
   if (stranded_.empty()) {
     return;
   }
+  // A stranded process a monitor has re-reported is alive again (an earlier
+  // relaunch landed, or the lease expiry was spurious) — its retry is done.
+  std::erase_if(stranded_, [&](const ProcessEntry& process) {
+    for (const auto& [key, entry] : processes_) {
+      if (entry.name == process.name) {
+        if (config_.metrics != nullptr) {
+          config_.metrics->counter("registry.stranded_recovered").inc();
+        }
+        return true;
+      }
+    }
+    return false;
+  });
   RecoveryRound round;
   std::vector<ProcessEntry> still;
   still.reserve(stranded_.size());

@@ -292,6 +292,33 @@ struct Encoder {
       put(root, "phase", m.phase);
     }
   }
+  void operator()(const ResizeCmd& m) const {
+    root.set_attr("type", "resize");
+    put(root, "job", m.job);
+    put(root, "verb", m.verb);
+    put(root, "delta", m.delta);
+    if (!m.strategy.empty()) {
+      put(root, "strategy", m.strategy);
+    }
+    for (const std::string& host : m.hosts) {
+      put(root, "target", host);
+    }
+  }
+  void operator()(const ResizeOutcomeMsg& m) const {
+    root.set_attr("type", "resize_outcome");
+    put(root, "job", m.job);
+    put(root, "verb", m.verb);
+    put(root, "delta", m.delta);
+    put(root, "outcome", m.outcome);
+    put(root, "ranks_after", m.ranks_after);
+    // Same compact-commit rule as MigrationOutcomeMsg.
+    if (!m.reason.empty()) {
+      put(root, "reason", m.reason);
+    }
+    if (!m.phase.empty()) {
+      put(root, "phase", m.phase);
+    }
+  }
 };
 
 // ---- per-type decoders ----------------------------------------------------
@@ -473,6 +500,46 @@ Expected<ProtocolMessage> decode_migration_outcome(const XmlNode& root) {
   return ProtocolMessage{m};
 }
 
+Expected<ProtocolMessage> decode_resize(const XmlNode& root) {
+  ResizeCmd m;
+  auto job = need_text(root, "job");
+  if (!job.has_value()) return job.error();
+  m.job = *job;
+  auto verb = need_text(root, "verb");
+  if (!verb.has_value()) return verb.error();
+  m.verb = *verb;
+  auto delta = need_int(root, "delta");
+  if (!delta.has_value()) return delta.error();
+  m.delta = static_cast<int>(*delta);
+  m.strategy = root.child_text_or("strategy", "");
+  for (const XmlNode* n : root.children_named("target")) {
+    m.hosts.push_back(n->text());
+  }
+  return ProtocolMessage{m};
+}
+
+Expected<ProtocolMessage> decode_resize_outcome(const XmlNode& root) {
+  ResizeOutcomeMsg m;
+  auto job = need_text(root, "job");
+  if (!job.has_value()) return job.error();
+  m.job = *job;
+  auto verb = need_text(root, "verb");
+  if (!verb.has_value()) return verb.error();
+  m.verb = *verb;
+  auto delta = need_int(root, "delta");
+  if (!delta.has_value()) return delta.error();
+  m.delta = static_cast<int>(*delta);
+  auto outcome = need_text(root, "outcome");
+  if (!outcome.has_value()) return outcome.error();
+  m.outcome = *outcome;
+  auto ranks = need_int(root, "ranks_after");
+  if (!ranks.has_value()) return ranks.error();
+  m.ranks_after = static_cast<int>(*ranks);
+  m.reason = root.child_text_or("reason", "");
+  m.phase = root.child_text_or("phase", "");
+  return ProtocolMessage{m};
+}
+
 Expected<ProtocolMessage> decode_recommend(const XmlNode& root) {
   RecommendMsg m;
   auto found = need_bool(root, "found");
@@ -508,6 +575,8 @@ Expected<ProtocolMessage> decode_root(const XmlNode& root) {
       {"evacuate", decode_evacuate},
       {"relaunch", decode_relaunch},
       {"migration_outcome", decode_migration_outcome},
+      {"resize", decode_resize},
+      {"resize_outcome", decode_resize_outcome},
   };
   const auto it = kDecoders.find(*type);
   if (it == kDecoders.end()) {
@@ -561,6 +630,10 @@ std::string message_type(const ProtocolMessage& message) {
     std::string operator()(const RelaunchCmd&) const { return "relaunch"; }
     std::string operator()(const MigrationOutcomeMsg&) const {
       return "migration_outcome";
+    }
+    std::string operator()(const ResizeCmd&) const { return "resize"; }
+    std::string operator()(const ResizeOutcomeMsg&) const {
+      return "resize_outcome";
     }
   };
   return std::visit(Namer{}, message);

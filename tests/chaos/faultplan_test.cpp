@@ -30,7 +30,8 @@ TEST(FaultPlanTest, KindStringsRoundTrip) {
        {FaultKind::kMessageLoss, FaultKind::kMessageDuplicate,
         FaultKind::kMessageDelay, FaultKind::kLinkDegrade,
         FaultKind::kPartition, FaultKind::kHostCrash, FaultKind::kCpuSlowdown,
-        FaultKind::kMonitorStall, FaultKind::kRegistryCrash}) {
+        FaultKind::kMonitorStall, FaultKind::kRegistryCrash,
+        FaultKind::kResizeStall, FaultKind::kResizeTargetCrash}) {
     const auto parsed = fault_kind_from_string(to_string(kind));
     ASSERT_TRUE(parsed.has_value()) << to_string(kind);
     EXPECT_EQ(*parsed, kind);

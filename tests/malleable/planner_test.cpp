@@ -1,0 +1,118 @@
+// Registry-driven malleability: the sweep plans expand commands into free
+// capacity and shrink commands off overloaded member hosts, the commander
+// forwards them to the malleable engine, and the terminal outcome credits
+// the resize placement debits — the full closed loop.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "ars/core/runtime.hpp"
+#include "ars/host/hog.hpp"
+#include "ars/rules/policy.hpp"
+
+namespace ars::core {
+namespace {
+
+malleable::JobSpec long_job(const std::string& name) {
+  malleable::JobSpec spec;
+  spec.name = name;
+  spec.workload.blocks = 32;
+  spec.workload.work_per_block = 0.4;
+  spec.workload.bytes_per_block = 1.0e5;
+  spec.workload.iterations = 60;
+  spec.min_ranks = 1;
+  spec.max_ranks = 16;
+  return spec;
+}
+
+TEST(ResizePlanner, ExpandsIntoFreeCapacity) {
+  ClusterConfig config = make_cluster(6, rules::paper_policy2());
+  config.enable_resize_planner = true;
+  config.resize_cooldown = 10.0;
+  ReschedulerRuntime runtime{config};
+  runtime.start_rescheduler();
+  runtime.launch_malleable_job(long_job("job"), {"ws1", "ws2"});
+  runtime.run_until(120.0);
+
+  // The sweep found idle workstations and grew the job into them.
+  EXPECT_GT(runtime.scheduler().resizes_commanded(), 0);
+  EXPECT_GT(runtime.malleable().ranks("job"), 2);
+  const auto& history = runtime.malleable().history();
+  const bool committed_expand = std::any_of(
+      history.begin(), history.end(), [](const malleable::ResizeOutcome& o) {
+        return o.verb == malleable::ResizeVerb::kExpand &&
+               o.outcome == malleable::kCommitted;
+      });
+  EXPECT_TRUE(committed_expand);
+  // The registry's view of the live job tracked the outcome reports.
+  {
+    const auto& jobs = runtime.scheduler().malleable_jobs();
+    ASSERT_EQ(jobs.count("job"), 1U);
+    EXPECT_EQ(jobs.at("job").ranks, runtime.malleable().ranks("job"));
+  }
+
+  runtime.run_until(600.0);
+  EXPECT_TRUE(runtime.malleable().finished("job"));
+  // Once the commander reports the job finished, the registry forgets it —
+  // a stale entry would read its last world as occupied forever.
+  EXPECT_EQ(runtime.scheduler().malleable_jobs().count("job"), 0U);
+  // Every resize debit was credited back by its outcome.
+  EXPECT_EQ(runtime.scheduler().inflight_placements(), 0U);
+}
+
+TEST(ResizePlanner, ShrinksOffOverloadedMemberHosts) {
+  ClusterConfig config = make_cluster(4, rules::paper_policy2());
+  config.enable_resize_planner = true;
+  config.resize_cooldown = 10.0;
+  ReschedulerRuntime runtime{config};
+  runtime.start_rescheduler();
+  auto spec = long_job("job");
+  spec.max_ranks = 3;  // no expand headroom: isolate the shrink path
+  runtime.launch_malleable_job(spec, {"ws1", "ws2", "ws3"});
+  // External load storms ws3: the planner must shed the job's rank there.
+  host::CpuHog hog{runtime.host("ws3"), {.threads = 3}};
+  runtime.engine().schedule_at(30.0, [&] { hog.start(); });
+  runtime.run_until(600.0);
+
+  const auto& history = runtime.malleable().history();
+  const bool committed_shrink = std::any_of(
+      history.begin(), history.end(), [](const malleable::ResizeOutcome& o) {
+        return o.verb == malleable::ResizeVerb::kShrink &&
+               o.outcome == malleable::kCommitted;
+      });
+  EXPECT_TRUE(committed_shrink);
+  const auto hosts = runtime.malleable().rank_hosts("job");
+  EXPECT_EQ(std::find(hosts.begin(), hosts.end(), "ws3"), hosts.end());
+  EXPECT_EQ(runtime.scheduler().inflight_placements(), 0U);
+}
+
+TEST(ResizePlanner, DisabledPlannerNeverCommands) {
+  ClusterConfig config = make_cluster(6, rules::paper_policy2());
+  config.enable_resize_planner = false;  // default, but explicit here
+  ReschedulerRuntime runtime{config};
+  runtime.start_rescheduler();
+  auto spec = long_job("job");
+  spec.workload.iterations = 20;
+  runtime.launch_malleable_job(spec, {"ws1", "ws2"});
+  runtime.run_until(400.0);
+  EXPECT_EQ(runtime.scheduler().resizes_commanded(), 0);
+  EXPECT_EQ(runtime.malleable().ranks("job"), 2);
+}
+
+TEST(ResizePlanner, MalleableMetricsExportAtZero) {
+  // A runtime that never resizes still exports the full malleable.* and
+  // registry resize schema (stable dashboards, PR 5 convention).
+  ClusterConfig config = make_cluster(2, rules::paper_policy2());
+  ReschedulerRuntime runtime{config};
+  const std::string json = runtime.metrics().to_json();
+  for (const char* name :
+       {"malleable.resizes", "malleable.resize_failures",
+        "malleable.ranks_spawned", "registry.resizes_commanded",
+        "registry.resize_outcomes"}) {
+    EXPECT_NE(json.find(name), std::string::npos) << name;
+  }
+}
+
+}  // namespace
+}  // namespace ars::core

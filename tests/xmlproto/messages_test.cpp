@@ -252,11 +252,84 @@ TEST(Messages, MigrationOutcomeRejectsMissingFields) {
                    .has_value());
 }
 
+TEST(Messages, ResizeCmdRoundTrip) {
+  ResizeCmd m;
+  m.job = "stencil";
+  m.verb = "expand";
+  m.delta = 3;
+  m.strategy = "tree";
+  m.hosts = {"ws4", "ws5", "ws6"};
+  const ResizeCmd back = round_trip(m);
+  EXPECT_EQ(back.job, "stencil");
+  EXPECT_EQ(back.verb, "expand");
+  EXPECT_EQ(back.delta, 3);
+  EXPECT_EQ(back.strategy, "tree");
+  EXPECT_EQ(back.hosts, m.hosts);
+}
+
+TEST(Messages, ShrinkCmdWithoutHostsRoundTrip) {
+  ResizeCmd m;
+  m.job = "stencil";
+  m.verb = "shrink";
+  m.delta = 2;
+  const ResizeCmd back = round_trip(m);
+  EXPECT_EQ(back.verb, "shrink");
+  EXPECT_EQ(back.delta, 2);
+  EXPECT_TRUE(back.hosts.empty());
+  EXPECT_TRUE(back.strategy.empty());
+}
+
+TEST(Messages, ResizeOutcomeRoundTrip) {
+  ResizeOutcomeMsg m;
+  m.job = "stencil";
+  m.verb = "expand";
+  m.delta = 3;
+  m.outcome = "aborted";
+  m.reason = "spawn-timeout";
+  m.phase = "spawn";
+  m.ranks_after = 4;
+  const ResizeOutcomeMsg back = round_trip(m);
+  EXPECT_EQ(back.job, "stencil");
+  EXPECT_EQ(back.verb, "expand");
+  EXPECT_EQ(back.delta, 3);
+  EXPECT_EQ(back.outcome, "aborted");
+  EXPECT_EQ(back.reason, "spawn-timeout");
+  EXPECT_EQ(back.phase, "spawn");
+  EXPECT_EQ(back.ranks_after, 4);
+}
+
+TEST(Messages, CommittedResizeOutcomeOmitsFailureDetail) {
+  ResizeOutcomeMsg m;
+  m.job = "stencil";
+  m.verb = "shrink";
+  m.delta = 1;
+  m.outcome = "committed";
+  m.ranks_after = 3;
+  const std::string wire = encode(ProtocolMessage{m});
+  EXPECT_EQ(wire.find("reason"), std::string::npos);
+  EXPECT_EQ(wire.find("phase"), std::string::npos);
+  const ResizeOutcomeMsg back = round_trip(m);
+  EXPECT_EQ(back.outcome, "committed");
+  EXPECT_TRUE(back.reason.empty());
+  EXPECT_EQ(back.ranks_after, 3);
+}
+
+TEST(Messages, ResizeRejectsMissingFields) {
+  EXPECT_FALSE(decode("<ars type=\"resize\"/>").has_value());
+  EXPECT_FALSE(decode("<ars type=\"resize_outcome\"/>").has_value());
+  EXPECT_FALSE(decode("<ars type=\"resize\">"
+                      "<job>j</job><verb>expand</verb></ars>")
+                   .has_value());
+}
+
 TEST(Messages, MessageTypeNames) {
   EXPECT_EQ(message_type(ProtocolMessage{RegisterMsg{}}), "register");
   EXPECT_EQ(message_type(ProtocolMessage{UpdateMsg{}}), "update");
   EXPECT_EQ(message_type(ProtocolMessage{MigrateCmd{}}), "migrate");
   EXPECT_EQ(message_type(ProtocolMessage{RecommendMsg{}}), "recommend");
+  EXPECT_EQ(message_type(ProtocolMessage{ResizeCmd{}}), "resize");
+  EXPECT_EQ(message_type(ProtocolMessage{ResizeOutcomeMsg{}}),
+            "resize_outcome");
 }
 
 TEST(Messages, DecodeRejectsGarbage) {

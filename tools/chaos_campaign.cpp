@@ -71,6 +71,8 @@ struct CampaignOptions {
   int replay_passing = 3;  // additionally replay this many passing seeds
   bool sabotage_lease_expiry = false;
   bool sabotage_migration_rollback = false;
+  int malleable_jobs = 0;
+  bool sabotage_resize_rollback = false;
   bool verify_scan_equivalence = false;
   bool delta_heartbeats = false;
   std::string out_path;
@@ -87,6 +89,9 @@ struct SeedResult {
   std::size_t migrations_succeeded = 0;
   std::size_t migrations_aborted = 0;
   std::size_t migrations_rolled_back = 0;
+  std::size_t resizes_committed = 0;
+  std::size_t resizes_aborted = 0;
+  std::size_t resizes_rolled_back = 0;
   std::uint64_t messages_dropped = 0;
   std::size_t decisions = 0;
   std::uint64_t decision_log_hash = 0;
@@ -121,6 +126,7 @@ std::optional<std::string> arg_value(const std::string& arg,
             << "         [--apps=N] [--horizon=T] [--replay-passing=N]\n"
             << "         [--sabotage-lease-expiry]\n"
             << "         [--sabotage-migration-rollback]\n"
+            << "         [--malleable-jobs=N] [--sabotage-resize-rollback]\n"
             << "         [--verify-scan-equivalence]\n"
             << "         [--delta-heartbeats] [--out=report.json]\n"
             << "         [--bundle-dir=DIR] [--trace-dir=DIR]\n"
@@ -164,6 +170,8 @@ ScenarioOptions make_scenario(const CampaignOptions& options,
   scenario.plan = plan;
   scenario.sabotage_lease_expiry = options.sabotage_lease_expiry;
   scenario.sabotage_migration_rollback = options.sabotage_migration_rollback;
+  scenario.malleable_jobs = options.malleable_jobs;
+  scenario.sabotage_resize_rollback = options.sabotage_resize_rollback;
   scenario.delta_heartbeats = options.delta_heartbeats;
   scenario.legacy_scan = legacy_scan;
   // Equivalence runs compare the two scan modes, so the audit (which itself
@@ -218,6 +226,9 @@ PlanResult sweep_plan(const CampaignOptions& options, const FaultPlan& plan) {
     seed_result.migrations_succeeded = report.migrations_succeeded;
     seed_result.migrations_aborted = report.migrations_aborted;
     seed_result.migrations_rolled_back = report.migrations_rolled_back;
+    seed_result.resizes_committed = report.resizes_committed;
+    seed_result.resizes_aborted = report.resizes_aborted;
+    seed_result.resizes_rolled_back = report.resizes_rolled_back;
     seed_result.messages_dropped = report.messages_dropped;
     seed_result.decisions = report.decisions;
     seed_result.decision_log_hash = report.decision_log_hash;
@@ -355,6 +366,12 @@ ars::obs::JsonValue to_json(const PlanResult& result) {
         static_cast<double>(seed.migrations_aborted)};
     seed_object["migrations_rolled_back"] = ars::obs::JsonValue{
         static_cast<double>(seed.migrations_rolled_back)};
+    seed_object["resizes_committed"] = ars::obs::JsonValue{
+        static_cast<double>(seed.resizes_committed)};
+    seed_object["resizes_aborted"] =
+        ars::obs::JsonValue{static_cast<double>(seed.resizes_aborted)};
+    seed_object["resizes_rolled_back"] = ars::obs::JsonValue{
+        static_cast<double>(seed.resizes_rolled_back)};
     seed_object["messages_dropped"] =
         ars::obs::JsonValue{static_cast<double>(seed.messages_dropped)};
     seed_object["decisions"] =
@@ -438,6 +455,10 @@ int main(int argc, char** argv) {
       options.sabotage_lease_expiry = true;
     } else if (arg == "--sabotage-migration-rollback") {
       options.sabotage_migration_rollback = true;
+    } else if (arg == "--sabotage-resize-rollback") {
+      options.sabotage_resize_rollback = true;
+    } else if (auto mjobs = arg_value(arg, "--malleable-jobs")) {
+      options.malleable_jobs = std::stoi(*mjobs);
     } else if (arg == "--verify-scan-equivalence") {
       options.verify_scan_equivalence = true;
     } else if (arg == "--delta-heartbeats") {
