@@ -188,6 +188,66 @@ void BM_FullMigration(benchmark::State& state) {
 }
 BENCHMARK(BM_FullMigration);
 
+void BM_FullMigrationLargeState(benchmark::State& state) {
+  // Simulated freeze window (seconds the application is stopped) for one
+  // migration of a large block-structured state: Arg(0) = stop-and-copy,
+  // Arg(1) = iterative pre-copy.  Manual time is *simulated* seconds, so
+  // the numbers — and the precopy_freeze_reduction ratio derived from them
+  // — are stable across machines.  --state-mb=N overrides the default
+  // 8 MiB state (the pinned baseline configuration).
+  const bool precopy = state.range(0) != 0;
+  const int state_mb =
+      bench::bench_state_mb() > 0 ? bench::bench_state_mb() : 8;
+  const int blocks = state_mb * 4;             // 256 KiB blocks
+  constexpr int kBlockDoubles = 32 * 1024;     // 256 KiB of doubles
+  for (auto _ : state) {
+    Cluster cluster{2};
+    hpcm::MigrationEngine::Options options;
+    options.precopy = precopy;
+    hpcm::MigrationEngine middleware{cluster.mpi, options};
+    auto app = [blocks](mpi::Proc& proc,
+                        hpcm::MigrationContext& ctx) -> sim::Task<> {
+      std::int64_t i = ctx.restored() ? *ctx.state().get_int("i") : 0;
+      std::vector<std::vector<double>> data(
+          static_cast<std::size_t>(blocks),
+          std::vector<double>(kBlockDoubles, 0.0));
+      if (ctx.restored()) {
+        for (int b = 0; b < blocks; ++b) {
+          data[static_cast<std::size_t>(b)] =
+              *ctx.state().get_doubles("block" + std::to_string(b));
+        }
+      }
+      ctx.on_save([&ctx, &i, &data, blocks] {
+        ctx.state().set_int("i", i);
+        for (int b = 0; b < blocks; ++b) {
+          ctx.state().set_doubles("block" + std::to_string(b),
+                                  data[static_cast<std::size_t>(b)]);
+        }
+      });
+      for (; i < 30; ++i) {
+        co_await ctx.poll_point();
+        co_await proc.compute(1.0);
+        // One block rewritten per iteration: the write set pre-copy chases.
+        data[static_cast<std::size_t>(i) %
+             static_cast<std::size_t>(blocks)][0] += 1.0;
+      }
+    };
+    hpcm::ApplicationSchema schema{"bench"};
+    const auto id = middleware.launch("ws1", app, "bench", schema);
+    cluster.engine.schedule_at(5.0, [&middleware, id] {
+      middleware.request_migration(id, "ws2");
+    });
+    cluster.run_to_completion();
+    if (middleware.history().empty() ||
+        !middleware.history().front().succeeded) {
+      state.SkipWithError("migration did not complete");
+      break;
+    }
+    state.SetIterationTime(middleware.history().front().freeze_window());
+  }
+}
+BENCHMARK(BM_FullMigrationLargeState)->Arg(0)->Arg(1)->UseManualTime();
+
 }  // namespace
 
 ARS_BENCH_MAIN();

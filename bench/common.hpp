@@ -151,8 +151,22 @@ inline std::string& bench_cluster_plan() {
   return path;
 }
 
-/// Consume a --shards=N / --cluster-plan=FILE flag; returns true when `arg`
-/// was one (rewrite_gbench_args strips them like the obs flags).
+/// Migratable-state size for the migration benchmarks, in MiB:
+/// --state-mb=N (or ARS_BENCH_STATE_MB).  0 means "use the benchmark's
+/// default size" — the pinned baseline configuration.
+inline int& bench_state_mb() {
+  static int mb = [] {
+    if (const char* env = std::getenv("ARS_BENCH_STATE_MB")) {
+      return std::atoi(env);
+    }
+    return 0;
+  }();
+  return mb;
+}
+
+/// Consume a --shards=N / --cluster-plan=FILE / --state-mb=N flag; returns
+/// true when `arg` was one (rewrite_gbench_args strips them like the obs
+/// flags).
 inline bool consume_shard_flag(std::string_view arg) {
   if (arg.starts_with("--shards=")) {
     bench_shards() = std::atoi(std::string(arg.substr(sizeof("--shards=") - 1)).c_str());
@@ -160,6 +174,10 @@ inline bool consume_shard_flag(std::string_view arg) {
   }
   if (arg.starts_with("--cluster-plan=")) {
     bench_cluster_plan() = arg.substr(sizeof("--cluster-plan=") - 1);
+    return true;
+  }
+  if (arg.starts_with("--state-mb=")) {
+    bench_state_mb() = std::atoi(std::string(arg.substr(sizeof("--state-mb=") - 1)).c_str());
     return true;
   }
   return false;

@@ -40,6 +40,9 @@ enum class FaultKind {
   kMigrationLinkCut,    // sever the source<->destination link when a
                         // migration reaches `phase`; heal after `delay`
                         // seconds (or at `until` when delay == 0)
+  kMigrationPrecopyStall,  // stall every pre-copy round entered inside
+                           // [at, until) by `delay` seconds — drives the
+                           // round into its timeout and the abort path
   // Resize-window faults: aimed at malleable jobs' grow/shrink
   // transactions instead of migrations.
   kResizeStall,        // stall every resize `phase` ("spawn" |
@@ -66,8 +69,9 @@ struct FaultSpec {
   double probability = 1.0;  // per-message, for the message faults
   double factor = 1.0;       // bandwidth or CPU multiplier
   double delay = 0.0;        // extra seconds, for kMessageDelay
-  /// Migration-window faults only: the transaction phase ("init", "eager",
-  /// "ack", "restore") that triggers the fault.  Empty matches every phase.
+  /// Migration-window faults only: the transaction phase ("init",
+  /// "precopy", "eager", "ack", "restore") that triggers the fault.  Empty
+  /// matches every phase.
   std::string phase;
 
   [[nodiscard]] bool permanent() const noexcept { return until < 0.0; }
@@ -110,6 +114,11 @@ class FaultPlan {
                                 double probability = 1.0,
                                 double heal_after = 5.0,
                                 std::string dest = "*");
+  /// Stall every pre-copy round started inside [at, until) by
+  /// `stall_seconds` — long stalls drive the round into its timeout and
+  /// exercise the abort-to-source path with rounds already shipped.
+  FaultPlan& migration_precopy_stall(double at, double until,
+                                     double stall_seconds);
   /// Stall every resize `phase` ("spawn" | "redistribute") entered inside
   /// [at, until) by `stall_seconds` — long stalls drive the phase into its
   /// timeout and exercise the abort/rollback paths.

@@ -40,6 +40,7 @@ class FaultInjector final : public net::FaultPolicy {
     int link_degrades = 0;
     int migration_dest_crashes = 0;  // destinations killed mid-transaction
     int migration_link_cuts = 0;     // src<->dst links severed mid-transfer
+    int migration_precopy_stalls = 0;  // pre-copy rounds stalled to timeout
     int resize_stalls = 0;           // resize phases stalled toward timeout
     int resize_target_crashes = 0;   // spawn targets killed mid-expand
   };

@@ -52,6 +52,11 @@ struct ScenarioOptions {
   /// Deliberately leaks freshly spawned ranks on a failed redistribution
   /// (no rollback) to prove the no-lost-rank invariant catches it.
   bool sabotage_resize_rollback = false;
+  /// Iterative pre-copy migration: the apps carry a block-structured state
+  /// large enough for multi-round pre-copy (plus an entry erased mid-run to
+  /// exercise tombstones), and the middleware ships dirty deltas in the
+  /// background instead of stop-and-copy.
+  bool precopy = false;
 };
 
 struct ScenarioReport {
@@ -70,6 +75,7 @@ struct ScenarioReport {
   std::size_t migrations_succeeded = 0;
   std::size_t migrations_aborted = 0;      // pre-commit, rolled back to source
   std::size_t migrations_rolled_back = 0;  // post-commit destination loss
+  std::size_t precopy_rounds = 0;          // pre-copy rounds shipped, all txns
   std::size_t resizes_attempted = 0;   // terminal resize outcomes
   std::size_t resizes_committed = 0;
   std::size_t resizes_aborted = 0;

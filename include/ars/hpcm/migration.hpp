@@ -69,6 +69,15 @@ struct MigrationTimeline {
   double resumed_at = -1.0;      // application resumed on the destination
   double completed_at = -1.0;    // background restoration finished
   double state_bytes = 0.0;      // total state moved
+  /// When the stop-the-world window opened.  Stop-and-copy freezes from the
+  /// poll-point; iterative pre-copy keeps computing through its rounds and
+  /// freezes only for the final dirty delta.
+  double freeze_begin_at = -1.0;
+  /// Pre-copy rounds shipped before the freeze (0: stop-and-copy).
+  int precopy_rounds = 0;
+  /// Bytes shipped by the overlapped pre-copy rounds (not counting the
+  /// final frozen delta).
+  double precopy_bytes = 0.0;
   bool succeeded = false;
   /// Transaction outcome: "in-flight" while the protocol runs, then one of
   /// "committed", "aborted" (pre-commit rollback to the source), or
@@ -91,6 +100,11 @@ struct MigrationTimeline {
     return resumed_at - init_done_at;
   }
   [[nodiscard]] double total() const { return completed_at - requested_at; }
+  /// Stop-the-world duration: freeze open -> application resumed.
+  [[nodiscard]] double freeze_window() const {
+    return resumed_at - (freeze_begin_at >= 0.0 ? freeze_begin_at
+                                                : poll_point_at);
+  }
 };
 
 /// Terminal transaction outcome handed to the outcome listener (the runtime
@@ -102,14 +116,18 @@ struct MigrationOutcome {
   std::string outcome;  // "committed" | "aborted" | "rolled-back"
   std::string reason;   // empty for committed
   std::string phase;    // protocol phase the failure hit (empty for committed)
+  /// Pre-copy rounds shipped before the terminal outcome (0: stop-and-copy).
+  int precopy_rounds = 0;
+  /// Bytes the overlapped pre-copy rounds moved.
+  double precopy_bytes = 0.0;
   /// Causal context of the transaction; rides on the MigrationOutcomeMsg
   /// envelope so the registry links the report to the original decision.
   obs::TraceCtx trace;
 };
 
-/// Phase-entry notification ("init", "eager", "ack", "restore") fired from
-/// inside the migrating fiber.  Listeners must not reenter the engine
-/// inline — schedule an event instead (ars::chaos does).
+/// Phase-entry notification ("init", "precopy", "eager", "ack", "restore")
+/// fired from inside the migrating fiber.  Listeners must not reenter the
+/// engine inline — schedule an event instead (ars::chaos does).
 struct PhaseEvent {
   std::string process;
   std::string source;
@@ -171,6 +189,11 @@ class MigrationContext {
   /// migrate() so the whole transaction links back to the decision.
   obs::TraceCtx pending_trace_;
   std::string schema_name_;
+  /// Timeline index of the in-flight pre-copy transaction of this process
+  /// (kNoPrecopy when none).  While set, poll-points advance the pre-copy
+  /// loop instead of starting a new migration.
+  static constexpr std::size_t kNoPrecopy = static_cast<std::size_t>(-1);
+  std::size_t precopy_tx_ = kNoPrecopy;
 };
 
 class MigrationEngine {
@@ -191,6 +214,16 @@ class MigrationEngine {
     double init_timeout = 10.0;
     double eager_timeout = 60.0;
     double ack_timeout = 10.0;
+    /// Iterative pre-copy (live-VM style): ship the full state in round 0
+    /// and dirty deltas in later rounds while the process keeps computing;
+    /// freeze only for the final delta + comm-state handoff.  Off by
+    /// default: stop-and-copy keeps its exact legacy wire behavior.
+    bool precopy = false;
+    /// Give up converging and freeze after this many rounds.
+    int precopy_max_rounds = 8;
+    /// Freeze once the next delta would be at most this fraction of
+    /// round 0's bytes.
+    double precopy_convergence = 0.05;
     /// Sabotage knob for the chaos checker: skip the abort path's rollback
     /// so an aborted migration LOSES the logical process (the bug class the
     /// no-lost-process invariant exists to catch).  Never set outside tests.
@@ -252,6 +285,17 @@ class MigrationEngine {
   void set_phase_listener(PhaseListener listener) {
     phase_listener_ = std::move(listener);
   }
+  /// Chaos hook: delay the start of every protocol phase named `phase` by
+  /// `seconds` (0 clears).  Today only "precopy" rounds honor it — a stall
+  /// long enough drives the round into its timeout and aborts the
+  /// transaction, which is exactly what the chaos campaign needs to prove.
+  void set_phase_stall(const std::string& phase, double seconds) {
+    if (seconds > 0.0) {
+      phase_stalls_[phase] = seconds;
+    } else {
+      phase_stalls_.erase(phase);
+    }
+  }
 
   // -- checkpoint/restart (the paper's checkpointing-based alternative) ----
 
@@ -308,6 +352,8 @@ class MigrationEngine {
     MigrationEngine::MigratableApp app;
   };
 
+  enum class PhaseResult { kDone, kTimeout, kDestFailed, kError };
+
   /// One in-flight migration transaction, keyed by timeline index.  Heap
   /// allocated so phase fibers and timeout events can hold stable pointers.
   struct PendingTx {
@@ -343,15 +389,55 @@ class MigrationEngine {
     double opaque = 0.0;
     double eager_opaque = 0.0;
     double eager_wire = 0.0;
+    /// Eager-message `values` override; empty = legacy [id, timeline].
+    /// Pre-copy frames carry [id, timeline, round, final-flag].
+    std::vector<double> eager_values;
     StateRegistry restored_state;
     bool state_ready = false;
-  };
 
-  enum class PhaseResult { kDone, kTimeout, kDestFailed, kError };
+    // Pre-copy loop state (source side).
+    bool precopy = false;
+    int rounds_sent = 0;
+    /// Registry generation covered by the rounds shipped so far.
+    std::uint64_t shipped_gen = 0;
+    double round0_bytes = 0.0;
+    double precopy_bytes = 0.0;
+    /// A round fiber is still shipping; the app keeps computing past its
+    /// poll-points until it lands.
+    bool round_in_flight = false;
+    /// A round failed (timeout / error); the next poll-point aborts the
+    /// transaction from the app fiber (a round fiber never unwinds itself).
+    bool precopy_failed = false;
+    PhaseResult precopy_result = PhaseResult::kError;
+  };
 
   /// The source-side protocol; runs inside the migrating fiber.
   [[nodiscard]] sim::Task<> migrate(MigrationContext& ctx,
                                     std::string dest_host);
+
+  // -- iterative pre-copy (source side) ------------------------------------
+  /// Advance an in-flight pre-copy transaction at a poll-point: spawn the
+  /// next round when the previous one landed, abort on a failed round, or
+  /// freeze-and-commit once the dirty delta converged.  Throws ProcMoved
+  /// when the transaction commits.
+  [[nodiscard]] sim::Task<> continue_precopy(MigrationContext& ctx);
+  /// Snapshot this round's payload in the app fiber (round 0: full state;
+  /// later: dirty delta) and spawn the round fiber that ships it.
+  void start_precopy_round(MigrationContext& ctx, PendingTx& tx);
+  /// The round fiber body: (round 0 only) run init/DPM, then ship the
+  /// frame.  Failures are flagged on the transaction, never thrown out.
+  [[nodiscard]] sim::Task<> run_precopy_round(PendingTx* tx, int round,
+                                              double charge_bytes);
+  /// Stop-the-world tail of a converged pre-copy: final dirty delta +
+  /// resume handshake + commit.  Throws ProcMoved on commit.
+  [[nodiscard]] sim::Task<> freeze_and_commit(MigrationContext& ctx,
+                                              PendingTx& tx);
+  /// Shared frozen epilogue of both protocols: eager send -> resume ACK ->
+  /// commit (relocate + background transfer of `remaining` bytes).  Returns
+  /// normally only when a phase failed and the transaction aborted; throws
+  /// ProcMoved on commit.
+  [[nodiscard]] sim::Task<> freeze_tail(MigrationContext& ctx, PendingTx& tx,
+                                        double remaining);
 
   // Phase bodies (member coroutines — lambda coroutines would dangle their
   // captures once the spawning frame unwinds).
@@ -446,12 +532,15 @@ class MigrationEngine {
   std::set<std::string> exited_;
   OutcomeListener outcome_listener_;
   PhaseListener phase_listener_;
+  /// Chaos-injected per-phase start delays (see set_phase_stall).
+  std::map<std::string, double> phase_stalls_;
 
   // -- tracing bookkeeping (ids are 0 when no tracer is attached) ----------
   struct TimelineSpans {
     std::uint64_t migration = 0;  // requested -> background restore done
     std::uint64_t restore = 0;    // eager state landed -> restore done
     std::uint64_t transfer = 0;   // commit -> background bulk transfer done
+    std::uint64_t precopy = 0;    // overlapped rounds: poll-point -> freeze
   };
   std::map<mpi::RankId, std::uint64_t> signal_spans_;  // signal -> poll-point
   std::map<std::size_t, TimelineSpans> timeline_spans_;

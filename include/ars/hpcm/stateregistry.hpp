@@ -12,6 +12,16 @@
 // whose *transfer cost* matters but whose bytes need not be materialized in
 // the simulation: they carry a logical size that the migration engine
 // charges to the network.
+//
+// For iterative pre-copy migration the registry tracks *dirtiness*: every
+// mutation stamps the entry with a monotonically increasing generation
+// counter (value-identical re-registrations do not re-dirty, so an on_save
+// callback that rewrites every variable each round only marks what actually
+// changed).  Opaque regions are dirtied at kOpaqueRegionBytes granularity
+// through touch_opaque().  collect_delta() encodes only the entries (and
+// charges only the opaque regions) dirtied since a snapshot generation,
+// together with explicit tombstones for names erased since — so a stale
+// entry can never resurrect at the destination.
 
 #include <cstdint>
 #include <map>
@@ -34,13 +44,23 @@ enum class EntryType : std::uint8_t {
 
 class StateRegistry {
  public:
+  /// Dirty-tracking granularity for opaque bulk regions.
+  static constexpr std::uint64_t kOpaqueRegionBytes = 256 * 1024;
+
   void set_int(const std::string& name, std::int64_t value);
   void set_double(const std::string& name, double value);
   void set_string(const std::string& name, std::string value);
   void set_doubles(const std::string& name, std::vector<double> values);
   void set_ints(const std::string& name, std::vector<std::int64_t> values);
   /// Register a bulk region of `logical_bytes` (content not materialized).
+  /// Re-registering the same size is a no-op (the region's dirty state is
+  /// carried by touch_opaque); a size change re-dirties the whole entry.
   void set_opaque(const std::string& name, std::uint64_t logical_bytes);
+
+  /// Mark `[offset, offset+length)` of an opaque entry dirty, at
+  /// kOpaqueRegionBytes granularity.  No-op for unknown or non-opaque names.
+  void touch_opaque(const std::string& name, std::uint64_t offset,
+                    std::uint64_t length);
 
   [[nodiscard]] support::Expected<std::int64_t> get_int(
       const std::string& name) const;
@@ -58,11 +78,59 @@ class StateRegistry {
   [[nodiscard]] bool contains(const std::string& name) const {
     return entries_.contains(name);
   }
-  void erase(const std::string& name) { entries_.erase(name); }
-  void clear() { entries_.clear(); }
+  /// Remove an entry; a tombstone records the erase so in-flight pre-copy
+  /// deltas propagate the removal instead of resurrecting the old value.
+  void erase(const std::string& name);
+  void clear();
   [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
 
-  /// Encoded (wire) size of the typed entries, in bytes.
+  // -- dirty tracking --------------------------------------------------------
+
+  /// Generation of the latest mutation; 0 for a never-mutated registry.
+  /// Pass to dirty_since()/collect_delta() to scope "changed since when".
+  [[nodiscard]] std::uint64_t snapshot_generation() const noexcept {
+    return generation_;
+  }
+
+  /// Names of entries mutated (or opaque-touched) after `gen`, in map order.
+  [[nodiscard]] std::vector<std::string> dirty_since(std::uint64_t gen) const;
+
+  /// Names erased after `gen` and not since re-registered.
+  [[nodiscard]] std::vector<std::string> tombstones_since(
+      std::uint64_t gen) const;
+
+  /// Wire + charged-opaque size a collect_delta(gen) would ship: cheap
+  /// (no encoding) so the pre-copy loop can test convergence every round.
+  [[nodiscard]] std::uint64_t delta_bytes_since(std::uint64_t gen) const;
+
+  /// One pre-copy round's payload: the dirty entries encoded on the wire,
+  /// the opaque bytes to charge the network (dirty regions only, unless the
+  /// whole entry is dirty), and the tombstones of erased names.
+  struct Delta {
+    std::uint64_t base_generation = 0;  // covers (base, to]
+    std::uint64_t to_generation = 0;
+    std::vector<std::byte> wire;          // encoded entries + tombstones
+    std::uint64_t dirty_opaque_bytes = 0; // charged to the network
+    std::size_t entries = 0;
+    std::size_t tombstones = 0;
+  };
+
+  /// Encode everything dirtied after `since` (entries + tombstones) as a
+  /// delta frame.  apply_delta() on the destination's staged registry
+  /// upserts the entries and erases the tombstoned names.
+  [[nodiscard]] Delta collect_delta(
+      std::uint64_t since,
+      support::ByteOrder origin = support::ByteOrder::kBigEndian) const;
+
+  /// Apply a delta frame produced by collect_delta().  All-or-nothing: a
+  /// malformed frame leaves this registry untouched.
+  [[nodiscard]] support::Status apply_delta(std::span<const std::byte> wire);
+
+  // -- wire format -----------------------------------------------------------
+
+  /// Encoded (wire) size of the typed entries, in bytes.  Computed
+  /// analytically — encode().size() is asserted equal in tests, and the
+  /// network is charged from this number.
   [[nodiscard]] std::uint64_t encoded_bytes() const;
   /// Total logical size of opaque bulk regions.
   [[nodiscard]] std::uint64_t opaque_bytes() const;
@@ -75,6 +143,14 @@ class StateRegistry {
   /// the header for diagnostics; the representation itself is always
   /// big-endian fixed-width.
   [[nodiscard]] std::vector<std::byte> encode(
+      support::ByteOrder origin = support::ByteOrder::kBigEndian) const;
+
+  /// Serialize into a caller-owned buffer (cleared first): the pre-copy
+  /// loop reuses one buffer across rounds instead of allocating a fresh
+  /// canonical copy per round.  Bulk payloads (vectors, strings) are
+  /// block-copied, not appended byte by byte.
+  void encode_into(
+      std::vector<std::byte>& out,
       support::ByteOrder origin = support::ByteOrder::kBigEndian) const;
 
   [[nodiscard]] static support::Expected<StateRegistry> decode(
@@ -92,12 +168,41 @@ class StateRegistry {
     std::vector<double> doubles;
     std::vector<std::int64_t> ints;
     std::uint64_t opaque_size = 0;
+    /// Generation of the last whole-entry mutation (0: placeholder).
+    std::uint64_t gen = 0;
+    /// Opaque only: region index -> generation of the last touch.
+    std::map<std::uint64_t, std::uint64_t> opaque_regions;
+    /// Max generation across opaque_regions (0: never touched).
+    std::uint64_t regions_gen = 0;
   };
 
   [[nodiscard]] support::Expected<const Entry*> find_typed(
       const std::string& name, EntryType type) const;
 
+  /// Store `entry` under `name` stamped with a fresh generation and drop
+  /// any tombstone for the name.
+  void store(const std::string& name, Entry entry);
+
+  [[nodiscard]] bool entry_dirty_since(const Entry& entry,
+                                       std::uint64_t gen) const;
+  /// Opaque bytes a delta since `gen` charges for `entry` (whole size when
+  /// the entry itself is dirty, else dirty regions clamped to the size).
+  [[nodiscard]] std::uint64_t charged_opaque_since(const Entry& entry,
+                                                   std::uint64_t gen) const;
+  /// Wire bytes of one encoded entry (name + type tag + payload).
+  [[nodiscard]] static std::uint64_t entry_wire_bytes(const std::string& name,
+                                                      const Entry& entry);
+  static void encode_entry(std::vector<std::byte>& out,
+                           const std::string& name, const Entry& entry);
+  /// Shared entry parser for decode()/apply_delta(); hardened: every length
+  /// prefix is validated against the remaining buffer before allocation.
+  [[nodiscard]] static support::Expected<std::pair<std::string, Entry>>
+  decode_entry(std::span<const std::byte> wire, std::size_t& offset);
+
   std::map<std::string, Entry> entries_;
+  /// Name -> generation of the erase; dropped when the name is re-set.
+  std::map<std::string, std::uint64_t> tombstones_;
+  std::uint64_t generation_ = 0;
   support::ByteOrder origin_ = support::ByteOrder::kBigEndian;
 };
 

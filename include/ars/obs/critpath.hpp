@@ -8,8 +8,10 @@
 // DAGs from the flat JSONL export, validates them (every pspan reference
 // resolves inside its transaction, parent chains are acyclic), and breaks
 // the migration freeze window down by phase — init (spawn/connect),
-// collect, eager, ack, transfer, restore — so "where did the 2.1 s go?"
-// has a per-seed and cross-seed answer.
+// precopy (overlapped iterative rounds), collect, eager, ack, transfer,
+// restore — so "where did the 2.1 s go?" has a per-seed and cross-seed
+// answer.  Pre-copy rounds overlap application execution and are therefore
+// reported separately, never folded into the freeze window.
 
 #include <cstdint>
 #include <map>
@@ -63,9 +65,9 @@ struct Transaction {
   // Derived from the migration span tree, when present.
   bool has_migration = false;
   double migration_s = 0.0;  // end-to-end migration span
-  double freeze_s = 0.0;     // init + collect + eager + ack
+  double freeze_s = 0.0;     // init + collect + eager + ack (never precopy)
   std::string outcome;       // committed / aborted / rolled-back / ""
-  std::map<std::string, double> phase_s;  // init/collect/eager/ack/...
+  std::map<std::string, double> phase_s;  // init/precopy/collect/eager/...
 };
 
 /// DAG validation verdict for one transaction.

@@ -160,7 +160,10 @@ struct RelaunchCmd {
 /// transaction.  "committed" credits back the registry's in-flight
 /// placement debit; "aborted"/"rolled-back" additionally mark the failed
 /// destination suspect and let the registry re-plan immediately.  The
-/// reason/phase fields are only meaningful (and only encoded) for failures.
+/// reason/phase fields are only meaningful (and only encoded) for failures;
+/// the precopy fields are only meaningful (and only encoded) when the
+/// transaction ran iterative pre-copy rounds, so stop-and-copy outcomes —
+/// and every pre-existing peer — keep the exact legacy wire form.
 struct MigrationOutcomeMsg {
   std::string process;
   std::string source;
@@ -168,6 +171,8 @@ struct MigrationOutcomeMsg {
   std::string outcome;  // "committed" | "aborted" | "rolled-back"
   std::string reason;   // e.g. "init-timeout", "dest-failed"
   std::string phase;    // protocol phase the failure hit
+  int precopy_rounds = 0;             // pre-copy rounds shipped (0: stop-and-copy)
+  std::uint64_t precopy_bytes = 0;    // bytes moved outside the freeze window
 };
 
 /// Registry -> commander (of a malleable job's root host): grow or shrink

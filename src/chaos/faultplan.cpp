@@ -34,6 +34,8 @@ std::string_view to_string(FaultKind kind) noexcept {
       return "migration_dest_crash";
     case FaultKind::kMigrationLinkCut:
       return "migration_link_cut";
+    case FaultKind::kMigrationPrecopyStall:
+      return "migration_precopy_stall";
     case FaultKind::kResizeStall:
       return "resize_stall";
     case FaultKind::kResizeTargetCrash:
@@ -49,7 +51,8 @@ Expected<FaultKind> fault_kind_from_string(std::string_view text) {
         FaultKind::kPartition, FaultKind::kHostCrash, FaultKind::kCpuSlowdown,
         FaultKind::kMonitorStall, FaultKind::kRegistryCrash,
         FaultKind::kMigrationDestCrash, FaultKind::kMigrationLinkCut,
-        FaultKind::kResizeStall, FaultKind::kResizeTargetCrash}) {
+        FaultKind::kMigrationPrecopyStall, FaultKind::kResizeStall,
+        FaultKind::kResizeTargetCrash}) {
     if (text == to_string(kind)) {
       return kind;
     }
@@ -192,6 +195,17 @@ FaultPlan& FaultPlan::migration_link_cut(double at, double until,
   spec.probability = probability;
   spec.delay = heal_after;
   spec.host_a = std::move(dest);
+  return add(std::move(spec));
+}
+
+FaultPlan& FaultPlan::migration_precopy_stall(double at, double until,
+                                              double stall_seconds) {
+  FaultSpec spec;
+  spec.kind = FaultKind::kMigrationPrecopyStall;
+  spec.at = at;
+  spec.until = until;
+  spec.phase = "precopy";
+  spec.delay = stall_seconds;
   return add(std::move(spec));
 }
 
@@ -385,11 +399,18 @@ Expected<FaultPlan> FaultPlan::from_json(std::string_view text) {
             "chaos.bad_value",
             "resize fault \"phase\" must be spawn or redistribute");
       }
+    } else if (spec.kind == FaultKind::kMigrationPrecopyStall) {
+      if (!spec.phase.empty() && spec.phase != "precopy") {
+        return make_error("chaos.bad_value",
+                          "migration_precopy_stall \"phase\" must be precopy");
+      }
+      spec.phase = "precopy";
     } else if (!spec.phase.empty() && spec.phase != "init" &&
-               spec.phase != "eager" && spec.phase != "ack" &&
-               spec.phase != "restore") {
-      return make_error("chaos.bad_value",
-                        "\"phase\" must be one of init/eager/ack/restore");
+               spec.phase != "precopy" && spec.phase != "eager" &&
+               spec.phase != "ack" && spec.phase != "restore") {
+      return make_error(
+          "chaos.bad_value",
+          "\"phase\" must be one of init/precopy/eager/ack/restore");
     }
     plan.specs_.push_back(std::move(spec));
   }
@@ -434,12 +455,29 @@ Expected<FaultPlan> FaultPlan::builtin(const std::string& name) {
         .host_crash(400.0, 440.0, "ws4");
     return plan;
   }
+  if (name == "precopy-storm") {
+    // Iterative pre-copy under fire: destinations crash while rounds are
+    // in flight and during the freeze tail, the source<->destination link
+    // is severed mid-round, and stalled rounds run into their timeout.
+    // Every pre-ACK failure must abort to the intact source (pre-copied
+    // rounds discarded), every post-ACK failure must roll back — and no
+    // process may ever be lost.
+    FaultPlan plan{"precopy-storm"};
+    plan.migration_dest_crash(40.0, 140.0, "precopy", 0.375, 30.0)
+        .migration_dest_crash(50.0, 200.0, "eager", 0.375, 30.0)
+        .migration_dest_crash(60.0, 260.0, "ack", 0.375, 30.0)
+        .migration_dest_crash(50.0, 320.0, "restore", 0.5, 30.0)
+        .migration_link_cut(40.0, 320.0, "precopy", 0.25, 30.0)
+        .migration_precopy_stall(150.0, 230.0, 120.0)
+        .cpu_slowdown(30.0, 90.0, 0.5, "ws2");
+    return plan;
+  }
   return make_error("chaos.unknown_plan", "no builtin plan named \"" + name +
                                               "\" (see builtin_names())");
 }
 
 std::vector<std::string> FaultPlan::builtin_names() {
-  return {"control-loss", "churn", "resize-storm"};
+  return {"control-loss", "churn", "resize-storm", "precopy-storm"};
 }
 
 }  // namespace ars::chaos

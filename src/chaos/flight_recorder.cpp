@@ -31,6 +31,7 @@ JsonValue scenario_to_json(const ScenarioOptions& options) {
                    static_cast<double>(options.malleable_jobs));
   scenario.emplace("sabotage_resize_rollback",
                    options.sabotage_resize_rollback);
+  scenario.emplace("precopy", options.precopy);
   return JsonValue{std::move(scenario)};
 }
 
@@ -72,6 +73,9 @@ support::Expected<ScenarioOptions> scenario_from_json(const JsonValue& value) {
       number("malleable_jobs", options.malleable_jobs));
   options.sabotage_resize_rollback = boolean(
       "sabotage_resize_rollback", options.sabotage_resize_rollback);
+  // Bundles recorded before pre-copy existed have no such key; the default
+  // (false) preserves their byte-identical replays.
+  options.precopy = boolean("precopy", options.precopy);
   return options;
 }
 

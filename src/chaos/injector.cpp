@@ -254,6 +254,10 @@ void FaultInjector::activate(std::size_t index) {
       runtime_->malleable().set_phase_stall(spec.phase, spec.delay);
       ++stats_.resize_stalls;
       break;
+    case FaultKind::kMigrationPrecopyStall:
+      runtime_->middleware().set_phase_stall("precopy", spec.delay);
+      ++stats_.migration_precopy_stalls;
+      break;
     default:
       break;  // message faults act lazily, per post()
   }
@@ -293,6 +297,9 @@ void FaultInjector::deactivate(std::size_t index) {
       break;
     case FaultKind::kResizeStall:
       runtime_->malleable().set_phase_stall(spec.phase, 0.0);
+      break;
+    case FaultKind::kMigrationPrecopyStall:
+      runtime_->middleware().set_phase_stall("precopy", 0.0);
       break;
     default:
       break;

@@ -25,8 +25,15 @@ namespace {
 /// restores its loop index after a migration or relaunch, checkpoints
 /// periodically, and records where it finished.
 struct ScenarioApp {
+  static constexpr int kBlocks = 8;
+  static constexpr int kBlockDoubles = 8 * 1024;  // 64 KiB per block
+
   int iterations = 60;
   int checkpoint_every = 10;
+  /// Pre-copy runs carry a block-structured state (one block rewritten per
+  /// iteration — the write set the rounds must chase) plus a scratch entry
+  /// erased halfway, so deltas ship tombstones under fire.
+  bool heavy_state = false;
   bool finished = false;
   std::string finished_on;
 
@@ -34,13 +41,44 @@ struct ScenarioApp {
     return [this](mpi::Proc& proc,
                   hpcm::MigrationContext& ctx) -> sim::Task<> {
       std::int64_t i = ctx.restored() ? *ctx.state().get_int("i") : 0;
-      ctx.on_save([&ctx, &i] { ctx.state().set_int("i", i); });
+      bool scratch_live = true;
+      std::vector<std::vector<double>> data;
+      if (heavy_state) {
+        data.assign(kBlocks, std::vector<double>(kBlockDoubles, 0.0));
+        if (ctx.restored()) {
+          scratch_live = ctx.state().contains("scratch");
+          for (int b = 0; b < kBlocks; ++b) {
+            data[static_cast<std::size_t>(b)] =
+                *ctx.state().get_doubles("block" + std::to_string(b));
+          }
+        }
+      }
+      ctx.on_save([this, &ctx, &i, &scratch_live, &data] {
+        ctx.state().set_int("i", i);
+        if (!heavy_state) {
+          return;
+        }
+        if (scratch_live) {
+          ctx.state().set_string("scratch", "pre-copy tombstone bait");
+        }
+        for (int b = 0; b < kBlocks; ++b) {
+          ctx.state().set_doubles("block" + std::to_string(b),
+                                  data[static_cast<std::size_t>(b)]);
+        }
+      });
       for (; i < iterations; ++i) {
         co_await ctx.poll_point();
+        if (heavy_state && scratch_live && i == iterations / 2) {
+          ctx.state().erase("scratch");
+          scratch_live = false;
+        }
         if (checkpoint_every > 0 && i > 0 && i % checkpoint_every == 0) {
           co_await ctx.checkpoint();
         }
         co_await proc.compute(1.0);
+        if (heavy_state) {
+          data[static_cast<std::size_t>(i % kBlocks)][0] += 1.0;
+        }
       }
       finished = true;
       finished_on = proc.host().name();
@@ -72,6 +110,7 @@ ScenarioReport run_scenario(const ScenarioOptions& options) {
   config.hpcm.eager_timeout = 20.0;
   config.hpcm.ack_timeout = 8.0;
   config.hpcm.sabotage_skip_rollback = options.sabotage_migration_rollback;
+  config.hpcm.precopy = options.precopy;
   // Malleable jobs: the resize planner grows them into slack and shrinks
   // them off pressure; tight transaction timeouts so resize-window stalls
   // resolve (abort or rollback) well inside the horizon.
@@ -93,6 +132,7 @@ ScenarioReport run_scenario(const ScenarioOptions& options) {
     ScenarioApp& app = *apps.back();
     app.iterations = options.iterations;
     app.checkpoint_every = options.checkpoint_every;
+    app.heavy_state = options.precopy;
     const std::string name = "job" + std::to_string(i);
     app_names.push_back(name + ".0");
     const std::string host =
@@ -191,6 +231,8 @@ ScenarioReport run_scenario(const ScenarioOptions& options) {
     } else if (timeline.outcome == "rolled-back") {
       ++report.migrations_rolled_back;
     }
+    report.precopy_rounds +=
+        static_cast<std::size_t>(timeline.precopy_rounds);
   }
   for (const malleable::ResizeOutcome& outcome :
        runtime.malleable().history()) {

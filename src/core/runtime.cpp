@@ -113,6 +113,8 @@ ReschedulerRuntime::ReschedulerRuntime(ClusterConfig config)
     msg.outcome = o.outcome;
     msg.reason = o.reason;
     msg.phase = o.phase;
+    msg.precopy_rounds = o.precopy_rounds;
+    msg.precopy_bytes = static_cast<std::uint64_t>(o.precopy_bytes);
     it->second->report_outcome(msg, o.trace);
   });
   // Same feedback loop for resizes: the job's ROOT host's commander is the

@@ -22,8 +22,9 @@ std::string migrate_key(host::Pid pid) {
 }
 
 /// Protocol phases that get a migration.phase_ms{phase} duration series.
-constexpr const char* kPhaseNames[] = {"init",     "collect", "eager",
-                                       "ack",      "transfer", "restore"};
+constexpr const char* kPhaseNames[] = {"init",     "precopy",  "collect",
+                                       "eager",    "ack",      "transfer",
+                                       "restore"};
 
 /// Millisecond buckets for phase durations: sub-ms collect snapshots up to
 /// multi-second background transfers.
@@ -84,8 +85,8 @@ MigrationEngine::MigrationEngine(mpi::MpiSystem& mpi, Options options)
     // (benches, CI) always carry them, even on runs without an abort.
     m->counter("migration.rollbacks");
     for (const char* reason :
-         {"init-timeout", "eager-timeout", "ack-timeout", "dest-failed",
-          "source-crashed", "phase-error"}) {
+         {"init-timeout", "precopy-timeout", "eager-timeout", "ack-timeout",
+          "dest-failed", "source-crashed", "source-exited", "phase-error"}) {
       m->counter("migration.aborts", {{"reason", reason}});
     }
     // Same for the per-phase duration histograms: a zero-migration run
@@ -214,6 +215,8 @@ void MigrationEngine::notify_outcome(const MigrationTimeline& timeline,
   outcome.outcome = timeline.outcome;
   outcome.reason = timeline.abort_reason;
   outcome.phase = timeline.abort_phase;
+  outcome.precopy_rounds = timeline.precopy_rounds;
+  outcome.precopy_bytes = timeline.precopy_bytes;
   outcome.trace = trace;
   outcome_listener_(outcome);
 }
@@ -226,6 +229,21 @@ void MigrationEngine::finish_normal_exit(mpi::RankId id) {
   // A signal span still open here means the process exited before reaching
   // another poll-point; close it or it leaks as an open span forever.
   close_signal_span(id, "exit");
+  // An uncommitted pre-copy transaction can outlive its source: the app may
+  // run to completion between rounds.  Abort it — the result is already
+  // computed, there is nothing left to move.
+  std::size_t stale_tx = 0;
+  bool have_stale_tx = false;
+  for (const auto& [index, tx] : pending_) {
+    if (tx->proc_id == id && !tx->committed) {
+      stale_tx = index;
+      have_stale_tx = true;
+      break;
+    }
+  }
+  if (have_stale_tx) {
+    abort_transaction(stale_tx, "source-exited");
+  }
   MigrationContext& ctx = it->second->context;
   if (ApplicationSchema* s = schema(ctx.schema_name_)) {
     s->record_execution(mpi_->engine().now() - ctx.launched_at);
@@ -291,7 +309,23 @@ bool MigrationEngine::request_migration(mpi::RankId id,
 
 sim::Task<> MigrationContext::poll_point() {
   mpi::Proc& p = *proc_;
-  if (!p.host().processes().consume_signal(p.pid(), host::kSigMigrate)) {
+  const bool signaled =
+      p.host().processes().consume_signal(p.pid(), host::kSigMigrate);
+  if (precopy_tx_ != kNoPrecopy) {
+    if (signaled) {
+      // A second request while a pre-copy transaction is in flight: the
+      // process can only migrate once at a time.  Drop the request; the
+      // commander learns the outcome of the current transaction anyway.
+      engine_->close_signal_span(p.id(), "superseded-by-precopy");
+      p.host().tmpfiles().erase(migrate_key(p.pid()));
+      ARS_LOG_WARN("hpcm", "ignoring migration request for " << p.name()
+                               << ": pre-copy transaction already in flight");
+      pending_trace_ = {};
+    }
+    co_await engine_->continue_precopy(*this);
+    co_return;
+  }
+  if (!signaled) {
     co_return;
   }
   // Close the signal-delivery span: the process reached its poll-point.
@@ -408,6 +442,8 @@ bool MigrationEngine::crash(mpi::RankId id) {
   auto state = std::move(it->second);
   procs_.erase(it);
   state->context.proc_ = nullptr;
+  // A parked context must not resume a dead pre-copy loop after relaunch.
+  state->context.precopy_tx_ = MigrationContext::kNoPrecopy;
   crashed_[name] = std::move(state);
   const bool killed = mpi_->kill(id);
   if (tx_found) {
@@ -522,28 +558,78 @@ mpi::RankId MigrationEngine::relaunch(const std::string& process_name,
 
 /// Shared destination-side protocol, used by both spawned initialized
 /// processes and pre-initialized daemons.  The eager message's `values`
-/// carry [migrating rank id, timeline index].
+/// carry [migrating rank id, timeline index] for legacy stop-and-copy, or
+/// [id, timeline index, round, final-flag] for pre-copy frames: round 0 is
+/// a full snapshot, later rounds are dirty deltas applied onto the staged
+/// registry, and the final-flagged delta closes the stream.
 sim::Task<> MigrationEngine::receiver_main(mpi::Proc& helper,
                                            mpi::Comm merged) {
-  const mpi::MpiMessage eager =
-      co_await helper.recv(merged, mpi::kAnySource, kTagEagerState);
-  if (eager.values.size() != 2 || !eager.data) {
-    throw std::runtime_error("hpcm: malformed eager state message");
+  StateRegistry staged;
+  bool have_staged = false;
+  mpi::RankId id = 0;
+  std::size_t timeline_index = 0;
+  double round0_wire = 1.0;
+  for (;;) {
+    const mpi::MpiMessage eager =
+        co_await helper.recv(merged, mpi::kAnySource, kTagEagerState);
+    if ((eager.values.size() != 2 && eager.values.size() != 4) ||
+        !eager.data) {
+      throw std::runtime_error("hpcm: malformed eager state message");
+    }
+    id = static_cast<mpi::RankId>(eager.values[0]);
+    timeline_index = static_cast<std::size_t>(eager.values[1]);
+    if (eager.values.size() == 2) {
+      // Legacy stop-and-copy: one frame, full snapshot, full restore cost.
+      auto decoded = StateRegistry::decode(*eager.data);
+      if (!decoded.has_value()) {
+        throw std::runtime_error("hpcm: state decode failed: " +
+                                 decoded.error().to_string());
+      }
+      staged = std::move(*decoded);
+      have_staged = true;
+      // Data restoration cost before the application can resume.
+      co_await sim::delay(helper.system().engine(), options_.restore_delay);
+      break;
+    }
+    const int round = static_cast<int>(eager.values[2]);
+    const bool final_frame = eager.values[3] != 0.0;
+    if (round == 0) {
+      auto decoded = StateRegistry::decode(*eager.data);
+      if (!decoded.has_value()) {
+        throw std::runtime_error("hpcm: state decode failed: " +
+                                 decoded.error().to_string());
+      }
+      staged = std::move(*decoded);
+      have_staged = true;
+      round0_wire = std::max(1.0, eager.size_bytes);
+      // The bulk restoration cost lands here, OVERLAPPED with source-side
+      // execution — the whole point of pre-copy.
+      co_await sim::delay(helper.system().engine(), options_.restore_delay);
+    } else {
+      if (!have_staged) {
+        throw std::runtime_error("hpcm: pre-copy delta before snapshot");
+      }
+      const auto status = staged.apply_delta(*eager.data);
+      if (!status.is_ok()) {
+        throw std::runtime_error("hpcm: delta apply failed: " +
+                                 status.error().to_string());
+      }
+      // Delta restore cost scales with its share of the full state; the
+      // final (frozen) delta is small, so the freeze stays small.
+      co_await sim::delay(
+          helper.system().engine(),
+          options_.restore_delay *
+              std::min(1.0, eager.size_bytes / round0_wire));
+    }
+    if (final_frame) {
+      break;
+    }
   }
-  const auto id = static_cast<mpi::RankId>(eager.values[0]);
-  const auto timeline_index = static_cast<std::size_t>(eager.values[1]);
-  auto decoded = StateRegistry::decode(*eager.data);
-  if (!decoded.has_value()) {
-    throw std::runtime_error("hpcm: state decode failed: " +
-                             decoded.error().to_string());
-  }
-  // Data restoration cost before the application can resume.
-  co_await sim::delay(helper.system().engine(), options_.restore_delay);
   const auto tx_it = pending_.find(timeline_index);
   if (tx_it == pending_.end()) {
     co_return;  // transaction aborted while we were restoring
   }
-  tx_it->second->restored_state = std::move(*decoded);
+  tx_it->second->restored_state = std::move(staged);
   tx_it->second->state_ready = true;
   // The resume handshake: the source relocates the process (the commit
   // point) only once this acknowledgement lands.
@@ -608,8 +694,11 @@ sim::Task<> MigrationEngine::phase_eager(PendingTx& tx, mpi::Proc& proc) {
   mpi::MpiMessage eager_payload;
   eager_payload.data =
       std::make_shared<const mpi::Bytes>(std::move(tx.encoded));
-  eager_payload.values = {static_cast<double>(proc.id()),
-                          static_cast<double>(tx.timeline_index)};
+  eager_payload.values =
+      tx.eager_values.empty()
+          ? std::vector<double>{static_cast<double>(proc.id()),
+                                static_cast<double>(tx.timeline_index)}
+          : tx.eager_values;
   co_await proc.send(tx.merged, tx.merged.rank_of(tx.helper_id),
                      kTagEagerState, tx.eager_wire, std::move(eager_payload));
 }
@@ -702,6 +791,13 @@ void MigrationEngine::abort_transaction(std::size_t timeline_index,
   PendingTx& tx = *it->second;
   tx.timeout_event.cancel();
   tx.phase_fiber.kill();
+  // An aborted pre-copy discards every shipped round; the process keeps
+  // computing on the source with its registry (and dirty tracking) intact.
+  if (const auto proc_it = procs_.find(tx.proc_id);
+      proc_it != procs_.end() &&
+      proc_it->second->context.precopy_tx_ == timeline_index) {
+    proc_it->second->context.precopy_tx_ = MigrationContext::kNoPrecopy;
+  }
   if (tx.pre_init) {
     // The daemon is wedged mid-protocol; drop it so later migrations to
     // the host fall back to MPI_Comm_spawn.
@@ -783,6 +879,7 @@ void MigrationEngine::end_transaction_spans(std::size_t timeline_index,
   if (obs::Tracer* t = tracer(); obs::active(t)) {
     t->end_span(spans->second.transfer, {{"outcome", outcome}});
     t->end_span(spans->second.restore, {{"outcome", outcome}});
+    t->end_span(spans->second.precopy, {{"outcome", outcome}});
     t->end_span(spans->second.migration,
                 {{"outcome", outcome}, {"reason", reason}});
   }
@@ -855,6 +952,26 @@ sim::Task<> MigrationEngine::migrate(MigrationContext& ctx,
   }
   pending_.emplace(timeline_index, std::move(tx_owner));
 
+  if (options_.precopy) {
+    // Iterative pre-copy: the process keeps computing while round 0 (DPM
+    // init + full state) ships from a background fiber.  Later poll-points
+    // drive the loop (continue_precopy) until the dirty delta converges,
+    // then freeze_and_commit runs the stop-the-world tail.
+    tx.precopy = true;
+    ctx.precopy_tx_ = timeline_index;
+    if (obs::active(t)) {
+      obs::Attrs attrs{{"dest", dest_host}};
+      obs::stamp(attrs, tx.trace);
+      timeline_spans_[timeline_index].precopy = t->begin_span(
+          "migration.precopy", "hpcm", proc.name(), std::move(attrs));
+    }
+    start_precopy_round(ctx, tx);
+    co_return;  // the app keeps computing on the source
+  }
+  // Stop-and-copy freezes from the poll-point on.
+  history_[timeline_index].freeze_begin_at =
+      history_[timeline_index].poll_point_at;
+
   // ---- phase 1: initialized process (MPI-2 DPM) ---------------------------
   std::uint64_t spawn_span = 0;
   if (obs::active(t)) {
@@ -909,7 +1026,23 @@ sim::Task<> MigrationEngine::migrate(MigrationContext& ctx,
   }
   observe_phase_ms("collect", engine.now() - collect_begin);
 
-  // ---- phase 3: execution state + eager data over the merged communicator -
+  co_await freeze_tail(ctx, tx, remaining);
+}
+
+/// The frozen epilogue shared by stop-and-copy and a converged pre-copy:
+/// the eager send (full snapshot / final dirty delta), the resume
+/// handshake at the commit point, and the commit itself.
+sim::Task<> MigrationEngine::freeze_tail(MigrationContext& ctx, PendingTx& tx,
+                                         double remaining) {
+  mpi::Proc& proc = *ctx.proc_;
+  auto& engine = mpi_->engine();
+  obs::Tracer* t = tracer();
+  const std::size_t timeline_index = tx.timeline_index;
+  const std::string source_host = tx.source;
+  const std::string dest_host = tx.dest;
+  const double eager_wire = tx.eager_wire;
+
+  // ---- execution state + eager data over the merged communicator ----------
   std::uint64_t eager_span = 0;
   if (obs::active(t)) {
     obs::Attrs attrs{{"eager_bytes", eager_wire}};
@@ -918,8 +1051,8 @@ sim::Task<> MigrationEngine::migrate(MigrationContext& ctx,
                                std::move(attrs));
   }
   const double eager_begin = engine.now();
-  r = co_await await_phase(tx, phase_eager(tx, proc), "eager",
-                           options_.eager_timeout);
+  PhaseResult r = co_await await_phase(tx, phase_eager(tx, proc), "eager",
+                                       options_.eager_timeout);
   if (obs::active(t)) {
     t->end_span(eager_span, {{"completed", r == PhaseResult::kDone}});
   }
@@ -938,7 +1071,7 @@ sim::Task<> MigrationEngine::migrate(MigrationContext& ctx,
         "migration.restore", "hpcm", proc.name(), std::move(attrs));
   }
 
-  // ---- phase 4: resume handshake — the transaction's commit point ----------
+  // ---- resume handshake — the transaction's commit point -------------------
   std::uint64_t ack_span = 0;
   if (obs::active(t)) {
     obs::Attrs attrs;
@@ -987,6 +1120,196 @@ sim::Task<> MigrationEngine::migrate(MigrationContext& ctx,
 
   // ---- the source-side fiber is done ---------------------------------------
   throw mpi::ProcMoved{};
+}
+
+// ---- iterative pre-copy (source side) --------------------------------------
+
+void MigrationEngine::start_precopy_round(MigrationContext& ctx,
+                                          PendingTx& tx) {
+  mpi::Proc& proc = *ctx.proc_;
+  const int round = tx.rounds_sent;
+  tx.phase = "precopy";
+  tx.round_in_flight = true;
+  tx.phase_done = false;
+  tx.timed_out = false;
+  tx.phase_error.clear();
+  notify_phase(tx, "precopy");
+  // Snapshot the payload NOW, in the app fiber: the frame is consistent
+  // with this poll-point even though the send overlaps further computation.
+  const auto origin = proc.host().spec().byte_order;
+  double charge = 0.0;
+  if (round == 0) {
+    if (ctx.save_) {
+      ctx.save_();
+    }
+    ctx.state_.encode_into(tx.encoded, origin);
+    tx.opaque = static_cast<double>(ctx.state_.opaque_bytes());
+    charge = static_cast<double>(tx.encoded.size()) + tx.opaque;
+    tx.round0_bytes = std::max(1.0, charge);
+    tx.shipped_gen = ctx.state_.snapshot_generation();
+  } else {
+    // save_ already ran in continue_precopy's convergence check.
+    StateRegistry::Delta delta =
+        ctx.state_.collect_delta(tx.shipped_gen, origin);
+    charge = static_cast<double>(delta.wire.size()) +
+             static_cast<double>(delta.dirty_opaque_bytes);
+    tx.encoded = std::move(delta.wire);
+    tx.shipped_gen = delta.to_generation;
+  }
+  tx.precopy_bytes += charge;
+  MigrationTimeline& tl = history_[tx.timeline_index];
+  tl.precopy_bytes = tx.precopy_bytes;
+  tl.precopy_rounds = round + 1;
+  if (obs::Tracer* t = tracer(); obs::active(t)) {
+    obs::Attrs attrs{{"round", round}, {"bytes", charge}};
+    obs::stamp(attrs, tx.trace);
+    t->instant("migration.precopy_round", "hpcm", tx.process,
+               std::move(attrs));
+  }
+  // Round 0 pays DPM init + the full-state transfer; later rounds only the
+  // delta.  A round that blows this budget flags the transaction and the
+  // next poll-point aborts it from the app fiber.
+  const double timeout = round == 0
+                             ? options_.init_timeout + options_.eager_timeout
+                             : options_.eager_timeout;
+  PendingTx* txp = &tx;
+  tx.timeout_event = mpi_->engine().schedule_after(timeout, [txp] {
+    txp->timed_out = true;
+    txp->precopy_failed = true;
+    txp->precopy_result = PhaseResult::kTimeout;
+  });
+  tx.phase_fiber = sim::Fiber::spawn(
+      mpi_->engine(), run_precopy_round(&tx, round, charge),
+      tx.process + ".migrate.precopy" + std::to_string(round));
+}
+
+sim::Task<> MigrationEngine::run_precopy_round(PendingTx* tx, int round,
+                                               double charge_bytes) {
+  try {
+    if (const auto stall = phase_stalls_.find("precopy");
+        stall != phase_stalls_.end()) {
+      co_await sim::delay(mpi_->engine(), stall->second);
+    }
+    mpi::Proc* proc = mpi_->find(tx->proc_id);
+    if (proc == nullptr) {
+      co_return;  // source crashed; crash() tears the transaction down
+    }
+    if (round == 0) {
+      co_await phase_init(*tx, *proc);
+      history_[tx->timeline_index].init_done_at = mpi_->engine().now();
+      observe_phase_ms("init",
+                       history_[tx->timeline_index].init_done_at -
+                           history_[tx->timeline_index].poll_point_at);
+    }
+    mpi::MpiMessage frame;
+    frame.data = std::make_shared<const mpi::Bytes>(std::move(tx->encoded));
+    frame.values = {static_cast<double>(proc->id()),
+                    static_cast<double>(tx->timeline_index),
+                    static_cast<double>(round), 0.0};
+    co_await proc->send(tx->merged, tx->merged.rank_of(tx->helper_id),
+                        kTagEagerState, charge_bytes, std::move(frame));
+    tx->rounds_sent = round + 1;
+    tx->timeout_event.cancel();
+    tx->round_in_flight = false;
+  } catch (const std::exception& e) {
+    tx->phase_error = e.what();
+    if (tx->phase_error.empty()) {
+      tx->phase_error = "pre-copy round failed";
+    }
+    tx->precopy_failed = true;
+    tx->precopy_result = PhaseResult::kError;
+    tx->timeout_event.cancel();
+    tx->round_in_flight = false;
+  }
+}
+
+sim::Task<> MigrationEngine::continue_precopy(MigrationContext& ctx) {
+  const std::size_t index = ctx.precopy_tx_;
+  const auto it = pending_.find(index);
+  if (it == pending_.end()) {
+    // The transaction ended elsewhere (teardown, double abort).
+    ctx.precopy_tx_ = MigrationContext::kNoPrecopy;
+    co_return;
+  }
+  PendingTx& tx = *it->second;
+  mpi::Proc& proc = *ctx.proc_;
+  if (tx.dest_failed || tx.precopy_failed) {
+    ctx.precopy_tx_ = MigrationContext::kNoPrecopy;
+    const PhaseResult result =
+        tx.dest_failed ? PhaseResult::kDestFailed : tx.precopy_result;
+    tx.phase = "precopy";
+    fail_phase(tx, proc, result);  // aborts; the app keeps computing
+    co_return;
+  }
+  if (tx.round_in_flight) {
+    co_return;  // the round is still shipping; keep computing
+  }
+  // Between rounds: re-collect and test convergence against round 0.
+  if (ctx.save_) {
+    ctx.save_();
+  }
+  const double delta_bytes =
+      static_cast<double>(ctx.state_.delta_bytes_since(tx.shipped_gen));
+  const bool converged =
+      delta_bytes <= options_.precopy_convergence * tx.round0_bytes;
+  if (!converged && tx.rounds_sent < options_.precopy_max_rounds) {
+    start_precopy_round(ctx, tx);
+    co_return;
+  }
+  co_await freeze_and_commit(ctx, tx);
+}
+
+sim::Task<> MigrationEngine::freeze_and_commit(MigrationContext& ctx,
+                                               PendingTx& tx) {
+  mpi::Proc& proc = *ctx.proc_;
+  auto& engine = mpi_->engine();
+  obs::Tracer* t = tracer();
+  const std::size_t timeline_index = tx.timeline_index;
+  MigrationTimeline& tl = history_[timeline_index];
+  tl.freeze_begin_at = engine.now();
+  observe_phase_ms("precopy", tl.freeze_begin_at - tl.poll_point_at);
+  if (obs::active(t)) {
+    t->end_span(timeline_spans_[timeline_index].precopy,
+                {{"rounds", tx.rounds_sent},
+                 {"precopy_bytes", tx.precopy_bytes}});
+    timeline_spans_[timeline_index].precopy = 0;
+  }
+  ctx.precopy_tx_ = MigrationContext::kNoPrecopy;
+  ARS_LOG_INFO("hpcm", "pre-copy of " << tx.process << " converged after "
+                                      << tx.rounds_sent
+                                      << " rounds; freezing for the final "
+                                      << "delta");
+
+  // ---- freeze: final dirty delta + tombstones ------------------------------
+  std::uint64_t collect_span = 0;
+  if (obs::active(t)) {
+    obs::Attrs attrs;
+    obs::stamp(attrs, tx.trace);
+    collect_span = t->begin_span("migration.collect", "hpcm", proc.name(),
+                                 std::move(attrs));
+  }
+  const double collect_begin = engine.now();
+  // save_ ran in continue_precopy's convergence check at this poll-point.
+  StateRegistry::Delta delta =
+      ctx.state_.collect_delta(tx.shipped_gen, proc.host().spec().byte_order);
+  tx.encoded = std::move(delta.wire);
+  tx.shipped_gen = delta.to_generation;
+  const double final_bytes = static_cast<double>(tx.encoded.size()) +
+                             static_cast<double>(delta.dirty_opaque_bytes);
+  tx.eager_wire = final_bytes;
+  tx.eager_values = {static_cast<double>(proc.id()),
+                     static_cast<double>(timeline_index),
+                     static_cast<double>(tx.rounds_sent), 1.0};
+  tl.state_bytes = tx.precopy_bytes + final_bytes;
+  if (obs::active(t)) {
+    t->end_span(collect_span, {{"state_bytes", tl.state_bytes},
+                               {"final_delta_bytes", final_bytes}});
+  }
+  observe_phase_ms("collect", engine.now() - collect_begin);
+
+  // Everything already shipped in the rounds; the background collector
+  // only sends the completion marker.
+  co_await freeze_tail(ctx, tx, /*remaining=*/0.0);
 }
 
 sim::Task<> MigrationEngine::run_collector(std::string source_host,

@@ -24,6 +24,9 @@ const char* phase_of(const std::string& span_name) {
   if (span_name == "migration.spawn") {
     return "init";
   }
+  if (span_name == "migration.precopy") {
+    return "precopy";
+  }
   if (span_name == "migration.collect") {
     return "collect";
   }
@@ -197,6 +200,12 @@ std::vector<Transaction> group_transactions(const std::vector<Event>& events) {
         t.phase_s[phase] += span.end - span.begin;
       }
     }
+    // Freeze = the stop-the-world phases only.  Pre-copy rounds overlap
+    // application execution (the source keeps computing between
+    // poll-points), so "precopy" is reported as its own phase and never
+    // counted into the freeze window.  In pre-copy traces the init phase
+    // runs inside the overlapped round 0 (there is no migration.spawn
+    // span), so the same sum stays correct for both trace generations.
     for (const char* phase : {"init", "collect", "eager", "ack"}) {
       if (const auto it = t.phase_s.find(phase); it != t.phase_s.end()) {
         t.freeze_s += it->second;
@@ -353,9 +362,9 @@ std::string format_report(const Report& report) {
                 "n", "p50_ms", "p90_ms", "p99_ms", "max_ms");
   out += line;
   // Fixed pipeline order first, then the synthetic aggregates.
-  const std::vector<std::string> order{"init",     "collect", "eager",
-                                       "ack",      "transfer", "restore",
-                                       "freeze",   "total"};
+  const std::vector<std::string> order{"init",    "precopy",  "collect",
+                                       "eager",   "ack",      "transfer",
+                                       "restore", "freeze",   "total"};
   const auto emit = [&](const std::string& phase, const PhaseStats& stats) {
     std::snprintf(line, sizeof line, "%-10s %8zu %12.3f %12.3f %12.3f %12.3f\n",
                   phase.c_str(), stats.samples.size(),

@@ -291,6 +291,12 @@ struct Encoder {
     if (!m.phase.empty()) {
       put(root, "phase", m.phase);
     }
+    // Pre-copy accounting rides along only when rounds actually shipped,
+    // so stop-and-copy outcomes keep the legacy wire form byte-for-byte.
+    if (m.precopy_rounds > 0) {
+      put(root, "precopy_rounds", m.precopy_rounds);
+      put(root, "precopy_bytes", m.precopy_bytes);
+    }
   }
   void operator()(const ResizeCmd& m) const {
     root.set_attr("type", "resize");
@@ -497,6 +503,13 @@ Expected<ProtocolMessage> decode_migration_outcome(const XmlNode& root) {
   m.outcome = *outcome;
   m.reason = root.child_text_or("reason", "");
   m.phase = root.child_text_or("phase", "");
+  // Optional pre-copy accounting (absent from stop-and-copy outcomes and
+  // from documents produced by pre-precopy senders).
+  const auto rounds = parse_int(root.child_text_or("precopy_rounds", "0"));
+  m.precopy_rounds = rounds.has_value() ? static_cast<int>(*rounds) : 0;
+  const auto bytes = parse_int(root.child_text_or("precopy_bytes", "0"));
+  m.precopy_bytes =
+      bytes.has_value() && *bytes > 0 ? static_cast<std::uint64_t>(*bytes) : 0;
   return ProtocolMessage{m};
 }
 

@@ -31,7 +31,9 @@ TEST(FaultPlanTest, KindStringsRoundTrip) {
         FaultKind::kMessageDelay, FaultKind::kLinkDegrade,
         FaultKind::kPartition, FaultKind::kHostCrash, FaultKind::kCpuSlowdown,
         FaultKind::kMonitorStall, FaultKind::kRegistryCrash,
-        FaultKind::kResizeStall, FaultKind::kResizeTargetCrash}) {
+        FaultKind::kMigrationDestCrash, FaultKind::kMigrationLinkCut,
+        FaultKind::kMigrationPrecopyStall, FaultKind::kResizeStall,
+        FaultKind::kResizeTargetCrash}) {
     const auto parsed = fault_kind_from_string(to_string(kind));
     ASSERT_TRUE(parsed.has_value()) << to_string(kind);
     EXPECT_EQ(*parsed, kind);
@@ -101,6 +103,33 @@ TEST(FaultPlanTest, StrictParserRejectsBadDocuments) {
                    R"({"name":"p","faults":[{"kind":"link_degrade","at":1,)"
                    R"("factor":-0.5}]})")
                    .has_value());
+}
+
+TEST(FaultPlanTest, PrecopyStallValidation) {
+  // The builder stamps the fixed "precopy" phase.
+  FaultPlan plan{"p"};
+  plan.migration_precopy_stall(10.0, 50.0, 30.0);
+  ASSERT_EQ(plan.specs().size(), 1u);
+  EXPECT_EQ(plan.specs()[0].kind, FaultKind::kMigrationPrecopyStall);
+  EXPECT_EQ(plan.specs()[0].phase, "precopy");
+  EXPECT_DOUBLE_EQ(plan.specs()[0].delay, 30.0);
+
+  // Parsing defaults an omitted phase to "precopy"…
+  const auto parsed = FaultPlan::from_json(
+      R"({"name":"p","faults":[{"kind":"migration_precopy_stall",)"
+      R"("at":1,"delay":20}]})");
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->specs()[0].phase, "precopy");
+  // …and rejects any other phase.
+  EXPECT_FALSE(FaultPlan::from_json(
+                   R"({"name":"p","faults":[{"kind":"migration_precopy_stall",)"
+                   R"("at":1,"phase":"eager"}]})")
+                   .has_value());
+  // Migration-window faults may now target the precopy phase.
+  EXPECT_TRUE(FaultPlan::from_json(
+                  R"({"name":"p","faults":[{"kind":"migration_dest_crash",)"
+                  R"("at":1,"phase":"precopy"}]})")
+                  .has_value());
 }
 
 TEST(FaultPlanTest, MinimalDocumentParsesWithDefaults) {

@@ -112,6 +112,52 @@ TEST(MigrationFaultSuiteTest, MigrationStormHoldsAllInvariants) {
   EXPECT_TRUE(report.ok()) << report.invariants.summary();
 }
 
+TEST(MigrationFaultSuiteTest, DestCrashDuringPrecopyNeverLosesAProcess) {
+  // Pre-ACK failure with rounds already shipped: everything pre-copied is
+  // discarded and the source keeps computing — abort, never a lost process.
+  ScenarioOptions options;
+  options.seed = 9;
+  options.horizon = 900.0;
+  options.precopy = true;
+  options.plan = dest_crash_plan("precopy");
+  const ScenarioReport report = run_scenario(options);
+  EXPECT_TRUE(report.ok()) << report.invariants.summary();
+  EXPECT_GT(report.faults.migration_dest_crashes, 0);
+  EXPECT_GT(report.migrations_aborted, 0U);
+  EXPECT_EQ(report.invariants.exits_seen, 3U);
+}
+
+TEST(MigrationFaultSuiteTest, PrecopyStormHoldsAllInvariants) {
+  // The shipped plans/precopy-storm.json: destination crashes while rounds
+  // are in flight and through the freeze tail, link cuts mid-round, and
+  // stalled rounds driven into their timeout.
+  const auto plan = FaultPlan::builtin("precopy-storm");
+  ASSERT_TRUE(plan.has_value());
+  ScenarioOptions options;
+  options.seed = 29;
+  options.horizon = 900.0;
+  options.precopy = true;
+  options.plan = *plan;
+  const ScenarioReport report = run_scenario(options);
+  EXPECT_TRUE(report.ok()) << report.invariants.summary();
+  // The run exercised real pre-copy rounds, not just stop-and-copy.
+  EXPECT_GT(report.precopy_rounds, 0U);
+}
+
+TEST(MigrationFaultSuiteTest, PrecopyStormReplaysByteIdentical) {
+  ScenarioOptions options;
+  options.seed = 31;
+  options.horizon = 900.0;
+  options.precopy = true;
+  options.plan = *FaultPlan::builtin("precopy-storm");
+  options.keep_trace = true;
+  const ScenarioReport first = run_scenario(options);
+  const ScenarioReport second = run_scenario(options);
+  EXPECT_EQ(first.trace_hash, second.trace_hash);
+  EXPECT_EQ(first.events_executed, second.events_executed);
+  EXPECT_EQ(first.trace_jsonl, second.trace_jsonl);  // byte-identical
+}
+
 TEST(MigrationFaultSuiteTest, PhaseFieldRoundTripsInJson) {
   FaultPlan plan{"p"};
   plan.migration_dest_crash(50.0, 140.0, "eager", 0.35, 30.0)

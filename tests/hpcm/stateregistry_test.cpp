@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include "ars/support/byteorder.hpp"
+#include "ars/support/rng.hpp"
+
 namespace ars::hpcm {
 namespace {
 
@@ -131,6 +134,396 @@ TEST(StateRegistry, EraseAndClear) {
   EXPECT_TRUE(reg.contains("b"));
   reg.clear();
   EXPECT_EQ(reg.size(), 0U);
+}
+
+// ---- advertised size vs. wire size (regression: encoded_bytes drift) ------
+
+TEST(StateRegistry, EncodedBytesMatchesEncodeExactlyAcrossAllTypes) {
+  // The network is charged from encoded_bytes(); the decoder parses
+  // encode(). They must agree byte-for-byte for every entry type,
+  // including the degenerate empty payloads.
+  StateRegistry reg;
+  EXPECT_EQ(reg.encoded_bytes(), reg.encode().size());  // empty registry
+  reg.set_int("i", -42);
+  EXPECT_EQ(reg.encoded_bytes(), reg.encode().size());
+  reg.set_double("d", 2.718281828);
+  EXPECT_EQ(reg.encoded_bytes(), reg.encode().size());
+  reg.set_string("s", "hello");
+  EXPECT_EQ(reg.encoded_bytes(), reg.encode().size());
+  reg.set_string("s_empty", "");
+  EXPECT_EQ(reg.encoded_bytes(), reg.encode().size());
+  reg.set_doubles("dv", {1.0, 2.0, 3.0});
+  EXPECT_EQ(reg.encoded_bytes(), reg.encode().size());
+  reg.set_doubles("dv_empty", {});
+  EXPECT_EQ(reg.encoded_bytes(), reg.encode().size());
+  reg.set_ints("iv", {7, 8});
+  EXPECT_EQ(reg.encoded_bytes(), reg.encode().size());
+  reg.set_ints("iv_empty", {});
+  EXPECT_EQ(reg.encoded_bytes(), reg.encode().size());
+  reg.set_opaque("blob", 123456789);
+  EXPECT_EQ(reg.encoded_bytes(), reg.encode().size());
+  reg.set_opaque("blob_empty", 0);
+  EXPECT_EQ(reg.encoded_bytes(), reg.encode().size());
+  reg.set_string("", "unnamed entry");  // empty name is legal on the wire
+  EXPECT_EQ(reg.encoded_bytes(), reg.encode().size());
+}
+
+TEST(StateRegistry, EncodeIntoMatchesEncodeAndReusesBuffer) {
+  StateRegistry reg;
+  reg.set_doubles("grid", std::vector<double>(1000, 3.25));
+  reg.set_ints("index", {-9, 0, 9});
+  reg.set_string("tag", "precopy");
+  const auto canonical = reg.encode(ByteOrder::kLittleEndian);
+  std::vector<std::byte> buffer;
+  reg.encode_into(buffer, ByteOrder::kLittleEndian);
+  EXPECT_EQ(buffer, canonical);
+  // Reuse with stale contents: must be cleared, not appended to.
+  reg.encode_into(buffer, ByteOrder::kLittleEndian);
+  EXPECT_EQ(buffer, canonical);
+}
+
+// ---- decode() hardening (regression: malformed wire) -----------------------
+
+std::vector<std::byte> single_entry_wire(const StateRegistry& reg) {
+  return reg.encode();
+}
+
+TEST(StateRegistry, DecodeRejectsDuplicateKeys) {
+  StateRegistry reg;
+  reg.set_int("x", 1);
+  const auto wire = single_entry_wire(reg);
+  // Rebuild the frame with the same entry twice: magic + origin + count=2
+  // followed by the entry bytes repeated.
+  std::vector<std::byte> dup(wire.begin(), wire.begin() + 5);
+  std::vector<std::byte> count;
+  support::put_be32(count, 2);
+  dup.insert(dup.end(), count.begin(), count.end());
+  dup.insert(dup.end(), wire.begin() + 9, wire.end());
+  dup.insert(dup.end(), wire.begin() + 9, wire.end());
+  const auto decoded = StateRegistry::decode(dup);
+  ASSERT_FALSE(decoded.has_value());
+  EXPECT_NE(decoded.error().message.find("duplicate"), std::string::npos);
+}
+
+TEST(StateRegistry, DecodeRejectsUnknownEntryType) {
+  StateRegistry reg;
+  reg.set_int("x", 1);
+  auto wire = single_entry_wire(reg);
+  // Frame: magic(4) origin(1) count(4) name-len(4) name("x",1) type(1)...
+  wire[9 + 4 + 1] = std::byte{0x7f};
+  const auto decoded = StateRegistry::decode(wire);
+  ASSERT_FALSE(decoded.has_value());
+  EXPECT_NE(decoded.error().message.find("unknown entry type"),
+            std::string::npos);
+}
+
+TEST(StateRegistry, DecodeRejectsVectorLengthOverrunningBuffer) {
+  StateRegistry reg;
+  reg.set_ints("v", {1});
+  auto wire = single_entry_wire(reg);
+  // Patch the vector length prefix (after name-len(4)+name(1)+type(1)) to a
+  // value far larger than the remaining buffer; a naive decoder would
+  // reserve gigabytes or walk off the end.
+  const std::size_t len_at = 9 + 4 + 1 + 1;
+  wire[len_at] = std::byte{0xff};
+  wire[len_at + 1] = std::byte{0xff};
+  wire[len_at + 2] = std::byte{0xff};
+  wire[len_at + 3] = std::byte{0xff};
+  const auto decoded = StateRegistry::decode(wire);
+  ASSERT_FALSE(decoded.has_value());
+  EXPECT_NE(decoded.error().message.find("overruns"), std::string::npos);
+}
+
+TEST(StateRegistry, DecodeRejectsStringLengthOverrunningBuffer) {
+  StateRegistry reg;
+  reg.set_string("s", "ab");
+  auto wire = single_entry_wire(reg);
+  const std::size_t len_at = 9 + 4 + 1 + 1;  // string payload length prefix
+  wire[len_at] = std::byte{0x7f};
+  wire[len_at + 1] = std::byte{0xff};
+  const auto decoded = StateRegistry::decode(wire);
+  ASSERT_FALSE(decoded.has_value());
+  EXPECT_NE(decoded.error().message.find("overruns"), std::string::npos);
+}
+
+TEST(StateRegistry, EveryTruncationFailsCleanly) {
+  // No prefix of a valid frame may decode; each must produce a typed error,
+  // never a crash or a partially-populated registry.
+  StateRegistry reg;
+  reg.set_int("i", 1);
+  reg.set_string("s", "abc");
+  reg.set_doubles("d", {1.5, 2.5});
+  reg.set_ints("v", {10, 20, 30});
+  reg.set_opaque("o", 4096);
+  const auto wire = reg.encode();
+  for (std::size_t n = 0; n < wire.size(); ++n) {
+    const auto decoded =
+        StateRegistry::decode(std::span(wire.data(), n));
+    EXPECT_FALSE(decoded.has_value()) << "prefix of " << n << " bytes decoded";
+  }
+}
+
+// ---- fuzz-style round trips ------------------------------------------------
+
+StateRegistry random_registry(support::Rng& rng, int max_entries) {
+  StateRegistry reg;
+  const int entries = static_cast<int>(rng.uniform_int(0, max_entries));
+  for (int i = 0; i < entries; ++i) {
+    const std::string name = "e" + std::to_string(i);
+    switch (rng.uniform_int(0, 5)) {
+      case 0:
+        reg.set_int(name, rng.uniform_int(-1'000'000, 1'000'000));
+        break;
+      case 1:
+        reg.set_double(name, rng.uniform(-1e12, 1e12));
+        break;
+      case 2: {
+        std::string text;
+        const int length = static_cast<int>(rng.uniform_int(0, 48));
+        for (int c = 0; c < length; ++c) {
+          text.push_back(static_cast<char>(rng.uniform_int(0, 255)));
+        }
+        reg.set_string(name, std::move(text));
+        break;
+      }
+      case 3: {
+        std::vector<double> values(
+            static_cast<std::size_t>(rng.uniform_int(0, 64)));
+        for (double& v : values) v = rng.uniform(-1e6, 1e6);
+        reg.set_doubles(name, std::move(values));
+        break;
+      }
+      case 4: {
+        std::vector<std::int64_t> values(
+            static_cast<std::size_t>(rng.uniform_int(0, 64)));
+        for (auto& v : values) v = rng.uniform_int(-1'000'000, 1'000'000);
+        reg.set_ints(name, std::move(values));
+        break;
+      }
+      default:
+        reg.set_opaque(name,
+                       static_cast<std::uint64_t>(rng.uniform_int(0, 1 << 22)));
+        break;
+    }
+  }
+  return reg;
+}
+
+class StateFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(StateFuzz, RoundTripAndAdvertisedSizeBothOrigins) {
+  support::Rng rng{GetParam() * 7919 + 13};
+  for (int iter = 0; iter < 20; ++iter) {
+    const StateRegistry reg = random_registry(rng, 24);
+    for (const auto origin :
+         {ByteOrder::kBigEndian, ByteOrder::kLittleEndian}) {
+      const auto wire = reg.encode(origin);
+      ASSERT_EQ(reg.encoded_bytes(), wire.size());
+      const auto decoded = StateRegistry::decode(wire);
+      ASSERT_TRUE(decoded.has_value()) << decoded.error().to_string();
+      EXPECT_EQ(decoded->size(), reg.size());
+      EXPECT_EQ(decoded->origin(), origin);
+      EXPECT_EQ(decoded->encode(origin), wire);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StateFuzz,
+                         ::testing::Range<std::uint64_t>(1, 11));
+
+// ---- dirty tracking / pre-copy deltas --------------------------------------
+
+TEST(StateRegistryDirty, GenerationAdvancesOnlyOnRealChange) {
+  StateRegistry reg;
+  EXPECT_EQ(reg.snapshot_generation(), 0U);
+  reg.set_int("i", 1);
+  const auto g1 = reg.snapshot_generation();
+  EXPECT_GT(g1, 0U);
+  reg.set_int("i", 1);  // value-identical: an on_save rewriting every
+  EXPECT_EQ(reg.snapshot_generation(), g1);  // variable must not re-dirty
+  reg.set_int("i", 2);
+  EXPECT_GT(reg.snapshot_generation(), g1);
+  reg.set_opaque("heap", 1024);
+  const auto g2 = reg.snapshot_generation();
+  reg.set_opaque("heap", 1024);  // same size: no-op
+  EXPECT_EQ(reg.snapshot_generation(), g2);
+  reg.set_opaque("heap", 2048);  // resize: whole entry dirty
+  EXPECT_GT(reg.snapshot_generation(), g2);
+}
+
+TEST(StateRegistryDirty, DirtySinceScopesToSnapshot) {
+  StateRegistry reg;
+  reg.set_int("a", 1);
+  reg.set_int("b", 2);
+  const auto snap = reg.snapshot_generation();
+  EXPECT_TRUE(reg.dirty_since(snap).empty());
+  reg.set_int("b", 3);
+  reg.set_string("c", "new");
+  const auto dirty = reg.dirty_since(snap);
+  EXPECT_EQ(dirty, (std::vector<std::string>{"b", "c"}));
+  EXPECT_EQ(reg.dirty_since(0).size(), 3U);
+}
+
+TEST(StateRegistryDirty, TouchOpaqueChargesRegionGranularity) {
+  StateRegistry reg;
+  const std::uint64_t region = StateRegistry::kOpaqueRegionBytes;
+  reg.set_opaque("heap", 10 * region);
+  const auto snap = reg.snapshot_generation();
+  EXPECT_EQ(reg.delta_bytes_since(snap), 0U);
+  // One byte dirties exactly one region.
+  reg.touch_opaque("heap", 5, 1);
+  auto delta = reg.collect_delta(snap);
+  EXPECT_EQ(delta.dirty_opaque_bytes, region);
+  // A straddling touch dirties two.
+  reg.touch_opaque("heap", region - 1, 2);
+  delta = reg.collect_delta(snap);
+  EXPECT_EQ(delta.dirty_opaque_bytes, 2 * region);
+  // Touching past the end clamps; unknown and non-opaque names are no-ops.
+  reg.touch_opaque("heap", 100 * region, 1);
+  reg.touch_opaque("nope", 0, 1);
+  reg.set_int("i", 1);
+  reg.touch_opaque("i", 0, 1);
+  EXPECT_EQ(reg.collect_delta(snap).dirty_opaque_bytes, 2 * region);
+  // A whole-entry re-register charges everything.
+  reg.set_opaque("heap", 12 * region);
+  EXPECT_EQ(reg.collect_delta(snap).dirty_opaque_bytes, 12 * region);
+}
+
+TEST(StateRegistryDirty, DeltaAppliesOnTopOfBaseSnapshot) {
+  StateRegistry src;
+  src.set_int("iter", 10);
+  src.set_doubles("grid", {1.0, 2.0});
+  src.set_string("phase", "compute");
+  src.set_opaque("heap", 1 << 20);
+
+  // Destination stages the round-0 full snapshot.
+  auto staged = StateRegistry::decode(src.encode());
+  ASSERT_TRUE(staged.has_value());
+  const auto snap = src.snapshot_generation();
+
+  // Source keeps computing: mutates, adds, erases.
+  src.set_int("iter", 11);
+  src.set_doubles("grid", {3.0, 4.0});
+  src.set_ints("born", {7});
+  src.erase("phase");
+
+  const auto delta = src.collect_delta(snap);
+  EXPECT_EQ(delta.entries, 3U);
+  EXPECT_EQ(delta.tombstones, 1U);
+  const auto status = staged->apply_delta(delta.wire);
+  ASSERT_TRUE(status.is_ok()) << status.error().to_string();
+  EXPECT_EQ(*staged->get_int("iter"), 11);
+  EXPECT_EQ(*staged->get_doubles("grid"), (std::vector<double>{3.0, 4.0}));
+  EXPECT_EQ(*staged->get_ints("born"), (std::vector<std::int64_t>{7}));
+  EXPECT_FALSE(staged->contains("phase"));  // tombstone propagated
+  EXPECT_EQ(staged->encode(), src.encode());
+}
+
+TEST(StateRegistryDirty, EraseThenReSetDropsTombstone) {
+  StateRegistry reg;
+  reg.set_int("x", 1);
+  const auto snap = reg.snapshot_generation();
+  reg.erase("x");
+  EXPECT_EQ(reg.tombstones_since(snap), (std::vector<std::string>{"x"}));
+  reg.set_int("x", 2);
+  EXPECT_TRUE(reg.tombstones_since(snap).empty());
+  EXPECT_EQ(reg.dirty_since(snap), (std::vector<std::string>{"x"}));
+}
+
+TEST(StateRegistryDirty, ClearTombstonesEveryName) {
+  StateRegistry reg;
+  reg.set_int("a", 1);
+  reg.set_int("b", 2);
+  const auto snap = reg.snapshot_generation();
+  reg.clear();
+  EXPECT_EQ(reg.tombstones_since(snap),
+            (std::vector<std::string>{"a", "b"}));
+  EXPECT_GT(reg.delta_bytes_since(snap), 0U);
+}
+
+TEST(StateRegistryDirty, DeltaBytesSinceMatchesCollectedDelta) {
+  support::Rng rng{1234};
+  StateRegistry reg = random_registry(rng, 16);
+  const auto snap = reg.snapshot_generation();
+  EXPECT_EQ(reg.delta_bytes_since(snap), 0U);
+  reg.set_int("fresh", 5);
+  reg.set_opaque("bulk", 3 * StateRegistry::kOpaqueRegionBytes);
+  reg.touch_opaque("bulk", 0, 1);
+  const auto delta = reg.collect_delta(snap);
+  EXPECT_EQ(reg.delta_bytes_since(snap),
+            delta.wire.size() + delta.dirty_opaque_bytes);
+}
+
+TEST(StateRegistryDirty, ApplyDeltaIsAllOrNothing) {
+  StateRegistry src;
+  src.set_int("a", 1);
+  const auto snap = src.snapshot_generation();
+  src.set_int("a", 2);
+  src.set_string("b", "late");
+  src.erase("missing-anyway");
+  auto delta = src.collect_delta(snap);
+
+  StateRegistry dst;
+  dst.set_int("a", 1);
+  const auto before = dst.encode();
+  // Truncated frame: nothing may be applied.
+  auto truncated = delta.wire;
+  truncated.resize(truncated.size() - 2);
+  EXPECT_FALSE(dst.apply_delta(truncated).is_ok());
+  EXPECT_EQ(dst.encode(), before);
+  // Wrong magic (a full-snapshot frame is not a delta).
+  EXPECT_FALSE(dst.apply_delta(src.encode()).is_ok());
+  EXPECT_EQ(dst.encode(), before);
+  // Trailing garbage.
+  auto trailing = delta.wire;
+  trailing.push_back(std::byte{0});
+  EXPECT_FALSE(dst.apply_delta(trailing).is_ok());
+  EXPECT_EQ(dst.encode(), before);
+  // The intact frame applies.
+  ASSERT_TRUE(dst.apply_delta(delta.wire).is_ok());
+  EXPECT_EQ(*dst.get_int("a"), 2);
+  EXPECT_EQ(*dst.get_string("b"), "late");
+}
+
+TEST(StateRegistryDirty, FuzzDeltaConvergesToSourceBothOrigins) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    support::Rng rng{seed};
+    StateRegistry src = random_registry(rng, 12);
+    const auto origin = (seed % 2 == 0) ? ByteOrder::kBigEndian
+                                        : ByteOrder::kLittleEndian;
+    auto staged = StateRegistry::decode(src.encode(origin));
+    ASSERT_TRUE(staged.has_value());
+    std::uint64_t shipped = src.snapshot_generation();
+    // Several pre-copy rounds of random churn, each followed by a delta.
+    for (int round = 0; round < 4; ++round) {
+      const int mutations = static_cast<int>(rng.uniform_int(0, 8));
+      for (int m = 0; m < mutations; ++m) {
+        const std::string name = "e" + std::to_string(rng.uniform_int(0, 14));
+        switch (rng.uniform_int(0, 3)) {
+          case 0:
+            src.set_int(name, rng.uniform_int(-100, 100));
+            break;
+          case 1:
+            src.set_string(name, std::string(
+                static_cast<std::size_t>(rng.uniform_int(0, 9)), 'z'));
+            break;
+          case 2:
+            src.erase(name);
+            break;
+          default:
+            src.set_doubles(name, {rng.uniform(0.0, 1.0)});
+            break;
+        }
+      }
+      const auto delta = src.collect_delta(shipped, origin);
+      shipped = delta.to_generation;
+      const auto status = staged->apply_delta(delta.wire);
+      ASSERT_TRUE(status.is_ok()) << status.error().to_string();
+    }
+    EXPECT_EQ(staged->encode(origin), src.encode(origin))
+        << "seed " << seed << " diverged";
+    EXPECT_EQ(src.delta_bytes_since(shipped), 0U);
+  }
 }
 
 }  // namespace

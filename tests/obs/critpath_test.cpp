@@ -148,6 +148,60 @@ TEST(CritpathGroup, ReconstructsOneTransactionWithExactPhaseBreakdown) {
   EXPECT_TRUE(verdict.ok) << verdict.problems.front();
 }
 
+TEST(CritpathGroup, PrecopyRoundsAreSplitOutOfTheFreezeWindow) {
+  // A pre-copy migration: the overlapped rounds run under one
+  // "migration.precopy" span [2, 7] while the application computes; only
+  // the final collect/eager/ack [7, 7.7] stop the world.  There is no
+  // migration.spawn span — init happens inside round 0.
+  Tracer tracer;
+  double now = 0.0;
+  tracer.set_clock([&now] { return now; });
+  const std::uint64_t txn = tracer.new_txn();
+  const TraceCtx ctx{txn, 0};
+  Attrs mig_attrs{{"source", "ws1"}, {"dest", "ws2"}};
+  stamp(mig_attrs, ctx);
+  now = 2.0;
+  const std::uint64_t migration =
+      tracer.begin_span("migration", "hpcm", "app.0", std::move(mig_attrs));
+  const TraceCtx phase_ctx = ctx.child_of(migration);
+  const auto phase = [&](const char* name, double from, double to) {
+    now = from;
+    Attrs attrs;
+    stamp(attrs, phase_ctx);
+    const auto id = tracer.begin_span(name, "hpcm", "app.0", std::move(attrs));
+    now = to;
+    tracer.end_span(id);
+  };
+  phase("migration.precopy", 2.0, 7.0);
+  phase("migration.collect", 7.0, 7.2);
+  phase("migration.eager", 7.2, 7.6);
+  phase("migration.ack", 7.6, 7.7);
+  phase("migration.transfer", 7.7, 7.8);
+  phase("migration.restore", 7.7, 7.75);
+  now = 7.8;
+  tracer.end_span(migration, {{"outcome", "committed"}});
+
+  const auto events = parse_jsonl(tracer.to_jsonl());
+  ASSERT_TRUE(events.has_value());
+  const auto txns = group_transactions(*events);
+  ASSERT_EQ(txns.size(), 1u);
+  const Transaction& t = txns.front();
+  ASSERT_TRUE(t.has_migration);
+  EXPECT_DOUBLE_EQ(t.phase_s.at("precopy"), 5.0);
+  // The freeze window is only the stop-the-world tail: the 5 s of
+  // overlapped rounds must NOT be charged to it.
+  EXPECT_NEAR(t.freeze_s, 0.7, 1e-9);
+  EXPECT_EQ(t.phase_s.count("init"), 0u);
+  // The precopy span still explains the migration window for the
+  // --check-sum-tolerance coverage check.
+  EXPECT_NEAR(coverage_gap_s(t), 0.0, 1e-9);
+  EXPECT_TRUE(validate(t).ok);
+
+  Report report;
+  accumulate(report, txns);
+  EXPECT_NE(format_report(report).find("precopy"), std::string::npos);
+}
+
 TEST(CritpathValidate, OrphanParentSpanIsReported) {
   Tracer tracer;
   const std::uint64_t txn = tracer.new_txn();

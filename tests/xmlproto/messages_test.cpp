@@ -242,6 +242,35 @@ TEST(Messages, CommittedOutcomeOmitsFailureDetail) {
   EXPECT_TRUE(back.phase.empty());
 }
 
+TEST(Messages, PrecopyAccountingRoundTripsWhenRoundsShipped) {
+  MigrationOutcomeMsg m;
+  m.process = "test_tree";
+  m.source = "ws1";
+  m.destination = "ws4";
+  m.outcome = "committed";
+  m.precopy_rounds = 3;
+  m.precopy_bytes = 12582912;  // 12 MiB moved outside the freeze window
+  const MigrationOutcomeMsg back = round_trip(m);
+  EXPECT_EQ(back.precopy_rounds, 3);
+  EXPECT_EQ(back.precopy_bytes, 12582912U);
+}
+
+TEST(Messages, StopAndCopyOutcomeOmitsPrecopyFields) {
+  // Zero rounds means a stop-and-copy transaction: the wire form must stay
+  // byte-compatible with pre-precopy peers, so the fields are absent — and
+  // a decoder reading a legacy document defaults them to zero.
+  MigrationOutcomeMsg m;
+  m.process = "test_tree";
+  m.source = "ws1";
+  m.destination = "ws4";
+  m.outcome = "committed";
+  const std::string wire = encode(ProtocolMessage{m});
+  EXPECT_EQ(wire.find("precopy"), std::string::npos);
+  const MigrationOutcomeMsg back = round_trip(m);
+  EXPECT_EQ(back.precopy_rounds, 0);
+  EXPECT_EQ(back.precopy_bytes, 0U);
+}
+
 TEST(Messages, MigrationOutcomeRejectsMissingFields) {
   // Every routing field is mandatory: the registry keys its debit-credit
   // bookkeeping on (process, source, destination, outcome).

@@ -12,6 +12,7 @@
 //                  [--hosts=N] [--apps=N] [--horizon=T] [--replay-passing=N]
 //                  [--sabotage-lease-expiry] [--sabotage-migration-rollback]
 //                  [--verify-scan-equivalence] [--delta-heartbeats]
+//                  [--precopy]
 //                  [--out=report.json] [--bundle-dir=DIR] [--trace-dir=DIR]
 //                  [--trace-out=FILE] [--metrics-out=FILE]
 //                  [--replay-bundle=FILE] [--list-plans]
@@ -75,6 +76,7 @@ struct CampaignOptions {
   bool sabotage_resize_rollback = false;
   bool verify_scan_equivalence = false;
   bool delta_heartbeats = false;
+  bool precopy = false;  // iterative pre-copy migration + heavy-state apps
   std::string out_path;
   std::string bundle_dir;  // flight-recorder bundles for failing seeds
   std::string trace_dir;   // per-seed JSONL exports for trace_critpath
@@ -128,7 +130,8 @@ std::optional<std::string> arg_value(const std::string& arg,
             << "         [--sabotage-migration-rollback]\n"
             << "         [--malleable-jobs=N] [--sabotage-resize-rollback]\n"
             << "         [--verify-scan-equivalence]\n"
-            << "         [--delta-heartbeats] [--out=report.json]\n"
+            << "         [--delta-heartbeats] [--precopy]\n"
+            << "         [--out=report.json]\n"
             << "         [--bundle-dir=DIR] [--trace-dir=DIR]\n"
             << "         [--trace-out=FILE] [--metrics-out=FILE]\n"
             << "         [--replay-bundle=FILE] [--list-plans]\n";
@@ -173,6 +176,7 @@ ScenarioOptions make_scenario(const CampaignOptions& options,
   scenario.malleable_jobs = options.malleable_jobs;
   scenario.sabotage_resize_rollback = options.sabotage_resize_rollback;
   scenario.delta_heartbeats = options.delta_heartbeats;
+  scenario.precopy = options.precopy;
   scenario.legacy_scan = legacy_scan;
   // Equivalence runs compare the two scan modes, so the audit (which itself
   // forces the legacy scan) must be off for both sides.
@@ -463,6 +467,8 @@ int main(int argc, char** argv) {
       options.verify_scan_equivalence = true;
     } else if (arg == "--delta-heartbeats") {
       options.delta_heartbeats = true;
+    } else if (arg == "--precopy") {
+      options.precopy = true;
     } else if (auto value = arg_value(arg, "--seeds")) {
       options.seeds = std::stoi(*value);
     } else if (auto value2 = arg_value(arg, "--seed-base")) {

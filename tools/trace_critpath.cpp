@@ -1,6 +1,11 @@
 // trace_critpath: reconstruct per-transaction DAGs from JSONL trace exports
 // and report the migration freeze-window breakdown per phase.
 //
+// Pre-copy traces carry a "migration.precopy" span for the overlapped
+// iterative rounds; it is reported as its own phase and excluded from the
+// freeze aggregate (freeze = init + collect + eager + ack — the
+// stop-the-world phases only).
+//
 // Each input file is one trace export (one run / one seed); feeding the tool
 // a whole campaign's trace directory yields cross-seed percentiles.
 //
