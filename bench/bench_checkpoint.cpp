@@ -1,0 +1,113 @@
+// Micro benchmarks (google-benchmark) for the shared checkpoint store
+// (DESIGN.md §17): a lone write through the fluid-flow machinery, an
+// N-writer storm where every completion re-rates the survivors, and the
+// cooperative admission scheduler's request/release hot path.  What's
+// measured is simulator cost — events and re-rating arithmetic — not the
+// simulated transfer time, so a storm that models minutes of I/O should
+// still bench in microseconds.
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+#include "common.hpp"
+
+#include "ars/ckpt/io.hpp"
+#include "ars/ckpt/strategy.hpp"
+#include "ars/sim/engine.hpp"
+
+namespace {
+
+using namespace ars;
+
+void note_case(benchmark::State& state, const char* name) {
+  if (auto* metrics = bench::obs_metrics_sink()) {
+    metrics->counter("bench.iterations", {{"bench", name}})
+        .inc(static_cast<double>(state.iterations()));
+  }
+  if (auto* tracer = bench::obs_trace_sink()) {
+    tracer->instant("bench.case", "bench", name);
+  }
+}
+
+/// One write, no contention: the floor every checkpoint pays (begin,
+/// single completion event, commit callback).
+void BM_CkptSingleWrite(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Engine engine;
+    ckpt::IoOptions options;
+    options.aggregate_bps = 40.0e6;
+    ckpt::SharedStore store{engine, options};
+    int commits = 0;
+    store.begin_write("job0.0", "host0", 80'000'000,
+                      [&](const ckpt::WriteOutcome&) { ++commits; },
+                      [](const ckpt::WriteOutcome&) {});
+    engine.run();
+    benchmark::DoNotOptimize(commits);
+  }
+  note_case(state, "BM_CkptSingleWrite");
+}
+BENCHMARK(BM_CkptSingleWrite);
+
+/// N staggered writers on one saturated store: each arrival and each
+/// completion re-rates everyone else, so event count grows with N^0..N —
+/// this is the interference machinery's scaling curve.
+void BM_CkptWriterStorm(benchmark::State& state) {
+  const int writers = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Engine engine;
+    ckpt::IoOptions options;
+    options.aggregate_bps = 40.0e6;
+    ckpt::SharedStore store{engine, options};
+    int commits = 0;
+    for (int i = 0; i < writers; ++i) {
+      // Staggered starts: every arrival lands mid-flight of the others.
+      engine.schedule_at(static_cast<double>(i) * 0.25, [&store, &commits,
+                                                         i] {
+        store.begin_write("job" + std::to_string(i) + ".0",
+                          "host" + std::to_string(i % 8), 40'000'000,
+                          [&commits](const ckpt::WriteOutcome&) { ++commits; },
+                          [](const ckpt::WriteOutcome&) {});
+      });
+    }
+    engine.run();
+    benchmark::DoNotOptimize(commits);
+  }
+  state.SetItemsProcessed(state.iterations() * writers);
+  note_case(state, "BM_CkptWriterStorm");
+}
+BENCHMARK(BM_CkptWriterStorm)->Arg(4)->Arg(16)->Arg(64);
+
+/// The cooperative admission hot path: request -> admit/defer -> release
+/// across a rotating population, with the risk-based preemption scan on
+/// every decision.
+void BM_CkptAdmissionCycle(benchmark::State& state) {
+  const int jobs = static_cast<int>(state.range(0));
+  sim::Engine engine;
+  ckpt::IoScheduler scheduler;
+  std::vector<std::string> names;
+  names.reserve(static_cast<std::size_t>(jobs));
+  for (int i = 0; i < jobs; ++i) {
+    names.push_back("job" + std::to_string(i) + ".0");
+  }
+  std::size_t turn = 0;
+  for (auto _ : state) {
+    const std::string& name = names[turn % names.size()];
+    const double risk = 0.1 * static_cast<double>(turn % 40);
+    const ckpt::Admission admission =
+        scheduler.request(name, "host0", risk, engine.now());
+    if (admission.verb == ckpt::Admission::Verb::kAdmit) {
+      scheduler.release(name);
+    }
+    benchmark::DoNotOptimize(admission.retry_after);
+    ++turn;
+  }
+  state.SetItemsProcessed(state.iterations());
+  note_case(state, "BM_CkptAdmissionCycle");
+}
+BENCHMARK(BM_CkptAdmissionCycle)->Arg(4)->Arg(32);
+
+}  // namespace
+
+ARS_BENCH_MAIN();

@@ -28,6 +28,10 @@ enum class FaultKind {
   kLinkDegrade,       // link bandwidth multiplied by `factor`
   kPartition,         // traffic between side A and side B fully cut
   kHostCrash,         // host dies at `at`; reboots at `until` if set
+  kHostCrashRate,     // exponential crash arrivals with mean `mtbf` on each
+                      // matching host inside [at, until); each crash
+                      // reboots after `delay` seconds (0 = stays down) —
+                      // the failure driver of the checkpoint-waste campaign
   kCpuSlowdown,       // host CPU speed multiplied by `factor`
   kMonitorStall,      // the host's monitor stops heartbeating
   kRegistryCrash,     // registry process dies; cold restart at `until`
@@ -73,6 +77,8 @@ struct FaultSpec {
   /// "precopy", "eager", "ack", "restore") that triggers the fault.  Empty
   /// matches every phase.
   std::string phase;
+  /// kHostCrashRate only: mean time between crashes per matching host.
+  double mtbf = 0.0;
 
   [[nodiscard]] bool permanent() const noexcept { return until < 0.0; }
 };
@@ -96,6 +102,12 @@ class FaultPlan {
   FaultPlan& partition(double at, double heal_at, std::string side_a,
                        std::string side_b = "*");
   FaultPlan& host_crash(double at, double restart_at, std::string host);
+  /// Exponential crash arrivals (mean `mtbf` seconds between crashes) on
+  /// each host matching `host` inside [at, until); every crash reboots
+  /// `reboot_after` seconds later (0 = the host stays down).
+  FaultPlan& host_crash_rate(double at, double until, double mtbf,
+                             std::string host = "*",
+                             double reboot_after = 30.0);
   FaultPlan& cpu_slowdown(double at, double until, double factor,
                           std::string host);
   FaultPlan& monitor_stall(double at, double until, std::string host);

@@ -43,6 +43,7 @@ class FaultInjector final : public net::FaultPolicy {
     int migration_precopy_stalls = 0;  // pre-copy rounds stalled to timeout
     int resize_stalls = 0;           // resize phases stalled toward timeout
     int resize_target_crashes = 0;   // spawn targets killed mid-expand
+    int rate_crashes = 0;            // crashes from host_crash_rate arrivals
   };
 
   FaultInjector(core::ReschedulerRuntime& runtime, FaultPlan plan,
@@ -89,6 +90,11 @@ class FaultInjector final : public net::FaultPolicy {
   /// listener; crashes a spawn target as a zero-delay engine event.
   void on_resize_phase(const malleable::ResizePhaseEvent& event);
   void crash_resize_target(const std::string& host, double reboot_after);
+  /// kHostCrashRate: pre-draw every exponential crash arrival in
+  /// [at, until) per matching host at arm() time (stable rng order) and
+  /// schedule them as plain engine events.
+  void schedule_crash_arrivals(const FaultSpec& spec);
+  void rate_crash(const std::string& host, double reboot_after);
   void crash_migration_destination(const std::string& dest,
                                    double reboot_after);
   void cut_migration_link(const std::string& a, const std::string& b,

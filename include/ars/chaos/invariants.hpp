@@ -23,6 +23,10 @@
 //     is live on some host, is parked for relaunch in the middleware,
 //     or sits on the registry's retry list.  An abort must never
 //     silently destroy the application.
+//   * no torn checkpoint — no relaunch ever restores an incomplete
+//     checkpoint (a ckpt.torn_restore trace event): the shared store's
+//     shadow-commit must make a crash mid-write keep the previous
+//     complete checkpoint.
 //
 // The checker is read-only: run the scenario, then call check().
 
@@ -50,6 +54,7 @@ struct InvariantReport {
   std::size_t hosts_checked = 0;
   std::size_t resizes_checked = 0;  // terminal resize outcomes examined
   long long ghost_ranks = 0;        // leaked ranks found at outcome time
+  std::size_t torn_restores = 0;    // incomplete checkpoints restored
 
   [[nodiscard]] bool ok() const noexcept { return violations.empty(); }
   /// One line per violation (or "ok"), for logs and gtest messages.

@@ -57,6 +57,22 @@ struct ScenarioOptions {
   /// exercise tombstones), and the middleware ships dirty deltas in the
   /// background instead of stop-and-copy.
   bool precopy = false;
+  /// Checkpoint scheduling strategy driven from poll-points ("periodic" |
+  /// "cooperative"; empty keeps the legacy every-N-iterations checkpoint).
+  /// DESIGN.md §17: checkpoints flow through the shared store and the
+  /// waste ledger; "cooperative" also enables the registry's I/O scheduler.
+  std::string ckpt_strategy;
+  /// Per-host MTBF assumed by the Young/Daly interval (seconds).
+  double ckpt_mtbf = 300.0;
+  /// Aggregate shared-store bandwidth in MB/s (0 = unlimited): the
+  /// interference knob — N concurrent writers share this fluid-flow.
+  double ckpt_aggregate_mbps = 0.0;
+  /// Opaque state each app drags along (MB): sizes the checkpoint writes.
+  double ckpt_state_mb = 0.0;
+  /// Deliberately breaks the store's atomic shadow-commit (an aborted
+  /// write replaces the previous checkpoint, torn) to prove the
+  /// no-torn-checkpoint invariant catches it.
+  bool sabotage_torn_checkpoint = false;
 };
 
 struct ScenarioReport {
@@ -83,6 +99,18 @@ struct ScenarioReport {
   long long ghost_ranks = 0;            // must stay 0 (no-lost-rank)
   FaultInjector::Stats faults;
   std::uint64_t messages_dropped = 0;  // network total (all reasons)
+  // -- checkpoint I/O and failure waste (DESIGN.md §17) ----------------------
+  std::size_t ckpt_commits = 0;    // shared-store writes that committed
+  std::size_t ckpt_aborts = 0;     // in-flight writes dropped (crash/preempt)
+  std::size_t ckpt_deferred = 0;   // cooperative defer verdicts honoured
+  std::size_t ckpt_preempted = 0;  // cooperative preemptions suffered
+  std::size_t torn_restores = 0;   // must stay 0 (no-torn-checkpoint)
+  double waste_overhead_s = 0.0;   // store time burned on writes
+  double waste_lost_work_s = 0.0;  // progress lost to crashes
+  double waste_restart_s = 0.0;    // checkpoint read-back on relaunch
+  [[nodiscard]] double waste_total_s() const noexcept {
+    return waste_overhead_s + waste_lost_work_s + waste_restart_s;
+  }
   /// Canonical decision log (registry::Registry::decision_log) and its
   /// FNV-1a digest — the byte-identical comparison for scan equivalence.
   std::size_t decisions = 0;

@@ -1,0 +1,143 @@
+#pragma once
+// Checkpoint scheduling strategies and failure-waste accounting
+// (DESIGN.md §17).
+//
+// Two strategies from the InterferingCheckpoints line of work (Herault et
+// al., INRIA RR-9109):
+//
+//   periodic    — every process checkpoints on its own Young/Daly-optimal
+//                 interval W = sqrt(2 C M) derived from the host-crash MTBF
+//                 and its own write cost.  Uncoordinated: when many jobs
+//                 share one store, their writes collide and stretch.
+//   cooperative — a central I/O scheduler (living in the registry, next to
+//                 consult routing) admits at most K concurrent writes,
+//                 defers the rest, and preempts a low-risk write when a
+//                 much riskier one shows up.  Risk is elapsed-over-interval:
+//                 how overdue the requester already is.
+//
+// The WasteLedger measures what either strategy costs: checkpoint overhead
+// (time the store spent on writes that committed), work lost to failures
+// (progress since the last committed checkpoint), and restart/rework time.
+
+#include <cmath>
+#include <limits>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace ars::ckpt {
+
+/// Young/Daly first-order optimal checkpoint interval: W = sqrt(2 C M) for
+/// write cost C and mean time between failures M (both seconds).  Returns
+/// +inf when either input is non-positive (checkpointing never becomes
+/// due) — callers clamp with their own minimum.
+inline double young_daly_interval(double mtbf, double write_cost) {
+  if (mtbf <= 0.0 || write_cost <= 0.0) {
+    return std::numeric_limits<double>::infinity();
+  }
+  return std::sqrt(2.0 * write_cost * mtbf);
+}
+
+// -- cooperative admission ---------------------------------------------------
+
+/// The I/O scheduler's verdict on one checkpoint write request.
+struct Admission {
+  enum class Verb { kAdmit, kDefer, kPreempt };
+  Verb verb = Verb::kDefer;
+  double retry_after = 0.0;   // defer: when the requester should re-ask
+  /// Admit-by-preemption: the active write that must be aborted to make
+  /// room (empty otherwise).  The caller notifies the victim.
+  std::string preempt_victim;
+  std::string victim_host;
+};
+
+/// Deterministic central admission for checkpoint writes.  Pure state
+/// machine — no engine, no wire format — so it unit-tests in isolation and
+/// the registry drives it from its message handlers and sweep loop.
+class IoScheduler {
+ public:
+  struct Config {
+    /// Concurrent writes admitted before the store is declared saturated.
+    int max_concurrent = 2;
+    /// Base defer backoff; scaled by how crowded the store is.
+    double defer_retry = 5.0;
+    /// A requester this many times riskier than the least-risky active
+    /// write preempts it (risk = elapsed / Young-Daly interval).
+    double preempt_risk_ratio = 2.0;
+    /// Admitted writes are reaped after this long without a done/abort
+    /// (lost message, crashed host) so slots cannot leak.
+    double slot_ttl = 120.0;
+  };
+
+  IoScheduler() : IoScheduler(Config{}) {}
+  explicit IoScheduler(Config config) : config_(config) {}
+
+  /// One write request: admit, defer, or admit-by-preempting a victim.
+  Admission request(const std::string& process, const std::string& host,
+                    double risk, double now);
+
+  /// The write of `process` finished or was dropped; free its slot.
+  /// Idempotent (stale done/abort reports are normal under loss).
+  void release(const std::string& process);
+
+  /// Reap slots older than slot_ttl; returns the reaped process names.
+  std::vector<std::string> expire(double now);
+
+  [[nodiscard]] std::size_t active() const { return active_.size(); }
+  [[nodiscard]] bool holds_slot(const std::string& process) const {
+    return active_.contains(process);
+  }
+  [[nodiscard]] int admitted() const noexcept { return admitted_; }
+  [[nodiscard]] int deferred() const noexcept { return deferred_; }
+  [[nodiscard]] int preemptions() const noexcept { return preemptions_; }
+  [[nodiscard]] const Config& config() const noexcept { return config_; }
+
+ private:
+  struct Slot {
+    std::string host;
+    double risk = 0.0;
+    double admitted_at = 0.0;
+  };
+
+  Config config_;
+  std::map<std::string, Slot> active_;  // stable order: determinism
+  int admitted_ = 0;
+  int deferred_ = 0;
+  int preemptions_ = 0;
+};
+
+// -- waste accounting --------------------------------------------------------
+
+/// Failure-waste breakdown for one process (all seconds).
+struct Waste {
+  /// Store time spent on checkpoint writes (committed and aborted).
+  double overhead_s = 0.0;
+  /// Work lost to crashes: progress since the last committed checkpoint.
+  double lost_work_s = 0.0;
+  /// Restart cost: checkpoint read-back on relaunch.
+  double restart_s = 0.0;
+
+  [[nodiscard]] double total() const {
+    return overhead_s + lost_work_s + restart_s;
+  }
+};
+
+/// Per-process and cluster-wide waste ledger; the obs export and the
+/// campaign read it after the run.
+class WasteLedger {
+ public:
+  void record_overhead(const std::string& process, double seconds);
+  void record_lost_work(const std::string& process, double seconds);
+  void record_restart(const std::string& process, double seconds);
+
+  [[nodiscard]] Waste of(const std::string& process) const;
+  [[nodiscard]] Waste cluster() const;
+  [[nodiscard]] const std::map<std::string, Waste>& per_process() const {
+    return per_process_;
+  }
+
+ private:
+  std::map<std::string, Waste> per_process_;
+};
+
+}  // namespace ars::ckpt

@@ -63,6 +63,13 @@ class Commander {
   void report_resize_outcome(const xmlproto::ResizeOutcomeMsg& outcome,
                              obs::TraceCtx ctx = {});
 
+  /// Forward a checkpoint-write I/O event to the registry's I/O scheduler
+  /// (same fire-and-forget contract; the scheduler's slot TTL covers lost
+  /// done/abort reports and its grant covers lost requests via the
+  /// middleware's grant timeout).
+  void send_ckpt_request(const xmlproto::CkptIoRequestMsg& request,
+                         obs::TraceCtx ctx = {});
+
   /// Wire the malleable engine RESIZE commands are forwarded to.  Unset,
   /// RESIZE commands are rejected with an immediate aborted outcome.
   void set_malleable(malleable::MalleableEngine* engine) {

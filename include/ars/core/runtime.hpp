@@ -81,6 +81,13 @@ struct ClusterConfig {
   bool enable_resize_planner = false;
   double resize_cooldown = 30.0;
   int max_expand_step = 4;
+  /// Central checkpoint-write admission in the registry (DESIGN.md §17).
+  /// Enabled automatically when hpcm.ckpt_strategy == "cooperative"; the
+  /// knobs below shape the I/O scheduler either way.
+  int ckpt_max_concurrent = 2;
+  double ckpt_defer_retry = 5.0;
+  double ckpt_preempt_risk = 2.0;
+  double ckpt_slot_ttl = 120.0;
 };
 
 /// Convenience builder for uniform Sun-Blade-100-like clusters.

@@ -43,6 +43,8 @@
 #include <string>
 #include <vector>
 
+#include "ars/ckpt/io.hpp"
+#include "ars/ckpt/strategy.hpp"
 #include "ars/hpcm/checkpoint.hpp"
 #include "ars/hpcm/schema.hpp"
 #include "ars/hpcm/stateregistry.hpp"
@@ -161,8 +163,17 @@ class MigrationContext {
   [[nodiscard]] sim::Task<> poll_point();
 
   /// Write a checkpoint of the registered state to the stable store
-  /// (checkpointing-based fault tolerance; blocks for the write time).
+  /// (checkpointing-based fault tolerance).  Blocks only for the snapshot;
+  /// the write itself streams asynchronously through the shared checkpoint
+  /// I/O resource and replaces the previous checkpoint atomically when it
+  /// commits (DESIGN.md §17).  A no-op while a write is already in flight.
   [[nodiscard]] sim::Task<> checkpoint();
+
+  /// Strategy-driven checkpointing hook for poll-point loops: consults the
+  /// engine's checkpoint plan (ckpt_strategy / Young-Daly interval /
+  /// cooperative admission) and checkpoints when one is due.  Cheap when
+  /// nothing is due; a no-op when the strategy is "none".
+  [[nodiscard]] sim::Task<> maybe_checkpoint();
 
   /// True when the current fiber was relaunched from a checkpoint (subset
   /// of restored(): restored() is also true after a live migration).
@@ -206,8 +217,36 @@ class MigrationEngine {
     /// Destination-side decode/restore latency before the app resumes.
     double restore_delay = 1.0;
     /// Stable-store bandwidth for checkpoint writes/reads (2004-era
-    /// NFS-backed disk).
+    /// NFS-backed disk).  This is the PER-HOST link into the store; see
+    /// ckpt_aggregate_bps for the shared limit.
     double checkpoint_store_bps = 20.0e6;
+    /// Aggregate checkpoint-store bandwidth shared fluid-flow style by all
+    /// concurrent writes (DESIGN.md §17).  0 disables the shared limit:
+    /// every write gets the per-host rate (legacy, interference-free).
+    double ckpt_aggregate_bps = 0.0;
+    /// Memory-speed snapshot bandwidth: the only part of a checkpoint that
+    /// blocks the application (the write streams in the background).
+    double ckpt_snapshot_bps = 400.0e6;
+    /// Checkpoint scheduling strategy driving maybe_checkpoint():
+    /// "none" (apps checkpoint explicitly), "periodic" (per-process
+    /// Young/Daly intervals from ckpt_mtbf), or "cooperative" (periodic
+    /// due-times, but writes ask the registry's I/O scheduler first).
+    std::string ckpt_strategy = "none";
+    /// Host MTBF feeding the Young/Daly interval (seconds; 0: checkpoints
+    /// never become due).
+    double ckpt_mtbf = 0.0;
+    /// Floor for the Young/Daly interval (tiny states would otherwise
+    /// checkpoint every poll-point).
+    double ckpt_min_interval = 5.0;
+    /// Cooperative mode: how long to wait for an admission grant before
+    /// falling back to local admission (the registry may be down — the
+    /// process must keep covering itself).
+    double ckpt_grant_timeout = 15.0;
+    /// Sabotage knob for the chaos checker: an aborted in-flight write
+    /// REPLACES the previous checkpoint with the torn partial (a store
+    /// without atomic rename) — the bug class the no-torn-checkpoint
+    /// invariant exists to catch.  Never set outside tests.
+    bool sabotage_torn_commit = false;
     /// Per-phase transaction timeouts (seconds).  A phase that neither
     /// completes nor fails within its budget aborts the transaction and the
     /// process keeps computing on the source.
@@ -302,6 +341,44 @@ class MigrationEngine {
   [[nodiscard]] CheckpointStore& checkpoints() noexcept {
     return checkpoint_store_;
   }
+
+  /// The shared checkpoint I/O resource all writes flow through.
+  [[nodiscard]] ckpt::SharedStore& shared_store() noexcept {
+    return *shared_store_;
+  }
+
+  /// Failure-waste ledger: checkpoint overhead + lost work + restart cost.
+  [[nodiscard]] const ckpt::WasteLedger& waste() const noexcept {
+    return waste_;
+  }
+
+  /// Cooperative checkpoint I/O: the engine's side of the admission
+  /// protocol.  Requests ("request"/"done"/"abort") leave through the
+  /// sender (the runtime wires it to the host's commander); grants
+  /// ("admit"/"defer"/"preempt") come back via deliver_ckpt_grant.
+  struct CkptIoRequest {
+    std::string host;     // requesting process's current host
+    std::string process;
+    std::string verb;     // "request" | "done" | "abort"
+    std::uint64_t bytes = 0;
+    double risk = 0.0;    // elapsed / Young-Daly interval
+  };
+  using CkptRequestSender = std::function<void(const CkptIoRequest&)>;
+  void set_ckpt_request_sender(CkptRequestSender sender) {
+    ckpt_request_sender_ = std::move(sender);
+  }
+  /// Commander entry point for a CkptIoGrantMsg.  Safe to call inline from
+  /// a serving fiber: it only mutates plan state (and may abort an
+  /// in-flight write on "preempt").  Unknown processes are ignored.
+  void deliver_ckpt_grant(const std::string& process, const std::string& verb,
+                          double retry_after);
+
+  [[nodiscard]] int ckpt_deferred() const noexcept { return ckpt_deferred_; }
+  [[nodiscard]] int ckpt_preempted() const noexcept {
+    return ckpt_preempted_;
+  }
+  /// Relaunches that restored a torn checkpoint (0 unless sabotaged).
+  [[nodiscard]] int torn_restores() const noexcept { return torn_restores_; }
 
   /// Simulate a process crash (host failure, kill -9): the fiber dies on
   /// the spot, the logical process disappears, nothing is collected.  The
@@ -499,6 +576,36 @@ class MigrationEngine {
   /// any; `closed_by` says why ("poll-point", "crash", "exit", ...).
   void close_signal_span(mpi::RankId id, const char* closed_by);
 
+  // -- shared checkpoint I/O (DESIGN.md §17) -------------------------------
+  /// Per-process checkpoint plan state (strategy-driven checkpointing).
+  struct CkptPlan {
+    /// Progress baseline: last snapshot start (-1: re-baselined at the
+    /// next poll — fresh launches and relaunches both start here).
+    double last_mark = -1.0;
+    double retry_at = 0.0;        // cooperative defer/preempt backoff
+    bool awaiting_grant = false;  // request sent, no grant yet
+    double requested_at = 0.0;
+    bool granted = false;         // admit received, write not started yet
+  };
+
+  /// maybe_checkpoint() body: due-check against the Young/Daly interval,
+  /// then either write directly (periodic) or run the admission protocol
+  /// (cooperative).
+  [[nodiscard]] sim::Task<> ckpt_poll(MigrationContext& ctx);
+  /// checkpoint() body: blocking snapshot, then the asynchronous shared
+  /// write with shadow-commit.
+  [[nodiscard]] sim::Task<> write_checkpoint(MigrationContext& ctx);
+  /// Uncontended write cost estimate feeding Young/Daly (last committed
+  /// checkpoint's bytes, or the registry's current footprint).
+  [[nodiscard]] double ckpt_write_cost(const MigrationContext& ctx) const;
+  void on_ckpt_commit(const std::string& process,
+                      const ckpt::WriteOutcome& outcome);
+  void on_ckpt_abort(const std::string& process,
+                     const ckpt::WriteOutcome& outcome);
+  void send_ckpt_io(const std::string& process, const std::string& host,
+                    const char* verb, std::uint64_t bytes, double risk);
+  void observe_waste_s(double seconds);
+
   void notify_phase(const PendingTx& tx, const char* phase);
   void notify_outcome(const MigrationTimeline& timeline,
                       const obs::TraceCtx& trace);
@@ -525,6 +632,15 @@ class MigrationEngine {
   std::map<std::size_t, std::unique_ptr<PendingTx>> pending_;
   std::vector<MigrationTimeline> history_;
   CheckpointStore checkpoint_store_;
+  /// The shared I/O resource (declared after the CheckpointStore it commits
+  /// into, so it tears down first).
+  std::unique_ptr<ckpt::SharedStore> shared_store_;
+  ckpt::WasteLedger waste_;
+  std::map<std::string, CkptPlan> ckpt_plans_;  // keyed by process name
+  CkptRequestSender ckpt_request_sender_;
+  int ckpt_deferred_ = 0;
+  int ckpt_preempted_ = 0;
+  int torn_restores_ = 0;
   /// Crashed applications parked for relaunch, keyed by process name.
   std::map<std::string, std::unique_ptr<ProcState>> crashed_;
   /// Processes that ran to completion (normal exit); cleared if the name

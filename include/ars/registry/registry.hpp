@@ -29,6 +29,7 @@
 #include <string>
 #include <vector>
 
+#include "ars/ckpt/strategy.hpp"
 #include "ars/hpcm/schema.hpp"
 #include "ars/net/network.hpp"
 #include "ars/obs/trace_ctx.hpp"
@@ -199,6 +200,18 @@ class Registry {
     /// Current hosts of a malleable job (wired by the runtime): used to
     /// avoid doubling ranks onto member hosts and to pick pressure victims.
     std::function<std::vector<std::string>(const std::string&)> job_hosts;
+    /// Cooperative checkpoint I/O scheduling (DESIGN.md §17): answer
+    /// CkptIoRequestMsg with admit/defer/preempt grants so concurrent
+    /// checkpoint writes do not saturate the shared store.
+    bool enable_ckpt_io = false;
+    /// Concurrent checkpoint writes admitted before deferring.
+    int ckpt_max_concurrent = 2;
+    /// Base defer backoff; scaled by store crowding.
+    double ckpt_defer_retry = 5.0;
+    /// Risk ratio at which a requester preempts the least-risky writer.
+    double ckpt_preempt_risk = 2.0;
+    /// Admitted slots reaped after this long without a done/abort.
+    double ckpt_slot_ttl = 120.0;
     /// Per-host audit trail policy (see AuditMode).
     AuditMode audit = AuditMode::kAuto;
     /// Force the pre-index full-table scan even when no audit is wanted —
@@ -337,6 +350,9 @@ class Registry {
     return inflight_.size();
   }
 
+  /// Central checkpoint-write admission state (enable_ckpt_io).
+  [[nodiscard]] const ckpt::IoScheduler& ckpt_io() const { return ckpt_io_; }
+
  private:
   /// In-flight placements of one recovery round: restarts already commanded
   /// count against a destination's capacity before its next heartbeat can
@@ -358,6 +374,7 @@ class Registry {
   struct PlacementDebit {
     std::string process;
     std::string dest;
+    std::string schema_name;  // to rebuild the entry if the books lost it
     double at = 0.0;
     std::uint64_t memory_bytes = 0;
     std::uint64_t disk_bytes = 0;
@@ -421,6 +438,16 @@ class Registry {
   /// the malleable mirror of on_migration_outcome.
   void on_resize_outcome(const xmlproto::ResizeOutcomeMsg& outcome,
                          obs::TraceCtx ctx);
+  /// Answer one checkpoint-write I/O event (enable_ckpt_io): request ->
+  /// admit/defer grant (possibly preempting an active writer), done/abort
+  /// -> slot release.  Grants route to the requesting host's commander.
+  void on_ckpt_io_request(const xmlproto::CkptIoRequestMsg& request,
+                          obs::TraceCtx ctx);
+  /// Send a CkptIoGrantMsg to the commander of `host` (no-op for unknown
+  /// hosts or hosts without a known commander port).
+  void send_ckpt_grant(const std::string& host,
+                       const xmlproto::CkptIoGrantMsg& grant,
+                       obs::TraceCtx ctx);
   /// Summed in-flight debits against `host_name` (0/0 when none).
   [[nodiscard]] std::pair<std::uint64_t, std::uint64_t> inflight_debit(
       const std::string& host_name) const;
@@ -468,6 +495,10 @@ class Registry {
   std::map<std::string, HostEntry> hosts_;  // node-based: stable addresses
   StateList index_[4];
   std::map<std::string, ProcessEntry> processes_;  // key host:pid
+  /// Synthetic pid for entries re-keyed to a migration destination before
+  /// the destination's own ProcessRegisterMsg arrives (negative: can never
+  /// collide with a real registration's key).
+  int next_placeholder_pid_ = -1;
   std::map<std::string, hpcm::ApplicationSchema> schemas_;
   std::vector<Decision> decisions_;
   std::vector<ProcessEntry> stranded_;
@@ -475,6 +506,7 @@ class Registry {
   std::vector<PendingRelaunch> pending_relaunches_;
   std::map<std::string, ChildDomain> children_;
   std::map<std::string, MalleableJobEntry> malleable_jobs_;
+  ckpt::IoScheduler ckpt_io_;
   int resizes_commanded_ = 0;
   int evacuations_commanded_ = 0;
   int next_registration_order_ = 0;

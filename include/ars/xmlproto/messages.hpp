@@ -204,11 +204,35 @@ struct ResizeOutcomeMsg {
   int ranks_after = 0;
 };
 
+/// Commander -> registry: one checkpoint-write I/O event for the central
+/// I/O scheduler (DESIGN.md §17).  verb "request" asks for a write slot
+/// (risk = elapsed-over-interval, how overdue the requester is); "done" and
+/// "abort" release a previously granted slot.  bytes/risk are only
+/// meaningful (and only encoded) on requests.
+struct CkptIoRequestMsg {
+  std::string host;
+  std::string process;
+  std::string verb;  // "request" | "done" | "abort"
+  std::uint64_t bytes = 0;
+  double risk = 0.0;
+};
+
+/// Registry -> commander: verdict on a CkptIoRequestMsg.  "admit" lets the
+/// write proceed now; "defer" asks the requester to re-ask after
+/// retry_after seconds; "preempt" tells the named process to abort its
+/// in-flight write (it was evicted for a riskier peer) and back off.
+struct CkptIoGrantMsg {
+  std::string process;
+  std::string verb;  // "admit" | "defer" | "preempt"
+  double retry_after = 0.0;
+};
+
 using ProtocolMessage =
     std::variant<RegisterMsg, UpdateMsg, UpdateBatchMsg, ConsultMsg,
                  MigrateCmd, AckMsg, ProcessRegisterMsg, ProcessDeregisterMsg,
                  HealthReportMsg, RecommendMsg, EvacuateMsg, RelaunchCmd,
-                 MigrationOutcomeMsg, ResizeCmd, ResizeOutcomeMsg>;
+                 MigrationOutcomeMsg, ResizeCmd, ResizeOutcomeMsg,
+                 CkptIoRequestMsg, CkptIoGrantMsg>;
 
 /// Serialize any protocol message to its XML wire form.
 [[nodiscard]] std::string encode(const ProtocolMessage& message);

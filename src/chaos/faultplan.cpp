@@ -24,6 +24,8 @@ std::string_view to_string(FaultKind kind) noexcept {
       return "partition";
     case FaultKind::kHostCrash:
       return "host_crash";
+    case FaultKind::kHostCrashRate:
+      return "host_crash_rate";
     case FaultKind::kCpuSlowdown:
       return "cpu_slowdown";
     case FaultKind::kMonitorStall:
@@ -48,7 +50,8 @@ Expected<FaultKind> fault_kind_from_string(std::string_view text) {
   for (const FaultKind kind :
        {FaultKind::kMessageLoss, FaultKind::kMessageDuplicate,
         FaultKind::kMessageDelay, FaultKind::kLinkDegrade,
-        FaultKind::kPartition, FaultKind::kHostCrash, FaultKind::kCpuSlowdown,
+        FaultKind::kPartition, FaultKind::kHostCrash,
+        FaultKind::kHostCrashRate, FaultKind::kCpuSlowdown,
         FaultKind::kMonitorStall, FaultKind::kRegistryCrash,
         FaultKind::kMigrationDestCrash, FaultKind::kMigrationLinkCut,
         FaultKind::kMigrationPrecopyStall, FaultKind::kResizeStall,
@@ -134,6 +137,18 @@ FaultPlan& FaultPlan::host_crash(double at, double restart_at,
   spec.kind = FaultKind::kHostCrash;
   spec.at = at;
   spec.until = restart_at;
+  spec.host_a = std::move(host);
+  return add(std::move(spec));
+}
+
+FaultPlan& FaultPlan::host_crash_rate(double at, double until, double mtbf,
+                                      std::string host, double reboot_after) {
+  FaultSpec spec;
+  spec.kind = FaultKind::kHostCrashRate;
+  spec.at = at;
+  spec.until = until;
+  spec.mtbf = mtbf;
+  spec.delay = reboot_after;
   spec.host_a = std::move(host);
   return add(std::move(spec));
 }
@@ -237,7 +252,13 @@ FaultPlan& FaultPlan::resize_target_crash(double at, double until,
 double FaultPlan::last_disruption_end() const noexcept {
   double last = 0.0;
   for (const FaultSpec& spec : specs_) {
-    last = std::max(last, spec.permanent() ? spec.at : spec.until);
+    double end = spec.permanent() ? spec.at : spec.until;
+    if (spec.kind == FaultKind::kHostCrashRate) {
+      // The final arrival can land just inside the window and still owe its
+      // reboot: the cluster is not quiet until that completes too.
+      end += spec.delay;
+    }
+    last = std::max(last, end);
   }
   return last;
 }
@@ -258,6 +279,10 @@ std::string FaultPlan::to_json() const {
       // Only migration-window faults carry a phase; omitting the key keeps
       // pre-existing plan files byte-identical to their builtins.
       fault.emplace("phase", spec.phase);
+    }
+    if (spec.mtbf > 0.0) {
+      // Only host_crash_rate carries an mtbf (same byte-compat rule).
+      fault.emplace("mtbf", spec.mtbf);
     }
     faults.emplace_back(std::move(fault));
   }
@@ -334,7 +359,7 @@ Expected<FaultPlan> FaultPlan::from_json(std::string_view text) {
     }
     static constexpr const char* kKnownKeys[] = {
         "kind", "at", "until", "host_a", "host_b", "probability", "factor",
-        "delay", "phase"};
+        "delay", "phase", "mtbf"};
     for (const auto& [key, value] : fault.as_object()) {
       if (std::find(std::begin(kKnownKeys), std::end(kKnownKeys), key) ==
           std::end(kKnownKeys)) {
@@ -362,6 +387,7 @@ Expected<FaultPlan> FaultPlan::from_json(std::string_view text) {
     auto probability = number_member(fault, "probability", false, 1.0);
     auto factor = number_member(fault, "factor", false, 1.0);
     auto delay = number_member(fault, "delay", false, 0.0);
+    auto mtbf = number_member(fault, "mtbf", false, 0.0);
     auto host_a = string_member(fault, "host_a", "*");
     auto host_b = string_member(fault, "host_b", "*");
     auto phase = string_member(fault, "phase", "");
@@ -370,6 +396,7 @@ Expected<FaultPlan> FaultPlan::from_json(std::string_view text) {
           probability.has_value() ? nullptr : &probability.error(),
           factor.has_value() ? nullptr : &factor.error(),
           delay.has_value() ? nullptr : &delay.error(),
+          mtbf.has_value() ? nullptr : &mtbf.error(),
           host_a.has_value() ? nullptr : &host_a.error(),
           host_b.has_value() ? nullptr : &host_b.error(),
           phase.has_value() ? nullptr : &phase.error()}) {
@@ -381,6 +408,7 @@ Expected<FaultPlan> FaultPlan::from_json(std::string_view text) {
     spec.probability = *probability;
     spec.factor = *factor;
     spec.delay = *delay;
+    spec.mtbf = *mtbf;
     spec.host_a = *host_a;
     spec.host_b = *host_b;
     spec.phase = *phase;
@@ -390,6 +418,16 @@ Expected<FaultPlan> FaultPlan::from_json(std::string_view text) {
     }
     if (spec.factor < 0.0) {
       return make_error("chaos.bad_value", "\"factor\" must be >= 0");
+    }
+    if (spec.kind == FaultKind::kHostCrashRate) {
+      if (spec.mtbf <= 0.0) {
+        return make_error("chaos.bad_value",
+                          "host_crash_rate needs \"mtbf\" > 0");
+      }
+      if (spec.permanent()) {
+        return make_error("chaos.bad_value",
+                          "host_crash_rate needs a finite \"until\"");
+      }
     }
     const bool resize_fault = spec.kind == FaultKind::kResizeStall ||
                               spec.kind == FaultKind::kResizeTargetCrash;
@@ -472,12 +510,25 @@ Expected<FaultPlan> FaultPlan::builtin(const std::string& name) {
         .cpu_slowdown(30.0, 90.0, 0.5, "ws2");
     return plan;
   }
+  if (name == "ckpt-storm") {
+    // Failure-waste campaign plan (DESIGN.md §17): every worker host draws
+    // exponential crash arrivals through a long window (the registry host is
+    // spared — its fault tolerance is control-loss's job), with reboots fast
+    // enough that relaunches land well inside the horizon.  Ambient message
+    // loss keeps the control plane honest while checkpoints stream through
+    // the shared store.
+    FaultPlan plan{"ckpt-storm"};
+    plan.host_crash_rate(40.0, 400.0, 150.0, "*", 30.0)
+        .message_loss(60.0, 300.0, 0.05);
+    return plan;
+  }
   return make_error("chaos.unknown_plan", "no builtin plan named \"" + name +
                                               "\" (see builtin_names())");
 }
 
 std::vector<std::string> FaultPlan::builtin_names() {
-  return {"control-loss", "churn", "resize-storm", "precopy-storm"};
+  return {"control-loss", "churn", "resize-storm", "precopy-storm",
+          "ckpt-storm"};
 }
 
 }  // namespace ars::chaos

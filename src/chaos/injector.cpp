@@ -1,6 +1,7 @@
 #include "ars/chaos/injector.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
 
 #include "ars/obs/tracer.hpp"
@@ -94,6 +95,15 @@ void FaultInjector::arm() {
         spec.kind == FaultKind::kMigrationLinkCut;
     if (migration_window || spec.kind == FaultKind::kResizeTargetCrash) {
       continue;  // triggered by phase entry, not by wall-clock events
+    }
+    if (spec.kind == FaultKind::kHostCrashRate) {
+      if (spec.host_a != "*" &&
+          runtime_->network().find_host(spec.host_a) == nullptr) {
+        throw std::invalid_argument("fault plan \"" + plan_.name() +
+                                    "\" targets unknown host: " + spec.host_a);
+      }
+      schedule_crash_arrivals(spec);
+      continue;  // its schedule IS the arrivals, no activate/deactivate
     }
     events_.push_back(
         engine.schedule_at(spec.at, [this, i] { activate(i); }));
@@ -372,6 +382,58 @@ void FaultInjector::on_resize_phase(const malleable::ResizePhaseEvent& event) {
     events_.push_back(runtime_->engine().schedule_after(
         0.0, [this, host = event.hosts[pick], reboot = spec.delay] {
           crash_resize_target(host, reboot);
+        }));
+  }
+}
+
+void FaultInjector::schedule_crash_arrivals(const FaultSpec& spec) {
+  // Expand the target set.  A wildcard spares the registry host: the
+  // control plane's own fault tolerance is the control-loss plan's job, and
+  // a registry lost mid-window cannot relaunch the other crashes' victims
+  // (soft state wiped), which would fail the no-lost-process invariant for
+  // reasons the checkpoint campaign is not studying.
+  std::vector<std::string> targets;
+  if (spec.host_a == "*") {
+    for (const std::string& name : runtime_->host_names()) {
+      if (name != runtime_->config().registry_host) {
+        targets.push_back(name);
+      }
+    }
+  } else {
+    targets.push_back(spec.host_a);
+  }
+  // Pre-draw every arrival now, per host in cluster order: rng consumption
+  // is independent of event interleaving, so (plan, seed) determines the
+  // whole crash schedule.
+  sim::Engine& engine = runtime_->engine();
+  for (const std::string& host : targets) {
+    double t = spec.at;
+    while (true) {
+      t += -spec.mtbf * std::log(1.0 - rng_.uniform());
+      if (t >= spec.until) {
+        break;
+      }
+      events_.push_back(engine.schedule_at(
+          t, [this, host, reboot = spec.delay] { rate_crash(host, reboot); }));
+    }
+  }
+}
+
+void FaultInjector::rate_crash(const std::string& host, double reboot_after) {
+  if (!down_hosts_.insert(host).second) {
+    return;  // already down (overlapping arrival or another fault)
+  }
+  ARS_LOG_WARN("chaos", "crash-rate arrival fells " << host);
+  ++stats_.rate_crashes;
+  ++stats_.host_crashes;
+  runtime_->fail_host(host);
+  if (reboot_after > 0.0) {
+    events_.push_back(
+        runtime_->engine().schedule_after(reboot_after, [this, host] {
+          if (down_hosts_.erase(host) > 0) {
+            runtime_->restart_host(host);
+            ++stats_.host_restarts;
+          }
         }));
   }
 }

@@ -54,6 +54,10 @@ InvariantReport InvariantChecker::check() const {
       ++resumed_events;
     } else if (event.name == "process.relaunch") {
       ++report.relaunches_seen;
+    } else if (event.name == "ckpt.torn_restore") {
+      ++report.torn_restores;
+      violate("no-torn-checkpoint", event.track,
+              "relaunch restored an incomplete checkpoint");
     }
   }
 

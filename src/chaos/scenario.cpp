@@ -3,6 +3,7 @@
 #include <memory>
 #include <vector>
 
+#include "ars/ckpt/strategy.hpp"
 #include "ars/core/runtime.hpp"
 #include "ars/host/hog.hpp"
 #include "ars/rules/policy.hpp"
@@ -34,6 +35,11 @@ struct ScenarioApp {
   /// iteration — the write set the rounds must chase) plus a scratch entry
   /// erased halfway, so deltas ship tombstones under fire.
   bool heavy_state = false;
+  /// Strategy-driven checkpointing (DESIGN.md §17): poll the middleware's
+  /// checkpoint plan every iteration instead of the fixed every-N schedule.
+  bool strategy_checkpoints = false;
+  /// Opaque payload dragged along so checkpoint writes cost store time.
+  std::uint64_t opaque_bytes = 0;
   bool finished = false;
   std::string finished_on;
 
@@ -66,13 +72,19 @@ struct ScenarioApp {
                                   data[static_cast<std::size_t>(b)]);
         }
       });
+      if (opaque_bytes > 0) {
+        ctx.state().set_opaque("payload", opaque_bytes);
+      }
       for (; i < iterations; ++i) {
         co_await ctx.poll_point();
         if (heavy_state && scratch_live && i == iterations / 2) {
           ctx.state().erase("scratch");
           scratch_live = false;
         }
-        if (checkpoint_every > 0 && i > 0 && i % checkpoint_every == 0) {
+        if (strategy_checkpoints) {
+          co_await ctx.maybe_checkpoint();
+        } else if (checkpoint_every > 0 && i > 0 &&
+                   i % checkpoint_every == 0) {
           co_await ctx.checkpoint();
         }
         co_await proc.compute(1.0);
@@ -120,6 +132,13 @@ ScenarioReport run_scenario(const ScenarioOptions& options) {
   config.malleable.redistribute_timeout = 25.0;
   config.malleable.sabotage_skip_resize_rollback =
       options.sabotage_resize_rollback;
+  // Checkpoint scheduling (DESIGN.md §17): checkpoints route through the
+  // shared store; "cooperative" additionally turns on the registry's I/O
+  // scheduler (the runtime wires the request path from the same knob).
+  config.hpcm.ckpt_strategy = options.ckpt_strategy;
+  config.hpcm.ckpt_mtbf = options.ckpt_mtbf;
+  config.hpcm.ckpt_aggregate_bps = options.ckpt_aggregate_mbps * 1.0e6;
+  config.hpcm.sabotage_torn_commit = options.sabotage_torn_checkpoint;
   core::ReschedulerRuntime runtime{config};
   runtime.start_rescheduler();
 
@@ -133,6 +152,9 @@ ScenarioReport run_scenario(const ScenarioOptions& options) {
     app.iterations = options.iterations;
     app.checkpoint_every = options.checkpoint_every;
     app.heavy_state = options.precopy;
+    app.strategy_checkpoints = !options.ckpt_strategy.empty();
+    app.opaque_bytes =
+        static_cast<std::uint64_t>(options.ckpt_state_mb * 1.0e6);
     const std::string name = "job" + std::to_string(i);
     app_names.push_back(name + ".0");
     const std::string host =
@@ -201,6 +223,13 @@ ScenarioReport run_scenario(const ScenarioOptions& options) {
       if (spec.kind == FaultKind::kResizeTargetCrash && spec.delay <= 0.0) {
         permanently_dead = true;
       }
+      // Crash-rate arrivals with no reboot leave any matching host down for
+      // good (the wildcard spares the registry host, as the injector does).
+      if (spec.kind == FaultKind::kHostCrashRate && spec.delay <= 0.0 &&
+          (spec.host_a == host_name ||
+           (spec.host_a == "*" && host_name != config.registry_host))) {
+        permanently_dead = true;
+      }
     }
     if (!permanently_dead) {
       checker.expect_alive(host_name);
@@ -246,6 +275,15 @@ ScenarioReport run_scenario(const ScenarioOptions& options) {
     }
   }
   report.ghost_ranks = runtime.malleable().ghost_ranks();
+  report.ckpt_commits = runtime.middleware().shared_store().commits();
+  report.ckpt_aborts = runtime.middleware().shared_store().aborts();
+  report.ckpt_deferred = runtime.middleware().ckpt_deferred();
+  report.ckpt_preempted = runtime.middleware().ckpt_preempted();
+  report.torn_restores = runtime.middleware().torn_restores();
+  const ckpt::Waste cluster_waste = runtime.middleware().waste().cluster();
+  report.waste_overhead_s = cluster_waste.overhead_s;
+  report.waste_lost_work_s = cluster_waste.lost_work_s;
+  report.waste_restart_s = cluster_waste.restart_s;
   report.faults = injector.stats();
   report.messages_dropped = runtime.network().dropped_total();
   report.decisions = runtime.scheduler().decisions().size();

@@ -1,0 +1,111 @@
+#include "ars/ckpt/strategy.hpp"
+
+#include <algorithm>
+
+namespace ars::ckpt {
+
+Admission IoScheduler::request(const std::string& process,
+                               const std::string& host, double risk,
+                               double now) {
+  // A requester that already holds a slot keeps it (a retry after a lost
+  // grant must not double-book).
+  if (const auto it = active_.find(process); it != active_.end()) {
+    it->second.risk = risk;
+    it->second.admitted_at = now;
+    Admission admission;
+    admission.verb = Admission::Verb::kAdmit;
+    return admission;
+  }
+  if (static_cast<int>(active_.size()) < config_.max_concurrent) {
+    active_.emplace(process, Slot{host, risk, now});
+    ++admitted_;
+    Admission admission;
+    admission.verb = Admission::Verb::kAdmit;
+    return admission;
+  }
+  // Saturated: preempt the least-risky active write if the requester is
+  // disproportionately overdue, otherwise defer with a backoff scaled by
+  // how crowded the store is.
+  auto victim = active_.end();
+  for (auto it = active_.begin(); it != active_.end(); ++it) {
+    if (victim == active_.end() || it->second.risk < victim->second.risk) {
+      victim = it;
+    }
+  }
+  if (victim != active_.end() &&
+      risk >= victim->second.risk * config_.preempt_risk_ratio &&
+      risk > 1.0) {
+    Admission admission;
+    admission.verb = Admission::Verb::kPreempt;
+    admission.preempt_victim = victim->first;
+    admission.victim_host = victim->second.host;
+    admission.retry_after = config_.defer_retry;
+    active_.erase(victim);
+    active_.emplace(process, Slot{host, risk, now});
+    ++preemptions_;
+    ++admitted_;
+    return admission;
+  }
+  ++deferred_;
+  Admission admission;
+  admission.verb = Admission::Verb::kDefer;
+  const double crowding =
+      static_cast<double>(active_.size()) /
+      static_cast<double>(std::max(config_.max_concurrent, 1));
+  admission.retry_after = config_.defer_retry * std::max(1.0, crowding);
+  return admission;
+}
+
+void IoScheduler::release(const std::string& process) {
+  active_.erase(process);
+}
+
+std::vector<std::string> IoScheduler::expire(double now) {
+  std::vector<std::string> reaped;
+  for (auto it = active_.begin(); it != active_.end();) {
+    if (now - it->second.admitted_at >= config_.slot_ttl) {
+      reaped.push_back(it->first);
+      it = active_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return reaped;
+}
+
+void WasteLedger::record_overhead(const std::string& process,
+                                  double seconds) {
+  if (seconds > 0.0) {
+    per_process_[process].overhead_s += seconds;
+  }
+}
+
+void WasteLedger::record_lost_work(const std::string& process,
+                                   double seconds) {
+  if (seconds > 0.0) {
+    per_process_[process].lost_work_s += seconds;
+  }
+}
+
+void WasteLedger::record_restart(const std::string& process, double seconds) {
+  if (seconds > 0.0) {
+    per_process_[process].restart_s += seconds;
+  }
+}
+
+Waste WasteLedger::of(const std::string& process) const {
+  const auto it = per_process_.find(process);
+  return it == per_process_.end() ? Waste{} : it->second;
+}
+
+Waste WasteLedger::cluster() const {
+  Waste total;
+  for (const auto& [process, waste] : per_process_) {
+    total.overhead_s += waste.overhead_s;
+    total.lost_work_s += waste.lost_work_s;
+    total.restart_s += waste.restart_s;
+  }
+  return total;
+}
+
+}  // namespace ars::ckpt

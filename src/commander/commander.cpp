@@ -85,6 +85,25 @@ void Commander::report_resize_outcome(const xmlproto::ResizeOutcomeMsg& outcome,
   network_->post(std::move(report));
 }
 
+void Commander::send_ckpt_request(const xmlproto::CkptIoRequestMsg& request,
+                                  obs::TraceCtx ctx) {
+  if (!running_ || config_.registry_host.empty()) {
+    return;  // the scheduler's slot TTL / grant timeout cover the loss
+  }
+  if (config_.metrics != nullptr) {
+    config_.metrics
+        ->counter("commander.ckpt_requests", {{"verb", request.verb}})
+        .inc();
+  }
+  net::Message report;
+  report.src_host = host_->name();
+  report.dst_host = config_.registry_host;
+  report.dst_port = config_.registry_port;
+  report.payload = xmlproto::encode(xmlproto::ProtocolMessage{request}, ctx);
+  report.trace = ctx;
+  network_->post(std::move(report));
+}
+
 void Commander::reject_resize(const xmlproto::ResizeCmd& command,
                               const std::string& reason, obs::TraceCtx ctx) {
   ++commands_failed_;
@@ -212,6 +231,18 @@ sim::Task<> Commander::serve() {
                                       << resize->job << ", " << resize->delta
                                       << ")");
       }
+      continue;
+    }
+    if (const auto* grant = std::get_if<xmlproto::CkptIoGrantMsg>(&message)) {
+      // Checkpoint I/O verdict from the registry's scheduler: hand it to
+      // the middleware's per-process checkpoint plan.
+      if (config_.metrics != nullptr) {
+        config_.metrics
+            ->counter("commander.ckpt_grants", {{"verb", grant->verb}})
+            .inc();
+      }
+      middleware_->deliver_ckpt_grant(grant->process, grant->verb,
+                                      grant->retry_after);
       continue;
     }
     const auto* command = std::get_if<xmlproto::MigrateCmd>(&message);

@@ -61,6 +61,11 @@ ReschedulerRuntime::ReschedulerRuntime(ClusterConfig config)
   registry_config.enable_resize = config_.enable_resize_planner;
   registry_config.resize_cooldown = config_.resize_cooldown;
   registry_config.max_expand_step = config_.max_expand_step;
+  registry_config.enable_ckpt_io = config_.hpcm.ckpt_strategy == "cooperative";
+  registry_config.ckpt_max_concurrent = config_.ckpt_max_concurrent;
+  registry_config.ckpt_defer_retry = config_.ckpt_defer_retry;
+  registry_config.ckpt_preempt_risk = config_.ckpt_preempt_risk;
+  registry_config.ckpt_slot_ttl = config_.ckpt_slot_ttl;
   registry_config.job_hosts = [this](const std::string& job) {
     // A finished job holds no hosts; without this guard its last world
     // would read as occupied until the registry's entry ages out.
@@ -138,6 +143,27 @@ ReschedulerRuntime::ReschedulerRuntime(ClusterConfig config)
   });
   for (auto& [name, c] : commanders_) {
     c->set_malleable(malleable_.get());
+  }
+  // Cooperative checkpointing: the middleware's I/O requests ride to the
+  // registry's scheduler through the requesting host's commander (same
+  // fire-and-forget contract as outcome reports).  Periodic and "none"
+  // strategies stay fully host-local, so the sender is only wired when the
+  // scheduler is actually in the loop.
+  if (config_.hpcm.ckpt_strategy == "cooperative") {
+    hpcm_->set_ckpt_request_sender(
+        [this](const hpcm::MigrationEngine::CkptIoRequest& r) {
+          const auto it = commanders_.find(r.host);
+          if (it == commanders_.end()) {
+            return;  // host gone: the scheduler's slot TTL covers it
+          }
+          xmlproto::CkptIoRequestMsg msg;
+          msg.host = r.host;
+          msg.process = r.process;
+          msg.verb = r.verb;
+          msg.bytes = r.bytes;
+          msg.risk = r.risk;
+          it->second->send_ckpt_request(msg);
+        });
   }
   trace_ = std::make_unique<TraceRecorder>(engine_, *network_);
   // Stamp log records with virtual time while this runtime is alive.

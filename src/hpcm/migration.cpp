@@ -33,6 +33,12 @@ std::vector<double> phase_ms_bounds() {
           100.0, 300.0, 1e3, 3e3, 1e4, 3e4,   1e5};
 }
 
+/// Second buckets for per-event failure waste (lost work, checkpoint
+/// overhead, restart cost): sub-second snapshots up to hour-scale losses.
+std::vector<double> waste_s_bounds() {
+  return {0.1, 0.3, 1.0, 3.0, 10.0, 30.0, 100.0, 300.0, 1e3, 3e3};
+}
+
 /// Trim and validate the commander-written destination ("host" or
 /// "host:port"); returns the bare host name, or nullopt when malformed
 /// (empty, whitespace, control characters, or a non-numeric port).
@@ -80,6 +86,21 @@ MigrationEngine::MigrationEngine(mpi::MpiSystem& mpi)
 
 MigrationEngine::MigrationEngine(mpi::MpiSystem& mpi, Options options)
     : mpi_(&mpi), options_(options) {
+  ckpt::IoOptions io_options;
+  io_options.per_host_bps = options_.checkpoint_store_bps;
+  io_options.aggregate_bps = options_.ckpt_aggregate_bps;
+  io_options.tracer = options_.tracer;
+  io_options.metrics = options_.metrics;
+  shared_store_ =
+      std::make_unique<ckpt::SharedStore>(mpi_->engine(), io_options);
+  if (obs::MetricsRegistry* m = metrics()) {
+    // Checkpoint-scheduling + waste series, pre-registered so exports are
+    // stable at zero (SharedStore registers the write/bytes series).
+    m->counter("ars_ckpt.deferred");
+    m->counter("ars_ckpt.preempted");
+    m->counter("ars_ckpt.torn_restores");
+    m->histogram("ars_ckpt.waste_s", {}, waste_s_bounds());
+  }
   if (obs::MetricsRegistry* m = metrics()) {
     // Pre-register the transaction-outcome series so metric exports
     // (benches, CI) always carry them, even on runs without an abort.
@@ -390,20 +411,215 @@ sim::Task<> MigrationContext::poll_point() {
 }
 
 sim::Task<> MigrationContext::checkpoint() {
-  if (save_) {
-    save_();
+  co_await engine_->write_checkpoint(*this);
+}
+
+sim::Task<> MigrationContext::maybe_checkpoint() {
+  if (engine_ == nullptr || proc_ == nullptr) {
+    co_return;
+  }
+  co_await engine_->ckpt_poll(*this);
+}
+
+sim::Task<> MigrationEngine::write_checkpoint(MigrationContext& ctx) {
+  mpi::Proc& proc = *ctx.proc_;
+  const std::string name = proc.name();
+  if (shared_store_->writing(name)) {
+    co_return;  // one write per process; the in-flight one covers us
+  }
+  if (ctx.save_) {
+    ctx.save_();
   }
   Checkpoint cp;
-  cp.process = proc_->name();
-  const auto encoded = state_.encode(proc_->host().spec().byte_order);
-  cp.bytes = encoded.size() + state_.opaque_bytes();
+  cp.process = name;
+  const auto encoded = ctx.state_.encode(proc.host().spec().byte_order);
+  cp.bytes = encoded.size() + ctx.state_.opaque_bytes();
   cp.state = encoded;
-  auto& sim_engine = engine_->mpi().engine();
-  const double write_time =
-      static_cast<double>(cp.bytes) / engine_->options().checkpoint_store_bps;
-  co_await sim::delay(sim_engine, write_time);
+  auto& sim_engine = mpi_->engine();
   cp.taken_at = sim_engine.now();
-  engine_->checkpoints().put(std::move(cp));
+  ckpt_plans_[name].last_mark = sim_engine.now();
+  const std::uint64_t bytes = cp.bytes;
+  const std::string host = proc.host().name();
+  // The only part that blocks the application: the memory-speed snapshot.
+  const double snapshot_time =
+      static_cast<double>(bytes) / options_.ckpt_snapshot_bps;
+  // Shadow-commit: the write is invisible to latest() until it lands; a
+  // crash mid-write keeps the previous complete checkpoint restorable.
+  checkpoint_store_.begin_shadow(std::move(cp));
+  shared_store_->begin_write(
+      name, host, bytes,
+      [this, name](const ckpt::WriteOutcome& o) { on_ckpt_commit(name, o); },
+      [this, name](const ckpt::WriteOutcome& o) { on_ckpt_abort(name, o); });
+  co_await sim::delay(sim_engine, snapshot_time);
+}
+
+double MigrationEngine::ckpt_write_cost(const MigrationContext& ctx) const {
+  double bytes = 0.0;
+  if (const Checkpoint* cp = checkpoint_store_.latest(ctx.proc_->name())) {
+    bytes = static_cast<double>(cp->bytes);
+  } else {
+    bytes = static_cast<double>(ctx.state_.opaque_bytes());
+  }
+  return bytes / options_.checkpoint_store_bps;
+}
+
+sim::Task<> MigrationEngine::ckpt_poll(MigrationContext& ctx) {
+  if (options_.ckpt_strategy == "none" || options_.ckpt_strategy.empty()) {
+    co_return;
+  }
+  mpi::Proc& proc = *ctx.proc_;
+  const std::string name = proc.name();
+  if (shared_store_->writing(name)) {
+    co_return;
+  }
+  const double now = mpi_->engine().now();
+  CkptPlan& plan = ckpt_plans_[name];
+  if (plan.last_mark < 0.0) {
+    // First poll of this incarnation: baseline progress here.  (A relaunch
+    // resets the mark, so rework does not count as covered progress.)
+    plan.last_mark = now;
+    co_return;
+  }
+  if (options_.ckpt_mtbf <= 0.0) {
+    co_return;  // no failure model: checkpoints never become due
+  }
+  // Young/Daly wants the write cost; before the first write lands the
+  // estimate can be zero (nothing encoded yet), where W -> 0 — clamp to
+  // the floor instead of "never" (cheap checkpoints happen MORE often).
+  const double cost = ckpt_write_cost(ctx);
+  const double interval =
+      cost > 0.0 ? std::max(options_.ckpt_min_interval,
+                            ckpt::young_daly_interval(options_.ckpt_mtbf,
+                                                      cost))
+                 : options_.ckpt_min_interval;
+  const double elapsed = now - plan.last_mark;
+  if (elapsed < interval && !plan.granted) {
+    co_return;
+  }
+  if (options_.ckpt_strategy == "periodic" || !ckpt_request_sender_) {
+    co_await write_checkpoint(ctx);
+    co_return;
+  }
+  // Cooperative: the central I/O scheduler decides who writes when.
+  if (plan.granted) {
+    plan.granted = false;
+    co_await write_checkpoint(ctx);
+    co_return;
+  }
+  if (plan.awaiting_grant) {
+    if (now - plan.requested_at >= options_.ckpt_grant_timeout) {
+      // No grant (registry down, message lost): fall back to local
+      // admission — the process must keep covering itself while the
+      // control plane is unreachable.
+      plan.awaiting_grant = false;
+      co_await write_checkpoint(ctx);
+    }
+    co_return;
+  }
+  if (now < plan.retry_at) {
+    co_return;
+  }
+  plan.awaiting_grant = true;
+  plan.requested_at = now;
+  send_ckpt_io(name, proc.host().name(), "request",
+               static_cast<std::uint64_t>(
+                   ckpt_write_cost(ctx) * options_.checkpoint_store_bps),
+               elapsed / interval);
+}
+
+void MigrationEngine::send_ckpt_io(const std::string& process,
+                                   const std::string& host, const char* verb,
+                                   std::uint64_t bytes, double risk) {
+  if (!ckpt_request_sender_) {
+    return;
+  }
+  CkptIoRequest request;
+  request.host = host;
+  request.process = process;
+  request.verb = verb;
+  request.bytes = bytes;
+  request.risk = risk;
+  ckpt_request_sender_(request);
+}
+
+void MigrationEngine::deliver_ckpt_grant(const std::string& process,
+                                         const std::string& verb,
+                                         double retry_after) {
+  const auto it = ckpt_plans_.find(process);
+  if (it == ckpt_plans_.end()) {
+    return;  // stale grant for a process this engine no longer plans
+  }
+  CkptPlan& plan = it->second;
+  const double now = mpi_->engine().now();
+  if (verb == "admit") {
+    if (plan.awaiting_grant) {
+      plan.awaiting_grant = false;
+      plan.granted = true;
+    }
+    return;
+  }
+  if (verb == "defer") {
+    plan.awaiting_grant = false;
+    plan.granted = false;
+    plan.retry_at = now + std::max(retry_after, 1.0);
+    ++ckpt_deferred_;
+    if (obs::MetricsRegistry* m = metrics()) {
+      m->counter("ars_ckpt.deferred").inc();
+    }
+    if (obs::Tracer* t = tracer(); obs::active(t)) {
+      t->instant("ckpt.deferred", "ckpt", process,
+                 {{"retry_after", retry_after}});
+    }
+    return;
+  }
+  if (verb == "preempt") {
+    plan.awaiting_grant = false;
+    plan.granted = false;
+    plan.retry_at = now + std::max(retry_after, 1.0);
+    ++ckpt_preempted_;
+    if (obs::MetricsRegistry* m = metrics()) {
+      m->counter("ars_ckpt.preempted").inc();
+    }
+    if (obs::Tracer* t = tracer(); obs::active(t)) {
+      t->instant("ckpt.preempted", "ckpt", process, {});
+    }
+    shared_store_->abort_write(process);  // fires on_ckpt_abort
+    return;
+  }
+  ARS_LOG_WARN("hpcm", "unknown ckpt grant verb \"" << verb << "\" for "
+                                                    << process);
+}
+
+void MigrationEngine::observe_waste_s(double seconds) {
+  if (obs::MetricsRegistry* m = metrics(); m != nullptr && seconds > 0.0) {
+    m->histogram("ars_ckpt.waste_s", {}, waste_s_bounds()).observe(seconds);
+  }
+}
+
+void MigrationEngine::on_ckpt_commit(const std::string& process,
+                                     const ckpt::WriteOutcome& outcome) {
+  checkpoint_store_.commit_shadow(process, outcome.finished_at);
+  // Overhead waste: the write's wall time plus the blocking snapshot.
+  const double overhead =
+      outcome.duration() + static_cast<double>(outcome.bytes) /
+                               options_.ckpt_snapshot_bps;
+  waste_.record_overhead(process, overhead);
+  observe_waste_s(overhead);
+  if (obs::Tracer* t = tracer(); obs::active(t)) {
+    t->instant("ckpt.commit", "ckpt", process,
+               {{"bytes", static_cast<std::size_t>(outcome.bytes)},
+                {"write_s", outcome.duration()}});
+  }
+  send_ckpt_io(process, outcome.host, "done", outcome.bytes, 0.0);
+}
+
+void MigrationEngine::on_ckpt_abort(const std::string& process,
+                                    const ckpt::WriteOutcome& outcome) {
+  checkpoint_store_.abort_shadow(process, options_.sabotage_torn_commit);
+  // The aborted write still burned store bandwidth: count it as overhead.
+  waste_.record_overhead(process, outcome.duration());
+  observe_waste_s(outcome.duration());
+  send_ckpt_io(process, outcome.host, "abort", outcome.bytes, 0.0);
 }
 
 bool MigrationEngine::crash(mpi::RankId id) {
@@ -424,6 +640,26 @@ bool MigrationEngine::crash(mpi::RankId id) {
   }
   // A signal delivered but never polled would leak its span.
   close_signal_span(id, "crash");
+  // Failure waste: everything since the last committed checkpoint snapshot
+  // (or launch) is lost work.  Measured BEFORE the in-flight write abort
+  // below — an uncommitted write never covers progress.
+  {
+    const double now = mpi_->engine().now();
+    const Checkpoint* cp = checkpoint_store_.latest(name);
+    const double covered_until =
+        cp != nullptr ? cp->taken_at : it->second->context.launched_at;
+    const double lost = now - covered_until;
+    waste_.record_lost_work(name, lost);
+    observe_waste_s(lost);
+  }
+  // Atomic shadow-commit: a crash racing an in-flight checkpoint write
+  // drops the shadow; latest() keeps returning the previous complete one.
+  shared_store_->abort_write(name);
+  // The next incarnation re-baselines its checkpoint plan at first poll.
+  if (const auto plan_it = ckpt_plans_.find(name);
+      plan_it != ckpt_plans_.end()) {
+    plan_it->second = CkptPlan{};
+  }
   // An in-flight transaction's phase fiber references the Proc; destroy it
   // before the kill below frees the process.
   std::size_t tx_index = 0;
@@ -478,6 +714,9 @@ int MigrationEngine::crash_host(const std::string& host_name) {
   }
   // A pre-initialized receiver daemon dies with its host.
   drop_daemon(host_name);
+  // Stray checkpoint writes sourced from this host (their process migrated
+  // away mid-write) lose their data path too.
+  shared_store_->abort_host_writes(host_name);
 
   std::vector<mpi::RankId> victims;
   for (const auto& [id, state] : procs_) {
@@ -506,6 +745,20 @@ mpi::RankId MigrationEngine::relaunch(const std::string& process_name,
 
   double read_time = 0.0;
   if (const Checkpoint* cp = checkpoint_store_.latest(process_name)) {
+    if (!cp->complete) {
+      // A torn checkpoint reached the store (only possible through the
+      // sabotage path) and is about to be restored — the exact bug the
+      // chaos no-torn-checkpoint invariant exists to catch.
+      ++torn_restores_;
+      ARS_LOG_ERROR("hpcm", "restoring TORN checkpoint of " << process_name);
+      if (obs::Tracer* t = tracer(); obs::active(t)) {
+        t->instant("ckpt.torn_restore", "ckpt", process_name,
+                   {{"host", host_name}});
+      }
+      if (obs::MetricsRegistry* m = metrics()) {
+        m->counter("ars_ckpt.torn_restores").inc();
+      }
+    }
     auto decoded = StateRegistry::decode(cp->state);
     if (decoded.has_value()) {
       ctx.state_ = std::move(*decoded);
@@ -513,6 +766,8 @@ mpi::RankId MigrationEngine::relaunch(const std::string& process_name,
       ctx.restarted_from_checkpoint_ = true;
       read_time =
           static_cast<double>(cp->bytes) / options_.checkpoint_store_bps;
+      waste_.record_restart(process_name, read_time);
+      observe_waste_s(read_time);
       ARS_LOG_INFO("hpcm", "relaunching " << process_name << " on "
                                           << host_name
                                           << " from checkpoint at t="

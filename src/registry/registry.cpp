@@ -100,7 +100,20 @@ Registry::Registry(host::Host& h, net::Network& network, Config config)
       config_.metrics->counter("registry.resize_outcomes",
                                {{"outcome", outcome}});
     }
+    if (config_.enable_ckpt_io) {
+      // Same stable-at-zero convention for the I/O-scheduler verdicts.
+      for (const char* verb : {"admit", "defer", "preempt"}) {
+        config_.metrics->counter("registry.ckpt_grants", {{"verb", verb}});
+      }
+      config_.metrics->counter("registry.ckpt_slots_expired");
+    }
   }
+  ckpt::IoScheduler::Config io;
+  io.max_concurrent = config_.ckpt_max_concurrent;
+  io.defer_retry = config_.ckpt_defer_retry;
+  io.preempt_risk_ratio = config_.ckpt_preempt_risk;
+  io.slot_ttl = config_.ckpt_slot_ttl;
+  ckpt_io_ = ckpt::IoScheduler(io);
 }
 
 Registry::~Registry() { stop(); }
@@ -407,6 +420,14 @@ void Registry::handle(const ProtocolMessage& message,
   }
   if (const auto* preg = std::get_if<xmlproto::ProcessRegisterMsg>(&message)) {
     if (preg->migration_enabled) {
+      // Process names are cluster-unique: this registration supersedes any
+      // older entry for the name — in particular the placeholder a
+      // committed migration parks on the destination (see
+      // on_migration_outcome) and the stale source-host entry whose
+      // deregister got lost on the wire.
+      std::erase_if(processes_, [&](const auto& kv) {
+        return kv.second.name == preg->name;
+      });
       ProcessEntry entry;
       entry.host = preg->host;
       entry.pid = preg->pid;
@@ -463,6 +484,10 @@ void Registry::handle(const ProtocolMessage& message,
     on_resize_outcome(*resize, ctx);
     return;
   }
+  if (const auto* io = std::get_if<xmlproto::CkptIoRequestMsg>(&message)) {
+    on_ckpt_io_request(*io, ctx);
+    return;
+  }
   if (const auto* health = std::get_if<xmlproto::HealthReportMsg>(&message)) {
     // Child-domain capacity, used to balance escalated consults.
     ChildDomain& child = children_[health->registry_host];
@@ -490,6 +515,12 @@ sim::Task<> Registry::sweep() {
     // A placement whose outcome report was lost must not debit its
     // destination forever.
     const std::size_t live_debits = inflight_.size();
+    std::vector<PlacementDebit> expired;
+    for (const PlacementDebit& debit : inflight_) {
+      if (now - debit.at > config_.placement_debit_ttl) {
+        expired.push_back(debit);
+      }
+    }
     std::erase_if(inflight_, [&](const PlacementDebit& debit) {
       return now - debit.at > config_.placement_debit_ttl;
     });
@@ -499,9 +530,62 @@ sim::Task<> Registry::sweep() {
       config_.metrics->gauge("registry.placements_inflight")
           .set(static_cast<double>(inflight_.size()));
     }
+    // An expired migration debit whose process is on nobody's books means
+    // the outcome report AND the destination's registration both vanished
+    // (lossy wire, destination crash).  If that transfer committed, the
+    // process died with the destination and no lease expiry will ever
+    // speak for it — relaunch from checkpoint.  Exactly-once is safe: a
+    // commander refuses to relaunch a process that exited normally and
+    // the registry abandons the command.
+    if (config_.auto_restart) {
+      for (const PlacementDebit& debit : expired) {
+        if (debit.process.rfind("resize:", 0) == 0) {
+          continue;  // resize debits are per-target shares, not processes
+        }
+        const bool booked =
+            std::any_of(processes_.begin(), processes_.end(),
+                        [&](const auto& kv) {
+                          return kv.second.name == debit.process;
+                        });
+        if (booked) {
+          continue;
+        }
+        ARS_LOG_WARN("registry", "placement debit for "
+                                     << debit.process
+                                     << " expired with no book entry; "
+                                        "relaunching from checkpoint");
+        if (config_.metrics != nullptr) {
+          config_.metrics->counter("registry.debit_orphan_restarts").inc();
+        }
+        ProcessEntry lost;
+        lost.host = debit.dest;
+        lost.pid = next_placeholder_pid_--;
+        lost.name = debit.process;
+        lost.start_time = now;
+        lost.schema_name = debit.schema_name;
+        RecoveryRound round;
+        if (!restart_process(lost, round, /*record_stranded=*/true)) {
+          const bool already = std::any_of(
+              stranded_.begin(), stranded_.end(),
+              [&](const ProcessEntry& p) { return p.name == lost.name; });
+          if (!already) {
+            stranded_.push_back(lost);
+          }
+        }
+      }
+    }
     // A relaunch command lost on the wire (partition, dead commander)
     // must not strand the process: unconfirmed relaunches re-park.
     confirm_relaunches(now);
+    if (config_.enable_ckpt_io) {
+      // Admitted checkpoint-write slots whose done/abort never arrived
+      // (crashed host, lost report) must not starve waiting writers.
+      const auto reaped = ckpt_io_.expire(now);
+      if (!reaped.empty() && config_.metrics != nullptr) {
+        config_.metrics->counter("registry.ckpt_slots_expired")
+            .inc(static_cast<double>(reaped.size()));
+      }
+    }
     for (auto& [name, entry] : hosts_) {
       if (entry.state != SystemState::kUnavailable &&
           now - entry.last_update > config_.lease_ttl) {
@@ -766,6 +850,76 @@ void Registry::on_resize_outcome(const xmlproto::ResizeOutcomeMsg& outcome,
   }
 }
 
+void Registry::on_ckpt_io_request(const xmlproto::CkptIoRequestMsg& request,
+                                  obs::TraceCtx ctx) {
+  if (!config_.enable_ckpt_io) {
+    // Not scheduling checkpoint I/O: admit everything so a misconfigured
+    // cooperative cluster degrades to periodic behaviour, not deadlock.
+    if (request.verb == "request") {
+      send_ckpt_grant(request.host,
+                      {request.process, "admit", /*retry_after=*/0.0}, ctx);
+    }
+    return;
+  }
+  const double now = host_->engine().now();
+  if (request.verb == "done" || request.verb == "abort") {
+    ckpt_io_.release(request.process);  // idempotent under stale reports
+    return;
+  }
+  if (request.verb != "request") {
+    ARS_LOG_WARN("registry", "unknown ckpt_io verb '" << request.verb
+                                                      << "' from "
+                                                      << request.host);
+    return;
+  }
+  const ckpt::Admission verdict =
+      ckpt_io_.request(request.process, request.host, request.risk, now);
+  const char* verb = verdict.verb == ckpt::Admission::Verb::kDefer
+                         ? "defer"
+                         : verdict.verb == ckpt::Admission::Verb::kPreempt
+                               ? "preempt"
+                               : "admit";
+  if (config_.metrics != nullptr) {
+    config_.metrics->counter("registry.ckpt_grants", {{"verb", verb}}).inc();
+  }
+  if (obs::active(config_.tracer)) {
+    obs::Attrs attrs{{"process", request.process},
+                     {"verb", std::string(verb)},
+                     {"risk", request.risk},
+                     {"active", static_cast<double>(ckpt_io_.active())}};
+    obs::stamp(attrs, ctx);
+    config_.tracer->instant("registry.ckpt_grant", "scheduler", host_->name(),
+                            std::move(attrs));
+  }
+  if (verdict.verb == ckpt::Admission::Verb::kPreempt) {
+    // Evict the victim first, then admit the requester: the victim's
+    // commander aborts the in-flight write and backs off.
+    send_ckpt_grant(verdict.victim_host,
+                    {verdict.preempt_victim, "preempt", verdict.retry_after},
+                    ctx);
+    send_ckpt_grant(request.host, {request.process, "admit", 0.0}, ctx);
+    return;
+  }
+  if (verdict.verb == ckpt::Admission::Verb::kDefer) {
+    send_ckpt_grant(request.host,
+                    {request.process, "defer", verdict.retry_after}, ctx);
+    return;
+  }
+  send_ckpt_grant(request.host, {request.process, "admit", 0.0}, ctx);
+}
+
+void Registry::send_ckpt_grant(const std::string& host,
+                               const xmlproto::CkptIoGrantMsg& grant,
+                               obs::TraceCtx ctx) {
+  const auto it = hosts_.find(host);
+  if (it == hosts_.end() || it->second.commander_port == 0) {
+    ARS_LOG_WARN("registry", "no commander path to " << host
+                                                     << " for ckpt grant");
+    return;
+  }
+  send_to(host, it->second.commander_port, grant, ctx);
+}
+
 void Registry::restart_processes_of(const std::string& lost_host) {
   // Failure recovery: every process registered on the silent host is
   // relaunched elsewhere from its latest checkpoint.  The destination's
@@ -1027,6 +1181,7 @@ void Registry::debit_placement(const std::string& process_name,
   PlacementDebit debit;
   debit.process = process_name;
   debit.dest = dest;
+  debit.schema_name = schema_name;
   debit.at = host_->engine().now();
   if (const auto it = schemas_.find(schema_name); it != schemas_.end()) {
     debit.memory_bytes = it->second.requirements().min_memory_bytes;
@@ -1081,7 +1236,9 @@ void Registry::on_migration_outcome(
         inflight_.begin(), inflight_.end(),
         [&](const PlacementDebit& d) { return d.process == outcome.process; });
   }
+  std::string debited_schema;
   if (debit != inflight_.end()) {
+    debited_schema = debit->schema_name;
     inflight_.erase(debit);
     if (config_.metrics != nullptr) {
       config_.metrics->counter("registry.placements_credited").inc();
@@ -1090,6 +1247,40 @@ void Registry::on_migration_outcome(
     }
   }
   if (outcome.outcome == "committed") {
+    // The authoritative ProcessRegisterMsg from the destination can be
+    // lost or arrive after the destination dies; until it lands the
+    // process would still be booked on the source — or on nobody once the
+    // source's deregister arrives — and a destination crash in that
+    // window would never trigger a relaunch.  Put the entry on the
+    // destination's books now under a placeholder pid (rebuilt from the
+    // placement debit if the deregister already erased it); the real
+    // registration supersedes it by name.
+    bool found = false;
+    for (auto it = processes_.begin(); it != processes_.end(); ++it) {
+      if (it->second.name != outcome.process) {
+        continue;
+      }
+      found = true;
+      if (it->second.host != outcome.destination) {
+        ProcessEntry moved = it->second;
+        processes_.erase(it);
+        moved.host = outcome.destination;
+        moved.pid = next_placeholder_pid_--;
+        processes_.insert_or_assign(process_key(moved.host, moved.pid),
+                                    std::move(moved));
+      }
+      break;
+    }
+    if (!found) {
+      ProcessEntry rebuilt;
+      rebuilt.host = outcome.destination;
+      rebuilt.pid = next_placeholder_pid_--;
+      rebuilt.name = outcome.process;
+      rebuilt.start_time = now;
+      rebuilt.schema_name = debited_schema;
+      processes_.insert_or_assign(process_key(rebuilt.host, rebuilt.pid),
+                                  std::move(rebuilt));
+    }
     return;
   }
   // The destination failed mid-transaction: back it off as a destination

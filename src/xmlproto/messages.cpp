@@ -325,6 +325,28 @@ struct Encoder {
       put(root, "phase", m.phase);
     }
   }
+  void operator()(const CkptIoRequestMsg& m) const {
+    root.set_attr("type", "ckpt_io_request");
+    put(root, "host", m.host);
+    put(root, "process", m.process);
+    put(root, "verb", m.verb);
+    // bytes/risk only matter on "request"; done/abort keep the compact
+    // three-field form.
+    if (m.bytes > 0) {
+      put(root, "bytes", m.bytes);
+    }
+    if (m.risk > 0.0) {
+      put(root, "risk", m.risk);
+    }
+  }
+  void operator()(const CkptIoGrantMsg& m) const {
+    root.set_attr("type", "ckpt_io_grant");
+    put(root, "process", m.process);
+    put(root, "verb", m.verb);
+    if (m.retry_after > 0.0) {
+      put(root, "retry_after", m.retry_after);
+    }
+  }
 };
 
 // ---- per-type decoders ----------------------------------------------------
@@ -553,6 +575,38 @@ Expected<ProtocolMessage> decode_resize_outcome(const XmlNode& root) {
   return ProtocolMessage{m};
 }
 
+Expected<ProtocolMessage> decode_ckpt_io_request(const XmlNode& root) {
+  CkptIoRequestMsg m;
+  auto host = need_text(root, "host");
+  if (!host.has_value()) return host.error();
+  m.host = *host;
+  auto process = need_text(root, "process");
+  if (!process.has_value()) return process.error();
+  m.process = *process;
+  auto verb = need_text(root, "verb");
+  if (!verb.has_value()) return verb.error();
+  m.verb = *verb;
+  const auto bytes = parse_int(root.child_text_or("bytes", "0"));
+  m.bytes =
+      bytes.has_value() && *bytes > 0 ? static_cast<std::uint64_t>(*bytes) : 0;
+  const auto risk = parse_double(root.child_text_or("risk", "0"));
+  m.risk = risk.has_value() ? *risk : 0.0;
+  return ProtocolMessage{m};
+}
+
+Expected<ProtocolMessage> decode_ckpt_io_grant(const XmlNode& root) {
+  CkptIoGrantMsg m;
+  auto process = need_text(root, "process");
+  if (!process.has_value()) return process.error();
+  m.process = *process;
+  auto verb = need_text(root, "verb");
+  if (!verb.has_value()) return verb.error();
+  m.verb = *verb;
+  const auto retry = parse_double(root.child_text_or("retry_after", "0"));
+  m.retry_after = retry.has_value() ? *retry : 0.0;
+  return ProtocolMessage{m};
+}
+
 Expected<ProtocolMessage> decode_recommend(const XmlNode& root) {
   RecommendMsg m;
   auto found = need_bool(root, "found");
@@ -590,6 +644,8 @@ Expected<ProtocolMessage> decode_root(const XmlNode& root) {
       {"migration_outcome", decode_migration_outcome},
       {"resize", decode_resize},
       {"resize_outcome", decode_resize_outcome},
+      {"ckpt_io_request", decode_ckpt_io_request},
+      {"ckpt_io_grant", decode_ckpt_io_grant},
   };
   const auto it = kDecoders.find(*type);
   if (it == kDecoders.end()) {
@@ -647,6 +703,12 @@ std::string message_type(const ProtocolMessage& message) {
     std::string operator()(const ResizeCmd&) const { return "resize"; }
     std::string operator()(const ResizeOutcomeMsg&) const {
       return "resize_outcome";
+    }
+    std::string operator()(const CkptIoRequestMsg&) const {
+      return "ckpt_io_request";
+    }
+    std::string operator()(const CkptIoGrantMsg&) const {
+      return "ckpt_io_grant";
     }
   };
   return std::visit(Namer{}, message);

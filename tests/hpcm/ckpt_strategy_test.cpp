@@ -1,0 +1,241 @@
+// Checkpoint scheduling strategies (DESIGN.md §17): Young/Daly-driven
+// maybe_checkpoint(), the asynchronous shared-store write path, atomic
+// shadow-commit under crashes mid-write, and failure-waste accounting.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ars/hpcm/checkpoint.hpp"
+#include "ars/hpcm/migration.hpp"
+
+namespace ars::hpcm {
+namespace {
+
+using sim::Engine;
+using sim::Task;
+
+/// Counter app that defers all checkpoint timing to the engine's plan
+/// (maybe_checkpoint at every poll) — the shape the chaos scenarios use.
+struct StrategyApp {
+  int iterations = 40;
+  std::uint64_t opaque_bytes = 0;
+
+  double final_sum = -1.0;
+  std::string finished_on;
+  bool was_restarted = false;
+
+  MigrationEngine::MigratableApp make() {
+    return [this](mpi::Proc& proc, MigrationContext& ctx) -> Task<> {
+      std::int64_t i = 0;
+      double sum = 0.0;
+      if (ctx.restored()) {
+        i = *ctx.state().get_int("i");
+        sum = *ctx.state().get_double("sum");
+        was_restarted = ctx.restarted_from_checkpoint();
+      }
+      ctx.on_save([&ctx, &i, &sum, this] {
+        ctx.state().set_int("i", i);
+        ctx.state().set_double("sum", sum);
+        if (opaque_bytes > 0) {
+          ctx.state().set_opaque("heap", opaque_bytes);
+        }
+      });
+      for (; i < iterations; ++i) {
+        co_await ctx.poll_point();
+        co_await ctx.maybe_checkpoint();
+        co_await proc.compute(1.0);
+        sum += static_cast<double>(i);
+      }
+      final_sum = sum;
+      finished_on = proc.host().name();
+    };
+  }
+};
+
+class CkptStrategyTest : public ::testing::Test {
+ protected:
+  CkptStrategyTest() : net_(engine_), mpi_(engine_, net_) {
+    for (const char* name : {"ws1", "ws2"}) {
+      host::HostSpec spec;
+      spec.name = name;
+      hosts_.push_back(std::make_unique<host::Host>(engine_, spec));
+      net_.attach(*hosts_.back());
+    }
+  }
+
+  MigrationEngine& make_hpcm(MigrationEngine::Options options) {
+    hpcm_ = std::make_unique<MigrationEngine>(mpi_, options);
+    return *hpcm_;
+  }
+
+  void run_to_completion(double step = 50.0) {
+    while (mpi_.live_procs() > 0) {
+      engine_.run_until(engine_.now() + step);
+    }
+  }
+
+  Engine engine_;
+  net::Network net_;
+  std::vector<std::unique_ptr<host::Host>> hosts_;
+  mpi::MpiSystem mpi_;
+  std::unique_ptr<MigrationEngine> hpcm_;
+};
+
+TEST_F(CkptStrategyTest, NoneStrategyNeverCheckpoints) {
+  MigrationEngine::Options options;
+  options.ckpt_strategy = "none";
+  options.ckpt_mtbf = 10.0;
+  MigrationEngine& hpcm = make_hpcm(options);
+  StrategyApp app;
+  app.iterations = 20;
+  hpcm.launch("ws1", app.make(), "idle", ApplicationSchema{"idle"});
+  run_to_completion();
+  EXPECT_GE(app.final_sum, 0.0);
+  EXPECT_EQ(hpcm.checkpoints().writes(), 0);
+  EXPECT_EQ(hpcm.shared_store().commits(), 0);
+}
+
+TEST_F(CkptStrategyTest, PeriodicStrategyCheckpointsOnYoungDalyInterval) {
+  MigrationEngine::Options options;
+  options.ckpt_strategy = "periodic";
+  options.checkpoint_store_bps = 20.0e6;
+  options.ckpt_mtbf = 50.0;  // 40 MB -> C=2s, W=sqrt(2*2*50)~14.1s
+  MigrationEngine& hpcm = make_hpcm(options);
+  StrategyApp app;
+  app.iterations = 40;
+  app.opaque_bytes = 40'000'000;
+  hpcm.launch("ws1", app.make(), "per", ApplicationSchema{"per"});
+  run_to_completion();
+  EXPECT_GE(app.final_sum, 0.0);
+  // ~40 s of compute on a ~14 s interval: at least two committed writes,
+  // each charged to the overhead side of the waste ledger.
+  EXPECT_GE(hpcm.shared_store().commits(), 2);
+  EXPECT_EQ(hpcm.shared_store().commits(), hpcm.checkpoints().writes());
+  EXPECT_GT(hpcm.waste().of("per.0").overhead_s, 0.0);
+  EXPECT_DOUBLE_EQ(hpcm.waste().of("per.0").lost_work_s, 0.0);
+}
+
+TEST_F(CkptStrategyTest, CrashMidWriteKeepsPreviousCheckpointRestorable) {
+  MigrationEngine::Options options;
+  options.ckpt_strategy = "none";  // explicit checkpoints: exact timing
+  options.checkpoint_store_bps = 1.0e6;
+  MigrationEngine& hpcm = make_hpcm(options);
+
+  // 4 MB state -> 4 s writes.  Checkpoints at i=5 (commits ~9) and i=10
+  // (in flight 10..14); the crash at t=13 races the second write.
+  struct : StrategyApp {
+    MigrationEngine::MigratableApp make_explicit() {
+      return [this](mpi::Proc& proc, MigrationContext& ctx) -> Task<> {
+        std::int64_t i = 0;
+        double sum = 0.0;
+        if (ctx.restored()) {
+          i = *ctx.state().get_int("i");
+          sum = *ctx.state().get_double("sum");
+          was_restarted = ctx.restarted_from_checkpoint();
+        }
+        ctx.on_save([&ctx, &i, &sum, this] {
+          ctx.state().set_int("i", i);
+          ctx.state().set_double("sum", sum);
+          ctx.state().set_opaque("heap", opaque_bytes);
+        });
+        for (; i < iterations; ++i) {
+          co_await ctx.poll_point();
+          if (i > 0 && i % 5 == 0) {
+            co_await ctx.checkpoint();
+          }
+          co_await proc.compute(1.0);
+          sum += static_cast<double>(i);
+        }
+        final_sum = sum;
+        finished_on = proc.host().name();
+      };
+    }
+  } app;
+  app.iterations = 30;
+  app.opaque_bytes = 4'000'000;
+
+  const auto id = hpcm.launch("ws1", app.make_explicit(), "atomic",
+                              ApplicationSchema{"atomic"});
+  engine_.schedule_at(13.0, [&] {
+    EXPECT_TRUE(hpcm.shared_store().writing("atomic.0"));
+    EXPECT_TRUE(hpcm.checkpoints().shadow_pending("atomic.0"));
+    EXPECT_TRUE(hpcm.crash(id));
+    EXPECT_NE(hpcm.relaunch("atomic.0", "ws2"), 0);
+  });
+  run_to_completion();
+
+  EXPECT_DOUBLE_EQ(app.final_sum, 435.0);  // sum 0..29
+  EXPECT_TRUE(app.was_restarted);
+  EXPECT_EQ(app.finished_on, "ws2");
+  // The torn second write was dropped, not committed: the i=5 checkpoint
+  // stayed the restorable one and nothing incomplete was ever visible.
+  EXPECT_EQ(hpcm.checkpoints().aborted_shadows(), 1);
+  EXPECT_EQ(hpcm.checkpoints().torn(), 0);
+  EXPECT_EQ(hpcm.torn_restores(), 0);
+  ASSERT_NE(hpcm.checkpoints().latest("atomic.0"), nullptr);
+  EXPECT_TRUE(hpcm.checkpoints().latest("atomic.0")->complete);
+  // Waste: the crash cost lost work (i=5..13) and a restart read-back.
+  EXPECT_GT(hpcm.waste().of("atomic.0").lost_work_s, 0.0);
+  EXPECT_GT(hpcm.waste().of("atomic.0").restart_s, 0.0);
+}
+
+TEST_F(CkptStrategyTest, SabotagedCommitRestoresTornCheckpoint) {
+  MigrationEngine::Options options;
+  options.ckpt_strategy = "periodic";
+  options.checkpoint_store_bps = 1.0e6;
+  options.ckpt_mtbf = 1.0;  // aggressive: first checkpoint due early
+  options.ckpt_min_interval = 5.0;
+  options.sabotage_torn_commit = true;
+  MigrationEngine& hpcm = make_hpcm(options);
+  StrategyApp app;
+  app.iterations = 30;
+  app.opaque_bytes = 4'000'000;  // 4 s writes: easy to crash mid-write
+  const auto id = hpcm.launch("ws1", app.make(), "torn",
+                              ApplicationSchema{"torn"});
+  // First maybe_checkpoint lands ~t=5 (min_interval); its write runs ~4 s.
+  engine_.schedule_at(7.5, [&] {
+    ASSERT_TRUE(hpcm.shared_store().writing("torn.0"));
+    EXPECT_TRUE(hpcm.crash(id));
+    EXPECT_NE(hpcm.relaunch("torn.0", "ws2"), 0);
+  });
+  run_to_completion();
+  // The sabotaged store replaced the (absent) previous checkpoint with the
+  // torn partial, and the relaunch restored it — exactly what the chaos
+  // no-torn-checkpoint invariant exists to catch.
+  EXPECT_GE(hpcm.checkpoints().torn(), 1);
+  EXPECT_EQ(hpcm.torn_restores(), 1);
+  EXPECT_TRUE(app.was_restarted);
+}
+
+TEST_F(CkptStrategyTest, HostCrashAbortsAllItsWritesViaTheStore) {
+  MigrationEngine::Options options;
+  options.ckpt_strategy = "none";
+  options.checkpoint_store_bps = 1.0e6;
+  MigrationEngine& hpcm = make_hpcm(options);
+  // Drive the store directly through the engine's instance: two fake
+  // writes from ws1, one from ws2.
+  int aborted = 0;
+  int committed = 0;
+  const auto on_commit = [&committed](const ckpt::WriteOutcome&) {
+    ++committed;
+  };
+  const auto on_abort = [&aborted](const ckpt::WriteOutcome&) { ++aborted; };
+  hpcm.shared_store().begin_write("x.0", "ws1", 4'000'000, on_commit,
+                                  on_abort);
+  hpcm.shared_store().begin_write("y.0", "ws1", 4'000'000, on_commit,
+                                  on_abort);
+  hpcm.shared_store().begin_write("z.0", "ws2", 4'000'000, on_commit,
+                                  on_abort);
+  engine_.schedule_at(1.0, [&] {
+    EXPECT_EQ(hpcm.shared_store().abort_host_writes("ws1"), 2);
+  });
+  engine_.run_until(20.0);
+  EXPECT_EQ(aborted, 2);
+  EXPECT_EQ(committed, 1);
+}
+
+}  // namespace
+}  // namespace ars::hpcm

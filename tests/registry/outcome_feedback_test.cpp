@@ -265,6 +265,76 @@ TEST_F(OutcomeFeedbackTest, ConfirmedRelaunchIsNotRetried) {
   EXPECT_EQ(registry_->process_count(), 1U);
 }
 
+TEST_F(OutcomeFeedbackTest,
+       CommittedOutcomeRebuildsTheEntryWhenRegistrationWasLost) {
+  Registry::Config config;
+  config.auto_restart = true;
+  build(config);
+  overloaded_source();
+  consult();
+  engine_.run_until(2.0);
+  (void)commands<xmlproto::MigrateCmd>();
+  // Worst-case bookkeeping race: the source monitor deregisters the
+  // migrated-away process before the commit report arrives, and the
+  // destination's own ProcessRegisterMsg is lost on the wire.  Without
+  // the commit-time re-key the process would be on nobody's books.
+  xmlproto::ProcessDeregisterMsg dereg;
+  dereg.host = "ws1";
+  dereg.pid = 100;
+  post("ws1", dereg);
+  engine_.run_until(3.0);
+  ASSERT_EQ(registry_->process_count(), 0U);
+  post("ws1", outcome_msg("committed"));
+  engine_.run_until(4.0);
+  // The commit outcome rebuilt the entry on the destination's books.
+  EXPECT_EQ(registry_->process_count(), 1U);
+  // ws2 dies silently; the lease lapse must still relaunch the process
+  // even though ws2's monitor never managed to report it.
+  for (double t = 8.0; t <= 64.0; t += 4.0) {
+    engine_.run_until(t);
+    heartbeat("ws1", "overloaded", 2.8, 160);
+    heartbeat("ws3");
+  }
+  const auto relaunches = commands<xmlproto::RelaunchCmd>();
+  ASSERT_GE(relaunches.size(), 1U);  // >1: unconfirmed-relaunch retries
+  EXPECT_EQ(relaunches[0].second.process_name, "app");
+  EXPECT_NE(relaunches[0].first, "ws2");
+}
+
+TEST_F(OutcomeFeedbackTest, ExpiredDebitWithNoBookEntryRelaunches) {
+  // Total information loss: the outcome report AND the destination's
+  // registration both vanish, the source deregisters, and every host
+  // stays healthy — so no lease ever expires for the process.  The
+  // expired placement debit is the only remaining witness that the
+  // migration happened; its expiry must trigger the relaunch.
+  Registry::Config config;
+  config.auto_restart = true;
+  build(config);
+  overloaded_source();
+  consult();
+  engine_.run_until(2.0);
+  (void)commands<xmlproto::MigrateCmd>();
+  xmlproto::ProcessDeregisterMsg dereg;
+  dereg.host = "ws1";
+  dereg.pid = 100;
+  post("ws1", dereg);
+  engine_.run_until(3.0);
+  ASSERT_EQ(registry_->process_count(), 0U);
+  ASSERT_EQ(registry_->inflight_placements(), 1U);
+  // Everyone keeps heartbeating through the debit TTL (120 s).
+  for (double t = 8.0; t <= 140.0; t += 4.0) {
+    engine_.run_until(t);
+    heartbeat("ws1", "overloaded", 2.8, 160);
+    heartbeat("ws2");
+    heartbeat("ws3");
+  }
+  EXPECT_EQ(counter_value("registry.debit_orphan_restarts"), 1.0);
+  const auto relaunches = commands<xmlproto::RelaunchCmd>();
+  ASSERT_GE(relaunches.size(), 1U);
+  EXPECT_EQ(relaunches[0].second.process_name, "app");
+  EXPECT_NE(relaunches[0].first, "ws1");  // overloaded source not eligible
+}
+
 TEST_F(OutcomeFeedbackTest, SilentOutcomeDebitExpiresAfterTtl) {
   Registry::Config config;
   config.placement_debit_ttl = 10.0;

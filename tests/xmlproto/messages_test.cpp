@@ -380,6 +380,61 @@ TEST(Messages, DecodeRejectsMissingFields) {
   EXPECT_FALSE(decode(broken).has_value());
 }
 
+TEST(Messages, CkptIoRequestRoundTrip) {
+  CkptIoRequestMsg m;
+  m.host = "ws3";
+  m.process = "job2.0";
+  m.verb = "request";
+  m.bytes = 40'000'000;
+  m.risk = 1.75;
+  const CkptIoRequestMsg back = round_trip(m);
+  EXPECT_EQ(back.host, "ws3");
+  EXPECT_EQ(back.process, "job2.0");
+  EXPECT_EQ(back.verb, "request");
+  EXPECT_EQ(back.bytes, 40'000'000u);
+  EXPECT_DOUBLE_EQ(back.risk, 1.75);
+}
+
+TEST(Messages, CkptIoDoneOmitsOptionalFields) {
+  CkptIoRequestMsg m;
+  m.host = "ws1";
+  m.process = "job1.0";
+  m.verb = "done";
+  const std::string wire = encode(ProtocolMessage{m});
+  // Compact wire rule: zero bytes/risk are not serialized at all.
+  EXPECT_EQ(wire.find("<bytes>"), std::string::npos);
+  EXPECT_EQ(wire.find("<risk>"), std::string::npos);
+  const CkptIoRequestMsg back = round_trip(m);
+  EXPECT_EQ(back.verb, "done");
+  EXPECT_EQ(back.bytes, 0u);
+  EXPECT_DOUBLE_EQ(back.risk, 0.0);
+}
+
+TEST(Messages, CkptIoGrantRoundTrip) {
+  CkptIoGrantMsg m;
+  m.process = "job2.0";
+  m.verb = "defer";
+  m.retry_after = 7.5;
+  const CkptIoGrantMsg back = round_trip(m);
+  EXPECT_EQ(back.process, "job2.0");
+  EXPECT_EQ(back.verb, "defer");
+  EXPECT_DOUBLE_EQ(back.retry_after, 7.5);
+
+  CkptIoGrantMsg admit;
+  admit.process = "job1.0";
+  admit.verb = "admit";
+  const std::string wire = encode(ProtocolMessage{admit});
+  EXPECT_EQ(wire.find("<retry_after>"), std::string::npos);
+  const CkptIoGrantMsg admit_back = round_trip(admit);
+  EXPECT_EQ(admit_back.verb, "admit");
+  EXPECT_DOUBLE_EQ(admit_back.retry_after, 0.0);
+}
+
+TEST(Messages, CkptIoDecodeRejectsMissingFields) {
+  EXPECT_FALSE(decode("<ars type=\"ckpt_io_request\"/>").has_value());
+  EXPECT_FALSE(decode("<ars type=\"ckpt_io_grant\"/>").has_value());
+}
+
 TEST(Messages, EscapedContentSurvives) {
   AckMsg m;
   m.of = "migrate";
